@@ -1,0 +1,72 @@
+// Ablation: bounds-check elimination (the Level-3 extra pass).
+//
+// The paper discusses optimization-level tradeoffs (code size vs execution
+// gain); BCE is the canonical Java-JIT optimization in that space. This
+// bench compiles each benchmark at Level 3 with and without BCE and measures
+// executed instructions, execution energy and code size for one large-input
+// run.
+
+#include <cstdio>
+
+#include "jit/compiler.hpp"
+#include "rt/device.hpp"
+#include "apps/app.hpp"
+#include "support/table.hpp"
+
+using namespace javelin;
+
+int main() {
+  TextTable table("Ablation — bounds-check elimination at Level 3");
+  table.set_header({"app", "BCE", "exec energy (mJ)", "instrs", "code bytes",
+                    "saving"});
+
+  for (const apps::App& a : apps::registry()) {
+    double energy[2] = {};
+    std::uint64_t instrs[2] = {};
+    std::size_t code_bytes[2] = {};
+    for (int bce = 0; bce < 2; ++bce) {
+      rt::Device dev(isa::client_machine());
+      dev.core.step_limit = 200'000'000'000ULL;
+      dev.deploy(a.classes);
+      const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+      std::vector<std::int32_t> plan{mid};
+      for (auto c : jit::collect_callees(dev.vm, mid)) plan.push_back(c);
+      jit::CompileOptions opts;
+      opts.opt_level = 3;
+      opts.bounds_check_elimination = bce != 0;
+      for (auto id : plan) {
+        auto res = jit::compile_method(dev.vm, id, opts, dev.cfg.energy);
+        code_bytes[bce] += res.program.image_bytes();
+        dev.engine.install(id, std::move(res.program), 3);
+      }
+      Rng rng(11);
+      const std::size_t mark = dev.arena.heap_mark();
+      const auto args = a.make_args(dev.vm, a.large_scale, rng);
+      const auto e0 = dev.meter.snapshot();
+      const jvm::Value result = dev.engine.invoke(mid, args);
+      if (!a.check(dev.vm, args, dev.vm, result)) {
+        std::fprintf(stderr, "FAIL: %s wrong result (bce=%d)\n",
+                     a.name.c_str(), bce);
+        return 1;
+      }
+      const auto d = dev.meter.since(e0);
+      energy[bce] = d.total();
+      instrs[bce] = d.counts().total();
+      dev.arena.heap_release(mark);
+    }
+    for (int bce = 0; bce < 2; ++bce) {
+      table.add_row(
+          {a.name, bce ? "on" : "off", TextTable::num(energy[bce] * 1e3, 3),
+           std::to_string(instrs[bce]), std::to_string(code_bytes[bce]),
+           bce ? TextTable::num(100.0 * (1.0 - energy[1] / energy[0]), 1) + "%"
+               : ""});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nBCE removes guards proven by a dominating access to the same\n"
+      "(array, index) pair; kernels that re-read elements through the same\n"
+      "registers (ed's hysteresis, sort) gain, and their code images shrink;\n"
+      "kernels whose indices are recomputed per access are unaffected.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation: server-side delay and the mobile status table (paper Section 2).
+//
+// "The estimate of the time for executing a method remotely at the server is
+//  used by the client to determine the duration of its power-down state. ...
+//  In case the server-side computation is delayed, we incur the penalty of
+//  early re-activation of the client from the power-down state."
+//
+// We inject artificial server queueing delay and measure the client's energy
+// for remote fe executions: with no delay the response is queued and the
+// client sleeps its whole window (leakage only); with moderate delay the
+// client wakes early and idles at full power; past the timeout it falls back
+// to local execution.
+
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+#include "support/table.hpp"
+
+using namespace javelin;
+
+int main() {
+  const apps::App& fe = apps::app("fe");
+  sim::ScenarioRunner runner(fe);
+
+  TextTable table("Ablation — server queueing delay (fe remote, Class 4)");
+  table.set_header({"server delay", "energy (mJ)", "idle (mJ)", "time (ms)",
+                    "fallbacks", "queued response"});
+
+  // Estimated server window for the dominant scale (for labelling only).
+  const double est = runner.profile().server_cycles.eval(
+                         fe.profile_scales[fe.profile_scales.size() / 2]) /
+                     750e6;
+
+  struct Case {
+    const char* label;
+    double delay;
+  };
+  const Case cases[] = {
+      {"none", 0.0},
+      {"half the window", est * 0.5},
+      {"2x the window", est * 2.0},
+      {"10x the window", est * 10.0},
+      {"past timeout", 6.0},  // response_timeout_s defaults to 5 s
+  };
+
+  for (const Case& c : cases) {
+    rt::Server server;
+    server.deploy(runner.profiled_classes());
+    server.set_queue_delay(c.delay);
+    radio::FixedChannel channel(radio::PowerClass::kClass4);
+    net::Link link;
+    rt::Client client(rt::ClientConfig{}, server, channel, link);
+    client.deploy(runner.profiled_classes());
+
+    Rng rng(5);
+    double energy = 0, seconds = 0;
+    int fallbacks = 0;
+    for (int i = 0; i < 10; ++i) {
+      const std::size_t mark = client.device().arena.heap_mark();
+      const auto args = fe.make_args(
+          client.device().vm, fe.profile_scales[fe.profile_scales.size() / 2],
+          rng);
+      rt::InvokeReport rep;
+      const jvm::Value result =
+          client.run(fe.cls, fe.method, args, rt::Strategy::kRemote, &rep);
+      if (!fe.check(client.device().vm, args, client.device().vm, result)) {
+        std::fprintf(stderr, "FAIL: wrong result\n");
+        return 1;
+      }
+      energy += rep.energy_j;
+      seconds += rep.seconds;
+      if (rep.fallback_local) ++fallbacks;
+      client.device().arena.heap_release(mark);
+    }
+    const rt::MobileStatus* st = server.status_of(1);
+    table.add_row({c.label, TextTable::num(energy * 1e3, 3),
+                   TextTable::num(client.device().meter.of(
+                                      energy::Subsystem::kIdle) *
+                                      1e3,
+                                  3),
+                   TextTable::num(seconds * 1e3, 2), std::to_string(fallbacks),
+                   st && st->response_queued ? "yes" : "no"});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nNo delay: the server finishes inside the client's power-down window\n"
+      "and queues the response (leakage-only wait). Moderate delay: early\n"
+      "re-activation burns idle energy at full power. Past the timeout: the\n"
+      "client gives up and executes locally (fallbacks = 10).");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Fig 6: "Energy consumption of three benchmarks with static
+// execution strategies. The energies are normalized with respect to L1. For
+// each benchmark, left five bars: small input size, right five bars: large
+// input size. The stacked bars labeled R indicate the remote execution
+// energies under Class 4, Class 3, Class 2, and Class 1 channel conditions."
+//
+// Each cell is a single application execution (compilation energy included,
+// as in the paper: "the energy numbers presented in this subsection include
+// the energy cost of loading and initializing the compiler classes").
+//
+// Expected shape (paper Section 3.1): for the small input, R is preferable
+// under good channel conditions but degrades sharply toward Class 1, where
+// local interpretation wins (compilation cost dominates small runs); for the
+// large input, compiled local execution (L2) becomes the best strategy.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/scenario.hpp"
+#include "support/table.hpp"
+
+using namespace javelin;
+
+int main() {
+  const char* names[] = {"fe", "mf", "hpf"};
+
+  TextTable table("Fig 6 — static strategies, energy normalized to L1");
+  table.set_header({"app", "input", "R@C4", "R@C3", "R@C2", "R@C1", "I", "L1",
+                    "L2", "L3", "best"});
+
+  for (const char* name : names) {
+    const apps::App& a = apps::app(name);
+    sim::ScenarioRunner runner(a);
+    for (const bool large : {false, true}) {
+      const double scale = large ? a.large_scale : a.small_scale;
+      double l1 = 0.0;
+      std::vector<std::pair<std::string, double>> cells;
+      for (auto cls : {radio::PowerClass::kClass4, radio::PowerClass::kClass3,
+                       radio::PowerClass::kClass2, radio::PowerClass::kClass1}) {
+        const auto r = runner.run_single(rt::Strategy::kRemote, scale, cls);
+        if (!r.all_correct) {
+          std::fprintf(stderr,
+                       "FAIL: %s remote produced a wrong result "
+                       "(scale=%g class=%d)\n",
+                       name, scale, static_cast<int>(cls));
+          return 1;
+        }
+        cells.emplace_back(std::string("R@") + radio::power_class_name(cls),
+                           r.total_energy_j);
+      }
+      for (auto strat : {rt::Strategy::kInterpret, rt::Strategy::kLocal1,
+                         rt::Strategy::kLocal2, rt::Strategy::kLocal3}) {
+        const auto r = runner.run_single(strat, scale,
+                                         radio::PowerClass::kClass4);
+        if (!r.all_correct) {
+          std::fprintf(stderr, "FAIL: %s %s produced a wrong result\n", name,
+                       rt::strategy_name(strat));
+          return 1;
+        }
+        if (strat == rt::Strategy::kLocal1) l1 = r.total_energy_j;
+        cells.emplace_back(rt::strategy_name(strat), r.total_energy_j);
+      }
+
+      std::vector<std::string> row{name, large ? "large" : "small"};
+      std::string best = "?";
+      double best_e = 1e300;
+      for (const auto& [label, e] : cells) {
+        row.push_back(TextTable::num(e / l1, 2));
+        if (e < best_e) {
+          best_e = e;
+          best = label;
+        }
+      }
+      row.push_back(best);
+      table.add_row(std::move(row));
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nPaper shape check: small input -> R preferable under good channel\n"
+      "conditions, degrading toward Class 1 where interpretation wins; large\n"
+      "input -> compiled local execution (L2) wins.");
+  return 0;
+}

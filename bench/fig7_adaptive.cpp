@@ -1,0 +1,106 @@
+// Reproduces Fig 7: "Average of normalized energy consumptions of eight
+// benchmarks. Left eight bars: channel condition is predominantly good and
+// one input size dominates. Middle: channel predominantly poor, one size
+// dominates. Right: both channel condition and size parameters uniformly
+// distributed. All values are normalized with respect to L1."
+//
+// Per the paper, each of the 24 scenarios (8 apps x 3 situations) executes
+// the application 300 times with inputs and channel conditions drawn from
+// the scenario's distribution; every strategy sees the same workload
+// sequence. Expected shape: AL consumes less energy than every static
+// strategy in all three situations (paper: 25% / 10% / 22% less than the
+// best static, L2), and AA saves further energy via remote compilation.
+//
+// Set JAVELIN_FIG7_EXECS to override the per-scenario execution count.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/scenario.hpp"
+#include "support/table.hpp"
+
+using namespace javelin;
+
+int main() {
+  int execs = 300;
+  if (const char* env = std::getenv("JAVELIN_FIG7_EXECS"))
+    execs = std::atoi(env);
+
+  constexpr rt::Strategy kStrategies[] = {
+      rt::Strategy::kRemote,       rt::Strategy::kInterpret,
+      rt::Strategy::kLocal1,       rt::Strategy::kLocal2,
+      rt::Strategy::kLocal3,       rt::Strategy::kAdaptiveLocal,
+      rt::Strategy::kAdaptiveAdaptive};
+  constexpr sim::Situation kSituations[] = {
+      sim::Situation::kGoodChannelDominantSize,
+      sim::Situation::kPoorChannelDominantSize, sim::Situation::kUniform};
+
+  // normalized[situation][strategy] accumulated over apps (normalized to L1
+  // per app, then averaged — as in the paper's figure).
+  double normalized[3][7] = {};
+  int napps = 0;
+
+  TextTable per_app("Fig 7 raw — per-app energy (mJ) for " +
+                    std::to_string(execs) + " executions");
+  per_app.set_header({"app", "situation", "R", "I", "L1", "L2", "L3", "AL",
+                      "AA"});
+
+  for (const apps::App& a : apps::registry()) {
+    sim::ScenarioRunner runner(a);
+    for (int si = 0; si < 3; ++si) {
+      double energy[7] = {};
+      for (int st = 0; st < 7; ++st) {
+        const auto r = runner.run(kStrategies[st], kSituations[si], execs);
+        if (!r.all_correct) {
+          std::fprintf(stderr, "FAIL: %s under %s computed a wrong result\n",
+                       a.name.c_str(), rt::strategy_name(kStrategies[st]));
+          return 1;
+        }
+        energy[st] = r.total_energy_j;
+      }
+      const double l1 = energy[2];
+      std::vector<std::string> row{a.name,
+                                   std::to_string(si + 1)};
+      for (int st = 0; st < 7; ++st) {
+        row.push_back(TextTable::num(energy[st] * 1e3, 1));
+        normalized[si][st] += energy[st] / l1;
+      }
+      per_app.add_row(std::move(row));
+    }
+    ++napps;
+    std::fprintf(stderr, "  [fig7] %s done\n", a.name.c_str());
+  }
+
+  std::fputs(per_app.render().c_str(), stdout);
+
+  TextTable fig("Fig 7 — average normalized energy (vs L1), eight benchmarks");
+  fig.set_header({"situation", "R", "I", "L1", "L2", "L3", "AL", "AA"});
+  for (int si = 0; si < 3; ++si) {
+    std::vector<std::string> row{sim::situation_name(kSituations[si])};
+    for (int st = 0; st < 7; ++st)
+      row.push_back(TextTable::num(normalized[si][st] / napps, 3));
+    fig.add_row(std::move(row));
+  }
+  std::fputs(fig.render().c_str(), stdout);
+
+  // Headline numbers: AL and AA vs the best static strategy.
+  std::puts("");
+  for (int si = 0; si < 3; ++si) {
+    double best_static = 1e300;
+    int best_idx = 0;
+    for (int st = 0; st < 5; ++st) {
+      if (normalized[si][st] < best_static) {
+        best_static = normalized[si][st];
+        best_idx = st;
+      }
+    }
+    const double al = normalized[si][5];
+    const double aa = normalized[si][6];
+    std::printf(
+        "situation %d: best static = %s; AL saves %.1f%%, AA saves %.1f%% vs "
+        "best static (paper: AL saves 25/10/22%% vs L2)\n",
+        si + 1, rt::strategy_name(kStrategies[best_idx]),
+        100.0 * (1.0 - al / best_static), 100.0 * (1.0 - aa / best_static));
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark): raw throughput of the simulator's
+// moving parts — interpreter dispatch, native executor, JIT compilation at
+// each level, object serialization and the cache model. These gate how big a
+// Fig 6/7 experiment the harness can afford; they are host-performance
+// benchmarks, not guest-energy measurements.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/app.hpp"
+#include "jit/compiler.hpp"
+#include "net/serializer.hpp"
+#include "rt/device.hpp"
+
+using namespace javelin;
+
+namespace {
+
+rt::Device& shared_device() {
+  static rt::Device* dev = [] {
+    auto* d = new rt::Device(isa::client_machine());
+    d->core.step_limit = ~0ULL;
+    d->deploy(apps::app("sort").classes);
+    return d;
+  }();
+  return *dev;
+}
+
+std::vector<jvm::Value> sort_args(rt::Device& dev, std::int32_t n) {
+  Rng rng(42);
+  return apps::app("sort").make_args(dev.vm, n, rng);
+}
+
+void BM_InterpreterDispatch(benchmark::State& state) {
+  rt::Device& dev = shared_device();
+  dev.engine.set_force_interpret(true);
+  const std::int32_t mid = dev.vm.find_method("Sort", "sortcopy");
+  for (auto _ : state) {
+    const std::size_t mark = dev.arena.heap_mark();
+    auto args = sort_args(dev, static_cast<std::int32_t>(state.range(0)));
+    const std::uint64_t c0 = dev.core.steps;
+    benchmark::DoNotOptimize(dev.engine.invoke(mid, args));
+    state.counters["guest_instrs"] = static_cast<double>(dev.core.steps - c0);
+    dev.arena.heap_release(mark);
+  }
+  dev.engine.set_force_interpret(false);
+}
+BENCHMARK(BM_InterpreterDispatch)->Arg(256)->Arg(1024);
+
+void BM_NativeExecutor(benchmark::State& state) {
+  rt::Device& dev = shared_device();
+  const std::int32_t mid = dev.vm.find_method("Sort", "sortcopy");
+  std::vector<std::int32_t> plan{mid};
+  for (auto c : jit::collect_callees(dev.vm, mid)) plan.push_back(c);
+  for (auto id : plan) {
+    auto res = jit::compile_method(dev.vm, id,
+                                   jit::CompileOptions{.opt_level = 2},
+                                   dev.cfg.energy);
+    dev.engine.install(id, std::move(res.program), 2);
+  }
+  for (auto _ : state) {
+    const std::size_t mark = dev.arena.heap_mark();
+    auto args = sort_args(dev, static_cast<std::int32_t>(state.range(0)));
+    benchmark::DoNotOptimize(dev.engine.invoke(mid, args));
+    dev.arena.heap_release(mark);
+  }
+  dev.engine.clear_code();
+}
+BENCHMARK(BM_NativeExecutor)->Arg(256)->Arg(1024);
+
+void BM_JitCompile(benchmark::State& state) {
+  rt::Device& dev = shared_device();
+  const std::int32_t mid = dev.vm.find_method("Sort", "qsort");
+  const int level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto res = jit::compile_method(
+        dev.vm, mid, jit::CompileOptions{.opt_level = level}, dev.cfg.energy);
+    benchmark::DoNotOptimize(res.program.code.size());
+    state.counters["native_instrs"] =
+        static_cast<double>(res.program.code.size());
+    state.counters["compile_energy_uJ"] = res.compile_energy * 1e6;
+  }
+}
+BENCHMARK(BM_JitCompile)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Serializer(benchmark::State& state) {
+  rt::Device& dev = shared_device();
+  const std::size_t mark = dev.arena.heap_mark();
+  auto args = sort_args(dev, static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto bytes = net::serialize_value(dev.vm, args[0], /*charge=*/false);
+    benchmark::DoNotOptimize(bytes.size());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes.size()));
+  }
+  dev.arena.heap_release(mark);
+}
+BENCHMARK(BM_Serializer)->Arg(1024)->Arg(8192);
+
+void BM_CacheModel(benchmark::State& state) {
+  mem::DirectMappedCache cache({8 * 1024, 32});
+  std::uint32_t addr = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr, (addr & 64) != 0));
+    addr = addr * 1664525u + 1013904223u;
+    addr = 16 + (addr % (1u << 22));
+  }
+}
+BENCHMARK(BM_CacheModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Adaptive compilation (the paper's Section 3.3 / AA strategy).
+//
+// Shows the tradeoff the AA strategy exploits: compiling a method locally
+// costs JIT energy; downloading pre-compiled native code from the trusted
+// server costs radio energy that depends on the code size and the channel.
+// Prints the break-even table for every benchmark and then runs one session
+// where the client actually downloads code and executes it.
+//
+//   $ ./build/examples/adaptive_compilation
+
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+
+using namespace javelin;
+
+int main() {
+  const radio::CommModel comm;
+
+  std::printf(
+      "local vs remote compilation energy (mJ), per app and level\n"
+      "(remote shown at Class 4 / Class 1; cheaper side marked *)\n\n");
+  std::printf("%-6s %-5s %10s %14s %14s %10s\n", "app", "level", "local",
+              "remote@C4", "remote@C1", "code B");
+  for (const apps::App& a : apps::registry()) {
+    sim::ScenarioRunner runner(a);
+    const jvm::EnergyProfile& prof = runner.profile();
+    for (int level = 1; level <= 3; ++level) {
+      const double local = prof.compile_energy[level - 1];
+      const auto bytes = prof.code_size_bytes[level - 1];
+      const double r4 = comm.tx_energy(64, radio::PowerClass::kClass4) +
+                        comm.rx_energy(bytes);
+      const double r1 = comm.tx_energy(64, radio::PowerClass::kClass1) +
+                        comm.rx_energy(bytes);
+      std::printf("%-6s L%-4d %9.3f%s %13.3f%s %13.3f%s %10u\n",
+                  a.name.c_str(), level, local * 1e3,
+                  local <= r4 ? "*" : " ", r4 * 1e3, r4 < local ? "*" : " ",
+                  r1 * 1e3, r1 < local ? "*" : " ", bytes);
+    }
+  }
+
+  // --- watch AA download code over a live session ---------------------------
+  std::printf("\nAA session on 'ed' (Class 4 channel):\n");
+  const apps::App& ed = apps::app("ed");
+  sim::ScenarioRunner runner(ed);
+  rt::Server server;
+  server.deploy(runner.profiled_classes());
+  radio::FixedChannel channel(radio::PowerClass::kClass4);
+  net::Link link;
+  rt::Client client(rt::ClientConfig{}, server, channel, link);
+  client.deploy(runner.profiled_classes());
+
+  Rng rng(3);
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t mark = client.device().arena.heap_mark();
+    const jvm::Jvm& vm = client.device().vm;
+    const auto a = ed.make_args(client.device().vm,
+                                ed.profile_scales[2], rng);
+    rt::InvokeReport rep;
+    const jvm::Value result =
+        client.run(ed.cls, ed.method, a, rt::Strategy::kAdaptiveAdaptive, &rep);
+    const bool ok = ed.check(vm, a, vm, result);
+    std::printf(
+        "  #%d mode=%-6s compiled=%s%s energy=%.3f mJ correct=%s\n", i,
+        rt::exec_mode_name(rep.mode), rep.compiled_this_call ? "yes" : "no",
+        rep.remote_compile ? " (downloaded from server)" : "",
+        rep.energy_j * 1e3, ok ? "yes" : "NO");
+    client.device().arena.heap_release(mark);
+  }
+  return 0;
+}

@@ -1,0 +1,247 @@
+// javelin_cli — command-line driver for the Javelin stack.
+//
+//   javelin_cli list
+//       List the benchmark suite (paper Fig 3).
+//
+//   javelin_cli run --app mf [--strategy AL] [--scale 20] [--channel iid-good]
+//                   [--n 25] [--seed 1] [--csv trace.csv]
+//       Execute an app repeatedly through the client/server stack, printing a
+//       per-invocation decision trace (and optionally writing it as CSV).
+//       Channels: c1 c2 c3 c4 (fixed), iid-good, iid-poor, iid-uniform,
+//       markov.
+//
+//   javelin_cli profile --app mf
+//       Run deploy-time profiling and print the fitted cost models.
+//
+//   javelin_cli disasm --app mf [--level 2]
+//       Print the potential method's bytecode and its native code at the
+//       given optimization level.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+
+#include "jit/compiler.hpp"
+#include "sim/scenario.hpp"
+
+using namespace javelin;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: javelin_cli <list|run|profile|disasm> [options]\n"
+               "see the header of examples/javelin_cli.cpp for details\n");
+  return 2;
+}
+
+struct Args {
+  std::string command;
+  std::string app = "mf";
+  std::string strategy = "AL";
+  std::string channel = "iid-uniform";
+  double scale = 0;  // 0 = app default (dominant profile scale)
+  int n = 25;
+  int level = 2;
+  std::uint64_t seed = 1;
+  std::string csv;
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string val = argv[i + 1];
+    if (key == "--app") a.app = val;
+    else if (key == "--strategy") a.strategy = val;
+    else if (key == "--channel") a.channel = val;
+    else if (key == "--scale") a.scale = std::atof(val.c_str());
+    else if (key == "--n") a.n = std::atoi(val.c_str());
+    else if (key == "--level") a.level = std::atoi(val.c_str());
+    else if (key == "--seed") a.seed = std::strtoull(val.c_str(), nullptr, 10);
+    else if (key == "--csv") a.csv = val;
+    else return std::nullopt;
+  }
+  return a;
+}
+
+std::optional<rt::Strategy> parse_strategy(const std::string& s) {
+  for (rt::Strategy st : rt::kAllStrategies)
+    if (s == rt::strategy_name(st)) return st;
+  return std::nullopt;
+}
+
+std::unique_ptr<radio::ChannelProcess> make_channel(const std::string& name,
+                                                    std::uint64_t seed) {
+  using radio::PowerClass;
+  if (name == "c1") return std::make_unique<radio::FixedChannel>(PowerClass::kClass1);
+  if (name == "c2") return std::make_unique<radio::FixedChannel>(PowerClass::kClass2);
+  if (name == "c3") return std::make_unique<radio::FixedChannel>(PowerClass::kClass3);
+  if (name == "c4") return std::make_unique<radio::FixedChannel>(PowerClass::kClass4);
+  if (name == "iid-good")
+    return std::make_unique<radio::IidChannel>(
+        sim::channel_weights(sim::Situation::kGoodChannelDominantSize), 0.25,
+        seed);
+  if (name == "iid-poor")
+    return std::make_unique<radio::IidChannel>(
+        sim::channel_weights(sim::Situation::kPoorChannelDominantSize), 0.25,
+        seed);
+  if (name == "iid-uniform")
+    return std::make_unique<radio::IidChannel>(
+        sim::channel_weights(sim::Situation::kUniform), 0.25, seed);
+  if (name == "markov")
+    return std::make_unique<radio::MarkovChannel>(
+        radio::MarkovChannel::default_transition(), PowerClass::kClass3, 0.25,
+        seed);
+  return nullptr;
+}
+
+int cmd_list() {
+  std::printf("%-6s %-9s %-12s %s\n", "name", "class", "method",
+              "description");
+  for (const apps::App& a : apps::registry())
+    std::printf("%-6s %-9s %-12s %s\n", a.name.c_str(), a.cls.c_str(),
+                a.method.c_str(), a.description.c_str());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto strategy = parse_strategy(args.strategy);
+  if (!strategy) {
+    std::fprintf(stderr, "unknown strategy '%s' (use R I L1 L2 L3 AL AA)\n",
+                 args.strategy.c_str());
+    return 2;
+  }
+  auto channel = make_channel(args.channel, args.seed ^ 0xc4a77e1);
+  if (!channel) {
+    std::fprintf(stderr, "unknown channel '%s'\n", args.channel.c_str());
+    return 2;
+  }
+  const apps::App& a = apps::app(args.app);
+  const double scale =
+      args.scale > 0 ? args.scale : a.profile_scales[a.profile_scales.size() / 2];
+
+  std::fprintf(stderr, "profiling %s...\n", a.name.c_str());
+  sim::ScenarioRunner runner(a, args.seed * 0x9e3779b9u + 3);
+  rt::Server server;
+  server.deploy(runner.profiled_classes());
+  net::Link link(radio::CommModel{}, args.seed);
+  rt::Client client(rt::ClientConfig{}, server, *channel, link);
+  client.deploy(runner.profiled_classes());
+  client.device().core.step_limit = 500'000'000'000ULL;
+
+  std::ofstream csv;
+  if (!args.csv.empty()) {
+    csv.open(args.csv);
+    csv << "invocation,scale,channel_class,mode,compiled,remote_compile,"
+           "fallback,energy_mj,seconds_ms\n";
+  }
+
+  Rng rng(args.seed * 77 + 1);
+  double total_energy = 0;
+  std::map<rt::ExecMode, int> modes;
+  std::printf("%-4s %-7s %-8s %-7s %-10s %-10s\n", "#", "scale", "channel",
+              "mode", "energy mJ", "time ms");
+  for (int i = 0; i < args.n; ++i) {
+    client.skip_time(rng.uniform_real(0.2, 1.5));
+    const std::size_t mark = client.device().arena.heap_mark();
+    const auto call_args = a.make_args(client.device().vm, scale, rng);
+    const radio::PowerClass cls = channel->at(client.now());
+    rt::InvokeReport rep;
+    const jvm::Value result =
+        client.run(a.cls, a.method, call_args, *strategy, &rep);
+    if (!a.check(client.device().vm, call_args, client.device().vm, result)) {
+      std::fprintf(stderr, "WRONG RESULT at invocation %d\n", i);
+      return 1;
+    }
+    total_energy += rep.energy_j;
+    ++modes[rep.mode];
+    std::printf("%-4d %-7.0f %-8s %-7s %-10.3f %-10.2f%s%s\n", i, scale,
+                radio::power_class_name(cls), rt::exec_mode_name(rep.mode),
+                rep.energy_j * 1e3, rep.seconds * 1e3,
+                rep.compiled_this_call
+                    ? (rep.remote_compile ? "  [compiled: downloaded]"
+                                          : "  [compiled: local]")
+                    : "",
+                rep.fallback_local ? "  [fallback]" : "");
+    if (csv.is_open())
+      csv << i << ',' << scale << ',' << static_cast<int>(cls) << ','
+          << rt::exec_mode_name(rep.mode) << ',' << rep.compiled_this_call
+          << ',' << rep.remote_compile << ',' << rep.fallback_local << ','
+          << rep.energy_j * 1e3 << ',' << rep.seconds * 1e3 << '\n';
+    client.device().arena.heap_release(mark);
+  }
+  std::printf("\ntotal %.2f mJ over %d invocations; modes:", total_energy * 1e3,
+              args.n);
+  for (const auto& [m, c] : modes)
+    std::printf(" %s=%d", rt::exec_mode_name(m), c);
+  std::printf("\n");
+  if (csv.is_open())
+    std::fprintf(stderr, "trace written to %s\n", args.csv.c_str());
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const apps::App& a = apps::app(args.app);
+  sim::ScenarioRunner runner(a, args.seed * 0x9e3779b9u + 3);
+  const jvm::EnergyProfile& p = runner.profile();
+  std::printf("deploy-time profile of %s.%s (size parameter s):\n\n",
+              a.cls.c_str(), a.method.c_str());
+  const char* mode_names[] = {"interp", "L1", "L2", "L3"};
+  for (int m = 0; m < 4; ++m) {
+    std::printf("  E_%s(s) mJ      =", mode_names[m]);
+    for (double c : p.local_energy[m].coeffs) std::printf(" %.6g", c * 1e3);
+    std::printf("  (poly coeffs, low order first)\n");
+  }
+  std::printf("  server_cycles(s) =");
+  for (double c : p.server_cycles.coeffs) std::printf(" %.6g", c);
+  std::printf("\n  request_bytes(s) =");
+  for (double c : p.request_bytes.coeffs) std::printf(" %.6g", c);
+  std::printf("\n  response_bytes(s)=");
+  for (double c : p.response_bytes.coeffs) std::printf(" %.6g", c);
+  std::printf("\n\n  compile energy: L1=%.3f mJ  L2=%.3f mJ  L3=%.3f mJ\n",
+              p.compile_energy[0] * 1e3, p.compile_energy[1] * 1e3,
+              p.compile_energy[2] * 1e3);
+  std::printf("  code size:      L1=%u B    L2=%u B    L3=%u B\n",
+              p.code_size_bytes[0], p.code_size_bytes[1],
+              p.code_size_bytes[2]);
+  return 0;
+}
+
+int cmd_disasm(const Args& args) {
+  const apps::App& a = apps::app(args.app);
+  rt::Device dev(isa::client_machine());
+  dev.deploy(a.classes);
+  const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+  const jvm::RtMethod& m = dev.vm.method(mid);
+  std::printf("== %s bytecode (%zu instructions) ==\n%s\n",
+              m.qualified_name.c_str(), m.info->code.size(),
+              jvm::disassemble(m.info->code).c_str());
+  auto res = jit::compile_method(
+      dev.vm, mid, jit::CompileOptions{.opt_level = args.level},
+      dev.cfg.energy);
+  std::printf("== native code at L%d (%zu instructions, %zu image bytes) ==\n%s",
+              args.level, res.program.code.size(), res.program.image_bytes(),
+              res.program.disassemble().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "list") return cmd_list();
+    if (args->command == "run") return cmd_run(*args);
+    if (args->command == "profile") return cmd_profile(*args);
+    if (args->command == "disasm") return cmd_disasm(*args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a guest class with the assembler, run it interpreted and
+// JIT-compiled on the simulated mobile client, and read the energy meter.
+//
+//   $ ./build/examples/quickstart
+//
+// This walks the core API surface end to end:
+//   ClassBuilder -> Jvm::load/link -> ExecutionEngine::invoke
+//   jit::compile_method -> ExecutionEngine::install -> EnergyMeter
+
+#include <cstdio>
+
+#include "jit/compiler.hpp"
+#include "jvm/builder.hpp"
+#include "rt/device.hpp"
+
+using namespace javelin;
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+int main() {
+  // --- 1. Write a tiny guest program: dot product of two int arrays. -------
+  jvm::ClassBuilder cb("Demo");
+  {
+    auto& m = cb.method(
+        "dot", Signature{{TypeKind::kRef, TypeKind::kRef}, TypeKind::kInt});
+    m.param_name(0, "a").param_name(1, "b");
+    auto loop = m.new_label(), done = m.new_label();
+    m.iconst(0).istore("acc").iconst(0).istore("i");
+    m.bind(loop);
+    m.iload("i").aload("a").arraylength().if_icmpge(done);
+    m.iload("acc");
+    m.aload("a").iload("i").iaload();
+    m.aload("b").iload("i").iaload();
+    m.imul().iadd().istore("acc");
+    m.iload("i").iconst(1).iadd().istore("i");
+    m.goto_(loop);
+    m.bind(done);
+    m.iload("acc").iret();
+  }
+
+  // --- 2. Boot a simulated mobile device and load the class. ---------------
+  rt::Device device(isa::client_machine());
+  device.vm.load(cb.build());  // verified here, like a real class load
+  device.vm.link();
+
+  // --- 3. Put some data in the guest heap. ---------------------------------
+  const mem::Addr a = device.vm.new_array(TypeKind::kInt, 512, false);
+  const mem::Addr b = device.vm.new_array(TypeKind::kInt, 512, false);
+  std::vector<std::int32_t> va(512), vb(512);
+  for (int i = 0; i < 512; ++i) {
+    va[i] = i;
+    vb[i] = 2 * i + 1;
+  }
+  device.vm.write_i32_array(a, va);
+  device.vm.write_i32_array(b, vb);
+  const std::vector<Value> args{Value::make_ref(a), Value::make_ref(b)};
+
+  // --- 4. Run interpreted and measure. --------------------------------------
+  const std::int32_t dot = device.vm.find_method("Demo", "dot");
+  auto snap = device.meter.snapshot();
+  const Value r1 = device.engine.invoke(dot, args);
+  const auto interp = device.meter.since(snap);
+  std::printf("interpreted : result=%d  energy=%.1f uJ  (%llu instrs)\n",
+              r1.as_int(), interp.total() * 1e6,
+              static_cast<unsigned long long>(interp.counts().total()));
+
+  // --- 5. JIT at Level 2, install, rerun. -----------------------------------
+  auto compiled = jit::compile_method(device.vm, dot,
+                                      jit::CompileOptions{.opt_level = 2},
+                                      device.cfg.energy);
+  std::printf("compile L2  : %zu native instrs, compile energy=%.1f uJ\n",
+              compiled.program.code.size(), compiled.compile_energy * 1e6);
+  device.engine.install(dot, std::move(compiled.program), 2);
+
+  snap = device.meter.snapshot();
+  const Value r2 = device.engine.invoke(dot, args);
+  const auto native = device.meter.since(snap);
+  std::printf("native L2   : result=%d  energy=%.1f uJ  (%llu instrs)\n",
+              r2.as_int(), native.total() * 1e6,
+              static_cast<unsigned long long>(native.counts().total()));
+
+  std::printf("\nspeed/energy ratio interp:native = %.1fx\n",
+              interp.total() / native.total());
+  std::printf("device meter: %s\n", device.meter.summary().c_str());
+  return r1.as_int() == r2.as_int() ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// The benchmark suite (paper Fig 3).
+//
+// Eight applications, each written in guest bytecode via the assembler API
+// (this module plays the role of the application developer):
+//   fe    Function-Evaluator — numeric integration of f over a range
+//   pf    Path-Finder        — shortest path tree (Dijkstra, O(V^2))
+//   mf    Median-Filter      — windowed median over a PGM-style image
+//   hpf   High-Pass-Filter   — image minus threshold-scaled low-pass
+//   ed    Edge-Detector      — Canny-style Sobel + NMS + hysteresis
+//   sort  Sorting            — quicksort (+ insertion sort cutoff)
+//   jess  expert-system shell miniature — forward-chaining rule engine
+//   db    database miniature — conjunctive predicate scans over columns
+//
+// Each App bundles: the class files, the potential-method entry point, a
+// deterministic workload generator (used both for deploy-time profiling and
+// for scenario runs), and a C++ golden model for correctness checking.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "jvm/classfile.hpp"
+#include "jvm/vm.hpp"
+#include "rt/profiler.hpp"
+#include "support/rng.hpp"
+
+namespace javelin::apps {
+
+struct App {
+  std::string name;
+  std::string description;
+  std::string cls;     ///< Class of the potential method.
+  std::string method;  ///< The potential method.
+  std::vector<jvm::ClassFile> classes;
+
+  /// Build invocation args at a given scale in the target JVM's heap
+  /// (host-side, uncharged). Deterministic for a given Rng state.
+  std::function<std::vector<jvm::Value>(jvm::Jvm&, double scale, Rng&)>
+      make_args;
+
+  /// Verify a result against the C++ golden model (args must be the ones the
+  /// invocation used; reads both from the JVM heap). Returns true if correct.
+  /// When the result graph lives in a different JVM than the args (remote
+  /// execution), pass the args' JVM and result's JVM separately.
+  std::function<bool(const jvm::Jvm& args_vm, std::span<const jvm::Value> args,
+                     const jvm::Jvm& result_vm, jvm::Value result)>
+      check;
+
+  std::vector<double> profile_scales;  ///< Deploy-time profiling scales.
+  double small_scale = 0;  ///< Fig 6 "small input".
+  double large_scale = 0;  ///< Fig 6 "large input".
+
+  rt::ProfileWorkload workload() const {
+    return rt::ProfileWorkload{profile_scales, make_args};
+  }
+};
+
+/// All eight benchmarks, in the paper's Fig 3 order.
+const std::vector<App>& registry();
+
+/// Lookup by short name; throws if unknown.
+const App& app(const std::string& name);
+
+// Individual builders (one per translation unit).
+App make_fe();
+App make_pf();
+App make_mf();
+App make_hpf();
+App make_ed();
+App make_sort();
+App make_jess();
+App make_db();
+
+}  // namespace javelin::apps

@@ -1,0 +1,195 @@
+// db: a miniature of the SpecJVM98 database benchmark — an in-memory table
+// of three integer columns scanned with a conjunctive predicate query; the
+// query returns {match count, sum of column A over matches, min of column B
+// over matches}. Size parameters: database size and query length (Fig 3).
+
+#include <algorithm>
+
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::apps {
+
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+jvm::ClassFile build_class() {
+  jvm::ClassBuilder cb("Db");
+
+  {
+    // static int getcol(int[] a, int[] b, int[] c, int col, int row)
+    auto& m = cb.method(
+        "getcol",
+        Signature{{TypeKind::kRef, TypeKind::kRef, TypeKind::kRef,
+                   TypeKind::kInt, TypeKind::kInt},
+                  TypeKind::kInt});
+    m.param_name(0, "a").param_name(1, "b").param_name(2, "c")
+        .param_name(3, "col").param_name(4, "row");
+    auto colb = m.new_label(), colc = m.new_label();
+    m.iload("col").iconst(1).if_icmpeq(colb);
+    m.iload("col").iconst(2).if_icmpeq(colc);
+    m.aload("a").iload("row").iaload().iret();
+    m.bind(colb);
+    m.aload("b").iload("row").iaload().iret();
+    m.bind(colc);
+    m.aload("c").iload("row").iaload().iret();
+  }
+  {
+    // static int[] query(int[] a, int[] b, int[] c, int[] q)
+    // q = [col, op, val] * qlen with op 0: <, 1: ==, 2: >.
+    auto& m = cb.method(
+        "query",
+        Signature{{TypeKind::kRef, TypeKind::kRef, TypeKind::kRef,
+                   TypeKind::kRef},
+                  TypeKind::kRef});
+    m.param_name(0, "a").param_name(1, "b").param_name(2, "c")
+        .param_name(3, "q");
+    m.potential(jvm::SizeParamSpec{{{0, true}, {3, true}}});  // n * 3*qlen
+
+    m.aload("a").arraylength().istore("n");
+    m.aload("q").arraylength().iconst(3).idiv().istore("qlen");
+    m.iconst(3).newarray(TypeKind::kInt).astore("res");
+    m.iconst(0).istore("count");
+    m.iconst(0).istore("sum");
+    m.iconst(1).iconst(30).ishl().istore("minb");
+
+    auto rows = m.new_label(), rows_done = m.new_label();
+    auto preds = m.new_label(), preds_done = m.new_label();
+    auto fail = m.new_label(), next_row = m.new_label();
+    auto op_lt = m.new_label(), op_eq = m.new_label(), pred_ok = m.new_label();
+    auto upd_min = m.new_label(), no_min = m.new_label();
+
+    m.iconst(0).istore("row");
+    m.bind(rows);
+    m.iload("row").iload("n").if_icmpge(rows_done);
+
+    m.iconst(0).istore("p");
+    m.bind(preds);
+    m.iload("p").iload("qlen").if_icmpge(preds_done);
+    // v = getcol(a,b,c, q[3p], row); op = q[3p+1]; val = q[3p+2]
+    m.iload("p").iconst(3).imul().istore("base");
+    m.aload("a").aload("b").aload("c")
+        .aload("q").iload("base").iaload()
+        .iload("row")
+        .invokestatic("Db", "getcol")
+        .istore("v");
+    m.aload("q").iload("base").iconst(1).iadd().iaload().istore("op");
+    m.aload("q").iload("base").iconst(2).iadd().iaload().istore("val");
+    m.iload("op").ifeq(op_lt);
+    m.iload("op").iconst(1).if_icmpeq(op_eq);
+    // op 2: v > val
+    m.iload("v").iload("val").if_icmpgt(pred_ok);
+    m.goto_(fail);
+    m.bind(op_lt);
+    m.iload("v").iload("val").if_icmplt(pred_ok);
+    m.goto_(fail);
+    m.bind(op_eq);
+    m.iload("v").iload("val").if_icmpeq(pred_ok);
+    m.goto_(fail);
+    m.bind(pred_ok);
+    m.iload("p").iconst(1).iadd().istore("p");
+    m.goto_(preds);
+    m.bind(preds_done);
+
+    // Row matched: count++, sum += a[row], minb = min(minb, b[row])
+    m.iload("count").iconst(1).iadd().istore("count");
+    m.iload("sum").aload("a").iload("row").iaload().iadd().istore("sum");
+    m.aload("b").iload("row").iaload().iload("minb").if_icmpge(no_min);
+    m.goto_(upd_min);
+    m.bind(upd_min);
+    m.aload("b").iload("row").iaload().istore("minb");
+    m.bind(no_min);
+    m.goto_(next_row);
+    m.bind(fail);
+    m.bind(next_row);
+    m.iload("row").iconst(1).iadd().istore("row");
+    m.goto_(rows);
+    m.bind(rows_done);
+
+    m.aload("res").iconst(0).iload("count").iastore();
+    m.aload("res").iconst(1).iload("sum").iastore();
+    m.aload("res").iconst(2).iload("minb").iastore();
+    m.aload("res").aret();
+  }
+  return cb.build();
+}
+
+std::vector<std::int32_t> golden(const std::vector<std::int32_t>& a,
+                                 const std::vector<std::int32_t>& b,
+                                 const std::vector<std::int32_t>& c,
+                                 const std::vector<std::int32_t>& q) {
+  const auto n = static_cast<std::int32_t>(a.size());
+  const auto qlen = static_cast<std::int32_t>(q.size()) / 3;
+  std::int32_t count = 0, sum = 0, minb = 1 << 30;
+  for (std::int32_t row = 0; row < n; ++row) {
+    bool ok = true;
+    for (std::int32_t p = 0; p < qlen && ok; ++p) {
+      const std::int32_t col = q[p * 3];
+      const std::int32_t v = col == 1 ? b[row] : (col == 2 ? c[row] : a[row]);
+      const std::int32_t op = q[p * 3 + 1];
+      const std::int32_t val = q[p * 3 + 2];
+      ok = op == 0 ? v < val : (op == 1 ? v == val : v > val);
+    }
+    if (!ok) continue;
+    ++count;
+    sum += a[row];
+    if (b[row] < minb) minb = b[row];
+  }
+  return {count, sum, minb};
+}
+
+}  // namespace
+
+App make_db() {
+  App a;
+  a.name = "db";
+  a.description =
+      "Database miniature (conjunctive predicate scan, SpecJVM98 db with the "
+      "s1 dataset)";
+  a.cls = "Db";
+  a.method = "query";
+  a.classes = {build_class()};
+  a.make_args = [](jvm::Jvm& vm, double scale, Rng& rng) {
+    const auto n = static_cast<std::int32_t>(scale);
+    const std::int32_t qlen = 3;
+    std::vector<std::int32_t> ca(n), cb(n), cc(n);
+    for (std::int32_t i = 0; i < n; ++i) {
+      ca[i] = static_cast<std::int32_t>(rng.uniform_int(0, 1000));
+      cb[i] = static_cast<std::int32_t>(rng.uniform_int(0, 1000));
+      cc[i] = static_cast<std::int32_t>(rng.uniform_int(0, 1000));
+    }
+    // Query with mixed selectivity so later predicates actually execute.
+    std::vector<std::int32_t> q;
+    for (std::int32_t p = 0; p < qlen; ++p) {
+      q.push_back(static_cast<std::int32_t>(rng.uniform_int(0, 2)));  // col
+      q.push_back(static_cast<std::int32_t>(rng.uniform_int(0, 2)) == 1
+                      ? 2
+                      : 0);  // op: < or >
+      q.push_back(static_cast<std::int32_t>(rng.uniform_int(420, 580)));
+    }
+    auto push = [&](const std::vector<std::int32_t>& v) {
+      const mem::Addr arr = vm.new_array(
+          TypeKind::kInt, static_cast<std::int32_t>(v.size()), false);
+      vm.write_i32_array(arr, v);
+      return Value::make_ref(arr);
+    };
+    return std::vector<Value>{push(ca), push(cb), push(cc), push(q)};
+  };
+  a.check = [](const jvm::Jvm& avm, std::span<const Value> args,
+               const jvm::Jvm& rvm, Value result) {
+    const auto ca = avm.read_i32_array(args[0].as_ref());
+    const auto cb = avm.read_i32_array(args[1].as_ref());
+    const auto cc = avm.read_i32_array(args[2].as_ref());
+    const auto q = avm.read_i32_array(args[3].as_ref());
+    return rvm.read_i32_array(result.as_ref()) == golden(ca, cb, cc, q);
+  };
+  a.profile_scales = {256, 512, 1024, 1536, 2048};
+  a.small_scale = 256;
+  a.large_scale = 8192;
+  return a;
+}
+
+}  // namespace javelin::apps

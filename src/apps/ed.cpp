@@ -1,0 +1,290 @@
+// Edge-Detector: Canny-style pipeline — Sobel gradients, L1 gradient
+// magnitude, direction-quantized non-maximum suppression, and a one-pass
+// double-threshold hysteresis. Integer kernel over a byte image.
+// Size parameter: image area.
+
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::apps {
+
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+constexpr std::int32_t kHi = 192;
+constexpr std::int32_t kLo = 96;
+
+jvm::ClassFile build_class() {
+  jvm::ClassBuilder cb("ED");
+
+  {
+    // static int[] magnitude(byte[] img, int w, int h)
+    // Sobel |gx| + |gy| with zeroed one-pixel border.
+    auto& m = cb.method(
+        "magnitude",
+        Signature{{TypeKind::kRef, TypeKind::kInt, TypeKind::kInt},
+                  TypeKind::kRef});
+    m.param_name(0, "img").param_name(1, "w").param_name(2, "h");
+    m.iload("w").iload("h").imul().newarray(TypeKind::kInt).astore("mag");
+
+    auto yloop = m.new_label(), ydone = m.new_label();
+    auto xloop = m.new_label(), xdone = m.new_label();
+    m.iconst(1).istore("y");
+    m.bind(yloop);
+    m.iload("y").iload("h").iconst(1).isub().if_icmpge(ydone);
+    m.iconst(1).istore("x");
+    m.bind(xloop);
+    m.iload("x").iload("w").iconst(1).isub().if_icmpge(xdone);
+
+    // idx = y*w + x
+    m.iload("y").iload("w").imul().iload("x").iadd().istore("idx");
+    // gx = (p[-w+1] + 2*p[+1] + p[w+1]) - (p[-w-1] + 2*p[-1] + p[w-1])
+    m.aload("img").iload("idx").iload("w").isub().iconst(1).iadd().baload();
+    m.aload("img").iload("idx").iconst(1).iadd().baload().iconst(2).imul();
+    m.iadd();
+    m.aload("img").iload("idx").iload("w").iadd().iconst(1).iadd().baload();
+    m.iadd();
+    m.aload("img").iload("idx").iload("w").isub().iconst(1).isub().baload();
+    m.aload("img").iload("idx").iconst(1).isub().baload().iconst(2).imul();
+    m.iadd();
+    m.aload("img").iload("idx").iload("w").iadd().iconst(1).isub().baload();
+    m.iadd();
+    m.isub().istore("gx");
+    // gy = (p[w-1] + 2*p[w] + p[w+1]) - (p[-w-1] + 2*p[-w] + p[-w+1])
+    m.aload("img").iload("idx").iload("w").iadd().iconst(1).isub().baload();
+    m.aload("img").iload("idx").iload("w").iadd().baload().iconst(2).imul();
+    m.iadd();
+    m.aload("img").iload("idx").iload("w").iadd().iconst(1).iadd().baload();
+    m.iadd();
+    m.aload("img").iload("idx").iload("w").isub().iconst(1).isub().baload();
+    m.aload("img").iload("idx").iload("w").isub().baload().iconst(2).imul();
+    m.iadd();
+    m.aload("img").iload("idx").iload("w").isub().iconst(1).iadd().baload();
+    m.iadd();
+    m.isub().istore("gy");
+    // mag[idx] = iabs(gx) + iabs(gy); direction kept via sign trick below.
+    m.aload("mag").iload("idx");
+    m.iload("gx").intrinsic(isa::Intrinsic::kIabs);
+    m.iload("gy").intrinsic(isa::Intrinsic::kIabs);
+    m.iadd().iastore();
+
+    m.iload("x").iconst(1).iadd().istore("x");
+    m.goto_(xloop);
+    m.bind(xdone);
+    m.iload("y").iconst(1).iadd().istore("y");
+    m.goto_(yloop);
+    m.bind(ydone);
+    m.aload("mag").aret();
+  }
+
+  {
+    // static int[] direction(byte[] img, int w, int h)
+    // 1 if |gx| >= |gy| (horizontal gradient -> compare left/right), else 0.
+    auto& m = cb.method(
+        "direction",
+        Signature{{TypeKind::kRef, TypeKind::kInt, TypeKind::kInt},
+                  TypeKind::kRef});
+    m.param_name(0, "img").param_name(1, "w").param_name(2, "h");
+    m.iload("w").iload("h").imul().newarray(TypeKind::kInt).astore("dir");
+    auto yloop = m.new_label(), ydone = m.new_label();
+    auto xloop = m.new_label(), xdone = m.new_label();
+    auto horiz = m.new_label(), store = m.new_label();
+    m.iconst(1).istore("y");
+    m.bind(yloop);
+    m.iload("y").iload("h").iconst(1).isub().if_icmpge(ydone);
+    m.iconst(1).istore("x");
+    m.bind(xloop);
+    m.iload("x").iload("w").iconst(1).isub().if_icmpge(xdone);
+    m.iload("y").iload("w").imul().iload("x").iadd().istore("idx");
+    // gx ~ p[+1] - p[-1]; gy ~ p[+w] - p[-w]  (cheap central difference)
+    m.aload("img").iload("idx").iconst(1).iadd().baload();
+    m.aload("img").iload("idx").iconst(1).isub().baload();
+    m.isub().intrinsic(isa::Intrinsic::kIabs).istore("agx");
+    m.aload("img").iload("idx").iload("w").iadd().baload();
+    m.aload("img").iload("idx").iload("w").isub().baload();
+    m.isub().intrinsic(isa::Intrinsic::kIabs).istore("agy");
+    m.iload("agx").iload("agy").if_icmpge(horiz);
+    m.iconst(0).istore("d");
+    m.goto_(store);
+    m.bind(horiz);
+    m.iconst(1).istore("d");
+    m.bind(store);
+    m.aload("dir").iload("idx").iload("d").iastore();
+    m.iload("x").iconst(1).iadd().istore("x");
+    m.goto_(xloop);
+    m.bind(xdone);
+    m.iload("y").iconst(1).iadd().istore("y");
+    m.goto_(yloop);
+    m.bind(ydone);
+    m.aload("dir").aret();
+  }
+
+  {
+    // static byte[] edges(byte[] img, int w, int h)
+    auto& m = cb.method(
+        "edges",
+        Signature{{TypeKind::kRef, TypeKind::kInt, TypeKind::kInt},
+                  TypeKind::kRef});
+    m.param_name(0, "img").param_name(1, "w").param_name(2, "h");
+    m.potential(jvm::SizeParamSpec{{{1, false}, {2, false}}});
+
+    m.aload("img").iload("w").iload("h").invokestatic("ED", "magnitude")
+        .astore("mag");
+    m.aload("img").iload("w").iload("h").invokestatic("ED", "direction")
+        .astore("dir");
+    m.iload("w").iload("h").imul().newarray(TypeKind::kByte).astore("out");
+
+    auto yloop = m.new_label(), ydone = m.new_label();
+    auto xloop = m.new_label(), xdone = m.new_label();
+    auto vert = m.new_label(), nms = m.new_label();
+    auto zero = m.new_label(), weak = m.new_label(), strong = m.new_label();
+    auto next = m.new_label();
+    m.iconst(1).istore("y");
+    m.bind(yloop);
+    m.iload("y").iload("h").iconst(1).isub().if_icmpge(ydone);
+    m.iconst(1).istore("x");
+    m.bind(xloop);
+    m.iload("x").iload("w").iconst(1).isub().if_icmpge(xdone);
+    m.iload("y").iload("w").imul().iload("x").iadd().istore("idx");
+    m.aload("mag").iload("idx").iaload().istore("v");
+
+    // Non-maximum suppression along the quantized direction.
+    m.aload("dir").iload("idx").iaload().ifeq(vert);
+    m.aload("mag").iload("idx").iconst(1).isub().iaload().istore("n1");
+    m.aload("mag").iload("idx").iconst(1).iadd().iaload().istore("n2");
+    m.goto_(nms);
+    m.bind(vert);
+    m.aload("mag").iload("idx").iload("w").isub().iaload().istore("n1");
+    m.aload("mag").iload("idx").iload("w").iadd().iaload().istore("n2");
+    m.bind(nms);
+    m.iload("v").iload("n1").if_icmplt(zero);
+    m.iload("v").iload("n2").if_icmplt(zero);
+
+    // Double threshold with one-pass hysteresis: strong if v >= hi; weak
+    // promoted if any 4-neighbour magnitude >= hi.
+    m.iload("v").iconst(kHi).if_icmpge(strong);
+    m.iload("v").iconst(kLo).if_icmplt(zero);
+    m.aload("mag").iload("idx").iconst(1).isub().iaload().iconst(kHi)
+        .if_icmpge(strong);
+    m.aload("mag").iload("idx").iconst(1).iadd().iaload().iconst(kHi)
+        .if_icmpge(strong);
+    m.aload("mag").iload("idx").iload("w").isub().iaload().iconst(kHi)
+        .if_icmpge(strong);
+    m.aload("mag").iload("idx").iload("w").iadd().iaload().iconst(kHi)
+        .if_icmpge(strong);
+    m.goto_(weak);
+
+    m.bind(zero);
+    m.aload("out").iload("idx").iconst(0).bastore();
+    m.goto_(next);
+    m.bind(weak);
+    m.aload("out").iload("idx").iconst(128).bastore();
+    m.goto_(next);
+    m.bind(strong);
+    m.aload("out").iload("idx").iconst(255).bastore();
+    m.bind(next);
+
+    m.iload("x").iconst(1).iadd().istore("x");
+    m.goto_(xloop);
+    m.bind(xdone);
+    m.iload("y").iconst(1).iadd().istore("y");
+    m.goto_(yloop);
+    m.bind(ydone);
+    m.aload("out").aret();
+  }
+
+  return cb.build();
+}
+
+std::vector<std::uint8_t> golden(const std::vector<std::uint8_t>& img,
+                                 std::int32_t w, std::int32_t h) {
+  const auto at = [&](std::int32_t i) { return static_cast<std::int32_t>(img[i]); };
+  std::vector<std::int32_t> mag(static_cast<std::size_t>(w) * h, 0);
+  std::vector<std::int32_t> dir(static_cast<std::size_t>(w) * h, 0);
+  for (std::int32_t y = 1; y < h - 1; ++y) {
+    for (std::int32_t x = 1; x < w - 1; ++x) {
+      const std::int32_t idx = y * w + x;
+      const std::int32_t gx = (at(idx - w + 1) + 2 * at(idx + 1) + at(idx + w + 1)) -
+                              (at(idx - w - 1) + 2 * at(idx - 1) + at(idx + w - 1));
+      const std::int32_t gy = (at(idx + w - 1) + 2 * at(idx + w) + at(idx + w + 1)) -
+                              (at(idx - w - 1) + 2 * at(idx - w) + at(idx - w + 1));
+      mag[idx] = std::abs(gx) + std::abs(gy);
+      const std::int32_t agx = std::abs(at(idx + 1) - at(idx - 1));
+      const std::int32_t agy = std::abs(at(idx + w) - at(idx - w));
+      dir[idx] = agx >= agy ? 1 : 0;
+    }
+  }
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(w) * h, 0);
+  for (std::int32_t y = 1; y < h - 1; ++y) {
+    for (std::int32_t x = 1; x < w - 1; ++x) {
+      const std::int32_t idx = y * w + x;
+      const std::int32_t v = mag[idx];
+      const std::int32_t n1 = dir[idx] ? mag[idx - 1] : mag[idx - w];
+      const std::int32_t n2 = dir[idx] ? mag[idx + 1] : mag[idx + w];
+      if (v < n1 || v < n2) {
+        out[idx] = 0;
+        continue;
+      }
+      if (v >= kHi) {
+        out[idx] = 255;
+      } else if (v < kLo) {
+        out[idx] = 0;
+      } else if (mag[idx - 1] >= kHi || mag[idx + 1] >= kHi ||
+                 mag[idx - w] >= kHi || mag[idx + w] >= kHi) {
+        out[idx] = 255;
+      } else {
+        out[idx] = 128;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> scene(std::int32_t w, std::int32_t h, Rng& rng) {
+  std::vector<std::uint8_t> img(static_cast<std::size_t>(w) * h);
+  // Two flat regions with a slanted boundary plus noise: real edges exist.
+  for (std::int32_t y = 0; y < h; ++y)
+    for (std::int32_t x = 0; x < w; ++x) {
+      const bool bright = 3 * x + 2 * y > 2 * w;
+      const std::int32_t base = bright ? 200 : 40;
+      img[static_cast<std::size_t>(y) * w + x] = static_cast<std::uint8_t>(
+          base + static_cast<std::int32_t>(rng.uniform_int(0, 20)));
+    }
+  return img;
+}
+
+}  // namespace
+
+App make_ed() {
+  App a;
+  a.name = "ed";
+  a.description = "Given an image, detects its edges (Canny-style)";
+  a.cls = "ED";
+  a.method = "edges";
+  a.classes = {build_class()};
+  a.make_args = [](jvm::Jvm& vm, double scale, Rng& rng) {
+    const auto side = static_cast<std::int32_t>(scale);
+    auto img = scene(side, side, rng);
+    const mem::Addr arr = vm.new_array(TypeKind::kByte,
+                                       static_cast<std::int32_t>(img.size()),
+                                       /*charge=*/false);
+    vm.write_u8_array(arr, img);
+    return std::vector<Value>{Value::make_ref(arr), Value::make_int(side),
+                              Value::make_int(side)};
+  };
+  a.check = [](const jvm::Jvm& avm, std::span<const Value> args,
+               const jvm::Jvm& rvm, Value result) {
+    const auto img = avm.read_u8_array(args[0].as_ref());
+    const auto expected = golden(img, args[1].as_int(), args[2].as_int());
+    return rvm.read_u8_array(result.as_ref()) == expected;
+  };
+  a.profile_scales = {16, 24, 40, 56, 72};
+  a.small_scale = 16;
+  a.large_scale = 96;
+  return a;
+}
+
+}  // namespace javelin::apps

@@ -1,0 +1,125 @@
+// Function-Evaluator: given a function f, a range and a step count, computes
+// the integral of f over the range by the trapezoid rule.
+// Size parameter: the step count (paper: "step size and range").
+
+#include <cmath>
+
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::apps {
+
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+jvm::ClassFile build_class() {
+  jvm::ClassBuilder cb("FE");
+
+  {
+    // static double f(double x) =
+    //   sin(x)*exp(-0.25*x) + log(1 + x*x) * sqrt(1 + cos(x)^2)
+    //   + pow(1 + 0.5*x, 1.5)
+    // (a transcendental-heavy integrand: evaluating f dominates the method,
+    //  which is what makes Function-Evaluator offload-friendly).
+    auto& m = cb.method("f", Signature{{TypeKind::kDouble}, TypeKind::kDouble});
+    m.param_name(0, "x");
+    m.dload("x").intrinsic(isa::Intrinsic::kSin);
+    m.dload("x").dconst(-0.25).dmul().intrinsic(isa::Intrinsic::kExp);
+    m.dmul();
+    m.dconst(1.0).dload("x").dload("x").dmul().dadd()
+        .intrinsic(isa::Intrinsic::kLog);
+    m.dload("x").intrinsic(isa::Intrinsic::kCos).dstore("c");
+    m.dconst(1.0).dload("c").dload("c").dmul().dadd()
+        .intrinsic(isa::Intrinsic::kSqrt);
+    m.dmul();
+    m.dadd();
+    m.dconst(1.0).dload("x").dconst(0.5).dmul().dadd().dconst(1.5)
+        .intrinsic(isa::Intrinsic::kPow);
+    m.dadd();
+    m.dret();
+  }
+  {
+    // static double integrate(double lo, double hi, int steps)
+    auto& m = cb.method(
+        "integrate",
+        Signature{{TypeKind::kDouble, TypeKind::kDouble, TypeKind::kInt},
+                  TypeKind::kDouble});
+    m.param_name(0, "lo").param_name(1, "hi").param_name(2, "steps");
+    m.potential(jvm::SizeParamSpec{{{2, false}}});
+
+    // h = (hi - lo) / steps
+    m.dload("hi").dload("lo").dsub();
+    m.iload("steps").i2d().ddiv().dstore("h");
+    // acc = (f(lo) + f(hi)) * 0.5
+    m.dload("lo").invokestatic("FE", "f");
+    m.dload("hi").invokestatic("FE", "f");
+    m.dadd().dconst(0.5).dmul().dstore("acc");
+    // for (i = 1; i < steps; ++i) acc += f(lo + i * h)
+    auto loop = m.new_label(), done = m.new_label();
+    m.iconst(1).istore("i");
+    m.bind(loop);
+    m.iload("i").iload("steps").if_icmpge(done);
+    m.dload("acc");
+    m.dload("lo").iload("i").i2d().dload("h").dmul().dadd();
+    m.invokestatic("FE", "f");
+    m.dadd().dstore("acc");
+    m.iload("i").iconst(1).iadd().istore("i");
+    m.goto_(loop);
+    m.bind(done);
+    m.dload("acc").dload("h").dmul().dret();
+  }
+  return cb.build();
+}
+
+double golden_f(double x) {
+  const double c = std::cos(x);
+  return std::sin(x) * std::exp(-0.25 * x) +
+         std::log(1.0 + x * x) * std::sqrt(1.0 + c * c) +
+         std::pow(1.0 + 0.5 * x, 1.5);
+}
+
+double golden_integrate(double lo, double hi, std::int32_t steps) {
+  const double h = (hi - lo) / static_cast<double>(steps);
+  double acc = (golden_f(lo) + golden_f(hi)) * 0.5;
+  for (std::int32_t i = 1; i < steps; ++i)
+    acc += golden_f(lo + static_cast<double>(i) * h);
+  return acc * h;
+}
+
+}  // namespace
+
+App make_fe() {
+  App a;
+  a.name = "fe";
+  a.description =
+      "Given a function f, a range and a step count, calculates the integral "
+      "of f over the range";
+  a.cls = "FE";
+  a.method = "integrate";
+  a.classes = {build_class()};
+  a.make_args = [](jvm::Jvm&, double scale, Rng& rng) {
+    const auto steps = static_cast<std::int32_t>(scale);
+    const double lo = rng.uniform_real(0.0, 1.0);
+    return std::vector<Value>{Value::make_double(lo),
+                              Value::make_double(lo + 4.0),
+                              Value::make_int(steps)};
+  };
+  a.check = [](const jvm::Jvm&, std::span<const Value> args, const jvm::Jvm&,
+               Value result) {
+    const double expected = golden_integrate(args[0].as_double(),
+                                             args[1].as_double(),
+                                             args[2].as_int());
+    const double got = result.as_double();
+    return std::fabs(got - expected) <=
+           1e-9 * (1.0 + std::fabs(expected));
+  };
+  a.profile_scales = {200, 400, 800, 1600, 3200};
+  a.small_scale = 300;
+  a.large_scale = 12000;
+  return a;
+}
+
+}  // namespace javelin::apps

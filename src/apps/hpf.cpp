@@ -1,0 +1,172 @@
+// High-Pass-Filter: given a PGM-style byte image and a threshold coefficient,
+// attenuates the low-frequency content: out = clamp(in - t * lowpass(in)),
+// with a clamped 3x3 box low-pass evaluated in double precision. Inputs and
+// outputs travel as bytes (the PGM payload the paper describes); the kernel
+// itself is floating point.
+// Size parameter: image area.
+
+#include <cmath>
+
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::apps {
+
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+jvm::ClassFile build_class() {
+  jvm::ClassBuilder cb("HPF");
+
+  {
+    // static int clamp255(int v)
+    auto& m =
+        cb.method("clamp255", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "v");
+    m.iconst(0).iconst(255).iload("v")
+        .intrinsic(isa::Intrinsic::kImin)
+        .intrinsic(isa::Intrinsic::kImax)
+        .iret();
+  }
+
+  // static byte[] highpass(byte[] img, int w, int h, double t)
+  auto& m = cb.method(
+      "highpass",
+      Signature{{TypeKind::kRef, TypeKind::kInt, TypeKind::kInt,
+                 TypeKind::kDouble},
+                TypeKind::kRef});
+  m.param_name(0, "img").param_name(1, "w").param_name(2, "h")
+      .param_name(3, "t");
+  m.potential(jvm::SizeParamSpec{{{1, false}, {2, false}}});
+
+  m.iload("w").iload("h").imul().newarray(TypeKind::kByte).astore("out");
+
+  auto yloop = m.new_label(), ydone = m.new_label();
+  auto xloop = m.new_label(), xdone = m.new_label();
+  auto dyloop = m.new_label(), dydone = m.new_label();
+  auto dxloop = m.new_label(), dxdone = m.new_label();
+
+  m.iconst(0).istore("y");
+  m.bind(yloop);
+  m.iload("y").iload("h").if_icmpge(ydone);
+  m.iconst(0).istore("x");
+  m.bind(xloop);
+  m.iload("x").iload("w").if_icmpge(xdone);
+
+  // acc = sum of the clamped 3x3 neighbourhood (double)
+  m.dconst(0.0).dstore("acc");
+  m.iconst(-1).istore("dy");
+  m.bind(dyloop);
+  m.iload("dy").iconst(1).if_icmpgt(dydone);
+  m.iconst(-1).istore("dx");
+  m.bind(dxloop);
+  m.iload("dx").iconst(1).if_icmpgt(dxdone);
+  m.iconst(0).iload("h").iconst(1).isub()
+      .iload("y").iload("dy").iadd()
+      .intrinsic(isa::Intrinsic::kImin)
+      .intrinsic(isa::Intrinsic::kImax)
+      .istore("yy");
+  m.iconst(0).iload("w").iconst(1).isub()
+      .iload("x").iload("dx").iadd()
+      .intrinsic(isa::Intrinsic::kImin)
+      .intrinsic(isa::Intrinsic::kImax)
+      .istore("xx");
+  m.dload("acc")
+      .aload("img").iload("yy").iload("w").imul().iload("xx").iadd().baload()
+      .i2d()
+      .dadd().dstore("acc");
+  m.iload("dx").iconst(1).iadd().istore("dx");
+  m.goto_(dxloop);
+  m.bind(dxdone);
+  m.iload("dy").iconst(1).iadd().istore("dy");
+  m.goto_(dyloop);
+  m.bind(dydone);
+
+  // out[idx] = clamp255((int)(img[idx] - t * acc / 9))
+  m.iload("y").iload("w").imul().iload("x").iadd().istore("idx");
+  m.aload("out").iload("idx");
+  m.aload("img").iload("idx").baload().i2d();
+  m.dload("t").dload("acc").dmul().dconst(9.0).ddiv();
+  m.dsub().d2i().invokestatic("HPF", "clamp255");
+  m.bastore();
+
+  m.iload("x").iconst(1).iadd().istore("x");
+  m.goto_(xloop);
+  m.bind(xdone);
+  m.iload("y").iconst(1).iadd().istore("y");
+  m.goto_(yloop);
+  m.bind(ydone);
+  m.aload("out").aret();
+
+  return cb.build();
+}
+
+std::vector<std::uint8_t> golden(const std::vector<std::uint8_t>& img,
+                                 std::int32_t w, std::int32_t h, double t) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(w) * h, 0);
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        for (std::int32_t dx = -1; dx <= 1; ++dx) {
+          const std::int32_t yy = std::max(0, std::min(h - 1, y + dy));
+          const std::int32_t xx = std::max(0, std::min(w - 1, x + dx));
+          acc = acc + static_cast<double>(
+                          img[static_cast<std::size_t>(yy) * w + xx]);
+        }
+      }
+      const std::int32_t idx = y * w + x;
+      const auto v = static_cast<std::int32_t>(
+          static_cast<double>(img[idx]) - t * acc / 9.0);
+      out[idx] = static_cast<std::uint8_t>(std::max(0, std::min(255, v)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+App make_hpf() {
+  App a;
+  a.name = "hpf";
+  a.description =
+      "Given an image and a threshold, attenuates all frequencies below the "
+      "threshold";
+  a.cls = "HPF";
+  a.method = "highpass";
+  a.classes = {build_class()};
+  a.make_args = [](jvm::Jvm& vm, double scale, Rng& rng) {
+    const auto side = static_cast<std::int32_t>(scale);
+    std::vector<std::uint8_t> img(static_cast<std::size_t>(side) * side);
+    for (std::int32_t y = 0; y < side; ++y)
+      for (std::int32_t x = 0; x < side; ++x)
+        img[static_cast<std::size_t>(y) * side + x] =
+            static_cast<std::uint8_t>(
+                (x * 5 + y * 3 +
+                 static_cast<std::int32_t>(rng.uniform_int(0, 50))) &
+                0xff);
+    const mem::Addr arr = vm.new_array(TypeKind::kByte,
+                                       static_cast<std::int32_t>(img.size()),
+                                       /*charge=*/false);
+    vm.write_u8_array(arr, img);
+    return std::vector<Value>{Value::make_ref(arr), Value::make_int(side),
+                              Value::make_int(side),
+                              Value::make_double(0.85)};
+  };
+  a.check = [](const jvm::Jvm& avm, std::span<const Value> args,
+               const jvm::Jvm& rvm, Value result) {
+    const auto img = avm.read_u8_array(args[0].as_ref());
+    const auto expected =
+        golden(img, args[1].as_int(), args[2].as_int(), args[3].as_double());
+    return rvm.read_u8_array(result.as_ref()) == expected;
+  };
+  a.profile_scales = {8, 16, 24, 32, 48};
+  a.small_scale = 16;
+  a.large_scale = 128;
+  return a;
+}
+
+}  // namespace javelin::apps

@@ -1,0 +1,150 @@
+// jess: a miniature of the SpecJVM98 expert-system shell — a forward-chaining
+// rule engine run to fixpoint. Facts are a byte vector; each rule is a triple
+// (antecedent1, antecedent2, consequent). The engine sweeps the rule list
+// until no new fact is derived (the core match-fire loop of a Rete-less
+// shell, which dominates jess's s1 run).
+// Size parameter: number of rules (the paper's Fig 3 size knob).
+
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::apps {
+
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+jvm::ClassFile build_class() {
+  jvm::ClassBuilder cb("Jess");
+
+  // static byte[] infer(byte[] facts, int[] rules, int nrules)
+  auto& m = cb.method(
+      "infer",
+      Signature{{TypeKind::kRef, TypeKind::kRef, TypeKind::kInt},
+                TypeKind::kRef});
+  m.param_name(0, "facts").param_name(1, "rules").param_name(2, "nrules");
+  m.potential(jvm::SizeParamSpec{{{2, false}}});
+
+  // Work on a copy of the fact base (offload-functional API).
+  auto copy = m.new_label(), copy_done = m.new_label();
+  m.aload("facts").arraylength().istore("nf");
+  m.iload("nf").newarray(TypeKind::kByte).astore("kb");
+  m.iconst(0).istore("i");
+  m.bind(copy);
+  m.iload("i").iload("nf").if_icmpge(copy_done);
+  m.aload("kb").iload("i").aload("facts").iload("i").baload().bastore();
+  m.iload("i").iconst(1).iadd().istore("i");
+  m.goto_(copy);
+  m.bind(copy_done);
+
+  auto pass = m.new_label(), done = m.new_label();
+  auto rloop = m.new_label(), rdone = m.new_label(), rskip = m.new_label();
+  m.bind(pass);
+  m.iconst(0).istore("changed");
+  m.iconst(0).istore("r");
+  m.bind(rloop);
+  m.iload("r").iload("nrules").if_icmpge(rdone);
+  // base = r*3
+  m.iload("r").iconst(3).imul().istore("base");
+  // if (!kb[rules[base]]) skip
+  m.aload("kb").aload("rules").iload("base").iaload().baload().ifeq(rskip);
+  // if (!kb[rules[base+1]]) skip
+  m.aload("kb").aload("rules").iload("base").iconst(1).iadd().iaload()
+      .baload().ifeq(rskip);
+  // if (kb[rules[base+2]]) skip  (already derived)
+  m.aload("kb").aload("rules").iload("base").iconst(2).iadd().iaload()
+      .baload().ifne(rskip);
+  // derive: kb[rules[base+2]] = 1; changed = 1
+  m.aload("kb").aload("rules").iload("base").iconst(2).iadd().iaload()
+      .iconst(1).bastore();
+  m.iconst(1).istore("changed");
+  m.bind(rskip);
+  m.iload("r").iconst(1).iadd().istore("r");
+  m.goto_(rloop);
+  m.bind(rdone);
+  m.iload("changed").ifne(pass);
+  m.goto_(done);
+  m.bind(done);
+  m.aload("kb").aret();
+
+  return cb.build();
+}
+
+std::vector<std::uint8_t> golden(const std::vector<std::uint8_t>& facts,
+                                 const std::vector<std::int32_t>& rules,
+                                 std::int32_t nrules) {
+  std::vector<std::uint8_t> kb = facts;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::int32_t r = 0; r < nrules; ++r) {
+      const std::int32_t base = r * 3;
+      if (kb[rules[base]] && kb[rules[base + 1]] && !kb[rules[base + 2]]) {
+        kb[rules[base + 2]] = 1;
+        changed = true;
+      }
+    }
+  }
+  return kb;
+}
+
+}  // namespace
+
+App make_jess() {
+  App a;
+  a.name = "jess";
+  a.description =
+      "Expert-system shell miniature (forward-chaining rule engine, "
+      "SpecJVM98 jess with the s1 dataset)";
+  a.cls = "Jess";
+  a.method = "infer";
+  a.classes = {build_class()};
+  a.make_args = [](jvm::Jvm& vm, double scale, Rng& rng) {
+    const auto nrules = static_cast<std::int32_t>(scale);
+    const std::int32_t nfacts = nrules + 8;
+    std::vector<std::uint8_t> facts(static_cast<std::size_t>(nfacts), 0);
+    for (int i = 0; i < 8; ++i) facts[i] = 1;  // axioms
+    // Chained rules: each rule derives a new fact from an axiom and a fact
+    // derived by an earlier rule, forcing multiple fixpoint passes; a
+    // fraction of rules is shuffled "backwards" to make later passes derive
+    // more.
+    std::vector<std::int32_t> rules(static_cast<std::size_t>(nrules) * 3);
+    for (std::int32_t r = 0; r < nrules; ++r) {
+      const std::int32_t derived = 8 + r;
+      const std::int32_t prev =
+          r == 0 ? static_cast<std::int32_t>(rng.uniform_int(0, 7))
+                 : 8 + static_cast<std::int32_t>(rng.uniform_int(0, r - 1));
+      rules[r * 3] = static_cast<std::int32_t>(rng.uniform_int(0, 7));
+      rules[r * 3 + 1] = prev;
+      rules[r * 3 + 2] = derived;
+    }
+    // Reverse a random third of the list so chains span passes.
+    for (std::int32_t r = 0; r < nrules / 3; ++r) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(0, nrules - 1));
+      const auto j = static_cast<std::size_t>(rng.uniform_int(0, nrules - 1));
+      for (int k = 0; k < 3; ++k) std::swap(rules[i * 3 + k], rules[j * 3 + k]);
+    }
+    const mem::Addr farr = vm.new_array(TypeKind::kByte, nfacts, false);
+    vm.write_u8_array(farr, facts);
+    const mem::Addr rarr = vm.new_array(
+        TypeKind::kInt, static_cast<std::int32_t>(rules.size()), false);
+    vm.write_i32_array(rarr, rules);
+    return std::vector<Value>{Value::make_ref(farr), Value::make_ref(rarr),
+                              Value::make_int(nrules)};
+  };
+  a.check = [](const jvm::Jvm& avm, std::span<const Value> args,
+               const jvm::Jvm& rvm, Value result) {
+    const auto facts = avm.read_u8_array(args[0].as_ref());
+    const auto rules = avm.read_i32_array(args[1].as_ref());
+    const auto expected = golden(facts, rules, args[2].as_int());
+    return rvm.read_u8_array(result.as_ref()) == expected;
+  };
+  a.profile_scales = {128, 256, 512, 768, 1024};
+  a.small_scale = 128;
+  a.large_scale = 4096;
+  return a;
+}
+
+}  // namespace javelin::apps

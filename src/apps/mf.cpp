@@ -1,0 +1,191 @@
+// Median-Filter: given an image (PGM-style byte matrix) and a window size,
+// produces the median-filtered image (clamped borders, insertion sort per
+// window). Size parameter: image area (paper: "image size and filter window
+// size"; the scenarios use a 5x5 window, whose per-pixel sorting cost is what
+// makes median filtering offload-friendly).
+
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::apps {
+
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+jvm::ClassFile build_class() {
+  jvm::ClassBuilder cb("MF");
+
+  // static byte[] median(byte[] img, int w, int h, int win)
+  auto& m = cb.method(
+      "median",
+      Signature{{TypeKind::kRef, TypeKind::kInt, TypeKind::kInt, TypeKind::kInt},
+                TypeKind::kRef});
+  m.param_name(0, "img").param_name(1, "w").param_name(2, "h")
+      .param_name(3, "win");
+  m.potential(jvm::SizeParamSpec{{{1, false}, {2, false}}});  // s = w*h
+
+  m.iload("w").iload("h").imul().newarray(TypeKind::kByte).astore("out");
+  m.iload("win").iload("win").imul().newarray(TypeKind::kInt).astore("buf");
+  m.iload("win").iconst(2).idiv().istore("half");
+
+  auto yloop = m.new_label(), ydone = m.new_label();
+  auto xloop = m.new_label(), xdone = m.new_label();
+  auto dyloop = m.new_label(), dydone = m.new_label();
+  auto dxloop = m.new_label(), dxdone = m.new_label();
+  auto sloop = m.new_label(), sdone = m.new_label();
+  auto inner = m.new_label(), inner_done = m.new_label();
+
+  m.iconst(0).istore("y");
+  m.bind(yloop);
+  m.iload("y").iload("h").if_icmpge(ydone);
+  m.iconst(0).istore("x");
+  m.bind(xloop);
+  m.iload("x").iload("w").if_icmpge(xdone);
+
+  // gather window into buf
+  m.iconst(0).istore("cnt");
+  m.iload("half").ineg().istore("dy");
+  m.bind(dyloop);
+  m.iload("dy").iload("half").if_icmpgt(dydone);
+  m.iload("half").ineg().istore("dx");
+  m.bind(dxloop);
+  m.iload("dx").iload("half").if_icmpgt(dxdone);
+  // yy = clamp(y + dy, 0, h-1); xx = clamp(x + dx, 0, w-1)
+  m.iconst(0).iload("h").iconst(1).isub()
+      .iload("y").iload("dy").iadd()
+      .intrinsic(isa::Intrinsic::kImin)
+      .intrinsic(isa::Intrinsic::kImax)
+      .istore("yy");
+  m.iconst(0).iload("w").iconst(1).isub()
+      .iload("x").iload("dx").iadd()
+      .intrinsic(isa::Intrinsic::kImin)
+      .intrinsic(isa::Intrinsic::kImax)
+      .istore("xx");
+  m.aload("buf").iload("cnt")
+      .aload("img").iload("yy").iload("w").imul().iload("xx").iadd().baload()
+      .iastore();
+  m.iload("cnt").iconst(1).iadd().istore("cnt");
+  m.iload("dx").iconst(1).iadd().istore("dx");
+  m.goto_(dxloop);
+  m.bind(dxdone);
+  m.iload("dy").iconst(1).iadd().istore("dy");
+  m.goto_(dyloop);
+  m.bind(dydone);
+
+  // insertion sort buf[0..cnt)
+  m.iconst(1).istore("i");
+  m.bind(sloop);
+  m.iload("i").iload("cnt").if_icmpge(sdone);
+  m.aload("buf").iload("i").iaload().istore("v");
+  m.iload("i").iconst(1).isub().istore("j");
+  m.bind(inner);
+  m.iload("j").iflt(inner_done);
+  m.aload("buf").iload("j").iaload().iload("v").if_icmple(inner_done);
+  m.aload("buf").iload("j").iconst(1).iadd()
+      .aload("buf").iload("j").iaload().iastore();
+  m.iload("j").iconst(1).isub().istore("j");
+  m.goto_(inner);
+  m.bind(inner_done);
+  m.aload("buf").iload("j").iconst(1).iadd().iload("v").iastore();
+  m.iload("i").iconst(1).iadd().istore("i");
+  m.goto_(sloop);
+  m.bind(sdone);
+
+  // out[y*w+x] = buf[cnt/2]
+  m.aload("out").iload("y").iload("w").imul().iload("x").iadd()
+      .aload("buf").iload("cnt").iconst(2).idiv().iaload()
+      .bastore();
+
+  m.iload("x").iconst(1).iadd().istore("x");
+  m.goto_(xloop);
+  m.bind(xdone);
+  m.iload("y").iconst(1).iadd().istore("y");
+  m.goto_(yloop);
+  m.bind(ydone);
+  m.aload("out").aret();
+
+  return cb.build();
+}
+
+std::vector<std::uint8_t> golden(const std::vector<std::uint8_t>& img,
+                                 std::int32_t w, std::int32_t h,
+                                 std::int32_t win) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(w) * h, 0);
+  std::vector<std::int32_t> buf(static_cast<std::size_t>(win) * win);
+  const std::int32_t half = win / 2;
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      std::int32_t cnt = 0;
+      for (std::int32_t dy = -half; dy <= half; ++dy) {
+        for (std::int32_t dx = -half; dx <= half; ++dx) {
+          const std::int32_t yy = std::max(0, std::min(h - 1, y + dy));
+          const std::int32_t xx = std::max(0, std::min(w - 1, x + dx));
+          buf[cnt++] = img[static_cast<std::size_t>(yy) * w + xx];
+        }
+      }
+      for (std::int32_t i = 1; i < cnt; ++i) {
+        const std::int32_t v = buf[i];
+        std::int32_t j = i - 1;
+        while (j >= 0 && buf[j] > v) {
+          buf[j + 1] = buf[j];
+          --j;
+        }
+        buf[j + 1] = v;
+      }
+      out[static_cast<std::size_t>(y) * w + x] =
+          static_cast<std::uint8_t>(buf[cnt / 2]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> random_image(std::int32_t w, std::int32_t h,
+                                       Rng& rng) {
+  std::vector<std::uint8_t> img(static_cast<std::size_t>(w) * h);
+  // Smooth-ish gradient plus noise (resembles natural PGM content).
+  for (std::int32_t y = 0; y < h; ++y)
+    for (std::int32_t x = 0; x < w; ++x)
+      img[static_cast<std::size_t>(y) * w + x] = static_cast<std::uint8_t>(
+          (x * 3 + y * 2 + static_cast<std::int32_t>(rng.uniform_int(0, 60))) &
+          0xff);
+  return img;
+}
+
+}  // namespace
+
+App make_mf() {
+  App a;
+  a.name = "mf";
+  a.description =
+      "Given an image (PGM) and a window size, generates a new image by "
+      "median filtering";
+  a.cls = "MF";
+  a.method = "median";
+  a.classes = {build_class()};
+  a.make_args = [](jvm::Jvm& vm, double scale, Rng& rng) {
+    const auto side = static_cast<std::int32_t>(scale);
+    auto img = random_image(side, side, rng);
+    const mem::Addr arr = vm.new_array(TypeKind::kByte,
+                                       static_cast<std::int32_t>(img.size()),
+                                       /*charge=*/false);
+    vm.write_u8_array(arr, img);
+    return std::vector<Value>{Value::make_ref(arr), Value::make_int(side),
+                              Value::make_int(side), Value::make_int(5)};
+  };
+  a.check = [](const jvm::Jvm& avm, std::span<const Value> args,
+               const jvm::Jvm& rvm, Value result) {
+    const auto img = avm.read_u8_array(args[0].as_ref());
+    const auto expected = golden(img, args[1].as_int(), args[2].as_int(),
+                                 args[3].as_int());
+    return rvm.read_u8_array(result.as_ref()) == expected;
+  };
+  a.profile_scales = {6, 10, 14, 20, 28};
+  a.small_scale = 10;
+  a.large_scale = 48;
+  return a;
+}
+
+}  // namespace javelin::apps

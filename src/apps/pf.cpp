@@ -1,0 +1,165 @@
+// Path-Finder: given a map (dense adjacency matrix) and a source node,
+// computes the shortest-path tree distances (Dijkstra, O(V^2) selection).
+// Size parameter: number of nodes squared (paper: "number of nodes and
+// number of edges").
+
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::apps {
+
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+constexpr std::int32_t kInf = 1 << 29;
+
+jvm::ClassFile build_class() {
+  jvm::ClassBuilder cb("PF");
+
+  // static int[] shortest(int[] w, int n, int src)
+  auto& m = cb.method(
+      "shortest",
+      Signature{{TypeKind::kRef, TypeKind::kInt, TypeKind::kInt},
+                TypeKind::kRef});
+  m.param_name(0, "w").param_name(1, "n").param_name(2, "src");
+  m.potential(jvm::SizeParamSpec{{{1, false}, {1, false}}});  // s = n^2
+
+  m.iload("n").newarray(TypeKind::kInt).astore("dist");
+  m.iload("n").newarray(TypeKind::kInt).astore("vis");
+
+  // for (i = 0; i < n; ++i) dist[i] = INF
+  auto initl = m.new_label(), initd = m.new_label();
+  m.iconst(0).istore("i");
+  m.bind(initl);
+  m.iload("i").iload("n").if_icmpge(initd);
+  m.aload("dist").iload("i").iconst(kInf).iastore();
+  m.iload("i").iconst(1).iadd().istore("i");
+  m.goto_(initl);
+  m.bind(initd);
+
+  m.aload("dist").iload("src").iconst(0).iastore();
+
+  // for (iter = 0; iter < n; ++iter)
+  auto outer = m.new_label(), outer_done = m.new_label();
+  m.iconst(0).istore("iter");
+  m.bind(outer);
+  m.iload("iter").iload("n").if_icmpge(outer_done);
+
+  // select the unvisited node with minimum distance
+  m.iconst(-1).istore("best");
+  m.iconst(kInf).iconst(1).iadd().istore("bestd");
+  auto sel = m.new_label(), sel_done = m.new_label(), sel_skip = m.new_label();
+  m.iconst(0).istore("j");
+  m.bind(sel);
+  m.iload("j").iload("n").if_icmpge(sel_done);
+  m.aload("vis").iload("j").iaload().ifne(sel_skip);
+  m.aload("dist").iload("j").iaload().iload("bestd").if_icmpge(sel_skip);
+  m.aload("dist").iload("j").iaload().istore("bestd");
+  m.iload("j").istore("best");
+  m.bind(sel_skip);
+  m.iload("j").iconst(1).iadd().istore("j");
+  m.goto_(sel);
+  m.bind(sel_done);
+
+  // if (best < 0) break
+  m.iload("best").iflt(outer_done);
+  m.aload("vis").iload("best").iconst(1).iastore();
+
+  // relax all edges out of best
+  auto rel = m.new_label(), rel_done = m.new_label(), rel_skip = m.new_label();
+  m.iconst(0).istore("j");
+  m.bind(rel);
+  m.iload("j").iload("n").if_icmpge(rel_done);
+  // wt = w[best * n + j]; if (wt <= 0) skip
+  m.aload("w").iload("best").iload("n").imul().iload("j").iadd().iaload()
+      .istore("wt");
+  m.iload("wt").ifle(rel_skip);
+  // cand = dist[best] + wt; if (cand < dist[j]) dist[j] = cand
+  m.aload("dist").iload("best").iaload().iload("wt").iadd().istore("cand");
+  m.iload("cand").aload("dist").iload("j").iaload().if_icmpge(rel_skip);
+  m.aload("dist").iload("j").iload("cand").iastore();
+  m.bind(rel_skip);
+  m.iload("j").iconst(1).iadd().istore("j");
+  m.goto_(rel);
+  m.bind(rel_done);
+
+  m.iload("iter").iconst(1).iadd().istore("iter");
+  m.goto_(outer);
+  m.bind(outer_done);
+  m.aload("dist").aret();
+
+  return cb.build();
+}
+
+std::vector<std::int32_t> golden(const std::vector<std::int32_t>& w,
+                                 std::int32_t n, std::int32_t src) {
+  std::vector<std::int32_t> dist(n, kInf), vis(n, 0);
+  dist[src] = 0;
+  for (std::int32_t iter = 0; iter < n; ++iter) {
+    std::int32_t best = -1, bestd = kInf + 1;
+    for (std::int32_t j = 0; j < n; ++j)
+      if (!vis[j] && dist[j] < bestd) {
+        bestd = dist[j];
+        best = j;
+      }
+    if (best < 0) break;
+    vis[best] = 1;
+    for (std::int32_t j = 0; j < n; ++j) {
+      const std::int32_t wt = w[static_cast<std::size_t>(best) * n + j];
+      if (wt <= 0) continue;
+      const std::int32_t cand = dist[best] + wt;
+      if (cand < dist[j]) dist[j] = cand;
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+App make_pf() {
+  App a;
+  a.name = "pf";
+  a.description =
+      "Given a map and a source node, finds the shortest path tree rooted at "
+      "the source";
+  a.cls = "PF";
+  a.method = "shortest";
+  a.classes = {build_class()};
+  a.make_args = [](jvm::Jvm& vm, double scale, Rng& rng) {
+    const auto n = static_cast<std::int32_t>(scale);
+    std::vector<std::int32_t> w(static_cast<std::size_t>(n) * n, 0);
+    // Sparse-ish random digraph: ~6 out-edges per node plus a ring for
+    // connectivity.
+    for (std::int32_t i = 0; i < n; ++i) {
+      w[static_cast<std::size_t>(i) * n + (i + 1) % n] =
+          static_cast<std::int32_t>(rng.uniform_int(1, 100));
+      for (int e = 0; e < 6; ++e) {
+        const auto j = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+        if (j != i)
+          w[static_cast<std::size_t>(i) * n + j] =
+              static_cast<std::int32_t>(rng.uniform_int(1, 100));
+      }
+    }
+    const mem::Addr arr = vm.new_array(TypeKind::kInt,
+                                       static_cast<std::int32_t>(w.size()),
+                                       /*charge=*/false);
+    vm.write_i32_array(arr, w);
+    return std::vector<Value>{Value::make_ref(arr), Value::make_int(n),
+                              Value::make_int(0)};
+  };
+  a.check = [](const jvm::Jvm& avm, std::span<const Value> args,
+               const jvm::Jvm& rvm, Value result) {
+    const auto w = avm.read_i32_array(args[0].as_ref());
+    const auto expected = golden(w, args[1].as_int(), args[2].as_int());
+    return rvm.read_i32_array(result.as_ref()) == expected;
+  };
+  a.profile_scales = {24, 40, 64, 80, 96};
+  a.small_scale = 24;
+  a.large_scale = 128;
+  return a;
+}
+
+}  // namespace javelin::apps

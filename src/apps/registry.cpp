@@ -1,0 +1,27 @@
+#include "apps/app.hpp"
+
+namespace javelin::apps {
+
+const std::vector<App>& registry() {
+  static const std::vector<App> apps = [] {
+    std::vector<App> v;
+    v.push_back(make_fe());
+    v.push_back(make_pf());
+    v.push_back(make_mf());
+    v.push_back(make_hpf());
+    v.push_back(make_ed());
+    v.push_back(make_sort());
+    v.push_back(make_jess());
+    v.push_back(make_db());
+    return v;
+  }();
+  return apps;
+}
+
+const App& app(const std::string& name) {
+  for (const App& a : registry())
+    if (a.name == name) return a;
+  throw Error("apps: unknown benchmark '" + name + "'");
+}
+
+}  // namespace javelin::apps

@@ -1,0 +1,156 @@
+// Sorting: quicksort with an insertion-sort cutoff, the classic utility
+// package. The potential method copies its input and returns the sorted copy
+// (offloading ships inputs out and results back; in-place mutation would not
+// survive serialization, so the API is functional).
+// Size parameter: array length.
+
+#include <algorithm>
+
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::apps {
+
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+constexpr std::int32_t kCutoff = 12;
+
+jvm::ClassFile build_class() {
+  jvm::ClassBuilder cb("Sort");
+
+  {
+    // static void insertion(int[] a, int lo, int hi)
+    auto& m = cb.method(
+        "insertion",
+        Signature{{TypeKind::kRef, TypeKind::kInt, TypeKind::kInt},
+                  TypeKind::kVoid});
+    m.param_name(0, "a").param_name(1, "lo").param_name(2, "hi");
+    auto outer = m.new_label(), done = m.new_label();
+    auto inner = m.new_label(), inner_done = m.new_label();
+    m.iload("lo").iconst(1).iadd().istore("i");
+    m.bind(outer);
+    m.iload("i").iload("hi").if_icmpgt(done);
+    m.aload("a").iload("i").iaload().istore("v");
+    m.iload("i").iconst(1).isub().istore("j");
+    m.bind(inner);
+    m.iload("j").iload("lo").if_icmplt(inner_done);
+    m.aload("a").iload("j").iaload().iload("v").if_icmple(inner_done);
+    m.aload("a").iload("j").iconst(1).iadd()
+        .aload("a").iload("j").iaload().iastore();
+    m.iload("j").iconst(1).isub().istore("j");
+    m.goto_(inner);
+    m.bind(inner_done);
+    m.aload("a").iload("j").iconst(1).iadd().iload("v").iastore();
+    m.iload("i").iconst(1).iadd().istore("i");
+    m.goto_(outer);
+    m.bind(done);
+    m.ret();
+  }
+  {
+    // static void qsort(int[] a, int lo, int hi)
+    auto& m = cb.method(
+        "qsort",
+        Signature{{TypeKind::kRef, TypeKind::kInt, TypeKind::kInt},
+                  TypeKind::kVoid});
+    m.param_name(0, "a").param_name(1, "lo").param_name(2, "hi");
+    auto big = m.new_label(), ret = m.new_label();
+    // if (hi - lo >= cutoff) goto big; insertion(a, lo, hi); return
+    m.iload("hi").iload("lo").isub().iconst(kCutoff).if_icmpge(big);
+    m.aload("a").iload("lo").iload("hi").invokestatic("Sort", "insertion");
+    m.goto_(ret);
+    m.bind(big);
+    // Hoare-like partition with pivot = a[(lo+hi)>>>1] moved to hi.
+    // mid = (lo + hi) >>> 1; swap a[mid], a[hi]; pivot = a[hi]
+    m.iload("lo").iload("hi").iadd().iconst(1).iushr().istore("mid");
+    m.aload("a").iload("mid").iaload().istore("tmp");
+    m.aload("a").iload("mid").aload("a").iload("hi").iaload().iastore();
+    m.aload("a").iload("hi").iload("tmp").iastore();
+    m.aload("a").iload("hi").iaload().istore("pivot");
+    // Lomuto partition
+    auto ploop = m.new_label(), pdone = m.new_label(), pskip = m.new_label();
+    m.iload("lo").istore("store");
+    m.iload("lo").istore("i");
+    m.bind(ploop);
+    m.iload("i").iload("hi").if_icmpge(pdone);
+    m.aload("a").iload("i").iaload().iload("pivot").if_icmpge(pskip);
+    // swap a[i], a[store]; ++store
+    m.aload("a").iload("i").iaload().istore("tmp");
+    m.aload("a").iload("i").aload("a").iload("store").iaload().iastore();
+    m.aload("a").iload("store").iload("tmp").iastore();
+    m.iload("store").iconst(1).iadd().istore("store");
+    m.bind(pskip);
+    m.iload("i").iconst(1).iadd().istore("i");
+    m.goto_(ploop);
+    m.bind(pdone);
+    // swap a[store], a[hi]
+    m.aload("a").iload("store").iaload().istore("tmp");
+    m.aload("a").iload("store").aload("a").iload("hi").iaload().iastore();
+    m.aload("a").iload("hi").iload("tmp").iastore();
+    // recurse
+    m.aload("a").iload("lo").iload("store").iconst(1).isub()
+        .invokestatic("Sort", "qsort");
+    m.aload("a").iload("store").iconst(1).iadd().iload("hi")
+        .invokestatic("Sort", "qsort");
+    m.bind(ret);
+    m.ret();
+  }
+  {
+    // static int[] sortcopy(int[] a)
+    auto& m =
+        cb.method("sortcopy", Signature{{TypeKind::kRef}, TypeKind::kRef});
+    m.param_name(0, "a");
+    m.potential(jvm::SizeParamSpec{{{0, true}}});  // s = a.length
+    auto copy = m.new_label(), copy_done = m.new_label(), small = m.new_label();
+    m.aload("a").arraylength().istore("n");
+    m.iload("n").newarray(TypeKind::kInt).astore("b");
+    m.iconst(0).istore("i");
+    m.bind(copy);
+    m.iload("i").iload("n").if_icmpge(copy_done);
+    m.aload("b").iload("i").aload("a").iload("i").iaload().iastore();
+    m.iload("i").iconst(1).iadd().istore("i");
+    m.goto_(copy);
+    m.bind(copy_done);
+    m.iload("n").iconst(2).if_icmplt(small);
+    m.aload("b").iconst(0).iload("n").iconst(1).isub()
+        .invokestatic("Sort", "qsort");
+    m.bind(small);
+    m.aload("b").aret();
+  }
+  return cb.build();
+}
+
+}  // namespace
+
+App make_sort() {
+  App a;
+  a.name = "sort";
+  a.description = "Sorts a set of array elements using quicksort";
+  a.cls = "Sort";
+  a.method = "sortcopy";
+  a.classes = {build_class()};
+  a.make_args = [](jvm::Jvm& vm, double scale, Rng& rng) {
+    const auto n = static_cast<std::int32_t>(scale);
+    std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v)
+      x = static_cast<std::int32_t>(rng.uniform_int(-1'000'000, 1'000'000));
+    const mem::Addr arr = vm.new_array(TypeKind::kInt, n, /*charge=*/false);
+    vm.write_i32_array(arr, v);
+    return std::vector<Value>{Value::make_ref(arr)};
+  };
+  a.check = [](const jvm::Jvm& avm, std::span<const Value> args,
+               const jvm::Jvm& rvm, Value result) {
+    auto expected = avm.read_i32_array(args[0].as_ref());
+    std::sort(expected.begin(), expected.end());
+    return rvm.read_i32_array(result.as_ref()) == expected;
+  };
+  a.profile_scales = {256, 512, 1024, 1536, 2048};
+  a.small_scale = 256;
+  a.large_scale = 8192;
+  return a;
+}
+
+}  // namespace javelin::apps

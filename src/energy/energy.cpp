@@ -1,0 +1,54 @@
+#include "energy/energy.hpp"
+
+#include <sstream>
+
+namespace javelin::energy {
+
+const char* instr_class_name(InstrClass c) {
+  switch (c) {
+    case InstrClass::kLoad: return "load";
+    case InstrClass::kStore: return "store";
+    case InstrClass::kBranch: return "branch";
+    case InstrClass::kAluSimple: return "alu";
+    case InstrClass::kAluComplex: return "alu_complex";
+    case InstrClass::kNop: return "nop";
+    case InstrClass::kCount: break;
+  }
+  return "?";
+}
+
+const char* subsystem_name(Subsystem s) {
+  switch (s) {
+    case Subsystem::kCore: return "core";
+    case Subsystem::kDram: return "dram";
+    case Subsystem::kCommTx: return "comm_tx";
+    case Subsystem::kCommRx: return "comm_rx";
+    case Subsystem::kIdle: return "idle";
+    case Subsystem::kCount: break;
+  }
+  return "?";
+}
+
+EnergyMeter EnergyMeter::since(const EnergyMeter& earlier) const {
+  EnergyMeter d;
+  for (std::size_t i = 0; i < kNumSubsystems; ++i)
+    d.by_subsystem_[i] = by_subsystem_[i] - earlier.by_subsystem_[i];
+  for (std::size_t i = 0; i < kNumInstrClasses; ++i)
+    d.counts_.by_class[i] = counts_.by_class[i] - earlier.counts_.by_class[i];
+  d.dram_accesses_ = dram_accesses_ - earlier.dram_accesses_;
+  return d;
+}
+
+std::string EnergyMeter::summary() const {
+  std::ostringstream os;
+  os << "total=" << total() * 1e3 << " mJ (";
+  for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+    if (i) os << ", ";
+    os << subsystem_name(static_cast<Subsystem>(i)) << "="
+       << by_subsystem_[i] * 1e3 << " mJ";
+  }
+  os << "), instrs=" << counts_.total() << ", dram=" << dram_accesses_;
+  return os.str();
+}
+
+}  // namespace javelin::energy

@@ -1,0 +1,151 @@
+// Instruction-class energy model and energy accounting.
+//
+// Implements the paper's Fig 1: per-instruction energies of a five-stage
+// microSPARC-IIep-like pipeline obtained from SimplePower, plus the per-access
+// DRAM energy from data sheets. The executor and interpreter report executed
+// instructions by class; the meter converts counts to joules and keeps a
+// breakdown by subsystem so benches can report computation vs. communication
+// vs. idle energy separately.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "support/units.hpp"
+
+namespace javelin::energy {
+
+/// Classes of native instructions distinguished by the energy model (Fig 1).
+enum class InstrClass : std::uint8_t {
+  kLoad = 0,
+  kStore,
+  kBranch,
+  kAluSimple,
+  kAluComplex,
+  kNop,
+  kCount  // sentinel
+};
+
+constexpr std::size_t kNumInstrClasses =
+    static_cast<std::size_t>(InstrClass::kCount);
+
+const char* instr_class_name(InstrClass c);
+
+/// Per-instruction energies in joules (paper Fig 1), plus main-memory access
+/// energy. Defaults reproduce the paper's table exactly.
+struct InstructionEnergyTable {
+  std::array<double, kNumInstrClasses> instr{
+      nJ(4.814),  // Load
+      nJ(4.479),  // Store
+      nJ(2.868),  // Branch
+      nJ(2.846),  // ALU (simple)
+      nJ(3.726),  // ALU (complex)
+      nJ(2.644),  // Nop
+  };
+  double main_memory = nJ(4.94);  ///< Per DRAM access.
+
+  double of(InstrClass c) const {
+    return instr[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Counts of executed instructions by class.
+struct InstrCounts {
+  std::array<std::uint64_t, kNumInstrClasses> by_class{};
+
+  void add(InstrClass c, std::uint64_t n = 1) {
+    by_class[static_cast<std::size_t>(c)] += n;
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto v : by_class) t += v;
+    return t;
+  }
+  std::uint64_t of(InstrClass c) const {
+    return by_class[static_cast<std::size_t>(c)];
+  }
+  InstrCounts& operator+=(const InstrCounts& o) {
+    for (std::size_t i = 0; i < kNumInstrClasses; ++i)
+      by_class[i] += o.by_class[i];
+    return *this;
+  }
+  /// Energy of these counts under a table (core datapath only).
+  double energy(const InstructionEnergyTable& t) const {
+    double e = 0.0;
+    for (std::size_t i = 0; i < kNumInstrClasses; ++i)
+      e += static_cast<double>(by_class[i]) * t.instr[i];
+    return e;
+  }
+};
+
+/// Subsystems tracked separately in the client energy breakdown.
+enum class Subsystem : std::uint8_t {
+  kCore = 0,    ///< Processor datapath (instruction energies).
+  kDram,        ///< Off-chip main-memory accesses.
+  kCommTx,      ///< Radio transmit chain.
+  kCommRx,      ///< Radio receive chain.
+  kIdle,        ///< Leakage while powered down / waiting.
+  kCount
+};
+
+constexpr std::size_t kNumSubsystems = static_cast<std::size_t>(Subsystem::kCount);
+
+const char* subsystem_name(Subsystem s);
+
+/// Accumulates joules by subsystem plus instruction counts by class.
+///
+/// One meter per simulated device; `snapshot()`/difference support scoping a
+/// measurement to a single method execution.
+class EnergyMeter {
+ public:
+  void add(Subsystem s, double joules) {
+    by_subsystem_[static_cast<std::size_t>(s)] += joules;
+  }
+  void add_instrs(const InstrCounts& c, const InstructionEnergyTable& t) {
+    counts_ += c;
+    add(Subsystem::kCore, c.energy(t));
+  }
+  void add_instr(InstrClass c, const InstructionEnergyTable& t) {
+    counts_.add(c);
+    add(Subsystem::kCore, t.of(c));
+  }
+  void add_dram_accesses(std::uint64_t n, const InstructionEnergyTable& t) {
+    dram_accesses_ += n;
+    add(Subsystem::kDram, static_cast<double>(n) * t.main_memory);
+  }
+
+  double of(Subsystem s) const {
+    return by_subsystem_[static_cast<std::size_t>(s)];
+  }
+  double total() const {
+    double e = 0.0;
+    for (double v : by_subsystem_) e += v;
+    return e;
+  }
+  /// Core + DRAM (the "computation" energy in the paper's terminology).
+  double computation() const { return of(Subsystem::kCore) + of(Subsystem::kDram); }
+  /// Tx + Rx.
+  double communication() const {
+    return of(Subsystem::kCommTx) + of(Subsystem::kCommRx);
+  }
+
+  const InstrCounts& counts() const { return counts_; }
+  std::uint64_t dram_accesses() const { return dram_accesses_; }
+
+  /// A copyable snapshot; `EnergyMeter::since` computes deltas.
+  EnergyMeter snapshot() const { return *this; }
+  /// Difference `*this - earlier` (both must come from the same meter line).
+  EnergyMeter since(const EnergyMeter& earlier) const;
+
+  void reset() { *this = EnergyMeter{}; }
+
+  std::string summary() const;
+
+ private:
+  std::array<double, kNumSubsystems> by_subsystem_{};
+  InstrCounts counts_{};
+  std::uint64_t dram_accesses_ = 0;
+};
+
+}  // namespace javelin::energy

@@ -1,0 +1,224 @@
+#include "isa/executor.hpp"
+
+#include <cmath>
+
+namespace javelin::isa {
+
+namespace {
+
+const char* trap_message(TrapCode c) {
+  switch (c) {
+    case TrapCode::kNullPointer: return "null pointer dereference";
+    case TrapCode::kArrayBounds: return "array index out of bounds";
+    case TrapCode::kDivByZero: return "division by zero";
+    case TrapCode::kUnreachable: return "unreachable code reached";
+  }
+  return "unknown trap";
+}
+
+}  // namespace
+
+void NativeExecutor::run(const NativeProgram& prog) {
+  if (!prog.installed())
+    throw Error("executor: program not installed in simulated memory");
+  Core& c = core_;
+  if (++c.call_depth > Core::kMaxCallDepth) {
+    --c.call_depth;
+    throw VmError("executor: native call depth exceeded");
+  }
+  // Frame for spills, allocated stack-style.
+  const std::size_t frame_mark = c.arena->stack_mark();
+  mem::Addr frame = mem::kNullAddr;
+  if (prog.spill_bytes > 0) frame = c.arena->alloc_stack(prog.spill_bytes, 8);
+  iregs_[kFrameReg] = frame;
+  iregs_[kLiteralBaseReg] = prog.literal_base;
+
+  const auto i32 = [](std::int64_t v) { return static_cast<std::int32_t>(v); };
+  std::size_t pc = 0;
+  const std::size_t n = prog.code.size();
+
+  try {
+    while (pc < n) {
+      c.stall(c.hier->fetch(prog.code_base + static_cast<mem::Addr>(pc * 4)));
+      const NInstr& in = prog.code[pc];
+      c.charge(in.op);
+      std::size_t next = pc + 1;
+
+      switch (in.op) {
+        case NOp::kLdw: {
+          const auto addr = static_cast<mem::Addr>(
+              int_reg(in.ra) + int_reg(in.rb) + in.imm);
+          c.stall(c.hier->load(addr));
+          set_int_reg(in.rd, c.arena->load_i32(addr));
+          break;
+        }
+        case NOp::kLdb: {
+          const auto addr = static_cast<mem::Addr>(
+              int_reg(in.ra) + int_reg(in.rb) + in.imm);
+          c.stall(c.hier->load(addr));
+          set_int_reg(in.rd, c.arena->load_u8(addr));
+          break;
+        }
+        case NOp::kLdd: {
+          const auto addr = static_cast<mem::Addr>(
+              int_reg(in.ra) + int_reg(in.rb) + in.imm);
+          c.stall(c.hier->load(addr));
+          set_fp_reg(in.rd, c.arena->load_f64(addr));
+          break;
+        }
+        case NOp::kStw: {
+          const auto addr = static_cast<mem::Addr>(
+              int_reg(in.ra) + int_reg(in.rb) + in.imm);
+          c.stall(c.hier->store(addr));
+          c.arena->store_i32(addr, i32(int_reg(in.rd)));
+          break;
+        }
+        case NOp::kStb: {
+          const auto addr = static_cast<mem::Addr>(
+              int_reg(in.ra) + int_reg(in.rb) + in.imm);
+          c.stall(c.hier->store(addr));
+          c.arena->store_u8(addr, static_cast<std::uint8_t>(int_reg(in.rd)));
+          break;
+        }
+        case NOp::kStd: {
+          const auto addr = static_cast<mem::Addr>(
+              int_reg(in.ra) + int_reg(in.rb) + in.imm);
+          c.stall(c.hier->store(addr));
+          c.arena->store_f64(addr, fp_reg(in.rd));
+          break;
+        }
+
+        case NOp::kAdd: set_int_reg(in.rd, i32(int_reg(in.ra) + int_reg(in.rb))); break;
+        case NOp::kSub: set_int_reg(in.rd, i32(int_reg(in.ra) - int_reg(in.rb))); break;
+        case NOp::kAnd: set_int_reg(in.rd, i32(int_reg(in.ra) & int_reg(in.rb))); break;
+        case NOp::kOr: set_int_reg(in.rd, i32(int_reg(in.ra) | int_reg(in.rb))); break;
+        case NOp::kXor: set_int_reg(in.rd, i32(int_reg(in.ra) ^ int_reg(in.rb))); break;
+        case NOp::kShl:
+          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) << (int_reg(in.rb) & 31)));
+          break;
+        case NOp::kShr:
+          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) >> (int_reg(in.rb) & 31)));
+          break;
+        case NOp::kShru:
+          set_int_reg(in.rd,
+                      i32(static_cast<std::uint32_t>(int_reg(in.ra)) >>
+                          (int_reg(in.rb) & 31)));
+          break;
+        case NOp::kAddi: set_int_reg(in.rd, i32(int_reg(in.ra) + in.imm)); break;
+        case NOp::kAndi: set_int_reg(in.rd, i32(int_reg(in.ra) & in.imm)); break;
+        case NOp::kOri: set_int_reg(in.rd, i32(int_reg(in.ra) | in.imm)); break;
+        case NOp::kXori: set_int_reg(in.rd, i32(int_reg(in.ra) ^ in.imm)); break;
+        case NOp::kShli:
+          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) << (in.imm & 31)));
+          break;
+        case NOp::kShri:
+          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) >> (in.imm & 31)));
+          break;
+        case NOp::kShrui:
+          set_int_reg(in.rd,
+                      i32(static_cast<std::uint32_t>(int_reg(in.ra)) >>
+                          (in.imm & 31)));
+          break;
+        case NOp::kMovi: set_int_reg(in.rd, in.imm); break;
+        case NOp::kMov: set_int_reg(in.rd, int_reg(in.ra)); break;
+        case NOp::kFmov: set_fp_reg(in.rd, fp_reg(in.ra)); break;
+
+        case NOp::kMul: set_int_reg(in.rd, i32(int_reg(in.ra) * int_reg(in.rb))); break;
+        case NOp::kDiv: {
+          const auto d = i32(int_reg(in.rb));
+          if (d == 0) throw VmError(trap_message(TrapCode::kDivByZero));
+          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) / d));
+          break;
+        }
+        case NOp::kRem: {
+          const auto d = i32(int_reg(in.rb));
+          if (d == 0) throw VmError(trap_message(TrapCode::kDivByZero));
+          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) % d));
+          break;
+        }
+        case NOp::kFadd: set_fp_reg(in.rd, fp_reg(in.ra) + fp_reg(in.rb)); break;
+        case NOp::kFsub: set_fp_reg(in.rd, fp_reg(in.ra) - fp_reg(in.rb)); break;
+        case NOp::kFmul: set_fp_reg(in.rd, fp_reg(in.ra) * fp_reg(in.rb)); break;
+        case NOp::kFdiv: set_fp_reg(in.rd, fp_reg(in.ra) / fp_reg(in.rb)); break;
+        case NOp::kFneg: set_fp_reg(in.rd, -fp_reg(in.ra)); break;
+        case NOp::kI2d:
+          set_fp_reg(in.rd, static_cast<double>(i32(int_reg(in.ra))));
+          break;
+        case NOp::kD2i:
+          set_int_reg(in.rd, static_cast<std::int32_t>(fp_reg(in.ra)));
+          break;
+        case NOp::kFcmp: {
+          const double a = fp_reg(in.ra), b = fp_reg(in.rb);
+          set_int_reg(in.rd, a > b ? 1 : (a == b ? 0 : -1));
+          break;
+        }
+
+        case NOp::kBeq:
+          if (i32(int_reg(in.ra)) == i32(int_reg(in.rb))) next = in.imm;
+          break;
+        case NOp::kBne:
+          if (i32(int_reg(in.ra)) != i32(int_reg(in.rb))) next = in.imm;
+          break;
+        case NOp::kBlt:
+          if (i32(int_reg(in.ra)) < i32(int_reg(in.rb))) next = in.imm;
+          break;
+        case NOp::kBle:
+          if (i32(int_reg(in.ra)) <= i32(int_reg(in.rb))) next = in.imm;
+          break;
+        case NOp::kBgt:
+          if (i32(int_reg(in.ra)) > i32(int_reg(in.rb))) next = in.imm;
+          break;
+        case NOp::kBge:
+          if (i32(int_reg(in.ra)) >= i32(int_reg(in.rb))) next = in.imm;
+          break;
+        case NOp::kJmp: next = in.imm; break;
+
+        case NOp::kCall:
+          bridge_.call_static(in.imm, *this);
+          break;
+        case NOp::kCallv:
+          bridge_.call_virtual(in.imm, *this);
+          break;
+        case NOp::kRet: next = n; break;
+        case NOp::kTrap:
+          throw VmError(trap_message(static_cast<TrapCode>(in.imm)));
+
+        case NOp::kRtNewArr:
+          set_int_reg(in.rd, bridge_.new_array(in.imm, i32(int_reg(in.ra))));
+          break;
+        case NOp::kRtNewObj:
+          set_int_reg(in.rd, bridge_.new_object(in.imm));
+          break;
+
+        case NOp::kIntrI: {
+          const auto id = static_cast<Intrinsic>(in.imm);
+          c.charge_class(energy::InstrClass::kAluComplex, intrinsic_cost(id) - 1);
+          const std::int32_t ints[2] = {static_cast<std::int32_t>(iregs_[1]),
+                                        static_cast<std::int32_t>(iregs_[2])};
+          set_int_reg(in.rd, apply_intrinsic_i(id, ints));
+          break;
+        }
+        case NOp::kIntrD: {
+          const auto id = static_cast<Intrinsic>(in.imm);
+          c.charge_class(energy::InstrClass::kAluComplex, intrinsic_cost(id) - 1);
+          const double fps[2] = {fregs_[1], fregs_[2]};
+          const std::int32_t ints[2] = {static_cast<std::int32_t>(iregs_[1]),
+                                        static_cast<std::int32_t>(iregs_[2])};
+          set_fp_reg(in.rd, apply_intrinsic_d(id, fps, ints));
+          break;
+        }
+
+        case NOp::kNop: break;
+      }
+      pc = next;
+    }
+  } catch (...) {
+    c.arena->stack_release(frame_mark);
+    --c.call_depth;
+    throw;
+  }
+  c.arena->stack_release(frame_mark);
+  --c.call_depth;
+}
+
+}  // namespace javelin::isa

@@ -1,0 +1,106 @@
+// Simulated execution of native programs.
+//
+// The NativeExecutor interprets a NativeProgram against the shared Core state
+// (arena + caches + energy meter + cycle counter). Calls, allocations and
+// virtual dispatch escape to a RuntimeBridge supplied by the VM layer, which
+// keeps this module free of any dependency on the JVM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/machine.hpp"
+#include "isa/nisa.hpp"
+
+namespace javelin::isa {
+
+/// Shared simulated-CPU state. One Core per device; executors (one per
+/// native frame) and the bytecode interpreter all charge cycles and energy
+/// here so a device has a single coherent timeline.
+struct Core {
+  const MachineConfig* cfg = nullptr;
+  mem::Arena* arena = nullptr;
+  mem::MemoryHierarchy* hier = nullptr;
+  energy::EnergyMeter* meter = nullptr;
+
+  std::uint64_t cycles = 0;
+  int call_depth = 0;
+
+  /// Abort runaway guest programs (tests/benches set this much lower).
+  std::uint64_t step_limit = 50'000'000'000ULL;
+  std::uint64_t steps = 0;
+
+  static constexpr int kMaxCallDepth = 512;
+
+  double seconds() const { return cfg->seconds_for_cycles(cycles); }
+
+  void charge(NOp op) {
+    meter->add_instr(instr_class_of(op), cfg->energy);
+    ++cycles;
+    if (++steps > step_limit)
+      throw VmError("core: step limit exceeded (runaway guest program?)");
+  }
+  void charge_class(energy::InstrClass c, std::uint64_t n = 1) {
+    for (std::uint64_t i = 0; i < n; ++i) meter->add_instr(c, cfg->energy);
+    cycles += n;
+    steps += n;
+    if (steps > step_limit)
+      throw VmError("core: step limit exceeded (runaway guest program?)");
+  }
+  void stall(std::uint64_t c) { cycles += c; }
+};
+
+class NativeExecutor;
+
+/// Callbacks from native code into the runtime (method calls, allocation).
+class RuntimeBridge {
+ public:
+  virtual ~RuntimeBridge() = default;
+
+  /// Static call: invoke method `method_id`; arguments are in the caller's
+  /// r1../f1.. registers, result must be written back to r1 or f1.
+  virtual void call_static(std::int32_t method_id, NativeExecutor& caller) = 0;
+
+  /// Virtual call: `declared_method_id` names the statically-resolved method;
+  /// the receiver (r1) determines the actual target.
+  virtual void call_virtual(std::int32_t declared_method_id,
+                            NativeExecutor& caller) = 0;
+
+  /// Allocate an array (element kind as in jvm::TypeKind); returns address.
+  virtual mem::Addr new_array(std::int32_t elem_kind, std::int32_t length) = 0;
+
+  /// Allocate an object of class `class_id`; returns address.
+  virtual mem::Addr new_object(std::int32_t class_id) = 0;
+};
+
+/// Interprets one native frame.
+class NativeExecutor {
+ public:
+  NativeExecutor(Core& core, RuntimeBridge& bridge)
+      : core_(core), bridge_(bridge) {}
+
+  /// Execute `prog` to completion (kRet or fall off the end). Arguments must
+  /// have been placed in the argument registers by the caller (see
+  /// set_int_arg / set_fp_arg). Traps raise VmError.
+  void run(const NativeProgram& prog);
+
+  // Register file access (used by the bridge for argument/result marshaling).
+  std::int64_t int_reg(std::uint8_t r) const { return r == 0 ? 0 : iregs_[r]; }
+  void set_int_reg(std::uint8_t r, std::int64_t v) {
+    if (r != 0) iregs_[r] = v;
+  }
+  double fp_reg(std::uint8_t r) const { return r == 0 ? 0.0 : fregs_[r]; }
+  void set_fp_reg(std::uint8_t r, double v) {
+    if (r != 0) fregs_[r] = v;
+  }
+
+  Core& core() { return core_; }
+
+ private:
+  Core& core_;
+  RuntimeBridge& bridge_;
+  std::int64_t iregs_[kNumIntRegs]{};
+  double fregs_[kNumFpRegs]{};
+};
+
+}  // namespace javelin::isa

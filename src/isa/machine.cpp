@@ -1,0 +1,34 @@
+#include "isa/machine.hpp"
+
+#include "support/units.hpp"
+
+namespace javelin::isa {
+
+MachineConfig client_machine() {
+  MachineConfig m;
+  m.name = "microSPARC-IIep-client";
+  m.clock_hz = MHz(100);
+  m.icache = {16 * 1024, 32};
+  m.dcache = {8 * 1024, 32};
+  m.miss_penalty_cycles = 20;
+  // Average active power ~ mean instruction energy (3.5 nJ) * 100 MIPS.
+  m.normal_power_w = 0.35;
+  m.leakage_fraction = 0.10;
+  return m;
+}
+
+MachineConfig server_machine() {
+  MachineConfig m;
+  m.name = "sparc-server";
+  m.clock_hz = MHz(750);
+  // Workstation-class caches; exact sizes are irrelevant for client energy,
+  // they only affect the server-side execution-time estimate.
+  m.icache = {64 * 1024, 32};
+  m.dcache = {64 * 1024, 32};
+  m.miss_penalty_cycles = 30;
+  m.normal_power_w = 12.0;
+  m.leakage_fraction = 0.10;
+  return m;
+}
+
+}  // namespace javelin::isa

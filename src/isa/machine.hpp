@@ -1,0 +1,43 @@
+// Machine configurations for the simulated client and server.
+//
+// The paper's client is a 100 MHz microSPARC-IIep-like five-stage RISC core
+// with an 8 KB direct-mapped D-cache, a 16 KB I-cache and 32 MB of DRAM; the
+// server is a 750 MHz SPARC workstation. During remote execution the client
+// powers down, consuming leakage energy assumed to be 10% of its normal power
+// (Section 2).
+#pragma once
+
+#include <string>
+
+#include "energy/energy.hpp"
+#include "mem/cache.hpp"
+
+namespace javelin::isa {
+
+struct MachineConfig {
+  std::string name;
+  double clock_hz = 100e6;
+  mem::CacheConfig icache{16 * 1024, 32};
+  mem::CacheConfig dcache{8 * 1024, 32};
+  std::uint32_t miss_penalty_cycles = 20;
+  energy::InstructionEnergyTable energy{};
+  /// Average active power, used as the baseline for the power-down state.
+  double normal_power_w = 0.35;
+  /// Leakage power while powered down, as a fraction of normal power.
+  double leakage_fraction = 0.10;
+
+  double leakage_power_w() const { return normal_power_w * leakage_fraction; }
+  double seconds_for_cycles(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / clock_hz;
+  }
+};
+
+/// The paper's mobile client (Section 2).
+MachineConfig client_machine();
+
+/// The paper's remote server: 750 MHz SPARC workstation. Its energy is not
+/// charged to the client; only its speed matters (it determines the client's
+/// power-down interval).
+MachineConfig server_machine();
+
+}  // namespace javelin::isa

@@ -1,0 +1,243 @@
+#include "isa/nisa.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace javelin::isa {
+
+const char* nop_name(NOp op) {
+  switch (op) {
+    case NOp::kLdw: return "ldw";
+    case NOp::kLdb: return "ldb";
+    case NOp::kLdd: return "ldd";
+    case NOp::kStw: return "stw";
+    case NOp::kStb: return "stb";
+    case NOp::kStd: return "std";
+    case NOp::kAdd: return "add";
+    case NOp::kSub: return "sub";
+    case NOp::kAnd: return "and";
+    case NOp::kOr: return "or";
+    case NOp::kXor: return "xor";
+    case NOp::kShl: return "shl";
+    case NOp::kShr: return "shr";
+    case NOp::kShru: return "shru";
+    case NOp::kAddi: return "addi";
+    case NOp::kAndi: return "andi";
+    case NOp::kOri: return "ori";
+    case NOp::kXori: return "xori";
+    case NOp::kShli: return "shli";
+    case NOp::kShri: return "shri";
+    case NOp::kShrui: return "shrui";
+    case NOp::kMovi: return "movi";
+    case NOp::kMov: return "mov";
+    case NOp::kFmov: return "fmov";
+    case NOp::kMul: return "mul";
+    case NOp::kDiv: return "div";
+    case NOp::kRem: return "rem";
+    case NOp::kFadd: return "fadd";
+    case NOp::kFsub: return "fsub";
+    case NOp::kFmul: return "fmul";
+    case NOp::kFdiv: return "fdiv";
+    case NOp::kFneg: return "fneg";
+    case NOp::kI2d: return "i2d";
+    case NOp::kD2i: return "d2i";
+    case NOp::kFcmp: return "fcmp";
+    case NOp::kBeq: return "beq";
+    case NOp::kBne: return "bne";
+    case NOp::kBlt: return "blt";
+    case NOp::kBle: return "ble";
+    case NOp::kBgt: return "bgt";
+    case NOp::kBge: return "bge";
+    case NOp::kJmp: return "jmp";
+    case NOp::kCall: return "call";
+    case NOp::kCallv: return "callv";
+    case NOp::kRet: return "ret";
+    case NOp::kTrap: return "trap";
+    case NOp::kRtNewArr: return "rt.newarr";
+    case NOp::kRtNewObj: return "rt.newobj";
+    case NOp::kIntrI: return "intr.i";
+    case NOp::kIntrD: return "intr.d";
+    case NOp::kNop: return "nop";
+  }
+  return "?";
+}
+
+energy::InstrClass instr_class_of(NOp op) {
+  using energy::InstrClass;
+  switch (op) {
+    case NOp::kLdw:
+    case NOp::kLdb:
+    case NOp::kLdd:
+      return InstrClass::kLoad;
+    case NOp::kStw:
+    case NOp::kStb:
+    case NOp::kStd:
+      return InstrClass::kStore;
+    case NOp::kBeq:
+    case NOp::kBne:
+    case NOp::kBlt:
+    case NOp::kBle:
+    case NOp::kBgt:
+    case NOp::kBge:
+    case NOp::kJmp:
+    case NOp::kCall:
+    case NOp::kCallv:
+    case NOp::kRet:
+    case NOp::kTrap:
+    case NOp::kRtNewArr:
+    case NOp::kRtNewObj:
+      return InstrClass::kBranch;
+    case NOp::kMul:
+    case NOp::kDiv:
+    case NOp::kRem:
+    case NOp::kFadd:
+    case NOp::kFsub:
+    case NOp::kFmul:
+    case NOp::kFdiv:
+    case NOp::kFneg:
+    case NOp::kI2d:
+    case NOp::kD2i:
+    case NOp::kFcmp:
+    case NOp::kIntrI:
+    case NOp::kIntrD:
+      return InstrClass::kAluComplex;
+    case NOp::kNop:
+      return InstrClass::kNop;
+    default:
+      return InstrClass::kAluSimple;
+  }
+}
+
+const char* intrinsic_name(Intrinsic i) {
+  switch (i) {
+    case Intrinsic::kSqrt: return "sqrt";
+    case Intrinsic::kSin: return "sin";
+    case Intrinsic::kCos: return "cos";
+    case Intrinsic::kExp: return "exp";
+    case Intrinsic::kLog: return "log";
+    case Intrinsic::kFabs: return "fabs";
+    case Intrinsic::kFloor: return "floor";
+    case Intrinsic::kPow: return "pow";
+    case Intrinsic::kIabs: return "iabs";
+    case Intrinsic::kImin: return "imin";
+    case Intrinsic::kImax: return "imax";
+    case Intrinsic::kDmin: return "dmin";
+    case Intrinsic::kDmax: return "dmax";
+    case Intrinsic::kCount: break;
+  }
+  return "?";
+}
+
+std::uint32_t intrinsic_cost(Intrinsic i) {
+  // Equivalent complex-ALU ops of a software libm on a core without hardware
+  // transcendentals (microSPARC-IIep has FPU add/mul/div only).
+  switch (i) {
+    case Intrinsic::kSqrt: return 12;
+    case Intrinsic::kSin: return 40;
+    case Intrinsic::kCos: return 40;
+    case Intrinsic::kExp: return 32;
+    case Intrinsic::kLog: return 32;
+    case Intrinsic::kPow: return 70;
+    case Intrinsic::kFabs: return 1;
+    case Intrinsic::kFloor: return 2;
+    case Intrinsic::kIabs: return 1;
+    case Intrinsic::kImin: return 1;
+    case Intrinsic::kImax: return 1;
+    case Intrinsic::kDmin: return 1;
+    case Intrinsic::kDmax: return 1;
+    case Intrinsic::kCount: break;
+  }
+  return 1;
+}
+
+bool intrinsic_returns_double(Intrinsic i) {
+  switch (i) {
+    case Intrinsic::kIabs:
+    case Intrinsic::kImin:
+    case Intrinsic::kImax:
+      return false;
+    default:
+      return true;
+  }
+}
+
+int intrinsic_fp_args(Intrinsic i) {
+  switch (i) {
+    case Intrinsic::kPow:
+    case Intrinsic::kDmin:
+    case Intrinsic::kDmax:
+      return 2;
+    case Intrinsic::kIabs:
+    case Intrinsic::kImin:
+    case Intrinsic::kImax:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+int intrinsic_int_args(Intrinsic i) {
+  switch (i) {
+    case Intrinsic::kIabs:
+      return 1;
+    case Intrinsic::kImin:
+    case Intrinsic::kImax:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+double apply_intrinsic_d(Intrinsic i, const double* fp,
+                         const std::int32_t* ints) {
+  (void)ints;
+  switch (i) {
+    case Intrinsic::kSqrt: return std::sqrt(fp[0]);
+    case Intrinsic::kSin: return std::sin(fp[0]);
+    case Intrinsic::kCos: return std::cos(fp[0]);
+    case Intrinsic::kExp: return std::exp(fp[0]);
+    case Intrinsic::kLog: return std::log(fp[0]);
+    case Intrinsic::kFabs: return std::fabs(fp[0]);
+    case Intrinsic::kFloor: return std::floor(fp[0]);
+    case Intrinsic::kPow: return std::pow(fp[0], fp[1]);
+    case Intrinsic::kDmin: return std::fmin(fp[0], fp[1]);
+    case Intrinsic::kDmax: return std::fmax(fp[0], fp[1]);
+    default:
+      throw Error("intrinsic: not a double intrinsic");
+  }
+}
+
+std::int32_t apply_intrinsic_i(Intrinsic i, const std::int32_t* ints) {
+  switch (i) {
+    case Intrinsic::kIabs: return ints[0] < 0 ? -ints[0] : ints[0];
+    case Intrinsic::kImin: return ints[0] < ints[1] ? ints[0] : ints[1];
+    case Intrinsic::kImax: return ints[0] > ints[1] ? ints[0] : ints[1];
+    default:
+      throw Error("intrinsic: not an int intrinsic");
+  }
+}
+
+void NativeProgram::install(mem::Arena& arena) {
+  code_base = arena.alloc_immortal(code.size() * 4 + 4, 4);
+  if (!literals.empty()) {
+    literal_base = arena.alloc_immortal(literals.size() * 8, 8);
+    for (std::size_t i = 0; i < literals.size(); ++i)
+      arena.store_f64(literal_base + static_cast<mem::Addr>(i * 8), literals[i]);
+  } else {
+    // Point at the (unused) end of the code region so r27 is always valid.
+    literal_base = code_base;
+  }
+}
+
+std::string NativeProgram::disassemble() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const NInstr& in = code[i];
+    os << i << ":\t" << nop_name(in.op) << " rd=" << int(in.rd)
+       << " ra=" << int(in.ra) << " rb=" << int(in.rb) << " imm=" << in.imm
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace javelin::isa

@@ -1,0 +1,187 @@
+// The simulated native instruction set (the JIT's target).
+//
+// A RISC register machine in the spirit of SPARC v8: 32 integer registers
+// (r0 hardwired to zero), 16 double-precision FP registers, load/store
+// architecture, and a small set of runtime pseudo-ops (allocation, calls,
+// math intrinsics) that trap to the runtime bridge. The executor interprets
+// this ISA while counting instructions by energy class and routing every
+// instruction fetch and data access through the cache model — energy and
+// timing are *measured* from real executions, not estimated.
+//
+// Register conventions (fixed by the ABI shared between codegen and executor):
+//   r0          always zero
+//   r1..r8      integer/reference argument & return registers, caller-saved
+//   r9..r26     allocatable temporaries
+//   r27         literal-pool base (set by the executor at method entry)
+//   r28         frame pointer (spill area base)
+//   r29..r31    codegen scratch (address computation, spill reloads)
+//   f0          always +0.0
+//   f1..f8      FP argument & return registers
+//   f9..f13     allocatable FP temporaries
+//   f14..f15    codegen scratch
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/energy.hpp"
+#include "mem/arena.hpp"
+
+namespace javelin::isa {
+
+inline constexpr std::uint8_t kZeroReg = 0;
+inline constexpr std::uint8_t kFirstArgReg = 1;
+inline constexpr std::uint8_t kNumArgRegs = 8;
+inline constexpr std::uint8_t kRetReg = 1;
+inline constexpr std::uint8_t kFirstTempReg = 9;
+inline constexpr std::uint8_t kLastTempReg = 26;
+inline constexpr std::uint8_t kLiteralBaseReg = 27;
+inline constexpr std::uint8_t kFrameReg = 28;
+inline constexpr std::uint8_t kScratch0 = 29;
+inline constexpr std::uint8_t kScratch1 = 30;
+inline constexpr std::uint8_t kScratch2 = 31;
+inline constexpr std::uint8_t kNumIntRegs = 32;
+
+inline constexpr std::uint8_t kFZeroReg = 0;
+inline constexpr std::uint8_t kFFirstArgReg = 1;
+inline constexpr std::uint8_t kFRetReg = 1;
+inline constexpr std::uint8_t kFFirstTempReg = 9;
+inline constexpr std::uint8_t kFLastTempReg = 13;
+inline constexpr std::uint8_t kFScratch0 = 14;
+inline constexpr std::uint8_t kFScratch1 = 15;
+inline constexpr std::uint8_t kNumFpRegs = 16;
+
+/// Native opcodes. `rd/ra/rb` meanings per-op; `imm` is a 32-bit immediate,
+/// branch target (instruction index), callee method id, or intrinsic id.
+enum class NOp : std::uint8_t {
+  // Memory. Effective address = R[ra] + R[rb] + imm.
+  kLdw,   ///< rd <- sign-extended 32-bit load
+  kLdb,   ///< rd <- zero-extended 8-bit load
+  kLdd,   ///< fd <- 64-bit FP load
+  kStw,   ///< 32-bit store of R[rd]
+  kStb,   ///< 8-bit store of R[rd]
+  kStd,   ///< 64-bit FP store of F[rd]
+
+  // Simple ALU (one cycle, "ALU simple" energy class).
+  kAdd, kSub, kAnd, kOr, kXor, kShl, kShr, kShru,
+  kAddi, kAndi, kOri, kXori, kShli, kShri, kShrui,
+  kMovi,  ///< rd <- imm
+  kMov,   ///< rd <- R[ra]
+  kFmov,  ///< fd <- F[fa]
+
+  // Complex ALU ("ALU complex" energy class).
+  kMul, kDiv, kRem,
+  kFadd, kFsub, kFmul, kFdiv, kFneg,
+  kI2d,   ///< fd <- double(R[ra])
+  kD2i,   ///< rd <- int32(trunc(F[fa]))
+  kFcmp,  ///< rd <- -1/0/+1 comparing F[fa], F[fb] (NaN compares as -1)
+
+  // Control transfer (branch energy class). Branch targets in imm.
+  kBeq, kBne, kBlt, kBle, kBgt, kBge,  ///< compare R[ra], R[rb]
+  kJmp,
+  kCall,   ///< imm = static callee method id; args in r1../f1..
+  kCallv,  ///< imm = declared method id; receiver in r1, re-resolved by class
+  kRet,    ///< return; result already in r1 / f1
+  kTrap,   ///< raise guest fault; imm = TrapCode
+
+  // Runtime pseudo-ops (allocation; charged as a call plus runtime work).
+  kRtNewArr,  ///< rd <- new array; R[ra] = length, imm = element kind
+  kRtNewObj,  ///< rd <- new object; imm = class id
+
+  // Math intrinsics; operands in r1../f1.. by convention, result in rd/fd.
+  kIntrI,  ///< integer-result intrinsic, imm = Intrinsic id
+  kIntrD,  ///< double-result intrinsic, imm = Intrinsic id
+
+  kNop,
+};
+
+const char* nop_name(NOp op);
+
+/// Map an opcode to the Fig 1 energy class.
+energy::InstrClass instr_class_of(NOp op);
+
+enum class TrapCode : std::int32_t {
+  kNullPointer = 1,
+  kArrayBounds = 2,
+  kDivByZero = 3,
+  kUnreachable = 4,
+};
+
+/// Math/runtime intrinsics exposed to guest programs. Each has a fixed cost
+/// in equivalent complex-ALU operations (software libm on the embedded core).
+enum class Intrinsic : std::int32_t {
+  kSqrt = 0,
+  kSin,
+  kCos,
+  kExp,
+  kLog,
+  kFabs,
+  kFloor,
+  kPow,
+  kIabs,
+  kImin,
+  kImax,
+  kDmin,
+  kDmax,
+  kCount
+};
+
+const char* intrinsic_name(Intrinsic i);
+
+/// Equivalent complex-ALU operation count charged per intrinsic call.
+std::uint32_t intrinsic_cost(Intrinsic i);
+
+/// True if the intrinsic produces a double (else int).
+bool intrinsic_returns_double(Intrinsic i);
+
+/// Number of double arguments the intrinsic consumes from f1.. (rest are
+/// integer arguments from r1..).
+int intrinsic_fp_args(Intrinsic i);
+int intrinsic_int_args(Intrinsic i);
+
+/// Evaluate a double-result intrinsic. `fp` / `ints` hold the FP and integer
+/// arguments in order (only the first intrinsic_fp_args / intrinsic_int_args
+/// entries are read). Shared by the native executor and the interpreter.
+double apply_intrinsic_d(Intrinsic i, const double* fp, const std::int32_t* ints);
+/// Evaluate an int-result intrinsic.
+std::int32_t apply_intrinsic_i(Intrinsic i, const std::int32_t* ints);
+
+struct NInstr {
+  NOp op = NOp::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::int32_t imm = 0;
+};
+
+/// A compiled method body: code, FP literal pool, and frame requirements.
+///
+/// `install()` assigns simulated addresses so instruction fetches and
+/// literal loads hit the cache model at realistic locations.
+struct NativeProgram {
+  std::vector<NInstr> code;
+  std::vector<double> literals;
+  std::uint32_t spill_bytes = 0;
+  std::int32_t method_id = -1;
+
+  mem::Addr code_base = mem::kNullAddr;
+  mem::Addr literal_base = mem::kNullAddr;
+
+  bool installed() const { return code_base != mem::kNullAddr; }
+
+  /// Allocate simulated memory for code + literals and copy literal values
+  /// into the arena (kLdd reads them back through the cache model).
+  void install(mem::Arena& arena);
+
+  /// Size of the machine-code image in bytes (4 bytes per instruction plus
+  /// the literal pool) — this is what a remote compilation ships over the
+  /// air in the AA strategy.
+  std::size_t image_bytes() const {
+    return code.size() * 4 + literals.size() * 8;
+  }
+
+  std::string disassemble() const;
+};
+
+}  // namespace javelin::isa

@@ -1,0 +1,172 @@
+#include "jit/analysis.hpp"
+
+#include <algorithm>
+
+namespace javelin::jit {
+
+bool Analysis::dominates(std::int32_t a, std::int32_t b) const {
+  while (b >= 0) {
+    if (a == b) return true;
+    b = idom[b];
+  }
+  return false;
+}
+
+namespace {
+
+void postorder(const Function& f, std::int32_t b, std::vector<char>& seen,
+               std::vector<std::int32_t>& out) {
+  seen[b] = 1;
+  for (std::int32_t s : f.blocks[b].succs)
+    if (!seen[s]) postorder(f, s, seen, out);
+  out.push_back(b);
+}
+
+}  // namespace
+
+Analysis analyze(const Function& f, CompileMeter& meter) {
+  const std::size_t n = f.blocks.size();
+  Analysis a;
+  a.rpo_index.assign(n, -1);
+  a.idom.assign(n, -1);
+
+  std::vector<char> seen(n, 0);
+  std::vector<std::int32_t> po;
+  postorder(f, 0, seen, po);
+  a.rpo.assign(po.rbegin(), po.rend());
+  for (std::size_t i = 0; i < a.rpo.size(); ++i)
+    a.rpo_index[a.rpo[i]] = static_cast<std::int32_t>(i);
+  meter.work(a.rpo.size());
+
+  // Cooper–Harvey–Kennedy iterative dominators.
+  a.idom[0] = 0;
+  bool changed = true;
+  auto intersect = [&](std::int32_t x, std::int32_t y) {
+    while (x != y) {
+      while (a.rpo_index[x] > a.rpo_index[y]) x = a.idom[x];
+      while (a.rpo_index[y] > a.rpo_index[x]) y = a.idom[y];
+    }
+    return x;
+  };
+  while (changed) {
+    changed = false;
+    for (std::int32_t b : a.rpo) {
+      if (b == 0) continue;
+      std::int32_t new_idom = -1;
+      for (std::int32_t p : f.blocks[b].preds) {
+        if (!a.reachable(p) || a.idom[p] < 0) continue;
+        new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+      }
+      if (new_idom >= 0 && a.idom[b] != new_idom) {
+        a.idom[b] = new_idom;
+        changed = true;
+      }
+      meter.work(1);
+    }
+  }
+  a.idom[0] = -1;  // entry has no dominator
+  return a;
+}
+
+std::vector<Loop> find_loops(const Function& f, const Analysis& a,
+                             CompileMeter& meter) {
+  std::vector<Loop> loops;
+  // Back edge t -> h where h dominates t.
+  for (std::size_t t = 0; t < f.blocks.size(); ++t) {
+    if (!a.reachable(static_cast<std::int32_t>(t))) continue;
+    for (std::int32_t h : f.blocks[t].succs) {
+      if (!a.dominates(h, static_cast<std::int32_t>(t))) continue;
+      // Find or create the loop for header h.
+      Loop* loop = nullptr;
+      for (auto& l : loops)
+        if (l.header == h) loop = &l;
+      if (!loop) {
+        loops.push_back(Loop{h, {h}});
+        loop = &loops.back();
+      }
+      // Walk predecessors from t up to h (natural-loop body collection).
+      std::vector<std::int32_t> stack;
+      if (static_cast<std::int32_t>(t) != h &&
+          !loop->contains(static_cast<std::int32_t>(t))) {
+        loop->blocks.push_back(static_cast<std::int32_t>(t));
+        stack.push_back(static_cast<std::int32_t>(t));
+      }
+      while (!stack.empty()) {
+        const std::int32_t b = stack.back();
+        stack.pop_back();
+        for (std::int32_t p : f.blocks[b].preds) {
+          if (!a.reachable(p) || p == h || loop->contains(p)) continue;
+          loop->blocks.push_back(p);
+          stack.push_back(p);
+        }
+        meter.work(1);
+      }
+    }
+  }
+  // Inner loops first (fewer blocks) so LICM hoists innermost-outward.
+  std::sort(loops.begin(), loops.end(), [](const Loop& x, const Loop& y) {
+    return x.blocks.size() < y.blocks.size();
+  });
+  return loops;
+}
+
+Liveness::Liveness(std::size_t num_blocks, std::size_t num_vregs)
+    : words_((num_vregs + 63) / 64),
+      in_(num_blocks * words_, 0),
+      out_(num_blocks * words_, 0) {}
+
+Liveness compute_liveness(const Function& f, CompileMeter& meter) {
+  const std::size_t nb = f.blocks.size();
+  const std::size_t nv = f.num_vregs();
+  Liveness lv(nb, nv);
+  const std::size_t w = (nv + 63) / 64;
+
+  // Per-block use/def bitsets ("use" = upward-exposed use).
+  std::vector<std::uint64_t> use(nb * w, 0), def(nb * w, 0);
+  auto set_bit = [w](std::vector<std::uint64_t>& v, std::size_t b,
+                     std::int32_t r) {
+    v[b * w + static_cast<std::size_t>(r) / 64] |= 1ULL << (r % 64);
+  };
+  auto get_bit = [w](const std::vector<std::uint64_t>& v, std::size_t b,
+                     std::int32_t r) {
+    return (v[b * w + static_cast<std::size_t>(r) / 64] >> (r % 64)) & 1;
+  };
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (const IInstr& in : f.blocks[b].instrs) {
+      for_each_use(in, [&](std::int32_t v) {
+        if (!get_bit(def, b, v)) set_bit(use, b, v);
+      });
+      if (has_dest(in.op) && in.d >= 0) set_bit(def, b, in.d);
+      meter.work(1);
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = nb; bi-- > 0;) {
+      // out[b] = union of in[succ]
+      for (std::size_t k = 0; k < w; ++k) {
+        std::uint64_t o = 0;
+        for (std::int32_t s : f.blocks[bi].succs)
+          o |= lv.in_[static_cast<std::size_t>(s) * w + k];
+        if (o != lv.out_[bi * w + k]) {
+          lv.out_[bi * w + k] = o;
+          changed = true;
+        }
+        // in[b] = use[b] | (out[b] & ~def[b])
+        const std::uint64_t i =
+            use[bi * w + k] | (lv.out_[bi * w + k] & ~def[bi * w + k]);
+        if (i != lv.in_[bi * w + k]) {
+          lv.in_[bi * w + k] = i;
+          changed = true;
+        }
+      }
+      meter.work(1);
+    }
+  }
+  return lv;
+}
+
+}  // namespace javelin::jit

@@ -1,0 +1,65 @@
+// CFG analyses shared by the optimizer and register allocator:
+// reverse postorder, dominator tree (Cooper–Harvey–Kennedy), natural loops,
+// and per-block liveness (iterative bitset dataflow).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jit/compiler.hpp"
+#include "jit/ir.hpp"
+
+namespace javelin::jit {
+
+struct Analysis {
+  std::vector<std::int32_t> rpo;        ///< Reachable blocks in RPO.
+  std::vector<std::int32_t> rpo_index;  ///< Block -> RPO position (-1 = dead).
+  std::vector<std::int32_t> idom;       ///< Immediate dominator (-1 = none).
+
+  bool reachable(std::int32_t b) const { return rpo_index[b] >= 0; }
+  /// True if `a` dominates `b` (reflexive).
+  bool dominates(std::int32_t a, std::int32_t b) const;
+};
+
+Analysis analyze(const Function& f, CompileMeter& meter);
+
+/// One natural loop (all back edges to the same header merged).
+struct Loop {
+  std::int32_t header = -1;
+  std::vector<std::int32_t> blocks;  ///< Includes the header.
+  bool contains(std::int32_t b) const {
+    for (auto x : blocks)
+      if (x == b) return true;
+    return false;
+  }
+};
+
+std::vector<Loop> find_loops(const Function& f, const Analysis& a,
+                             CompileMeter& meter);
+
+/// Dense per-block live-in/out vreg bitsets.
+class Liveness {
+ public:
+  Liveness(std::size_t num_blocks, std::size_t num_vregs);
+
+  bool live_in(std::int32_t block, std::int32_t vreg) const {
+    return get(in_, block, vreg);
+  }
+  bool live_out(std::int32_t block, std::int32_t vreg) const {
+    return get(out_, block, vreg);
+  }
+
+  friend Liveness compute_liveness(const Function& f, CompileMeter& meter);
+
+ private:
+  bool get(const std::vector<std::uint64_t>& v, std::int32_t b,
+           std::int32_t r) const {
+    return (v[static_cast<std::size_t>(b) * words_ + r / 64] >> (r % 64)) & 1;
+  }
+  std::size_t words_;
+  std::vector<std::uint64_t> in_, out_;
+};
+
+Liveness compute_liveness(const Function& f, CompileMeter& meter);
+
+}  // namespace javelin::jit

@@ -1,0 +1,95 @@
+// Bounds-check elimination (Level-3 extra pass).
+//
+// Guest arrays never move and never resize, and a single-def vreg never
+// changes its value — so once an access `a[i]` has executed (proving a != null
+// and 0 <= i < a.length), every later access to the same (a, i) pair whose
+// execution is dominated by the first can skip both guards. The same holds
+// for kArrLen's null check (keyed with index -1) and for field access null
+// checks (keyed likewise).
+//
+// Classic induction-variable range analysis would remove even more checks;
+// the dominating-pair rule already removes the repeated-access checks that
+// dominate the image kernels (mag[idx] read four times in ed's hysteresis),
+// stays trivially sound, and needs no loop analysis.
+
+#include <unordered_set>
+
+#include "jit/analysis.hpp"
+#include "jit/compiler.hpp"
+
+namespace javelin::jit::passes {
+
+namespace {
+
+std::uint64_t pair_key(std::int32_t a, std::int32_t b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+std::size_t bounds_check_elim(Function& f, CompileMeter& meter) {
+  // Single-def vregs only: a redefinition could rebind the name to a
+  // different array or index value.
+  std::vector<std::int32_t> defs(f.num_vregs(), 0);
+  for (const auto& b : f.blocks)
+    for (const auto& in : b.instrs)
+      if (has_dest(in.op) && in.d >= 0) ++defs[in.d];
+  for (std::int32_t v : f.arg_vregs) ++defs[v];
+
+  Analysis a = analyze(f, meter);
+
+  // Walk the dominator tree via RPO (parents precede children in RPO for
+  // reducible graphs; for safety we re-check dominance on lookup).
+  struct Proof {
+    std::uint64_t key;
+    std::int32_t block;
+  };
+  std::vector<Proof> proofs;
+  auto proven = [&](std::uint64_t key, std::int32_t block) {
+    for (const Proof& p : proofs)
+      if (p.key == key && a.dominates(p.block, block)) return true;
+    return false;
+  };
+
+  std::size_t eliminated = 0;
+  for (std::int32_t b : a.rpo) {
+    for (auto& in : f.blocks[b].instrs) {
+      meter.work(2);
+      std::uint64_t key = 0;
+      switch (in.op) {
+        case IOp::kArrLoad:
+        case IOp::kArrStore:
+          if (defs[in.a] != 1 || defs[in.b] != 1) continue;
+          key = pair_key(in.a, in.b);
+          break;
+        case IOp::kArrLen:
+        case IOp::kFldLoad:
+          if (defs[in.a] != 1) continue;
+          key = pair_key(in.a, -1);
+          break;
+        case IOp::kFldStore:
+          if (defs[in.a] != 1) continue;
+          key = pair_key(in.a, -1);
+          break;
+        default:
+          continue;
+      }
+      // kArrLen/kFld* only prove/require the null check; an array-element
+      // proof (a, i) implies the null proof (a, -1), so record both for
+      // element accesses.
+      if (proven(key, b)) {
+        in.skip_guards = true;
+        ++eliminated;
+        meter.work(2);
+        continue;
+      }
+      proofs.push_back(Proof{key, b});
+      if (in.op == IOp::kArrLoad || in.op == IOp::kArrStore)
+        proofs.push_back(Proof{pair_key(in.a, -1), b});
+    }
+  }
+  return eliminated;
+}
+
+}  // namespace javelin::jit::passes

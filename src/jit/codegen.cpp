@@ -1,0 +1,563 @@
+// Lowering: allocated IR -> native code.
+//
+// Expands the IR's guarded memory operations into explicit null/bounds checks
+// (branches to trap stubs appended at the end of the method), materializes
+// double constants from a per-method literal pool addressed off r27, and
+// bridges the calling convention (int/ref args in r1.., doubles in f1..).
+
+#include <unordered_map>
+
+#include "jit/codegen.hpp"
+
+namespace javelin::jit {
+
+namespace {
+
+using isa::NInstr;
+using isa::NOp;
+
+constexpr std::int32_t kFixupTrapNull = -2;
+constexpr std::int32_t kFixupTrapBounds = -3;
+
+class Lowerer {
+ public:
+  Lowerer(const Function& f, const Allocation& al, CompileMeter& meter)
+      : f_(f), al_(al), meter_(meter) {}
+
+  isa::NativeProgram run();
+
+ private:
+  void emit(NOp op, std::uint8_t rd = 0, std::uint8_t ra = 0,
+            std::uint8_t rb = 0, std::int32_t imm = 0) {
+    prog_.code.push_back(NInstr{op, rd, ra, rb, imm});
+    meter_.work(1);
+  }
+  void emit_branch(NOp op, std::uint8_t ra, std::uint8_t rb,
+                   std::int32_t target_block) {
+    fixups_.emplace_back(prog_.code.size(), target_block);
+    emit(op, 0, ra, rb, 0);
+  }
+
+  std::int32_t literal(double v) {
+    const auto it = lit_.find(v);
+    if (it != lit_.end()) return it->second;
+    prog_.literals.push_back(v);
+    const auto idx = static_cast<std::int32_t>(prog_.literals.size() - 1);
+    lit_[v] = idx;
+    return idx;
+  }
+
+  // Operand access. `scratch` is used when the vreg is spilled.
+  std::uint8_t read_int(std::int32_t v, std::uint8_t scratch) {
+    if (al_.in_reg(v)) return static_cast<std::uint8_t>(al_.reg[v]);
+    emit(NOp::kLdw, scratch, isa::kFrameReg, 0, al_.spill[v]);
+    return scratch;
+  }
+  std::uint8_t read_fp(std::int32_t v, std::uint8_t scratch) {
+    if (al_.in_reg(v)) return static_cast<std::uint8_t>(al_.reg[v]);
+    emit(NOp::kLdd, scratch, isa::kFrameReg, 0, al_.spill[v]);
+    return scratch;
+  }
+  /// Register to compute an int result into.
+  std::uint8_t out_int(std::int32_t v, std::uint8_t scratch = isa::kScratch2) {
+    return al_.in_reg(v) ? static_cast<std::uint8_t>(al_.reg[v]) : scratch;
+  }
+  std::uint8_t out_fp(std::int32_t v, std::uint8_t scratch = isa::kFScratch1) {
+    return al_.in_reg(v) ? static_cast<std::uint8_t>(al_.reg[v]) : scratch;
+  }
+  void store_int(std::int32_t v, std::uint8_t from) {
+    if (!al_.in_reg(v)) emit(NOp::kStw, from, isa::kFrameReg, 0, al_.spill[v]);
+  }
+  void store_fp(std::int32_t v, std::uint8_t from) {
+    if (!al_.in_reg(v)) emit(NOp::kStd, from, isa::kFrameReg, 0, al_.spill[v]);
+  }
+
+  bool is_fp(std::int32_t v) const {
+    return f_.vreg_kinds[v] == TypeKind::kDouble;
+  }
+
+  void lower_instr(const IInstr& in, std::int32_t block,
+                   std::int32_t order_pos);
+  void lower_call(const IInstr& in);
+  void lower_arr_load(const IInstr& in);
+  void lower_arr_store(const IInstr& in);
+  /// Null-check + bounds-check (unless `skip_guards`); leaves the element
+  /// address in kScratch2.
+  void emit_array_addr(std::int32_t arr, std::int32_t idx, TypeKind elem,
+                       bool skip_guards);
+
+  const Function& f_;
+  const Allocation& al_;
+  CompileMeter& meter_;
+  isa::NativeProgram prog_;
+  std::vector<std::int32_t> block_at_;  // block -> native index
+  std::vector<std::pair<std::size_t, std::int32_t>> fixups_;
+  std::unordered_map<double, std::int32_t> lit_;
+};
+
+NOp int_binop(IOp op) {
+  switch (op) {
+    case IOp::kIAdd: return NOp::kAdd;
+    case IOp::kISub: return NOp::kSub;
+    case IOp::kIMul: return NOp::kMul;
+    case IOp::kIDiv: return NOp::kDiv;
+    case IOp::kIRem: return NOp::kRem;
+    case IOp::kIAnd: return NOp::kAnd;
+    case IOp::kIOr: return NOp::kOr;
+    case IOp::kIXor: return NOp::kXor;
+    case IOp::kIShl: return NOp::kShl;
+    case IOp::kIShr: return NOp::kShr;
+    case IOp::kIShru: return NOp::kShru;
+    default: throw Error("codegen: not an int binop");
+  }
+}
+
+NOp fp_binop(IOp op) {
+  switch (op) {
+    case IOp::kDAdd: return NOp::kFadd;
+    case IOp::kDSub: return NOp::kFsub;
+    case IOp::kDMul: return NOp::kFmul;
+    case IOp::kDDiv: return NOp::kFdiv;
+    default: throw Error("codegen: not an fp binop");
+  }
+}
+
+NOp cond_branch(IOp op) {
+  switch (op) {
+    case IOp::kBrEq: case IOp::kBrDEq: return NOp::kBeq;
+    case IOp::kBrNe: case IOp::kBrDNe: return NOp::kBne;
+    case IOp::kBrLt: case IOp::kBrDLt: return NOp::kBlt;
+    case IOp::kBrLe: case IOp::kBrDLe: return NOp::kBle;
+    case IOp::kBrGt: case IOp::kBrDGt: return NOp::kBgt;
+    case IOp::kBrGe: case IOp::kBrDGe: return NOp::kBge;
+    default: throw Error("codegen: not a branch");
+  }
+}
+
+void Lowerer::emit_array_addr(std::int32_t arr, std::int32_t idx,
+                              TypeKind elem, bool skip_guards) {
+  const std::uint8_t ra = read_int(arr, isa::kScratch0);
+  const std::uint8_t ri = read_int(idx, isa::kScratch1);
+  if (!skip_guards) {
+    emit_branch(NOp::kBeq, ra, isa::kZeroReg, kFixupTrapNull);
+    emit(NOp::kLdw, isa::kScratch2, ra, 0, 4);  // length
+    emit_branch(NOp::kBlt, ri, isa::kZeroReg, kFixupTrapBounds);
+    emit_branch(NOp::kBge, ri, isa::kScratch2, kFixupTrapBounds);
+  }
+  switch (type_width(elem)) {
+    case 1:
+      emit(NOp::kMov, isa::kScratch2, ri);
+      break;
+    case 4:
+      emit(NOp::kShli, isa::kScratch2, ri, 0, 2);
+      break;
+    default:
+      emit(NOp::kShli, isa::kScratch2, ri, 0, 3);
+      break;
+  }
+  emit(NOp::kAdd, isa::kScratch2, ra, isa::kScratch2);
+  // Element address = kScratch2 + kArrHeaderBytes (folded into the access).
+}
+
+void Lowerer::lower_arr_load(const IInstr& in) {
+  emit_array_addr(in.a, in.b, in.kind, in.skip_guards);
+  const std::int32_t hdr = static_cast<std::int32_t>(jvm::kArrHeaderBytes);
+  if (in.kind == TypeKind::kDouble) {
+    const std::uint8_t w = out_fp(in.d);
+    emit(NOp::kLdd, w, isa::kScratch2, 0, hdr);
+    store_fp(in.d, w);
+  } else if (in.kind == TypeKind::kByte) {
+    const std::uint8_t w = out_int(in.d, isa::kScratch0);
+    emit(NOp::kLdb, w, isa::kScratch2, 0, hdr);
+    store_int(in.d, w);
+  } else {
+    const std::uint8_t w = out_int(in.d, isa::kScratch0);
+    emit(NOp::kLdw, w, isa::kScratch2, 0, hdr);
+    store_int(in.d, w);
+  }
+}
+
+void Lowerer::lower_arr_store(const IInstr& in) {
+  emit_array_addr(in.a, in.b, in.kind, in.skip_guards);
+  const std::int32_t hdr = static_cast<std::int32_t>(jvm::kArrHeaderBytes);
+  if (in.kind == TypeKind::kDouble) {
+    const std::uint8_t rv = read_fp(in.c, isa::kFScratch0);
+    emit(NOp::kStd, rv, isa::kScratch2, 0, hdr);
+  } else if (in.kind == TypeKind::kByte) {
+    const std::uint8_t rv = read_int(in.c, isa::kScratch0);
+    emit(NOp::kStb, rv, isa::kScratch2, 0, hdr);
+  } else {
+    const std::uint8_t rv = read_int(in.c, isa::kScratch0);
+    emit(NOp::kStw, rv, isa::kScratch2, 0, hdr);
+  }
+}
+
+void Lowerer::lower_call(const IInstr& in) {
+  // Marshal arguments into the argument registers. Allocated registers are
+  // from the temp pools, so the argument registers are free to write.
+  std::uint8_t next_int = isa::kFirstArgReg;
+  std::uint8_t next_fp = isa::kFFirstArgReg;
+  for (std::int32_t v : in.args) {
+    if (is_fp(v)) {
+      const std::uint8_t r = read_fp(v, isa::kFScratch0);
+      emit(NOp::kFmov, next_fp++, r);
+    } else {
+      const std::uint8_t r = read_int(v, isa::kScratch0);
+      emit(NOp::kMov, next_int++, r);
+    }
+  }
+  switch (in.op) {
+    case IOp::kCallStatic:
+      emit(NOp::kCall, 0, 0, 0, in.imm);
+      break;
+    case IOp::kCallVirtual:
+      emit(NOp::kCallv, 0, 0, 0, in.imm);
+      break;
+    case IOp::kIntrinsic: {
+      const auto id = static_cast<isa::Intrinsic>(in.imm);
+      if (isa::intrinsic_returns_double(id)) {
+        const std::uint8_t w = out_fp(in.d);
+        emit(NOp::kIntrD, w, 0, 0, in.imm);
+        store_fp(in.d, w);
+      } else {
+        const std::uint8_t w = out_int(in.d, isa::kScratch0);
+        emit(NOp::kIntrI, w, 0, 0, in.imm);
+        store_int(in.d, w);
+      }
+      return;
+    }
+    default:
+      throw Error("codegen: bad call op");
+  }
+  if (in.d >= 0) {
+    if (is_fp(in.d)) {
+      if (al_.in_reg(in.d))
+        emit(NOp::kFmov, static_cast<std::uint8_t>(al_.reg[in.d]),
+             isa::kFRetReg);
+      else
+        store_fp(in.d, isa::kFRetReg);
+    } else {
+      if (al_.in_reg(in.d))
+        emit(NOp::kMov, static_cast<std::uint8_t>(al_.reg[in.d]),
+             isa::kRetReg);
+      else
+        store_int(in.d, isa::kRetReg);
+    }
+  }
+}
+
+void Lowerer::lower_instr(const IInstr& in, std::int32_t block,
+                          std::int32_t order_pos) {
+  switch (in.op) {
+    case IOp::kConstI: {
+      const std::uint8_t w = out_int(in.d, isa::kScratch0);
+      emit(NOp::kMovi, w, 0, 0, in.imm);
+      store_int(in.d, w);
+      break;
+    }
+    case IOp::kConstD: {
+      const std::uint8_t w = out_fp(in.d);
+      emit(NOp::kLdd, w, isa::kLiteralBaseReg, 0, literal(in.dimm) * 8);
+      store_fp(in.d, w);
+      break;
+    }
+    case IOp::kMov: {
+      if (is_fp(in.d)) {
+        const std::uint8_t r = read_fp(in.a, isa::kFScratch0);
+        if (al_.in_reg(in.d))
+          emit(NOp::kFmov, static_cast<std::uint8_t>(al_.reg[in.d]), r);
+        else
+          store_fp(in.d, r);
+      } else {
+        const std::uint8_t r = read_int(in.a, isa::kScratch0);
+        if (al_.in_reg(in.d))
+          emit(NOp::kMov, static_cast<std::uint8_t>(al_.reg[in.d]), r);
+        else
+          store_int(in.d, r);
+      }
+      break;
+    }
+
+    case IOp::kIAdd: case IOp::kISub: case IOp::kIMul: case IOp::kIDiv:
+    case IOp::kIRem: case IOp::kIAnd: case IOp::kIOr: case IOp::kIXor:
+    case IOp::kIShl: case IOp::kIShr: case IOp::kIShru: {
+      const std::uint8_t ra = read_int(in.a, isa::kScratch0);
+      const std::uint8_t rb = read_int(in.b, isa::kScratch1);
+      const std::uint8_t w = out_int(in.d, isa::kScratch0);
+      emit(int_binop(in.op), w, ra, rb);
+      store_int(in.d, w);
+      break;
+    }
+    case IOp::kINeg: {
+      const std::uint8_t ra = read_int(in.a, isa::kScratch0);
+      const std::uint8_t w = out_int(in.d, isa::kScratch0);
+      emit(NOp::kSub, w, isa::kZeroReg, ra);
+      store_int(in.d, w);
+      break;
+    }
+    case IOp::kDAdd: case IOp::kDSub: case IOp::kDMul: case IOp::kDDiv: {
+      const std::uint8_t ra = read_fp(in.a, isa::kFScratch0);
+      const std::uint8_t rb = read_fp(in.b, isa::kFScratch1);
+      const std::uint8_t w = out_fp(in.d, isa::kFScratch0);
+      emit(fp_binop(in.op), w, ra, rb);
+      store_fp(in.d, w);
+      break;
+    }
+    case IOp::kDNeg: {
+      const std::uint8_t ra = read_fp(in.a, isa::kFScratch0);
+      const std::uint8_t w = out_fp(in.d, isa::kFScratch0);
+      emit(NOp::kFneg, w, ra);
+      store_fp(in.d, w);
+      break;
+    }
+    case IOp::kI2D: {
+      const std::uint8_t ra = read_int(in.a, isa::kScratch0);
+      const std::uint8_t w = out_fp(in.d);
+      emit(NOp::kI2d, w, ra);
+      store_fp(in.d, w);
+      break;
+    }
+    case IOp::kD2I: {
+      const std::uint8_t ra = read_fp(in.a, isa::kFScratch0);
+      const std::uint8_t w = out_int(in.d, isa::kScratch0);
+      emit(NOp::kD2i, w, ra);
+      store_int(in.d, w);
+      break;
+    }
+    case IOp::kDCmp: {
+      const std::uint8_t ra = read_fp(in.a, isa::kFScratch0);
+      const std::uint8_t rb = read_fp(in.b, isa::kFScratch1);
+      const std::uint8_t w = out_int(in.d, isa::kScratch0);
+      emit(NOp::kFcmp, w, ra, rb);
+      store_int(in.d, w);
+      break;
+    }
+
+    case IOp::kArrLoad:
+      lower_arr_load(in);
+      break;
+    case IOp::kArrStore:
+      lower_arr_store(in);
+      break;
+    case IOp::kArrLen: {
+      const std::uint8_t ra = read_int(in.a, isa::kScratch0);
+      if (!in.skip_guards)
+        emit_branch(NOp::kBeq, ra, isa::kZeroReg, kFixupTrapNull);
+      const std::uint8_t w = out_int(in.d, isa::kScratch1);
+      emit(NOp::kLdw, w, ra, 0, 4);
+      store_int(in.d, w);
+      break;
+    }
+    case IOp::kFldLoad: {
+      const std::uint8_t ra = read_int(in.a, isa::kScratch0);
+      if (!in.skip_guards)
+        emit_branch(NOp::kBeq, ra, isa::kZeroReg, kFixupTrapNull);
+      if (in.kind == TypeKind::kDouble) {
+        const std::uint8_t w = out_fp(in.d);
+        emit(NOp::kLdd, w, ra, 0, in.imm);
+        store_fp(in.d, w);
+      } else if (in.kind == TypeKind::kByte) {
+        const std::uint8_t w = out_int(in.d, isa::kScratch1);
+        emit(NOp::kLdb, w, ra, 0, in.imm);
+        store_int(in.d, w);
+      } else {
+        const std::uint8_t w = out_int(in.d, isa::kScratch1);
+        emit(NOp::kLdw, w, ra, 0, in.imm);
+        store_int(in.d, w);
+      }
+      break;
+    }
+    case IOp::kFldStore: {
+      const std::uint8_t ra = read_int(in.a, isa::kScratch0);
+      if (!in.skip_guards)
+        emit_branch(NOp::kBeq, ra, isa::kZeroReg, kFixupTrapNull);
+      if (in.kind == TypeKind::kDouble) {
+        const std::uint8_t rv = read_fp(in.b, isa::kFScratch0);
+        emit(NOp::kStd, rv, ra, 0, in.imm);
+      } else if (in.kind == TypeKind::kByte) {
+        const std::uint8_t rv = read_int(in.b, isa::kScratch1);
+        emit(NOp::kStb, rv, ra, 0, in.imm);
+      } else {
+        const std::uint8_t rv = read_int(in.b, isa::kScratch1);
+        emit(NOp::kStw, rv, ra, 0, in.imm);
+      }
+      break;
+    }
+    case IOp::kStLoad: {
+      if (in.kind == TypeKind::kDouble) {
+        const std::uint8_t w = out_fp(in.d);
+        emit(NOp::kLdd, w, isa::kZeroReg, 0, in.imm);
+        store_fp(in.d, w);
+      } else {
+        const std::uint8_t w = out_int(in.d, isa::kScratch0);
+        emit(in.kind == TypeKind::kByte ? NOp::kLdb : NOp::kLdw, w,
+             isa::kZeroReg, 0, in.imm);
+        store_int(in.d, w);
+      }
+      break;
+    }
+    case IOp::kStStore: {
+      if (in.kind == TypeKind::kDouble) {
+        const std::uint8_t rv = read_fp(in.a, isa::kFScratch0);
+        emit(NOp::kStd, rv, isa::kZeroReg, 0, in.imm);
+      } else {
+        const std::uint8_t rv = read_int(in.a, isa::kScratch0);
+        emit(in.kind == TypeKind::kByte ? NOp::kStb : NOp::kStw, rv,
+             isa::kZeroReg, 0, in.imm);
+      }
+      break;
+    }
+
+    case IOp::kNewArr: {
+      const std::uint8_t ra = read_int(in.a, isa::kScratch0);
+      const std::uint8_t w = out_int(in.d, isa::kScratch1);
+      emit(NOp::kRtNewArr, w, ra, 0, in.imm);
+      store_int(in.d, w);
+      break;
+    }
+    case IOp::kNewObj: {
+      const std::uint8_t w = out_int(in.d, isa::kScratch0);
+      emit(NOp::kRtNewObj, w, 0, 0, in.imm);
+      store_int(in.d, w);
+      break;
+    }
+
+    case IOp::kCallStatic: case IOp::kCallVirtual: case IOp::kIntrinsic:
+      lower_call(in);
+      break;
+
+    case IOp::kBrEq: case IOp::kBrNe: case IOp::kBrLt:
+    case IOp::kBrLe: case IOp::kBrGt: case IOp::kBrGe: {
+      const std::uint8_t ra = read_int(in.a, isa::kScratch0);
+      const std::uint8_t rb = read_int(in.b, isa::kScratch1);
+      emit_branch(cond_branch(in.op), ra, rb, in.imm);
+      // Explicit jump to the fallthrough successor unless it is next.
+      std::int32_t fall = -1;
+      for (std::int32_t s : f_.blocks[block].succs)
+        if (s != in.imm) fall = s;
+      if (fall < 0) fall = in.imm;
+      const bool next_is_fall =
+          order_pos + 1 < static_cast<std::int32_t>(al_.order.size()) &&
+          al_.order[order_pos + 1] == fall;
+      if (!next_is_fall) {
+        fixups_.emplace_back(prog_.code.size(), fall);
+        emit(NOp::kJmp);
+      }
+      break;
+    }
+    case IOp::kBrDEq: case IOp::kBrDNe: case IOp::kBrDLt:
+    case IOp::kBrDLe: case IOp::kBrDGt: case IOp::kBrDGe: {
+      const std::uint8_t ra = read_fp(in.a, isa::kFScratch0);
+      const std::uint8_t rb = read_fp(in.b, isa::kFScratch1);
+      emit(NOp::kFcmp, isa::kScratch2, ra, rb);
+      emit_branch(cond_branch(in.op), isa::kScratch2, isa::kZeroReg, in.imm);
+      std::int32_t fall = -1;
+      for (std::int32_t s : f_.blocks[block].succs)
+        if (s != in.imm) fall = s;
+      if (fall < 0) fall = in.imm;
+      const bool next_is_fall =
+          order_pos + 1 < static_cast<std::int32_t>(al_.order.size()) &&
+          al_.order[order_pos + 1] == fall;
+      if (!next_is_fall) {
+        fixups_.emplace_back(prog_.code.size(), fall);
+        emit(NOp::kJmp);
+      }
+      break;
+    }
+    case IOp::kJmp: {
+      const bool next_is_target =
+          order_pos + 1 < static_cast<std::int32_t>(al_.order.size()) &&
+          al_.order[order_pos + 1] == in.imm;
+      if (!next_is_target) {
+        fixups_.emplace_back(prog_.code.size(), in.imm);
+        emit(NOp::kJmp);
+      }
+      break;
+    }
+    case IOp::kRet: {
+      if (in.a >= 0) {
+        if (is_fp(in.a)) {
+          const std::uint8_t r = read_fp(in.a, isa::kFScratch0);
+          emit(NOp::kFmov, isa::kFRetReg, r);
+        } else {
+          const std::uint8_t r = read_int(in.a, isa::kScratch0);
+          emit(NOp::kMov, isa::kRetReg, r);
+        }
+      }
+      emit(NOp::kRet);
+      break;
+    }
+  }
+}
+
+isa::NativeProgram Lowerer::run() {
+  block_at_.assign(f_.blocks.size(), -1);
+  prog_.method_id = f_.method_id;
+  prog_.spill_bytes = al_.frame_bytes;
+
+  // Entry: move incoming arguments to their allocated homes. Sources
+  // (r1../f1..) and destinations (temp pools / spill slots) are disjoint.
+  {
+    std::uint8_t next_int = isa::kFirstArgReg;
+    std::uint8_t next_fp = isa::kFFirstArgReg;
+    for (std::int32_t v : f_.arg_vregs) {
+      if (is_fp(v)) {
+        const std::uint8_t src = next_fp++;
+        if (al_.in_reg(v))
+          emit(NOp::kFmov, static_cast<std::uint8_t>(al_.reg[v]), src);
+        else if (al_.spill[v] >= 0)
+          emit(NOp::kStd, src, isa::kFrameReg, 0, al_.spill[v]);
+      } else {
+        const std::uint8_t src = next_int++;
+        if (al_.in_reg(v))
+          emit(NOp::kMov, static_cast<std::uint8_t>(al_.reg[v]), src);
+        else if (al_.spill[v] >= 0)
+          emit(NOp::kStw, src, isa::kFrameReg, 0, al_.spill[v]);
+      }
+    }
+  }
+
+  for (std::size_t oi = 0; oi < al_.order.size(); ++oi) {
+    const std::int32_t b = al_.order[oi];
+    block_at_[b] = static_cast<std::int32_t>(prog_.code.size());
+    for (const IInstr& in : f_.blocks[b].instrs)
+      lower_instr(in, b, static_cast<std::int32_t>(oi));
+  }
+
+  // Trap stubs.
+  std::int32_t trap_null = -1, trap_bounds = -1;
+  for (const auto& [at, target] : fixups_) {
+    if (target == kFixupTrapNull && trap_null < 0) {
+      trap_null = static_cast<std::int32_t>(prog_.code.size());
+      emit(NOp::kTrap, 0, 0, 0,
+           static_cast<std::int32_t>(isa::TrapCode::kNullPointer));
+    } else if (target == kFixupTrapBounds && trap_bounds < 0) {
+      trap_bounds = static_cast<std::int32_t>(prog_.code.size());
+      emit(NOp::kTrap, 0, 0, 0,
+           static_cast<std::int32_t>(isa::TrapCode::kArrayBounds));
+    }
+  }
+
+  for (const auto& [at, target] : fixups_) {
+    std::int32_t resolved;
+    if (target == kFixupTrapNull)
+      resolved = trap_null;
+    else if (target == kFixupTrapBounds)
+      resolved = trap_bounds;
+    else
+      resolved = block_at_.at(target);
+    if (resolved < 0) throw Error("codegen: unresolved branch target");
+    prog_.code[at].imm = resolved;
+  }
+
+  return std::move(prog_);
+}
+
+}  // namespace
+
+isa::NativeProgram lower_to_native(const Function& f, const Allocation& al,
+                                   CompileMeter& meter) {
+  return Lowerer(f, al, meter).run();
+}
+
+}  // namespace javelin::jit

@@ -1,0 +1,13 @@
+// IR -> native code lowering (see codegen.cpp).
+#pragma once
+
+#include "jit/compiler.hpp"
+#include "jit/regalloc.hpp"
+
+namespace javelin::jit {
+
+/// Lower an allocated function to a native program (not yet installed).
+isa::NativeProgram lower_to_native(const Function& f, const Allocation& al,
+                                   CompileMeter& meter);
+
+}  // namespace javelin::jit

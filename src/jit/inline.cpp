@@ -1,0 +1,151 @@
+// Method inlining (Level 3).
+//
+// Inlines static calls and monomorphic virtual calls (the paper's "virtual
+// method inlining", citing LaTTe/JaMake) subject to a callee-size budget and
+// a nesting-depth limit. The callee's IR is spliced into the caller: the call
+// block is split, argument moves bridge the calling convention, and callee
+// returns become jumps to the continuation block.
+
+#include "jit/analysis.hpp"
+#include "jit/compiler.hpp"
+
+namespace javelin::jit::passes {
+
+namespace {
+
+struct CallSite {
+  std::int32_t block;
+  std::size_t index;
+  std::int32_t callee;
+};
+
+/// Find the first inlinable call site, if any. `veto` lists callees that
+/// have hit their per-callee inlining cap (bounds recursive chains).
+bool find_site(const Function& f, const jvm::Jvm& jvm, const CompileOptions& o,
+               const std::vector<std::int32_t>& inline_counts, CallSite& out) {
+  for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+    const auto& instrs = f.blocks[b].instrs;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const IInstr& in = instrs[i];
+      std::int32_t callee = -1;
+      if (in.op == IOp::kCallStatic) {
+        callee = in.imm;
+      } else if (in.op == IOp::kCallVirtual) {
+        if (!jvm.is_monomorphic(in.imm)) continue;
+        callee = in.imm;
+      } else {
+        continue;
+      }
+      if (callee == f.method_id) continue;  // no self-inlining
+      if (inline_counts[callee] >= 2) continue;  // recursive-chain cap
+      const jvm::RtMethod& cm = jvm.method(callee);
+      // A coarse size filter on bytecode length before paying for
+      // translation (4 IR instrs per bytecode is a safe overestimate).
+      if (cm.info->code.size() > o.inline_budget) continue;
+      out = CallSite{static_cast<std::int32_t>(b), i, callee};
+      return true;
+    }
+  }
+  return false;
+}
+
+void inline_one(Function& f, const jvm::Jvm& jvm, const CallSite& site,
+                CompileMeter& meter) {
+  // Translate the callee with vregs remapped into the caller's space.
+  Function callee = translate_to_ir(jvm, site.callee, meter);
+  const auto vreg_base = static_cast<std::int32_t>(f.num_vregs());
+  for (TypeKind k : callee.vreg_kinds) f.vreg_kinds.push_back(k);
+  auto remap = [vreg_base](std::int32_t v) { return v + vreg_base; };
+
+  Block& caller_block = f.blocks[site.block];
+  IInstr call = caller_block.instrs[site.index];
+
+  // Split the caller block: [0, index) stays, (index, end) moves to `cont`.
+  const auto cont_id = static_cast<std::int32_t>(f.blocks.size());
+  f.blocks.push_back(Block{});
+  // NOTE: vector may have reallocated; re-take references.
+  Block& head = f.blocks[site.block];
+  Block& cont = f.blocks[cont_id];
+  cont.instrs.assign(head.instrs.begin() +
+                         static_cast<std::ptrdiff_t>(site.index + 1),
+                     head.instrs.end());
+  cont.succs = head.succs;
+  head.instrs.resize(site.index);
+  head.succs.clear();
+
+  // Splice callee blocks after `cont`.
+  const auto block_base = static_cast<std::int32_t>(f.blocks.size());
+  for (auto& cb : callee.blocks) {
+    Block nb;
+    nb.instrs.reserve(cb.instrs.size());
+    for (IInstr in : cb.instrs) {
+      if (has_dest(in.op) && in.d >= 0) in.d = remap(in.d);
+      rewrite_uses(in, remap);
+      if (is_cond_branch(in.op) || in.op == IOp::kJmp) in.imm += block_base;
+      if (in.op == IOp::kRet) {
+        // return -> (mov result) + jmp cont
+        if (in.a >= 0 && call.d >= 0) {
+          IInstr mv;
+          mv.op = IOp::kMov;
+          mv.d = call.d;
+          mv.a = in.a;
+          mv.kind = f.vreg_kinds[call.d];
+          nb.instrs.push_back(mv);
+        }
+        IInstr j;
+        j.op = IOp::kJmp;
+        j.imm = cont_id;
+        nb.instrs.push_back(j);
+        nb.succs.push_back(cont_id);
+        meter.work(2);
+        continue;
+      }
+      nb.instrs.push_back(std::move(in));
+      meter.work(2);
+    }
+    for (std::int32_t s : cb.succs) nb.succs.push_back(s + block_base);
+    f.blocks.push_back(std::move(nb));
+  }
+
+  // Bridge arguments and jump into the callee entry.
+  Block& head2 = f.blocks[site.block];
+  for (std::size_t k = 0; k < call.args.size(); ++k) {
+    IInstr mv;
+    mv.op = IOp::kMov;
+    mv.d = remap(callee.arg_vregs[k]);
+    mv.a = call.args[k];
+    mv.kind = f.vreg_kinds[mv.a];
+    head2.instrs.push_back(mv);
+    meter.work(1);
+  }
+  IInstr j;
+  j.op = IOp::kJmp;
+  j.imm = block_base;  // callee entry
+  head2.instrs.push_back(j);
+  head2.succs.push_back(block_base);
+
+  f.recompute_preds();
+}
+
+}  // namespace
+
+void inline_calls(Function& f, const jvm::Jvm& jvm, const CompileOptions& o,
+                  CompileMeter& meter) {
+  constexpr std::size_t kMaxFunctionInstrs = 4000;
+  std::vector<std::int32_t> inline_counts(jvm.num_methods(), 0);
+  for (int depth = 0; depth < o.inline_depth; ++depth) {
+    bool any = false;
+    // Inline every currently-visible site once per round.
+    for (;;) {
+      CallSite site;
+      if (f.num_instrs() >= kMaxFunctionInstrs) return;
+      if (!find_site(f, jvm, o, inline_counts, site)) break;
+      ++inline_counts[site.callee];
+      inline_one(f, jvm, site, meter);
+      any = true;
+    }
+    if (!any) return;
+  }
+}
+
+}  // namespace javelin::jit::passes

@@ -1,0 +1,155 @@
+#include "jit/ir.hpp"
+
+#include <sstream>
+
+namespace javelin::jit {
+
+const char* iop_name(IOp op) {
+  switch (op) {
+    case IOp::kConstI: return "const.i";
+    case IOp::kConstD: return "const.d";
+    case IOp::kMov: return "mov";
+    case IOp::kIAdd: return "iadd";
+    case IOp::kISub: return "isub";
+    case IOp::kIMul: return "imul";
+    case IOp::kIDiv: return "idiv";
+    case IOp::kIRem: return "irem";
+    case IOp::kINeg: return "ineg";
+    case IOp::kIAnd: return "iand";
+    case IOp::kIOr: return "ior";
+    case IOp::kIXor: return "ixor";
+    case IOp::kIShl: return "ishl";
+    case IOp::kIShr: return "ishr";
+    case IOp::kIShru: return "ishru";
+    case IOp::kDAdd: return "dadd";
+    case IOp::kDSub: return "dsub";
+    case IOp::kDMul: return "dmul";
+    case IOp::kDDiv: return "ddiv";
+    case IOp::kDNeg: return "dneg";
+    case IOp::kI2D: return "i2d";
+    case IOp::kD2I: return "d2i";
+    case IOp::kDCmp: return "dcmp";
+    case IOp::kArrLoad: return "arr.load";
+    case IOp::kArrStore: return "arr.store";
+    case IOp::kArrLen: return "arr.len";
+    case IOp::kFldLoad: return "fld.load";
+    case IOp::kFldStore: return "fld.store";
+    case IOp::kStLoad: return "st.load";
+    case IOp::kStStore: return "st.store";
+    case IOp::kNewArr: return "newarr";
+    case IOp::kNewObj: return "newobj";
+    case IOp::kCallStatic: return "call";
+    case IOp::kCallVirtual: return "callv";
+    case IOp::kIntrinsic: return "intrinsic";
+    case IOp::kBrEq: return "br.eq";
+    case IOp::kBrNe: return "br.ne";
+    case IOp::kBrLt: return "br.lt";
+    case IOp::kBrLe: return "br.le";
+    case IOp::kBrGt: return "br.gt";
+    case IOp::kBrGe: return "br.ge";
+    case IOp::kBrDEq: return "br.deq";
+    case IOp::kBrDNe: return "br.dne";
+    case IOp::kBrDLt: return "br.dlt";
+    case IOp::kBrDLe: return "br.dle";
+    case IOp::kBrDGt: return "br.dgt";
+    case IOp::kBrDGe: return "br.dge";
+    case IOp::kJmp: return "jmp";
+    case IOp::kRet: return "ret";
+  }
+  return "?";
+}
+
+bool has_dest(IOp op) {
+  switch (op) {
+    case IOp::kConstI: case IOp::kConstD: case IOp::kMov:
+    case IOp::kIAdd: case IOp::kISub: case IOp::kIMul: case IOp::kIDiv:
+    case IOp::kIRem: case IOp::kINeg: case IOp::kIAnd: case IOp::kIOr:
+    case IOp::kIXor: case IOp::kIShl: case IOp::kIShr: case IOp::kIShru:
+    case IOp::kDAdd: case IOp::kDSub: case IOp::kDMul: case IOp::kDDiv:
+    case IOp::kDNeg: case IOp::kI2D: case IOp::kD2I: case IOp::kDCmp:
+    case IOp::kArrLoad: case IOp::kArrLen: case IOp::kFldLoad:
+    case IOp::kStLoad: case IOp::kNewArr: case IOp::kNewObj:
+      return true;
+    case IOp::kCallStatic: case IOp::kCallVirtual: case IOp::kIntrinsic:
+      return true;  // d may still be -1 for void calls
+    default:
+      return false;
+  }
+}
+
+bool is_pure(IOp op) {
+  switch (op) {
+    case IOp::kConstI: case IOp::kConstD: case IOp::kMov:
+    case IOp::kIAdd: case IOp::kISub: case IOp::kIMul: case IOp::kINeg:
+    case IOp::kIAnd: case IOp::kIOr: case IOp::kIXor:
+    case IOp::kIShl: case IOp::kIShr: case IOp::kIShru:
+    case IOp::kDAdd: case IOp::kDSub: case IOp::kDMul: case IOp::kDDiv:
+    case IOp::kDNeg: case IOp::kI2D: case IOp::kD2I: case IOp::kDCmp:
+      return true;
+    default:
+      return false;  // div/rem trap; memory ops, calls, branches
+  }
+}
+
+bool is_terminator(IOp op) {
+  switch (op) {
+    case IOp::kBrEq: case IOp::kBrNe: case IOp::kBrLt:
+    case IOp::kBrLe: case IOp::kBrGt: case IOp::kBrGe:
+    case IOp::kBrDEq: case IOp::kBrDNe: case IOp::kBrDLt:
+    case IOp::kBrDLe: case IOp::kBrDGt: case IOp::kBrDGe:
+    case IOp::kJmp: case IOp::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cond_branch(IOp op) {
+  switch (op) {
+    case IOp::kBrEq: case IOp::kBrNe: case IOp::kBrLt:
+    case IOp::kBrLe: case IOp::kBrGt: case IOp::kBrGe:
+    case IOp::kBrDEq: case IOp::kBrDNe: case IOp::kBrDLt:
+    case IOp::kBrDLe: case IOp::kBrDGt: case IOp::kBrDGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Function::recompute_preds() {
+  for (auto& b : blocks) b.preds.clear();
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    for (std::int32_t s : blocks[i].succs)
+      blocks[s].preds.push_back(static_cast<std::int32_t>(i));
+}
+
+std::string Function::dump() const {
+  std::ostringstream os;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    os << "B" << bi << ":  (succs:";
+    for (auto s : blocks[bi].succs) os << " B" << s;
+    os << ")\n";
+    for (const IInstr& in : blocks[bi].instrs) {
+      os << "  " << iop_name(in.op);
+      if (in.d >= 0) os << " v" << in.d << " <-";
+      if (in.a >= 0) os << " v" << in.a;
+      if (in.b >= 0) os << " v" << in.b;
+      if (in.c >= 0) os << " v" << in.c;
+      if (!in.args.empty()) {
+        os << " (";
+        for (std::size_t i = 0; i < in.args.size(); ++i)
+          os << (i ? ", v" : "v") << in.args[i];
+        os << ")";
+      }
+      if (in.op == IOp::kConstD)
+        os << " " << in.dimm;
+      else if (in.imm != 0 || in.op == IOp::kConstI || is_cond_branch(in.op) ||
+               in.op == IOp::kJmp)
+        os << " #" << in.imm;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace javelin::jit

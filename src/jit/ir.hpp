@@ -1,0 +1,143 @@
+// The JIT's intermediate representation.
+//
+// A three-address IR over typed virtual registers, organized as a CFG of
+// basic blocks. Bytecode is translated into this IR (translate.cpp), the
+// optimization levels run their passes over it (opt.cpp, inline.cpp), and
+// codegen lowers it to the native ISA after linear-scan register allocation.
+//
+// Array and field accesses stay high-level in the IR (null/bounds checks are
+// implicit) and are expanded by codegen; this keeps the optimizer honest —
+// guarded memory operations are never reordered or eliminated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/value.hpp"
+
+namespace javelin::jit {
+
+using jvm::TypeKind;
+
+enum class IOp : std::uint8_t {
+  kConstI,   ///< d = imm
+  kConstD,   ///< d = dimm
+  kMov,      ///< d = a (any kind)
+
+  // Integer arithmetic (operands/dest int vregs).
+  kIAdd, kISub, kIMul, kIDiv, kIRem, kINeg,
+  kIAnd, kIOr, kIXor, kIShl, kIShr, kIShru,
+
+  // Double arithmetic.
+  kDAdd, kDSub, kDMul, kDDiv, kDNeg,
+
+  // Conversions / comparison.
+  kI2D, kD2I,
+  kDCmp,  ///< d(int) = cmp(a, b) in {-1, 0, 1}
+
+  // Guarded memory operations (null/bounds checks implicit).
+  kArrLoad,   ///< d = a[b]; `kind` gives element kind
+  kArrStore,  ///< a[b] = c
+  kArrLen,    ///< d = a.length
+  kFldLoad,   ///< d = *(a + imm); `kind` gives field kind
+  kFldStore,  ///< *(a + imm) = b
+  kStLoad,    ///< d = *static(imm = address)
+  kStStore,   ///< *static(imm) = a
+
+  // Allocation (runtime calls).
+  kNewArr,  ///< d = new [a]; imm = element TypeKind
+  kNewObj,  ///< d = new; imm = class id
+
+  // Calls. `args` holds argument vregs; imm = global method/intrinsic id.
+  kCallStatic,
+  kCallVirtual,  ///< imm = declared method id; args[0] is the receiver
+  kIntrinsic,
+
+  // Terminators.
+  kBrEq, kBrNe, kBrLt, kBrLe, kBrGt, kBrGe,  ///< compare a, b; then goto imm
+  kBrDEq, kBrDNe, kBrDLt, kBrDLe, kBrDGt, kBrDGe,  ///< double compares
+  kJmp,   ///< goto imm (block id)
+  kRet,   ///< return a (or none if a < 0)
+};
+
+const char* iop_name(IOp op);
+
+/// True if the instruction produces a value in `d`.
+bool has_dest(IOp op);
+/// True if the op is a pure computation (no side effects, no traps) —
+/// eligible for CSE/DCE/LICM. Note kIDiv/kIRem can trap and are excluded.
+bool is_pure(IOp op);
+/// True for block terminators.
+bool is_terminator(IOp op);
+/// True for conditional branches (fall through to the next block when the
+/// condition is false).
+bool is_cond_branch(IOp op);
+
+struct IInstr {
+  IOp op;
+  std::int32_t d = -1;           ///< Dest vreg (-1 if none).
+  std::int32_t a = -1;           ///< First operand vreg.
+  std::int32_t b = -1;           ///< Second operand vreg.
+  std::int32_t c = -1;           ///< Third operand vreg (array stores).
+  std::int32_t imm = 0;          ///< Immediate / offset / target / callee id.
+  double dimm = 0.0;             ///< Double immediate (kConstD).
+  TypeKind kind = TypeKind::kInt;  ///< Value kind for memory ops / dest.
+  /// Set by bounds-check elimination: a dominating access already proved the
+  /// null/bounds guards for this (array, index) pair, so codegen may omit
+  /// them (kArrLoad/kArrStore/kArrLen/kFldLoad/kFldStore only).
+  bool skip_guards = false;
+  std::vector<std::int32_t> args;  ///< Call arguments.
+};
+
+struct Block {
+  std::vector<IInstr> instrs;
+  std::vector<std::int32_t> succs;  ///< Successor block ids.
+  std::vector<std::int32_t> preds;  ///< Predecessor block ids.
+};
+
+struct Function {
+  std::int32_t method_id = -1;
+  std::vector<Block> blocks;  ///< Block 0 is the entry.
+  std::vector<TypeKind> vreg_kinds;  ///< Kind of each vreg.
+  /// Argument vregs in invocation order (receiver first).
+  std::vector<std::int32_t> arg_vregs;
+  TypeKind ret_kind = TypeKind::kVoid;
+
+  std::int32_t new_vreg(TypeKind k) {
+    vreg_kinds.push_back(k);
+    return static_cast<std::int32_t>(vreg_kinds.size() - 1);
+  }
+  std::size_t num_vregs() const { return vreg_kinds.size(); }
+  std::size_t num_instrs() const {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.instrs.size();
+    return n;
+  }
+
+  /// Recompute preds from succs.
+  void recompute_preds();
+  /// Rebuild succs of every block from its terminator (and fallthrough
+  /// target `fall[b]` if >= 0), then recompute preds.
+  std::string dump() const;
+};
+
+/// Iterate over the vregs an instruction uses (not defines).
+template <typename Fn>
+void for_each_use(const IInstr& in, Fn&& fn) {
+  if (in.a >= 0) fn(in.a);
+  if (in.b >= 0) fn(in.b);
+  if (in.c >= 0) fn(in.c);
+  for (std::int32_t v : in.args) fn(v);
+}
+
+/// Mutate uses in place.
+template <typename Fn>
+void rewrite_uses(IInstr& in, Fn&& fn) {
+  if (in.a >= 0) in.a = fn(in.a);
+  if (in.b >= 0) in.b = fn(in.b);
+  if (in.c >= 0) in.c = fn(in.c);
+  for (std::int32_t& v : in.args) v = fn(v);
+}
+
+}  // namespace javelin::jit

@@ -1,0 +1,53 @@
+// Compiler driver: ties translation, optimization, allocation and lowering
+// together per optimization level, and reports the work performed (the basis
+// of the paper's compilation-energy numbers, Fig 8).
+
+#include "jit/analysis.hpp"
+#include "jit/codegen.hpp"
+#include "jit/compiler.hpp"
+#include "jit/regalloc.hpp"
+
+namespace javelin::jit {
+
+CompileResult compile_method(const jvm::Jvm& jvm, std::int32_t method_id,
+                             const CompileOptions& opts,
+                             const energy::InstructionEnergyTable& table) {
+  if (opts.opt_level < 1 || opts.opt_level > 3)
+    throw Error("jit: bad optimization level");
+
+  CompileMeter meter;
+  CompileResult result;
+
+  Function f = translate_to_ir(jvm, method_id, meter);
+  result.ir_instrs_before = f.num_instrs();
+
+  if (opts.opt_level >= 3) {
+    passes::inline_calls(f, jvm, opts, meter);
+  }
+  if (opts.opt_level >= 2) {
+    // The paper's Level-2 list: CSE, loop-invariant code motion, strength
+    // reduction, redundancy elimination.
+    passes::local_value_numbering(f, meter);
+    passes::copy_prop_dce(f, meter);
+    passes::global_cse(f, meter);
+    passes::copy_prop_dce(f, meter);
+    passes::licm(f, meter);
+    passes::local_value_numbering(f, meter);
+    passes::copy_prop_dce(f, meter);
+  }
+  if (opts.opt_level >= 3 && opts.bounds_check_elimination) {
+    passes::bounds_check_elim(f, meter);
+  }
+  result.ir_instrs_after = f.num_instrs();
+
+  Allocation al = allocate(f, meter);
+  result.program = lower_to_native(f, al, meter);
+  result.program.method_id = method_id;
+
+  result.compile_work = meter.counts();
+  result.compile_energy = meter.energy(table);
+  result.compile_cycles = meter.cycles();
+  return result;
+}
+
+}  // namespace javelin::jit

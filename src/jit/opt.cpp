@@ -1,0 +1,495 @@
+// Optimization passes for Level 2 / Level 3 compilation.
+//
+// The paper's Level 2 list (Section 3): common sub-expression elimination,
+// loop-invariant code motion, strength reduction, and redundancy elimination
+// (copy propagation + dead-code elimination here). The IR is not SSA, so the
+// global passes restrict themselves to *single-def* vregs — virtually all
+// temporaries produced by the translator — which keeps them simple and sound;
+// multi-def vregs (locals, canonical stack slots) are handled by the local
+// value-numbering pass within each block.
+
+#include <optional>
+#include <unordered_map>
+
+#include "jit/analysis.hpp"
+#include "jit/compiler.hpp"
+
+namespace javelin::jit::passes {
+
+namespace {
+
+std::vector<std::int32_t> def_counts(const Function& f) {
+  std::vector<std::int32_t> defs(f.num_vregs(), 0);
+  for (const auto& b : f.blocks)
+    for (const auto& in : b.instrs)
+      if (has_dest(in.op) && in.d >= 0) ++defs[in.d];
+  // Arguments are defined at entry.
+  for (std::int32_t v : f.arg_vregs) ++defs[v];
+  return defs;
+}
+
+std::vector<std::int32_t> use_counts(const Function& f) {
+  std::vector<std::int32_t> uses(f.num_vregs(), 0);
+  for (const auto& b : f.blocks)
+    for (const auto& in : b.instrs)
+      for_each_use(in, [&](std::int32_t v) { ++uses[v]; });
+  return uses;
+}
+
+bool is_pow2(std::int32_t v) { return v > 0 && (v & (v - 1)) == 0; }
+int log2i(std::int32_t v) {
+  int s = 0;
+  while ((1 << s) < v) ++s;
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Local value numbering with constant folding and strength reduction.
+// ---------------------------------------------------------------------------
+void local_value_numbering(Function& f, CompileMeter& meter) {
+  struct ExprKey {
+    IOp op;
+    std::int32_t va, vb;  // value numbers of operands
+    std::int64_t imm;
+    bool operator==(const ExprKey&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ExprKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.op);
+      h = h * 1000003u + static_cast<std::size_t>(k.va + 7);
+      h = h * 1000003u + static_cast<std::size_t>(k.vb + 7);
+      h = h * 1000003u + static_cast<std::size_t>(k.imm * 2654435761u);
+      return h;
+    }
+  };
+
+  for (auto& blk : f.blocks) {
+    std::vector<std::int32_t> vn;
+    std::int32_t next_vn = 0;
+    auto vn_of = [&](std::int32_t vreg) {
+      if (static_cast<std::size_t>(vreg) >= vn.size())
+        vn.resize(f.num_vregs(), -1);
+      if (vn[vreg] < 0) vn[vreg] = next_vn++;
+      return vn[vreg];
+    };
+    auto set_vn = [&](std::int32_t vreg, std::int32_t v) {
+      if (static_cast<std::size_t>(vreg) >= vn.size())
+        vn.resize(f.num_vregs(), -1);
+      vn[vreg] = v;
+    };
+    // expr -> (value number, holder vreg). Holder validity is checked by
+    // comparing the holder's current VN (the holder may be overwritten).
+    std::unordered_map<ExprKey, std::pair<std::int32_t, std::int32_t>, KeyHash>
+        table;
+    // VN -> known constants.
+    std::unordered_map<std::int32_t, std::int32_t> const_i;
+    std::unordered_map<std::int32_t, double> const_d;
+
+    auto holder_valid = [&](const std::pair<std::int32_t, std::int32_t>& e) {
+      return static_cast<std::size_t>(e.second) < vn.size() &&
+             vn[e.second] == e.first;
+    };
+
+    for (std::size_t idx = 0; idx < blk.instrs.size(); ++idx) {
+      meter.work(2);
+
+      auto ci = [&](std::int32_t vreg) -> std::optional<std::int32_t> {
+        const auto it = const_i.find(vn_of(vreg));
+        if (it == const_i.end()) return std::nullopt;
+        return it->second;
+      };
+
+      // --- constant folding & strength reduction -------------------------
+      {
+        IInstr& in = blk.instrs[idx];
+        switch (in.op) {
+          case IOp::kIAdd: case IOp::kISub: case IOp::kIMul:
+          case IOp::kIAnd: case IOp::kIOr: case IOp::kIXor:
+          case IOp::kIShl: case IOp::kIShr: case IOp::kIShru: {
+            const auto a = ci(in.a), b = ci(in.b);
+            if (a && b) {
+              std::int32_t r = 0;
+              switch (in.op) {
+                case IOp::kIAdd: r = *a + *b; break;
+                case IOp::kISub: r = *a - *b; break;
+                case IOp::kIMul: r = *a * *b; break;
+                case IOp::kIAnd: r = *a & *b; break;
+                case IOp::kIOr: r = *a | *b; break;
+                case IOp::kIXor: r = *a ^ *b; break;
+                case IOp::kIShl: r = *a << (*b & 31); break;
+                case IOp::kIShr: r = *a >> (*b & 31); break;
+                default:
+                  r = static_cast<std::int32_t>(
+                      static_cast<std::uint32_t>(*a) >> (*b & 31));
+                  break;
+              }
+              in.op = IOp::kConstI;
+              in.imm = r;
+              in.a = in.b = -1;
+            } else if (in.op == IOp::kIMul && a && !b) {
+              // Canonicalize the constant to the right.
+              std::swap(in.a, in.b);
+            }
+            // Re-read constants after canonicalization.
+            const auto b2 =
+                in.op == IOp::kIMul || in.op == IOp::kIAdd ? ci(in.b)
+                                                           : std::nullopt;
+            if (in.op == IOp::kIAdd && b2 && *b2 == 0) {
+              in.op = IOp::kMov;  // x + 0 -> x
+              in.b = -1;
+              in.kind = TypeKind::kInt;
+            } else if (in.op == IOp::kIMul && b2 && *b2 == 1) {
+              in.op = IOp::kMov;  // x * 1 -> x
+              in.b = -1;
+              in.kind = TypeKind::kInt;
+            } else if (in.op == IOp::kIMul && b2 && *b2 == 0) {
+              in.op = IOp::kConstI;  // x * 0 -> 0
+              in.imm = 0;
+              in.a = in.b = -1;
+            } else if (in.op == IOp::kIMul && b2 && is_pow2(*b2)) {
+              // Strength reduction: x * 2^k -> x << k. Materialize the shift
+              // amount as a fresh constant before this instruction.
+              const std::int32_t shift = log2i(*b2);
+              IInstr cst;
+              cst.op = IOp::kConstI;
+              cst.d = f.new_vreg(TypeKind::kInt);
+              cst.imm = shift;
+              IInstr& mul = blk.instrs[idx];
+              mul.op = IOp::kIShl;
+              mul.b = cst.d;
+              blk.instrs.insert(
+                  blk.instrs.begin() + static_cast<std::ptrdiff_t>(idx), cst);
+              // Process the inserted constant on the next iteration.
+              --idx;
+              meter.work(3);
+              continue;
+            }
+            break;
+          }
+          case IOp::kINeg: {
+            if (const auto a = ci(in.a)) {
+              in.op = IOp::kConstI;
+              in.imm = -*a;
+              in.a = -1;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+
+      // --- value numbering ------------------------------------------------
+      IInstr& in = blk.instrs[idx];
+      if (in.op == IOp::kConstI && in.d >= 0) {
+        ExprKey key{IOp::kConstI, -1, -1, in.imm};
+        auto it = table.find(key);
+        if (it != table.end() && holder_valid(it->second) &&
+            it->second.second != in.d) {
+          const std::int32_t holder = it->second.second;
+          const std::int32_t v = it->second.first;
+          in.op = IOp::kMov;
+          in.a = holder;
+          in.kind = f.vreg_kinds[in.d];
+          set_vn(in.d, v);
+        } else {
+          const std::int32_t v = next_vn++;
+          set_vn(in.d, v);
+          const_i[v] = in.imm;
+          table[key] = {v, in.d};
+        }
+        continue;
+      }
+      if (in.op == IOp::kConstD && in.d >= 0) {
+        ExprKey key{IOp::kConstD, -1, -1,
+                    static_cast<std::int64_t>(std::hash<double>{}(in.dimm))};
+        auto it = table.find(key);
+        const bool hit = it != table.end() && holder_valid(it->second) &&
+                         it->second.second != in.d &&
+                         const_d.count(it->second.first) &&
+                         const_d[it->second.first] == in.dimm;
+        if (hit) {
+          in.op = IOp::kMov;
+          in.a = it->second.second;
+          in.kind = TypeKind::kDouble;
+          set_vn(in.d, it->second.first);
+        } else {
+          const std::int32_t v = next_vn++;
+          set_vn(in.d, v);
+          const_d[v] = in.dimm;
+          table[key] = {v, in.d};
+        }
+        continue;
+      }
+      if (in.op == IOp::kMov && in.d >= 0) {
+        set_vn(in.d, vn_of(in.a));  // copies share the value number
+        continue;
+      }
+      if (is_pure(in.op) && in.d >= 0) {
+        ExprKey key{in.op, vn_of(in.a), in.b >= 0 ? vn_of(in.b) : -1, in.imm};
+        auto it = table.find(key);
+        if (it != table.end() && holder_valid(it->second) &&
+            it->second.second != in.d) {
+          const std::int32_t holder = it->second.second;
+          const std::int32_t v = it->second.first;
+          in.op = IOp::kMov;
+          in.a = holder;
+          in.b = -1;
+          in.kind = f.vreg_kinds[in.d];
+          set_vn(in.d, v);
+        } else {
+          const std::int32_t v = next_vn++;
+          set_vn(in.d, v);
+          table[key] = {v, in.d};
+        }
+        continue;
+      }
+      // Impure defs get fresh value numbers.
+      if (has_dest(in.op) && in.d >= 0) set_vn(in.d, next_vn++);
+    }
+  }
+  (void)use_counts;
+}
+
+// ---------------------------------------------------------------------------
+// Dominator-based global CSE over single-def vregs.
+// ---------------------------------------------------------------------------
+void global_cse(Function& f, CompileMeter& meter) {
+  const auto defs = def_counts(f);
+  Analysis a = analyze(f, meter);
+
+  struct ExprKey {
+    IOp op;
+    std::int32_t va, vb;
+    std::int64_t imm;
+    bool operator==(const ExprKey&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ExprKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.op);
+      h = h * 1000003u + static_cast<std::size_t>(k.va + 7);
+      h = h * 1000003u + static_cast<std::size_t>(k.vb + 7);
+      h = h * 1000003u + static_cast<std::size_t>(k.imm * 2654435761u);
+      return h;
+    }
+  };
+  struct Holder {
+    std::int32_t vreg;
+    std::int32_t block;
+  };
+  std::unordered_map<ExprKey, Holder, KeyHash> table;
+
+  // Process blocks in RPO; an earlier computation can serve a later one only
+  // if its block dominates the later block.
+  for (std::int32_t b : a.rpo) {
+    for (auto& in : f.blocks[b].instrs) {
+      meter.work(2);
+      if (!is_pure(in.op) || in.d < 0) continue;
+      if (in.op == IOp::kMov) continue;
+      if (defs[in.d] != 1) continue;
+      if (in.a >= 0 && defs[in.a] != 1) continue;
+      if (in.b >= 0 && defs[in.b] != 1) continue;
+
+      ExprKey key{in.op, in.a, in.b,
+                  in.op == IOp::kConstD
+                      ? static_cast<std::int64_t>(std::hash<double>{}(in.dimm))
+                      : in.imm};
+      auto it = table.find(key);
+      if (it != table.end() && a.dominates(it->second.block, b) &&
+          it->second.vreg != in.d) {
+        in.op = IOp::kMov;
+        in.a = it->second.vreg;
+        in.b = -1;
+        in.kind = f.vreg_kinds[in.d];
+      } else {
+        table[key] = Holder{in.d, b};
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loop-invariant code motion.
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Create (or reuse) a preheader for `header`: every non-back-edge
+/// predecessor is redirected to the new block.
+std::int32_t make_preheader(Function& f, const Loop& loop,
+                            std::int32_t header) {
+  const auto new_id = static_cast<std::int32_t>(f.blocks.size());
+  f.blocks.push_back(Block{});
+  Block& pre = f.blocks.back();
+  IInstr jmp;
+  jmp.op = IOp::kJmp;
+  jmp.imm = header;
+  pre.instrs.push_back(jmp);
+  pre.succs.push_back(header);
+
+  for (std::size_t p = 0; p < f.blocks.size(); ++p) {
+    if (static_cast<std::int32_t>(p) == new_id) continue;
+    if (loop.contains(static_cast<std::int32_t>(p))) continue;  // back edges stay
+    Block& pred = f.blocks[p];
+    bool touches = false;
+    for (auto& s : pred.succs)
+      if (s == header) {
+        s = new_id;
+        touches = true;
+      }
+    if (!touches) continue;
+    // Retarget the terminator(s).
+    for (auto& in : pred.instrs) {
+      if (is_cond_branch(in.op) || in.op == IOp::kJmp) {
+        if (in.imm == header) in.imm = new_id;
+      }
+    }
+  }
+  f.recompute_preds();
+  return new_id;
+}
+
+}  // namespace
+
+void licm(Function& f, CompileMeter& meter) {
+  Analysis a = analyze(f, meter);
+  const std::vector<Loop> loops = find_loops(f, a, meter);
+  if (loops.empty()) return;
+
+  auto defs = def_counts(f);
+
+  for (const Loop& loop : loops) {
+    // Defs inside the loop.
+    std::vector<char> defined_in_loop(f.num_vregs(), 0);
+    for (std::int32_t b : loop.blocks)
+      for (const auto& in : f.blocks[b].instrs)
+        if (has_dest(in.op) && in.d >= 0) defined_in_loop[in.d] = 1;
+
+    std::int32_t preheader = -1;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (std::int32_t b : loop.blocks) {
+        // NOTE: make_preheader may reallocate f.blocks; never hold a
+        // reference to a block across it.
+        for (std::size_t i = 0; i < f.blocks[b].instrs.size(); ++i) {
+          meter.work(2);
+          {
+            const IInstr& in = f.blocks[b].instrs[i];
+            if (!is_pure(in.op) || in.d < 0) continue;
+            if (defs[in.d] != 1) continue;  // single def in the function
+            bool invariant = true;
+            for_each_use(in, [&](std::int32_t v) {
+              if (defined_in_loop[v]) invariant = false;
+            });
+            if (!invariant) continue;
+          }
+          if (preheader < 0) preheader = make_preheader(f, loop, loop.header);
+          const IInstr hoisted = f.blocks[b].instrs[i];
+          Block& pre = f.blocks[preheader];
+          // Insert before the preheader's terminating jump.
+          pre.instrs.insert(pre.instrs.end() - 1, hoisted);
+          defined_in_loop[hoisted.d] = 0;  // now defined outside
+          auto& instrs = f.blocks[b].instrs;
+          instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(i));
+          --i;
+          moved = true;
+          meter.work(4);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Copy propagation + dead-code elimination (+ dcmp/branch fusion).
+// ---------------------------------------------------------------------------
+void copy_prop_dce(Function& f, CompileMeter& meter) {
+  // --- copy propagation over single-def vregs -------------------------------
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto defs = def_counts(f);
+    // v -> u for each single-def v defined by "mov v <- u" with u single-def.
+    std::vector<std::int32_t> alias(f.num_vregs(), -1);
+    for (const auto& blk : f.blocks) {
+      for (const auto& in : blk.instrs) {
+        if (in.op == IOp::kMov && in.d >= 0 && defs[in.d] == 1 &&
+            defs[in.a] == 1 && in.d != in.a)
+          alias[in.d] = in.a;
+        meter.work(1);
+      }
+    }
+    auto resolve = [&](std::int32_t v) {
+      while (alias[v] >= 0) v = alias[v];
+      return v;
+    };
+    for (auto& blk : f.blocks) {
+      for (auto& in : blk.instrs) {
+        rewrite_uses(in, [&](std::int32_t v) {
+          const std::int32_t r = resolve(v);
+          if (r != v) changed = true;
+          return r;
+        });
+      }
+    }
+
+    // --- dcmp/branch fusion ---------------------------------------------------
+    // Pattern: t = dcmp a, b; ...; br.<cond> t, zero  (t and zero single-def,
+    // zero a constant 0). Replaced by br.d<cond> a, b.
+    for (auto& blk : f.blocks) {
+      if (blk.instrs.empty()) continue;
+      IInstr& term = blk.instrs.back();
+      if (!is_cond_branch(term.op)) continue;
+      if (term.op >= IOp::kBrDEq && term.op <= IOp::kBrDGe) continue;
+      if (term.a < 0 || term.b < 0) continue;
+      if (defs[term.a] != 1 || defs[term.b] != 1) continue;
+      // Find defs within this block.
+      const IInstr* cmp = nullptr;
+      const IInstr* zero = nullptr;
+      for (const auto& in : blk.instrs) {
+        if (in.d == term.a && in.op == IOp::kDCmp) cmp = &in;
+        if (in.d == term.b && in.op == IOp::kConstI && in.imm == 0) zero = &in;
+      }
+      if (!cmp || !zero) continue;
+      IOp fused;
+      switch (term.op) {
+        case IOp::kBrEq: fused = IOp::kBrDEq; break;
+        case IOp::kBrNe: fused = IOp::kBrDNe; break;
+        case IOp::kBrLt: fused = IOp::kBrDLt; break;
+        case IOp::kBrLe: fused = IOp::kBrDLe; break;
+        case IOp::kBrGt: fused = IOp::kBrDGt; break;
+        default: fused = IOp::kBrDGe; break;
+      }
+      term.op = fused;
+      term.a = cmp->a;
+      term.b = cmp->b;
+      changed = true;
+      meter.work(4);
+    }
+
+    // --- dead-code elimination ---------------------------------------------------
+    const auto uses = use_counts(f);
+    std::vector<char> live_ret(f.num_vregs(), 0);
+    for (auto& blk : f.blocks) {
+      auto& instrs = blk.instrs;
+      for (std::size_t i = instrs.size(); i-- > 0;) {
+        const IInstr& in = instrs[i];
+        meter.work(1);
+        const bool removable =
+            (is_pure(in.op) || in.op == IOp::kMov) && in.d >= 0 &&
+            uses[in.d] == 0;
+        if (removable) {
+          instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+        } else if (in.op == IOp::kMov && in.d == in.a) {
+          instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace javelin::jit::passes

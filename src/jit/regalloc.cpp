@@ -1,0 +1,135 @@
+#include "jit/regalloc.hpp"
+
+#include <algorithm>
+
+#include "isa/nisa.hpp"
+
+namespace javelin::jit {
+
+namespace {
+
+struct Interval {
+  std::int32_t vreg = -1;
+  std::int32_t start = -1;
+  std::int32_t end = -1;
+  bool fp = false;
+};
+
+}  // namespace
+
+Allocation allocate(const Function& f, CompileMeter& meter) {
+  Analysis a = analyze(f, meter);
+  Liveness lv = compute_liveness(f, meter);
+
+  Allocation out;
+  out.reg.assign(f.num_vregs(), -1);
+  out.spill.assign(f.num_vregs(), -1);
+  out.order = a.rpo;
+
+  // Linear positions: two per instruction (use position, def position), with
+  // block boundaries occupying positions too.
+  std::vector<std::int32_t> block_start(f.blocks.size(), 0);
+  std::vector<std::int32_t> block_end(f.blocks.size(), 0);
+  std::int32_t pos = 1;  // position 0 = function entry (args defined here)
+  std::vector<Interval> iv(f.num_vregs());
+  for (std::size_t v = 0; v < f.num_vregs(); ++v) {
+    iv[v].vreg = static_cast<std::int32_t>(v);
+    iv[v].fp = f.vreg_kinds[v] == TypeKind::kDouble;
+  }
+  auto touch = [&](std::int32_t v, std::int32_t p) {
+    if (iv[v].start < 0 || p < iv[v].start) iv[v].start = p;
+    if (p > iv[v].end) iv[v].end = p;
+  };
+
+  for (std::int32_t v : f.arg_vregs) touch(v, 0);
+
+  for (std::int32_t b : out.order) {
+    block_start[b] = pos;
+    for (const IInstr& in : f.blocks[b].instrs) {
+      for_each_use(in, [&](std::int32_t v) { touch(v, pos); });
+      ++pos;
+      if (has_dest(in.op) && in.d >= 0) touch(in.d, pos);
+      ++pos;
+      meter.work(1);
+    }
+    block_end[b] = pos;
+    ++pos;
+  }
+  // Extend intervals across blocks where the vreg is live.
+  for (std::int32_t b : out.order) {
+    for (std::size_t v = 0; v < f.num_vregs(); ++v) {
+      if (lv.live_in(b, static_cast<std::int32_t>(v)))
+        touch(static_cast<std::int32_t>(v), block_start[b]);
+      if (lv.live_out(b, static_cast<std::int32_t>(v)))
+        touch(static_cast<std::int32_t>(v), block_end[b]);
+    }
+    meter.work(f.num_vregs() / 16 + 1);
+  }
+
+  // Sort live intervals by start.
+  std::vector<Interval> live;
+  live.reserve(f.num_vregs());
+  for (const auto& i : iv)
+    if (i.start >= 0) live.push_back(i);
+  std::sort(live.begin(), live.end(), [](const Interval& x, const Interval& y) {
+    return x.start < y.start;
+  });
+
+  // Allocatable pools.
+  std::vector<std::int32_t> int_pool, fp_pool;
+  for (std::uint8_t r = isa::kFirstTempReg; r <= isa::kLastTempReg; ++r)
+    int_pool.push_back(r);
+  for (std::uint8_t r = isa::kFFirstTempReg; r <= isa::kFLastTempReg; ++r)
+    fp_pool.push_back(r);
+
+  struct Active {
+    std::int32_t end;
+    std::int32_t vreg;
+    std::int32_t reg;
+  };
+  std::vector<Active> active_int, active_fp;
+
+  auto assign_spill = [&](std::int32_t v) {
+    out.spill[v] = static_cast<std::int32_t>(out.frame_bytes);
+    out.frame_bytes += 8;
+    ++out.num_spilled;
+  };
+
+  for (const Interval& cur : live) {
+    meter.work(3);
+    auto& active = cur.fp ? active_fp : active_int;
+    auto& pool = cur.fp ? fp_pool : int_pool;
+    // Expire finished intervals.
+    for (std::size_t i = active.size(); i-- > 0;) {
+      if (active[i].end < cur.start) {
+        pool.push_back(active[i].reg);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    if (!pool.empty()) {
+      const std::int32_t r = pool.back();
+      pool.pop_back();
+      out.reg[cur.vreg] = r;
+      active.push_back(Active{cur.end, cur.vreg, r});
+      continue;
+    }
+    // Spill the interval with the furthest end.
+    auto furthest =
+        std::max_element(active.begin(), active.end(),
+                         [](const Active& x, const Active& y) {
+                           return x.end < y.end;
+                         });
+    if (furthest != active.end() && furthest->end > cur.end) {
+      out.reg[cur.vreg] = furthest->reg;
+      out.reg[furthest->vreg] = -1;
+      assign_spill(furthest->vreg);
+      *furthest = Active{cur.end, cur.vreg, out.reg[cur.vreg]};
+    } else {
+      assign_spill(cur.vreg);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace javelin::jit

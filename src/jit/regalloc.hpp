@@ -1,0 +1,29 @@
+// Linear-scan register allocation.
+//
+// Live intervals are derived from block-level liveness (so values live
+// across loop back edges get correctly extended intervals), then the classic
+// linear scan assigns the allocatable pools:
+//   integer/ref vregs -> r9..r26
+//   double vregs      -> f9..f13
+// Vregs that do not receive a register get an 8-byte spill slot in the frame;
+// codegen reloads them through reserved scratch registers.
+#pragma once
+
+#include "jit/analysis.hpp"
+#include "jit/ir.hpp"
+
+namespace javelin::jit {
+
+struct Allocation {
+  std::vector<std::int32_t> reg;    ///< vreg -> physical register, -1 = spill.
+  std::vector<std::int32_t> spill;  ///< vreg -> frame offset, -1 = in reg.
+  std::uint32_t frame_bytes = 0;
+  std::vector<std::int32_t> order;  ///< Linearized (reachable) block order.
+  std::size_t num_spilled = 0;
+
+  bool in_reg(std::int32_t v) const { return reg[v] >= 0; }
+};
+
+Allocation allocate(const Function& f, CompileMeter& meter);
+
+}  // namespace javelin::jit

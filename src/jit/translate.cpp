@@ -1,0 +1,678 @@
+// Bytecode -> IR translation (the "baseline compilation" every level does).
+//
+// Classic abstract-stack translation: basic-block leaders are found first,
+// then each block is translated with a symbolic operand stack holding vregs.
+// At block boundaries the stack is flushed into canonical per-depth vregs so
+// all predecessors of a join point agree on where values live. Level 1 emits
+// exactly this naive code (plus register allocation); higher levels clean it
+// up with real optimization passes.
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "jit/compiler.hpp"
+
+namespace javelin::jit {
+
+using jvm::Insn;
+using jvm::MethodInfo;
+using jvm::Op;
+using jvm::RtClass;
+using jvm::RtMethod;
+
+namespace {
+
+class Translator {
+ public:
+  Translator(const jvm::Jvm& jvm, std::int32_t method_id, CompileMeter& meter)
+      : jvm_(jvm),
+        m_(jvm.method(method_id)),
+        mi_(*m_.info),
+        rc_(jvm.cls(m_.class_id)),
+        meter_(meter) {}
+
+  Function run();
+
+ private:
+  [[noreturn]] void bail(const std::string& why) const {
+    throw CompileError("jit: cannot compile " + m_.qualified_name + ": " + why);
+  }
+
+  // Locals are assigned one vreg each with a fixed kind; kind conflicts make
+  // the method non-compilable (we fall back to interpretation).
+  std::int32_t local_vreg(std::int32_t slot, TypeKind k) {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= local_kind_.size())
+      bail("local index out of range");
+    if (local_kind_[slot] == TypeKind::kVoid) {
+      local_kind_[slot] = k;
+      local_vreg_[slot] = f_.new_vreg(k);
+    } else if (local_kind_[slot] != k) {
+      bail("local slot reused with different kinds");
+    }
+    return local_vreg_[slot];
+  }
+
+  /// Canonical vreg for operand-stack depth `depth` with kind `k`.
+  std::int32_t canonical(std::size_t depth, TypeKind k) {
+    const auto key = std::make_pair(depth, k);
+    auto it = canon_.find(key);
+    if (it != canon_.end()) return it->second;
+    const std::int32_t v = f_.new_vreg(k);
+    canon_[key] = v;
+    return v;
+  }
+
+  void push(std::int32_t vreg) { stack_.push_back(vreg); }
+  std::int32_t pop(TypeKind want = TypeKind::kVoid) {
+    if (stack_.empty()) bail("operand stack underflow (verifier bug?)");
+    const std::int32_t v = stack_.back();
+    stack_.pop_back();
+    if (want != TypeKind::kVoid && f_.vreg_kinds[v] != want)
+      bail("operand kind mismatch (verifier bug?)");
+    return v;
+  }
+
+  IInstr& emit(IOp op) {
+    cur_->instrs.push_back(IInstr{});
+    cur_->instrs.back().op = op;
+    meter_.work(1);
+    return cur_->instrs.back();
+  }
+  std::int32_t emit_const_i(std::int32_t v) {
+    IInstr& in = emit(IOp::kConstI);
+    in.d = f_.new_vreg(TypeKind::kInt);
+    in.imm = v;
+    return in.d;
+  }
+
+  /// Flush the abstract stack into canonical vregs (hazard-safe). Vregs
+  /// pointed to by `protect` (e.g. already-popped branch operands) are staged
+  /// through temps if a flush move would clobber them.
+  void flush_stack(std::initializer_list<std::int32_t*> protect = {});
+  /// Record/verify the successor's entry stack kinds and return target block.
+  void note_edge(std::int32_t target_block);
+
+  void translate_block(std::int32_t block_id);
+  void translate_insn(const Insn& in, std::size_t bc_index,
+                      std::int32_t block_id, bool& terminated);
+
+  const jvm::Jvm& jvm_;
+  const RtMethod& m_;
+  const MethodInfo& mi_;
+  const RtClass& rc_;
+  CompileMeter& meter_;
+
+  Function f_;
+  Block* cur_ = nullptr;
+  std::vector<std::int32_t> bc2block_;   // bytecode index -> block id (-1)
+  std::vector<std::size_t> block_start_; // block id -> bytecode index
+  std::vector<TypeKind> local_kind_;
+  std::vector<std::int32_t> local_vreg_;
+  std::map<std::pair<std::size_t, TypeKind>, std::int32_t> canon_;
+  std::vector<std::int32_t> stack_;  // vregs
+  std::vector<std::optional<std::vector<TypeKind>>> entry_kinds_;
+  std::deque<std::int32_t> worklist_;
+};
+
+void Translator::flush_stack(std::initializer_list<std::int32_t*> protect) {
+  // Moves dst(canonical) <- src(current), skipping identities. If a source is
+  // also a destination of another pending move, stage it through a temp.
+  struct Move {
+    std::int32_t dst, src;
+    TypeKind kind;
+  };
+  std::vector<Move> moves;
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    const TypeKind k = f_.vreg_kinds[stack_[i]];
+    const std::int32_t dst = canonical(i, k);
+    if (dst != stack_[i]) moves.push_back({dst, stack_[i], k});
+  }
+  // Protect already-popped values (branch operands) from being clobbered.
+  for (std::int32_t* p : protect) {
+    if (*p < 0) continue;
+    for (const auto& mv : moves) {
+      if (mv.dst == *p) {
+        const TypeKind k = f_.vreg_kinds[*p];
+        const std::int32_t tmp = f_.new_vreg(k);
+        IInstr& in = emit(IOp::kMov);
+        in.d = tmp;
+        in.a = *p;
+        in.kind = k;
+        *p = tmp;
+        break;
+      }
+    }
+  }
+  // Stage conflicting sources.
+  for (auto& mv : moves) {
+    for (const auto& other : moves) {
+      if (&other != &mv && other.dst == mv.src) {
+        const std::int32_t tmp = f_.new_vreg(mv.kind);
+        IInstr& in = emit(IOp::kMov);
+        in.d = tmp;
+        in.a = mv.src;
+        in.kind = mv.kind;
+        mv.src = tmp;
+        break;
+      }
+    }
+  }
+  for (const auto& mv : moves) {
+    IInstr& in = emit(IOp::kMov);
+    in.d = mv.dst;
+    in.a = mv.src;
+    in.kind = mv.kind;
+  }
+  // The abstract stack now lives in canonical registers.
+  for (std::size_t i = 0; i < stack_.size(); ++i)
+    stack_[i] = canonical(i, f_.vreg_kinds[stack_[i]]);
+}
+
+void Translator::note_edge(std::int32_t target_block) {
+  std::vector<TypeKind> kinds;
+  kinds.reserve(stack_.size());
+  for (std::int32_t v : stack_) kinds.push_back(f_.vreg_kinds[v]);
+  auto& slot = entry_kinds_[target_block];
+  if (!slot.has_value()) {
+    slot = std::move(kinds);
+    worklist_.push_back(target_block);
+  } else if (*slot != kinds) {
+    bail("inconsistent stack at join (verifier bug?)");
+  }
+}
+
+Function Translator::run() {
+  const auto& code = mi_.code;
+  if (code.empty()) bail("empty method");
+
+  // --- find leaders ---------------------------------------------------------
+  std::vector<char> leader(code.size(), 0);
+  leader[0] = 1;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Insn& in = code[i];
+    if (jvm::is_branch(in.op)) {
+      if (in.a < 0 || static_cast<std::size_t>(in.a) >= code.size())
+        bail("branch target out of range");
+      leader[in.a] = 1;
+      if (i + 1 < code.size()) leader[i + 1] = 1;
+    } else if (jvm::ends_block(in.op) && i + 1 < code.size()) {
+      leader[i + 1] = 1;
+    }
+    meter_.work(1);
+  }
+
+  bc2block_.assign(code.size(), -1);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (leader[i]) {
+      bc2block_[i] = static_cast<std::int32_t>(block_start_.size());
+      block_start_.push_back(i);
+    }
+  }
+  f_.blocks.resize(block_start_.size());
+  entry_kinds_.resize(block_start_.size());
+  f_.method_id = m_.id;
+  f_.ret_kind = mi_.sig.ret;
+
+  // --- locals & arguments -----------------------------------------------------
+  local_kind_.assign(mi_.max_locals, TypeKind::kVoid);
+  local_vreg_.assign(mi_.max_locals, -1);
+  for (std::size_t i = 0; i < mi_.num_args(); ++i) {
+    TypeKind k = mi_.arg_kind(i);
+    if (k == TypeKind::kByte) k = TypeKind::kInt;
+    f_.arg_vregs.push_back(local_vreg(static_cast<std::int32_t>(i), k));
+  }
+
+  // --- translate ----------------------------------------------------------------
+  entry_kinds_[0] = std::vector<TypeKind>{};
+  worklist_.push_back(0);
+  std::vector<char> done(f_.blocks.size(), 0);
+  while (!worklist_.empty()) {
+    const std::int32_t b = worklist_.front();
+    worklist_.pop_front();
+    if (done[b]) continue;
+    done[b] = 1;
+    translate_block(b);
+  }
+
+  // Unreachable blocks keep an explicit terminator so the CFG stays sane.
+  for (auto& blk : f_.blocks) {
+    if (blk.instrs.empty()) {
+      IInstr ret;
+      ret.op = IOp::kRet;
+      ret.a = -1;
+      blk.instrs.push_back(ret);
+    }
+  }
+
+  f_.recompute_preds();
+  return f_;
+}
+
+void Translator::translate_block(std::int32_t block_id) {
+  cur_ = &f_.blocks[block_id];
+  // Materialize the entry stack from canonical vregs.
+  stack_.clear();
+  const auto& kinds = *entry_kinds_[block_id];
+  for (std::size_t i = 0; i < kinds.size(); ++i)
+    stack_.push_back(canonical(i, kinds[i]));
+
+  const auto& code = mi_.code;
+  std::size_t pc = block_start_[block_id];
+  bool terminated = false;
+  while (!terminated) {
+    translate_insn(code[pc], pc, block_id, terminated);
+    ++pc;
+    if (!terminated && (pc >= code.size()))
+      bail("control flow falls off code end (verifier bug?)");
+    if (!terminated && bc2block_[pc] >= 0) {
+      // Fallthrough into the next block.
+      flush_stack();
+      note_edge(bc2block_[pc]);
+      IInstr& j = emit(IOp::kJmp);
+      j.imm = bc2block_[pc];
+      cur_->succs.push_back(bc2block_[pc]);
+      terminated = true;
+    }
+  }
+}
+
+void Translator::translate_insn(const Insn& in, std::size_t bc_index,
+                                std::int32_t block_id, bool& terminated) {
+  (void)bc_index;
+  meter_.work(4);  // decode + template selection
+
+  auto binop_i = [&](IOp op) {
+    const std::int32_t b = pop(TypeKind::kInt);
+    const std::int32_t a = pop(TypeKind::kInt);
+    IInstr& i = emit(op);
+    i.d = f_.new_vreg(TypeKind::kInt);
+    i.a = a;
+    i.b = b;
+    push(i.d);
+  };
+  auto binop_d = [&](IOp op) {
+    const std::int32_t b = pop(TypeKind::kDouble);
+    const std::int32_t a = pop(TypeKind::kDouble);
+    IInstr& i = emit(op);
+    i.d = f_.new_vreg(TypeKind::kDouble);
+    i.a = a;
+    i.b = b;
+    push(i.d);
+  };
+  auto branch = [&](IOp op, std::int32_t va, std::int32_t vb) {
+    flush_stack({&va, &vb});
+    const std::int32_t t = bc2block_[in.a];
+    note_edge(t);
+    IInstr& br = emit(op);
+    br.a = va;
+    br.b = vb;
+    br.imm = t;
+    cur_->succs.push_back(t);
+  };
+
+  switch (in.op) {
+    case Op::kIconst:
+      push(emit_const_i(in.a));
+      break;
+    case Op::kDconst: {
+      IInstr& i = emit(IOp::kConstD);
+      i.d = f_.new_vreg(TypeKind::kDouble);
+      i.dimm = rc_.cf.pool.doubles[in.a];
+      push(i.d);
+      break;
+    }
+    case Op::kAconstNull: {
+      IInstr& i = emit(IOp::kConstI);
+      i.d = f_.new_vreg(TypeKind::kRef);
+      i.imm = 0;
+      push(i.d);
+      break;
+    }
+
+    case Op::kIload: push_local: {
+      const TypeKind k = in.op == Op::kIload    ? TypeKind::kInt
+                         : in.op == Op::kDload  ? TypeKind::kDouble
+                                                : TypeKind::kRef;
+      const std::int32_t lv = local_vreg(in.a, k);
+      IInstr& i = emit(IOp::kMov);
+      i.d = f_.new_vreg(k);
+      i.a = lv;
+      i.kind = k;
+      push(i.d);
+      break;
+    }
+    case Op::kDload:
+    case Op::kAload:
+      goto push_local;
+
+    case Op::kIstore: store_local: {
+      const TypeKind k = in.op == Op::kIstore    ? TypeKind::kInt
+                         : in.op == Op::kDstore  ? TypeKind::kDouble
+                                                 : TypeKind::kRef;
+      const std::int32_t v = pop(k);
+      const std::int32_t lv = local_vreg(in.a, k);
+      IInstr& i = emit(IOp::kMov);
+      i.d = lv;
+      i.a = v;
+      i.kind = k;
+      break;
+    }
+    case Op::kDstore:
+    case Op::kAstore:
+      goto store_local;
+
+    case Op::kPop:
+      pop();
+      break;
+    case Op::kDup: {
+      const std::int32_t v = pop();
+      push(v);
+      push(v);  // same vreg twice is fine: pushes are read-only copies
+      break;
+    }
+
+    case Op::kIadd: binop_i(IOp::kIAdd); break;
+    case Op::kIsub: binop_i(IOp::kISub); break;
+    case Op::kImul: binop_i(IOp::kIMul); break;
+    case Op::kIdiv: binop_i(IOp::kIDiv); break;
+    case Op::kIrem: binop_i(IOp::kIRem); break;
+    case Op::kIand: binop_i(IOp::kIAnd); break;
+    case Op::kIor: binop_i(IOp::kIOr); break;
+    case Op::kIxor: binop_i(IOp::kIXor); break;
+    case Op::kIshl: binop_i(IOp::kIShl); break;
+    case Op::kIshr: binop_i(IOp::kIShr); break;
+    case Op::kIushr: binop_i(IOp::kIShru); break;
+    case Op::kIneg: {
+      const std::int32_t a = pop(TypeKind::kInt);
+      IInstr& i = emit(IOp::kINeg);
+      i.d = f_.new_vreg(TypeKind::kInt);
+      i.a = a;
+      push(i.d);
+      break;
+    }
+    case Op::kDadd: binop_d(IOp::kDAdd); break;
+    case Op::kDsub: binop_d(IOp::kDSub); break;
+    case Op::kDmul: binop_d(IOp::kDMul); break;
+    case Op::kDdiv: binop_d(IOp::kDDiv); break;
+    case Op::kDneg: {
+      const std::int32_t a = pop(TypeKind::kDouble);
+      IInstr& i = emit(IOp::kDNeg);
+      i.d = f_.new_vreg(TypeKind::kDouble);
+      i.a = a;
+      push(i.d);
+      break;
+    }
+    case Op::kI2d: {
+      const std::int32_t a = pop(TypeKind::kInt);
+      IInstr& i = emit(IOp::kI2D);
+      i.d = f_.new_vreg(TypeKind::kDouble);
+      i.a = a;
+      push(i.d);
+      break;
+    }
+    case Op::kD2i: {
+      const std::int32_t a = pop(TypeKind::kDouble);
+      IInstr& i = emit(IOp::kD2I);
+      i.d = f_.new_vreg(TypeKind::kInt);
+      i.a = a;
+      push(i.d);
+      break;
+    }
+    case Op::kDcmp: binop_d(IOp::kDCmp);
+      // kDCmp produces an int despite double operands.
+      f_.vreg_kinds[stack_.back()] = TypeKind::kInt;
+      break;
+
+    case Op::kIfeq: case Op::kIfne: case Op::kIflt:
+    case Op::kIfle: case Op::kIfgt: case Op::kIfge: {
+      const std::int32_t a = pop(TypeKind::kInt);
+      const std::int32_t zero = emit_const_i(0);
+      IOp op;
+      switch (in.op) {
+        case Op::kIfeq: op = IOp::kBrEq; break;
+        case Op::kIfne: op = IOp::kBrNe; break;
+        case Op::kIflt: op = IOp::kBrLt; break;
+        case Op::kIfle: op = IOp::kBrLe; break;
+        case Op::kIfgt: op = IOp::kBrGt; break;
+        default: op = IOp::kBrGe; break;
+      }
+      branch(op, a, zero);
+      break;
+    }
+    case Op::kIfIcmpEq: case Op::kIfIcmpNe: case Op::kIfIcmpLt:
+    case Op::kIfIcmpLe: case Op::kIfIcmpGt: case Op::kIfIcmpGe: {
+      const std::int32_t b = pop(TypeKind::kInt);
+      const std::int32_t a = pop(TypeKind::kInt);
+      IOp op;
+      switch (in.op) {
+        case Op::kIfIcmpEq: op = IOp::kBrEq; break;
+        case Op::kIfIcmpNe: op = IOp::kBrNe; break;
+        case Op::kIfIcmpLt: op = IOp::kBrLt; break;
+        case Op::kIfIcmpLe: op = IOp::kBrLe; break;
+        case Op::kIfIcmpGt: op = IOp::kBrGt; break;
+        default: op = IOp::kBrGe; break;
+      }
+      branch(op, a, b);
+      break;
+    }
+    case Op::kIfNull: case Op::kIfNonNull: {
+      const std::int32_t a = pop(TypeKind::kRef);
+      const std::int32_t zero = emit_const_i(0);
+      branch(in.op == Op::kIfNull ? IOp::kBrEq : IOp::kBrNe, a, zero);
+      break;
+    }
+    case Op::kGoto: {
+      flush_stack();
+      const std::int32_t t = bc2block_[in.a];
+      note_edge(t);
+      IInstr& j = emit(IOp::kJmp);
+      j.imm = t;
+      cur_->succs.push_back(t);
+      terminated = true;
+      break;
+    }
+
+    case Op::kInvokeStatic:
+    case Op::kInvokeVirtual: {
+      const std::int32_t callee_id = rc_.pool_method_ids[in.a];
+      const jvm::RtMethod& callee = jvm_.method(callee_id);
+      const std::size_t nargs = callee.info->num_args();
+      std::vector<std::int32_t> args(nargs);
+      for (std::size_t i = nargs; i-- > 0;) args[i] = pop();
+      IInstr& i = emit(in.op == Op::kInvokeStatic ? IOp::kCallStatic
+                                                  : IOp::kCallVirtual);
+      i.imm = callee_id;
+      i.args = std::move(args);
+      const TypeKind ret = callee.info->sig.ret;
+      if (ret != TypeKind::kVoid) {
+        i.d = f_.new_vreg(ret);
+        i.kind = ret;
+        push(i.d);
+      }
+      break;
+    }
+    case Op::kInvokeIntrinsic: {
+      const auto id = static_cast<isa::Intrinsic>(in.a);
+      const int nfp = isa::intrinsic_fp_args(id);
+      const int nint = isa::intrinsic_int_args(id);
+      std::vector<std::int32_t> args(static_cast<std::size_t>(nfp + nint));
+      for (std::size_t i = args.size(); i-- > 0;) args[i] = pop();
+      IInstr& i = emit(IOp::kIntrinsic);
+      i.imm = in.a;
+      i.args = std::move(args);
+      const TypeKind ret = isa::intrinsic_returns_double(id)
+                               ? TypeKind::kDouble
+                               : TypeKind::kInt;
+      i.d = f_.new_vreg(ret);
+      i.kind = ret;
+      push(i.d);
+      break;
+    }
+
+    case Op::kReturn: {
+      IInstr& i = emit(IOp::kRet);
+      i.a = -1;
+      terminated = true;
+      break;
+    }
+    case Op::kIreturn: case Op::kDreturn: case Op::kAreturn: {
+      const std::int32_t v = pop();
+      IInstr& i = emit(IOp::kRet);
+      i.a = v;
+      i.kind = f_.vreg_kinds[v];
+      terminated = true;
+      break;
+    }
+
+    case Op::kGetField: case Op::kPutField: {
+      const jvm::RtField& fld = jvm_.field(rc_.pool_field_ids[in.a]);
+      if (in.op == Op::kGetField) {
+        const std::int32_t obj = pop(TypeKind::kRef);
+        IInstr& i = emit(IOp::kFldLoad);
+        const TypeKind k =
+            fld.kind == TypeKind::kByte ? TypeKind::kInt : fld.kind;
+        i.d = f_.new_vreg(k);
+        i.a = obj;
+        i.imm = static_cast<std::int32_t>(fld.offset);
+        i.kind = fld.kind;
+        push(i.d);
+      } else {
+        const std::int32_t v = pop();
+        const std::int32_t obj = pop(TypeKind::kRef);
+        IInstr& i = emit(IOp::kFldStore);
+        i.a = obj;
+        i.b = v;
+        i.imm = static_cast<std::int32_t>(fld.offset);
+        i.kind = fld.kind;
+      }
+      break;
+    }
+    case Op::kGetStatic: case Op::kPutStatic: {
+      const jvm::RtField& fld = jvm_.field(rc_.pool_field_ids[in.a]);
+      if (in.op == Op::kGetStatic) {
+        IInstr& i = emit(IOp::kStLoad);
+        const TypeKind k =
+            fld.kind == TypeKind::kByte ? TypeKind::kInt : fld.kind;
+        i.d = f_.new_vreg(k);
+        i.imm = static_cast<std::int32_t>(fld.static_addr);
+        i.kind = fld.kind;
+        push(i.d);
+      } else {
+        const std::int32_t v = pop();
+        IInstr& i = emit(IOp::kStStore);
+        i.a = v;
+        i.imm = static_cast<std::int32_t>(fld.static_addr);
+        i.kind = fld.kind;
+      }
+      break;
+    }
+
+    case Op::kNew: {
+      IInstr& i = emit(IOp::kNewObj);
+      i.d = f_.new_vreg(TypeKind::kRef);
+      i.imm = rc_.pool_class_ids[in.a];
+      push(i.d);
+      break;
+    }
+    case Op::kNewArray: {
+      const std::int32_t len = pop(TypeKind::kInt);
+      IInstr& i = emit(IOp::kNewArr);
+      i.d = f_.new_vreg(TypeKind::kRef);
+      i.a = len;
+      i.imm = in.a;  // element TypeKind
+      push(i.d);
+      break;
+    }
+
+    case Op::kIaload: case Op::kDaload: case Op::kBaload: case Op::kAaload: {
+      const std::int32_t idx = pop(TypeKind::kInt);
+      const std::int32_t arr = pop(TypeKind::kRef);
+      IInstr& i = emit(IOp::kArrLoad);
+      TypeKind ek, dk;
+      switch (in.op) {
+        case Op::kIaload: ek = TypeKind::kInt; dk = TypeKind::kInt; break;
+        case Op::kDaload: ek = TypeKind::kDouble; dk = TypeKind::kDouble; break;
+        case Op::kBaload: ek = TypeKind::kByte; dk = TypeKind::kInt; break;
+        default: ek = TypeKind::kRef; dk = TypeKind::kRef; break;
+      }
+      i.d = f_.new_vreg(dk);
+      i.a = arr;
+      i.b = idx;
+      i.kind = ek;
+      push(i.d);
+      break;
+    }
+    case Op::kIastore: case Op::kDastore: case Op::kBastore:
+    case Op::kAastore: {
+      const std::int32_t v = pop();
+      const std::int32_t idx = pop(TypeKind::kInt);
+      const std::int32_t arr = pop(TypeKind::kRef);
+      IInstr& i = emit(IOp::kArrStore);
+      i.a = arr;
+      i.b = idx;
+      i.c = v;
+      switch (in.op) {
+        case Op::kIastore: i.kind = TypeKind::kInt; break;
+        case Op::kDastore: i.kind = TypeKind::kDouble; break;
+        case Op::kBastore: i.kind = TypeKind::kByte; break;
+        default: i.kind = TypeKind::kRef; break;
+      }
+      break;
+    }
+    case Op::kArrayLength: {
+      const std::int32_t arr = pop(TypeKind::kRef);
+      IInstr& i = emit(IOp::kArrLen);
+      i.d = f_.new_vreg(TypeKind::kInt);
+      i.a = arr;
+      push(i.d);
+      break;
+    }
+
+    case Op::kCount:
+      bail("invalid opcode");
+  }
+
+  // Conditional branches fall through into the following block.
+  if (jvm::is_branch(in.op) && in.op != Op::kGoto) {
+    // The next bytecode must be a leader (we marked it).
+    const std::size_t next_pc = bc_index + 1;
+    const std::int32_t fall = bc2block_[next_pc];
+    note_edge(fall);
+    cur_->succs.push_back(fall);
+    terminated = true;
+  }
+  (void)block_id;
+}
+
+}  // namespace
+
+Function translate_to_ir(const jvm::Jvm& jvm, std::int32_t method_id,
+                         CompileMeter& meter) {
+  return Translator(jvm, method_id, meter).run();
+}
+
+std::vector<std::int32_t> collect_callees(const jvm::Jvm& jvm,
+                                          std::int32_t method_id) {
+  std::vector<std::int32_t> out;
+  std::vector<char> seen(jvm.num_methods(), 0);
+  seen[method_id] = 1;
+  std::vector<std::int32_t> stack{method_id};
+  while (!stack.empty()) {
+    const std::int32_t id = stack.back();
+    stack.pop_back();
+    const jvm::RtMethod& m = jvm.method(id);
+    const jvm::RtClass& rc = jvm.cls(m.class_id);
+    for (const Insn& in : m.info->code) {
+      if (in.op != Op::kInvokeStatic && in.op != Op::kInvokeVirtual) continue;
+      const std::int32_t callee = rc.pool_method_ids[in.a];
+      if (seen[callee]) continue;
+      seen[callee] = 1;
+      out.push_back(callee);
+      stack.push_back(callee);
+    }
+  }
+  return out;
+}
+
+}  // namespace javelin::jit

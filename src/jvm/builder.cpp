@@ -1,0 +1,218 @@
+#include "jvm/builder.hpp"
+
+#include "jvm/verifier.hpp"
+
+namespace javelin::jvm {
+
+MethodBuilder::MethodBuilder(ClassBuilder& owner, std::size_t method_index)
+    : owner_(owner), method_index_(method_index) {
+  // Pre-declare parameter slots.
+  MethodInfo& mi = info();
+  std::size_t slot = 0;
+  if (!mi.is_static) locals_["this"] = static_cast<std::int32_t>(slot++);
+  for (std::size_t i = 0; i < mi.sig.params.size(); ++i)
+    locals_["p" + std::to_string(i)] = static_cast<std::int32_t>(slot++);
+  mi.max_locals = static_cast<std::uint16_t>(slot);
+}
+
+MethodInfo& MethodBuilder::info() { return owner_.cf_.methods[method_index_]; }
+const MethodInfo& MethodBuilder::info() const {
+  return owner_.cf_.methods[method_index_];
+}
+
+std::int32_t MethodBuilder::local(const std::string& name) {
+  auto it = locals_.find(name);
+  if (it != locals_.end()) return it->second;
+  const auto slot = static_cast<std::int32_t>(info().max_locals);
+  locals_[name] = slot;
+  info().max_locals = static_cast<std::uint16_t>(slot + 1);
+  return slot;
+}
+
+MethodBuilder& MethodBuilder::param_name(std::size_t param_index,
+                                         const std::string& name) {
+  const std::string def = "p" + std::to_string(param_index);
+  auto it = locals_.find(def);
+  if (it == locals_.end()) throw Error("param_name: no such parameter " + def);
+  locals_[name] = it->second;
+  return *this;
+}
+
+std::int32_t MethodBuilder::slot_of(const std::string& name) const {
+  auto it = locals_.find(name);
+  if (it == locals_.end())
+    throw Error("builder: undeclared local '" + name + "' in " + info().name);
+  return it->second;
+}
+
+MethodBuilder& MethodBuilder::emit(Op op, std::int32_t a, std::int32_t b) {
+  info().code.push_back(Insn{op, a, b});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::emit_branch(Op op, Label l) {
+  fixups_.emplace_back(info().code.size(), l);
+  return emit(op, -1);
+}
+
+MethodBuilder& MethodBuilder::iconst(std::int32_t v) { return emit(Op::kIconst, v); }
+MethodBuilder& MethodBuilder::dconst(double v) {
+  return emit(Op::kDconst, owner_.cf_.pool.add_double(v));
+}
+MethodBuilder& MethodBuilder::aconst_null() { return emit(Op::kAconstNull); }
+
+MethodBuilder& MethodBuilder::iload(const std::string& n) { return emit(Op::kIload, slot_of(n)); }
+MethodBuilder& MethodBuilder::istore(const std::string& n) { return emit(Op::kIstore, local(n)); }
+MethodBuilder& MethodBuilder::dload(const std::string& n) { return emit(Op::kDload, slot_of(n)); }
+MethodBuilder& MethodBuilder::dstore(const std::string& n) { return emit(Op::kDstore, local(n)); }
+MethodBuilder& MethodBuilder::aload(const std::string& n) { return emit(Op::kAload, slot_of(n)); }
+MethodBuilder& MethodBuilder::astore(const std::string& n) { return emit(Op::kAstore, local(n)); }
+
+MethodBuilder& MethodBuilder::pop() { return emit(Op::kPop); }
+MethodBuilder& MethodBuilder::dup() { return emit(Op::kDup); }
+
+MethodBuilder& MethodBuilder::iadd() { return emit(Op::kIadd); }
+MethodBuilder& MethodBuilder::isub() { return emit(Op::kIsub); }
+MethodBuilder& MethodBuilder::imul() { return emit(Op::kImul); }
+MethodBuilder& MethodBuilder::idiv() { return emit(Op::kIdiv); }
+MethodBuilder& MethodBuilder::irem() { return emit(Op::kIrem); }
+MethodBuilder& MethodBuilder::ineg() { return emit(Op::kIneg); }
+MethodBuilder& MethodBuilder::ishl() { return emit(Op::kIshl); }
+MethodBuilder& MethodBuilder::ishr() { return emit(Op::kIshr); }
+MethodBuilder& MethodBuilder::iushr() { return emit(Op::kIushr); }
+MethodBuilder& MethodBuilder::iand() { return emit(Op::kIand); }
+MethodBuilder& MethodBuilder::ior() { return emit(Op::kIor); }
+MethodBuilder& MethodBuilder::ixor() { return emit(Op::kIxor); }
+MethodBuilder& MethodBuilder::dadd() { return emit(Op::kDadd); }
+MethodBuilder& MethodBuilder::dsub() { return emit(Op::kDsub); }
+MethodBuilder& MethodBuilder::dmul() { return emit(Op::kDmul); }
+MethodBuilder& MethodBuilder::ddiv() { return emit(Op::kDdiv); }
+MethodBuilder& MethodBuilder::dneg() { return emit(Op::kDneg); }
+MethodBuilder& MethodBuilder::i2d() { return emit(Op::kI2d); }
+MethodBuilder& MethodBuilder::d2i() { return emit(Op::kD2i); }
+MethodBuilder& MethodBuilder::dcmp() { return emit(Op::kDcmp); }
+
+MethodBuilder::Label MethodBuilder::new_label() {
+  label_target_.push_back(-1);
+  return static_cast<Label>(label_target_.size() - 1);
+}
+
+MethodBuilder& MethodBuilder::bind(Label l) {
+  if (l < 0 || static_cast<std::size_t>(l) >= label_target_.size())
+    throw Error("builder: bad label");
+  if (label_target_[l] != -1) throw Error("builder: label bound twice");
+  label_target_[l] = static_cast<std::int32_t>(info().code.size());
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::ifeq(Label l) { return emit_branch(Op::kIfeq, l); }
+MethodBuilder& MethodBuilder::ifne(Label l) { return emit_branch(Op::kIfne, l); }
+MethodBuilder& MethodBuilder::iflt(Label l) { return emit_branch(Op::kIflt, l); }
+MethodBuilder& MethodBuilder::ifle(Label l) { return emit_branch(Op::kIfle, l); }
+MethodBuilder& MethodBuilder::ifgt(Label l) { return emit_branch(Op::kIfgt, l); }
+MethodBuilder& MethodBuilder::ifge(Label l) { return emit_branch(Op::kIfge, l); }
+MethodBuilder& MethodBuilder::if_icmpeq(Label l) { return emit_branch(Op::kIfIcmpEq, l); }
+MethodBuilder& MethodBuilder::if_icmpne(Label l) { return emit_branch(Op::kIfIcmpNe, l); }
+MethodBuilder& MethodBuilder::if_icmplt(Label l) { return emit_branch(Op::kIfIcmpLt, l); }
+MethodBuilder& MethodBuilder::if_icmple(Label l) { return emit_branch(Op::kIfIcmpLe, l); }
+MethodBuilder& MethodBuilder::if_icmpgt(Label l) { return emit_branch(Op::kIfIcmpGt, l); }
+MethodBuilder& MethodBuilder::if_icmpge(Label l) { return emit_branch(Op::kIfIcmpGe, l); }
+MethodBuilder& MethodBuilder::ifnull(Label l) { return emit_branch(Op::kIfNull, l); }
+MethodBuilder& MethodBuilder::ifnonnull(Label l) { return emit_branch(Op::kIfNonNull, l); }
+MethodBuilder& MethodBuilder::goto_(Label l) { return emit_branch(Op::kGoto, l); }
+
+MethodBuilder& MethodBuilder::invokestatic(const std::string& cls,
+                                           const std::string& m) {
+  return emit(Op::kInvokeStatic, owner_.cf_.pool.add_method(cls, m));
+}
+MethodBuilder& MethodBuilder::invokevirtual(const std::string& cls,
+                                            const std::string& m) {
+  return emit(Op::kInvokeVirtual, owner_.cf_.pool.add_method(cls, m));
+}
+MethodBuilder& MethodBuilder::intrinsic(isa::Intrinsic id) {
+  return emit(Op::kInvokeIntrinsic, static_cast<std::int32_t>(id));
+}
+MethodBuilder& MethodBuilder::ret() { return emit(Op::kReturn); }
+MethodBuilder& MethodBuilder::iret() { return emit(Op::kIreturn); }
+MethodBuilder& MethodBuilder::dret() { return emit(Op::kDreturn); }
+MethodBuilder& MethodBuilder::aret() { return emit(Op::kAreturn); }
+
+MethodBuilder& MethodBuilder::getfield(const std::string& cls,
+                                       const std::string& f) {
+  return emit(Op::kGetField, owner_.cf_.pool.add_field(cls, f));
+}
+MethodBuilder& MethodBuilder::putfield(const std::string& cls,
+                                       const std::string& f) {
+  return emit(Op::kPutField, owner_.cf_.pool.add_field(cls, f));
+}
+MethodBuilder& MethodBuilder::getstatic(const std::string& cls,
+                                        const std::string& f) {
+  return emit(Op::kGetStatic, owner_.cf_.pool.add_field(cls, f));
+}
+MethodBuilder& MethodBuilder::putstatic(const std::string& cls,
+                                        const std::string& f) {
+  return emit(Op::kPutStatic, owner_.cf_.pool.add_field(cls, f));
+}
+MethodBuilder& MethodBuilder::new_(const std::string& cls) {
+  return emit(Op::kNew, owner_.cf_.pool.add_class(cls));
+}
+MethodBuilder& MethodBuilder::newarray(TypeKind elem) {
+  return emit(Op::kNewArray, static_cast<std::int32_t>(elem));
+}
+MethodBuilder& MethodBuilder::iaload() { return emit(Op::kIaload); }
+MethodBuilder& MethodBuilder::iastore() { return emit(Op::kIastore); }
+MethodBuilder& MethodBuilder::daload() { return emit(Op::kDaload); }
+MethodBuilder& MethodBuilder::dastore() { return emit(Op::kDastore); }
+MethodBuilder& MethodBuilder::baload() { return emit(Op::kBaload); }
+MethodBuilder& MethodBuilder::bastore() { return emit(Op::kBastore); }
+MethodBuilder& MethodBuilder::aaload() { return emit(Op::kAaload); }
+MethodBuilder& MethodBuilder::aastore() { return emit(Op::kAastore); }
+MethodBuilder& MethodBuilder::arraylength() { return emit(Op::kArrayLength); }
+
+MethodBuilder& MethodBuilder::potential(SizeParamSpec spec) {
+  info().potential = true;
+  info().size_param = std::move(spec);
+  return *this;
+}
+
+void MethodBuilder::finish() {
+  for (const auto& [insn_index, label] : fixups_) {
+    const std::int32_t target = label_target_.at(label);
+    if (target < 0)
+      throw Error("builder: unbound label in method " + info().name);
+    info().code[insn_index].a = target;
+  }
+  fixups_.clear();
+}
+
+ClassBuilder::ClassBuilder(std::string name, std::string super) {
+  cf_.name = std::move(name);
+  cf_.super_name = std::move(super);
+}
+
+ClassBuilder& ClassBuilder::field(const std::string& name, TypeKind kind,
+                                  bool is_static) {
+  cf_.fields.push_back(FieldInfo{name, kind, is_static});
+  return *this;
+}
+
+MethodBuilder& ClassBuilder::method(const std::string& name, Signature sig,
+                                    bool is_static) {
+  cf_.methods.push_back(MethodInfo{});
+  MethodInfo& mi = cf_.methods.back();
+  mi.name = name;
+  mi.sig = std::move(sig);
+  mi.is_static = is_static;
+  builders_.push_back(std::unique_ptr<MethodBuilder>(
+      new MethodBuilder(*this, cf_.methods.size() - 1)));
+  return *builders_.back();
+}
+
+ClassFile ClassBuilder::build(const std::vector<const ClassFile*>& deps) {
+  for (auto& b : builders_) b->finish();
+  builders_.clear();
+  verify_class(cf_, deps);  // also fills max_stack
+  return std::move(cf_);
+}
+
+}  // namespace javelin::jvm

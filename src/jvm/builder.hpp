@@ -1,0 +1,163 @@
+// Fluent bytecode assembler.
+//
+// The benchmark applications (Fig 3) are written against this API: it plays
+// the role of javac for the mini-JVM. Labels are resolved at build time and
+// every built class passes the verifier, which also computes max_stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/nisa.hpp"
+#include "jvm/classfile.hpp"
+#include "jvm/verifier.hpp"
+
+namespace javelin::jvm {
+
+class ClassBuilder;
+
+/// Assembles one method. Obtained from ClassBuilder::method().
+class MethodBuilder {
+ public:
+  using Label = std::int32_t;
+
+  // --- locals -------------------------------------------------------------
+  /// Declare (or look up) a named local variable; returns its slot.
+  /// Parameters are pre-declared as "p0", "p1", ... ("this" for the receiver
+  /// of instance methods) but may be renamed via `param_name`.
+  std::int32_t local(const std::string& name);
+  MethodBuilder& param_name(std::size_t param_index, const std::string& name);
+
+  // --- constants ----------------------------------------------------------
+  MethodBuilder& iconst(std::int32_t v);
+  MethodBuilder& dconst(double v);
+  MethodBuilder& aconst_null();
+
+  // --- locals load/store (by name) ----------------------------------------
+  MethodBuilder& iload(const std::string& name);
+  MethodBuilder& istore(const std::string& name);
+  MethodBuilder& dload(const std::string& name);
+  MethodBuilder& dstore(const std::string& name);
+  MethodBuilder& aload(const std::string& name);
+  MethodBuilder& astore(const std::string& name);
+
+  // --- stack --------------------------------------------------------------
+  MethodBuilder& pop();
+  MethodBuilder& dup();
+
+  // --- arithmetic ----------------------------------------------------------
+  MethodBuilder& iadd();
+  MethodBuilder& isub();
+  MethodBuilder& imul();
+  MethodBuilder& idiv();
+  MethodBuilder& irem();
+  MethodBuilder& ineg();
+  MethodBuilder& ishl();
+  MethodBuilder& ishr();
+  MethodBuilder& iushr();
+  MethodBuilder& iand();
+  MethodBuilder& ior();
+  MethodBuilder& ixor();
+  MethodBuilder& dadd();
+  MethodBuilder& dsub();
+  MethodBuilder& dmul();
+  MethodBuilder& ddiv();
+  MethodBuilder& dneg();
+  MethodBuilder& i2d();
+  MethodBuilder& d2i();
+  MethodBuilder& dcmp();
+
+  // --- control flow ---------------------------------------------------------
+  Label new_label();
+  MethodBuilder& bind(Label l);
+  MethodBuilder& ifeq(Label l);
+  MethodBuilder& ifne(Label l);
+  MethodBuilder& iflt(Label l);
+  MethodBuilder& ifle(Label l);
+  MethodBuilder& ifgt(Label l);
+  MethodBuilder& ifge(Label l);
+  MethodBuilder& if_icmpeq(Label l);
+  MethodBuilder& if_icmpne(Label l);
+  MethodBuilder& if_icmplt(Label l);
+  MethodBuilder& if_icmple(Label l);
+  MethodBuilder& if_icmpgt(Label l);
+  MethodBuilder& if_icmpge(Label l);
+  MethodBuilder& ifnull(Label l);
+  MethodBuilder& ifnonnull(Label l);
+  MethodBuilder& goto_(Label l);
+
+  // --- invocation -----------------------------------------------------------
+  MethodBuilder& invokestatic(const std::string& cls, const std::string& m);
+  MethodBuilder& invokevirtual(const std::string& cls, const std::string& m);
+  MethodBuilder& intrinsic(isa::Intrinsic id);
+  MethodBuilder& ret();      ///< return void
+  MethodBuilder& iret();
+  MethodBuilder& dret();
+  MethodBuilder& aret();
+
+  // --- fields / objects / arrays ---------------------------------------------
+  MethodBuilder& getfield(const std::string& cls, const std::string& f);
+  MethodBuilder& putfield(const std::string& cls, const std::string& f);
+  MethodBuilder& getstatic(const std::string& cls, const std::string& f);
+  MethodBuilder& putstatic(const std::string& cls, const std::string& f);
+  MethodBuilder& new_(const std::string& cls);
+  MethodBuilder& newarray(TypeKind elem);
+  MethodBuilder& iaload();
+  MethodBuilder& iastore();
+  MethodBuilder& daload();
+  MethodBuilder& dastore();
+  MethodBuilder& baload();
+  MethodBuilder& bastore();
+  MethodBuilder& aaload();
+  MethodBuilder& aastore();
+  MethodBuilder& arraylength();
+
+  // --- attributes -------------------------------------------------------------
+  /// Mark as a potential method with the given size-parameter spec.
+  MethodBuilder& potential(SizeParamSpec spec);
+
+ private:
+  friend class ClassBuilder;
+  MethodBuilder(ClassBuilder& owner, std::size_t method_index);
+
+  MethodInfo& info();
+  const MethodInfo& info() const;
+  MethodBuilder& emit(Op op, std::int32_t a = 0, std::int32_t b = 0);
+  MethodBuilder& emit_branch(Op op, Label l);
+  std::int32_t slot_of(const std::string& name) const;
+  void finish();
+
+  ClassBuilder& owner_;
+  std::size_t method_index_;
+  std::map<std::string, std::int32_t> locals_;
+  std::vector<std::int32_t> label_target_;           // label -> insn index
+  std::vector<std::pair<std::size_t, Label>> fixups_;  // insn -> label
+};
+
+/// Assembles one class. Methods are verified at build().
+class ClassBuilder {
+ public:
+  explicit ClassBuilder(std::string name, std::string super = "");
+
+  ClassBuilder& field(const std::string& name, TypeKind kind,
+                      bool is_static = false);
+
+  /// Begin a method; the returned builder stays valid until build().
+  MethodBuilder& method(const std::string& name, Signature sig,
+                        bool is_static = true);
+
+  /// Resolve labels, verify all methods (computing max_stack), and return
+  /// the finished class file. Pass the class files this class references
+  /// (superclasses, callees) when it is not self-contained.
+  ClassFile build(const std::vector<const ClassFile*>& deps = {});
+
+ private:
+  friend class MethodBuilder;
+  ClassFile cf_;
+  std::vector<std::unique_ptr<MethodBuilder>> builders_;
+};
+
+}  // namespace javelin::jvm

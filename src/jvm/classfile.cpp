@@ -1,0 +1,243 @@
+#include "jvm/classfile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace javelin::jvm {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4a564c4e;  // "JVLN"
+constexpr std::uint16_t kVersion = 3;
+}  // namespace
+
+std::int32_t ConstantPool::add_double(double v) {
+  for (std::size_t i = 0; i < doubles.size(); ++i)
+    if (doubles[i] == v && !(doubles[i] == 0.0 && std::signbit(doubles[i]) !=
+                                                      std::signbit(v)))
+      return static_cast<std::int32_t>(i);
+  doubles.push_back(v);
+  return static_cast<std::int32_t>(doubles.size() - 1);
+}
+
+std::int32_t ConstantPool::add_method(const std::string& cls,
+                                      const std::string& m) {
+  MethodRef ref{cls, m};
+  const auto it = std::find(methods.begin(), methods.end(), ref);
+  if (it != methods.end())
+    return static_cast<std::int32_t>(it - methods.begin());
+  methods.push_back(std::move(ref));
+  return static_cast<std::int32_t>(methods.size() - 1);
+}
+
+std::int32_t ConstantPool::add_field(const std::string& cls,
+                                     const std::string& f) {
+  FieldRef ref{cls, f};
+  const auto it = std::find(fields.begin(), fields.end(), ref);
+  if (it != fields.end()) return static_cast<std::int32_t>(it - fields.begin());
+  fields.push_back(std::move(ref));
+  return static_cast<std::int32_t>(fields.size() - 1);
+}
+
+std::int32_t ConstantPool::add_class(const std::string& cls) {
+  const auto it = std::find(classes.begin(), classes.end(), cls);
+  if (it != classes.end())
+    return static_cast<std::int32_t>(it - classes.begin());
+  classes.push_back(cls);
+  return static_cast<std::int32_t>(classes.size() - 1);
+}
+
+MethodInfo* ClassFile::find_method(const std::string& mname) {
+  for (auto& m : methods)
+    if (m.name == mname) return &m;
+  return nullptr;
+}
+
+const MethodInfo* ClassFile::find_method(const std::string& mname) const {
+  for (const auto& m : methods)
+    if (m.name == mname) return &m;
+  return nullptr;
+}
+
+namespace {
+
+void write_poly(const PolyFit& p, ByteWriter& w) {
+  w.u32(static_cast<std::uint32_t>(p.coeffs.size()));
+  for (double c : p.coeffs) w.f64(c);
+}
+
+PolyFit read_poly(ByteReader& r) {
+  PolyFit p;
+  const std::uint32_t n = r.u32();
+  if (n > 16) throw FormatError("classfile: implausible polynomial degree");
+  p.coeffs.resize(n);
+  for (auto& c : p.coeffs) c = r.f64();
+  return p;
+}
+
+void write_sig(const Signature& s, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(s.params.size()));
+  for (auto p : s.params) w.u8(static_cast<std::uint8_t>(p));
+  w.u8(static_cast<std::uint8_t>(s.ret));
+}
+
+Signature read_sig(ByteReader& r) {
+  Signature s;
+  const std::uint8_t n = r.u8();
+  s.params.resize(n);
+  for (auto& p : s.params) p = static_cast<TypeKind>(r.u8());
+  s.ret = static_cast<TypeKind>(r.u8());
+  return s;
+}
+
+void write_method(const MethodInfo& m, ByteWriter& w) {
+  w.str(m.name);
+  write_sig(m.sig, w);
+  w.u8(m.is_static ? 1 : 0);
+  w.u16(m.max_locals);
+  w.u16(m.max_stack);
+  w.u32(static_cast<std::uint32_t>(m.code.size()));
+  for (const Insn& in : m.code) {
+    w.u8(static_cast<std::uint8_t>(in.op));
+    w.i32(in.a);
+    w.i32(in.b);
+  }
+  w.u8(m.potential ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(m.size_param.factors.size()));
+  for (const auto& f : m.size_param.factors) {
+    w.u8(f.arg_index);
+    w.u8(f.array_length ? 1 : 0);
+  }
+  w.u8(m.profile.valid ? 1 : 0);
+  if (m.profile.valid) {
+    for (const auto& p : m.profile.local_energy) write_poly(p, w);
+    for (const auto& p : m.profile.local_cycles) write_poly(p, w);
+    write_poly(m.profile.server_cycles, w);
+    write_poly(m.profile.request_bytes, w);
+    write_poly(m.profile.response_bytes, w);
+    for (double e : m.profile.compile_energy) w.f64(e);
+    for (std::uint32_t s : m.profile.code_size_bytes) w.u32(s);
+  }
+}
+
+MethodInfo read_method(ByteReader& r) {
+  MethodInfo m;
+  m.name = r.str();
+  m.sig = read_sig(r);
+  m.is_static = r.u8() != 0;
+  m.max_locals = r.u16();
+  m.max_stack = r.u16();
+  const std::uint32_t n = r.u32();
+  if (static_cast<std::size_t>(n) * 9 > r.remaining())
+    throw FormatError("classfile: truncated code");
+  m.code.resize(n);
+  for (auto& in : m.code) {
+    const std::uint8_t op = r.u8();
+    if (op >= kNumOps) throw FormatError("classfile: bad opcode");
+    in.op = static_cast<Op>(op);
+    in.a = r.i32();
+    in.b = r.i32();
+  }
+  m.potential = r.u8() != 0;
+  const std::uint8_t nf = r.u8();
+  m.size_param.factors.resize(nf);
+  for (auto& f : m.size_param.factors) {
+    f.arg_index = r.u8();
+    f.array_length = r.u8() != 0;
+  }
+  m.profile.valid = r.u8() != 0;
+  if (m.profile.valid) {
+    for (auto& p : m.profile.local_energy) p = read_poly(r);
+    for (auto& p : m.profile.local_cycles) p = read_poly(r);
+    m.profile.server_cycles = read_poly(r);
+    m.profile.request_bytes = read_poly(r);
+    m.profile.response_bytes = read_poly(r);
+    for (double& e : m.profile.compile_energy) e = r.f64();
+    for (std::uint32_t& s : m.profile.code_size_bytes) s = r.u32();
+  }
+  return m;
+}
+
+}  // namespace
+
+void write_class(const ClassFile& cf, ByteWriter& w) {
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.str(cf.name);
+  w.str(cf.super_name);
+
+  w.u32(static_cast<std::uint32_t>(cf.pool.doubles.size()));
+  for (double d : cf.pool.doubles) w.f64(d);
+  w.u32(static_cast<std::uint32_t>(cf.pool.methods.size()));
+  for (const auto& m : cf.pool.methods) {
+    w.str(m.class_name);
+    w.str(m.method_name);
+  }
+  w.u32(static_cast<std::uint32_t>(cf.pool.fields.size()));
+  for (const auto& f : cf.pool.fields) {
+    w.str(f.class_name);
+    w.str(f.field_name);
+  }
+  w.u32(static_cast<std::uint32_t>(cf.pool.classes.size()));
+  for (const auto& c : cf.pool.classes) w.str(c);
+
+  w.u32(static_cast<std::uint32_t>(cf.fields.size()));
+  for (const auto& f : cf.fields) {
+    w.str(f.name);
+    w.u8(static_cast<std::uint8_t>(f.kind));
+    w.u8(f.is_static ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(cf.methods.size()));
+  for (const auto& m : cf.methods) write_method(m, w);
+}
+
+ClassFile read_class(ByteReader& r) {
+  if (r.u32() != kMagic) throw FormatError("classfile: bad magic");
+  if (r.u16() != kVersion) throw FormatError("classfile: unsupported version");
+  ClassFile cf;
+  cf.name = r.str();
+  cf.super_name = r.str();
+
+  const std::uint32_t nd = r.u32();
+  if (static_cast<std::size_t>(nd) * 8 > r.remaining())
+    throw FormatError("classfile: truncated pool");
+  cf.pool.doubles.resize(nd);
+  for (auto& d : cf.pool.doubles) d = r.f64();
+  cf.pool.methods.resize(r.u32());
+  for (auto& m : cf.pool.methods) {
+    m.class_name = r.str();
+    m.method_name = r.str();
+  }
+  cf.pool.fields.resize(r.u32());
+  for (auto& f : cf.pool.fields) {
+    f.class_name = r.str();
+    f.field_name = r.str();
+  }
+  cf.pool.classes.resize(r.u32());
+  for (auto& c : cf.pool.classes) c = r.str();
+
+  cf.fields.resize(r.u32());
+  for (auto& f : cf.fields) {
+    f.name = r.str();
+    f.kind = static_cast<TypeKind>(r.u8());
+    f.is_static = r.u8() != 0;
+  }
+  const std::uint32_t nm = r.u32();
+  cf.methods.reserve(nm);
+  for (std::uint32_t i = 0; i < nm; ++i) cf.methods.push_back(read_method(r));
+  return cf;
+}
+
+std::vector<std::uint8_t> serialize_class(const ClassFile& cf) {
+  ByteWriter w;
+  write_class(cf, w);
+  return w.take();
+}
+
+ClassFile deserialize_class(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  ClassFile cf = read_class(r);
+  if (!r.at_end()) throw FormatError("classfile: trailing bytes");
+  return cf;
+}
+
+}  // namespace javelin::jvm

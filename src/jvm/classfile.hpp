@@ -1,0 +1,153 @@
+// Class-file model: constant pool, fields, methods, attributes.
+//
+// This is the unit an application ships in. Like a JVM class file it carries
+// a constant pool (doubles, method/field/class references by name), field and
+// method declarations, bytecode, and attributes. Two attributes matter to the
+// offload framework (Section 3 of the paper):
+//
+//  * the "potential method" annotation marking methods eligible for remote
+//    execution, together with the specification of the method's *size
+//    parameter* (the paper's `s`), and
+//  * the energy profile produced at deployment time — curve-fitted energy
+//    cost models per execution mode, per-level compilation energies, and
+//    compiled-code image sizes — the paper's "static final variables"
+//    consulted by helper methods.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jvm/opcodes.hpp"
+#include "jvm/value.hpp"
+#include "support/bytes.hpp"
+#include "support/fit.hpp"
+
+namespace javelin::jvm {
+
+/// Number of local execution modes with distinct cost models:
+/// interpreter + three JIT levels.
+inline constexpr std::size_t kNumLocalModes = 4;
+/// Number of JIT optimization levels (Local1..Local3).
+inline constexpr std::size_t kNumOptLevels = 3;
+
+struct MethodRef {
+  std::string class_name;
+  std::string method_name;
+  bool operator==(const MethodRef&) const = default;
+};
+
+struct FieldRef {
+  std::string class_name;
+  std::string field_name;
+  bool operator==(const FieldRef&) const = default;
+};
+
+/// Constant pool with interning add-or-get helpers.
+struct ConstantPool {
+  std::vector<double> doubles;
+  std::vector<MethodRef> methods;
+  std::vector<FieldRef> fields;
+  std::vector<std::string> classes;
+
+  std::int32_t add_double(double v);
+  std::int32_t add_method(const std::string& cls, const std::string& m);
+  std::int32_t add_field(const std::string& cls, const std::string& f);
+  std::int32_t add_class(const std::string& cls);
+};
+
+struct FieldInfo {
+  std::string name;
+  TypeKind kind = TypeKind::kInt;
+  bool is_static = false;
+};
+
+/// How to derive the scalar size parameter `s` from call arguments.
+///
+/// `s` is the product of the selected features; each feature is either an
+/// int argument's value or a ref argument's array length. An empty factor
+/// list means the method has a constant cost (s = 1).
+struct SizeParamSpec {
+  struct Factor {
+    std::uint8_t arg_index = 0;   ///< Index into the invocation arguments
+                                  ///< (receiver included for instance methods).
+    bool array_length = false;    ///< Use array length instead of int value.
+    bool operator==(const Factor&) const = default;
+  };
+  std::vector<Factor> factors;
+  bool operator==(const SizeParamSpec&) const = default;
+};
+
+/// Deploy-time energy profile (class-file attribute).
+///
+/// Fitted on the server when the application is published; downloaded with
+/// the class file and consulted by the helper method at each invocation.
+struct EnergyProfile {
+  bool valid = false;
+
+  /// Client energy (J) vs. s for Interpreter, Local1, Local2, Local3.
+  std::array<PolyFit, kNumLocalModes> local_energy{};
+  /// Client core cycles vs. s per local mode (for performance reporting).
+  std::array<PolyFit, kNumLocalModes> local_cycles{};
+  /// Server execution time estimate: server cycles vs. s.
+  PolyFit server_cycles;
+  /// Serialized request/response payload bytes vs. s.
+  PolyFit request_bytes;
+  PolyFit response_bytes;
+  /// Local compilation energy (J) per optimization level (constant per
+  /// method/platform, as the paper observes).
+  std::array<double, kNumOptLevels> compile_energy{};
+  /// Compiled native image size (bytes) per level — the remote-compilation
+  /// download volume.
+  std::array<std::uint32_t, kNumOptLevels> code_size_bytes{};
+};
+
+struct MethodInfo {
+  std::string name;
+  Signature sig;
+  bool is_static = true;  ///< Instance methods get the receiver as local 0.
+  std::uint16_t max_locals = 0;
+  std::uint16_t max_stack = 0;  ///< Computed by the verifier.
+  std::vector<Insn> code;
+
+  // Attributes.
+  bool potential = false;  ///< Eligible for remote execution.
+  SizeParamSpec size_param;
+  EnergyProfile profile;
+
+  /// Number of invocation arguments (receiver included).
+  std::size_t num_args() const {
+    return sig.params.size() + (is_static ? 0 : 1);
+  }
+  /// Kind of invocation argument `i` (receiver included).
+  TypeKind arg_kind(std::size_t i) const {
+    if (!is_static) {
+      if (i == 0) return TypeKind::kRef;
+      return sig.params[i - 1];
+    }
+    return sig.params[i];
+  }
+};
+
+struct ClassFile {
+  std::string name;
+  std::string super_name;  ///< Empty = no superclass.
+  ConstantPool pool;
+  std::vector<FieldInfo> fields;
+  std::vector<MethodInfo> methods;
+
+  MethodInfo* find_method(const std::string& name);
+  const MethodInfo* find_method(const std::string& name) const;
+};
+
+/// Binary class-file format (what the server ships to the client when an
+/// application is downloaded). Round-trips exactly.
+void write_class(const ClassFile& cf, ByteWriter& w);
+ClassFile read_class(ByteReader& r);
+
+std::vector<std::uint8_t> serialize_class(const ClassFile& cf);
+ClassFile deserialize_class(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace javelin::jvm

@@ -1,0 +1,152 @@
+#include "jvm/engine.hpp"
+
+namespace javelin::jvm {
+
+using energy::InstrClass;
+
+void ExecutionEngine::install(std::int32_t method_id, isa::NativeProgram prog,
+                              int level) {
+  if (level < 1 || level > static_cast<int>(kNumOptLevels))
+    throw Error("engine: bad optimization level");
+  if (code_.size() < jvm_.num_methods()) code_.resize(jvm_.num_methods());
+  prog.method_id = method_id;
+  if (!prog.installed()) prog.install(jvm_.arena());
+  auto& slot = code_.at(method_id);
+  slot.prog = std::make_unique<isa::NativeProgram>(std::move(prog));
+  slot.level = level;
+}
+
+const isa::NativeProgram* ExecutionEngine::compiled(
+    std::int32_t method_id) const {
+  if (static_cast<std::size_t>(method_id) >= code_.size()) return nullptr;
+  return code_[method_id].prog.get();
+}
+
+int ExecutionEngine::compiled_level(std::int32_t method_id) const {
+  if (static_cast<std::size_t>(method_id) >= code_.size()) return 0;
+  return code_[method_id].level;
+}
+
+void ExecutionEngine::clear_code() { code_.clear(); }
+
+Value ExecutionEngine::invoke(std::int32_t method_id,
+                              std::span<const Value> args) {
+  const RtMethod& m = jvm_.method(method_id);
+  if (!force_interpret_) {
+    if (const isa::NativeProgram* prog = compiled(method_id))
+      return invoke_native(m, *prog, args);
+  }
+  return interp_.run(m, args, *this);
+}
+
+Value ExecutionEngine::call(const std::string& cls, const std::string& method,
+                            std::span<const Value> args) {
+  const std::int32_t id = jvm_.find_method(cls, method);
+  if (id < 0) throw Error("engine: no such method " + cls + "." + method);
+  return invoke(id, args);
+}
+
+Value ExecutionEngine::invoke_native(const RtMethod& m,
+                                     const isa::NativeProgram& prog,
+                                     std::span<const Value> args) {
+  isa::NativeExecutor ex(jvm_.core(), *this);
+  // Argument registers: integer/ref args fill r1.. in order of appearance
+  // among int-like args; doubles fill f1.. likewise.
+  std::uint8_t next_int = isa::kFirstArgReg;
+  std::uint8_t next_fp = isa::kFFirstArgReg;
+  if (args.size() != m.info->num_args())
+    throw VmError("engine: argument count mismatch for " + m.qualified_name);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    switch (m.info->arg_kind(i)) {
+      case TypeKind::kDouble:
+        ex.set_fp_reg(next_fp++, args[i].as_double());
+        break;
+      case TypeKind::kRef:
+        ex.set_int_reg(next_int++, args[i].as_ref());
+        break;
+      default:
+        ex.set_int_reg(next_int++, args[i].as_int());
+        break;
+    }
+  }
+  ex.run(prog);
+  switch (m.info->sig.ret) {
+    case TypeKind::kVoid:
+      return Value::make_void();
+    case TypeKind::kDouble:
+      return Value::make_double(ex.fp_reg(isa::kFRetReg));
+    case TypeKind::kRef:
+      return Value::make_ref(
+          static_cast<mem::Addr>(ex.int_reg(isa::kRetReg)));
+    default:
+      return Value::make_int(
+          static_cast<std::int32_t>(ex.int_reg(isa::kRetReg)));
+  }
+}
+
+void ExecutionEngine::marshal_call(std::int32_t target_id,
+                                   isa::NativeExecutor& caller) {
+  const RtMethod& callee = jvm_.method(target_id);
+  const std::size_t nargs = callee.info->num_args();
+  std::vector<Value> args(nargs);
+  std::uint8_t next_int = isa::kFirstArgReg;
+  std::uint8_t next_fp = isa::kFFirstArgReg;
+  for (std::size_t i = 0; i < nargs; ++i) {
+    switch (callee.info->arg_kind(i)) {
+      case TypeKind::kDouble:
+        args[i] = Value::make_double(caller.fp_reg(next_fp++));
+        break;
+      case TypeKind::kRef:
+        args[i] = Value::make_ref(
+            static_cast<mem::Addr>(caller.int_reg(next_int++)));
+        break;
+      default:
+        args[i] = Value::make_int(
+            static_cast<std::int32_t>(caller.int_reg(next_int++)));
+        break;
+    }
+  }
+  const Value result = invoke(target_id, args);
+  switch (callee.info->sig.ret) {
+    case TypeKind::kVoid:
+      break;
+    case TypeKind::kDouble:
+      caller.set_fp_reg(isa::kFRetReg, result.as_double());
+      break;
+    case TypeKind::kRef:
+      caller.set_int_reg(isa::kRetReg, result.as_ref());
+      break;
+    default:
+      caller.set_int_reg(isa::kRetReg, result.as_int());
+      break;
+  }
+}
+
+void ExecutionEngine::call_static(std::int32_t method_id,
+                                  isa::NativeExecutor& caller) {
+  marshal_call(method_id, caller);
+}
+
+void ExecutionEngine::call_virtual(std::int32_t declared_method_id,
+                                   isa::NativeExecutor& caller) {
+  const auto receiver = static_cast<mem::Addr>(caller.int_reg(isa::kRetReg));
+  if (receiver == mem::kNullAddr) throw VmError("null pointer dereference");
+  // Dispatch cost: receiver-header load + table lookup.
+  isa::Core& core = jvm_.core();
+  core.stall(core.hier->load(receiver));
+  core.charge_class(InstrClass::kLoad, 2);
+  const std::int32_t target = jvm_.resolve_virtual(declared_method_id, receiver);
+  marshal_call(target, caller);
+}
+
+mem::Addr ExecutionEngine::new_array(std::int32_t elem_kind,
+                                     std::int32_t length) {
+  return jvm_.new_array(static_cast<TypeKind>(elem_kind), length,
+                        /*charge=*/true);
+}
+
+mem::Addr ExecutionEngine::new_object(std::int32_t class_id) {
+  return jvm_.new_object(class_id, /*charge=*/true);
+}
+
+}  // namespace javelin::jvm

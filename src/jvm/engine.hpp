@@ -1,0 +1,70 @@
+// Mixed-mode execution engine.
+//
+// Dispatches each method invocation to installed native code (if the method
+// has been JIT-compiled) or to the interpreter, exactly as an adaptive JVM
+// does. It is also the RuntimeBridge that native code escapes into for
+// calls and allocation, so interpreted and compiled frames interleave freely
+// on one simulated core.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "jvm/interp.hpp"
+#include "jvm/vm.hpp"
+
+namespace javelin::jvm {
+
+class ExecutionEngine final : public isa::RuntimeBridge, public Invoker {
+ public:
+  explicit ExecutionEngine(Jvm& jvm) : jvm_(jvm), interp_(jvm) {}
+
+  // ---- compiled-code management -------------------------------------------
+  /// Install a compiled body for a method at the given optimization level
+  /// (1..3). The program is placed in simulated memory here.
+  void install(std::int32_t method_id, isa::NativeProgram prog, int level);
+  /// Compiled program, or nullptr if the method is interpreted.
+  const isa::NativeProgram* compiled(std::int32_t method_id) const;
+  /// 0 = interpreted, else 1..3.
+  int compiled_level(std::int32_t method_id) const;
+  /// Drop all installed code (the method reverts to interpretation).
+  void clear_code();
+
+  /// When set, invoke() always interprets, ignoring installed code (used to
+  /// measure the pure-Interpreter execution strategy).
+  void set_force_interpret(bool f) { force_interpret_ = f; }
+  bool force_interpret() const { return force_interpret_; }
+
+  // ---- invocation ------------------------------------------------------------
+  Value invoke(std::int32_t method_id, std::span<const Value> args) override;
+  /// Convenience lookup-and-invoke.
+  Value call(const std::string& cls, const std::string& method,
+             std::span<const Value> args);
+
+  Jvm& jvm() { return jvm_; }
+
+  // ---- RuntimeBridge (escapes from native code) -----------------------------
+  void call_static(std::int32_t method_id, isa::NativeExecutor& caller) override;
+  void call_virtual(std::int32_t declared_method_id,
+                    isa::NativeExecutor& caller) override;
+  mem::Addr new_array(std::int32_t elem_kind, std::int32_t length) override;
+  mem::Addr new_object(std::int32_t class_id) override;
+
+ private:
+  struct CodeSlot {
+    std::unique_ptr<isa::NativeProgram> prog;
+    int level = 0;
+  };
+
+  Value invoke_native(const RtMethod& m, const isa::NativeProgram& prog,
+                      std::span<const Value> args);
+  void marshal_call(std::int32_t target_id, isa::NativeExecutor& caller);
+
+  Jvm& jvm_;
+  Interpreter interp_;
+  std::vector<CodeSlot> code_;
+  bool force_interpret_ = false;
+};
+
+}  // namespace javelin::jvm

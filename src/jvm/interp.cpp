@@ -1,0 +1,532 @@
+#include "jvm/interp.hpp"
+
+#include "isa/nisa.hpp"
+
+namespace javelin::jvm {
+
+using energy::InstrClass;
+
+namespace {
+
+/// Interpreter frame in the arena stack zone with charged slot accesses.
+class Frame {
+ public:
+  Frame(isa::Core& core, const MethodInfo& mi)
+      : core_(core),
+        mark_(core.arena->stack_mark()),
+        base_(core.arena->alloc_stack(
+            (static_cast<std::size_t>(mi.max_locals) + mi.max_stack) * 8, 8)),
+        stack_base_(base_ + static_cast<mem::Addr>(mi.max_locals) * 8) {}
+
+  ~Frame() { core_.arena->stack_release(mark_); }
+
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+
+  // Raw slot addresses.
+  mem::Addr local_addr(std::int32_t slot) const {
+    return base_ + static_cast<mem::Addr>(slot) * 8;
+  }
+  mem::Addr stack_addr(std::int32_t depth) const {
+    return stack_base_ + static_cast<mem::Addr>(depth) * 8;
+  }
+
+  // Charged operand-stack accesses.
+  void push_i64(std::int64_t v) {
+    const mem::Addr a = stack_addr(sp_++);
+    core_.stall(core_.hier->store(a));
+    core_.charge_class(InstrClass::kStore);
+    core_.arena->store_i64(a, v);
+  }
+  void push_f64(double v) {
+    const mem::Addr a = stack_addr(sp_++);
+    core_.stall(core_.hier->store(a));
+    core_.charge_class(InstrClass::kStore);
+    core_.arena->store_f64(a, v);
+  }
+  std::int64_t pop_i64() {
+    const mem::Addr a = stack_addr(--sp_);
+    core_.stall(core_.hier->load(a));
+    core_.charge_class(InstrClass::kLoad);
+    return core_.arena->load_i64(a);
+  }
+  double pop_f64() {
+    const mem::Addr a = stack_addr(--sp_);
+    core_.stall(core_.hier->load(a));
+    core_.charge_class(InstrClass::kLoad);
+    return core_.arena->load_f64(a);
+  }
+  std::int32_t pop_i32() { return static_cast<std::int32_t>(pop_i64()); }
+  mem::Addr pop_ref() { return static_cast<mem::Addr>(pop_i64()); }
+  void push_i32(std::int32_t v) { push_i64(v); }
+  void push_ref(mem::Addr v) { push_i64(static_cast<std::int64_t>(v)); }
+
+  // Charged local accesses.
+  std::int64_t load_local_i64(std::int32_t slot) {
+    const mem::Addr a = local_addr(slot);
+    core_.stall(core_.hier->load(a));
+    core_.charge_class(InstrClass::kLoad);
+    return core_.arena->load_i64(a);
+  }
+  double load_local_f64(std::int32_t slot) {
+    const mem::Addr a = local_addr(slot);
+    core_.stall(core_.hier->load(a));
+    core_.charge_class(InstrClass::kLoad);
+    return core_.arena->load_f64(a);
+  }
+  void store_local_i64(std::int32_t slot, std::int64_t v) {
+    const mem::Addr a = local_addr(slot);
+    core_.stall(core_.hier->store(a));
+    core_.charge_class(InstrClass::kStore);
+    core_.arena->store_i64(a, v);
+  }
+  void store_local_f64(std::int32_t slot, double v) {
+    const mem::Addr a = local_addr(slot);
+    core_.stall(core_.hier->store(a));
+    core_.charge_class(InstrClass::kStore);
+    core_.arena->store_f64(a, v);
+  }
+
+  std::int32_t sp() const { return sp_; }
+
+ private:
+  isa::Core& core_;
+  std::size_t mark_;
+  mem::Addr base_;
+  mem::Addr stack_base_;
+  std::int32_t sp_ = 0;
+};
+
+}  // namespace
+
+Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
+                       Invoker& invoker) {
+  const MethodInfo& mi = *m.info;
+  isa::Core& core = jvm_.core();
+  const RtClass& rc = jvm_.cls(m.class_id);
+
+  if (++core.call_depth > isa::Core::kMaxCallDepth) {
+    --core.call_depth;
+    throw VmError("interpreter: call depth exceeded");
+  }
+
+  try {
+    Frame fr(core, mi);
+
+    // Entry: spill arguments into the frame's local slots.
+    if (args.size() != mi.num_args())
+      throw VmError("interpreter: argument count mismatch for " +
+                    m.qualified_name);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      switch (args[i].kind) {
+        case TypeKind::kDouble:
+          fr.store_local_f64(static_cast<std::int32_t>(i), args[i].d);
+          break;
+        case TypeKind::kRef:
+          fr.store_local_i64(static_cast<std::int32_t>(i), args[i].ref);
+          break;
+        default:
+          fr.store_local_i64(static_cast<std::int32_t>(i), args[i].i);
+          break;
+      }
+    }
+
+    std::size_t pc = 0;
+    const auto& code = mi.code;
+
+    for (;;) {
+      if (pc >= code.size())
+        throw VmError("interpreter: pc out of range in " + m.qualified_name);
+      // Fetch-decode-dispatch: the bytecode itself is data for the
+      // interpreter, so the fetch goes through the D-cache.
+      core.stall(core.hier->load(m.bc_addr + static_cast<mem::Addr>(pc * 4)));
+      core.charge_class(InstrClass::kLoad);
+      core.charge_class(InstrClass::kAluSimple);
+      core.charge_class(InstrClass::kBranch);
+
+      const Insn& in = code[pc];
+      std::size_t next = pc + 1;
+
+      switch (in.op) {
+        case Op::kIconst:
+          core.charge_class(InstrClass::kAluSimple);
+          fr.push_i32(in.a);
+          break;
+        case Op::kDconst: {
+          // Load the double from the constant pool (resident near bytecode).
+          core.stall(core.hier->load(m.bc_addr));
+          core.charge_class(InstrClass::kLoad);
+          fr.push_f64(rc.cf.pool.doubles[in.a]);
+          break;
+        }
+        case Op::kAconstNull:
+          core.charge_class(InstrClass::kAluSimple);
+          fr.push_ref(mem::kNullAddr);
+          break;
+
+        case Op::kIload:
+        case Op::kAload:
+          fr.push_i64(fr.load_local_i64(in.a));
+          break;
+        case Op::kDload:
+          fr.push_f64(fr.load_local_f64(in.a));
+          break;
+        case Op::kIstore:
+        case Op::kAstore:
+          fr.store_local_i64(in.a, fr.pop_i64());
+          break;
+        case Op::kDstore:
+          fr.store_local_f64(in.a, fr.pop_f64());
+          break;
+
+        case Op::kPop:
+          fr.pop_i64();
+          break;
+        case Op::kDup: {
+          const std::int64_t v = fr.pop_i64();
+          fr.push_i64(v);
+          fr.push_i64(v);
+          break;
+        }
+
+        case Op::kIadd: case Op::kIsub: case Op::kIand: case Op::kIor:
+        case Op::kIxor: case Op::kIshl: case Op::kIshr: case Op::kIushr: {
+          const std::int32_t b = fr.pop_i32();
+          const std::int32_t a = fr.pop_i32();
+          core.charge_class(InstrClass::kAluSimple);
+          std::int32_t r = 0;
+          switch (in.op) {
+            case Op::kIadd: r = a + b; break;
+            case Op::kIsub: r = a - b; break;
+            case Op::kIand: r = a & b; break;
+            case Op::kIor: r = a | b; break;
+            case Op::kIxor: r = a ^ b; break;
+            case Op::kIshl: r = a << (b & 31); break;
+            case Op::kIshr: r = a >> (b & 31); break;
+            default:
+              r = static_cast<std::int32_t>(static_cast<std::uint32_t>(a) >>
+                                            (b & 31));
+              break;
+          }
+          fr.push_i32(r);
+          break;
+        }
+        case Op::kImul: case Op::kIdiv: case Op::kIrem: {
+          const std::int32_t b = fr.pop_i32();
+          const std::int32_t a = fr.pop_i32();
+          core.charge_class(InstrClass::kAluComplex);
+          std::int32_t r = 0;
+          if (in.op == Op::kImul) {
+            r = a * b;
+          } else {
+            if (b == 0) throw VmError("division by zero");
+            r = in.op == Op::kIdiv ? a / b : a % b;
+          }
+          fr.push_i32(r);
+          break;
+        }
+        case Op::kIneg: {
+          const std::int32_t a = fr.pop_i32();
+          core.charge_class(InstrClass::kAluSimple);
+          fr.push_i32(-a);
+          break;
+        }
+        case Op::kDadd: case Op::kDsub: case Op::kDmul: case Op::kDdiv: {
+          const double b = fr.pop_f64();
+          const double a = fr.pop_f64();
+          core.charge_class(InstrClass::kAluComplex);
+          double r = 0;
+          switch (in.op) {
+            case Op::kDadd: r = a + b; break;
+            case Op::kDsub: r = a - b; break;
+            case Op::kDmul: r = a * b; break;
+            default: r = a / b; break;
+          }
+          fr.push_f64(r);
+          break;
+        }
+        case Op::kDneg: {
+          const double a = fr.pop_f64();
+          core.charge_class(InstrClass::kAluComplex);
+          fr.push_f64(-a);
+          break;
+        }
+        case Op::kI2d: {
+          const std::int32_t a = fr.pop_i32();
+          core.charge_class(InstrClass::kAluComplex);
+          fr.push_f64(static_cast<double>(a));
+          break;
+        }
+        case Op::kD2i: {
+          const double a = fr.pop_f64();
+          core.charge_class(InstrClass::kAluComplex);
+          fr.push_i32(static_cast<std::int32_t>(a));
+          break;
+        }
+        case Op::kDcmp: {
+          const double b = fr.pop_f64();
+          const double a = fr.pop_f64();
+          core.charge_class(InstrClass::kAluComplex);
+          fr.push_i32(a > b ? 1 : (a == b ? 0 : -1));
+          break;
+        }
+
+        case Op::kIfeq: case Op::kIfne: case Op::kIflt:
+        case Op::kIfle: case Op::kIfgt: case Op::kIfge: {
+          const std::int32_t a = fr.pop_i32();
+          core.charge_class(InstrClass::kBranch);
+          bool taken = false;
+          switch (in.op) {
+            case Op::kIfeq: taken = a == 0; break;
+            case Op::kIfne: taken = a != 0; break;
+            case Op::kIflt: taken = a < 0; break;
+            case Op::kIfle: taken = a <= 0; break;
+            case Op::kIfgt: taken = a > 0; break;
+            default: taken = a >= 0; break;
+          }
+          if (taken) next = static_cast<std::size_t>(in.a);
+          break;
+        }
+        case Op::kIfIcmpEq: case Op::kIfIcmpNe: case Op::kIfIcmpLt:
+        case Op::kIfIcmpLe: case Op::kIfIcmpGt: case Op::kIfIcmpGe: {
+          const std::int32_t b = fr.pop_i32();
+          const std::int32_t a = fr.pop_i32();
+          core.charge_class(InstrClass::kBranch);
+          bool taken = false;
+          switch (in.op) {
+            case Op::kIfIcmpEq: taken = a == b; break;
+            case Op::kIfIcmpNe: taken = a != b; break;
+            case Op::kIfIcmpLt: taken = a < b; break;
+            case Op::kIfIcmpLe: taken = a <= b; break;
+            case Op::kIfIcmpGt: taken = a > b; break;
+            default: taken = a >= b; break;
+          }
+          if (taken) next = static_cast<std::size_t>(in.a);
+          break;
+        }
+        case Op::kIfNull: case Op::kIfNonNull: {
+          const mem::Addr r = fr.pop_ref();
+          core.charge_class(InstrClass::kBranch);
+          const bool taken =
+              in.op == Op::kIfNull ? r == mem::kNullAddr : r != mem::kNullAddr;
+          if (taken) next = static_cast<std::size_t>(in.a);
+          break;
+        }
+        case Op::kGoto:
+          core.charge_class(InstrClass::kBranch);
+          next = static_cast<std::size_t>(in.a);
+          break;
+
+        case Op::kInvokeStatic:
+        case Op::kInvokeVirtual: {
+          std::int32_t callee_id = rc.pool_method_ids[in.a];
+          const RtMethod& callee = jvm_.method(callee_id);
+          const std::size_t nargs = callee.info->num_args();
+          std::vector<Value> call_args(nargs);
+          // Pop arguments right-to-left.
+          for (std::size_t i = nargs; i-- > 0;) {
+            const TypeKind k = callee.info->arg_kind(i);
+            if (k == TypeKind::kDouble)
+              call_args[i] = Value::make_double(fr.pop_f64());
+            else if (k == TypeKind::kRef)
+              call_args[i] = Value::make_ref(fr.pop_ref());
+            else
+              call_args[i] = Value::make_int(fr.pop_i32());
+          }
+          if (in.op == Op::kInvokeVirtual) {
+            // Dynamic dispatch: header load + table lookup + indirect call.
+            const mem::Addr receiver = call_args[0].as_ref();
+            if (receiver == mem::kNullAddr)
+              throw VmError("null pointer dereference");
+            core.stall(core.hier->load(receiver));
+            core.charge_class(InstrClass::kLoad, 2);
+            core.charge_class(InstrClass::kBranch);
+            callee_id = jvm_.resolve_virtual(callee_id, receiver);
+          } else {
+            core.charge_class(InstrClass::kBranch);
+          }
+          const Value result = invoker.invoke(callee_id, call_args);
+          if (result.kind == TypeKind::kDouble)
+            fr.push_f64(result.d);
+          else if (result.kind == TypeKind::kRef)
+            fr.push_ref(result.ref);
+          else if (result.kind == TypeKind::kInt)
+            fr.push_i32(result.i);
+          break;
+        }
+        case Op::kInvokeIntrinsic: {
+          const auto id = static_cast<isa::Intrinsic>(in.a);
+          double fp[2]{};
+          std::int32_t ints[2]{};
+          for (int i = isa::intrinsic_fp_args(id); i-- > 0;)
+            fp[i] = fr.pop_f64();
+          for (int i = isa::intrinsic_int_args(id); i-- > 0;)
+            ints[i] = fr.pop_i32();
+          core.charge_class(InstrClass::kAluComplex, isa::intrinsic_cost(id));
+          if (isa::intrinsic_returns_double(id))
+            fr.push_f64(isa::apply_intrinsic_d(id, fp, ints));
+          else
+            fr.push_i32(isa::apply_intrinsic_i(id, ints));
+          break;
+        }
+
+        case Op::kReturn:
+          core.charge_class(InstrClass::kBranch);
+          --core.call_depth;
+          return Value::make_void();
+        case Op::kIreturn: {
+          const std::int32_t v = fr.pop_i32();
+          core.charge_class(InstrClass::kBranch);
+          --core.call_depth;
+          return Value::make_int(v);
+        }
+        case Op::kDreturn: {
+          const double v = fr.pop_f64();
+          core.charge_class(InstrClass::kBranch);
+          --core.call_depth;
+          return Value::make_double(v);
+        }
+        case Op::kAreturn: {
+          const mem::Addr v = fr.pop_ref();
+          core.charge_class(InstrClass::kBranch);
+          --core.call_depth;
+          return Value::make_ref(v);
+        }
+
+        case Op::kGetField:
+        case Op::kPutField:
+        case Op::kGetStatic:
+        case Op::kPutStatic: {
+          const RtField& f = jvm_.field(rc.pool_field_ids[in.a]);
+          const bool is_put = in.op == Op::kPutField || in.op == Op::kPutStatic;
+          const bool is_instance =
+              in.op == Op::kGetField || in.op == Op::kPutField;
+          Value v;
+          if (is_put) {
+            if (f.kind == TypeKind::kDouble)
+              v = Value::make_double(fr.pop_f64());
+            else if (f.kind == TypeKind::kRef)
+              v = Value::make_ref(fr.pop_ref());
+            else
+              v = Value::make_int(fr.pop_i32());
+          }
+          mem::Addr base = mem::kNullAddr;
+          if (is_instance) {
+            base = fr.pop_ref();
+            if (base == mem::kNullAddr)
+              throw VmError("null pointer dereference");
+            core.charge_class(InstrClass::kBranch);  // null check
+          }
+          const mem::Addr a = jvm_.field_addr(base, f);
+          core.charge_class(InstrClass::kAluSimple);  // address arithmetic
+          if (is_put) {
+            core.stall(core.hier->store(a));
+            core.charge_class(InstrClass::kStore);
+            if (f.kind == TypeKind::kDouble)
+              core.arena->store_f64(a, v.d);
+            else if (f.kind == TypeKind::kRef)
+              core.arena->store_u32(a, v.ref);
+            else if (f.kind == TypeKind::kByte)
+              core.arena->store_u8(a, static_cast<std::uint8_t>(v.i));
+            else
+              core.arena->store_i32(a, v.i);
+          } else {
+            core.stall(core.hier->load(a));
+            core.charge_class(InstrClass::kLoad);
+            if (f.kind == TypeKind::kDouble)
+              fr.push_f64(core.arena->load_f64(a));
+            else if (f.kind == TypeKind::kRef)
+              fr.push_ref(core.arena->load_u32(a));
+            else if (f.kind == TypeKind::kByte)
+              fr.push_i32(core.arena->load_u8(a));
+            else
+              fr.push_i32(core.arena->load_i32(a));
+          }
+          break;
+        }
+
+        case Op::kNew: {
+          const std::int32_t cid = rc.pool_class_ids[in.a];
+          core.charge_class(InstrClass::kBranch);  // runtime call
+          fr.push_ref(jvm_.new_object(cid, /*charge=*/true));
+          break;
+        }
+        case Op::kNewArray: {
+          const std::int32_t len = fr.pop_i32();
+          core.charge_class(InstrClass::kBranch);  // runtime call
+          fr.push_ref(
+              jvm_.new_array(static_cast<TypeKind>(in.a), len, /*charge=*/true));
+          break;
+        }
+
+        case Op::kIaload: case Op::kDaload: case Op::kBaload: case Op::kAaload: {
+          const std::int32_t idx = fr.pop_i32();
+          const mem::Addr ref = fr.pop_ref();
+          // Null + bounds checks: length load and two compare-branches.
+          if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
+          core.stall(core.hier->load(ref + 4));
+          core.charge_class(InstrClass::kLoad);
+          core.charge_class(InstrClass::kBranch, 2);
+          const mem::Addr a = jvm_.elem_addr(ref, idx);
+          core.charge_class(InstrClass::kAluSimple, 2);  // address arithmetic
+          core.stall(core.hier->load(a));
+          core.charge_class(InstrClass::kLoad);
+          switch (in.op) {
+            case Op::kIaload: fr.push_i32(core.arena->load_i32(a)); break;
+            case Op::kDaload: fr.push_f64(core.arena->load_f64(a)); break;
+            case Op::kBaload: fr.push_i32(core.arena->load_u8(a)); break;
+            default: fr.push_ref(core.arena->load_u32(a)); break;
+          }
+          break;
+        }
+        case Op::kIastore: case Op::kDastore: case Op::kBastore:
+        case Op::kAastore: {
+          Value v;
+          if (in.op == Op::kDastore)
+            v = Value::make_double(fr.pop_f64());
+          else if (in.op == Op::kAastore)
+            v = Value::make_ref(fr.pop_ref());
+          else
+            v = Value::make_int(fr.pop_i32());
+          const std::int32_t idx = fr.pop_i32();
+          const mem::Addr ref = fr.pop_ref();
+          if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
+          core.stall(core.hier->load(ref + 4));
+          core.charge_class(InstrClass::kLoad);
+          core.charge_class(InstrClass::kBranch, 2);
+          const mem::Addr a = jvm_.elem_addr(ref, idx);
+          core.charge_class(InstrClass::kAluSimple, 2);
+          core.stall(core.hier->store(a));
+          core.charge_class(InstrClass::kStore);
+          switch (in.op) {
+            case Op::kIastore: core.arena->store_i32(a, v.i); break;
+            case Op::kDastore: core.arena->store_f64(a, v.d); break;
+            case Op::kBastore:
+              core.arena->store_u8(a, static_cast<std::uint8_t>(v.i));
+              break;
+            default: core.arena->store_u32(a, v.ref); break;
+          }
+          break;
+        }
+        case Op::kArrayLength: {
+          const mem::Addr ref = fr.pop_ref();
+          if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
+          core.stall(core.hier->load(ref + 4));
+          core.charge_class(InstrClass::kLoad);
+          fr.push_i32(jvm_.array_length(ref));
+          break;
+        }
+
+        case Op::kCount:
+          throw VmError("interpreter: invalid opcode");
+      }
+
+      pc = next;
+    }
+  } catch (...) {
+    --core.call_depth;
+    throw;
+  }
+}
+
+}  // namespace javelin::jvm

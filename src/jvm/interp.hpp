@@ -1,0 +1,40 @@
+// The bytecode interpreter.
+//
+// Executes guest bytecode with faithful cost accounting for a threaded
+// interpreter running on the client core: every bytecode is charged its
+// dispatch overhead (opcode fetch through the D-cache at the installed
+// bytecode address, decode ALU op, dispatch branch) plus the semantic cost of
+// the operation, and every operand-stack/local access is a real load/store to
+// the frame in simulated memory (so it flows through the cache model).
+//
+// Frames live in the arena's stack zone:
+//   [ locals: max_locals x 8 bytes | operand stack: max_stack x 8 bytes ]
+#pragma once
+
+#include <span>
+
+#include "jvm/vm.hpp"
+
+namespace javelin::jvm {
+
+/// Recursive method invocation callback (implemented by ExecutionEngine to
+/// pick interpreter vs. installed native code per callee).
+class Invoker {
+ public:
+  virtual ~Invoker() = default;
+  virtual Value invoke(std::int32_t method_id, std::span<const Value> args) = 0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(Jvm& jvm) : jvm_(jvm) {}
+
+  /// Execute one method to completion. `args` must match the method's
+  /// argument kinds (receiver first for instance methods).
+  Value run(const RtMethod& m, std::span<const Value> args, Invoker& invoker);
+
+ private:
+  Jvm& jvm_;
+};
+
+}  // namespace javelin::jvm

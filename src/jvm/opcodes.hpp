@@ -1,0 +1,84 @@
+// The guest bytecode instruction set.
+//
+// A stack-machine ISA faithful to the subset of JVM bytecode the benchmark
+// suite needs: int/double arithmetic, locals, arrays of byte/int/double/ref,
+// object fields, statics, comparisons/branches, and static/virtual/intrinsic
+// invocation. Instructions are pre-decoded to a fixed {op, a, b} form; branch
+// targets are instruction indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace javelin::jvm {
+
+enum class Op : std::uint8_t {
+  // Constants.
+  kIconst,      ///< push int; a = immediate
+  kDconst,      ///< push double; a = constant-pool index
+  kAconstNull,  ///< push null reference
+
+  // Locals. a = slot index.
+  kIload, kIstore, kDload, kDstore, kAload, kAstore,
+
+  // Operand stack.
+  kPop, kDup,
+
+  // Integer arithmetic/logical.
+  kIadd, kIsub, kImul, kIdiv, kIrem, kIneg,
+  kIshl, kIshr, kIushr, kIand, kIor, kIxor,
+
+  // Double arithmetic.
+  kDadd, kDsub, kDmul, kDdiv, kDneg,
+
+  // Conversions and comparison.
+  kI2d, kD2i,
+  kDcmp,  ///< push -1/0/+1
+
+  // Branches. a = target instruction index.
+  kIfeq, kIfne, kIflt, kIfle, kIfgt, kIfge,          ///< int vs 0
+  kIfIcmpEq, kIfIcmpNe, kIfIcmpLt, kIfIcmpLe, kIfIcmpGt, kIfIcmpGe,
+  kIfNull, kIfNonNull,
+  kGoto,
+
+  // Invocation. a = constant-pool method index (or intrinsic id).
+  kInvokeStatic,
+  kInvokeVirtual,
+  kInvokeIntrinsic,  ///< a = isa::Intrinsic id
+  kReturn, kIreturn, kDreturn, kAreturn,
+
+  // Fields. a = constant-pool field index.
+  kGetField, kPutField, kGetStatic, kPutStatic,
+
+  // Objects and arrays.
+  kNew,       ///< a = constant-pool class index
+  kNewArray,  ///< a = TypeKind of elements
+  kIaload, kIastore, kDaload, kDastore,
+  kBaload, kBastore, kAaload, kAastore,
+  kArrayLength,
+
+  kCount
+};
+
+constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kCount);
+
+const char* op_name(Op op);
+
+/// Pre-decoded instruction. Operand meanings are per-op (see Op comments).
+struct Insn {
+  Op op = Op::kReturn;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+
+  bool operator==(const Insn&) const = default;
+};
+
+/// True for ops whose `a` operand is a branch target.
+bool is_branch(Op op);
+/// True for unconditional control transfer (goto/returns).
+bool ends_block(Op op);
+
+std::string disassemble(const std::vector<Insn>& code);
+
+}  // namespace javelin::jvm

@@ -1,0 +1,61 @@
+#include "jvm/value.hpp"
+
+#include <sstream>
+
+namespace javelin::jvm {
+
+const char* type_kind_name(TypeKind k) {
+  switch (k) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kRef: return "ref";
+    case TypeKind::kByte: return "byte";
+  }
+  return "?";
+}
+
+std::uint32_t type_width(TypeKind k) {
+  switch (k) {
+    case TypeKind::kByte: return 1;
+    case TypeKind::kInt: return 4;
+    case TypeKind::kRef: return 4;
+    case TypeKind::kDouble: return 8;
+    case TypeKind::kVoid: break;
+  }
+  throw Error("type_width: void has no width");
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case TypeKind::kInt: os << "int:" << i; break;
+    case TypeKind::kDouble: os << "double:" << d; break;
+    case TypeKind::kRef: os << "ref:" << ref; break;
+    default: os << "void"; break;
+  }
+  return os.str();
+}
+
+std::string Signature::to_string() const {
+  std::string s = "(";
+  for (auto p : params) {
+    switch (p) {
+      case TypeKind::kInt: s += 'I'; break;
+      case TypeKind::kDouble: s += 'D'; break;
+      case TypeKind::kRef: s += 'R'; break;
+      default: s += '?'; break;
+    }
+  }
+  s += ')';
+  switch (ret) {
+    case TypeKind::kVoid: s += 'V'; break;
+    case TypeKind::kInt: s += 'I'; break;
+    case TypeKind::kDouble: s += 'D'; break;
+    case TypeKind::kRef: s += 'R'; break;
+    default: s += '?'; break;
+  }
+  return s;
+}
+
+}  // namespace javelin::jvm

@@ -1,0 +1,98 @@
+// Guest value model and method signatures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "support/error.hpp"
+
+namespace javelin::jvm {
+
+/// Kinds of guest values. kByte exists only as an array element type; on the
+/// operand stack bytes widen to int, as in the JVM.
+enum class TypeKind : std::uint8_t {
+  kVoid = 0,
+  kInt,
+  kDouble,
+  kRef,
+  kByte,
+};
+
+const char* type_kind_name(TypeKind k);
+
+/// Element width in bytes inside arrays/objects.
+std::uint32_t type_width(TypeKind k);
+
+/// A guest value: 32-bit int, 64-bit double, or reference (arena address).
+struct Value {
+  TypeKind kind = TypeKind::kVoid;
+  union {
+    std::int32_t i;
+    double d;
+    mem::Addr ref;
+  };
+
+  Value() : i(0) {}
+  static Value make_int(std::int32_t v) {
+    Value x;
+    x.kind = TypeKind::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value make_double(double v) {
+    Value x;
+    x.kind = TypeKind::kDouble;
+    x.d = v;
+    return x;
+  }
+  static Value make_ref(mem::Addr a) {
+    Value x;
+    x.kind = TypeKind::kRef;
+    x.ref = a;
+    return x;
+  }
+  static Value make_void() { return Value{}; }
+
+  std::int32_t as_int() const {
+    require(TypeKind::kInt);
+    return i;
+  }
+  double as_double() const {
+    require(TypeKind::kDouble);
+    return d;
+  }
+  mem::Addr as_ref() const {
+    require(TypeKind::kRef);
+    return ref;
+  }
+
+  bool operator==(const Value& o) const {
+    if (kind != o.kind) return false;
+    switch (kind) {
+      case TypeKind::kInt: return i == o.i;
+      case TypeKind::kDouble: return d == o.d;
+      case TypeKind::kRef: return ref == o.ref;
+      default: return true;
+    }
+  }
+
+  std::string to_string() const;
+
+ private:
+  void require(TypeKind k) const {
+    if (kind != k) throw VmError("value: kind mismatch");
+  }
+};
+
+/// Method signature: parameter kinds and return kind.
+struct Signature {
+  std::vector<TypeKind> params;
+  TypeKind ret = TypeKind::kVoid;
+
+  bool operator==(const Signature&) const = default;
+  std::string to_string() const;
+};
+
+}  // namespace javelin::jvm

@@ -1,0 +1,410 @@
+#include "jvm/verifier.hpp"
+
+#include <deque>
+#include <optional>
+#include <sstream>
+
+#include "isa/nisa.hpp"
+
+namespace javelin::jvm {
+
+const MethodInfo* ClassSetResolver::resolve_method(const MethodRef& ref) const {
+  // Walk the superclass chain starting at the named class (virtual methods
+  // may be declared on a base class).
+  for (const ClassFile* cf = find_class(ref.class_name); cf != nullptr;
+       cf = cf->super_name.empty() ? nullptr : find_class(cf->super_name)) {
+    if (const MethodInfo* m = cf->find_method(ref.method_name)) return m;
+  }
+  return nullptr;
+}
+
+const FieldInfo* ClassSetResolver::resolve_field(const FieldRef& ref) const {
+  for (const ClassFile* cf = find_class(ref.class_name); cf != nullptr;
+       cf = cf->super_name.empty() ? nullptr : find_class(cf->super_name)) {
+    for (const auto& f : cf->fields)
+      if (f.name == ref.field_name) return &f;
+  }
+  return nullptr;
+}
+
+const ClassFile* ClassSetResolver::find_class(const std::string& name) const {
+  for (const ClassFile* cf : classes_)
+    if (cf->name == name) return cf;
+  return nullptr;
+}
+
+namespace {
+
+/// Abstract state at one program point. kVoid in `locals` means
+/// unknown/conflicting (unusable until overwritten).
+struct AbsState {
+  std::vector<TypeKind> stack;
+  std::vector<TypeKind> locals;
+
+  bool operator==(const AbsState&) const = default;
+};
+
+class MethodVerifier {
+ public:
+  MethodVerifier(const ClassFile& cf, MethodInfo& m,
+                 const SignatureResolver& resolver)
+      : cf_(cf), m_(m), resolver_(resolver) {}
+
+  void run();
+
+ private:
+  [[noreturn]] void fail(std::size_t pc, const std::string& why) const {
+    std::ostringstream os;
+    os << "verify " << cf_.name << "." << m_.name << " @" << pc << ": " << why;
+    throw VerifyError(os.str());
+  }
+
+  TypeKind pop(AbsState& st, std::size_t pc, TypeKind want) {
+    if (st.stack.empty()) fail(pc, "operand stack underflow");
+    const TypeKind got = st.stack.back();
+    st.stack.pop_back();
+    if (want != TypeKind::kVoid && got != want)
+      fail(pc, std::string("expected ") + type_kind_name(want) + ", got " +
+                   type_kind_name(got));
+    return got;
+  }
+  void push(AbsState& st, std::size_t pc, TypeKind k) {
+    st.stack.push_back(k);
+    if (st.stack.size() > 4096) fail(pc, "operand stack overflow");
+  }
+  TypeKind local_kind(const AbsState& st, std::size_t pc, std::int32_t slot,
+                      TypeKind want) const {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= st.locals.size())
+      fail(pc, "local index out of range");
+    const TypeKind k = st.locals[slot];
+    if (k != want)
+      fail(pc, std::string("local ") + std::to_string(slot) + " is " +
+                   type_kind_name(k) + ", expected " + type_kind_name(want));
+    return k;
+  }
+
+  /// Merge `incoming` into the recorded state at `target`; returns true if
+  /// the target state changed (needs (re)processing).
+  bool merge_into(std::size_t target, const AbsState& incoming,
+                  std::size_t from_pc);
+
+  void step(std::size_t pc, AbsState st);
+
+  const ClassFile& cf_;
+  MethodInfo& m_;
+  const SignatureResolver& resolver_;
+  std::vector<std::optional<AbsState>> in_state_;
+  std::deque<std::size_t> worklist_;
+  std::size_t max_stack_ = 0;
+};
+
+bool MethodVerifier::merge_into(std::size_t target, const AbsState& incoming,
+                                std::size_t from_pc) {
+  if (target >= m_.code.size()) fail(from_pc, "branch target out of range");
+  auto& slot = in_state_[target];
+  if (!slot.has_value()) {
+    slot = incoming;
+    return true;
+  }
+  AbsState& cur = *slot;
+  if (cur.stack != incoming.stack)
+    fail(from_pc, "inconsistent operand stack at join point " +
+                      std::to_string(target));
+  bool changed = false;
+  for (std::size_t i = 0; i < cur.locals.size(); ++i) {
+    if (cur.locals[i] != incoming.locals[i] && cur.locals[i] != TypeKind::kVoid) {
+      cur.locals[i] = TypeKind::kVoid;  // conflict -> unusable
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void MethodVerifier::step(std::size_t pc, AbsState st) {
+  const Insn& in = m_.code[pc];
+  const Op op = in.op;
+  bool falls_through = true;
+
+  auto branch_to = [&](std::int32_t target) {
+    if (target < 0) fail(pc, "negative branch target");
+    if (merge_into(static_cast<std::size_t>(target), st,
+                   pc))
+      worklist_.push_back(static_cast<std::size_t>(target));
+  };
+
+  switch (op) {
+    case Op::kIconst: push(st, pc, TypeKind::kInt); break;
+    case Op::kDconst:
+      if (in.a < 0 || static_cast<std::size_t>(in.a) >= cf_.pool.doubles.size())
+        fail(pc, "dconst pool index out of range");
+      push(st, pc, TypeKind::kDouble);
+      break;
+    case Op::kAconstNull: push(st, pc, TypeKind::kRef); break;
+
+    case Op::kIload:
+      local_kind(st, pc, in.a, TypeKind::kInt);
+      push(st, pc, TypeKind::kInt);
+      break;
+    case Op::kDload:
+      local_kind(st, pc, in.a, TypeKind::kDouble);
+      push(st, pc, TypeKind::kDouble);
+      break;
+    case Op::kAload:
+      local_kind(st, pc, in.a, TypeKind::kRef);
+      push(st, pc, TypeKind::kRef);
+      break;
+    case Op::kIstore:
+    case Op::kDstore:
+    case Op::kAstore: {
+      const TypeKind want = op == Op::kIstore  ? TypeKind::kInt
+                            : op == Op::kDstore ? TypeKind::kDouble
+                                                : TypeKind::kRef;
+      pop(st, pc, want);
+      if (in.a < 0 || static_cast<std::size_t>(in.a) >= st.locals.size())
+        fail(pc, "local index out of range");
+      st.locals[in.a] = want;
+      break;
+    }
+
+    case Op::kPop: pop(st, pc, TypeKind::kVoid); break;
+    case Op::kDup: {
+      if (st.stack.empty()) fail(pc, "dup on empty stack");
+      push(st, pc, st.stack.back());
+      break;
+    }
+
+    case Op::kIadd: case Op::kIsub: case Op::kImul: case Op::kIdiv:
+    case Op::kIrem: case Op::kIshl: case Op::kIshr: case Op::kIushr:
+    case Op::kIand: case Op::kIor: case Op::kIxor:
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kInt);
+      push(st, pc, TypeKind::kInt);
+      break;
+    case Op::kIneg:
+      pop(st, pc, TypeKind::kInt);
+      push(st, pc, TypeKind::kInt);
+      break;
+    case Op::kDadd: case Op::kDsub: case Op::kDmul: case Op::kDdiv:
+      pop(st, pc, TypeKind::kDouble);
+      pop(st, pc, TypeKind::kDouble);
+      push(st, pc, TypeKind::kDouble);
+      break;
+    case Op::kDneg:
+      pop(st, pc, TypeKind::kDouble);
+      push(st, pc, TypeKind::kDouble);
+      break;
+    case Op::kI2d:
+      pop(st, pc, TypeKind::kInt);
+      push(st, pc, TypeKind::kDouble);
+      break;
+    case Op::kD2i:
+      pop(st, pc, TypeKind::kDouble);
+      push(st, pc, TypeKind::kInt);
+      break;
+    case Op::kDcmp:
+      pop(st, pc, TypeKind::kDouble);
+      pop(st, pc, TypeKind::kDouble);
+      push(st, pc, TypeKind::kInt);
+      break;
+
+    case Op::kIfeq: case Op::kIfne: case Op::kIflt:
+    case Op::kIfle: case Op::kIfgt: case Op::kIfge:
+      pop(st, pc, TypeKind::kInt);
+      branch_to(in.a);
+      break;
+    case Op::kIfIcmpEq: case Op::kIfIcmpNe: case Op::kIfIcmpLt:
+    case Op::kIfIcmpLe: case Op::kIfIcmpGt: case Op::kIfIcmpGe:
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kInt);
+      branch_to(in.a);
+      break;
+    case Op::kIfNull: case Op::kIfNonNull:
+      pop(st, pc, TypeKind::kRef);
+      branch_to(in.a);
+      break;
+    case Op::kGoto:
+      branch_to(in.a);
+      falls_through = false;
+      break;
+
+    case Op::kInvokeStatic:
+    case Op::kInvokeVirtual: {
+      if (in.a < 0 || static_cast<std::size_t>(in.a) >= cf_.pool.methods.size())
+        fail(pc, "method pool index out of range");
+      const MethodRef& ref = cf_.pool.methods[in.a];
+      const MethodInfo* callee = resolver_.resolve_method(ref);
+      if (callee == nullptr)
+        fail(pc, "unresolved method " + ref.class_name + "." + ref.method_name);
+      if (op == Op::kInvokeStatic && !callee->is_static)
+        fail(pc, "invokestatic on instance method");
+      if (op == Op::kInvokeVirtual && callee->is_static)
+        fail(pc, "invokevirtual on static method");
+      // Pop args right-to-left, then receiver for virtual.
+      for (std::size_t i = callee->sig.params.size(); i-- > 0;)
+        pop(st, pc, callee->sig.params[i]);
+      if (!callee->is_static) pop(st, pc, TypeKind::kRef);
+      if (callee->sig.ret != TypeKind::kVoid) push(st, pc, callee->sig.ret);
+      break;
+    }
+    case Op::kInvokeIntrinsic: {
+      if (in.a < 0 || in.a >= static_cast<std::int32_t>(isa::Intrinsic::kCount))
+        fail(pc, "bad intrinsic id");
+      const auto id = static_cast<isa::Intrinsic>(in.a);
+      for (int i = 0; i < isa::intrinsic_fp_args(id); ++i)
+        pop(st, pc, TypeKind::kDouble);
+      for (int i = 0; i < isa::intrinsic_int_args(id); ++i)
+        pop(st, pc, TypeKind::kInt);
+      push(st, pc,
+           isa::intrinsic_returns_double(id) ? TypeKind::kDouble
+                                             : TypeKind::kInt);
+      break;
+    }
+
+    case Op::kReturn:
+      if (m_.sig.ret != TypeKind::kVoid) fail(pc, "return in non-void method");
+      falls_through = false;
+      break;
+    case Op::kIreturn:
+      if (m_.sig.ret != TypeKind::kInt) fail(pc, "ireturn kind mismatch");
+      pop(st, pc, TypeKind::kInt);
+      falls_through = false;
+      break;
+    case Op::kDreturn:
+      if (m_.sig.ret != TypeKind::kDouble) fail(pc, "dreturn kind mismatch");
+      pop(st, pc, TypeKind::kDouble);
+      falls_through = false;
+      break;
+    case Op::kAreturn:
+      if (m_.sig.ret != TypeKind::kRef) fail(pc, "areturn kind mismatch");
+      pop(st, pc, TypeKind::kRef);
+      falls_through = false;
+      break;
+
+    case Op::kGetField:
+    case Op::kPutField:
+    case Op::kGetStatic:
+    case Op::kPutStatic: {
+      if (in.a < 0 || static_cast<std::size_t>(in.a) >= cf_.pool.fields.size())
+        fail(pc, "field pool index out of range");
+      const FieldRef& ref = cf_.pool.fields[in.a];
+      const FieldInfo* field = resolver_.resolve_field(ref);
+      if (field == nullptr)
+        fail(pc, "unresolved field " + ref.class_name + "." + ref.field_name);
+      const bool is_static_op =
+          op == Op::kGetStatic || op == Op::kPutStatic;
+      if (field->is_static != is_static_op)
+        fail(pc, "static/instance field access mismatch");
+      const TypeKind k =
+          field->kind == TypeKind::kByte ? TypeKind::kInt : field->kind;
+      if (op == Op::kPutField || op == Op::kPutStatic) pop(st, pc, k);
+      if (!is_static_op) pop(st, pc, TypeKind::kRef);
+      if (op == Op::kGetField || op == Op::kGetStatic) push(st, pc, k);
+      break;
+    }
+
+    case Op::kNew:
+      if (in.a < 0 || static_cast<std::size_t>(in.a) >= cf_.pool.classes.size())
+        fail(pc, "class pool index out of range");
+      push(st, pc, TypeKind::kRef);
+      break;
+    case Op::kNewArray: {
+      const auto k = static_cast<TypeKind>(in.a);
+      if (k != TypeKind::kInt && k != TypeKind::kDouble &&
+          k != TypeKind::kByte && k != TypeKind::kRef)
+        fail(pc, "newarray of bad element kind");
+      pop(st, pc, TypeKind::kInt);
+      push(st, pc, TypeKind::kRef);
+      break;
+    }
+    case Op::kIaload: case Op::kBaload:
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kRef);
+      push(st, pc, TypeKind::kInt);
+      break;
+    case Op::kDaload:
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kRef);
+      push(st, pc, TypeKind::kDouble);
+      break;
+    case Op::kAaload:
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kRef);
+      push(st, pc, TypeKind::kRef);
+      break;
+    case Op::kIastore: case Op::kBastore:
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kRef);
+      break;
+    case Op::kDastore:
+      pop(st, pc, TypeKind::kDouble);
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kRef);
+      break;
+    case Op::kAastore:
+      pop(st, pc, TypeKind::kRef);
+      pop(st, pc, TypeKind::kInt);
+      pop(st, pc, TypeKind::kRef);
+      break;
+    case Op::kArrayLength:
+      pop(st, pc, TypeKind::kRef);
+      push(st, pc, TypeKind::kInt);
+      break;
+
+    case Op::kCount:
+      fail(pc, "invalid opcode");
+  }
+
+  max_stack_ = std::max(max_stack_, st.stack.size());
+
+  if (falls_through) {
+    if (pc + 1 >= m_.code.size()) fail(pc, "control flow falls off code end");
+    if (merge_into(pc + 1, st, pc)) worklist_.push_back(pc + 1);
+  }
+}
+
+void MethodVerifier::run() {
+  if (m_.code.empty())
+    fail(0, "empty code");
+  if (m_.max_locals < m_.num_args())
+    fail(0, "max_locals smaller than argument count");
+
+  in_state_.assign(m_.code.size(), std::nullopt);
+
+  AbsState entry;
+  entry.locals.assign(m_.max_locals, TypeKind::kVoid);
+  for (std::size_t i = 0; i < m_.num_args(); ++i) {
+    TypeKind k = m_.arg_kind(i);
+    if (k == TypeKind::kByte) k = TypeKind::kInt;
+    entry.locals[i] = k;
+  }
+  in_state_[0] = entry;
+  worklist_.push_back(0);
+
+  std::size_t processed = 0;
+  while (!worklist_.empty()) {
+    const std::size_t pc = worklist_.front();
+    worklist_.pop_front();
+    if (++processed > m_.code.size() * 64 + 4096)
+      fail(pc, "verification did not converge");
+    step(pc, *in_state_[pc]);
+  }
+
+  m_.max_stack = static_cast<std::uint16_t>(max_stack_);
+}
+
+}  // namespace
+
+void verify_method(const ClassFile& cf, MethodInfo& m,
+                   const SignatureResolver& resolver) {
+  MethodVerifier(cf, m, resolver).run();
+}
+
+void verify_class(ClassFile& cf, const std::vector<const ClassFile*>& deps) {
+  ClassSetResolver r;
+  r.add(&cf);
+  for (const ClassFile* d : deps) r.add(d);
+  for (auto& m : cf.methods) verify_method(cf, m, r);
+}
+
+}  // namespace javelin::jvm

@@ -1,0 +1,53 @@
+// Class-file verification.
+//
+// When a class is loaded the JVM verifies that it is well formed and does not
+// violate the type discipline (the paper leans on this in Section 3.3: the
+// verifier cannot check downloaded *native* code, which is why remote
+// compilation requires a trusted server). We implement:
+//
+//  * structural verification — opcode validity, branch targets in range,
+//    local indices within max_locals, constant-pool indices in range, no
+//    falling off the end of the code; and
+//  * type verification — abstract interpretation of the operand stack and
+//    local variable types over all paths, with state merging at join points.
+//
+// Type verification also computes the method's max_stack, which the builder
+// stores into the class file (javac's job in real Java).
+#pragma once
+
+#include "jvm/classfile.hpp"
+
+namespace javelin::jvm {
+
+/// Supplies cross-class signatures during verification.
+class SignatureResolver {
+ public:
+  virtual ~SignatureResolver() = default;
+  /// Returns nullptr if unknown.
+  virtual const MethodInfo* resolve_method(const MethodRef& ref) const = 0;
+  virtual const FieldInfo* resolve_field(const FieldRef& ref) const = 0;
+};
+
+/// Resolver over a set of class files (the "classpath").
+class ClassSetResolver : public SignatureResolver {
+ public:
+  void add(const ClassFile* cf) { classes_.push_back(cf); }
+  const MethodInfo* resolve_method(const MethodRef& ref) const override;
+  const FieldInfo* resolve_field(const FieldRef& ref) const override;
+
+ private:
+  const ClassFile* find_class(const std::string& name) const;
+  std::vector<const ClassFile*> classes_;
+};
+
+/// Verify one method; fills in max_stack. Throws VerifyError on rejection.
+void verify_method(const ClassFile& cf, MethodInfo& m,
+                   const SignatureResolver& resolver);
+
+/// Verify every method of a class. `deps` lists the other class files the
+/// class references (superclasses, callees); `cf` itself is always included
+/// in the resolution set, and superclass chains may span `deps`.
+void verify_class(ClassFile& cf,
+                  const std::vector<const ClassFile*>& deps = {});
+
+}  // namespace javelin::jvm

@@ -1,0 +1,322 @@
+#include "jvm/vm.hpp"
+
+#include <algorithm>
+
+namespace javelin::jvm {
+
+std::int32_t Jvm::load(ClassFile cf) {
+  if (linked_) throw Error("jvm: cannot load classes after link()");
+  if (class_by_name_.count(cf.name))
+    throw Error("jvm: duplicate class " + cf.name);
+  const auto id = static_cast<std::int32_t>(classes_.size());
+  classes_.push_back(RtClass{});
+  RtClass& rc = classes_.back();
+  rc.id = id;
+  rc.cf = std::move(cf);
+  class_by_name_[rc.cf.name] = id;
+  return id;
+}
+
+void Jvm::layout_class(RtClass& rc) {
+  // Instance layout: superclass fields first (so subclass objects are layout
+  // compatible), then own fields, each aligned to its width.
+  std::uint32_t offset = kObjHeaderBytes;
+  if (rc.super_id >= 0) {
+    // Superclasses are laid out first (classes are topologically processed).
+    offset = classes_[rc.super_id].obj_size;
+  }
+  rc.field_ids.reserve(rc.cf.fields.size());
+  for (const FieldInfo& fi : rc.cf.fields) {
+    RtField f;
+    f.id = static_cast<std::int32_t>(fields_.size());
+    f.class_id = rc.id;
+    f.kind = fi.kind;
+    f.is_static = fi.is_static;
+    if (fi.is_static) {
+      f.static_addr = core_.arena->alloc_immortal(8, 8);
+    } else {
+      const std::uint32_t w = type_width(fi.kind);
+      offset = (offset + w - 1) & ~(w - 1);
+      f.offset = offset;
+      offset += w;
+    }
+    rc.field_ids.push_back(f.id);
+    fields_.push_back(f);
+  }
+  rc.obj_size = (offset + 7u) & ~7u;
+}
+
+void Jvm::link() {
+  if (linked_) return;
+
+  // Resolve superclasses; process in topological order (supers first).
+  for (auto& rc : classes_) {
+    if (rc.cf.super_name.empty()) {
+      rc.super_id = -1;
+      continue;
+    }
+    const auto it = class_by_name_.find(rc.cf.super_name);
+    if (it == class_by_name_.end())
+      throw Error("jvm: unresolved superclass " + rc.cf.super_name);
+    rc.super_id = it->second;
+    if (rc.super_id >= rc.id)
+      throw Error("jvm: superclass must be loaded before subclass (" +
+                  rc.cf.name + ")");
+  }
+
+  // Full verification over the class set (paper Section 3.3: bytecode is
+  // verified at load; native code cannot be).
+  ClassSetResolver resolver;
+  for (auto& rc : classes_) resolver.add(&rc.cf);
+  for (auto& rc : classes_)
+    for (auto& m : rc.cf.methods) verify_method(rc.cf, m, resolver);
+
+  // Register methods and install bytecode at simulated addresses.
+  for (auto& rc : classes_) {
+    rc.method_ids.reserve(rc.cf.methods.size());
+    for (const MethodInfo& mi : rc.cf.methods) {
+      RtMethod m;
+      m.id = static_cast<std::int32_t>(methods_.size());
+      m.class_id = rc.id;
+      m.info = &mi;
+      m.bc_addr = core_.arena->alloc_immortal(mi.code.size() * 4 + 4, 4);
+      m.qualified_name = rc.cf.name + "." + mi.name;
+      rc.method_ids.push_back(m.id);
+      methods_.push_back(std::move(m));
+    }
+  }
+
+  // Lay out fields/statics (supers processed before subclasses by id order).
+  for (auto& rc : classes_) layout_class(rc);
+
+  // Resolve constant pools to global ids.
+  for (auto& rc : classes_) {
+    rc.pool_method_ids.reserve(rc.cf.pool.methods.size());
+    for (const MethodRef& ref : rc.cf.pool.methods) {
+      std::int32_t found = -1;
+      // Walk the chain from the named class.
+      for (std::int32_t cid = find_class(ref.class_name); cid >= 0;
+           cid = classes_[cid].super_id) {
+        const RtClass& c = classes_[cid];
+        for (std::size_t i = 0; i < c.cf.methods.size(); ++i) {
+          if (c.cf.methods[i].name == ref.method_name) {
+            found = c.method_ids[i];
+            break;
+          }
+        }
+        if (found >= 0) break;
+      }
+      if (found < 0)
+        throw Error("jvm: unresolved method " + ref.class_name + "." +
+                    ref.method_name);
+      rc.pool_method_ids.push_back(found);
+    }
+    rc.pool_field_ids.reserve(rc.cf.pool.fields.size());
+    for (const FieldRef& ref : rc.cf.pool.fields) {
+      std::int32_t found = -1;
+      for (std::int32_t cid = find_class(ref.class_name); cid >= 0;
+           cid = classes_[cid].super_id) {
+        const RtClass& c = classes_[cid];
+        for (std::size_t i = 0; i < c.cf.fields.size(); ++i) {
+          if (c.cf.fields[i].name == ref.field_name) {
+            found = c.field_ids[i];
+            break;
+          }
+        }
+        if (found >= 0) break;
+      }
+      if (found < 0)
+        throw Error("jvm: unresolved field " + ref.class_name + "." +
+                    ref.field_name);
+      rc.pool_field_ids.push_back(found);
+    }
+    rc.pool_class_ids.reserve(rc.cf.pool.classes.size());
+    for (const std::string& name : rc.cf.pool.classes) {
+      const std::int32_t cid = find_class(name);
+      if (cid < 0) throw Error("jvm: unresolved class " + name);
+      rc.pool_class_ids.push_back(cid);
+    }
+  }
+
+  linked_ = true;
+}
+
+std::int32_t Jvm::find_class(const std::string& name) const {
+  const auto it = class_by_name_.find(name);
+  return it == class_by_name_.end() ? -1 : it->second;
+}
+
+std::int32_t Jvm::find_method(const std::string& cls_name,
+                              const std::string& method_name) const {
+  for (std::int32_t cid = find_class(cls_name); cid >= 0;
+       cid = classes_[cid].super_id) {
+    const RtClass& c = classes_[cid];
+    for (std::size_t i = 0; i < c.cf.methods.size(); ++i)
+      if (c.cf.methods[i].name == method_name) return c.method_ids[i];
+  }
+  return -1;
+}
+
+std::int32_t Jvm::resolve_virtual(std::int32_t declared_method_id,
+                                  mem::Addr receiver) const {
+  const std::int32_t rc_id = obj_class_id(receiver);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(rc_id) << 32) |
+      static_cast<std::uint32_t>(declared_method_id);
+  const auto it = vdispatch_cache_.find(key);
+  if (it != vdispatch_cache_.end()) return it->second;
+
+  const RtMethod& declared = method(declared_method_id);
+  const std::string& name = declared.info->name;
+  std::int32_t found = -1;
+  for (std::int32_t cid = rc_id; cid >= 0; cid = classes_[cid].super_id) {
+    const RtClass& c = classes_[cid];
+    for (std::size_t i = 0; i < c.cf.methods.size(); ++i) {
+      if (c.cf.methods[i].name == name) {
+        found = c.method_ids[i];
+        break;
+      }
+    }
+    if (found >= 0) break;
+  }
+  if (found < 0)
+    throw VmError("jvm: virtual dispatch failed for " +
+                  declared.qualified_name);
+  vdispatch_cache_[key] = found;
+  return found;
+}
+
+bool Jvm::is_monomorphic(std::int32_t method_id) const {
+  const RtMethod& m = method(method_id);
+  if (m.info->is_static) return true;
+  const std::string& name = m.info->name;
+  // A method is monomorphic if no strict descendant of its class declares a
+  // method with the same name.
+  for (const RtClass& c : classes_) {
+    if (c.id == m.class_id) continue;
+    bool descends = false;
+    for (std::int32_t cid = c.super_id; cid >= 0; cid = classes_[cid].super_id)
+      if (cid == m.class_id) {
+        descends = true;
+        break;
+      }
+    if (!descends) continue;
+    for (const auto& mi : c.cf.methods)
+      if (mi.name == name) return false;
+  }
+  return true;
+}
+
+mem::Addr Jvm::new_object(std::int32_t class_id, bool charge) {
+  const RtClass& rc = cls(class_id);
+  const mem::Addr a = core_.arena->alloc(rc.obj_size, 8);
+  core_.arena->store_u32(a, static_cast<std::uint32_t>(class_id));
+  core_.arena->store_u32(a + 4, kObjPadSentinel);
+  if (charge) {
+    // Allocation path: bump pointer + header write + zero the body.
+    core_.charge_class(energy::InstrClass::kAluSimple, 6);
+    core_.stall(core_.hier->store(a));
+    core_.charge_class(energy::InstrClass::kStore, 1);
+    for (std::uint32_t off = kObjHeaderBytes; off < rc.obj_size; off += 8) {
+      core_.stall(core_.hier->store(a + off));
+      core_.charge_class(energy::InstrClass::kStore, 1);
+    }
+  }
+  return a;
+}
+
+mem::Addr Jvm::new_array(TypeKind elem, std::int32_t length, bool charge) {
+  if (length < 0) throw VmError("jvm: negative array length");
+  const std::uint64_t bytes =
+      kArrHeaderBytes + static_cast<std::uint64_t>(length) * type_width(elem);
+  const mem::Addr a = core_.arena->alloc(bytes, 8);
+  core_.arena->store_u32(a, static_cast<std::uint32_t>(elem));
+  core_.arena->store_i32(a + 4, length);
+  if (charge) {
+    core_.charge_class(energy::InstrClass::kAluSimple, 6);
+    core_.stall(core_.hier->store(a));
+    core_.stall(core_.hier->store(a + 4));
+    core_.charge_class(energy::InstrClass::kStore, 2);
+    for (std::uint64_t off = kArrHeaderBytes; off < bytes; off += 8) {
+      core_.stall(core_.hier->store(a + static_cast<mem::Addr>(off)));
+      core_.charge_class(energy::InstrClass::kStore, 1);
+    }
+  }
+  return a;
+}
+
+std::int32_t Jvm::array_length(mem::Addr ref) const {
+  if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
+  return core_.arena->load_i32(ref + 4);
+}
+
+TypeKind Jvm::array_elem_kind(mem::Addr ref) const {
+  if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
+  return static_cast<TypeKind>(core_.arena->load_u32(ref));
+}
+
+std::int32_t Jvm::obj_class_id(mem::Addr ref) const {
+  if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
+  const auto id = static_cast<std::int32_t>(core_.arena->load_u32(ref));
+  if (id < 0 || static_cast<std::size_t>(id) >= classes_.size())
+    throw VmError("jvm: corrupt object header");
+  return id;
+}
+
+mem::Addr Jvm::elem_addr(mem::Addr ref, std::int32_t idx) const {
+  if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
+  const std::int32_t len = core_.arena->load_i32(ref + 4);
+  if (idx < 0 || idx >= len)
+    throw VmError("array index out of bounds: " + std::to_string(idx) +
+                  " of " + std::to_string(len));
+  const auto kind = static_cast<TypeKind>(core_.arena->load_u32(ref));
+  return ref + kArrHeaderBytes +
+         static_cast<mem::Addr>(idx) * type_width(kind);
+}
+
+mem::Addr Jvm::field_addr(mem::Addr obj, const RtField& f) const {
+  if (f.is_static) return f.static_addr;
+  if (obj == mem::kNullAddr) throw VmError("null pointer dereference");
+  return obj + f.offset;
+}
+
+std::vector<std::int32_t> Jvm::read_i32_array(mem::Addr ref) const {
+  const std::int32_t n = array_length(ref);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  if (n > 0) core_.arena->copy_out(ref + kArrHeaderBytes, v.data(), v.size() * 4);
+  return v;
+}
+
+std::vector<double> Jvm::read_f64_array(mem::Addr ref) const {
+  const std::int32_t n = array_length(ref);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  if (n > 0) core_.arena->copy_out(ref + kArrHeaderBytes, v.data(), v.size() * 8);
+  return v;
+}
+
+std::vector<std::uint8_t> Jvm::read_u8_array(mem::Addr ref) const {
+  const std::int32_t n = array_length(ref);
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+  if (n > 0) core_.arena->copy_out(ref + kArrHeaderBytes, v.data(), v.size());
+  return v;
+}
+
+void Jvm::write_i32_array(mem::Addr ref, const std::vector<std::int32_t>& v) {
+  if (array_length(ref) != static_cast<std::int32_t>(v.size()))
+    throw Error("jvm: write_i32_array size mismatch");
+  if (!v.empty()) core_.arena->copy_in(ref + kArrHeaderBytes, v.data(), v.size() * 4);
+}
+
+void Jvm::write_f64_array(mem::Addr ref, const std::vector<double>& v) {
+  if (array_length(ref) != static_cast<std::int32_t>(v.size()))
+    throw Error("jvm: write_f64_array size mismatch");
+  if (!v.empty()) core_.arena->copy_in(ref + kArrHeaderBytes, v.data(), v.size() * 8);
+}
+
+void Jvm::write_u8_array(mem::Addr ref, const std::vector<std::uint8_t>& v) {
+  if (array_length(ref) != static_cast<std::int32_t>(v.size()))
+    throw Error("jvm: write_u8_array size mismatch");
+  if (!v.empty()) core_.arena->copy_in(ref + kArrHeaderBytes, v.data(), v.size());
+}
+
+}  // namespace javelin::jvm

@@ -1,0 +1,132 @@
+// The linked virtual machine: runtime class/method/field metadata, the guest
+// heap, statics, and virtual dispatch.
+//
+// One Jvm instance exists per simulated device (the mobile client and the
+// server each run their own). Class files are loaded, then link() resolves
+// symbolic references, runs the verifier over the whole class set, lays out
+// object/static storage in the simulated arena, and "installs" bytecode at
+// simulated addresses (the interpreter's instruction fetches are charged at
+// those addresses).
+//
+// There is no garbage collector: benchmark executions are bracketed by heap
+// watermarks (Arena::heap_mark / heap_release), mirroring how the paper's
+// experiments restart the application per execution.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/executor.hpp"
+#include "jvm/classfile.hpp"
+#include "jvm/verifier.hpp"
+
+namespace javelin::jvm {
+
+struct RtMethod {
+  std::int32_t id = -1;
+  std::int32_t class_id = -1;
+  const MethodInfo* info = nullptr;
+  mem::Addr bc_addr = mem::kNullAddr;  ///< Installed bytecode address.
+  std::string qualified_name;          ///< "Class.method" for diagnostics.
+};
+
+struct RtField {
+  std::int32_t id = -1;
+  std::int32_t class_id = -1;
+  TypeKind kind = TypeKind::kInt;
+  bool is_static = false;
+  std::uint32_t offset = 0;             ///< Byte offset within the object.
+  mem::Addr static_addr = mem::kNullAddr;  ///< Address of a static field.
+};
+
+struct RtClass {
+  std::int32_t id = -1;
+  ClassFile cf;
+  std::int32_t super_id = -1;
+  std::uint32_t obj_size = 0;  ///< Bytes including header.
+  std::vector<std::int32_t> method_ids;  ///< Parallel to cf.methods.
+  std::vector<std::int32_t> field_ids;   ///< Parallel to cf.fields.
+  // Resolved constant-pool tables (parallel to the pool vectors).
+  std::vector<std::int32_t> pool_method_ids;
+  std::vector<std::int32_t> pool_field_ids;
+  std::vector<std::int32_t> pool_class_ids;
+};
+
+/// Object header: [class_id:u32][sentinel:u32]; fields follow at offset 8.
+/// Array header: [elem kind:u32][length:i32]; elements follow at offset 8.
+/// The sentinel word distinguishes objects from arrays (array lengths are
+/// non-negative) for the serializer and debugging tools.
+inline constexpr std::uint32_t kObjHeaderBytes = 8;
+inline constexpr std::uint32_t kArrHeaderBytes = 8;
+inline constexpr std::uint32_t kObjPadSentinel = 0xffffffffu;
+
+class Jvm {
+ public:
+  explicit Jvm(isa::Core& core) : core_(core) {}
+
+  Jvm(const Jvm&) = delete;
+  Jvm& operator=(const Jvm&) = delete;
+
+  /// Load a class file. Returns the class id. Call link() before executing.
+  std::int32_t load(ClassFile cf);
+  /// Resolve references, verify all classes, lay out statics, install code.
+  void link();
+  bool linked() const { return linked_; }
+
+  // ---- lookup ------------------------------------------------------------
+  std::int32_t find_class(const std::string& name) const;  ///< -1 if absent.
+  std::int32_t find_method(const std::string& cls,
+                           const std::string& method) const;
+  const RtMethod& method(std::int32_t id) const { return methods_.at(id); }
+  const RtField& field(std::int32_t id) const { return fields_.at(id); }
+  const RtClass& cls(std::int32_t id) const { return classes_.at(id); }
+  std::size_t num_methods() const { return methods_.size(); }
+  std::size_t num_classes() const { return classes_.size(); }
+
+  // ---- dispatch ------------------------------------------------------------
+  /// Resolve a virtual call against the receiver's dynamic class.
+  std::int32_t resolve_virtual(std::int32_t declared_method_id,
+                               mem::Addr receiver) const;
+  /// True if no loaded subclass overrides this method (virtual-inlining
+  /// legality check used by the Local3 optimizer).
+  bool is_monomorphic(std::int32_t method_id) const;
+
+  // ---- heap ----------------------------------------------------------------
+  // `charge` selects whether allocation cost (header writes + zeroing) is
+  // billed to the core; host-side workload setup passes charge = false.
+  mem::Addr new_object(std::int32_t class_id, bool charge = true);
+  mem::Addr new_array(TypeKind elem, std::int32_t length, bool charge = true);
+
+  std::int32_t array_length(mem::Addr ref) const;
+  TypeKind array_elem_kind(mem::Addr ref) const;
+  std::int32_t obj_class_id(mem::Addr ref) const;
+  /// Address of element `idx`; bounds- and null-checked.
+  mem::Addr elem_addr(mem::Addr ref, std::int32_t idx) const;
+  /// Address of an instance field.
+  mem::Addr field_addr(mem::Addr obj, const RtField& f) const;
+
+  // Host-side (uncharged) accessors for tests, workload setup and goldens.
+  std::vector<std::int32_t> read_i32_array(mem::Addr ref) const;
+  std::vector<double> read_f64_array(mem::Addr ref) const;
+  std::vector<std::uint8_t> read_u8_array(mem::Addr ref) const;
+  void write_i32_array(mem::Addr ref, const std::vector<std::int32_t>& v);
+  void write_f64_array(mem::Addr ref, const std::vector<double>& v);
+  void write_u8_array(mem::Addr ref, const std::vector<std::uint8_t>& v);
+
+  isa::Core& core() const { return core_; }
+  mem::Arena& arena() const { return *core_.arena; }
+
+ private:
+  void layout_class(RtClass& rc);
+
+  isa::Core& core_;
+  bool linked_ = false;
+  std::vector<RtClass> classes_;
+  std::vector<RtMethod> methods_;
+  std::vector<RtField> fields_;
+  std::unordered_map<std::string, std::int32_t> class_by_name_;
+  mutable std::unordered_map<std::uint64_t, std::int32_t> vdispatch_cache_;
+};
+
+}  // namespace javelin::jvm

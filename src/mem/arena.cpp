@@ -1,0 +1,84 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+
+namespace javelin::mem {
+
+Arena::Arena(std::size_t capacity, std::size_t immortal_bytes)
+    : bytes_(capacity, 0),
+      immortal_top_(16),
+      heap_base_(immortal_bytes),
+      heap_top_(immortal_bytes),
+      stack_top_(capacity) {
+  // Offsets [0, 16) are reserved so that address 0 is always null and small
+  // addresses never alias a real object.
+  if (immortal_bytes < 16 || immortal_bytes >= capacity)
+    throw std::invalid_argument("arena: bad immortal zone size");
+}
+
+Addr Arena::alloc_immortal(std::size_t size, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0)
+    throw std::invalid_argument("arena: alignment must be a power of two");
+  const std::size_t base = (immortal_top_ + align - 1) & ~(align - 1);
+  if (base + size > heap_base_)
+    throw VmError("arena: simulated RAM exhausted (immortal zone)");
+  immortal_top_ = base + size;
+  std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(base),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(immortal_top_), 0);
+  return static_cast<Addr>(base);
+}
+
+Addr Arena::alloc(std::size_t size, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0)
+    throw std::invalid_argument("arena: alignment must be a power of two");
+  const std::size_t base = (heap_top_ + align - 1) & ~(align - 1);
+  if (base + size > stack_top_)
+    throw VmError("arena: simulated RAM exhausted (heap)");
+  heap_top_ = base + size;
+  std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(base),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(heap_top_), 0);
+  return static_cast<Addr>(base);
+}
+
+Addr Arena::alloc_stack(std::size_t size, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0)
+    throw std::invalid_argument("arena: alignment must be a power of two");
+  if (size > stack_top_) throw VmError("arena: simulated RAM exhausted (stack)");
+  std::size_t base = (stack_top_ - size) & ~(align - 1);
+  if (base < heap_top_)
+    throw VmError("arena: simulated RAM exhausted (stack)");
+  stack_top_ = base;
+  std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(base),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(base + size), 0);
+  return static_cast<Addr>(base);
+}
+
+void Arena::heap_release(std::size_t mark) {
+  if (mark > heap_top_ || mark < heap_base_)
+    throw std::invalid_argument("arena: bad heap watermark");
+  heap_top_ = mark;
+}
+
+void Arena::stack_release(std::size_t mark) {
+  if (mark < stack_top_ || mark > bytes_.size())
+    throw std::invalid_argument("arena: bad stack watermark");
+  stack_top_ = mark;
+}
+
+void Arena::copy_out(Addr a, void* dst, std::size_t n) const {
+  check(a, n);
+  std::memcpy(dst, bytes_.data() + a, n);
+}
+
+void Arena::copy_in(Addr a, const void* src, std::size_t n) {
+  check(a, n);
+  std::memcpy(bytes_.data() + a, src, n);
+}
+
+void Arena::reset() {
+  immortal_top_ = 16;
+  heap_top_ = heap_base_;
+  stack_top_ = bytes_.size();
+}
+
+}  // namespace javelin::mem

@@ -1,0 +1,112 @@
+// Simulated byte-addressed memory.
+//
+// Everything the guest program touches — JVM heap objects, arrays, statics,
+// installed code, operand stacks, call frames, and JIT spill slots — lives in
+// one Arena so that the interpreter, the jitted-code executor and the
+// serializer produce a single coherent address stream for the cache model.
+// Addresses are 32-bit offsets into the arena; address 0 is reserved and
+// never allocated (null reference).
+//
+// The arena has three zones:
+//  * an *immortal* zone at the bottom (installed byte/native code, literal
+//    pools, statics) that is never released,
+//  * a *heap* above it (objects and arrays — released in bulk via watermarks
+//    between benchmark executions), and
+//  * a *stack* growing downward from the top (call frames and spill areas —
+//    released stack-style on method return).
+// Keeping them disjoint means popping a frame or resetting the heap between
+// executions can never reclaim installed code or statics.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace javelin::mem {
+
+using Addr = std::uint32_t;
+
+constexpr Addr kNullAddr = 0;
+
+/// Bump-allocated simulated RAM with typed accessors.
+class Arena {
+ public:
+  /// `capacity` bytes of simulated RAM (default 32 MB, the paper's DRAM);
+  /// `immortal_bytes` are reserved at the bottom for code and statics.
+  explicit Arena(std::size_t capacity = 32u << 20,
+                 std::size_t immortal_bytes = 4u << 20);
+
+  /// Allocate in the immortal zone (code, literal pools, statics). Zeroed.
+  Addr alloc_immortal(std::size_t size, std::size_t align = 8);
+
+  /// Allocate `size` bytes in the heap zone, aligned to `align` (power of
+  /// two). Memory is zeroed. Throws VmError when simulated RAM is exhausted.
+  Addr alloc(std::size_t size, std::size_t align = 8);
+
+  /// Allocate in the stack zone (grows downward). Zeroed.
+  Addr alloc_stack(std::size_t size, std::size_t align = 8);
+
+  // Watermark management. Heap marks release everything allocated above the
+  // mark (used between benchmark executions); stack marks pop frames.
+  std::size_t heap_mark() const { return heap_top_; }
+  void heap_release(std::size_t mark);
+  std::size_t stack_mark() const { return stack_top_; }
+  void stack_release(std::size_t mark);
+
+  std::size_t heap_used() const { return heap_top_ - heap_base_; }
+  std::size_t immortal_used() const { return immortal_top_ - 16; }
+  std::size_t stack_used() const { return bytes_.size() - stack_top_; }
+  std::size_t capacity() const { return bytes_.size(); }
+
+  // Typed accessors. All check bounds; out-of-zone access is a VmError
+  // (guest bug), never UB in the simulator.
+  std::int32_t load_i32(Addr a) const { return load<std::int32_t>(a); }
+  void store_i32(Addr a, std::int32_t v) { store<std::int32_t>(a, v); }
+  double load_f64(Addr a) const { return load<double>(a); }
+  void store_f64(Addr a, double v) { store<double>(a, v); }
+  std::uint32_t load_u32(Addr a) const { return load<std::uint32_t>(a); }
+  void store_u32(Addr a, std::uint32_t v) { store<std::uint32_t>(a, v); }
+  std::uint8_t load_u8(Addr a) const { return load<std::uint8_t>(a); }
+  void store_u8(Addr a, std::uint8_t v) { store<std::uint8_t>(a, v); }
+  std::int64_t load_i64(Addr a) const { return load<std::int64_t>(a); }
+  void store_i64(Addr a, std::int64_t v) { store<std::int64_t>(a, v); }
+
+  /// Raw byte access for the serializer.
+  void copy_out(Addr a, void* dst, std::size_t n) const;
+  void copy_in(Addr a, const void* src, std::size_t n);
+
+  void reset();
+
+ private:
+  template <typename T>
+  T load(Addr a) const {
+    check(a, sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + a, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void store(Addr a, T v) {
+    check(a, sizeof(T));
+    std::memcpy(bytes_.data() + a, &v, sizeof(T));
+  }
+  void check(Addr a, std::size_t n) const {
+    const auto end = static_cast<std::size_t>(a) + n;
+    const bool in_immortal = a >= 16 && end <= immortal_top_;
+    const bool in_heap = a >= heap_base_ && end <= heap_top_;
+    const bool in_stack = a >= stack_top_ && end <= bytes_.size();
+    if (!in_immortal && !in_heap && !in_stack)
+      throw VmError("arena: access out of range at addr " + std::to_string(a));
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t immortal_top_;  ///< First free immortal byte.
+  std::size_t heap_base_;     ///< Start of the heap zone (= immortal limit).
+  std::size_t heap_top_;      ///< First free heap byte.
+  std::size_t stack_top_;     ///< Lowest allocated stack byte.
+};
+
+}  // namespace javelin::mem

@@ -1,0 +1,56 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace javelin::mem {
+
+DirectMappedCache::DirectMappedCache(CacheConfig cfg) : cfg_(cfg) {
+  if (cfg_.line_bytes == 0 || (cfg_.line_bytes & (cfg_.line_bytes - 1)) != 0)
+    throw std::invalid_argument("cache: line size must be a power of two");
+  if (cfg_.size_bytes % cfg_.line_bytes != 0)
+    throw std::invalid_argument("cache: size must be a multiple of line size");
+  num_lines_ = cfg_.size_bytes / cfg_.line_bytes;
+  if ((num_lines_ & (num_lines_ - 1)) != 0)
+    throw std::invalid_argument("cache: line count must be a power of two");
+  line_shift_ = static_cast<std::size_t>(std::countr_zero(cfg_.line_bytes));
+  lines_.resize(num_lines_);
+}
+
+CacheAccess DirectMappedCache::access(Addr addr, bool is_write) {
+  const std::uint32_t block = addr >> line_shift_;
+  const std::size_t index = block & (num_lines_ - 1);
+  const std::uint32_t tag = block >> std::countr_zero(num_lines_);
+  Line& line = lines_[index];
+
+  CacheAccess result;
+  if (line.valid && line.tag == tag) {
+    ++hits_;
+    line.dirty = line.dirty || is_write;
+    return result;
+  }
+  ++misses_;
+  result.hit = false;
+  result.dram_accesses = 1;  // line fill
+  if (line.valid && line.dirty) {
+    ++writebacks_;
+    ++result.dram_accesses;  // dirty eviction
+  }
+  line.valid = true;
+  line.tag = tag;
+  line.dirty = is_write;
+  return result;
+}
+
+void DirectMappedCache::invalidate_all() {
+  for (auto& l : lines_) l = Line{};
+}
+
+std::uint64_t MemoryHierarchy::route(DirectMappedCache& c, Addr a, bool write) {
+  const CacheAccess r = c.access(a, write);
+  if (r.hit) return 0;
+  if (meter_ && table_) meter_->add_dram_accesses(r.dram_accesses, *table_);
+  return miss_penalty_;
+}
+
+}  // namespace javelin::mem

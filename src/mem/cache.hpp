@@ -1,0 +1,106 @@
+// Direct-mapped cache model and the client memory hierarchy.
+//
+// The paper's client has an 8 KB direct-mapped data cache and a 16 KB
+// instruction cache; misses go to a 32 MB DRAM whose per-access energy is in
+// the Fig 1 table. We model tags only (data lives in the Arena); a write-back
+// write-allocate policy charges an extra DRAM access when a dirty line is
+// evicted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/energy.hpp"
+#include "mem/arena.hpp"
+
+namespace javelin::mem {
+
+/// Configuration of one direct-mapped cache.
+struct CacheConfig {
+  std::size_t size_bytes = 8 * 1024;
+  std::size_t line_bytes = 32;
+};
+
+/// Result of a single cache access.
+struct CacheAccess {
+  bool hit = true;
+  std::uint32_t dram_accesses = 0;  ///< 0 on hit; 1 on miss (+1 dirty evict).
+};
+
+/// Direct-mapped, write-back, write-allocate cache (tags only).
+class DirectMappedCache {
+ public:
+  explicit DirectMappedCache(CacheConfig cfg = {});
+
+  CacheAccess access(Addr addr, bool is_write);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 1.0;
+  }
+
+  const CacheConfig& config() const { return cfg_; }
+
+  void reset_stats() { hits_ = misses_ = writebacks_ = 0; }
+  void invalidate_all();
+
+ private:
+  struct Line {
+    std::uint32_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig cfg_;
+  std::size_t num_lines_;
+  std::size_t line_shift_;
+  std::vector<Line> lines_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+/// Client/server memory hierarchy: split L1 I/D caches in front of DRAM.
+///
+/// Charges DRAM access energy to the supplied meter and reports stall cycles
+/// so the executor can account time. Instruction fetch goes through the
+/// I-cache, data loads/stores through the D-cache.
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(CacheConfig icache, CacheConfig dcache,
+                  std::uint32_t miss_penalty_cycles,
+                  const energy::InstructionEnergyTable* table,
+                  energy::EnergyMeter* meter)
+      : icache_(icache),
+        dcache_(dcache),
+        miss_penalty_(miss_penalty_cycles),
+        table_(table),
+        meter_(meter) {}
+
+  /// Returns stall cycles caused by this access.
+  std::uint64_t fetch(Addr pc) { return route(icache_, pc, /*write=*/false); }
+  std::uint64_t load(Addr a) { return route(dcache_, a, /*write=*/false); }
+  std::uint64_t store(Addr a) { return route(dcache_, a, /*write=*/true); }
+
+  DirectMappedCache& icache() { return icache_; }
+  DirectMappedCache& dcache() { return dcache_; }
+
+  void reset_stats() {
+    icache_.reset_stats();
+    dcache_.reset_stats();
+  }
+
+ private:
+  std::uint64_t route(DirectMappedCache& c, Addr a, bool write);
+
+  DirectMappedCache icache_;
+  DirectMappedCache dcache_;
+  std::uint32_t miss_penalty_;
+  const energy::InstructionEnergyTable* table_;
+  energy::EnergyMeter* meter_;
+};
+
+}  // namespace javelin::mem

@@ -1,0 +1,58 @@
+// The simulated wireless link.
+//
+// Transfers charge the *client's* radio chain (the server is wall-powered):
+// uplink at the power-amplifier class chosen by power control, downlink at
+// the receiver-chain power. An optional loss probability models prolonged
+// loss of connectivity (paper Section 3.2: when a response does not arrive
+// within a threshold, the client falls back to local execution).
+#pragma once
+
+#include "energy/energy.hpp"
+#include "radio/radio.hpp"
+#include "support/rng.hpp"
+
+namespace javelin::net {
+
+class Link {
+ public:
+  explicit Link(radio::CommModel comm = radio::CommModel{},
+                std::uint64_t seed = 1)
+      : comm_(comm), rng_(seed) {}
+
+  /// Probability that a whole request/response exchange is lost.
+  void set_loss_probability(double p) { loss_ = p; }
+  double loss_probability() const { return loss_; }
+
+  struct Transfer {
+    double seconds = 0.0;
+    bool lost = false;
+  };
+
+  /// Uplink: client transmits `bytes` with PA setting `pa`. Charges the
+  /// client meter. The energy is spent even if the transfer is lost.
+  Transfer client_send(std::uint64_t bytes, radio::PowerClass pa,
+                       energy::EnergyMeter& client_meter) {
+    Transfer t;
+    t.seconds = comm_.tx_seconds(bytes);
+    client_meter.add(energy::Subsystem::kCommTx, comm_.tx_energy(bytes, pa));
+    t.lost = loss_ > 0.0 && rng_.bernoulli(loss_);
+    return t;
+  }
+
+  /// Downlink: client receives `bytes`. Charges the client meter.
+  Transfer client_recv(std::uint64_t bytes, energy::EnergyMeter& client_meter) {
+    Transfer t;
+    t.seconds = comm_.rx_seconds(bytes);
+    client_meter.add(energy::Subsystem::kCommRx, comm_.rx_energy(bytes));
+    return t;
+  }
+
+  const radio::CommModel& comm() const { return comm_; }
+
+ private:
+  radio::CommModel comm_;
+  double loss_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace javelin::net

@@ -1,0 +1,185 @@
+#include "net/protocol.hpp"
+
+namespace javelin::net {
+
+namespace {
+constexpr std::uint8_t kMsgInvokeReq = 1;
+constexpr std::uint8_t kMsgInvokeResp = 2;
+constexpr std::uint8_t kMsgCompileReq = 3;
+constexpr std::uint8_t kMsgCompileResp = 4;
+
+void expect(ByteReader& r, std::uint8_t tag) {
+  if (r.u8() != tag) throw FormatError("protocol: unexpected message type");
+}
+}  // namespace
+
+void encode_program(const isa::NativeProgram& p, ByteWriter& w) {
+  w.u32(static_cast<std::uint32_t>(p.code.size()));
+  for (const isa::NInstr& in : p.code) {
+    w.u8(static_cast<std::uint8_t>(in.op));
+    w.u8(in.rd);
+    w.u8(in.ra);
+    w.u8(in.rb);
+    w.i32(in.imm);
+  }
+  w.u32(static_cast<std::uint32_t>(p.literals.size()));
+  for (double d : p.literals) w.f64(d);
+  w.u32(p.spill_bytes);
+}
+
+isa::NativeProgram decode_program(ByteReader& r) {
+  isa::NativeProgram p;
+  const std::uint32_t n = r.u32();
+  if (static_cast<std::size_t>(n) * 8 > r.remaining())
+    throw FormatError("protocol: truncated program");
+  p.code.resize(n);
+  for (auto& in : p.code) {
+    in.op = static_cast<isa::NOp>(r.u8());
+    in.rd = r.u8();
+    in.ra = r.u8();
+    in.rb = r.u8();
+    in.imm = r.i32();
+  }
+  const std::uint32_t nl = r.u32();
+  if (static_cast<std::size_t>(nl) * 8 > r.remaining())
+    throw FormatError("protocol: truncated literal pool");
+  p.literals.resize(nl);
+  for (auto& d : p.literals) d = r.f64();
+  p.spill_bytes = r.u32();
+  return p;
+}
+
+std::vector<std::uint8_t> InvokeRequest::encode() const {
+  ByteWriter w;
+  w.u8(kMsgInvokeReq);
+  w.str(cls);
+  w.str(method);
+  w.f64(estimated_server_seconds);
+  w.u32(static_cast<std::uint32_t>(args.size()));
+  for (const auto& a : args) {
+    w.u32(static_cast<std::uint32_t>(a.size()));
+    w.bytes(a.data(), a.size());
+  }
+  return w.take();
+}
+
+InvokeRequest InvokeRequest::decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  expect(r, kMsgInvokeReq);
+  InvokeRequest m;
+  m.cls = r.str();
+  m.method = r.str();
+  m.estimated_server_seconds = r.f64();
+  const std::uint32_t n = r.u32();
+  if (n > 64) throw FormatError("protocol: too many arguments");
+  m.args.resize(n);
+  for (auto& a : m.args) {
+    const std::uint32_t len = r.u32();
+    if (len > r.remaining()) throw FormatError("protocol: truncated argument");
+    a.resize(len);
+    r.bytes(a.data(), len);
+  }
+  return m;
+}
+
+std::uint64_t InvokeRequest::wire_bytes() const {
+  std::uint64_t total = 1 + 4 + cls.size() + 4 + method.size() + 8 + 4;
+  for (const auto& a : args) total += 4 + a.size();
+  return total;
+}
+
+std::vector<std::uint8_t> InvokeResponse::encode() const {
+  ByteWriter w;
+  w.u8(kMsgInvokeResp);
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  w.u32(static_cast<std::uint32_t>(result.size()));
+  w.bytes(result.data(), result.size());
+  return w.take();
+}
+
+InvokeResponse InvokeResponse::decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  expect(r, kMsgInvokeResp);
+  InvokeResponse m;
+  m.ok = r.u8() != 0;
+  m.error = r.str();
+  const std::uint32_t len = r.u32();
+  if (len > r.remaining()) throw FormatError("protocol: truncated result");
+  m.result.resize(len);
+  r.bytes(m.result.data(), len);
+  return m;
+}
+
+std::uint64_t InvokeResponse::wire_bytes() const {
+  return 1 + 1 + 4 + error.size() + 4 + result.size();
+}
+
+std::vector<std::uint8_t> CompileRequest::encode() const {
+  ByteWriter w;
+  w.u8(kMsgCompileReq);
+  w.str(cls);
+  w.str(method);
+  w.i32(level);
+  return w.take();
+}
+
+CompileRequest CompileRequest::decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  expect(r, kMsgCompileReq);
+  CompileRequest m;
+  m.cls = r.str();
+  m.method = r.str();
+  m.level = r.i32();
+  return m;
+}
+
+std::uint64_t CompileRequest::wire_bytes() const {
+  return 1 + 4 + cls.size() + 4 + method.size() + 4;
+}
+
+std::vector<std::uint8_t> CompileResponse::encode() const {
+  ByteWriter w;
+  w.u8(kMsgCompileResp);
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  w.i32(level);
+  w.f64(server_seconds);
+  w.u32(static_cast<std::uint32_t>(units.size()));
+  for (const auto& u : units) {
+    w.str(u.cls);
+    w.str(u.method);
+    encode_program(u.program, w);
+  }
+  return w.take();
+}
+
+CompileResponse CompileResponse::decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  expect(r, kMsgCompileResp);
+  CompileResponse m;
+  m.ok = r.u8() != 0;
+  m.error = r.str();
+  m.level = r.i32();
+  m.server_seconds = r.f64();
+  const std::uint32_t n = r.u32();
+  if (n > 4096) throw FormatError("protocol: too many compiled units");
+  m.units.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CompiledUnit u;
+    u.cls = r.str();
+    u.method = r.str();
+    u.program = decode_program(r);
+    m.units.push_back(std::move(u));
+  }
+  return m;
+}
+
+std::uint64_t CompileResponse::wire_bytes() const {
+  std::uint64_t total = 1 + 1 + 4 + error.size() + 4 + 4;
+  for (const auto& u : units)
+    total += 4 + u.cls.size() + 4 + u.method.size() + u.program.image_bytes();
+  return total;
+}
+
+}  // namespace javelin::net

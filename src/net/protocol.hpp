@@ -1,0 +1,85 @@
+// Wire protocol between the mobile client and the server (paper Fig 4/5).
+//
+// Four message types:
+//   InvokeRequest   client -> server : method name + serialized parameters
+//   InvokeResponse  server -> client : serialized return value (or error)
+//   CompileRequest  client -> server : fully qualified method name + level
+//   CompileResponse server -> client : pre-compiled native code bundle (the
+//                                      requested method plus the methods in
+//                                      its compilation plan), with linkage
+//                                      info (method names) so the client JVM
+//                                      can install it.
+//
+// `wire_bytes()` of each message is what the radio model charges for. For
+// CompileResponse the charged size is the *machine-code image* size (4 bytes
+// per instruction + literal pool), matching what a real SPARC binary would
+// occupy; the functional encoding carries whatever the simulator needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/nisa.hpp"
+#include "support/bytes.hpp"
+
+namespace javelin::net {
+
+struct InvokeRequest {
+  std::string cls;
+  std::string method;
+  std::vector<std::vector<std::uint8_t>> args;  ///< Serialized values.
+  /// Client's estimate of the server execution time (seconds); the server
+  /// stores it in the mobile status table to decide response queueing.
+  double estimated_server_seconds = 0.0;
+
+  std::vector<std::uint8_t> encode() const;
+  static InvokeRequest decode(const std::vector<std::uint8_t>& bytes);
+  /// Bytes that travel over the air.
+  std::uint64_t wire_bytes() const;
+};
+
+struct InvokeResponse {
+  bool ok = true;
+  std::string error;
+  std::vector<std::uint8_t> result;  ///< Serialized value (may be empty/void).
+
+  std::vector<std::uint8_t> encode() const;
+  static InvokeResponse decode(const std::vector<std::uint8_t>& bytes);
+  std::uint64_t wire_bytes() const;
+};
+
+struct CompileRequest {
+  std::string cls;
+  std::string method;
+  int level = 1;
+
+  std::vector<std::uint8_t> encode() const;
+  static CompileRequest decode(const std::vector<std::uint8_t>& bytes);
+  std::uint64_t wire_bytes() const;
+};
+
+/// One compiled method shipped to the client.
+struct CompiledUnit {
+  std::string cls;
+  std::string method;
+  isa::NativeProgram program;  ///< Uninstalled (code_base unset).
+};
+
+struct CompileResponse {
+  bool ok = true;
+  std::string error;
+  int level = 1;
+  /// Server-side compilation time (the client idles while waiting).
+  double server_seconds = 0.0;
+  std::vector<CompiledUnit> units;
+
+  std::vector<std::uint8_t> encode() const;
+  static CompileResponse decode(const std::vector<std::uint8_t>& bytes);
+  /// Over-the-air size: machine-code image bytes plus linkage headers.
+  std::uint64_t wire_bytes() const;
+};
+
+void encode_program(const isa::NativeProgram& p, ByteWriter& w);
+isa::NativeProgram decode_program(ByteReader& r);
+
+}  // namespace javelin::net

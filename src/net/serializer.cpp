@@ -1,0 +1,304 @@
+#include "net/serializer.hpp"
+
+#include <unordered_map>
+
+#include "support/bytes.hpp"
+
+namespace javelin::net {
+
+namespace {
+
+using jvm::Jvm;
+using jvm::TypeKind;
+using jvm::Value;
+using energy::InstrClass;
+
+enum : std::uint8_t {
+  kTagNull = 0,
+  kTagInt = 1,
+  kTagDouble = 2,
+  kTagArray = 3,
+  kTagObject = 4,
+  kTagBackref = 5,
+};
+
+/// Gather instance fields of a class including inherited ones, root-first.
+void collect_instance_fields(const Jvm& vm, std::int32_t class_id,
+                             std::vector<const jvm::RtField*>& out) {
+  const jvm::RtClass& rc = vm.cls(class_id);
+  if (rc.super_id >= 0) collect_instance_fields(vm, rc.super_id, out);
+  for (std::int32_t fid : rc.field_ids) {
+    const jvm::RtField& f = vm.field(fid);
+    if (!f.is_static) out.push_back(&f);
+  }
+}
+
+class Encoder {
+ public:
+  Encoder(const Jvm& vm, bool charge) : vm_(vm), charge_(charge) {}
+
+  void value(Value v) {
+    switch (v.kind) {
+      case TypeKind::kInt:
+        w_.u8(kTagInt);
+        w_.i32(v.i);
+        touch_alu(1);
+        break;
+      case TypeKind::kDouble:
+        w_.u8(kTagDouble);
+        w_.f64(v.d);
+        touch_alu(1);
+        break;
+      case TypeKind::kRef:
+        ref(v.ref);
+        break;
+      default:
+        throw Error("serializer: cannot serialize void");
+    }
+  }
+
+  std::vector<std::uint8_t> take() { return w_.take(); }
+
+ private:
+  void touch_alu(std::uint64_t n) {
+    if (charge_) vm_.core().charge_class(InstrClass::kAluSimple, n);
+  }
+  void read_heap(mem::Addr a) {
+    if (charge_) {
+      vm_.core().stall(vm_.core().hier->load(a));
+      vm_.core().charge_class(InstrClass::kLoad);
+      vm_.core().charge_class(InstrClass::kStore);  // buffer append
+    }
+  }
+
+  void ref(mem::Addr a) {
+    if (a == mem::kNullAddr) {
+      w_.u8(kTagNull);
+      touch_alu(1);
+      return;
+    }
+    const auto it = seen_.find(a);
+    if (it != seen_.end()) {
+      w_.u8(kTagBackref);
+      w_.u32(it->second);
+      touch_alu(2);
+      return;
+    }
+    seen_[a] = next_id_++;
+
+    // Array or object? Arrays keep their length (>= 0) in the second header
+    // word; objects keep the kObjPadSentinel there.
+    const std::uint32_t hdr2 = vm_.arena().load_u32(a + 4);
+    if (hdr2 != jvm::kObjPadSentinel) {
+      array(a);
+    } else {
+      object(a);
+    }
+  }
+
+  void array(mem::Addr a) {
+    const TypeKind ek = vm_.array_elem_kind(a);
+    const std::int32_t len = vm_.array_length(a);
+    w_.u8(kTagArray);
+    w_.u8(static_cast<std::uint8_t>(ek));
+    w_.i32(len);
+    touch_alu(4);
+    const mem::Addr data = a + jvm::kArrHeaderBytes;
+    for (std::int32_t i = 0; i < len; ++i) {
+      const std::uint32_t width = jvm::type_width(ek);
+      const mem::Addr ea = data + static_cast<mem::Addr>(i) * width;
+      read_heap(ea);
+      switch (ek) {
+        case TypeKind::kInt:
+          w_.i32(vm_.arena().load_i32(ea));
+          break;
+        case TypeKind::kDouble:
+          w_.f64(vm_.arena().load_f64(ea));
+          break;
+        case TypeKind::kByte:
+          w_.u8(vm_.arena().load_u8(ea));
+          break;
+        case TypeKind::kRef:
+          ref(vm_.arena().load_u32(ea));
+          break;
+        default:
+          throw Error("serializer: bad element kind");
+      }
+    }
+  }
+
+  void object(mem::Addr a) {
+    const std::int32_t cid = vm_.obj_class_id(a);
+    const jvm::RtClass& rc = vm_.cls(cid);
+    w_.u8(kTagObject);
+    w_.str(rc.cf.name);
+    touch_alu(4);
+    std::vector<const jvm::RtField*> fields;
+    collect_instance_fields(vm_, cid, fields);
+    for (const jvm::RtField* f : fields) {
+      const mem::Addr fa = a + f->offset;
+      read_heap(fa);
+      switch (f->kind) {
+        case TypeKind::kInt:
+          w_.i32(vm_.arena().load_i32(fa));
+          break;
+        case TypeKind::kDouble:
+          w_.f64(vm_.arena().load_f64(fa));
+          break;
+        case TypeKind::kByte:
+          w_.u8(vm_.arena().load_u8(fa));
+          break;
+        case TypeKind::kRef:
+          ref(vm_.arena().load_u32(fa));
+          break;
+        default:
+          throw Error("serializer: bad field kind");
+      }
+    }
+  }
+
+  const Jvm& vm_;
+  bool charge_;
+  ByteWriter w_;
+  std::unordered_map<mem::Addr, std::uint32_t> seen_;
+  std::uint32_t next_id_ = 0;
+};
+
+class Decoder {
+ public:
+  Decoder(Jvm& vm, const std::vector<std::uint8_t>& bytes, bool charge)
+      : vm_(vm), r_(bytes), charge_(charge) {}
+
+  Value value() {
+    const std::uint8_t tag = r_.u8();
+    switch (tag) {
+      case kTagNull:
+        return Value::make_ref(mem::kNullAddr);
+      case kTagInt: {
+        touch_alu(1);
+        return Value::make_int(r_.i32());
+      }
+      case kTagDouble: {
+        touch_alu(1);
+        return Value::make_double(r_.f64());
+      }
+      case kTagBackref: {
+        const std::uint32_t id = r_.u32();
+        if (id >= objects_.size()) throw FormatError("serializer: bad backref");
+        touch_alu(2);
+        return Value::make_ref(objects_[id]);
+      }
+      case kTagArray:
+        return Value::make_ref(array());
+      case kTagObject:
+        return Value::make_ref(object());
+      default:
+        throw FormatError("serializer: bad tag");
+    }
+  }
+
+  bool at_end() const { return r_.at_end(); }
+
+ private:
+  void touch_alu(std::uint64_t n) {
+    if (charge_) vm_.core().charge_class(InstrClass::kAluSimple, n);
+  }
+  void write_heap(mem::Addr a) {
+    if (charge_) {
+      vm_.core().stall(vm_.core().hier->store(a));
+      vm_.core().charge_class(InstrClass::kStore);
+      vm_.core().charge_class(InstrClass::kLoad);  // buffer read
+    }
+  }
+
+  mem::Addr array() {
+    const auto ek = static_cast<TypeKind>(r_.u8());
+    const std::int32_t len = r_.i32();
+    if (len < 0) throw FormatError("serializer: negative array length");
+    const mem::Addr a = vm_.new_array(ek, len, /*charge=*/false);
+    objects_.push_back(a);
+    touch_alu(4);
+    const mem::Addr data = a + jvm::kArrHeaderBytes;
+    const std::uint32_t width = jvm::type_width(ek);
+    for (std::int32_t i = 0; i < len; ++i) {
+      const mem::Addr ea = data + static_cast<mem::Addr>(i) * width;
+      write_heap(ea);
+      switch (ek) {
+        case TypeKind::kInt:
+          vm_.arena().store_i32(ea, r_.i32());
+          break;
+        case TypeKind::kDouble:
+          vm_.arena().store_f64(ea, r_.f64());
+          break;
+        case TypeKind::kByte:
+          vm_.arena().store_u8(ea, r_.u8());
+          break;
+        case TypeKind::kRef: {
+          const Value v = value();
+          vm_.arena().store_u32(ea, v.as_ref());
+          break;
+        }
+        default:
+          throw FormatError("serializer: bad element kind");
+      }
+    }
+    return a;
+  }
+
+  mem::Addr object() {
+    const std::string name = r_.str();
+    const std::int32_t cid = vm_.find_class(name);
+    if (cid < 0) throw FormatError("serializer: unknown class " + name);
+    const mem::Addr a = vm_.new_object(cid, /*charge=*/false);
+    objects_.push_back(a);
+    touch_alu(4);
+    std::vector<const jvm::RtField*> fields;
+    collect_instance_fields(vm_, cid, fields);
+    for (const jvm::RtField* f : fields) {
+      const mem::Addr fa = a + f->offset;
+      write_heap(fa);
+      switch (f->kind) {
+        case TypeKind::kInt:
+          vm_.arena().store_i32(fa, r_.i32());
+          break;
+        case TypeKind::kDouble:
+          vm_.arena().store_f64(fa, r_.f64());
+          break;
+        case TypeKind::kByte:
+          vm_.arena().store_u8(fa, r_.u8());
+          break;
+        case TypeKind::kRef: {
+          const Value v = value();
+          vm_.arena().store_u32(fa, v.as_ref());
+          break;
+        }
+        default:
+          throw FormatError("serializer: bad field kind");
+      }
+    }
+    return a;
+  }
+
+  Jvm& vm_;
+  ByteReader r_;
+  bool charge_;
+  std::vector<mem::Addr> objects_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_value(const Jvm& vm, Value v, bool charge) {
+  Encoder enc(vm, charge);
+  enc.value(v);
+  return enc.take();
+}
+
+Value deserialize_value(Jvm& vm, const std::vector<std::uint8_t>& bytes,
+                        bool charge) {
+  Decoder dec(vm, bytes, charge);
+  Value v = dec.value();
+  if (!dec.at_end()) throw FormatError("serializer: trailing bytes");
+  return v;
+}
+
+}  // namespace javelin::net

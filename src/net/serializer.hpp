@@ -1,0 +1,33 @@
+// Guest object serialization (the Java object-serialization analogue).
+//
+// The offload framework (paper Fig 4) ships method parameters and results
+// between client and server as serialized object graphs. This serializer
+// walks the guest heap: arrays (all element kinds, including ref arrays),
+// objects (fields in layout order, superclass fields first), with back
+// references for shared/cyclic structure. Classes are identified by name so
+// the two JVMs need not share ids.
+//
+// When `charge` is set, the walk is billed to the device's core: each element
+// read/written goes through the cache model at its real heap address plus a
+// small ALU cost — serialization is client CPU work the paper's energy
+// accounting must include.
+#pragma once
+
+#include <vector>
+
+#include "jvm/vm.hpp"
+
+namespace javelin::net {
+
+/// Serialize one value (possibly a whole object graph) from `vm`'s heap.
+std::vector<std::uint8_t> serialize_value(const jvm::Jvm& vm, jvm::Value v,
+                                          bool charge);
+
+/// Deserialize into `vm`'s heap; allocates objects/arrays as needed.
+/// Note that potential methods in this framework *return* their outputs
+/// (rather than mutating argument objects), so deserializing the result is
+/// sufficient to transfer remote side effects back to the caller.
+jvm::Value deserialize_value(jvm::Jvm& vm, const std::vector<std::uint8_t>& bytes,
+                             bool charge);
+
+}  // namespace javelin::net

@@ -1,0 +1,89 @@
+#include "radio/radio.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace javelin::radio {
+
+const char* power_class_name(PowerClass c) {
+  switch (c) {
+    case PowerClass::kClass1: return "Class 1";
+    case PowerClass::kClass2: return "Class 2";
+    case PowerClass::kClass3: return "Class 3";
+    case PowerClass::kClass4: return "Class 4";
+  }
+  return "?";
+}
+
+IidChannel::IidChannel(std::array<double, 4> weights, double dwell_seconds,
+                       std::uint64_t seed)
+    : weights_(weights), dwell_(dwell_seconds), seed_(seed) {
+  if (dwell_ <= 0) throw std::invalid_argument("IidChannel: dwell must be > 0");
+  double total = 0;
+  for (double w : weights_) {
+    if (w < 0) throw std::invalid_argument("IidChannel: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("IidChannel: no positive weight");
+}
+
+PowerClass IidChannel::at(double t) {
+  // Hash the dwell-slot index with the seed so queries are deterministic and
+  // random-access (no state to advance).
+  const auto slot = static_cast<std::uint64_t>(std::max(0.0, t) / dwell_);
+  Rng rng(seed_ ^ (slot * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  const std::size_t idx = rng.categorical(
+      std::vector<double>(weights_.begin(), weights_.end()));
+  return static_cast<PowerClass>(idx + 1);
+}
+
+MarkovChannel::MarkovChannel(std::array<std::array<double, 4>, 4> transition,
+                             PowerClass initial, double dwell_seconds,
+                             std::uint64_t seed)
+    : transition_(transition), dwell_(dwell_seconds), rng_(seed), cur_(initial) {
+  if (dwell_ <= 0)
+    throw std::invalid_argument("MarkovChannel: dwell must be > 0");
+  for (const auto& row : transition_) {
+    double total = 0;
+    for (double p : row) {
+      if (p < 0) throw std::invalid_argument("MarkovChannel: negative prob");
+      total += p;
+    }
+    if (total <= 0)
+      throw std::invalid_argument("MarkovChannel: empty transition row");
+  }
+}
+
+void MarkovChannel::advance_to(std::uint64_t step) {
+  while (cur_step_ < step) {
+    const auto& row = transition_[static_cast<std::size_t>(cur_) - 1];
+    const std::size_t next =
+        rng_.categorical(std::vector<double>(row.begin(), row.end()));
+    cur_ = static_cast<PowerClass>(next + 1);
+    ++cur_step_;
+  }
+}
+
+PowerClass MarkovChannel::at(double t) {
+  const auto step = static_cast<std::uint64_t>(std::max(0.0, t) / dwell_);
+  if (step < cur_step_) {
+    // Queries are expected to move forward in simulated time; a small
+    // backward query (e.g. a pilot sample) returns the current state.
+    return cur_;
+  }
+  advance_to(step);
+  return cur_;
+}
+
+std::array<std::array<double, 4>, 4> MarkovChannel::default_transition() {
+  // Sticky fading: stay with p=0.8, drift to a neighbour with p=0.1 each
+  // (reflecting at the ends).
+  return {{
+      {0.9, 0.1, 0.0, 0.0},
+      {0.1, 0.8, 0.1, 0.0},
+      {0.0, 0.1, 0.8, 0.1},
+      {0.0, 0.0, 0.1, 0.9},
+  }};
+}
+
+}  // namespace javelin::radio

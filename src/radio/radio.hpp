@@ -1,0 +1,161 @@
+// Wireless communication energy model (paper Section 2, Fig 2).
+//
+// The client's WCDMA chip set is modelled per component, with the paper's
+// data-sheet power numbers. The transmitter power amplifier has four power
+// control settings tracking channel condition: Class 1 for the poorest
+// channel (5.88 W) down to Class 4 for the best (0.37 W). The effective data
+// rate is 2.3 Mbps. Channel condition varies over time according to
+// user-supplied distributions (the paper's simulation approach for the IS-95
+// pilot-channel tracking), and a pilot-based estimator samples it.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace javelin::radio {
+
+/// Transmit power-amplifier setting. Class 1 = poor channel (highest power),
+/// Class 4 = best channel (lowest power).
+enum class PowerClass : std::uint8_t { kClass1 = 1, kClass2, kClass3, kClass4 };
+
+constexpr std::array<PowerClass, 4> kAllPowerClasses{
+    PowerClass::kClass1, PowerClass::kClass2, PowerClass::kClass3,
+    PowerClass::kClass4};
+
+const char* power_class_name(PowerClass c);
+
+/// Component powers from the paper's Fig 2 (RFMD / Analog Devices data
+/// sheets). Rx = receiver chain, Tx = transmitter chain; the VCO is shared.
+struct ComponentPowers {
+  double mixer_rx = mW(33.75);
+  double demodulator_rx = mW(37.8);
+  double adc_rx = mW(710);
+  double dac_tx = mW(185);
+  std::array<double, 4> power_amp_tx{5.88, 1.5, 0.74, 0.37};  // Class 1..4, W
+  double driver_amp_tx = mW(102.6);
+  double modulator_tx = mW(108);
+  double vco = mW(90);
+
+  double pa(PowerClass c) const {
+    return power_amp_tx[static_cast<std::size_t>(c) - 1];
+  }
+  /// Total transmitter-chain power at a PA setting.
+  double tx_power(PowerClass c) const {
+    return pa(c) + driver_amp_tx + modulator_tx + dac_tx + vco;
+  }
+  /// Total receiver-chain power.
+  double rx_power() const { return mixer_rx + demodulator_rx + adc_rx + vco; }
+};
+
+/// Link-level energy/time calculator at the paper's 2.3 Mbps effective rate.
+class CommModel {
+ public:
+  explicit CommModel(ComponentPowers powers = {}, double bit_rate = Mbps(2.3))
+      : powers_(powers), bit_rate_(bit_rate) {}
+
+  double bit_rate() const { return bit_rate_; }
+  const ComponentPowers& powers() const { return powers_; }
+
+  double tx_seconds(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) * kBitsPerByte / bit_rate_;
+  }
+  double rx_seconds(std::uint64_t bytes) const { return tx_seconds(bytes); }
+
+  /// Client energy to transmit `bytes` at PA class `c`.
+  double tx_energy(std::uint64_t bytes, PowerClass c) const {
+    return tx_seconds(bytes) * powers_.tx_power(c);
+  }
+  /// Client energy to receive `bytes`.
+  double rx_energy(std::uint64_t bytes) const {
+    return rx_seconds(bytes) * powers_.rx_power();
+  }
+
+ private:
+  ComponentPowers powers_;
+  double bit_rate_;
+};
+
+/// Time-varying channel state (what PA class the power control selects).
+class ChannelProcess {
+ public:
+  virtual ~ChannelProcess() = default;
+  /// Channel condition at absolute time `t` seconds. Must be deterministic
+  /// per instance (repeat queries at the same time agree).
+  virtual PowerClass at(double t) = 0;
+};
+
+/// Constant channel.
+class FixedChannel final : public ChannelProcess {
+ public:
+  explicit FixedChannel(PowerClass c) : c_(c) {}
+  PowerClass at(double) override { return c_; }
+
+ private:
+  PowerClass c_;
+};
+
+/// Channel redrawn i.i.d. from a categorical distribution every
+/// `dwell_seconds` (the paper's "user supplied distributions").
+class IidChannel final : public ChannelProcess {
+ public:
+  /// `weights` are per-class (Class 1..4) non-negative weights.
+  IidChannel(std::array<double, 4> weights, double dwell_seconds,
+             std::uint64_t seed);
+  PowerClass at(double t) override;
+
+ private:
+  std::array<double, 4> weights_;
+  double dwell_;
+  std::uint64_t seed_;
+};
+
+/// First-order Markov chain over the four classes with a fixed dwell time
+/// per step (models temporally-correlated fading).
+class MarkovChannel final : public ChannelProcess {
+ public:
+  /// `transition[i][j]` = P(next = class j+1 | current = class i+1).
+  MarkovChannel(std::array<std::array<double, 4>, 4> transition,
+                PowerClass initial, double dwell_seconds, std::uint64_t seed);
+  PowerClass at(double t) override;
+
+  /// A reasonable default: sticky states with neighbour transitions.
+  static std::array<std::array<double, 4>, 4> default_transition();
+
+ private:
+  void advance_to(std::uint64_t step);
+
+  std::array<std::array<double, 4>, 4> transition_;
+  double dwell_;
+  Rng rng_;
+  std::uint64_t cur_step_ = 0;
+  PowerClass cur_;
+};
+
+/// Pilot-signal-based channel estimator (IS-95-style): the mobile samples the
+/// pilot every `period` seconds, so its view of the channel lags reality by
+/// up to one period.
+class PilotEstimator {
+ public:
+  PilotEstimator(ChannelProcess& channel, double period_seconds = 20e-3)
+      : channel_(channel), period_(period_seconds) {}
+
+  /// Estimated channel condition at time `t` (the last pilot measurement).
+  PowerClass estimate(double t) {
+    const double sample_time =
+        period_ <= 0 ? t : std::floor(t / period_) * period_;
+    return channel_.at(sample_time);
+  }
+
+  double period() const { return period_; }
+
+ private:
+  ChannelProcess& channel_;
+  double period_;
+};
+
+}  // namespace javelin::radio

@@ -1,0 +1,379 @@
+#include "rt/client.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/serializer.hpp"
+
+namespace javelin::rt {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kRemote: return "R";
+    case Strategy::kInterpret: return "I";
+    case Strategy::kLocal1: return "L1";
+    case Strategy::kLocal2: return "L2";
+    case Strategy::kLocal3: return "L3";
+    case Strategy::kAdaptiveLocal: return "AL";
+    case Strategy::kAdaptiveAdaptive: return "AA";
+  }
+  return "?";
+}
+
+const char* exec_mode_name(ExecMode m) {
+  switch (m) {
+    case ExecMode::kInterpret: return "interp";
+    case ExecMode::kLocal1: return "L1";
+    case ExecMode::kLocal2: return "L2";
+    case ExecMode::kLocal3: return "L3";
+    case ExecMode::kRemote: return "remote";
+  }
+  return "?";
+}
+
+Client::Client(ClientConfig cfg, Server& server,
+               radio::ChannelProcess& channel, net::Link& link)
+    : cfg_(std::move(cfg)),
+      server_(server),
+      channel_(channel),
+      pilot_(channel_, cfg_.pilot_period_s),
+      link_(link),
+      dev_(std::make_unique<Device>(cfg_.machine)) {}
+
+void Client::deploy(const std::vector<jvm::ClassFile>& app) {
+  dev_->deploy(app);
+  stats_.assign(dev_->vm.num_methods(), MethodStats{});
+}
+
+void Client::reset_session() {
+  dev_->engine.clear_code();
+  stats_.assign(dev_->vm.num_methods(), MethodStats{});
+}
+
+double Client::size_param(const jvm::Jvm& vm, const jvm::MethodInfo& mi,
+                          std::span<const jvm::Value> args) {
+  if (mi.size_param.factors.empty()) return 1.0;
+  double s = 1.0;
+  for (const auto& f : mi.size_param.factors) {
+    if (f.arg_index >= args.size())
+      throw Error("size_param: factor index out of range");
+    const jvm::Value& v = args[f.arg_index];
+    if (f.array_length) {
+      s *= static_cast<double>(vm.array_length(v.as_ref()));
+    } else {
+      s *= static_cast<double>(v.as_int());
+    }
+  }
+  return s;
+}
+
+void Client::charge_wait(double seconds, bool powered_down) {
+  if (seconds <= 0) return;
+  const double power = powered_down ? dev_->cfg.leakage_power_w()
+                                    : dev_->cfg.normal_power_w;
+  dev_->meter.add(energy::Subsystem::kIdle, power * seconds);
+  extra_seconds_ += seconds;
+}
+
+double Client::remote_energy(const jvm::EnergyProfile& prof, double s,
+                             double tx_power_w) const {
+  const radio::CommModel& comm = link_.comm();
+  const double req_bytes = std::max(0.0, prof.request_bytes.eval(s));
+  const double resp_bytes = std::max(0.0, prof.response_bytes.eval(s));
+  const double tx_s = req_bytes * kBitsPerByte / comm.bit_rate();
+  const double rx_s = resp_bytes * kBitsPerByte / comm.bit_rate();
+  const double server_s =
+      std::max(0.0, prof.server_cycles.eval(s)) / cfg_.server_clock_hz;
+  const double wait_power = cfg_.powerdown ? dev_->cfg.leakage_power_w()
+                                           : dev_->cfg.normal_power_w;
+  return tx_s * tx_power_w +
+         rx_s * comm.powers().rx_power() +
+         server_s * wait_power;
+}
+
+Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
+                                double s, radio::PowerClass channel_now,
+                                bool adaptive_compilation) {
+  const jvm::EnergyProfile& prof = m.info->profile;
+  if (!prof.valid)
+    throw Error("client: method " + m.qualified_name +
+                " has no energy profile (was the app profiled at deploy?)");
+
+  // EWMA updates (paper Section 3.2, u1 = u2 = 0.7).
+  const double p_now = link_.comm().powers().tx_power(channel_now);
+  if (st.k == 0) {
+    st.ewma_s = s;
+    st.ewma_p = p_now;
+  } else {
+    st.ewma_s = cfg_.u1 * st.ewma_s + (1.0 - cfg_.u1) * s;
+    st.ewma_p = cfg_.u2 * st.ewma_p + (1.0 - cfg_.u2) * p_now;
+  }
+  ++st.k;
+  const auto k = static_cast<double>(st.k);
+
+  // Expected energies for k further executions.
+  const double EI = k * std::max(0.0, prof.local_energy[0].eval(st.ewma_s));
+  const double ER = k * remote_energy(prof, st.ewma_s, st.ewma_p);
+
+  const radio::CommModel& comm = link_.comm();
+  const int current_level = dev_->engine.compiled_level(m.id);
+
+  double best = EI;
+  Decision d{ExecMode::kInterpret, false};
+  if (ER < best) {
+    best = ER;
+    d = Decision{ExecMode::kRemote, false};
+  }
+  for (int level = 1; level <= 3; ++level) {
+    double compile_cost = 0.0;
+    bool remote_compile = false;
+    if (current_level != level) {
+      const double local_cost = prof.compile_energy[level - 1];
+      compile_cost = local_cost;
+      if (adaptive_compilation) {
+        // AA: compare compiling locally against downloading pre-compiled
+        // native code (request uplink + code image downlink).
+        const double code_bytes = prof.code_size_bytes[level - 1];
+        const double remote_cost =
+            64.0 * kBitsPerByte / comm.bit_rate() * st.ewma_p +
+            code_bytes * kBitsPerByte / comm.bit_rate() *
+                comm.powers().rx_power();
+        if (remote_cost < local_cost) {
+          compile_cost = remote_cost;
+          remote_compile = true;
+        }
+      }
+    }
+    const double EL =
+        compile_cost + k * std::max(0.0, prof.local_energy[level].eval(st.ewma_s));
+    if (EL < best) {
+      best = EL;
+      d = Decision{static_cast<ExecMode>(level), remote_compile};
+    }
+  }
+  return d;
+}
+
+void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
+                             InvokeReport* report) {
+  if (dev_->engine.compiled_level(m.id) == level) return;
+  if (report) {
+    report->compiled_this_call = true;
+    report->remote_compile = remote;
+  }
+
+  if (remote) {
+    // Download pre-compiled native code from the server (Section 3.3). The
+    // class verifier cannot check native code; the server is trusted.
+    const jvm::RtClass& rc = dev_->vm.cls(m.class_id);
+    net::CompileRequest req{rc.cf.name, m.info->name, level};
+    const radio::PowerClass pa = pilot_.estimate(now());
+    const auto up = link_.client_send(req.wire_bytes(), pa, dev_->meter);
+    extra_seconds_ += up.seconds;
+    net::CompileResponse resp = server_.handle_compile(req);
+    if (!resp.ok || up.lost) {
+      // Fall back to local compilation.
+      charge_wait(cfg_.response_timeout_s * 0.1, /*powered_down=*/false);
+      ensure_compiled(m, level, /*remote=*/false, nullptr);
+      return;
+    }
+    // Wait for the server to compile, then receive the image.
+    charge_wait(resp.server_seconds, cfg_.powerdown);
+    const auto down = link_.client_recv(resp.wire_bytes(), dev_->meter);
+    extra_seconds_ += down.seconds;
+    // Link and install each unit (small per-unit linking cost).
+    for (auto& unit : resp.units) {
+      const std::int32_t id = dev_->vm.find_method(unit.cls, unit.method);
+      if (id < 0) throw Error("client: downloaded code for unknown method");
+      dev_->core.charge_class(energy::InstrClass::kAluSimple,
+                              unit.program.code.size() / 4 + 8);
+      dev_->engine.install(id, std::move(unit.program), level);
+    }
+    return;
+  }
+
+  // Local compilation: the potential method plus its compilation plan
+  // (Section 3: "the names of the potential method and the methods that will
+  // be called by the potential method").
+  std::vector<std::int32_t> plan{m.id};
+  for (std::int32_t callee : jit::collect_callees(dev_->vm, m.id))
+    plan.push_back(callee);
+  for (std::int32_t id : plan) {
+    if (dev_->engine.compiled_level(id) == level) continue;
+    try {
+      auto res = jit::compile_method(dev_->vm, id,
+                                     jit::CompileOptions{.opt_level = level},
+                                     dev_->cfg.energy);
+      // Charge the compilation work to the client core.
+      dev_->meter.add_instrs(res.compile_work, dev_->cfg.energy);
+      dev_->meter.add_dram_accesses(
+          res.compile_work.total() / 50, dev_->cfg.energy);
+      dev_->core.cycles += res.compile_cycles;
+      dev_->engine.install(id, std::move(res.program), level);
+    } catch (const jit::CompileError&) {
+      // Leave this callee interpreted (mixed-mode execution handles it).
+    }
+  }
+}
+
+jvm::Value Client::exec_local(const jvm::RtMethod& m,
+                              std::span<const jvm::Value> args, ExecMode mode,
+                              bool remote_compile, InvokeReport* report) {
+  if (mode == ExecMode::kInterpret) {
+    dev_->engine.set_force_interpret(true);
+    try {
+      const jvm::Value v = dev_->engine.invoke(m.id, args);
+      dev_->engine.set_force_interpret(false);
+      return v;
+    } catch (...) {
+      dev_->engine.set_force_interpret(false);
+      throw;
+    }
+  }
+  ensure_compiled(m, static_cast<int>(mode), remote_compile, report);
+  return dev_->engine.invoke(m.id, args);
+}
+
+jvm::Value Client::exec_remote(const jvm::RtMethod& m,
+                               std::span<const jvm::Value> args,
+                               InvokeReport* report) {
+  const jvm::EnergyProfile& prof = m.info->profile;
+  const jvm::RtClass& rc = dev_->vm.cls(m.class_id);
+
+  // Serialize parameters (client CPU work, charged).
+  net::InvokeRequest req;
+  req.cls = rc.cf.name;
+  req.method = m.info->name;
+  req.args.reserve(args.size());
+  for (const jvm::Value& v : args)
+    req.args.push_back(net::serialize_value(dev_->vm, v, /*charge=*/true));
+  const double s = size_param(dev_->vm, *m.info, args);
+  req.estimated_server_seconds =
+      prof.valid ? std::max(0.0, prof.server_cycles.eval(s)) / cfg_.server_clock_hz
+                 : 0.0;
+
+  // Uplink at the PA class the power control picked from the pilot.
+  const radio::PowerClass pa = pilot_.estimate(now());
+  const auto up = link_.client_send(req.wire_bytes(), pa, dev_->meter);
+  extra_seconds_ += up.seconds;
+  const double t_sent = now();
+
+  if (up.lost) {
+    // No response will ever come: the client sleeps through its estimated
+    // window, idles to the timeout, then falls back to local execution.
+    charge_wait(std::min(req.estimated_server_seconds, cfg_.response_timeout_s),
+                cfg_.powerdown);
+    const double already = std::min(req.estimated_server_seconds,
+                                    cfg_.response_timeout_s);
+    charge_wait(cfg_.response_timeout_s - already, /*powered_down=*/false);
+    if (report) report->fallback_local = true;
+    // Best local mode from the cost model (cheap heuristic: reuse compiled
+    // code if present, else interpret).
+    const int lvl = dev_->engine.compiled_level(m.id);
+    return exec_local(m, args,
+                      lvl == 0 ? ExecMode::kInterpret
+                               : static_cast<ExecMode>(lvl),
+                      false, report);
+  }
+
+  Server::ExecOutcome out = server_.handle_invoke(req, t_sent, cfg_.client_id);
+  if (!out.response.ok)
+    throw Error("remote execution failed: " + out.response.error);
+
+  if (out.compute_seconds > cfg_.response_timeout_s) {
+    // Treated as lost connectivity (paper Section 3.2): local fallback.
+    charge_wait(std::min(req.estimated_server_seconds, cfg_.response_timeout_s),
+                cfg_.powerdown);
+    const double already = std::min(req.estimated_server_seconds,
+                                    cfg_.response_timeout_s);
+    charge_wait(cfg_.response_timeout_s - already, /*powered_down=*/false);
+    if (report) report->fallback_local = true;
+    const int lvl = dev_->engine.compiled_level(m.id);
+    return exec_local(m, args,
+                      lvl == 0 ? ExecMode::kInterpret
+                               : static_cast<ExecMode>(lvl),
+                      false, report);
+  }
+
+  // Power-down window: the client sleeps until its estimated wake time; the
+  // server queues the response if it finishes earlier (mobile status table).
+  const double wake_after = cfg_.powerdown
+                                ? req.estimated_server_seconds
+                                : out.compute_seconds;
+  if (cfg_.powerdown) {
+    if (out.compute_seconds <= wake_after) {
+      // Response was queued; sleep the full window.
+      charge_wait(wake_after, /*powered_down=*/true);
+    } else {
+      // Early re-activation penalty: sleep the window, then idle awake.
+      charge_wait(wake_after, /*powered_down=*/true);
+      charge_wait(out.compute_seconds - wake_after, /*powered_down=*/false);
+    }
+  } else {
+    charge_wait(out.compute_seconds, /*powered_down=*/false);
+  }
+
+  // Downlink: receive and deserialize the result.
+  const auto down =
+      link_.client_recv(out.response.wire_bytes(), dev_->meter);
+  extra_seconds_ += down.seconds;
+  if (out.response.result.empty()) return jvm::Value::make_void();
+  return net::deserialize_value(dev_->vm, out.response.result, /*charge=*/true);
+}
+
+jvm::Value Client::run(const std::string& cls, const std::string& method,
+                       std::span<const jvm::Value> args, Strategy strategy,
+                       InvokeReport* report) {
+  const std::int32_t mid = dev_->vm.find_method(cls, method);
+  if (mid < 0) throw Error("client: no such method " + cls + "." + method);
+  const jvm::RtMethod& m = dev_->vm.method(mid);
+  if (!m.info->potential)
+    throw Error("client: " + m.qualified_name + " is not a potential method");
+  if (stats_.size() < dev_->vm.num_methods())
+    stats_.resize(dev_->vm.num_methods());
+
+  const double e0 = dev_->meter.total();
+  const double t0 = now();
+
+  ExecMode mode;
+  bool remote_compile = false;
+  switch (strategy) {
+    case Strategy::kRemote: mode = ExecMode::kRemote; break;
+    case Strategy::kInterpret: mode = ExecMode::kInterpret; break;
+    case Strategy::kLocal1: mode = ExecMode::kLocal1; break;
+    case Strategy::kLocal2: mode = ExecMode::kLocal2; break;
+    case Strategy::kLocal3: mode = ExecMode::kLocal3; break;
+    case Strategy::kAdaptiveLocal:
+    case Strategy::kAdaptiveAdaptive: {
+      const double s = size_param(dev_->vm, *m.info, args);
+      // The decision-making itself is cheap but not free (the paper notes
+      // the overheads are "too small to highlight in the graph").
+      dev_->core.charge_class(energy::InstrClass::kLoad, 40);
+      dev_->core.charge_class(energy::InstrClass::kAluSimple, 120);
+      dev_->core.charge_class(energy::InstrClass::kAluComplex, 30);
+      dev_->core.charge_class(energy::InstrClass::kBranch, 20);
+      const Decision d =
+          decide(m, stats_[mid], s, channel_.at(now()),
+                 strategy == Strategy::kAdaptiveAdaptive);
+      mode = d.mode;
+      remote_compile = d.remote_compile;
+      break;
+    }
+  }
+
+  jvm::Value result;
+  if (mode == ExecMode::kRemote) {
+    result = exec_remote(m, args, report);
+  } else {
+    result = exec_local(m, args, mode, remote_compile, report);
+  }
+
+  if (report) {
+    report->mode = mode;
+    report->energy_j = dev_->meter.total() - e0;
+    report->seconds = now() - t0;
+  }
+  return result;
+}
+
+}  // namespace javelin::rt

@@ -1,0 +1,131 @@
+// The mobile client runtime: the paper's core contribution.
+//
+// For every invocation of a "potential method" the client's helper-method
+// logic decides *where to execute* (remotely on the server, or locally —
+// interpreted or compiled at Level 1/2/3) and, under AA, *where to compile*
+// (locally, or by downloading pre-compiled native code from the server).
+//
+// Decision inputs (Section 3.2):
+//  * the method's deploy-time energy profile (curve-fitted cost models per
+//    mode, compile energies, code sizes) stored in the class file,
+//  * EWMA predictions of the future size parameter and communication power
+//    ( s̄_k = u1 s̄_{k-1} + (1-u1) s_k,  p̄_k likewise, u1 = u2 = 0.7 ),
+//  * the invocation count k — AL "optimistically assumes the method will be
+//    executed k more times" to amortize compilation, and
+//  * the pilot-estimated channel condition (PA power class).
+//
+// Remote execution (Section 2, Fig 4): parameters are serialized and sent;
+// the client powers down (leakage = 10% of normal power) for its estimate of
+// the server time; the server queues the response if it finishes early
+// (mobile status table); an early-woken client idles at normal power until
+// the response arrives; a response missing past the timeout triggers local
+// fallback execution.
+#pragma once
+
+#include <span>
+
+#include "jit/compiler.hpp"
+#include "net/link.hpp"
+#include "rt/server.hpp"
+#include "rt/strategy.hpp"
+
+namespace javelin::rt {
+
+struct ClientConfig {
+  isa::MachineConfig machine = isa::client_machine();
+  double u1 = 0.7;  ///< EWMA weight for the size parameter.
+  double u2 = 0.7;  ///< EWMA weight for the communication power.
+  bool powerdown = true;  ///< Power down while waiting for the server.
+  double response_timeout_s = 5.0;
+  double pilot_period_s = 20e-3;
+  double server_clock_hz = 750e6;  ///< Known from the service handshake.
+  std::uint32_t client_id = 1;
+};
+
+/// Telemetry for one top-level invocation.
+struct InvokeReport {
+  ExecMode mode = ExecMode::kInterpret;
+  bool compiled_this_call = false;
+  bool remote_compile = false;
+  bool fallback_local = false;  ///< Remote attempt lost/timed out.
+  double energy_j = 0.0;        ///< Client energy for this invocation.
+  double seconds = 0.0;         ///< Wall-clock time for this invocation.
+};
+
+class Client {
+ public:
+  Client(ClientConfig cfg, Server& server, radio::ChannelProcess& channel,
+         net::Link& link);
+
+  /// Load + link the application on the client.
+  void deploy(const std::vector<jvm::ClassFile>& app);
+
+  /// Execute one invocation of a potential method under `strategy`.
+  jvm::Value run(const std::string& cls, const std::string& method,
+                 std::span<const jvm::Value> args, Strategy strategy,
+                 InvokeReport* report = nullptr);
+
+  /// Advance the wall-clock without charging energy (think time between
+  /// invocations; the channel keeps evolving meanwhile).
+  void skip_time(double seconds) { extra_seconds_ += seconds; }
+
+  /// Simulated wall-clock (CPU time + communication/wait time).
+  double now() const {
+    return dev_->cfg.seconds_for_cycles(dev_->core.cycles) + extra_seconds_;
+  }
+
+  Device& device() { return *dev_; }
+  const ClientConfig& config() const { return cfg_; }
+
+  /// Drop adaptive state and installed code (fresh application session).
+  void reset_session();
+
+  /// Scalar size parameter of a method invocation per its SizeParamSpec.
+  static double size_param(const jvm::Jvm& vm, const jvm::MethodInfo& mi,
+                           std::span<const jvm::Value> args);
+
+ private:
+  struct MethodStats {
+    std::uint64_t k = 0;    ///< Invocations so far.
+    double ewma_s = 0.0;
+    double ewma_p = 0.0;
+  };
+
+  struct Decision {
+    ExecMode mode = ExecMode::kInterpret;
+    bool remote_compile = false;  ///< For local modes under AA.
+  };
+
+  /// The helper-method logic: evaluate EI / ER / EL1..EL3 and pick the min.
+  Decision decide(const jvm::RtMethod& m, MethodStats& st, double s,
+                  radio::PowerClass channel_now, bool adaptive_compilation);
+
+  /// Estimated per-invocation remote-execution energy E''(m, s, p).
+  double remote_energy(const jvm::EnergyProfile& prof, double s,
+                       double tx_power_w) const;
+
+  /// Make sure `m` (and its compilation plan) is installed at `level`.
+  void ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
+                       InvokeReport* report);
+
+  jvm::Value exec_local(const jvm::RtMethod& m, std::span<const jvm::Value> args,
+                        ExecMode mode, bool remote_compile,
+                        InvokeReport* report);
+  jvm::Value exec_remote(const jvm::RtMethod& m,
+                         std::span<const jvm::Value> args,
+                         InvokeReport* report);
+
+  /// Charge `seconds` of idle/power-down time to the meter.
+  void charge_wait(double seconds, bool powered_down);
+
+  ClientConfig cfg_;
+  Server& server_;
+  radio::ChannelProcess& channel_;
+  radio::PilotEstimator pilot_;
+  net::Link& link_;
+  std::unique_ptr<Device> dev_;
+  double extra_seconds_ = 0.0;  ///< Non-CPU elapsed time.
+  std::vector<MethodStats> stats_;
+};
+
+}  // namespace javelin::rt

@@ -1,0 +1,42 @@
+// A simulated device: one machine configuration with its memory system,
+// energy meter, core, JVM and execution engine wired together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "jvm/classfile.hpp"
+#include "jvm/engine.hpp"
+
+namespace javelin::rt {
+
+struct Device {
+  explicit Device(isa::MachineConfig machine)
+      : cfg(std::move(machine)),
+        arena(),
+        meter(),
+        hier(cfg.icache, cfg.dcache, cfg.miss_penalty_cycles, &cfg.energy,
+             &meter),
+        core{&cfg, &arena, &hier, &meter},
+        vm(core),
+        engine(vm) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Load and link an application (a set of class files, superclasses first).
+  void deploy(const std::vector<jvm::ClassFile>& app) {
+    for (const auto& cf : app) vm.load(cf);
+    vm.link();
+  }
+
+  isa::MachineConfig cfg;
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier;
+  isa::Core core;
+  jvm::Jvm vm;
+  jvm::ExecutionEngine engine;
+};
+
+}  // namespace javelin::rt

@@ -1,0 +1,184 @@
+#include "rt/profiler.hpp"
+
+#include <algorithm>
+
+#include "net/serializer.hpp"
+#include "rt/client.hpp"
+#include "rt/device.hpp"
+#include "support/fit.hpp"
+
+namespace javelin::rt {
+
+namespace {
+
+PolyFit fit_series(const std::vector<double>& xs, std::vector<double> ys) {
+  // Pick the richest polynomial the sample count supports (degree <= 2).
+  std::size_t degree = 2;
+  if (xs.size() < 3) degree = xs.size() - 1;
+  // Degenerate x range (constant-cost method): fit a constant.
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  if (*mx - *mn < 1e-9) degree = 0;
+  if (degree == 0) {
+    double mean = 0;
+    for (double y : ys) mean += y;
+    return PolyFit{{mean / static_cast<double>(ys.size())}};
+  }
+  return fit_polynomial(xs, ys, degree);
+}
+
+/// Compile the method's plan at `level` into the engine; returns
+/// (total compile energy, total image bytes, total compile cycles).
+struct PlanCompile {
+  double energy = 0.0;
+  std::uint64_t image_bytes = 0;
+  std::uint64_t cycles = 0;
+};
+
+PlanCompile compile_plan(Device& dev, std::int32_t method_id, int level,
+                         bool install) {
+  PlanCompile out;
+  std::vector<std::int32_t> plan{method_id};
+  for (std::int32_t callee : jit::collect_callees(dev.vm, method_id))
+    plan.push_back(callee);
+  for (std::int32_t id : plan) {
+    try {
+      auto res = jit::compile_method(dev.vm, id,
+                                     jit::CompileOptions{.opt_level = level},
+                                     dev.cfg.energy);
+      out.energy += res.compile_energy;
+      out.cycles += res.compile_cycles;
+      out.image_bytes += res.program.image_bytes();
+      if (install) dev.engine.install(id, std::move(res.program), level);
+    } catch (const jit::CompileError&) {
+      // Interpreted fallback for non-compilable callees.
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void profile_application(
+    std::vector<jvm::ClassFile>& app,
+    const std::map<std::string, ProfileWorkload>& workloads,
+    std::uint64_t seed) {
+  // Measurement replicas. The client replica measures local modes; the
+  // server replica measures remote execution time.
+  Device client(isa::client_machine());
+  Device server(isa::server_machine());
+  client.core.step_limit = 200'000'000'000ULL;
+  server.core.step_limit = 200'000'000'000ULL;
+  client.deploy(app);
+  server.deploy(app);
+
+  for (jvm::ClassFile& cf : app) {
+    for (jvm::MethodInfo& mi : cf.methods) {
+      if (!mi.potential) continue;
+      const std::string key = cf.name + "." + mi.name;
+      const auto wit = workloads.find(key);
+      if (wit == workloads.end()) continue;
+      const ProfileWorkload& wl = wit->second;
+      if (wl.scales.empty())
+        throw Error("profiler: no scales for " + key);
+
+      const std::int32_t cid = client.vm.find_method(cf.name, mi.name);
+      const std::int32_t sid = server.vm.find_method(cf.name, mi.name);
+
+      std::vector<double> xs;
+      std::array<std::vector<double>, jvm::kNumLocalModes> energy_ys;
+      std::array<std::vector<double>, jvm::kNumLocalModes> cycle_ys;
+      std::vector<double> server_cycle_ys, req_ys, resp_ys;
+
+      // Server side runs Level-3 native (installed once).
+      compile_plan(server, sid, 3, /*install=*/true);
+
+      // Two measurement repetitions per scale with different random inputs:
+      // the fit then averages per-input workload variance (quicksort pivot
+      // luck, query selectivity), which is what lets the fitted curve hit
+      // the paper's ~2% accuracy.
+      constexpr std::size_t kReps = 2;
+
+      // --- local modes (compile once per level, measure at every scale) ----
+      for (std::size_t mode = 0; mode < jvm::kNumLocalModes; ++mode) {
+        client.engine.clear_code();
+        if (mode >= 1)
+          compile_plan(client, cid, static_cast<int>(mode), /*install=*/true);
+        client.engine.set_force_interpret(mode == 0);
+
+        for (std::size_t si = 0; si < wl.scales.size(); ++si) {
+          for (std::size_t rep = 0; rep < kReps; ++rep) {
+            Rng rng(seed ^ (si * 0x9e37u) ^ (rep * 0xc2b2u));
+            const std::size_t mark = client.arena.heap_mark();
+            const std::vector<jvm::Value> args =
+                wl.make_args(client.vm, wl.scales[si], rng);
+            if (mode == 0)
+              xs.push_back(Client::size_param(client.vm, mi, args));
+
+            const auto e0 = client.meter.snapshot();
+            const std::uint64_t c0 = client.core.cycles;
+            client.engine.invoke(cid, args);
+            energy_ys[mode].push_back(client.meter.since(e0).total());
+            cycle_ys[mode].push_back(
+                static_cast<double>(client.core.cycles - c0));
+
+            if (mode == 0) {
+              std::uint64_t req_bytes = 64;  // message framing
+              for (const jvm::Value& v : args)
+                req_bytes += net::serialize_value(client.vm, v,
+                                                  /*charge=*/false)
+                                 .size() +
+                             4;
+              req_ys.push_back(static_cast<double>(req_bytes));
+            }
+            client.arena.heap_release(mark);
+          }
+        }
+        client.engine.set_force_interpret(false);
+      }
+
+      // --- server execution time + response size ---------------------------
+      for (std::size_t si = 0; si < wl.scales.size(); ++si) {
+        for (std::size_t rep = 0; rep < kReps; ++rep) {
+          Rng rng(seed ^ (si * 0x9e37u) ^ (rep * 0xc2b2u));
+          const std::size_t mark = server.arena.heap_mark();
+          const std::vector<jvm::Value> args =
+              wl.make_args(server.vm, wl.scales[si], rng);
+          const std::uint64_t c0 = server.core.cycles;
+          const jvm::Value result = server.engine.invoke(sid, args);
+          server_cycle_ys.push_back(
+              static_cast<double>(server.core.cycles - c0));
+          std::uint64_t resp_bytes = 16;
+          if (result.kind != jvm::TypeKind::kVoid)
+            resp_bytes += net::serialize_value(server.vm, result,
+                                               /*charge=*/false)
+                              .size();
+          resp_ys.push_back(static_cast<double>(resp_bytes));
+          server.arena.heap_release(mark);
+        }
+      }
+
+      // --- compilation costs (constant per method/platform) ----------------
+      jvm::EnergyProfile prof;
+      for (int level = 1; level <= 3; ++level) {
+        const PlanCompile pc =
+            compile_plan(client, cid, level, /*install=*/false);
+        prof.compile_energy[level - 1] = pc.energy;
+        prof.code_size_bytes[level - 1] =
+            static_cast<std::uint32_t>(pc.image_bytes);
+      }
+
+      // --- curve fitting ---------------------------------------------------
+      for (std::size_t mode = 0; mode < jvm::kNumLocalModes; ++mode) {
+        prof.local_energy[mode] = fit_series(xs, energy_ys[mode]);
+        prof.local_cycles[mode] = fit_series(xs, cycle_ys[mode]);
+      }
+      prof.server_cycles = fit_series(xs, server_cycle_ys);
+      prof.request_bytes = fit_series(xs, req_ys);
+      prof.response_bytes = fit_series(xs, resp_ys);
+      prof.valid = true;
+      mi.profile = prof;
+    }
+  }
+}
+
+}  // namespace javelin::rt

@@ -1,0 +1,46 @@
+// Deploy-time energy profiling (paper Section 3.2).
+//
+// "The local compilation energy values are obtained by profiling; these
+//  values are then incorporated into the applications' class files as static
+//  final variables. ... We employ a curve fitting based technique to estimate
+//  the energy cost of executing a method locally."
+//
+// When an application is published on the server, each potential method is
+// measured on a client-machine replica at several workload scales in every
+// local mode (Interpreter, Local1..3), on the server replica (for the
+// power-down estimate), and through the serializer (payload sizes). Least-
+// squares polynomials of the size parameter are fitted and written into the
+// class-file EnergyProfile attribute together with the per-level compilation
+// energies and code-image sizes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "jvm/classfile.hpp"
+#include "support/rng.hpp"
+
+namespace javelin::jvm {
+class Jvm;
+}
+
+namespace javelin::rt {
+
+/// How to drive one potential method at a given scale: build its invocation
+/// arguments inside the given JVM's heap (host-side, uncharged).
+struct ProfileWorkload {
+  std::vector<double> scales;  ///< Scale knobs passed to make_args.
+  std::function<std::vector<jvm::Value>(jvm::Jvm&, double scale, Rng&)>
+      make_args;
+};
+
+/// Profile every potential method of `app` that has a workload entry
+/// (keyed "Class.method"); fills the EnergyProfile attributes in place.
+/// Deterministic for a given seed.
+void profile_application(
+    std::vector<jvm::ClassFile>& app,
+    const std::map<std::string, ProfileWorkload>& workloads,
+    std::uint64_t seed = 42);
+
+}  // namespace javelin::rt

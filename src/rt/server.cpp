@@ -1,0 +1,139 @@
+#include "rt/server.hpp"
+
+#include "net/serializer.hpp"
+
+namespace javelin::rt {
+
+Server::Server()
+    : dev_(std::make_unique<Device>(isa::server_machine())),
+      client_twin_(std::make_unique<Device>(isa::client_machine())) {}
+
+void Server::deploy(const std::vector<jvm::ClassFile>& app) {
+  dev_->deploy(app);
+  client_twin_->deploy(app);
+  // The server runs fully optimized native code (it is wall-powered; only
+  // its speed matters for the client's power-down estimate).
+  for (std::size_t id = 0; id < dev_->vm.num_methods(); ++id) {
+    try {
+      auto res = jit::compile_method(dev_->vm, static_cast<std::int32_t>(id),
+                                     jit::CompileOptions{.opt_level = 3},
+                                     dev_->cfg.energy);
+      dev_->engine.install(static_cast<std::int32_t>(id),
+                           std::move(res.program), 3);
+    } catch (const jit::CompileError&) {
+      // Non-compilable methods stay interpreted on the server too.
+    }
+  }
+}
+
+Server::ExecOutcome Server::handle_invoke(const net::InvokeRequest& req,
+                                          double arrival_time,
+                                          std::uint32_t client_id) {
+  ExecOutcome out;
+  MobileStatus& st = status_[client_id];
+  st.request_time = arrival_time;
+  st.estimated_wake = arrival_time + req.estimated_server_seconds;
+
+  const std::int32_t method_id = dev_->vm.find_method(req.cls, req.method);
+  if (method_id < 0) {
+    out.response.ok = false;
+    out.response.error = "no such method " + req.cls + "." + req.method;
+    return out;
+  }
+  const jvm::RtMethod& m = dev_->vm.method(method_id);
+  if (!m.info->potential) {
+    out.response.ok = false;
+    out.response.error = "method not annotated as potential";
+    return out;
+  }
+  if (req.args.size() != m.info->num_args()) {
+    out.response.ok = false;
+    out.response.error = "argument count mismatch";
+    return out;
+  }
+
+  // Execute inside a heap bracket so 300-execution scenarios don't exhaust
+  // the server arena.
+  const std::size_t mark = dev_->arena.heap_mark();
+  const std::uint64_t cycles_before = dev_->core.cycles;
+  try {
+    // Deserialize parameter objects into the server heap (reflection-style
+    // invocation per Fig 4). Server-side costs are charged to the server
+    // meter, which nobody reads for energy — but the cycle count matters.
+    std::vector<jvm::Value> args;
+    args.reserve(req.args.size());
+    for (std::size_t i = 0; i < req.args.size(); ++i) {
+      jvm::Value v =
+          net::deserialize_value(dev_->vm, req.args[i], /*charge=*/true);
+      // Primitive kinds arrive self-describing; refs must match.
+      args.push_back(v);
+    }
+    const jvm::Value result = dev_->engine.invoke(method_id, args);
+    if (result.kind != jvm::TypeKind::kVoid)
+      out.response.result =
+          net::serialize_value(dev_->vm, result, /*charge=*/true);
+    out.response.ok = true;
+  } catch (const Error& e) {
+    out.response.ok = false;
+    out.response.error = e.what();
+  }
+  dev_->arena.heap_release(mark);
+
+  out.compute_seconds =
+      queue_delay_ +
+      dev_->cfg.seconds_for_cycles(dev_->core.cycles - cycles_before);
+  st.response_ready = arrival_time + out.compute_seconds;
+  st.response_queued = st.response_ready < st.estimated_wake;
+  return out;
+}
+
+net::CompileResponse Server::handle_compile(const net::CompileRequest& req) {
+  const auto key = std::make_pair(req.cls + "." + req.method, req.level);
+  const auto it = compile_cache_.find(key);
+  if (it != compile_cache_.end()) return it->second;
+
+  net::CompileResponse resp;
+  resp.level = req.level;
+  const std::int32_t method_id =
+      client_twin_->vm.find_method(req.cls, req.method);
+  if (method_id < 0) {
+    resp.ok = false;
+    resp.error = "no such method " + req.cls + "." + req.method;
+    return resp;
+  }
+  try {
+    // Compile the requested method and its compilation plan for the client
+    // ABI (the twin shares the client's address layout).
+    std::vector<std::int32_t> plan{method_id};
+    for (std::int32_t callee : jit::collect_callees(client_twin_->vm, method_id))
+      plan.push_back(callee);
+    for (std::int32_t id : plan) {
+      auto res = jit::compile_method(client_twin_->vm, id,
+                                     jit::CompileOptions{.opt_level = req.level},
+                                     client_twin_->cfg.energy);
+      // The server is 7.5x faster than the client core the meter models.
+      resp.server_seconds += static_cast<double>(res.compile_cycles) /
+                             isa::server_machine().clock_hz;
+      const jvm::RtMethod& m = client_twin_->vm.method(id);
+      const jvm::RtClass& rc = client_twin_->vm.cls(m.class_id);
+      net::CompiledUnit unit;
+      unit.cls = rc.cf.name;
+      unit.method = m.info->name;
+      unit.program = std::move(res.program);
+      resp.units.push_back(std::move(unit));
+    }
+    resp.ok = true;
+  } catch (const jit::CompileError& e) {
+    resp.ok = false;
+    resp.error = e.what();
+  }
+  compile_cache_[key] = resp;
+  return resp;
+}
+
+const MobileStatus* Server::status_of(std::uint32_t client_id) const {
+  const auto it = status_.find(client_id);
+  return it == status_.end() ? nullptr : &it->second;
+}
+
+}  // namespace javelin::rt

@@ -1,0 +1,76 @@
+// The resource-rich server (paper Section 2/3).
+//
+// Runs the same application on a 750 MHz SPARC workstation:
+//  * remote method execution — deserializes the request's parameter objects
+//    into its own heap, invokes the named method via reflection-style lookup,
+//    and serializes the result back (Fig 4);
+//  * remote compilation service — compiles methods for the client
+//    architecture and ships pre-compiled native code (Section 3.3). To
+//    target the client ABI, the server keeps a "client twin": a JVM built
+//    over a separate arena with the identical class-load sequence, so static
+//    and bytecode addresses match the client's layout (the paper's "limited
+//    number of preferred client types");
+//  * the mobile status table — records each client's request time and
+//    estimated power-down interval so responses are queued until the client
+//    wakes (Section 2).
+//
+// Server energy is not metered: only the client's battery matters. Server
+// *time* matters, because it determines the client's power-down interval.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "jit/compiler.hpp"
+#include "net/protocol.hpp"
+#include "rt/device.hpp"
+
+namespace javelin::rt {
+
+/// Row of the mobile status table.
+struct MobileStatus {
+  double request_time = 0.0;        ///< When the client sent the request.
+  double estimated_wake = 0.0;      ///< When the client expects to wake.
+  double response_ready = 0.0;      ///< When the server finished computing.
+  bool response_queued = false;     ///< Queued because the client slept.
+};
+
+class Server {
+ public:
+  Server();
+
+  /// Publish the application on the server (and on the client twin used for
+  /// client-targeted compilation). Server-side code runs Level-3 native.
+  void deploy(const std::vector<jvm::ClassFile>& app);
+
+  struct ExecOutcome {
+    net::InvokeResponse response;
+    double compute_seconds = 0.0;  ///< Server-side execution time.
+  };
+
+  /// Handle a remote-invocation request arriving at `arrival_time`.
+  ExecOutcome handle_invoke(const net::InvokeRequest& req, double arrival_time,
+                            std::uint32_t client_id);
+
+  /// Handle a remote-compilation request. Returns the compiled unit bundle
+  /// (the method plus its compilation plan) targeted at the client ABI.
+  net::CompileResponse handle_compile(const net::CompileRequest& req);
+
+  const MobileStatus* status_of(std::uint32_t client_id) const;
+
+  /// Artificial extra latency before the server starts computing (models a
+  /// loaded server; used by ablation benches). Default 0.
+  void set_queue_delay(double seconds) { queue_delay_ = seconds; }
+
+  Device& device() { return *dev_; }
+
+ private:
+  std::unique_ptr<Device> dev_;          ///< The server machine.
+  std::unique_ptr<Device> client_twin_;  ///< Layout twin for client codegen.
+  std::map<std::uint32_t, MobileStatus> status_;
+  std::map<std::pair<std::string, int>, net::CompileResponse> compile_cache_;
+  double queue_delay_ = 0.0;
+};
+
+}  // namespace javelin::rt

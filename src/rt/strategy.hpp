@@ -1,0 +1,37 @@
+// Execution/compilation strategy taxonomy (paper Fig 5).
+#pragma once
+
+#include <cstdint>
+
+namespace javelin::rt {
+
+/// The seven strategies evaluated in the paper.
+enum class Strategy : std::uint8_t {
+  kRemote = 0,      ///< R:  all potential methods execute on the server.
+  kInterpret,       ///< I:  bytecode interpretation on the client.
+  kLocal1,          ///< L1: client-compiled native, no optimizations.
+  kLocal2,          ///< L2: + CSE, LICM, strength reduction, redundancy elim.
+  kLocal3,          ///< L3: + virtual method inlining.
+  kAdaptiveLocal,   ///< AL: adaptive execution, local compilation.
+  kAdaptiveAdaptive ///< AA: adaptive execution, adaptive compilation.
+};
+
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kRemote,        Strategy::kInterpret, Strategy::kLocal1,
+    Strategy::kLocal2,        Strategy::kLocal3,    Strategy::kAdaptiveLocal,
+    Strategy::kAdaptiveAdaptive};
+
+const char* strategy_name(Strategy s);
+
+/// What the helper method decides for one invocation.
+enum class ExecMode : std::uint8_t {
+  kInterpret = 0,
+  kLocal1 = 1,
+  kLocal2 = 2,
+  kLocal3 = 3,
+  kRemote = 4,
+};
+
+const char* exec_mode_name(ExecMode m);
+
+}  // namespace javelin::rt

@@ -1,0 +1,134 @@
+#include "sim/scenario.hpp"
+
+namespace javelin::sim {
+
+const char* situation_name(Situation s) {
+  switch (s) {
+    case Situation::kGoodChannelDominantSize:
+      return "(i) good channel, dominant size";
+    case Situation::kPoorChannelDominantSize:
+      return "(ii) poor channel, dominant size";
+    case Situation::kUniform:
+      return "(iii) uniform channel and size";
+  }
+  return "?";
+}
+
+std::array<double, 4> channel_weights(Situation s) {
+  switch (s) {
+    case Situation::kGoodChannelDominantSize:
+      return {0.05, 0.10, 0.15, 0.70};  // mostly Class 4 (best)
+    case Situation::kPoorChannelDominantSize:
+      return {0.55, 0.20, 0.15, 0.10};  // mostly Class 1/2 (poor)
+    case Situation::kUniform:
+      return {0.25, 0.25, 0.25, 0.25};
+  }
+  return {0.25, 0.25, 0.25, 0.25};
+}
+
+std::vector<double> scenario_scales(const apps::App& a, Situation s, Rng& rng,
+                                    int executions) {
+  std::vector<double> scales;
+  scales.reserve(static_cast<std::size_t>(executions));
+  const std::vector<double>& support = a.profile_scales;
+  // Dominant size: the middle of the profiled range.
+  const double dominant = support[support.size() / 2];
+  for (int i = 0; i < executions; ++i) {
+    switch (s) {
+      case Situation::kGoodChannelDominantSize:
+      case Situation::kPoorChannelDominantSize:
+        if (rng.next_double() < 0.8) {
+          scales.push_back(dominant);
+        } else {
+          scales.push_back(
+              support[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(support.size()) - 1))]);
+        }
+        break;
+      case Situation::kUniform:
+        scales.push_back(
+            support[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(support.size()) - 1))]);
+        break;
+    }
+  }
+  return scales;
+}
+
+ScenarioRunner::ScenarioRunner(const apps::App& app, std::uint64_t seed)
+    : app_(app), classes_(app.classes), seed_(seed) {
+  rt::profile_application(classes_,
+                          {{app_.cls + "." + app_.method, app_.workload()}},
+                          seed_ ^ 0x70f11e);
+}
+
+const jvm::EnergyProfile& ScenarioRunner::profile() const {
+  for (const auto& cf : classes_) {
+    if (cf.name != app_.cls) continue;
+    const jvm::MethodInfo* mi = cf.find_method(app_.method);
+    if (mi) return mi->profile;
+  }
+  throw Error("scenario: potential method not found");
+}
+
+StrategyResult ScenarioRunner::run_sequence(rt::Strategy strategy,
+                                            radio::ChannelProcess& channel,
+                                            const std::vector<double>& scales,
+                                            bool verify, std::uint64_t seed) {
+  rt::Server server;
+  server.deploy(classes_);
+  net::Link link(radio::CommModel{}, seed ^ 0x11777);
+  rt::Client client(client_config, server, channel, link);
+  client.deploy(classes_);
+  client.device().core.step_limit = 500'000'000'000ULL;
+
+  StrategyResult out;
+  Rng workload_rng(seed ^ 0xA0B1C2D3);
+  Rng gap_rng(seed ^ 0x5e5e5e);
+
+  for (double scale : scales) {
+    client.skip_time(gap_rng.uniform_real(0.2, 2.0) * think_time_s * 2.0);
+    const std::size_t mark = client.device().arena.heap_mark();
+    const auto args = app_.make_args(client.device().vm, scale, workload_rng);
+    rt::InvokeReport report;
+    const jvm::Value result =
+        client.run(app_.cls, app_.method, args, strategy, &report);
+    if (verify &&
+        !app_.check(client.device().vm, args, client.device().vm, result))
+      out.all_correct = false;
+    out.total_energy_j += report.energy_j;
+    out.total_seconds += report.seconds;
+    ++out.mode_counts[report.mode];
+    if (report.compiled_this_call) ++out.compiles;
+    if (report.remote_compile) ++out.remote_compiles;
+    if (report.fallback_local) ++out.fallbacks;
+    ++out.executions;
+    client.device().arena.heap_release(mark);
+  }
+  out.computation_j = client.device().meter.computation();
+  out.communication_j = client.device().meter.communication();
+  out.idle_j = client.device().meter.of(energy::Subsystem::kIdle);
+  out.dram_j = client.device().meter.of(energy::Subsystem::kDram);
+  return out;
+}
+
+StrategyResult ScenarioRunner::run(rt::Strategy strategy, Situation situation,
+                                   int executions, bool verify) {
+  Rng rng(seed_ ^ (static_cast<std::uint64_t>(situation) * 0x9e3779b9));
+  const std::vector<double> scales =
+      scenario_scales(app_, situation, rng, executions);
+  radio::IidChannel channel(channel_weights(situation), /*dwell=*/0.25,
+                            seed_ ^ 0xc4a77e1);
+  return run_sequence(strategy, channel, scales, verify,
+                      seed_ ^ (static_cast<std::uint64_t>(situation) << 8));
+}
+
+StrategyResult ScenarioRunner::run_single(rt::Strategy strategy, double scale,
+                                          radio::PowerClass channel_class,
+                                          bool verify) {
+  radio::FixedChannel channel(channel_class);
+  return run_sequence(strategy, channel, {scale}, verify,
+                      seed_ ^ (static_cast<std::uint64_t>(channel_class) << 16));
+}
+
+}  // namespace javelin::sim

@@ -1,0 +1,95 @@
+// Scenario machinery for reproducing the paper's evaluation.
+//
+// Section 3.2: "Each benchmark is executed by choosing three different
+// situations having different channel condition and input distribution ...
+// (i) the channel condition is predominantly good and one input size
+// dominates; (ii) the channel condition is predominantly poor and one input
+// size dominates; and (iii) both channel condition and size parameters are
+// uniformly distributed. ... For each scenario, an application is executed
+// 300 times with inputs and channel conditions selected to meet the required
+// distribution."
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "apps/app.hpp"
+#include "net/link.hpp"
+#include "rt/client.hpp"
+
+namespace javelin::sim {
+
+enum class Situation {
+  kGoodChannelDominantSize = 0,  ///< (i)
+  kPoorChannelDominantSize,      ///< (ii)
+  kUniform,                      ///< (iii)
+};
+
+const char* situation_name(Situation s);
+
+/// Per-class channel weights for a situation.
+std::array<double, 4> channel_weights(Situation s);
+
+/// Aggregate result of executing one app n times under one strategy.
+struct StrategyResult {
+  double total_energy_j = 0.0;
+  double total_seconds = 0.0;
+  double computation_j = 0.0;
+  double communication_j = 0.0;
+  double idle_j = 0.0;
+  double dram_j = 0.0;
+  std::map<rt::ExecMode, int> mode_counts;
+  int compiles = 0;
+  int remote_compiles = 0;
+  int fallbacks = 0;
+  int executions = 0;
+  bool all_correct = true;
+};
+
+/// Runs one benchmark app under the paper's scenarios. Profiles the app at
+/// construction (deploy-time profiling, Section 3.2).
+class ScenarioRunner {
+ public:
+  ScenarioRunner(const apps::App& app, std::uint64_t seed = 20030422);
+
+  /// Run `executions` invocations under `situation` with a fresh client and
+  /// server. Inputs/channels are drawn deterministically from the seed, so
+  /// every strategy sees the same workload sequence.
+  StrategyResult run(rt::Strategy strategy, Situation situation,
+                     int executions = 300, bool verify = true);
+
+  /// Fig 6-style single execution at a fixed scale under a fixed channel.
+  /// Includes compilation energy (as the paper's Fig 6 does).
+  StrategyResult run_single(rt::Strategy strategy, double scale,
+                            radio::PowerClass channel_class,
+                            bool verify = true);
+
+  const apps::App& app() const { return app_; }
+  const std::vector<jvm::ClassFile>& profiled_classes() const {
+    return classes_;
+  }
+  /// The deploy-time profile of the app's potential method.
+  const jvm::EnergyProfile& profile() const;
+
+  /// Configuration hooks applied to every client the runner creates.
+  rt::ClientConfig client_config;
+  /// Mean inter-invocation think time (seconds, not energy-charged).
+  double think_time_s = 0.5;
+
+ private:
+  StrategyResult run_sequence(rt::Strategy strategy,
+                              radio::ChannelProcess& channel,
+                              const std::vector<double>& scales, bool verify,
+                              std::uint64_t seed);
+
+  apps::App app_;
+  std::vector<jvm::ClassFile> classes_;  ///< Profiled class files.
+  std::uint64_t seed_;
+};
+
+/// The size-parameter distribution support for a situation: the app's
+/// profile scales (+ the Fig 6 large scale for the uniform case).
+std::vector<double> scenario_scales(const apps::App& a, Situation s, Rng& rng,
+                                    int executions);
+
+}  // namespace javelin::sim

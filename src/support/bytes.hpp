@@ -1,0 +1,85 @@
+// Little-endian byte stream reader/writer.
+//
+// Shared by the class-file binary format and the wire serializer so both
+// layers agree on encoding and both can report exact byte counts (the byte
+// count is what the radio model charges for).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace javelin {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void bytes(const void* p, std::size_t n) { raw(p, n); }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() { return buf_[need(1)]; }
+  std::uint16_t u16() { return read<std::uint16_t>(); }
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::int32_t i32() { return read<std::int32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  double f64() { return read<double>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    const std::size_t at = need(n);
+    return std::string(reinterpret_cast<const char*>(buf_.data() + at), n);
+  }
+  void bytes(void* p, std::size_t n) {
+    const std::size_t at = need(n);
+    std::memcpy(p, buf_.data() + at, n);
+  }
+
+  bool at_end() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T read() {
+    const std::size_t at = need(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + at, sizeof(T));
+    return v;
+  }
+  std::size_t need(std::size_t n) {
+    if (pos_ + n > buf_.size()) throw FormatError("byte stream underflow");
+    const std::size_t at = pos_;
+    pos_ += n;
+    return at;
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace javelin

@@ -1,0 +1,38 @@
+// Error type shared by all Javelin modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace javelin {
+
+/// Base exception for all errors raised by the Javelin libraries.
+///
+/// Errors that indicate malformed inputs (bad class files, verifier
+/// rejections, protocol violations) derive from this type so callers can
+/// distinguish "your input is bad" from genuine logic bugs (assert/abort).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a class file fails structural or type verification.
+class VerifyError : public Error {
+ public:
+  explicit VerifyError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed serialized data (class files, wire messages).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the virtual machine for runtime faults in guest programs
+/// (null dereference, array bounds, division by zero, stack overflow).
+class VmError : public Error {
+ public:
+  explicit VmError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace javelin

@@ -1,0 +1,91 @@
+#include "support/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/error.hpp"
+
+namespace javelin {
+
+double PolyFit::eval(double x) const {
+  // Horner's rule.
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n) {
+  if (a.size() != n * n || b.size() != n)
+    throw std::invalid_argument("solve_linear: dimension mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    if (std::fabs(a[pivot * n + col]) < 1e-12)
+      throw Error("solve_linear: singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) acc -= a[row * n + c] * x[c];
+    x[row] = acc / a[row * n + row];
+  }
+  return x;
+}
+
+PolyFit fit_polynomial(const std::vector<double>& xs,
+                       const std::vector<double>& ys, std::size_t degree) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("fit_polynomial: size mismatch");
+  const std::size_t n = degree + 1;
+  if (xs.size() < n)
+    throw std::invalid_argument("fit_polynomial: not enough samples");
+
+  // Normal equations: (X^T X) c = X^T y with X the Vandermonde matrix.
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    // powers[i] = xs[k]^i
+    std::vector<double> powers(2 * n - 1, 1.0);
+    for (std::size_t i = 1; i < powers.size(); ++i) powers[i] = powers[i - 1] * xs[k];
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) xtx[r * n + c] += powers[r + c];
+      xty[r] += powers[r] * ys[k];
+    }
+  }
+  PolyFit fit;
+  fit.coeffs = solve_linear(std::move(xtx), std::move(xty), n);
+  return fit;
+}
+
+double r_squared(const PolyFit& fit, const std::vector<double>& xs,
+                 const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("r_squared: bad samples");
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - fit.eval(xs[i]);
+    ss_res += e * e;
+    const double d = ys[i] - mean;
+    ss_tot += d * d;
+  }
+  if (ss_tot == 0.0) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace javelin

@@ -1,0 +1,37 @@
+// Least-squares curve fitting.
+//
+// The paper estimates a method's local-execution and remote-execution energy
+// as a function of its "size parameter" using curve fitting (Section 3.2,
+// accuracy within 2%). We implement ordinary least squares over a polynomial
+// basis; the runtime fits degree-2 polynomials of the size parameter, which
+// covers the linear and quadratic kernels in the benchmark suite.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace javelin {
+
+/// Coefficients c[0] + c[1]*x + ... + c[d]*x^d.
+struct PolyFit {
+  std::vector<double> coeffs;
+
+  double eval(double x) const;
+};
+
+/// Fit a polynomial of the given degree to (x, y) samples by ordinary least
+/// squares (normal equations, Gaussian elimination with partial pivoting).
+/// Requires xs.size() == ys.size() and xs.size() >= degree + 1.
+PolyFit fit_polynomial(const std::vector<double>& xs,
+                       const std::vector<double>& ys, std::size_t degree);
+
+/// Solve the dense linear system A x = b in place. A is row-major n x n.
+/// Throws javelin::Error on (numerically) singular systems.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n);
+
+/// Coefficient of determination (R^2) of a fit against samples.
+double r_squared(const PolyFit& fit, const std::vector<double>& xs,
+                 const std::vector<double>& ys);
+
+}  // namespace javelin

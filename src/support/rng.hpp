@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the simulator (channel processes, workload
+// generators, scenario input distributions) draw from this generator so
+// experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace javelin {
+
+/// xoshiro256** PRNG seeded through SplitMix64.
+///
+/// Small, fast, and with well-understood statistical quality; we avoid
+/// std::mt19937 so that streams are identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Sample an index from a discrete distribution given non-negative
+  /// weights (need not be normalized). Requires at least one positive
+  /// weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Derive an independent child stream (for per-component generators).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace javelin

@@ -1,0 +1,65 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace javelin {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::size_t total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(total);
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          static_cast<double>(total);
+  n_ = total;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("geomean: empty sample");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: non-positive sample");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace javelin

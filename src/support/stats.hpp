@@ -1,0 +1,41 @@
+// Streaming statistics used by the benchmark harnesses and tests.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace javelin {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample (nearest-rank). Sorts a copy; fine for bench sizes.
+double percentile(std::vector<double> xs, double p);
+
+/// Geometric mean of strictly positive samples.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace javelin

@@ -1,0 +1,32 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's figures/tables as an
+// aligned ASCII table so its output can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace javelin {
+
+/// Column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with box-drawing separators.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace javelin

@@ -1,0 +1,28 @@
+// Unit conventions shared across the simulator.
+//
+// All energies are joules, powers are watts, times are seconds, data sizes
+// are bits unless a name says otherwise. Helpers below make the literals in
+// configuration tables read like the paper's figures.
+#pragma once
+
+namespace javelin {
+
+constexpr double kNano = 1e-9;
+constexpr double kMicro = 1e-6;
+constexpr double kMilli = 1e-3;
+constexpr double kMega = 1e6;
+
+/// nanojoules -> joules
+constexpr double nJ(double v) { return v * kNano; }
+/// millijoules -> joules
+constexpr double mJ(double v) { return v * kMilli; }
+/// milliwatts -> watts
+constexpr double mW(double v) { return v * kMilli; }
+/// megahertz -> hertz
+constexpr double MHz(double v) { return v * kMega; }
+/// megabits/second -> bits/second
+constexpr double Mbps(double v) { return v * kMega; }
+
+constexpr double kBitsPerByte = 8.0;
+
+}  // namespace javelin

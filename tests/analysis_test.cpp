@@ -1,0 +1,170 @@
+// Unit tests for the JIT's CFG analyses on hand-built graphs: reverse
+// postorder, dominators, natural loops and liveness.
+#include <gtest/gtest.h>
+
+#include "jit/analysis.hpp"
+
+namespace javelin::jit {
+namespace {
+
+IInstr jmp(std::int32_t target) {
+  IInstr in;
+  in.op = IOp::kJmp;
+  in.imm = target;
+  return in;
+}
+
+IInstr br(std::int32_t target, std::int32_t a, std::int32_t b) {
+  IInstr in;
+  in.op = IOp::kBrEq;
+  in.a = a;
+  in.b = b;
+  in.imm = target;
+  return in;
+}
+
+IInstr ret() {
+  IInstr in;
+  in.op = IOp::kRet;
+  return in;
+}
+
+IInstr def(std::int32_t d, std::int32_t imm = 0) {
+  IInstr in;
+  in.op = IOp::kConstI;
+  in.d = d;
+  in.imm = imm;
+  return in;
+}
+
+IInstr add(std::int32_t d, std::int32_t a, std::int32_t b) {
+  IInstr in;
+  in.op = IOp::kIAdd;
+  in.d = d;
+  in.a = a;
+  in.b = b;
+  return in;
+}
+
+/// Diamond: 0 -> {1, 2} -> 3.
+Function diamond() {
+  Function f;
+  for (int i = 0; i < 6; ++i) f.new_vreg(TypeKind::kInt);
+  f.blocks.resize(4);
+  f.blocks[0].instrs = {def(0), def(1), br(2, 0, 1)};
+  f.blocks[0].succs = {2, 1};
+  f.blocks[1].instrs = {def(2, 10), jmp(3)};
+  f.blocks[1].succs = {3};
+  f.blocks[2].instrs = {def(2, 20), jmp(3)};
+  f.blocks[2].succs = {3};
+  f.blocks[3].instrs = {add(3, 2, 0), ret()};
+  f.recompute_preds();
+  return f;
+}
+
+/// Loop: 0 -> 1 (header) -> 2 (body) -> 1; 1 -> 3 (exit).
+Function loop() {
+  Function f;
+  for (int i = 0; i < 8; ++i) f.new_vreg(TypeKind::kInt);
+  f.blocks.resize(4);
+  f.blocks[0].instrs = {def(0), def(1, 100), jmp(1)};
+  f.blocks[0].succs = {1};
+  f.blocks[1].instrs = {br(3, 0, 1)};
+  f.blocks[1].succs = {3, 2};
+  f.blocks[2].instrs = {add(0, 0, 1), jmp(1)};
+  f.blocks[2].succs = {1};
+  f.blocks[3].instrs = {ret()};
+  f.recompute_preds();
+  return f;
+}
+
+TEST(Analysis, RpoVisitsEveryReachableBlockOnce) {
+  Function f = diamond();
+  CompileMeter m;
+  const Analysis a = analyze(f, m);
+  EXPECT_EQ(a.rpo.size(), 4u);
+  EXPECT_EQ(a.rpo.front(), 0);
+  // Every block appears exactly once.
+  std::vector<int> seen(4, 0);
+  for (std::int32_t b : a.rpo) ++seen[b];
+  for (int s : seen) EXPECT_EQ(s, 1);
+  // RPO property: 3 comes after both 1 and 2.
+  EXPECT_GT(a.rpo_index[3], a.rpo_index[1]);
+  EXPECT_GT(a.rpo_index[3], a.rpo_index[2]);
+}
+
+TEST(Analysis, DominatorsOfDiamond) {
+  Function f = diamond();
+  CompileMeter m;
+  const Analysis a = analyze(f, m);
+  EXPECT_EQ(a.idom[0], -1);
+  EXPECT_EQ(a.idom[1], 0);
+  EXPECT_EQ(a.idom[2], 0);
+  EXPECT_EQ(a.idom[3], 0);  // join dominated by the split, not a branch arm
+  EXPECT_TRUE(a.dominates(0, 3));
+  EXPECT_FALSE(a.dominates(1, 3));
+  EXPECT_TRUE(a.dominates(3, 3));
+}
+
+TEST(Analysis, UnreachableBlocksExcluded) {
+  Function f = diamond();
+  f.blocks.push_back(Block{{ret()}, {}, {}});  // unreachable block 4
+  f.recompute_preds();
+  CompileMeter m;
+  const Analysis a = analyze(f, m);
+  EXPECT_FALSE(a.reachable(4));
+  EXPECT_EQ(a.rpo.size(), 4u);
+}
+
+TEST(Analysis, NaturalLoopDetection) {
+  Function f = loop();
+  CompileMeter m;
+  const Analysis a = analyze(f, m);
+  const auto loops = find_loops(f, a, m);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].header, 1);
+  EXPECT_TRUE(loops[0].contains(1));
+  EXPECT_TRUE(loops[0].contains(2));
+  EXPECT_FALSE(loops[0].contains(0));
+  EXPECT_FALSE(loops[0].contains(3));
+}
+
+TEST(Analysis, NoLoopsInDiamond) {
+  Function f = diamond();
+  CompileMeter m;
+  const Analysis a = analyze(f, m);
+  EXPECT_TRUE(find_loops(f, a, m).empty());
+}
+
+TEST(Analysis, LivenessAcrossLoop) {
+  Function f = loop();
+  CompileMeter m;
+  const Liveness lv = compute_liveness(f, m);
+  // v0 (induction) and v1 (bound) are live around the whole loop.
+  EXPECT_TRUE(lv.live_out(0, 0));
+  EXPECT_TRUE(lv.live_in(1, 0));
+  EXPECT_TRUE(lv.live_out(2, 0));  // live across the back edge
+  EXPECT_TRUE(lv.live_in(2, 1));
+  // Nothing is live into the entry.
+  EXPECT_FALSE(lv.live_in(0, 0));
+  // Nothing is live out of the exit block.
+  EXPECT_FALSE(lv.live_out(3, 0));
+}
+
+TEST(Analysis, LivenessDiamondJoin) {
+  Function f = diamond();
+  CompileMeter m;
+  const Liveness lv = compute_liveness(f, m);
+  // v2 is defined in both arms and used at the join: live out of arms,
+  // live into the join.
+  EXPECT_TRUE(lv.live_out(1, 2));
+  EXPECT_TRUE(lv.live_out(2, 2));
+  EXPECT_TRUE(lv.live_in(3, 2));
+  // v2 is NOT live into the arms (defined there).
+  EXPECT_FALSE(lv.live_in(1, 2));
+  // v1 is dead after block 0's branch.
+  EXPECT_FALSE(lv.live_in(3, 1));
+}
+
+}  // namespace
+}  // namespace javelin::jit

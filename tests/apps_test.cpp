@@ -1,0 +1,122 @@
+// Correctness of the eight benchmarks on every execution path: interpreted,
+// JIT-compiled at Levels 1-3 (whole compilation plan), and remotely executed
+// through the serializer + server. Every result is checked against the C++
+// golden model. This is the broadest property suite in the repository: any
+// miscompilation, interpreter bug or serializer defect fails here.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "jit/compiler.hpp"
+#include "net/link.hpp"
+#include "rt/client.hpp"
+#include "rt/profiler.hpp"
+
+namespace javelin {
+namespace {
+
+using apps::App;
+
+struct ModeCase {
+  std::string app;
+  int level;  // -1 = interp, 1..3 = JIT level
+};
+
+std::string case_name(const testing::TestParamInfo<ModeCase>& info) {
+  return info.param.app +
+         (info.param.level < 0 ? "_interp"
+                               : "_L" + std::to_string(info.param.level));
+}
+
+class AppExecution : public testing::TestWithParam<ModeCase> {};
+
+TEST_P(AppExecution, MatchesGolden) {
+  const ModeCase& mc = GetParam();
+  const App& a = apps::app(mc.app);
+
+  rt::Device dev(isa::client_machine());
+  dev.core.step_limit = 100'000'000'000ULL;
+  dev.deploy(a.classes);
+  const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+  ASSERT_GE(mid, 0);
+
+  if (mc.level > 0) {
+    std::vector<std::int32_t> plan{mid};
+    for (std::int32_t callee : jit::collect_callees(dev.vm, mid))
+      plan.push_back(callee);
+    for (std::int32_t id : plan) {
+      auto res = jit::compile_method(dev.vm, id,
+                                     jit::CompileOptions{.opt_level = mc.level},
+                                     dev.cfg.energy);
+      dev.engine.install(id, std::move(res.program), mc.level);
+    }
+  } else {
+    dev.engine.set_force_interpret(true);
+  }
+
+  // Two scales, two seeds each.
+  Rng rng(0xfeed1234 + mc.level * 7);
+  for (double scale : {a.profile_scales.front(), a.profile_scales.back()}) {
+    for (int rep = 0; rep < 2; ++rep) {
+      const std::size_t mark = dev.arena.heap_mark();
+      const auto args = a.make_args(dev.vm, scale, rng);
+      const jvm::Value result = dev.engine.invoke(mid, args);
+      EXPECT_TRUE(a.check(dev.vm, args, dev.vm, result))
+          << a.name << " scale=" << scale << " rep=" << rep;
+      dev.arena.heap_release(mark);
+    }
+  }
+}
+
+std::vector<ModeCase> all_cases() {
+  std::vector<ModeCase> cases;
+  for (const App& a : apps::registry())
+    for (int level : {-1, 1, 2, 3}) cases.push_back({a.name, level});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppExecution, testing::ValuesIn(all_cases()),
+                         case_name);
+
+// Remote execution: args serialized to the server, executed there, result
+// deserialized back into the client heap — still must match golden.
+class AppRemote : public testing::TestWithParam<std::string> {};
+
+TEST_P(AppRemote, RemoteMatchesGolden) {
+  const App& a = apps::app(GetParam());
+
+  // Profile (required by Client for the server-time estimate formulation).
+  auto classes = a.classes;
+  rt::profile_application(classes, {{a.cls + "." + a.method, a.workload()}});
+
+  rt::Server server;
+  server.deploy(classes);
+  radio::FixedChannel channel(radio::PowerClass::kClass4);
+  net::Link link;
+  rt::Client client(rt::ClientConfig{}, server, channel, link);
+  client.deploy(classes);
+  client.device().core.step_limit = 100'000'000'000ULL;
+
+  Rng rng(0xabc);
+  const std::size_t mark = client.device().arena.heap_mark();
+  const auto args =
+      a.make_args(client.device().vm, a.profile_scales.back(), rng);
+  rt::InvokeReport report;
+  const jvm::Value result =
+      client.run(a.cls, a.method, args, rt::Strategy::kRemote, &report);
+  EXPECT_EQ(report.mode, rt::ExecMode::kRemote);
+  EXPECT_TRUE(a.check(client.device().vm, args, client.device().vm, result));
+  EXPECT_GT(client.device().meter.communication(), 0.0);
+  client.device().arena.heap_release(mark);
+}
+
+std::vector<std::string> app_names() {
+  std::vector<std::string> names;
+  for (const App& a : apps::registry()) names.push_back(a.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppRemote, testing::ValuesIn(app_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace javelin

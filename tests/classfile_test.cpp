@@ -1,0 +1,128 @@
+// Unit tests for the class-file model and its binary format.
+#include <gtest/gtest.h>
+
+#include "jvm/builder.hpp"
+#include "jvm/classfile.hpp"
+
+namespace javelin::jvm {
+namespace {
+
+TEST(ConstantPool, InterningDeduplicates) {
+  ConstantPool pool;
+  EXPECT_EQ(pool.add_double(1.5), 0);
+  EXPECT_EQ(pool.add_double(2.5), 1);
+  EXPECT_EQ(pool.add_double(1.5), 0);
+  EXPECT_EQ(pool.add_method("A", "m"), 0);
+  EXPECT_EQ(pool.add_method("A", "n"), 1);
+  EXPECT_EQ(pool.add_method("A", "m"), 0);
+  EXPECT_EQ(pool.add_field("A", "f"), 0);
+  EXPECT_EQ(pool.add_field("B", "f"), 1);
+  EXPECT_EQ(pool.add_class("A"), 0);
+  EXPECT_EQ(pool.add_class("A"), 0);
+}
+
+ClassFile sample_class() {
+  ClassBuilder cb("Sample");
+  cb.field("x", TypeKind::kInt);
+  cb.field("d", TypeKind::kDouble);
+  cb.field("counter", TypeKind::kInt, /*is_static=*/true);
+  auto& m = cb.method("twice", Signature{{TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "v");
+  m.iload("v").iconst(2).imul().iret();
+  m.potential(SizeParamSpec{{{0, false}}});
+  auto& g =
+      cb.method("pi_ish", Signature{{}, TypeKind::kDouble});
+  g.dconst(3.14159).dret();
+  return cb.build();
+}
+
+TEST(ClassFile, BinaryRoundTrip) {
+  ClassFile cf = sample_class();
+  // Attach a synthetic profile to check attribute round-tripping.
+  MethodInfo* m = cf.find_method("twice");
+  ASSERT_NE(m, nullptr);
+  m->profile.valid = true;
+  m->profile.local_energy[0] = PolyFit{{1.0, 2.0, 3.0}};
+  m->profile.local_energy[1] = PolyFit{{0.5}};
+  m->profile.server_cycles = PolyFit{{10.0, 0.25}};
+  m->profile.request_bytes = PolyFit{{64.0}};
+  m->profile.response_bytes = PolyFit{{16.0}};
+  m->profile.compile_energy = {1e-3, 2e-3, 3e-3};
+  m->profile.code_size_bytes = {100, 200, 300};
+
+  const auto bytes = serialize_class(cf);
+  const ClassFile back = deserialize_class(bytes);
+
+  EXPECT_EQ(back.name, "Sample");
+  ASSERT_EQ(back.fields.size(), 3u);
+  EXPECT_EQ(back.fields[1].kind, TypeKind::kDouble);
+  EXPECT_TRUE(back.fields[2].is_static);
+  ASSERT_EQ(back.methods.size(), 2u);
+  const MethodInfo* bm = back.find_method("twice");
+  ASSERT_NE(bm, nullptr);
+  EXPECT_EQ(bm->sig.to_string(), "(I)I");
+  EXPECT_EQ(bm->code, cf.find_method("twice")->code);
+  EXPECT_EQ(bm->max_stack, cf.find_method("twice")->max_stack);
+  EXPECT_TRUE(bm->potential);
+  ASSERT_EQ(bm->size_param.factors.size(), 1u);
+  EXPECT_EQ(bm->size_param.factors[0].arg_index, 0);
+  ASSERT_TRUE(bm->profile.valid);
+  EXPECT_EQ(bm->profile.local_energy[0].coeffs,
+            (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(bm->profile.code_size_bytes[2], 300u);
+  EXPECT_DOUBLE_EQ(bm->profile.compile_energy[1], 2e-3);
+
+  // Round-trip is a fixed point.
+  EXPECT_EQ(serialize_class(back), bytes);
+}
+
+TEST(ClassFile, RejectsBadMagicAndTruncation) {
+  ClassFile cf = sample_class();
+  auto bytes = serialize_class(cf);
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_THROW(deserialize_class(bad), FormatError);
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(deserialize_class(truncated), FormatError);
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(deserialize_class(trailing), FormatError);
+}
+
+TEST(MethodInfo, ArgKindsIncludeReceiver) {
+  ClassBuilder cb("C");
+  auto& m = cb.method("inst", Signature{{TypeKind::kInt}, TypeKind::kVoid},
+                      /*is_static=*/false);
+  m.ret();
+  ClassFile cf = cb.build();
+  const MethodInfo* mi = cf.find_method("inst");
+  EXPECT_EQ(mi->num_args(), 2u);
+  EXPECT_EQ(mi->arg_kind(0), TypeKind::kRef);
+  EXPECT_EQ(mi->arg_kind(1), TypeKind::kInt);
+}
+
+TEST(Builder, RejectsUnboundLabel) {
+  ClassBuilder cb("C");
+  auto& m = cb.method("f", Signature{{}, TypeKind::kVoid});
+  auto l = m.new_label();
+  m.goto_(l);
+  EXPECT_THROW(cb.build(), Error);
+}
+
+TEST(Builder, RejectsUndeclaredLocalRead) {
+  ClassBuilder cb("C");
+  auto& m = cb.method("f", Signature{{}, TypeKind::kInt});
+  EXPECT_THROW(m.iload("nope"), Error);
+}
+
+TEST(Builder, MaxStackComputed) {
+  ClassBuilder cb("C");
+  auto& m = cb.method("f", Signature{{}, TypeKind::kInt});
+  m.iconst(1).iconst(2).iconst(3).iadd().iadd().iret();
+  ClassFile cf = cb.build();
+  EXPECT_EQ(cf.find_method("f")->max_stack, 3);
+}
+
+}  // namespace
+}  // namespace javelin::jvm

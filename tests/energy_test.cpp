@@ -1,0 +1,76 @@
+// Unit tests for the energy model — including that the Fig 1 table of the
+// paper is encoded exactly.
+#include <gtest/gtest.h>
+
+#include "energy/energy.hpp"
+
+namespace javelin::energy {
+namespace {
+
+TEST(InstructionEnergyTable, MatchesPaperFig1) {
+  const InstructionEnergyTable t;
+  EXPECT_DOUBLE_EQ(t.of(InstrClass::kLoad), 4.814e-9);
+  EXPECT_DOUBLE_EQ(t.of(InstrClass::kStore), 4.479e-9);
+  EXPECT_DOUBLE_EQ(t.of(InstrClass::kBranch), 2.868e-9);
+  EXPECT_DOUBLE_EQ(t.of(InstrClass::kAluSimple), 2.846e-9);
+  EXPECT_DOUBLE_EQ(t.of(InstrClass::kAluComplex), 3.726e-9);
+  EXPECT_DOUBLE_EQ(t.of(InstrClass::kNop), 2.644e-9);
+  EXPECT_DOUBLE_EQ(t.main_memory, 4.94e-9);
+}
+
+TEST(InstrCounts, TotalsAndEnergy) {
+  const InstructionEnergyTable t;
+  InstrCounts c;
+  c.add(InstrClass::kLoad, 10);
+  c.add(InstrClass::kAluSimple, 5);
+  EXPECT_EQ(c.total(), 15u);
+  EXPECT_DOUBLE_EQ(c.energy(t), 10 * 4.814e-9 + 5 * 2.846e-9);
+  InstrCounts d;
+  d.add(InstrClass::kLoad, 1);
+  c += d;
+  EXPECT_EQ(c.of(InstrClass::kLoad), 11u);
+}
+
+TEST(EnergyMeter, SubsystemBreakdown) {
+  const InstructionEnergyTable t;
+  EnergyMeter m;
+  m.add_instr(InstrClass::kLoad, t);
+  m.add_instr(InstrClass::kStore, t);
+  m.add_dram_accesses(3, t);
+  m.add(Subsystem::kCommTx, 1e-3);
+  m.add(Subsystem::kCommRx, 2e-3);
+  m.add(Subsystem::kIdle, 5e-4);
+
+  EXPECT_DOUBLE_EQ(m.of(Subsystem::kCore), 4.814e-9 + 4.479e-9);
+  EXPECT_DOUBLE_EQ(m.of(Subsystem::kDram), 3 * 4.94e-9);
+  EXPECT_DOUBLE_EQ(m.communication(), 3e-3);
+  EXPECT_DOUBLE_EQ(m.computation(), m.of(Subsystem::kCore) + m.of(Subsystem::kDram));
+  EXPECT_NEAR(m.total(), 3e-3 + 5e-4 + m.computation(), 1e-18);
+  EXPECT_EQ(m.counts().total(), 2u);
+  EXPECT_EQ(m.dram_accesses(), 3u);
+}
+
+TEST(EnergyMeter, SnapshotDelta) {
+  const InstructionEnergyTable t;
+  EnergyMeter m;
+  m.add_instr(InstrClass::kLoad, t);
+  const EnergyMeter snap = m.snapshot();
+  m.add_instr(InstrClass::kBranch, t);
+  m.add(Subsystem::kCommTx, 1e-3);
+  const EnergyMeter d = m.since(snap);
+  EXPECT_DOUBLE_EQ(d.of(Subsystem::kCore), 2.868e-9);
+  EXPECT_DOUBLE_EQ(d.of(Subsystem::kCommTx), 1e-3);
+  EXPECT_EQ(d.counts().of(InstrClass::kLoad), 0u);
+  EXPECT_EQ(d.counts().of(InstrClass::kBranch), 1u);
+}
+
+TEST(EnergyMeter, SummaryMentionsSubsystems) {
+  EnergyMeter m;
+  m.add(Subsystem::kIdle, 1e-3);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("idle"), std::string::npos);
+  EXPECT_NE(s.find("comm_tx"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace javelin::energy

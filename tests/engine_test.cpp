@@ -1,0 +1,164 @@
+// Execution-engine tests: mixed-mode dispatch plumbing, force-interpret,
+// code installation/clearing, and the native calling convention through the
+// runtime bridge (deep call chains, many arguments, FP/ref mixes).
+#include <gtest/gtest.h>
+
+#include "jit/compiler.hpp"
+#include "jvm/builder.hpp"
+#include "jvm/engine.hpp"
+
+namespace javelin::jvm {
+namespace {
+
+struct Rig {
+  isa::MachineConfig cfg = isa::client_machine();
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier{cfg.icache, cfg.dcache, cfg.miss_penalty_cycles,
+                            &cfg.energy, &meter};
+  isa::Core core{&cfg, &arena, &hier, &meter};
+  Jvm vm{core};
+  ExecutionEngine engine{vm};
+
+  void install(std::int32_t mid, int level) {
+    auto res = jit::compile_method(vm, mid,
+                                   jit::CompileOptions{.opt_level = level},
+                                   cfg.energy);
+    engine.install(mid, std::move(res.program), level);
+  }
+};
+
+ClassFile chain_class() {
+  // f3(x) = f2(x)+1, f2(x) = f1(x)+1, f1(x) = 2x — a three-deep call chain.
+  ClassBuilder cb("Chain");
+  {
+    auto& m = cb.method("f1", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "x");
+    m.iload("x").iconst(2).imul().iret();
+  }
+  {
+    auto& m = cb.method("f2", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "x");
+    m.iload("x").invokestatic("Chain", "f1").iconst(1).iadd().iret();
+  }
+  {
+    auto& m = cb.method("f3", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "x");
+    m.iload("x").invokestatic("Chain", "f2").iconst(1).iadd().iret();
+  }
+  return cb.build();
+}
+
+TEST(Engine, ForceInterpretIgnoresInstalledCode) {
+  Rig rig;
+  rig.vm.load(chain_class());
+  rig.vm.link();
+  const std::int32_t f1 = rig.vm.find_method("Chain", "f1");
+  rig.install(f1, 2);
+  EXPECT_EQ(rig.engine.compiled_level(f1), 2);
+
+  // Both paths agree, and force-interpret really interprets (it executes
+  // many more native-equivalent instructions).
+  const std::uint64_t c0 = rig.meter.counts().total();
+  rig.engine.invoke(f1, {{Value::make_int(21)}});
+  const std::uint64_t native = rig.meter.counts().total() - c0;
+
+  rig.engine.set_force_interpret(true);
+  const std::uint64_t c1 = rig.meter.counts().total();
+  EXPECT_EQ(rig.engine.invoke(f1, {{Value::make_int(21)}}).as_int(), 42);
+  const std::uint64_t interp = rig.meter.counts().total() - c1;
+  rig.engine.set_force_interpret(false);
+  EXPECT_GT(interp, native);
+}
+
+TEST(Engine, ClearCodeRevertsToInterpreter) {
+  Rig rig;
+  rig.vm.load(chain_class());
+  rig.vm.link();
+  const std::int32_t f1 = rig.vm.find_method("Chain", "f1");
+  rig.install(f1, 1);
+  EXPECT_NE(rig.engine.compiled(f1), nullptr);
+  rig.engine.clear_code();
+  EXPECT_EQ(rig.engine.compiled(f1), nullptr);
+  EXPECT_EQ(rig.engine.compiled_level(f1), 0);
+  EXPECT_EQ(rig.engine.invoke(f1, {{Value::make_int(4)}}).as_int(), 8);
+}
+
+TEST(Engine, InstallRejectsBadLevel) {
+  Rig rig;
+  rig.vm.load(chain_class());
+  rig.vm.link();
+  isa::NativeProgram p;
+  EXPECT_THROW(rig.engine.install(0, std::move(p), 0), Error);
+}
+
+TEST(Engine, DeepAlternatingCallChain) {
+  // f3 native -> f2 interpreted -> f1 native: marshaling across the bridge
+  // both ways in one invocation.
+  Rig rig;
+  rig.vm.load(chain_class());
+  rig.vm.link();
+  const std::int32_t f1 = rig.vm.find_method("Chain", "f1");
+  const std::int32_t f3 = rig.vm.find_method("Chain", "f3");
+  rig.install(f1, 2);
+  rig.install(f3, 1);
+  EXPECT_EQ(rig.engine.invoke(f3, {{Value::make_int(10)}}).as_int(), 22);
+}
+
+TEST(Engine, ManyMixedArguments) {
+  // 6 int + 4 double arguments exercise both argument register files.
+  ClassBuilder cb("Args");
+  Signature sig;
+  for (int i = 0; i < 6; ++i) sig.params.push_back(TypeKind::kInt);
+  for (int i = 0; i < 4; ++i) sig.params.push_back(TypeKind::kDouble);
+  sig.ret = TypeKind::kDouble;
+  auto& m = cb.method("mix", sig);
+  // sum of everything
+  m.iconst(0);
+  for (int i = 0; i < 6; ++i) m.iload("p" + std::to_string(i)).iadd();
+  m.i2d();
+  for (int i = 6; i < 10; ++i) m.dload("p" + std::to_string(i)).dadd();
+  m.dret();
+
+  Rig rig;
+  rig.vm.load(cb.build());
+  rig.vm.link();
+  const std::int32_t mid = rig.vm.find_method("Args", "mix");
+  std::vector<Value> args;
+  double expected = 0;
+  for (int i = 0; i < 6; ++i) {
+    args.push_back(Value::make_int(i + 1));
+    expected += i + 1;
+  }
+  for (int i = 0; i < 4; ++i) {
+    args.push_back(Value::make_double(0.5 * (i + 1)));
+    expected += 0.5 * (i + 1);
+  }
+  EXPECT_DOUBLE_EQ(rig.engine.invoke(mid, args).as_double(), expected);
+  for (int level = 1; level <= 3; ++level) {
+    rig.install(mid, level);
+    EXPECT_DOUBLE_EQ(rig.engine.invoke(mid, args).as_double(), expected)
+        << "level " << level;
+  }
+}
+
+TEST(Engine, ArgumentCountMismatchThrows) {
+  Rig rig;
+  rig.vm.load(chain_class());
+  rig.vm.link();
+  const std::int32_t f1 = rig.vm.find_method("Chain", "f1");
+  EXPECT_THROW(rig.engine.invoke(f1, {}), VmError);
+  rig.install(f1, 1);
+  EXPECT_THROW(rig.engine.invoke(f1, {}), VmError);
+}
+
+TEST(Engine, CallByNameConvenience) {
+  Rig rig;
+  rig.vm.load(chain_class());
+  rig.vm.link();
+  EXPECT_EQ(rig.engine.call("Chain", "f3", {{Value::make_int(1)}}).as_int(), 4);
+  EXPECT_THROW(rig.engine.call("Chain", "nope", {}), Error);
+}
+
+}  // namespace
+}  // namespace javelin::jvm

@@ -1,0 +1,210 @@
+// Interpreter semantics: runtime faults, objects/fields/statics, virtual
+// dispatch with inheritance, recursion limits, and cost accounting.
+#include <gtest/gtest.h>
+
+#include "jvm/builder.hpp"
+#include "jvm/engine.hpp"
+
+namespace javelin::jvm {
+namespace {
+
+struct Rig {
+  isa::MachineConfig cfg = isa::client_machine();
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier{cfg.icache, cfg.dcache, cfg.miss_penalty_cycles,
+                            &cfg.energy, &meter};
+  isa::Core core{&cfg, &arena, &hier, &meter};
+  Jvm vm{core};
+  ExecutionEngine engine{vm};
+};
+
+TEST(Interp, DivisionByZeroThrows) {
+  Rig rig;
+  ClassBuilder cb("C");
+  auto& m = cb.method("f", Signature{{TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "x");
+  m.iconst(10).iload("x").idiv().iret();
+  rig.vm.load(cb.build());
+  rig.vm.link();
+  EXPECT_EQ(rig.engine.call("C", "f", {{Value::make_int(2)}}).as_int(), 5);
+  EXPECT_THROW(rig.engine.call("C", "f", {{Value::make_int(0)}}), VmError);
+}
+
+TEST(Interp, ArrayBoundsAndNullChecked) {
+  Rig rig;
+  ClassBuilder cb("C");
+  auto& m = cb.method("get",
+                      Signature{{TypeKind::kRef, TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "a").param_name(1, "i");
+  m.aload("a").iload("i").iaload().iret();
+  rig.vm.load(cb.build());
+  rig.vm.link();
+  const mem::Addr arr = rig.vm.new_array(TypeKind::kInt, 4, false);
+  rig.vm.write_i32_array(arr, {10, 11, 12, 13});
+  EXPECT_EQ(rig.engine
+                .call("C", "get",
+                      {{Value::make_ref(arr), Value::make_int(3)}})
+                .as_int(),
+            13);
+  EXPECT_THROW(rig.engine.call("C", "get",
+                               {{Value::make_ref(arr), Value::make_int(4)}}),
+               VmError);
+  EXPECT_THROW(rig.engine.call("C", "get",
+                               {{Value::make_ref(arr), Value::make_int(-1)}}),
+               VmError);
+  EXPECT_THROW(
+      rig.engine.call("C", "get",
+                      {{Value::make_ref(mem::kNullAddr), Value::make_int(0)}}),
+      VmError);
+}
+
+TEST(Interp, ObjectsFieldsAndStatics) {
+  Rig rig;
+  ClassBuilder cb("Point");
+  cb.field("x", TypeKind::kInt);
+  cb.field("yd", TypeKind::kDouble);
+  cb.field("count", TypeKind::kInt, /*is_static=*/true);
+  {
+    auto& m = cb.method("make",
+                        Signature{{TypeKind::kInt, TypeKind::kDouble},
+                                  TypeKind::kRef});
+    m.param_name(0, "xi").param_name(1, "yi");
+    m.new_("Point").astore("p");
+    m.aload("p").iload("xi").putfield("Point", "x");
+    m.aload("p").dload("yi").putfield("Point", "yd");
+    m.getstatic("Point", "count").iconst(1).iadd().putstatic("Point", "count");
+    m.aload("p").aret();
+  }
+  {
+    auto& m = cb.method("sum", Signature{{TypeKind::kRef}, TypeKind::kDouble});
+    m.param_name(0, "p");
+    m.aload("p").getfield("Point", "x").i2d();
+    m.aload("p").getfield("Point", "yd");
+    m.dadd().dret();
+  }
+  {
+    auto& m = cb.method("getcount", Signature{{}, TypeKind::kInt});
+    m.getstatic("Point", "count").iret();
+  }
+  rig.vm.load(cb.build());
+  rig.vm.link();
+
+  const Value p = rig.engine.call(
+      "Point", "make", {{Value::make_int(3), Value::make_double(1.5)}});
+  EXPECT_DOUBLE_EQ(rig.engine.call("Point", "sum", {{p}}).as_double(), 4.5);
+  rig.engine.call("Point", "make",
+                  {{Value::make_int(1), Value::make_double(0.0)}});
+  EXPECT_EQ(rig.engine.call("Point", "getcount", {}).as_int(), 2);
+}
+
+TEST(Interp, VirtualDispatchWithOverride) {
+  Rig rig;
+  ClassBuilder base("Shape");
+  {
+    auto& m = base.method("area", Signature{{}, TypeKind::kInt},
+                          /*is_static=*/false);
+    m.iconst(0).iret();
+  }
+  ClassBuilder square("Square", "Shape");
+  square.field("side", TypeKind::kInt);
+  {
+    auto& m = square.method("area", Signature{{}, TypeKind::kInt},
+                            /*is_static=*/false);
+    m.aload("this").getfield("Square", "side");
+    m.aload("this").getfield("Square", "side");
+    m.imul().iret();
+  }
+  ClassFile base_cf = base.build();
+  ClassFile square_cf = square.build({&base_cf});
+
+  ClassBuilder driver("Driver");
+  {
+    auto& m = driver.method("measure",
+                            Signature{{TypeKind::kRef}, TypeKind::kInt});
+    m.param_name(0, "s");
+    m.aload("s").invokevirtual("Shape", "area").iret();
+  }
+  ClassFile driver_cf = driver.build({&base_cf, &square_cf});
+
+  rig.vm.load(base_cf);
+  rig.vm.load(square_cf);
+  rig.vm.load(driver_cf);
+  rig.vm.link();
+
+  // A Square receiver dispatches to the override; a Shape receiver to the
+  // base implementation.
+  const std::int32_t square_id = rig.vm.find_class("Square");
+  const mem::Addr sq = rig.vm.new_object(square_id, false);
+  const RtField& side =
+      rig.vm.field(rig.vm.cls(square_id).field_ids[0]);
+  rig.arena.store_i32(rig.vm.field_addr(sq, side), 6);
+  EXPECT_EQ(
+      rig.engine.call("Driver", "measure", {{Value::make_ref(sq)}}).as_int(),
+      36);
+
+  const mem::Addr sh =
+      rig.vm.new_object(rig.vm.find_class("Shape"), false);
+  EXPECT_EQ(
+      rig.engine.call("Driver", "measure", {{Value::make_ref(sh)}}).as_int(),
+      0);
+  EXPECT_FALSE(rig.vm.is_monomorphic(rig.vm.find_method("Shape", "area")));
+  EXPECT_TRUE(rig.vm.is_monomorphic(rig.vm.find_method("Square", "area")));
+}
+
+TEST(Interp, RecursionDepthLimit) {
+  Rig rig;
+  ClassBuilder cb("C");
+  auto& m = cb.method("inf", Signature{{TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "x");
+  m.iload("x").invokestatic("C", "inf").iret();
+  rig.vm.load(cb.build());
+  rig.vm.link();
+  EXPECT_THROW(rig.engine.call("C", "inf", {{Value::make_int(1)}}), VmError);
+}
+
+TEST(Interp, EnergyAccountingScalesWithWork) {
+  Rig rig;
+  ClassBuilder cb("C");
+  auto& m = cb.method("spin", Signature{{TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "n");
+  auto loop = m.new_label(), done = m.new_label();
+  m.iconst(0).istore("i");
+  m.bind(loop);
+  m.iload("i").iload("n").if_icmpge(done);
+  m.iload("i").iconst(1).iadd().istore("i");
+  m.goto_(loop);
+  m.bind(done);
+  m.iload("i").iret();
+  rig.vm.load(cb.build());
+  rig.vm.link();
+
+  const auto e0 = rig.meter.snapshot();
+  rig.engine.call("C", "spin", {{Value::make_int(100)}});
+  const double e_small = rig.meter.since(e0).total();
+  const auto e1 = rig.meter.snapshot();
+  rig.engine.call("C", "spin", {{Value::make_int(1000)}});
+  const double e_big = rig.meter.since(e1).total();
+  EXPECT_NEAR(e_big / e_small, 10.0, 1.0);  // linear in the loop count
+  EXPECT_GT(rig.core.cycles, 0u);
+}
+
+TEST(Interp, ByteArrayZeroExtension) {
+  Rig rig;
+  ClassBuilder cb("C");
+  auto& m = cb.method("roundtrip", Signature{{TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "v");
+  m.iconst(1).newarray(TypeKind::kByte).astore("a");
+  m.aload("a").iconst(0).iload("v").bastore();
+  m.aload("a").iconst(0).baload().iret();
+  rig.vm.load(cb.build());
+  rig.vm.link();
+  // 200 stays 200 (unsigned byte load), -1 becomes 255.
+  EXPECT_EQ(rig.engine.call("C", "roundtrip", {{Value::make_int(200)}}).as_int(),
+            200);
+  EXPECT_EQ(rig.engine.call("C", "roundtrip", {{Value::make_int(-1)}}).as_int(),
+            255);
+}
+
+}  // namespace
+}  // namespace javelin::jvm

@@ -1,0 +1,250 @@
+// Unit tests for the native ISA executor: instruction semantics, the literal
+// pool, traps, runtime escapes, and accounting.
+#include <gtest/gtest.h>
+
+#include "isa/executor.hpp"
+
+namespace javelin::isa {
+namespace {
+
+struct NullBridge : RuntimeBridge {
+  void call_static(std::int32_t, NativeExecutor&) override {
+    FAIL() << "unexpected call";
+  }
+  void call_virtual(std::int32_t, NativeExecutor&) override {
+    FAIL() << "unexpected call";
+  }
+  mem::Addr new_array(std::int32_t, std::int32_t) override { return 0; }
+  mem::Addr new_object(std::int32_t) override { return 0; }
+};
+
+struct Rig {
+  MachineConfig cfg = client_machine();
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier{cfg.icache, cfg.dcache, cfg.miss_penalty_cycles,
+                            &cfg.energy, &meter};
+  Core core{&cfg, &arena, &hier, &meter};
+  NullBridge bridge;
+
+  std::int64_t run_int(NativeProgram p,
+                       std::initializer_list<std::int64_t> iargs = {}) {
+    p.install(arena);
+    NativeExecutor ex(core, bridge);
+    std::uint8_t r = kFirstArgReg;
+    for (auto v : iargs) ex.set_int_reg(r++, v);
+    ex.run(p);
+    return ex.int_reg(kRetReg);
+  }
+  double run_fp(NativeProgram p, std::initializer_list<double> dargs = {}) {
+    p.install(arena);
+    NativeExecutor ex(core, bridge);
+    std::uint8_t r = kFFirstArgReg;
+    for (auto v : dargs) ex.set_fp_reg(r++, v);
+    ex.run(p);
+    return ex.fp_reg(kFRetReg);
+  }
+};
+
+NInstr I(NOp op, std::uint8_t rd = 0, std::uint8_t ra = 0, std::uint8_t rb = 0,
+         std::int32_t imm = 0) {
+  return NInstr{op, rd, ra, rb, imm};
+}
+
+TEST(Executor, IntArithmetic) {
+  Rig rig;
+  NativeProgram p;
+  // r1 = (r1 + r2) * 3 - (r1 >> 1)
+  p.code = {
+      I(NOp::kAdd, 9, 1, 2),
+      I(NOp::kMovi, 10, 0, 0, 3),
+      I(NOp::kMul, 9, 9, 10),
+      I(NOp::kShri, 11, 1, 0, 1),
+      I(NOp::kSub, 1, 9, 11),
+      I(NOp::kRet),
+  };
+  EXPECT_EQ(rig.run_int(p, {10, 4}), (10 + 4) * 3 - (10 >> 1));
+}
+
+TEST(Executor, Int32WraparoundSemantics) {
+  Rig rig;
+  NativeProgram p;
+  p.code = {I(NOp::kAdd, 1, 1, 2), I(NOp::kRet)};
+  EXPECT_EQ(rig.run_int(p, {INT32_MAX, 1}), INT32_MIN);
+}
+
+TEST(Executor, DivRemAndTraps) {
+  Rig rig;
+  {
+    NativeProgram p;
+    p.code = {I(NOp::kDiv, 1, 1, 2), I(NOp::kRet)};
+    EXPECT_EQ(rig.run_int(p, {-7, 2}), -3);  // C-style truncation
+  }
+  {
+    NativeProgram p;
+    p.code = {I(NOp::kRem, 1, 1, 2), I(NOp::kRet)};
+    EXPECT_EQ(rig.run_int(p, {-7, 2}), -1);
+  }
+  {
+    NativeProgram p;
+    p.code = {I(NOp::kDiv, 1, 1, 2), I(NOp::kRet)};
+    EXPECT_THROW(rig.run_int(p, {1, 0}), VmError);
+  }
+  {
+    NativeProgram p;
+    p.code = {I(NOp::kTrap, 0, 0, 0,
+                static_cast<std::int32_t>(TrapCode::kArrayBounds))};
+    EXPECT_THROW(rig.run_int(p, {}), VmError);
+  }
+}
+
+TEST(Executor, BranchesAndLoop) {
+  Rig rig;
+  // sum 1..n: r9 acc, r10 i
+  NativeProgram p;
+  p.code = {
+      I(NOp::kMovi, 9, 0, 0, 0),           // acc = 0
+      I(NOp::kMovi, 10, 0, 0, 1),          // i = 1
+      I(NOp::kBgt, 0, 10, 1, 6),           // if i > n goto 6
+      I(NOp::kAdd, 9, 9, 10),
+      I(NOp::kAddi, 10, 10, 0, 1),
+      I(NOp::kJmp, 0, 0, 0, 2),
+      I(NOp::kMov, 1, 9),
+      I(NOp::kRet),
+  };
+  EXPECT_EQ(rig.run_int(p, {10}), 55);
+}
+
+TEST(Executor, FpArithmeticAndLiteralPool) {
+  Rig rig;
+  NativeProgram p;
+  p.literals = {2.5, -1.0};
+  p.code = {
+      I(NOp::kLdd, 9, kLiteralBaseReg, 0, 0),   // f9 = 2.5
+      I(NOp::kLdd, 10, kLiteralBaseReg, 0, 8),  // f10 = -1.0
+      I(NOp::kFmul, 9, 9, 1),                   // f9 *= arg
+      I(NOp::kFadd, 1, 9, 10),
+      I(NOp::kRet),
+  };
+  EXPECT_DOUBLE_EQ(rig.run_fp(p, {4.0}), 2.5 * 4.0 - 1.0);
+}
+
+TEST(Executor, FcmpAndConversions) {
+  Rig rig;
+  {
+    NativeProgram p;
+    p.code = {I(NOp::kFcmp, 1, 1, 2), I(NOp::kRet)};
+    p.install(rig.arena);
+    NativeExecutor ex(rig.core, rig.bridge);
+    ex.set_fp_reg(1, 1.0);
+    ex.set_fp_reg(2, 2.0);
+    ex.run(p);
+    EXPECT_EQ(ex.int_reg(1), -1);
+  }
+  {
+    NativeProgram p;
+    p.code = {I(NOp::kI2d, 1, 1), I(NOp::kRet)};
+    p.install(rig.arena);
+    NativeExecutor ex(rig.core, rig.bridge);
+    ex.set_int_reg(1, -7);
+    ex.run(p);
+    EXPECT_DOUBLE_EQ(ex.fp_reg(1), -7.0);
+  }
+  {
+    NativeProgram p;
+    p.code = {I(NOp::kD2i, 1, 1), I(NOp::kRet)};
+    p.install(rig.arena);
+    NativeExecutor ex(rig.core, rig.bridge);
+    ex.set_fp_reg(1, -3.9);
+    ex.run(p);
+    EXPECT_EQ(ex.int_reg(1), -3);  // truncation toward zero
+  }
+}
+
+TEST(Executor, MemoryAccessThroughArena) {
+  Rig rig;
+  const mem::Addr buf = rig.arena.alloc(64);
+  rig.arena.store_i32(buf + 8, 77);
+  NativeProgram p;
+  p.code = {
+      I(NOp::kLdw, 9, 1, 0, 8),   // r9 = [arg + 8]
+      I(NOp::kAddi, 9, 9, 0, 1),
+      I(NOp::kStw, 9, 1, 0, 12),  // [arg + 12] = r9
+      I(NOp::kMov, 1, 9),
+      I(NOp::kRet),
+  };
+  EXPECT_EQ(rig.run_int(p, {buf}), 78);
+  EXPECT_EQ(rig.arena.load_i32(buf + 12), 78);
+}
+
+TEST(Executor, ZeroRegisterIsImmutable) {
+  Rig rig;
+  NativeProgram p;
+  p.code = {
+      I(NOp::kMovi, 0, 0, 0, 123),  // attempt to write r0
+      I(NOp::kMov, 1, 0),
+      I(NOp::kRet),
+  };
+  EXPECT_EQ(rig.run_int(p, {}), 0);
+}
+
+TEST(Executor, IntrinsicCostsAndValues) {
+  Rig rig;
+  NativeProgram p;
+  p.code = {
+      I(NOp::kIntrD, 1, 0, 0, static_cast<std::int32_t>(Intrinsic::kSqrt)),
+      I(NOp::kRet),
+  };
+  const auto before = rig.meter.counts().of(energy::InstrClass::kAluComplex);
+  EXPECT_DOUBLE_EQ(rig.run_fp(p, {16.0}), 4.0);
+  const auto after = rig.meter.counts().of(energy::InstrClass::kAluComplex);
+  EXPECT_EQ(after - before, intrinsic_cost(Intrinsic::kSqrt));
+}
+
+TEST(Executor, StepLimitAborts) {
+  Rig rig;
+  rig.core.step_limit = 1000;
+  NativeProgram p;
+  p.code = {I(NOp::kJmp, 0, 0, 0, 0)};  // infinite loop
+  EXPECT_THROW(rig.run_int(p, {}), VmError);
+}
+
+TEST(Executor, AccountingChargesEveryInstruction) {
+  Rig rig;
+  NativeProgram p;
+  p.code = {I(NOp::kMovi, 9, 0, 0, 1), I(NOp::kAdd, 9, 9, 9), I(NOp::kRet)};
+  const auto total_before = rig.meter.counts().total();
+  rig.run_int(p, {});
+  EXPECT_EQ(rig.meter.counts().total() - total_before, 3u);
+  EXPECT_GT(rig.core.cycles, 0u);
+}
+
+TEST(Executor, SpillFrameUsesStackZone) {
+  Rig rig;
+  NativeProgram p;
+  p.spill_bytes = 16;
+  p.code = {
+      I(NOp::kMovi, 9, 0, 0, 31),
+      I(NOp::kStw, 9, kFrameReg, 0, 0),
+      I(NOp::kMovi, 9, 0, 0, 0),
+      I(NOp::kLdw, 1, kFrameReg, 0, 0),
+      I(NOp::kRet),
+  };
+  const std::size_t mark = rig.arena.stack_mark();
+  EXPECT_EQ(rig.run_int(p, {}), 31);
+  EXPECT_EQ(rig.arena.stack_mark(), mark);  // frame popped
+}
+
+TEST(Machine, Configs) {
+  const MachineConfig c = client_machine();
+  EXPECT_DOUBLE_EQ(c.clock_hz, 100e6);
+  EXPECT_EQ(c.icache.size_bytes, 16u * 1024);
+  EXPECT_EQ(c.dcache.size_bytes, 8u * 1024);
+  EXPECT_DOUBLE_EQ(c.leakage_power_w(), 0.035);
+  const MachineConfig s = server_machine();
+  EXPECT_DOUBLE_EQ(s.clock_hz, 750e6);
+  EXPECT_DOUBLE_EQ(s.seconds_for_cycles(750), 1e-6);
+}
+
+}  // namespace
+}  // namespace javelin::isa

@@ -1,0 +1,445 @@
+// JIT tests: individual optimization passes (the paper's Level-2 list) and
+// properties of the compiled code — fewer executed instructions at higher
+// levels, monotonically increasing compile work, inlining effects, spill
+// correctness under register pressure.
+#include <gtest/gtest.h>
+
+#include "jit/analysis.hpp"
+#include "jit/codegen.hpp"
+#include "jit/compiler.hpp"
+#include "jit/regalloc.hpp"
+#include "jvm/builder.hpp"
+#include "jvm/engine.hpp"
+
+namespace javelin::jit {
+namespace {
+
+using jvm::ClassBuilder;
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+struct Rig {
+  isa::MachineConfig cfg = isa::client_machine();
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier{cfg.icache, cfg.dcache, cfg.miss_penalty_cycles,
+                            &cfg.energy, &meter};
+  isa::Core core{&cfg, &arena, &hier, &meter};
+  jvm::Jvm vm{core};
+  jvm::ExecutionEngine engine{vm};
+
+  std::int32_t load(jvm::ClassFile cf) {
+    const std::int32_t id = vm.load(std::move(cf));
+    vm.link();
+    return id;
+  }
+  void install(std::int32_t mid, int level) {
+    std::vector<std::int32_t> plan{mid};
+    for (auto c : collect_callees(vm, mid)) plan.push_back(c);
+    for (auto id : plan) {
+      auto res = compile_method(vm, id, CompileOptions{.opt_level = level},
+                                cfg.energy);
+      engine.install(id, std::move(res.program), level);
+    }
+  }
+  std::uint64_t run_count(std::int32_t mid, std::span<const Value> args) {
+    const std::uint64_t c0 = meter.counts().total();
+    engine.invoke(mid, args);
+    return meter.counts().total() - c0;
+  }
+};
+
+// A loop with a redundant invariant expression and a multiply by 4 —
+// exercises CSE, LICM and strength reduction at once.
+jvm::ClassFile opt_fodder() {
+  ClassBuilder cb("Opt");
+  auto& m = cb.method("f", Signature{{TypeKind::kInt, TypeKind::kInt},
+                                     TypeKind::kInt});
+  m.param_name(0, "n").param_name(1, "a");
+  auto loop = m.new_label(), done = m.new_label();
+  m.iconst(0).istore("acc").iconst(0).istore("i");
+  m.bind(loop);
+  m.iload("i").iload("n").if_icmpge(done);
+  // invariant: (a*a + 7); variant: i*4
+  m.iload("a").iload("a").imul().iconst(7).iadd();
+  m.iload("i").iconst(4).imul();
+  m.iadd().iload("acc").iadd().istore("acc");
+  m.iload("i").iconst(1).iadd().istore("i");
+  m.goto_(loop);
+  m.bind(done);
+  m.iload("acc").iret();
+  return cb.build();
+}
+
+std::int32_t golden_opt(std::int32_t n, std::int32_t a) {
+  std::int32_t acc = 0;
+  for (std::int32_t i = 0; i < n; ++i) acc += (a * a + 7) + i * 4 + 0;
+  return acc;
+}
+
+TEST(Jit, L2ExecutesFewerInstructionsThanL1) {
+  std::uint64_t counts[3];
+  for (int level = 1; level <= 2; ++level) {
+    Rig rig;
+    const std::int32_t mid = [&] {
+      rig.load(opt_fodder());
+      return rig.vm.find_method("Opt", "f");
+    }();
+    rig.install(mid, level);
+    std::vector<Value> args{Value::make_int(100), Value::make_int(9)};
+    EXPECT_EQ(rig.engine.invoke(mid, args).as_int(), golden_opt(100, 9));
+    counts[level] = rig.run_count(mid, args);
+  }
+  EXPECT_LT(counts[2], counts[1] * 3 / 4)
+      << "L2 (CSE+LICM+strength reduction) should cut executed instructions "
+      << "substantially: L1=" << counts[1] << " L2=" << counts[2];
+}
+
+TEST(Jit, LocalValueNumberingFoldsConstants) {
+  Rig rig;
+  rig.load(opt_fodder());
+  const std::int32_t mid = rig.vm.find_method("Opt", "f");
+  CompileMeter meter;
+  Function f = translate_to_ir(rig.vm, mid, meter);
+  const std::size_t before = f.num_instrs();
+  passes::local_value_numbering(f, meter);
+  passes::copy_prop_dce(f, meter);
+  EXPECT_LT(f.num_instrs(), before);
+}
+
+TEST(Jit, LicmHoistsInvariants) {
+  Rig rig;
+  rig.load(opt_fodder());
+  const std::int32_t mid = rig.vm.find_method("Opt", "f");
+  CompileMeter meter;
+  Function f = translate_to_ir(rig.vm, mid, meter);
+  passes::local_value_numbering(f, meter);
+  passes::copy_prop_dce(f, meter);
+  const std::size_t blocks_before = f.blocks.size();
+  passes::licm(f, meter);
+  // LICM creates a preheader when it hoists.
+  EXPECT_GT(f.blocks.size(), blocks_before);
+}
+
+TEST(Jit, StrengthReductionRemovesMulByPow2) {
+  Rig rig;
+  rig.load(opt_fodder());
+  const std::int32_t mid = rig.vm.find_method("Opt", "f");
+  CompileMeter meter;
+  Function f = translate_to_ir(rig.vm, mid, meter);
+  passes::local_value_numbering(f, meter);
+  int muls = 0, shifts = 0;
+  for (const auto& b : f.blocks)
+    for (const auto& in : b.instrs) {
+      if (in.op == IOp::kIMul) ++muls;
+      if (in.op == IOp::kIShl) ++shifts;
+    }
+  // i*4 became a shift; a*a stays a multiply.
+  EXPECT_GE(shifts, 1);
+  EXPECT_EQ(muls, 1);
+}
+
+TEST(Jit, CompileWorkGrowsWithLevel) {
+  Rig rig;
+  rig.load(opt_fodder());
+  const std::int32_t mid = rig.vm.find_method("Opt", "f");
+  double e[4] = {};
+  for (int level = 1; level <= 3; ++level) {
+    const auto res = compile_method(rig.vm, mid,
+                                    CompileOptions{.opt_level = level},
+                                    rig.cfg.energy);
+    e[level] = res.compile_energy;
+    EXPECT_GT(res.compile_cycles, 0u);
+  }
+  EXPECT_GT(e[2], e[1]);
+  EXPECT_GE(e[3], e[2]);
+}
+
+TEST(Jit, InliningRemovesCallsAndPreservesSemantics) {
+  // Builders are single-use, so build a fresh class file per level.
+  const auto make_class = [] {
+    ClassBuilder cb("Inl");
+    {
+      auto& m = cb.method("sq", Signature{{TypeKind::kInt}, TypeKind::kInt});
+      m.param_name(0, "x");
+      m.iload("x").iload("x").imul().iret();
+    }
+    {
+      auto& m = cb.method("sumsq", Signature{{TypeKind::kInt}, TypeKind::kInt});
+      m.param_name(0, "n");
+      auto loop = m.new_label(), done = m.new_label();
+      m.iconst(0).istore("acc").iconst(0).istore("i");
+      m.bind(loop);
+      m.iload("i").iload("n").if_icmpge(done);
+      m.iload("acc").iload("i").invokestatic("Inl", "sq").iadd().istore("acc");
+      m.iload("i").iconst(1).iadd().istore("i");
+      m.goto_(loop);
+      m.bind(done);
+      m.iload("acc").iret();
+    }
+    return cb.build();
+  };
+
+  std::uint64_t branch_counts[4] = {};
+  for (int level : {2, 3}) {
+    Rig rig;
+    rig.load(make_class());
+    const std::int32_t mid = rig.vm.find_method("Inl", "sumsq");
+    rig.install(mid, level);
+    std::vector<Value> args{Value::make_int(50)};
+    const auto b0 = rig.meter.counts().of(energy::InstrClass::kBranch);
+    EXPECT_EQ(rig.engine.invoke(mid, args).as_int(), 40425);
+    branch_counts[level] =
+        rig.meter.counts().of(energy::InstrClass::kBranch) - b0;
+    if (level == 3) {
+      // The L3 body should contain no calls to sq at all.
+      const auto* prog = rig.engine.compiled(mid);
+      ASSERT_NE(prog, nullptr);
+      for (const auto& in : prog->code) {
+        EXPECT_NE(in.op, isa::NOp::kCall) << "call survived inlining";
+      }
+    }
+  }
+  // Inlining eliminates 50 call/ret pairs.
+  EXPECT_LT(branch_counts[3], branch_counts[2]);
+}
+
+TEST(Jit, SpillsAreCorrectUnderPressure) {
+  // More than 18 simultaneously-live int values force spilling.
+  ClassBuilder cb("Spill");
+  auto& m = cb.method("f", Signature{{TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "x");
+  constexpr int kVars = 30;
+  for (int i = 0; i < kVars; ++i) {
+    m.iload("x").iconst(i + 1).iadd().istore("v" + std::to_string(i));
+  }
+  // Sum them in reverse so all stay live across the block.
+  m.iconst(0);
+  for (int i = kVars - 1; i >= 0; --i)
+    m.iload("v" + std::to_string(i)).iadd();
+  m.iret();
+
+  Rig rig;
+  rig.load(cb.build());
+  const std::int32_t mid = rig.vm.find_method("Spill", "f");
+  const std::int32_t expected = [] {
+    std::int32_t acc = 0;
+    for (int i = 0; i < kVars; ++i) acc += 7 + i + 1;
+    return acc;
+  }();
+  EXPECT_EQ(rig.engine.call("Spill", "f", {{Value::make_int(7)}}).as_int(),
+            expected);
+  // L1: locals each get a vreg; with 30 live, spills must occur.
+  CompileMeter meter;
+  Function f = translate_to_ir(rig.vm, mid, meter);
+  Allocation al = allocate(f, meter);
+  EXPECT_GT(al.num_spilled, 0u);
+  EXPECT_GT(al.frame_bytes, 0u);
+  rig.install(mid, 1);
+  EXPECT_EQ(rig.engine.call("Spill", "f", {{Value::make_int(7)}}).as_int(),
+            expected);
+}
+
+TEST(Jit, DoubleRegisterPressure) {
+  // More than 5 live doubles force FP spills.
+  ClassBuilder cb("FSpill");
+  auto& m = cb.method("f", Signature{{TypeKind::kDouble}, TypeKind::kDouble});
+  m.param_name(0, "x");
+  constexpr int kVars = 12;
+  for (int i = 0; i < kVars; ++i)
+    m.dload("x").dconst(i + 0.5).dmul().dstore("d" + std::to_string(i));
+  m.dconst(0.0);
+  for (int i = kVars - 1; i >= 0; --i)
+    m.dload("d" + std::to_string(i)).dadd();
+  m.dret();
+
+  Rig rig;
+  rig.load(cb.build());
+  const std::int32_t mid = rig.vm.find_method("FSpill", "f");
+  const double x = 2.0;
+  double expected = 0.0;
+  for (int i = 0; i < kVars; ++i) expected += x * (i + 0.5);
+  const Value interp =
+      rig.engine.call("FSpill", "f", {{Value::make_double(x)}});
+  EXPECT_DOUBLE_EQ(interp.as_double(), expected);
+  rig.install(mid, 1);
+  const Value jit = rig.engine.call("FSpill", "f", {{Value::make_double(x)}});
+  EXPECT_DOUBLE_EQ(jit.as_double(), expected);
+}
+
+TEST(Jit, GlobalCseAcrossBlocks) {
+  // a*a computed in two sibling-dominated blocks collapses to one.
+  ClassBuilder cb("G");
+  auto& m = cb.method("f", Signature{{TypeKind::kInt, TypeKind::kInt},
+                                     TypeKind::kInt});
+  m.param_name(0, "a").param_name(1, "c");
+  auto other = m.new_label(), join = m.new_label();
+  m.iload("a").iload("a").imul().istore("first");  // dominating computation
+  m.iload("c").ifeq(other);
+  m.iload("a").iload("a").imul().istore("r");
+  m.goto_(join);
+  m.bind(other);
+  m.iload("a").iload("a").imul().iconst(1).iadd().istore("r");
+  m.bind(join);
+  m.iload("r").iload("first").iadd().iret();
+
+  Rig rig;
+  rig.load(cb.build());
+  const std::int32_t mid = rig.vm.find_method("G", "f");
+  CompileMeter meter;
+  Function f = translate_to_ir(rig.vm, mid, meter);
+  passes::local_value_numbering(f, meter);
+  passes::copy_prop_dce(f, meter);
+  passes::global_cse(f, meter);
+  passes::copy_prop_dce(f, meter);
+  int muls = 0;
+  for (const auto& b : f.blocks)
+    for (const auto& in : b.instrs)
+      if (in.op == IOp::kIMul) ++muls;
+  EXPECT_EQ(muls, 1) << f.dump();
+  // Still correct.
+  rig.install(mid, 2);
+  EXPECT_EQ(rig.engine
+                .call("G", "f", {{Value::make_int(5), Value::make_int(1)}})
+                .as_int(),
+            50);
+  EXPECT_EQ(rig.engine
+                .call("G", "f", {{Value::make_int(5), Value::make_int(0)}})
+                .as_int(),
+            51);
+}
+
+TEST(Jit, NonCompilableMethodFallsBack) {
+  // A local slot reused as int and double is interpretable but the JIT
+  // refuses it.
+  jvm::ClassFile cf;
+  cf.name = "Weird";
+  jvm::MethodInfo m;
+  m.name = "f";
+  m.sig = Signature{{}, TypeKind::kInt};
+  m.max_locals = 1;
+  using jvm::Op;
+  m.code = {
+      {Op::kDconst, 0, 0},  // push 1.0
+      {Op::kDstore, 0, 0},
+      {Op::kIconst, 5, 0},
+      {Op::kIstore, 0, 0},  // slot 0 reused as int
+      {Op::kIload, 0, 0},
+      {Op::kIreturn, 0, 0},
+  };
+  cf.pool.add_double(1.0);
+  cf.methods.push_back(std::move(m));
+
+  Rig rig;
+  rig.load(std::move(cf));
+  const std::int32_t mid = rig.vm.find_method("Weird", "f");
+  EXPECT_EQ(rig.engine.invoke(mid, {}).as_int(), 5);  // interpreter is fine
+  CompileMeter meter;
+  EXPECT_THROW(translate_to_ir(rig.vm, mid, meter), CompileError);
+}
+
+TEST(Jit, DcmpBranchFusion) {
+  ClassBuilder cb("F");
+  auto& m = cb.method("gt", Signature{{TypeKind::kDouble, TypeKind::kDouble},
+                                      TypeKind::kInt});
+  m.param_name(0, "a").param_name(1, "b");
+  auto yes = m.new_label();
+  m.dload("a").dload("b").dcmp().ifgt(yes);
+  m.iconst(0).iret();
+  m.bind(yes);
+  m.iconst(1).iret();
+
+  Rig rig;
+  rig.load(cb.build());
+  const std::int32_t mid = rig.vm.find_method("F", "gt");
+  CompileMeter meter;
+  Function f = translate_to_ir(rig.vm, mid, meter);
+  passes::local_value_numbering(f, meter);
+  passes::copy_prop_dce(f, meter);
+  bool fused = false;
+  for (const auto& b : f.blocks)
+    for (const auto& in : b.instrs)
+      if (in.op == IOp::kBrDGt) fused = true;
+  EXPECT_TRUE(fused) << f.dump();
+  rig.install(mid, 2);
+  EXPECT_EQ(rig.engine
+                .call("F", "gt",
+                      {{Value::make_double(2.0), Value::make_double(1.0)}})
+                .as_int(),
+            1);
+  EXPECT_EQ(rig.engine
+                .call("F", "gt",
+                      {{Value::make_double(1.0), Value::make_double(2.0)}})
+                .as_int(),
+            0);
+}
+
+TEST(Jit, BoundsCheckEliminationRemovesDominatedGuards) {
+  // b[i] is read three times with the same (array, index) pair; only the
+  // first access needs guards.
+  ClassBuilder cb("Bce");
+  auto& m = cb.method("f", Signature{{TypeKind::kRef, TypeKind::kInt},
+                                     TypeKind::kInt});
+  m.param_name(0, "b").param_name(1, "i");
+  m.aload("b").iload("i").iaload();
+  m.aload("b").iload("i").iaload().iadd();
+  m.aload("b").iload("i").iaload().iadd();
+  m.iret();
+
+  Rig rig;
+  rig.load(cb.build());
+  const std::int32_t mid = rig.vm.find_method("Bce", "f");
+  CompileMeter meter;
+  Function f = translate_to_ir(rig.vm, mid, meter);
+  passes::local_value_numbering(f, meter);
+  passes::copy_prop_dce(f, meter);
+  const std::size_t eliminated = passes::bounds_check_elim(f, meter);
+  EXPECT_EQ(eliminated, 2u) << f.dump();
+
+  // Executed-instruction count shrinks with BCE, semantics preserved.
+  const mem::Addr arr = rig.vm.new_array(TypeKind::kInt, 4, false);
+  rig.vm.write_i32_array(arr, {5, 6, 7, 8});
+  std::vector<Value> args{Value::make_ref(arr), Value::make_int(2)};
+  std::uint64_t instrs[2];
+  for (int bce = 0; bce < 2; ++bce) {
+    CompileOptions opts;
+    opts.opt_level = 3;
+    opts.bounds_check_elimination = bce != 0;
+    auto res = compile_method(rig.vm, mid, opts, rig.cfg.energy);
+    rig.engine.install(mid, std::move(res.program), 3);
+    const std::uint64_t c0 = rig.meter.counts().total();
+    EXPECT_EQ(rig.engine.invoke(mid, args).as_int(), 21);
+    instrs[bce] = rig.meter.counts().total() - c0;
+  }
+  EXPECT_LT(instrs[1], instrs[0]);
+}
+
+TEST(Jit, BoundsCheckEliminationStillTrapsOnFirstAccess) {
+  // The *first* access keeps its guards, so out-of-range indices still trap
+  // under BCE.
+  ClassBuilder cb("Bce2");
+  auto& m = cb.method("f", Signature{{TypeKind::kRef, TypeKind::kInt},
+                                     TypeKind::kInt});
+  m.param_name(0, "b").param_name(1, "i");
+  m.aload("b").iload("i").iaload();
+  m.aload("b").iload("i").iaload().iadd();
+  m.iret();
+
+  Rig rig;
+  rig.load(cb.build());
+  const std::int32_t mid = rig.vm.find_method("Bce2", "f");
+  auto res = compile_method(rig.vm, mid, CompileOptions{.opt_level = 3},
+                            rig.cfg.energy);
+  rig.engine.install(mid, std::move(res.program), 3);
+  const mem::Addr arr = rig.vm.new_array(TypeKind::kInt, 4, false);
+  EXPECT_THROW(
+      rig.engine.invoke(mid, {{Value::make_ref(arr), Value::make_int(9)}}),
+      VmError);
+  EXPECT_THROW(rig.engine.invoke(
+                   mid, {{Value::make_ref(mem::kNullAddr), Value::make_int(0)}}),
+               VmError);
+}
+
+}  // namespace
+}  // namespace javelin::jit

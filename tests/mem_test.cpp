@@ -1,0 +1,125 @@
+// Unit tests for the simulated memory: arena zones and the cache model.
+#include <gtest/gtest.h>
+
+#include "mem/arena.hpp"
+#include "mem/cache.hpp"
+
+namespace javelin::mem {
+namespace {
+
+TEST(Arena, AllocZeroesAndAligns) {
+  Arena a(1 << 20, 1 << 16);
+  const Addr p = a.alloc(100, 8);
+  EXPECT_EQ(p % 8, 0u);
+  EXPECT_GE(p, 1u << 16);  // heap zone starts after the immortal zone
+  for (Addr i = 0; i < 100; i += 4) EXPECT_EQ(a.load_i32(p + i), 0);
+  a.store_i32(p, 42);
+  EXPECT_EQ(a.load_i32(p), 42);
+}
+
+TEST(Arena, TypedAccessRoundTrip) {
+  Arena a(1 << 20, 1 << 16);
+  const Addr p = a.alloc(64);
+  a.store_f64(p, 3.5);
+  EXPECT_DOUBLE_EQ(a.load_f64(p), 3.5);
+  a.store_u8(p + 8, 200);
+  EXPECT_EQ(a.load_u8(p + 8), 200);
+  a.store_i64(p + 16, -123456789012345LL);
+  EXPECT_EQ(a.load_i64(p + 16), -123456789012345LL);
+}
+
+TEST(Arena, NullAndOutOfRangeAccessThrow) {
+  Arena a(1 << 20, 1 << 16);
+  EXPECT_THROW(a.load_i32(0), VmError);
+  EXPECT_THROW(a.load_i32(4), VmError);  // reserved low addresses
+  const Addr p = a.alloc(8);
+  EXPECT_THROW(a.load_i32(p + 8), VmError);  // past heap top
+}
+
+TEST(Arena, HeapWatermarkReleases) {
+  Arena a(1 << 20, 1 << 16);
+  a.alloc(128);
+  const std::size_t mark = a.heap_mark();
+  const Addr p = a.alloc(64);
+  a.heap_release(mark);
+  EXPECT_THROW(a.load_i32(p), VmError);
+  EXPECT_THROW(a.heap_release(mark + 100), std::invalid_argument);
+}
+
+TEST(Arena, StackZoneIsDisjointFromHeap) {
+  Arena a(1 << 20, 1 << 16);
+  const Addr heap = a.alloc(64);
+  const std::size_t mark = a.stack_mark();
+  const Addr frame = a.alloc_stack(256);
+  EXPECT_GT(frame, heap);
+  a.store_i32(frame, 7);
+  // Popping the frame must not affect the heap object.
+  a.store_i32(heap, 13);
+  a.stack_release(mark);
+  EXPECT_EQ(a.load_i32(heap), 13);
+  EXPECT_THROW(a.load_i32(frame), VmError);
+}
+
+TEST(Arena, ImmortalZoneSurvivesHeapRelease) {
+  Arena a(1 << 20, 1 << 16);
+  const Addr code = a.alloc_immortal(64);
+  a.store_i32(code, 99);
+  const std::size_t mark = a.heap_mark();
+  a.alloc(128);
+  a.heap_release(mark);
+  EXPECT_EQ(a.load_i32(code), 99);
+}
+
+TEST(Arena, ExhaustionThrows) {
+  Arena a(1 << 16, 1 << 12);
+  EXPECT_THROW(a.alloc(1 << 20), VmError);
+  EXPECT_THROW(a.alloc_stack(1 << 20), VmError);
+  EXPECT_THROW(a.alloc_immortal(1 << 20), VmError);
+}
+
+TEST(Cache, HitsAfterFill) {
+  DirectMappedCache c({1024, 32});
+  EXPECT_FALSE(c.access(64, false).hit);   // cold miss
+  EXPECT_TRUE(c.access(64, false).hit);    // same line
+  EXPECT_TRUE(c.access(95, false).hit);    // same 32B line
+  EXPECT_FALSE(c.access(96, false).hit);   // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, ConflictEviction) {
+  DirectMappedCache c({1024, 32});  // 32 lines
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(1024, false).hit);  // same index, different tag
+  EXPECT_FALSE(c.access(0, false).hit);     // evicted
+}
+
+TEST(Cache, DirtyEvictionCostsExtraDramAccess) {
+  DirectMappedCache c({1024, 32});
+  c.access(0, true);  // miss, fill, dirty
+  const CacheAccess a = c.access(1024, false);  // evicts dirty line
+  EXPECT_FALSE(a.hit);
+  EXPECT_EQ(a.dram_accesses, 2u);  // fill + writeback
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(DirectMappedCache({1000, 32}), std::invalid_argument);
+  EXPECT_THROW(DirectMappedCache({1024, 33}), std::invalid_argument);
+}
+
+TEST(Hierarchy, ChargesDramAndStalls) {
+  energy::InstructionEnergyTable table;
+  energy::EnergyMeter meter;
+  MemoryHierarchy h({1024, 32}, {1024, 32}, 20, &table, &meter);
+  EXPECT_EQ(h.load(64), 20u);  // miss -> stall
+  EXPECT_EQ(h.load(64), 0u);   // hit
+  EXPECT_EQ(meter.dram_accesses(), 1u);
+  EXPECT_DOUBLE_EQ(meter.of(energy::Subsystem::kDram), 4.94e-9);
+  // I-cache and D-cache are independent.
+  EXPECT_EQ(h.fetch(64), 20u);
+  EXPECT_EQ(h.fetch(64), 0u);
+}
+
+}  // namespace
+}  // namespace javelin::mem

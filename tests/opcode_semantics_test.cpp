@@ -1,0 +1,280 @@
+// Table-driven opcode semantics: every arithmetic/logical/conversion opcode
+// is checked against expected values on both execution paths (interpreter
+// and Level-1 native code), including edge cases (INT_MIN, wraparound, shift
+// masking, negative division, NaN-free double compares).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "jit/compiler.hpp"
+#include "jvm/builder.hpp"
+#include "jvm/engine.hpp"
+
+namespace javelin::jvm {
+namespace {
+
+struct Rig {
+  isa::MachineConfig cfg = isa::client_machine();
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier{cfg.icache, cfg.dcache, cfg.miss_penalty_cycles,
+                            &cfg.energy, &meter};
+  isa::Core core{&cfg, &arena, &hier, &meter};
+  Jvm vm{core};
+  ExecutionEngine engine{vm};
+};
+
+// ---------------------------------------------------------------------------
+// Integer binary ops.
+// ---------------------------------------------------------------------------
+
+struct IntBinCase {
+  const char* name;
+  Op op;
+  std::int32_t a, b, expected;
+};
+
+constexpr std::int32_t kMin = std::numeric_limits<std::int32_t>::min();
+constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+
+const IntBinCase kIntBinCases[] = {
+    {"iadd_basic", Op::kIadd, 7, 5, 12},
+    {"iadd_wrap", Op::kIadd, kMax, 1, kMin},
+    {"isub_basic", Op::kIsub, 7, 5, 2},
+    {"isub_wrap", Op::kIsub, kMin, 1, kMax},
+    {"imul_basic", Op::kImul, -6, 7, -42},
+    {"imul_wrap", Op::kImul, 1 << 30, 4, 0},
+    {"idiv_trunc_neg", Op::kIdiv, -7, 2, -3},
+    {"idiv_exact", Op::kIdiv, 42, -6, -7},
+    {"irem_sign_follows_dividend", Op::kIrem, -7, 2, -1},
+    {"irem_pos", Op::kIrem, 7, -2, 1},
+    {"iand", Op::kIand, 0b1100, 0b1010, 0b1000},
+    {"ior", Op::kIor, 0b1100, 0b1010, 0b1110},
+    {"ixor", Op::kIxor, 0b1100, 0b1010, 0b0110},
+    {"ishl_basic", Op::kIshl, 1, 4, 16},
+    {"ishl_mask32", Op::kIshl, 1, 33, 2},  // shift amount masked to 5 bits
+    {"ishr_arith", Op::kIshr, -16, 2, -4},
+    {"ishr_mask", Op::kIshr, -16, 34, -4},
+    {"iushr_logical", Op::kIushr, -1, 28, 15},
+    {"iushr_zero", Op::kIushr, kMin, 31, 1},
+};
+
+class IntBinOp : public testing::TestWithParam<IntBinCase> {};
+
+TEST_P(IntBinOp, InterpAndJitAgreeWithExpected) {
+  const IntBinCase& c = GetParam();
+  ClassBuilder cb("T");
+  auto& m = cb.method("f", Signature{{TypeKind::kInt, TypeKind::kInt},
+                                     TypeKind::kInt});
+  m.param_name(0, "a").param_name(1, "b");
+  m.iload("a").iload("b");
+  // Emit the raw op under test.
+  switch (c.op) {
+    case Op::kIadd: m.iadd(); break;
+    case Op::kIsub: m.isub(); break;
+    case Op::kImul: m.imul(); break;
+    case Op::kIdiv: m.idiv(); break;
+    case Op::kIrem: m.irem(); break;
+    case Op::kIand: m.iand(); break;
+    case Op::kIor: m.ior(); break;
+    case Op::kIxor: m.ixor(); break;
+    case Op::kIshl: m.ishl(); break;
+    case Op::kIshr: m.ishr(); break;
+    case Op::kIushr: m.iushr(); break;
+    default: FAIL() << "unexpected op";
+  }
+  m.iret();
+
+  Rig rig;
+  rig.vm.load(cb.build());
+  rig.vm.link();
+  const std::int32_t mid = rig.vm.find_method("T", "f");
+  const std::vector<Value> args{Value::make_int(c.a), Value::make_int(c.b)};
+  EXPECT_EQ(rig.engine.invoke(mid, args).as_int(), c.expected) << "interp";
+  auto res = jit::compile_method(rig.vm, mid, {.opt_level = 1},
+                                 rig.cfg.energy);
+  rig.engine.install(mid, std::move(res.program), 1);
+  EXPECT_EQ(rig.engine.invoke(mid, args).as_int(), c.expected) << "jit L1";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, IntBinOp, testing::ValuesIn(kIntBinCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ---------------------------------------------------------------------------
+// Double ops and conversions.
+// ---------------------------------------------------------------------------
+
+struct DblCase {
+  const char* name;
+  Op op;
+  double a, b;
+  double expected;
+};
+
+const DblCase kDblCases[] = {
+    {"dadd", Op::kDadd, 1.5, 2.25, 3.75},
+    {"dsub", Op::kDsub, 1.0, 0.75, 0.25},
+    {"dmul", Op::kDmul, -3.0, 0.5, -1.5},
+    {"ddiv", Op::kDdiv, 1.0, 8.0, 0.125},
+    {"ddiv_by_zero_is_inf", Op::kDdiv, 1.0, 0.0,
+     std::numeric_limits<double>::infinity()},
+};
+
+class DblBinOp : public testing::TestWithParam<DblCase> {};
+
+TEST_P(DblBinOp, InterpAndJitAgreeWithExpected) {
+  const DblCase& c = GetParam();
+  ClassBuilder cb("T");
+  auto& m = cb.method("f", Signature{{TypeKind::kDouble, TypeKind::kDouble},
+                                     TypeKind::kDouble});
+  m.param_name(0, "a").param_name(1, "b");
+  m.dload("a").dload("b");
+  switch (c.op) {
+    case Op::kDadd: m.dadd(); break;
+    case Op::kDsub: m.dsub(); break;
+    case Op::kDmul: m.dmul(); break;
+    case Op::kDdiv: m.ddiv(); break;
+    default: FAIL();
+  }
+  m.dret();
+
+  Rig rig;
+  rig.vm.load(cb.build());
+  rig.vm.link();
+  const std::int32_t mid = rig.vm.find_method("T", "f");
+  const std::vector<Value> args{Value::make_double(c.a),
+                                Value::make_double(c.b)};
+  EXPECT_EQ(rig.engine.invoke(mid, args).as_double(), c.expected) << "interp";
+  auto res = jit::compile_method(rig.vm, mid, {.opt_level = 1},
+                                 rig.cfg.energy);
+  rig.engine.install(mid, std::move(res.program), 1);
+  EXPECT_EQ(rig.engine.invoke(mid, args).as_double(), c.expected) << "jit";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, DblBinOp, testing::ValuesIn(kDblCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(OpcodeSemantics, ConversionsAndUnary) {
+  ClassBuilder cb("T");
+  {
+    auto& m = cb.method("i2d", Signature{{TypeKind::kInt}, TypeKind::kDouble});
+    m.param_name(0, "a");
+    m.iload("a").i2d().dret();
+  }
+  {
+    auto& m = cb.method("d2i", Signature{{TypeKind::kDouble}, TypeKind::kInt});
+    m.param_name(0, "a");
+    m.dload("a").d2i().iret();
+  }
+  {
+    auto& m = cb.method("ineg", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "a");
+    m.iload("a").ineg().iret();
+  }
+  {
+    auto& m = cb.method("dneg", Signature{{TypeKind::kDouble}, TypeKind::kDouble});
+    m.param_name(0, "a");
+    m.dload("a").dneg().dret();
+  }
+  {
+    auto& m = cb.method("dcmp", Signature{{TypeKind::kDouble, TypeKind::kDouble},
+                                          TypeKind::kInt});
+    m.param_name(0, "a").param_name(1, "b");
+    m.dload("a").dload("b").dcmp().iret();
+  }
+
+  Rig rig;
+  rig.vm.load(cb.build());
+  rig.vm.link();
+  auto check_all = [&] {
+    EXPECT_DOUBLE_EQ(
+        rig.engine.call("T", "i2d", {{Value::make_int(-3)}}).as_double(),
+        -3.0);
+    EXPECT_EQ(
+        rig.engine.call("T", "d2i", {{Value::make_double(2.9)}}).as_int(), 2);
+    EXPECT_EQ(
+        rig.engine.call("T", "d2i", {{Value::make_double(-2.9)}}).as_int(),
+        -2);  // truncation toward zero
+    EXPECT_EQ(rig.engine.call("T", "ineg", {{Value::make_int(kMin)}}).as_int(),
+              kMin);  // -INT_MIN wraps
+    EXPECT_DOUBLE_EQ(
+        rig.engine.call("T", "dneg", {{Value::make_double(0.5)}}).as_double(),
+        -0.5);
+    EXPECT_EQ(rig.engine
+                  .call("T", "dcmp", {{Value::make_double(1.0),
+                                       Value::make_double(2.0)}})
+                  .as_int(),
+              -1);
+    EXPECT_EQ(rig.engine
+                  .call("T", "dcmp", {{Value::make_double(2.0),
+                                       Value::make_double(2.0)}})
+                  .as_int(),
+              0);
+    EXPECT_EQ(rig.engine
+                  .call("T", "dcmp", {{Value::make_double(3.0),
+                                       Value::make_double(2.0)}})
+                  .as_int(),
+              1);
+  };
+  check_all();  // interpreted
+  for (const char* name : {"i2d", "d2i", "ineg", "dneg", "dcmp"}) {
+    const std::int32_t mid = rig.vm.find_method("T", name);
+    auto res = jit::compile_method(rig.vm, mid, {.opt_level = 1},
+                                   rig.cfg.energy);
+    rig.engine.install(mid, std::move(res.program), 1);
+  }
+  check_all();  // native
+}
+
+TEST(OpcodeSemantics, AllConditionalBranches) {
+  // One method per condition: returns 1 if taken, 0 otherwise.
+  struct BranchCase {
+    const char* name;
+    void (*emit)(MethodBuilder&, MethodBuilder::Label);
+    std::int32_t a, b;
+    std::int32_t expected;
+  };
+  const BranchCase cases[] = {
+      {"icmpeq_t", [](MethodBuilder& m, MethodBuilder::Label l) { m.if_icmpeq(l); }, 3, 3, 1},
+      {"icmpeq_f", [](MethodBuilder& m, MethodBuilder::Label l) { m.if_icmpeq(l); }, 3, 4, 0},
+      {"icmpne_t", [](MethodBuilder& m, MethodBuilder::Label l) { m.if_icmpne(l); }, 3, 4, 1},
+      {"icmplt_t", [](MethodBuilder& m, MethodBuilder::Label l) { m.if_icmplt(l); }, -5, -4, 1},
+      {"icmplt_f", [](MethodBuilder& m, MethodBuilder::Label l) { m.if_icmplt(l); }, -4, -4, 0},
+      {"icmple_t", [](MethodBuilder& m, MethodBuilder::Label l) { m.if_icmple(l); }, -4, -4, 1},
+      {"icmpgt_t", [](MethodBuilder& m, MethodBuilder::Label l) { m.if_icmpgt(l); }, 9, 2, 1},
+      {"icmpge_f", [](MethodBuilder& m, MethodBuilder::Label l) { m.if_icmpge(l); }, 1, 2, 0},
+  };
+  for (const auto& c : cases) {
+    ClassBuilder cb("T");
+    auto& m = cb.method("f", Signature{{TypeKind::kInt, TypeKind::kInt},
+                                       TypeKind::kInt});
+    m.param_name(0, "a").param_name(1, "b");
+    auto taken = m.new_label();
+    m.iload("a").iload("b");
+    c.emit(m, taken);
+    m.iconst(0).iret();
+    m.bind(taken);
+    m.iconst(1).iret();
+
+    Rig rig;
+    rig.vm.load(cb.build());
+    rig.vm.link();
+    const std::int32_t mid = rig.vm.find_method("T", "f");
+    const std::vector<Value> args{Value::make_int(c.a), Value::make_int(c.b)};
+    EXPECT_EQ(rig.engine.invoke(mid, args).as_int(), c.expected)
+        << c.name << " interp";
+    auto res = jit::compile_method(rig.vm, mid, {.opt_level = 2},
+                                   rig.cfg.energy);
+    rig.engine.install(mid, std::move(res.program), 2);
+    EXPECT_EQ(rig.engine.invoke(mid, args).as_int(), c.expected)
+        << c.name << " jit";
+  }
+}
+
+}  // namespace
+}  // namespace javelin::jvm

@@ -1,0 +1,98 @@
+// Wire-protocol tests: message round trips, wire-size accounting, and
+// native-program encode/decode.
+#include <gtest/gtest.h>
+
+#include "net/protocol.hpp"
+
+namespace javelin::net {
+namespace {
+
+TEST(Protocol, InvokeRequestRoundTrip) {
+  InvokeRequest req;
+  req.cls = "MF";
+  req.method = "median";
+  req.estimated_server_seconds = 0.0125;
+  req.args = {{1, 2, 3}, {}, {9}};
+  const auto bytes = req.encode();
+  const InvokeRequest back = InvokeRequest::decode(bytes);
+  EXPECT_EQ(back.cls, "MF");
+  EXPECT_EQ(back.method, "median");
+  EXPECT_DOUBLE_EQ(back.estimated_server_seconds, 0.0125);
+  EXPECT_EQ(back.args, req.args);
+  // Wire size tracks the encoding size.
+  EXPECT_NEAR(static_cast<double>(req.wire_bytes()),
+              static_cast<double>(bytes.size()), 2.0);
+}
+
+TEST(Protocol, InvokeResponseRoundTrip) {
+  InvokeResponse resp;
+  resp.ok = false;
+  resp.error = "boom";
+  resp.result = {5, 6};
+  const InvokeResponse back = InvokeResponse::decode(resp.encode());
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, "boom");
+  EXPECT_EQ(back.result, resp.result);
+}
+
+TEST(Protocol, CompileMessagesRoundTrip) {
+  CompileRequest req{"Sort", "qsort", 2};
+  const CompileRequest rback = CompileRequest::decode(req.encode());
+  EXPECT_EQ(rback.cls, "Sort");
+  EXPECT_EQ(rback.level, 2);
+
+  CompileResponse resp;
+  resp.level = 3;
+  resp.server_seconds = 1e-3;
+  CompiledUnit u;
+  u.cls = "Sort";
+  u.method = "qsort";
+  u.program.code = {isa::NInstr{isa::NOp::kMovi, 9, 0, 0, 42},
+                    isa::NInstr{isa::NOp::kRet, 0, 0, 0, 0}};
+  u.program.literals = {2.5};
+  u.program.spill_bytes = 16;
+  resp.units.push_back(std::move(u));
+  const CompileResponse back = CompileResponse::decode(resp.encode());
+  ASSERT_EQ(back.units.size(), 1u);
+  EXPECT_EQ(back.units[0].program.code.size(), 2u);
+  EXPECT_EQ(back.units[0].program.code[0].imm, 42);
+  EXPECT_EQ(back.units[0].program.literals, std::vector<double>{2.5});
+  EXPECT_EQ(back.units[0].program.spill_bytes, 16u);
+  EXPECT_DOUBLE_EQ(back.server_seconds, 1e-3);
+}
+
+TEST(Protocol, CompileResponseWireBytesUsesImageSize) {
+  CompileResponse resp;
+  CompiledUnit u;
+  u.cls = "A";
+  u.method = "m";
+  u.program.code.resize(100);  // 100 instrs -> 400 image bytes
+  u.program.literals = {1.0, 2.0};  // + 16
+  resp.units.push_back(std::move(u));
+  // Image bytes dominate the wire size (4 B/instr, not the 8 B simulator
+  // encoding).
+  EXPECT_EQ(resp.units[0].program.image_bytes(), 416u);
+  EXPECT_GT(resp.wire_bytes(), 416u);
+  EXPECT_LT(resp.wire_bytes(), 470u);
+}
+
+TEST(Protocol, RejectsWrongMessageTag) {
+  InvokeRequest req;
+  req.cls = "X";
+  req.method = "y";
+  EXPECT_THROW(InvokeResponse::decode(req.encode()), FormatError);
+  EXPECT_THROW(CompileRequest::decode(req.encode()), FormatError);
+}
+
+TEST(Protocol, RejectsTruncation) {
+  InvokeRequest req;
+  req.cls = "X";
+  req.method = "y";
+  req.args = {{1, 2, 3, 4, 5}};
+  auto bytes = req.encode();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(InvokeRequest::decode(bytes), FormatError);
+}
+
+}  // namespace
+}  // namespace javelin::net

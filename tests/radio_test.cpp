@@ -1,0 +1,116 @@
+// Radio model tests: the paper's Fig 2 component powers, transmit/receive
+// energies at the 2.3 Mbps effective rate, channel processes and the pilot
+// estimator.
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "radio/radio.hpp"
+
+namespace javelin::radio {
+namespace {
+
+TEST(ComponentPowers, MatchesPaperFig2) {
+  const ComponentPowers p;
+  EXPECT_DOUBLE_EQ(p.mixer_rx, 33.75e-3);
+  EXPECT_DOUBLE_EQ(p.demodulator_rx, 37.8e-3);
+  EXPECT_DOUBLE_EQ(p.adc_rx, 710e-3);
+  EXPECT_DOUBLE_EQ(p.dac_tx, 185e-3);
+  EXPECT_DOUBLE_EQ(p.pa(PowerClass::kClass1), 5.88);
+  EXPECT_DOUBLE_EQ(p.pa(PowerClass::kClass2), 1.5);
+  EXPECT_DOUBLE_EQ(p.pa(PowerClass::kClass3), 0.74);
+  EXPECT_DOUBLE_EQ(p.pa(PowerClass::kClass4), 0.37);
+  EXPECT_DOUBLE_EQ(p.driver_amp_tx, 102.6e-3);
+  EXPECT_DOUBLE_EQ(p.modulator_tx, 108e-3);
+  EXPECT_DOUBLE_EQ(p.vco, 90e-3);
+}
+
+TEST(CommModel, RateAndEnergies) {
+  const CommModel comm;
+  EXPECT_DOUBLE_EQ(comm.bit_rate(), 2.3e6);
+  // 1 kB at 2.3 Mbps = 8000/2.3e6 s.
+  EXPECT_NEAR(comm.tx_seconds(1000), 8000.0 / 2.3e6, 1e-12);
+  // Tx energy is time x chain power; Class 1 costs ~7.4x Class 4.
+  const double e1 = comm.tx_energy(1000, PowerClass::kClass1);
+  const double e4 = comm.tx_energy(1000, PowerClass::kClass4);
+  EXPECT_NEAR(e1 / e4, (5.88 + 0.4856) / (0.37 + 0.4856), 1e-9);
+  // Rx chain power: mixer + demod + ADC + VCO.
+  EXPECT_NEAR(comm.rx_energy(1000),
+              8000.0 / 2.3e6 * (0.03375 + 0.0378 + 0.710 + 0.090), 1e-9);
+}
+
+TEST(FixedChannel, Constant) {
+  FixedChannel c(PowerClass::kClass2);
+  EXPECT_EQ(c.at(0.0), PowerClass::kClass2);
+  EXPECT_EQ(c.at(1e9), PowerClass::kClass2);
+}
+
+TEST(IidChannel, MatchesDistribution) {
+  IidChannel c({0.1, 0.2, 0.3, 0.4}, 0.01, 77);
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 40000; ++i)
+    ++counts[static_cast<std::size_t>(c.at(i * 0.01)) - 1];
+  EXPECT_NEAR(counts[0] / 40000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 40000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 40000.0, 0.4, 0.02);
+}
+
+TEST(IidChannel, DeterministicPerSlot) {
+  IidChannel c({1, 1, 1, 1}, 0.1, 5);
+  for (double t : {0.0, 0.05, 0.3, 7.77}) EXPECT_EQ(c.at(t), c.at(t));
+  IidChannel c2({1, 1, 1, 1}, 0.1, 5);
+  EXPECT_EQ(c.at(0.42), c2.at(0.42));  // same seed, same trace
+}
+
+TEST(IidChannel, RejectsBadArguments) {
+  EXPECT_THROW(IidChannel({1, 1, 1, 1}, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(IidChannel({0, 0, 0, 0}, 0.1, 1), std::invalid_argument);
+}
+
+TEST(MarkovChannel, StaysInStateSpaceAndMixes) {
+  MarkovChannel c(MarkovChannel::default_transition(), PowerClass::kClass4,
+                  0.01, 3);
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 20000; ++i) {
+    const PowerClass pc = c.at(i * 0.01);
+    ASSERT_GE(static_cast<int>(pc), 1);
+    ASSERT_LE(static_cast<int>(pc), 4);
+    ++counts[static_cast<std::size_t>(pc) - 1];
+  }
+  for (int k : counts) EXPECT_GT(k, 500);  // every state visited
+}
+
+TEST(PilotEstimator, LagsByAtMostOnePeriod) {
+  IidChannel c({1, 1, 1, 1}, 0.005, 11);
+  PilotEstimator est(c, 0.020);
+  // The estimate equals the channel at the last pilot sample time.
+  for (double t : {0.001, 0.019, 0.021, 0.100, 0.555}) {
+    const double sample = std::floor(t / 0.020) * 0.020;
+    EXPECT_EQ(est.estimate(t), c.at(sample));
+  }
+}
+
+TEST(Link, ChargesClientMeter) {
+  net::Link link;
+  energy::EnergyMeter meter;
+  const auto up = link.client_send(1000, PowerClass::kClass4, meter);
+  EXPECT_FALSE(up.lost);
+  EXPECT_NEAR(up.seconds, 8000.0 / 2.3e6, 1e-12);
+  EXPECT_GT(meter.of(energy::Subsystem::kCommTx), 0.0);
+  const auto down = link.client_recv(500, meter);
+  EXPECT_GT(meter.of(energy::Subsystem::kCommRx), 0.0);
+  EXPECT_NEAR(down.seconds, 4000.0 / 2.3e6, 1e-12);
+}
+
+TEST(Link, LossProbability) {
+  net::Link link(radio::CommModel{}, 99);
+  link.set_loss_probability(0.5);
+  energy::EnergyMeter meter;
+  int lost = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (link.client_send(10, PowerClass::kClass4, meter).lost) ++lost;
+  EXPECT_NEAR(lost / 1000.0, 0.5, 0.08);
+}
+
+}  // namespace
+}  // namespace javelin::radio

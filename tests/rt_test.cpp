@@ -1,0 +1,266 @@
+// Runtime tests: the server (remote invocation, mobile status table, compile
+// service with the client-twin ABI) and the client (strategy execution,
+// power-down accounting, loss fallback, remote compilation download).
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "net/serializer.hpp"
+#include "rt/client.hpp"
+#include "rt/profiler.hpp"
+#include "sim/scenario.hpp"
+
+namespace javelin::rt {
+namespace {
+
+using apps::App;
+
+std::vector<jvm::ClassFile> profiled_fe() {
+  static const std::vector<jvm::ClassFile> classes = [] {
+    const App& a = apps::app("fe");
+    auto cs = a.classes;
+    profile_application(cs, {{a.cls + "." + a.method, a.workload()}});
+    return cs;
+  }();
+  return classes;
+}
+
+TEST(Server, RemoteInvocationViaProtocol) {
+  Server server;
+  server.deploy(profiled_fe());
+
+  net::InvokeRequest req;
+  req.cls = "FE";
+  req.method = "integrate";
+  req.estimated_server_seconds = 0.01;
+  // Serialize args through a scratch device.
+  Device scratch(isa::client_machine());
+  scratch.deploy(profiled_fe());
+  for (const jvm::Value v :
+       {jvm::Value::make_double(0.0), jvm::Value::make_double(4.0)})
+    req.args.push_back(net::serialize_value(scratch.vm, v, false));
+  req.args.push_back(
+      net::serialize_value(scratch.vm, jvm::Value::make_int(100), false));
+
+  const auto out = server.handle_invoke(req, 1.0, /*client=*/7);
+  ASSERT_TRUE(out.response.ok) << out.response.error;
+  EXPECT_GT(out.compute_seconds, 0.0);
+  const jvm::Value result =
+      net::deserialize_value(scratch.vm, out.response.result, false);
+  EXPECT_GT(result.as_double(), 0.0);
+
+  // Mobile status table was updated.
+  const MobileStatus* st = server.status_of(7);
+  ASSERT_NE(st, nullptr);
+  EXPECT_DOUBLE_EQ(st->request_time, 1.0);
+  EXPECT_DOUBLE_EQ(st->estimated_wake, 1.01);
+  // The server queues the response iff it finished before the client wakes.
+  EXPECT_EQ(st->response_queued, st->response_ready < st->estimated_wake);
+}
+
+TEST(Server, RejectsBadRequests) {
+  Server server;
+  server.deploy(profiled_fe());
+  net::InvokeRequest req;
+  req.cls = "FE";
+  req.method = "nope";
+  EXPECT_FALSE(server.handle_invoke(req, 0, 1).response.ok);
+  req.method = "f";  // exists but not a potential method
+  EXPECT_FALSE(server.handle_invoke(req, 0, 1).response.ok);
+  req.method = "integrate";  // wrong arg count
+  EXPECT_FALSE(server.handle_invoke(req, 0, 1).response.ok);
+}
+
+TEST(Server, CompileServiceShipsRunnableCode) {
+  Server server;
+  server.deploy(profiled_fe());
+  const net::CompileResponse resp =
+      server.handle_compile(net::CompileRequest{"FE", "integrate", 2});
+  ASSERT_TRUE(resp.ok) << resp.error;
+  // Plan = integrate + its callee f.
+  EXPECT_EQ(resp.units.size(), 2u);
+  EXPECT_GT(resp.server_seconds, 0.0);
+
+  // Install the downloaded code on a *client* and check it computes the same
+  // value as interpretation — this validates the twin-ABI layout (statics,
+  // literal pools, bytecode addresses).
+  Device client(isa::client_machine());
+  client.deploy(profiled_fe());
+  std::vector<jvm::Value> args{jvm::Value::make_double(0.5),
+                               jvm::Value::make_double(3.5),
+                               jvm::Value::make_int(200)};
+  const std::int32_t mid = client.vm.find_method("FE", "integrate");
+  const double interp = client.engine.invoke(mid, args).as_double();
+  for (auto& unit : resp.units) {
+    const std::int32_t id = client.vm.find_method(unit.cls, unit.method);
+    ASSERT_GE(id, 0);
+    client.engine.install(id, std::move(unit.program), resp.level);
+  }
+  const double native = client.engine.invoke(mid, args).as_double();
+  EXPECT_DOUBLE_EQ(native, interp);
+
+  // The compile cache returns the same bundle.
+  const net::CompileResponse again =
+      server.handle_compile(net::CompileRequest{"FE", "integrate", 2});
+  EXPECT_EQ(again.units.size(), 2u);
+}
+
+struct ClientRig {
+  Server server;
+  radio::FixedChannel channel{radio::PowerClass::kClass4};
+  net::Link link;
+  ClientConfig cfg;
+  std::unique_ptr<Client> client;
+
+  explicit ClientRig(ClientConfig c = {}) : cfg(c) {
+    server.deploy(profiled_fe());
+    client = std::make_unique<Client>(cfg, server, channel, link);
+    client->deploy(profiled_fe());
+  }
+  std::vector<jvm::Value> args(std::int32_t steps = 400) {
+    return {jvm::Value::make_double(0.0), jvm::Value::make_double(4.0),
+            jvm::Value::make_int(steps)};
+  }
+};
+
+TEST(Client, StaticStrategiesProduceSameResult) {
+  double reference = 0.0;
+  for (Strategy s : {Strategy::kInterpret, Strategy::kLocal1, Strategy::kLocal2,
+                     Strategy::kLocal3, Strategy::kRemote}) {
+    ClientRig rig;
+    InvokeReport rep;
+    const jvm::Value v =
+        rig.client->run("FE", "integrate", rig.args(), s, &rep);
+    if (s == Strategy::kInterpret) {
+      reference = v.as_double();
+    } else {
+      EXPECT_DOUBLE_EQ(v.as_double(), reference) << strategy_name(s);
+    }
+    EXPECT_GT(rep.energy_j, 0.0);
+    EXPECT_GT(rep.seconds, 0.0);
+  }
+}
+
+TEST(Client, PowerDownChargesLeakageOnly) {
+  ClientConfig with;
+  with.powerdown = true;
+  ClientConfig without;
+  without.powerdown = false;
+
+  ClientRig a(with), b(without);
+  InvokeReport ra, rb;
+  a.client->run("FE", "integrate", a.args(4000), Strategy::kRemote, &ra);
+  b.client->run("FE", "integrate", b.args(4000), Strategy::kRemote, &rb);
+  const double idle_a = a.client->device().meter.of(energy::Subsystem::kIdle);
+  const double idle_b = b.client->device().meter.of(energy::Subsystem::kIdle);
+  EXPECT_LT(idle_a, idle_b);
+  // Leakage is 10% of normal power.
+  EXPECT_NEAR(idle_a / idle_b, 0.1, 0.05);
+}
+
+TEST(Client, LostConnectionFallsBackLocally) {
+  ClientRig rig;
+  rig.link.set_loss_probability(1.0);
+  InvokeReport rep;
+  const jvm::Value v = rig.client->run("FE", "integrate", rig.args(),
+                                       Strategy::kRemote, &rep);
+  EXPECT_TRUE(rep.fallback_local);
+  EXPECT_GT(v.as_double(), 0.0);
+  // The timeout idle energy was charged.
+  EXPECT_GT(rig.client->device().meter.of(energy::Subsystem::kIdle), 0.0);
+}
+
+TEST(Client, AdaptiveSwitchesToRemoteOnGoodChannel) {
+  // fe at a large step count strongly favours remote under Class 4.
+  ClientRig rig;
+  std::map<ExecMode, int> modes;
+  for (int i = 0; i < 20; ++i) {
+    InvokeReport rep;
+    rig.client->run("FE", "integrate", rig.args(3200),
+                    Strategy::kAdaptiveLocal, &rep);
+    ++modes[rep.mode];
+  }
+  EXPECT_GT(modes[ExecMode::kRemote], 10);
+}
+
+TEST(Client, AdaptiveAvoidsRemoteOnPoorChannel) {
+  Server server;
+  server.deploy(profiled_fe());
+  radio::FixedChannel channel(radio::PowerClass::kClass1);
+  net::Link link;
+  Client client(ClientConfig{}, server, channel, link);
+  client.deploy(profiled_fe());
+  std::map<ExecMode, int> modes;
+  for (int i = 0; i < 20; ++i) {
+    InvokeReport rep;
+    client.run("FE", "integrate",
+               {{jvm::Value::make_double(0.0), jvm::Value::make_double(4.0),
+                 jvm::Value::make_int(800)}},
+               Strategy::kAdaptiveLocal, &rep);
+    ++modes[rep.mode];
+  }
+  EXPECT_EQ(modes[ExecMode::kRemote], 0);
+}
+
+TEST(Client, AdaptiveCompilationChoiceMatchesProfile) {
+  // AA must pick whichever compilation alternative the profile says is
+  // cheaper at Class 4 (Section 3.3). We derive the expected choice from the
+  // class-file profile exactly like the helper method does, then check the
+  // observed behaviour.
+  ClientRig rig;
+  const jvm::EnergyProfile& prof =
+      rig.client->device()
+          .vm.method(rig.client->device().vm.find_method("FE", "integrate"))
+          .info->profile;
+  const radio::CommModel comm;
+
+  int compiles = 0, remote_compiles = 0;
+  ExecMode compiled_mode = ExecMode::kInterpret;
+  for (int i = 0; i < 30; ++i) {
+    InvokeReport rep;
+    const jvm::Value v = rig.client->run("FE", "integrate", rig.args(900),
+                                         Strategy::kAdaptiveAdaptive, &rep);
+    EXPECT_GT(v.as_double(), 0.0);
+    if (rep.compiled_this_call) {
+      ++compiles;
+      compiled_mode = rep.mode;
+      if (rep.remote_compile) ++remote_compiles;
+    }
+  }
+  if (compiles > 0) {
+    const int level = static_cast<int>(compiled_mode);
+    ASSERT_GE(level, 1);
+    const double local = prof.compile_energy[level - 1];
+    const double remote =
+        comm.tx_energy(64, radio::PowerClass::kClass4) +
+        comm.rx_energy(prof.code_size_bytes[level - 1]);
+    EXPECT_EQ(remote_compiles > 0, remote < local)
+        << "AA chose " << (remote_compiles ? "remote" : "local")
+        << " but remote=" << remote << " J vs local=" << local << " J";
+  }
+}
+
+TEST(Client, SizeParamEvaluation) {
+  Device dev(isa::client_machine());
+  dev.deploy(profiled_fe());
+  const jvm::RtMethod& m =
+      dev.vm.method(dev.vm.find_method("FE", "integrate"));
+  const double s = Client::size_param(
+      dev.vm, *m.info,
+      {{jvm::Value::make_double(0), jvm::Value::make_double(1),
+        jvm::Value::make_int(123)}});
+  EXPECT_DOUBLE_EQ(s, 123.0);
+}
+
+TEST(Client, EwmaPrediction) {
+  // With u = 0.7, after a jump from 100 to 200 the prediction moves 30% of
+  // the way per step. Validated through decide()'s observable behaviour:
+  // verified indirectly via mode stability under AL in scenario tests; here
+  // just check the config plumbs through.
+  ClientConfig c;
+  c.u1 = 0.25;
+  ClientRig rig(c);
+  EXPECT_DOUBLE_EQ(rig.client->config().u1, 0.25);
+}
+
+}  // namespace
+}  // namespace javelin::rt

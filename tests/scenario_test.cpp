@@ -1,0 +1,104 @@
+// Scenario-runner tests: determinism, distribution properties, and the
+// paper's headline ordering (adaptive strategies never lose badly to the
+// best static strategy, and AA <= AL).
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace javelin::sim {
+namespace {
+
+TEST(Scenario, ChannelWeightsMatchSituations) {
+  const auto good = channel_weights(Situation::kGoodChannelDominantSize);
+  EXPECT_GT(good[3], 0.5);  // mostly Class 4
+  const auto poor = channel_weights(Situation::kPoorChannelDominantSize);
+  EXPECT_GT(poor[0], 0.5);  // mostly Class 1
+  const auto uni = channel_weights(Situation::kUniform);
+  for (double w : uni) EXPECT_DOUBLE_EQ(w, 0.25);
+}
+
+TEST(Scenario, DominantSizeDistribution) {
+  const apps::App& a = apps::app("fe");
+  Rng rng(1);
+  const auto scales =
+      scenario_scales(a, Situation::kGoodChannelDominantSize, rng, 1000);
+  const double dominant = a.profile_scales[a.profile_scales.size() / 2];
+  int dom = 0;
+  for (double s : scales)
+    if (s == dominant) ++dom;
+  EXPECT_GT(dom, 700);  // ~80% + uniform picks of the same value
+  // Uniform situation covers the whole support.
+  Rng rng2(2);
+  const auto uni = scenario_scales(a, Situation::kUniform, rng2, 1000);
+  for (double s : a.profile_scales)
+    EXPECT_NE(std::count(uni.begin(), uni.end(), s), 0) << s;
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  ScenarioRunner r1(apps::app("fe"), 777);
+  ScenarioRunner r2(apps::app("fe"), 777);
+  const auto a = r1.run(rt::Strategy::kAdaptiveLocal,
+                        Situation::kUniform, 40);
+  const auto b = r2.run(rt::Strategy::kAdaptiveLocal,
+                        Situation::kUniform, 40);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.mode_counts, b.mode_counts);
+}
+
+TEST(Scenario, AllStrategiesComputeCorrectResults) {
+  ScenarioRunner runner(apps::app("fe"));
+  for (rt::Strategy s : rt::kAllStrategies) {
+    const auto r = runner.run(s, Situation::kUniform, 25);
+    EXPECT_TRUE(r.all_correct) << rt::strategy_name(s);
+    EXPECT_EQ(r.executions, 25);
+    EXPECT_GT(r.total_energy_j, 0.0);
+  }
+}
+
+TEST(Scenario, HeadlineOrderingOnFe) {
+  // fe is the most offload-friendly benchmark: AL must beat every static
+  // strategy under the good-channel scenario, and AA must not lose to AL by
+  // more than noise (paper Section 3.2/3.3).
+  ScenarioRunner runner(apps::app("fe"));
+  double best_static = 1e300;
+  for (rt::Strategy s : {rt::Strategy::kRemote, rt::Strategy::kInterpret,
+                         rt::Strategy::kLocal1, rt::Strategy::kLocal2,
+                         rt::Strategy::kLocal3}) {
+    best_static = std::min(
+        best_static,
+        runner.run(s, Situation::kGoodChannelDominantSize, 100).total_energy_j);
+  }
+  const double al =
+      runner.run(rt::Strategy::kAdaptiveLocal,
+                 Situation::kGoodChannelDominantSize, 100).total_energy_j;
+  const double aa =
+      runner.run(rt::Strategy::kAdaptiveAdaptive,
+                 Situation::kGoodChannelDominantSize, 100).total_energy_j;
+  // Allow a few percent of adaptation overhead (the early exploration
+  // ladder) on top of the oracle-best static.
+  EXPECT_LT(al, best_static * 1.05);
+  EXPECT_LT(aa, al * 1.02);
+}
+
+TEST(Scenario, SingleRunIncludesCompileEnergy) {
+  ScenarioRunner runner(apps::app("fe"));
+  const auto interp = runner.run_single(rt::Strategy::kInterpret,
+                                        apps::app("fe").small_scale,
+                                        radio::PowerClass::kClass4);
+  const auto l3 = runner.run_single(rt::Strategy::kLocal3,
+                                    apps::app("fe").small_scale,
+                                    radio::PowerClass::kClass4);
+  // At the small input, one L3 execution (compile included) costs more than
+  // interpretation — the basis of the paper's Fig 6 small-input shape.
+  EXPECT_GT(l3.total_energy_j, interp.total_energy_j);
+  EXPECT_EQ(l3.compiles, 1);
+}
+
+TEST(Scenario, ProfileAccessor) {
+  ScenarioRunner runner(apps::app("sort"));
+  EXPECT_TRUE(runner.profile().valid);
+  EXPECT_GT(runner.profile().code_size_bytes[0], 0u);
+}
+
+}  // namespace
+}  // namespace javelin::sim

@@ -1,0 +1,186 @@
+// Serializer tests: round trips of primitives, arrays of every element kind,
+// objects with inherited fields, shared structure (back references), cyclic
+// graphs, cross-JVM transfer, energy charging, and malformed input.
+#include <gtest/gtest.h>
+
+#include "jvm/builder.hpp"
+#include "net/serializer.hpp"
+
+namespace javelin::net {
+namespace {
+
+using jvm::ClassBuilder;
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+struct Rig {
+  isa::MachineConfig cfg = isa::client_machine();
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier{cfg.icache, cfg.dcache, cfg.miss_penalty_cycles,
+                            &cfg.energy, &meter};
+  isa::Core core{&cfg, &arena, &hier, &meter};
+  jvm::Jvm vm{core};
+
+  Rig() {
+    // A small class hierarchy for object tests.
+    ClassBuilder base("Node");
+    base.field("val", TypeKind::kInt);
+    base.field("next", TypeKind::kRef);
+    {
+      auto& m = base.method("noop", Signature{{}, TypeKind::kVoid});
+      m.ret();
+    }
+    jvm::ClassFile base_cf = base.build();
+
+    ClassBuilder sub("FatNode", "Node");
+    sub.field("weight", TypeKind::kDouble);
+    {
+      auto& m = sub.method("noop2", Signature{{}, TypeKind::kVoid});
+      m.ret();
+    }
+    vm.load(base_cf);
+    vm.load(sub.build({&base_cf}));
+    vm.link();
+  }
+};
+
+TEST(Serializer, PrimitivesRoundTrip) {
+  Rig rig;
+  for (const Value v : {Value::make_int(-42), Value::make_int(0),
+                        Value::make_double(3.14159),
+                        Value::make_ref(mem::kNullAddr)}) {
+    const auto bytes = serialize_value(rig.vm, v, false);
+    const Value back = deserialize_value(rig.vm, bytes, false);
+    EXPECT_TRUE(back == v || (v.kind == TypeKind::kRef &&
+                              back.as_ref() == mem::kNullAddr));
+  }
+}
+
+TEST(Serializer, ArraysOfEveryKind) {
+  Rig rig;
+  {
+    const mem::Addr a = rig.vm.new_array(TypeKind::kInt, 5, false);
+    rig.vm.write_i32_array(a, {1, -2, 3, -4, 5});
+    const auto bytes = serialize_value(rig.vm, Value::make_ref(a), false);
+    const Value back = deserialize_value(rig.vm, bytes, false);
+    EXPECT_EQ(rig.vm.read_i32_array(back.as_ref()),
+              (std::vector<std::int32_t>{1, -2, 3, -4, 5}));
+  }
+  {
+    const mem::Addr a = rig.vm.new_array(TypeKind::kDouble, 3, false);
+    rig.vm.write_f64_array(a, {0.5, -1.25, 1e100});
+    const auto bytes = serialize_value(rig.vm, Value::make_ref(a), false);
+    const Value back = deserialize_value(rig.vm, bytes, false);
+    EXPECT_EQ(rig.vm.read_f64_array(back.as_ref()),
+              (std::vector<double>{0.5, -1.25, 1e100}));
+  }
+  {
+    const mem::Addr a = rig.vm.new_array(TypeKind::kByte, 4, false);
+    rig.vm.write_u8_array(a, {0, 127, 128, 255});
+    const auto bytes = serialize_value(rig.vm, Value::make_ref(a), false);
+    const Value back = deserialize_value(rig.vm, bytes, false);
+    EXPECT_EQ(rig.vm.read_u8_array(back.as_ref()),
+              (std::vector<std::uint8_t>{0, 127, 128, 255}));
+  }
+  {
+    // Empty array.
+    const mem::Addr a = rig.vm.new_array(TypeKind::kInt, 0, false);
+    const auto bytes = serialize_value(rig.vm, Value::make_ref(a), false);
+    const Value back = deserialize_value(rig.vm, bytes, false);
+    EXPECT_EQ(rig.vm.array_length(back.as_ref()), 0);
+  }
+}
+
+TEST(Serializer, RefArrayWithSharingAndNulls) {
+  Rig rig;
+  const mem::Addr inner = rig.vm.new_array(TypeKind::kInt, 2, false);
+  rig.vm.write_i32_array(inner, {7, 8});
+  const mem::Addr outer = rig.vm.new_array(TypeKind::kRef, 3, false);
+  // outer = [inner, null, inner] — shared element must stay shared.
+  rig.arena.store_u32(rig.vm.elem_addr(outer, 0), inner);
+  rig.arena.store_u32(rig.vm.elem_addr(outer, 1), mem::kNullAddr);
+  rig.arena.store_u32(rig.vm.elem_addr(outer, 2), inner);
+
+  const auto bytes = serialize_value(rig.vm, Value::make_ref(outer), false);
+  const Value back = deserialize_value(rig.vm, bytes, false);
+  const mem::Addr b0 = rig.arena.load_u32(rig.vm.elem_addr(back.as_ref(), 0));
+  const mem::Addr b1 = rig.arena.load_u32(rig.vm.elem_addr(back.as_ref(), 1));
+  const mem::Addr b2 = rig.arena.load_u32(rig.vm.elem_addr(back.as_ref(), 2));
+  EXPECT_EQ(b1, mem::kNullAddr);
+  EXPECT_EQ(b0, b2) << "sharing must be preserved";
+  EXPECT_NE(b0, inner) << "deserialized copy must be a new object";
+  EXPECT_EQ(rig.vm.read_i32_array(b0), (std::vector<std::int32_t>{7, 8}));
+}
+
+TEST(Serializer, ObjectWithInheritedFieldsAndCycle) {
+  Rig rig;
+  const std::int32_t fat_id = rig.vm.find_class("FatNode");
+  const mem::Addr node = rig.vm.new_object(fat_id, false);
+  const jvm::RtClass& fat = rig.vm.cls(fat_id);
+  const jvm::RtClass& base = rig.vm.cls(rig.vm.find_class("Node"));
+  const jvm::RtField& val = rig.vm.field(base.field_ids[0]);
+  const jvm::RtField& next = rig.vm.field(base.field_ids[1]);
+  const jvm::RtField& weight = rig.vm.field(fat.field_ids[0]);
+  rig.arena.store_i32(rig.vm.field_addr(node, val), 99);
+  rig.arena.store_u32(rig.vm.field_addr(node, next), node);  // self-cycle
+  rig.arena.store_f64(rig.vm.field_addr(node, weight), 2.75);
+
+  const auto bytes = serialize_value(rig.vm, Value::make_ref(node), false);
+  const Value back = deserialize_value(rig.vm, bytes, false);
+  const mem::Addr copy = back.as_ref();
+  EXPECT_EQ(rig.vm.obj_class_id(copy), fat_id);
+  EXPECT_EQ(rig.arena.load_i32(rig.vm.field_addr(copy, val)), 99);
+  EXPECT_DOUBLE_EQ(rig.arena.load_f64(rig.vm.field_addr(copy, weight)), 2.75);
+  EXPECT_EQ(rig.arena.load_u32(rig.vm.field_addr(copy, next)), copy)
+      << "cycle must be reconstructed";
+}
+
+TEST(Serializer, CrossJvmTransferByClassName) {
+  Rig a, b;  // independent JVMs with the same classes
+  const mem::Addr node = a.vm.new_object(a.vm.find_class("Node"), false);
+  const jvm::RtField& val =
+      a.vm.field(a.vm.cls(a.vm.find_class("Node")).field_ids[0]);
+  a.arena.store_i32(a.vm.field_addr(node, val), 1234);
+
+  const auto bytes = serialize_value(a.vm, Value::make_ref(node), false);
+  const Value got = deserialize_value(b.vm, bytes, false);
+  EXPECT_EQ(b.arena.load_i32(b.vm.field_addr(got.as_ref(), val)), 1234);
+}
+
+TEST(Serializer, ChargingCostsEnergy) {
+  Rig rig;
+  const mem::Addr a = rig.vm.new_array(TypeKind::kInt, 1000, false);
+  const double e0 = rig.meter.total();
+  const auto bytes = serialize_value(rig.vm, Value::make_ref(a), true);
+  const double e_ser = rig.meter.total() - e0;
+  EXPECT_GT(e_ser, 0.0);
+  const double e1 = rig.meter.total();
+  deserialize_value(rig.vm, bytes, true);
+  EXPECT_GT(rig.meter.total() - e1, 0.0);
+  // Roughly linear in payload: 4x the elements -> about 4x the energy.
+  const mem::Addr big = rig.vm.new_array(TypeKind::kInt, 4000, false);
+  const double e2 = rig.meter.total();
+  serialize_value(rig.vm, Value::make_ref(big), true);
+  EXPECT_NEAR((rig.meter.total() - e2) / e_ser, 4.0, 0.8);
+}
+
+TEST(Serializer, MalformedInputRejected) {
+  Rig rig;
+  EXPECT_THROW(deserialize_value(rig.vm, {99}, false), FormatError);
+  EXPECT_THROW(deserialize_value(rig.vm, {}, false), FormatError);
+  // Unknown class name.
+  ByteWriter w;
+  w.u8(4);  // kTagObject
+  w.str("NoSuchClass");
+  EXPECT_THROW(deserialize_value(rig.vm, w.data(), false), FormatError);
+  // Trailing bytes.
+  const auto good = serialize_value(rig.vm, Value::make_int(1), false);
+  auto trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(deserialize_value(rig.vm, trailing, false), FormatError);
+}
+
+}  // namespace
+}  // namespace javelin::net

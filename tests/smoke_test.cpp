@@ -1,0 +1,160 @@
+// End-to-end smoke: build a class, verify, link, interpret, JIT at all three
+// levels, and check that every execution path computes the same results.
+#include <gtest/gtest.h>
+
+#include "jit/compiler.hpp"
+#include "jvm/builder.hpp"
+#include "jvm/engine.hpp"
+
+namespace javelin {
+namespace {
+
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+struct TestDevice {
+  isa::MachineConfig cfg = isa::client_machine();
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier{cfg.icache, cfg.dcache, cfg.miss_penalty_cycles,
+                            &cfg.energy, &meter};
+  isa::Core core{&cfg, &arena, &hier, &meter};
+  jvm::Jvm vm{core};
+  jvm::ExecutionEngine engine{vm};
+};
+
+// sum of i*i for i in [0, n) plus a quicksort-free loop with an array.
+jvm::ClassFile make_math_class() {
+  jvm::ClassBuilder cb("Math");
+  {
+    auto& m = cb.method("sumsq", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "n");
+    auto loop = m.new_label();
+    auto done = m.new_label();
+    m.iconst(0).istore("acc");
+    m.iconst(0).istore("i");
+    m.bind(loop);
+    m.iload("i").iload("n").if_icmpge(done);
+    m.iload("acc").iload("i").iload("i").imul().iadd().istore("acc");
+    m.iload("i").iconst(1).iadd().istore("i");
+    m.goto_(loop);
+    m.bind(done);
+    m.iload("acc").iret();
+  }
+  {
+    // fill an int array with i*3, then sum it
+    auto& m =
+        cb.method("arrsum", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "n");
+    auto l1 = m.new_label(), d1 = m.new_label();
+    auto l2 = m.new_label(), d2 = m.new_label();
+    m.iload("n").newarray(TypeKind::kInt).astore("a");
+    m.iconst(0).istore("i");
+    m.bind(l1);
+    m.iload("i").iload("n").if_icmpge(d1);
+    m.aload("a").iload("i").iload("i").iconst(3).imul().iastore();
+    m.iload("i").iconst(1).iadd().istore("i");
+    m.goto_(l1);
+    m.bind(d1);
+    m.iconst(0).istore("acc").iconst(0).istore("i");
+    m.bind(l2);
+    m.iload("i").aload("a").arraylength().if_icmpge(d2);
+    m.iload("acc").aload("a").iload("i").iaload().iadd().istore("acc");
+    m.iload("i").iconst(1).iadd().istore("i");
+    m.goto_(l2);
+    m.bind(d2);
+    m.iload("acc").iret();
+  }
+  {
+    // double kernel with an intrinsic and a call
+    auto& m = cb.method("hyp", Signature{{TypeKind::kDouble, TypeKind::kDouble},
+                                         TypeKind::kDouble});
+    m.param_name(0, "x").param_name(1, "y");
+    m.dload("x").dload("x").dmul();
+    m.dload("y").dload("y").dmul();
+    m.dadd();
+    m.intrinsic(isa::Intrinsic::kSqrt);
+    m.dret();
+  }
+  {
+    auto& m = cb.method("callhyp",
+                        Signature{{TypeKind::kInt}, TypeKind::kDouble});
+    m.param_name(0, "n");
+    m.iload("n").i2d().iconst(3).i2d().invokestatic("Math", "hyp");
+    m.dret();
+  }
+  return cb.build();
+}
+
+TEST(Smoke, InterpreterComputes) {
+  TestDevice d;
+  d.vm.load(make_math_class());
+  d.vm.link();
+  const Value r = d.engine.call("Math", "sumsq", {{Value::make_int(10)}});
+  EXPECT_EQ(r.as_int(), 285);
+  const Value r2 = d.engine.call("Math", "arrsum", {{Value::make_int(100)}});
+  EXPECT_EQ(r2.as_int(), 3 * 99 * 100 / 2);
+  const Value r3 = d.engine.call(
+      "Math", "hyp", {{Value::make_double(3.0), Value::make_double(4.0)}});
+  EXPECT_DOUBLE_EQ(r3.as_double(), 5.0);
+  const Value r4 = d.engine.call("Math", "callhyp", {{Value::make_int(4)}});
+  EXPECT_DOUBLE_EQ(r4.as_double(), 5.0);
+  EXPECT_GT(d.meter.total(), 0.0);
+}
+
+TEST(Smoke, JitMatchesInterpreterAtAllLevels) {
+  for (int level = 1; level <= 3; ++level) {
+    TestDevice d;
+    d.vm.load(make_math_class());
+    d.vm.link();
+
+    // Interpreted references.
+    const std::int32_t sumsq = d.vm.find_method("Math", "sumsq");
+    const std::int32_t arrsum = d.vm.find_method("Math", "arrsum");
+    const std::int32_t callhyp = d.vm.find_method("Math", "callhyp");
+    const Value i1 = d.engine.invoke(sumsq, {{Value::make_int(37)}});
+    const Value i2 = d.engine.invoke(arrsum, {{Value::make_int(64)}});
+    const Value i3 = d.engine.invoke(callhyp, {{Value::make_int(7)}});
+
+    // Compile everything at this level and re-run.
+    jit::CompileOptions opts;
+    opts.opt_level = level;
+    for (const auto id : {sumsq, arrsum, callhyp}) {
+      auto res = jit::compile_method(d.vm, id, opts, d.cfg.energy);
+      EXPECT_GT(res.compile_energy, 0.0);
+      d.engine.install(id, std::move(res.program), level);
+    }
+    const Value j1 = d.engine.invoke(sumsq, {{Value::make_int(37)}});
+    const Value j2 = d.engine.invoke(arrsum, {{Value::make_int(64)}});
+    const Value j3 = d.engine.invoke(callhyp, {{Value::make_int(7)}});
+
+    EXPECT_EQ(i1.as_int(), j1.as_int()) << "level " << level;
+    EXPECT_EQ(i2.as_int(), j2.as_int()) << "level " << level;
+    EXPECT_DOUBLE_EQ(i3.as_double(), j3.as_double()) << "level " << level;
+  }
+}
+
+TEST(Smoke, JitCheaperThanInterp) {
+  TestDevice d;
+  d.vm.load(make_math_class());
+  d.vm.link();
+  const std::int32_t sumsq = d.vm.find_method("Math", "sumsq");
+
+  const auto before = d.meter.snapshot();
+  d.engine.invoke(sumsq, {{Value::make_int(1000)}});
+  const double interp_energy = d.meter.since(before).total();
+
+  auto res = jit::compile_method(d.vm, sumsq, jit::CompileOptions{.opt_level = 2},
+                                 d.cfg.energy);
+  d.engine.install(sumsq, std::move(res.program), 2);
+  const auto before2 = d.meter.snapshot();
+  d.engine.invoke(sumsq, {{Value::make_int(1000)}});
+  const double jit_energy = d.meter.since(before2).total();
+
+  EXPECT_LT(jit_energy, interp_energy / 2.0)
+      << "interp=" << interp_energy << " jit=" << jit_energy;
+}
+
+}  // namespace
+}  // namespace javelin

@@ -1,0 +1,205 @@
+// Unit tests for the support library: RNG, statistics, least squares, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/bytes.hpp"
+#include "support/fit.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace javelin {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRangeAndCoversAll) {
+  Rng rng(7);
+  std::array<int, 6> counts{};
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.uniform_int(2, 7);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 7);
+    ++counts[static_cast<std::size_t>(v - 2)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(st.mean(), 3.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(21);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 10000; ++i)
+    ++counts[rng.categorical({1.0, 0.0, 3.0})];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, CategoricalRejectsEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(42);
+  Rng child = parent.split();
+  // Child should not replay the parent's stream.
+  Rng parent2(42);
+  parent2.split();
+  EXPECT_EQ(child.next_u64(), [&] {
+    Rng p(42);
+    return p.split().next_u64();
+  }());
+}
+
+TEST(RunningStats, Basic) {
+  RunningStats st;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal();
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 10), 1.0);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Geomean, Basic) {
+  EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+  EXPECT_THROW(geomean({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Fit, RecoversQuadratic) {
+  std::vector<double> xs, ys;
+  for (double x = 0; x < 10; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back(3.0 - 2.0 * x + 0.5 * x * x);
+  }
+  const PolyFit f = fit_polynomial(xs, ys, 2);
+  ASSERT_EQ(f.coeffs.size(), 3u);
+  EXPECT_NEAR(f.coeffs[0], 3.0, 1e-9);
+  EXPECT_NEAR(f.coeffs[1], -2.0, 1e-9);
+  EXPECT_NEAR(f.coeffs[2], 0.5, 1e-9);
+  EXPECT_NEAR(r_squared(f, xs, ys), 1.0, 1e-12);
+}
+
+TEST(Fit, LeastSquaresUnderNoise) {
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (double x = 1; x < 50; x += 1) {
+    xs.push_back(x);
+    ys.push_back(5.0 + 2.0 * x + rng.normal(0, 0.01));
+  }
+  const PolyFit f = fit_polynomial(xs, ys, 1);
+  EXPECT_NEAR(f.coeffs[1], 2.0, 1e-2);
+  EXPECT_GT(r_squared(f, xs, ys), 0.999);
+}
+
+TEST(Fit, RejectsUnderdetermined) {
+  EXPECT_THROW(fit_polynomial({1.0}, {2.0}, 2), std::invalid_argument);
+}
+
+TEST(SolveLinear, SolvesAndDetectsSingular) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1
+  const auto x = solve_linear({2, 1, 1, -1}, {5, 1}, 2);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_THROW(solve_linear({1, 1, 2, 2}, {1, 2}, 2), Error);
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"x", "1"});
+  t.add_row({"long", "2"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| long | 2  |"), std::string::npos);
+}
+
+TEST(Bytes, RoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(123456);
+  w.i32(-5);
+  w.f64(3.25);
+  w.str("hello");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456u);
+  EXPECT_EQ(r.i32(), -5);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, UnderflowThrows) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.u32(), FormatError);
+}
+
+}  // namespace
+}  // namespace javelin

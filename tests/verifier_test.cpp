@@ -1,0 +1,193 @@
+// Verifier tests: the paper leans on load-time verification (Section 3.3 —
+// it is what downloaded *native* code cannot get). These tests build
+// malformed methods directly (bypassing the builder's own checks) and assert
+// the verifier rejects each category, plus positive tests for join-point
+// merging.
+#include <gtest/gtest.h>
+
+#include "jvm/builder.hpp"
+#include "jvm/verifier.hpp"
+
+namespace javelin::jvm {
+namespace {
+
+ClassFile raw_class(std::vector<Insn> code, Signature sig,
+                    std::uint16_t max_locals) {
+  ClassFile cf;
+  cf.name = "Raw";
+  MethodInfo m;
+  m.name = "f";
+  m.sig = std::move(sig);
+  m.max_locals = max_locals;
+  m.code = std::move(code);
+  cf.methods.push_back(std::move(m));
+  return cf;
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  ClassFile cf = raw_class({{Op::kIadd, 0, 0}, {Op::kReturn, 0, 0}},
+                           Signature{{}, TypeKind::kVoid}, 0);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsTypeMismatch) {
+  // iconst then dneg: int where double expected.
+  ClassFile cf = raw_class({{Op::kIconst, 1, 0},
+                            {Op::kDneg, 0, 0},
+                            {Op::kReturn, 0, 0}},
+                           Signature{{}, TypeKind::kVoid}, 0);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsBranchOutOfRange) {
+  ClassFile cf = raw_class({{Op::kGoto, 99, 0}},
+                           Signature{{}, TypeKind::kVoid}, 0);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsFallingOffEnd) {
+  ClassFile cf = raw_class({{Op::kIconst, 1, 0}},
+                           Signature{{}, TypeKind::kVoid}, 0);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsWrongReturnKind) {
+  ClassFile cf = raw_class({{Op::kIconst, 1, 0}, {Op::kIreturn, 0, 0}},
+                           Signature{{}, TypeKind::kDouble}, 0);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsLocalIndexOutOfRange) {
+  ClassFile cf = raw_class({{Op::kIload, 3, 0}, {Op::kIreturn, 0, 0}},
+                           Signature{{TypeKind::kInt}, TypeKind::kInt}, 1);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsReadingUninitializedLocal) {
+  ClassFile cf = raw_class({{Op::kIload, 0, 0}, {Op::kIreturn, 0, 0}},
+                           Signature{{}, TypeKind::kInt}, 1);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsInconsistentStackAtJoin) {
+  // Path A pushes an int, path B pushes a double, both jump to the same pc.
+  ClassFile cf = raw_class(
+      {
+          {Op::kIload, 0, 0},        // 0: condition
+          {Op::kIfeq, 4, 0},         // 1: if 0 goto 4
+          {Op::kIconst, 1, 0},       // 2: push int
+          {Op::kGoto, 6, 0},         // 3:
+          {Op::kDconst, 0, 0},       // 4: push double
+          {Op::kGoto, 6, 0},         // 5:
+          {Op::kPop, 0, 0},          // 6: join with mismatched stacks
+          {Op::kReturn, 0, 0},       // 7:
+      },
+      Signature{{TypeKind::kInt}, TypeKind::kVoid}, 1);
+  cf.pool.add_double(1.0);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, AcceptsLocalKindConflictOnlyIfUnused) {
+  // A local that holds an int on one path and a double on the other is fine
+  // at the join as long as it is re-stored before being read again.
+  ClassBuilder cb("C");
+  auto& m = cb.method("f", Signature{{TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "c");
+  auto other = m.new_label(), join = m.new_label();
+  m.iload("c").ifeq(other);
+  m.iconst(1).istore("tmp_i");
+  m.goto_(join);
+  m.bind(other);
+  m.iconst(2).istore("tmp_i");
+  m.bind(join);
+  m.iload("tmp_i").iret();
+  EXPECT_NO_THROW(cb.build());
+}
+
+TEST(Verifier, RejectsUseOfConflictedLocalAfterJoin) {
+  // local 1 is int on one path, double on the other; reading it after the
+  // join must be rejected.
+  ClassFile cf = raw_class(
+      {
+          {Op::kIload, 0, 0},    // 0
+          {Op::kIfeq, 5, 0},     // 1
+          {Op::kIconst, 1, 0},   // 2
+          {Op::kIstore, 1, 0},   // 3
+          {Op::kGoto, 7, 0},     // 4
+          {Op::kDconst, 0, 0},   // 5
+          {Op::kDstore, 1, 0},   // 6
+          {Op::kIload, 1, 0},    // 7: conflicting kinds
+          {Op::kIreturn, 0, 0},  // 8
+      },
+      Signature{{TypeKind::kInt}, TypeKind::kInt}, 2);
+  cf.pool.add_double(1.0);
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsUnresolvedCall) {
+  ClassFile cf = raw_class({{Op::kInvokeStatic, 0, 0}, {Op::kReturn, 0, 0}},
+                           Signature{{}, TypeKind::kVoid}, 0);
+  cf.pool.add_method("Missing", "nope");
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, RejectsStaticInstanceMismatch) {
+  ClassBuilder cb("C");
+  auto& inst = cb.method("inst", Signature{{}, TypeKind::kVoid},
+                         /*is_static=*/false);
+  inst.ret();
+  ClassFile cf = cb.build();
+  // Hand-craft a method that invokestatic's the instance method.
+  MethodInfo bad;
+  bad.name = "bad";
+  bad.sig = Signature{{}, TypeKind::kVoid};
+  bad.max_locals = 0;
+  bad.code = {{Op::kInvokeStatic,
+               cf.pool.add_method("C", "inst"), 0},
+              {Op::kReturn, 0, 0}};
+  cf.methods.push_back(std::move(bad));
+  EXPECT_THROW(verify_class(cf), VerifyError);
+}
+
+TEST(Verifier, ResolvesThroughSuperclassChain) {
+  ClassBuilder base("Base");
+  base.field("x", TypeKind::kInt);
+  auto& bm = base.method("get", Signature{{}, TypeKind::kInt},
+                         /*is_static=*/false);
+  bm.aload("this").getfield("Base", "x").iret();
+  ClassFile base_cf = base.build();
+
+  // Derived has no own "get"; the virtual call resolves through the chain.
+  ClassBuilder derived("Derived", "Base");
+  auto& dm = derived.method("use", Signature{{TypeKind::kRef}, TypeKind::kInt});
+  dm.param_name(0, "o");
+  dm.aload("o").invokevirtual("Derived", "get").iret();
+
+  EXPECT_NO_THROW(derived.build({&base_cf}));
+
+  // Without the resolver the reference is unresolvable.
+  ClassBuilder lonely("Lonely", "Base");
+  auto& lm = lonely.method("use", Signature{{TypeKind::kRef}, TypeKind::kInt});
+  lm.param_name(0, "o");
+  lm.aload("o").invokevirtual("Lonely", "get").iret();
+  EXPECT_THROW(lonely.build(), VerifyError);
+}
+
+TEST(Verifier, ComputesMaxStackOverBranches) {
+  ClassBuilder cb("C");
+  auto& m = cb.method("f", Signature{{TypeKind::kInt}, TypeKind::kInt});
+  m.param_name(0, "c");
+  auto deep = m.new_label(), out = m.new_label();
+  m.iload("c").ifeq(deep);
+  m.iconst(1).iret();
+  m.bind(deep);
+  m.iconst(1).iconst(2).iconst(3).iconst(4).iadd().iadd().iadd();
+  m.goto_(out);
+  m.bind(out);
+  m.iret();
+  ClassFile cf = cb.build();
+  EXPECT_EQ(cf.find_method("f")->max_stack, 4);
+}
+
+}  // namespace
+}  // namespace javelin::jvm

@@ -1,0 +1,194 @@
+// VM-level tests: linking, object layout, statics placement, heap brackets,
+// mixed-mode execution (compiled and interpreted frames interleaving), and
+// the dynamic-download path (applications shipped as serialized class files,
+// the paper's Section 1 motivation).
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "jit/compiler.hpp"
+#include "jvm/builder.hpp"
+#include "jvm/engine.hpp"
+#include "rt/device.hpp"
+
+namespace javelin::jvm {
+namespace {
+
+TEST(Vm, ObjectLayoutAlignsFields) {
+  ClassBuilder cb("L");
+  cb.field("b1", TypeKind::kByte);
+  cb.field("d", TypeKind::kDouble);
+  cb.field("i", TypeKind::kInt);
+  auto& m = cb.method("noop", Signature{{}, TypeKind::kVoid});
+  m.ret();
+
+  rt::Device dev(isa::client_machine());
+  dev.vm.load(cb.build());
+  dev.vm.link();
+  const RtClass& rc = dev.vm.cls(dev.vm.find_class("L"));
+  const RtField& b1 = dev.vm.field(rc.field_ids[0]);
+  const RtField& d = dev.vm.field(rc.field_ids[1]);
+  const RtField& i = dev.vm.field(rc.field_ids[2]);
+  EXPECT_EQ(b1.offset, kObjHeaderBytes);
+  EXPECT_EQ(d.offset % 8, 0u);  // doubles 8-aligned
+  EXPECT_EQ(i.offset % 4, 0u);
+  EXPECT_EQ(rc.obj_size % 8, 0u);
+  EXPECT_GE(rc.obj_size, d.offset + 8);
+}
+
+TEST(Vm, SubclassLayoutExtendsSuper) {
+  ClassBuilder base("B");
+  base.field("x", TypeKind::kInt);
+  {
+    auto& m = base.method("noop", Signature{{}, TypeKind::kVoid});
+    m.ret();
+  }
+  ClassFile base_cf = base.build();
+  ClassBuilder sub("S", "B");
+  sub.field("y", TypeKind::kInt);
+  {
+    auto& m = sub.method("noop2", Signature{{}, TypeKind::kVoid});
+    m.ret();
+  }
+  rt::Device dev(isa::client_machine());
+  dev.vm.load(base_cf);
+  dev.vm.load(sub.build({&base_cf}));
+  dev.vm.link();
+  const RtClass& b = dev.vm.cls(dev.vm.find_class("B"));
+  const RtClass& s = dev.vm.cls(dev.vm.find_class("S"));
+  const RtField& x = dev.vm.field(b.field_ids[0]);
+  const RtField& y = dev.vm.field(s.field_ids[0]);
+  EXPECT_GT(s.obj_size, b.obj_size - 1);
+  EXPECT_GE(y.offset, x.offset + 4) << "subclass fields follow super fields";
+}
+
+TEST(Vm, LinkRejectsMissingSuperclassAndDuplicates) {
+  {
+    rt::Device dev(isa::client_machine());
+    ClassBuilder cb("Orphan", "Nowhere");
+    auto& m = cb.method("noop", Signature{{}, TypeKind::kVoid});
+    m.ret();
+    // Build bypassing verification of the super reference (no methods use it).
+    dev.vm.load(cb.build());
+    EXPECT_THROW(dev.vm.link(), Error);
+  }
+  {
+    rt::Device dev(isa::client_machine());
+    ClassBuilder a("Dup"), b2("Dup");
+    auto& ma = a.method("noop", Signature{{}, TypeKind::kVoid});
+    ma.ret();
+    auto& mb = b2.method("noop", Signature{{}, TypeKind::kVoid});
+    mb.ret();
+    dev.vm.load(a.build());
+    EXPECT_THROW(dev.vm.load(b2.build()), Error);
+  }
+}
+
+TEST(Vm, HeapBracketsReclaimWorkloadMemory) {
+  rt::Device dev(isa::client_machine());
+  ClassBuilder cb("H");
+  auto& m = cb.method("noop", Signature{{}, TypeKind::kVoid});
+  m.ret();
+  dev.vm.load(cb.build());
+  dev.vm.link();
+  const std::size_t before = dev.arena.heap_used();
+  for (int run = 0; run < 200; ++run) {
+    const std::size_t mark = dev.arena.heap_mark();
+    dev.vm.new_array(TypeKind::kInt, 50'000, false);
+    dev.arena.heap_release(mark);
+  }
+  EXPECT_EQ(dev.arena.heap_used(), before)
+      << "200 bracketed executions must not grow the heap";
+}
+
+TEST(Vm, MixedModeCompiledCallerInterpretedCallee) {
+  // Compile only the caller; the callee stays interpreted. Then the reverse.
+  ClassBuilder cb("Mix");
+  {
+    auto& m = cb.method("leaf", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "x");
+    m.iload("x").iconst(3).imul().iret();
+  }
+  {
+    auto& m = cb.method("root", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    m.param_name(0, "x");
+    m.iload("x").invokestatic("Mix", "leaf").iconst(1).iadd().iret();
+  }
+  rt::Device dev(isa::client_machine());
+  dev.vm.load(cb.build());
+  dev.vm.link();
+  const std::int32_t root = dev.vm.find_method("Mix", "root");
+  const std::int32_t leaf = dev.vm.find_method("Mix", "leaf");
+
+  auto run = [&] {
+    return dev.engine.invoke(root, {{Value::make_int(5)}}).as_int();
+  };
+  EXPECT_EQ(run(), 16);  // fully interpreted
+
+  auto cr = jit::compile_method(dev.vm, root, {.opt_level = 1},
+                                dev.cfg.energy);
+  dev.engine.install(root, std::move(cr.program), 1);
+  EXPECT_EQ(run(), 16);  // native root -> interpreted leaf
+
+  auto cl = jit::compile_method(dev.vm, leaf, {.opt_level = 2},
+                                dev.cfg.energy);
+  dev.engine.install(leaf, std::move(cl.program), 2);
+  EXPECT_EQ(run(), 16);  // native -> native
+
+  dev.engine.clear_code();
+  auto cl2 = jit::compile_method(dev.vm, leaf, {.opt_level = 3},
+                                 dev.cfg.energy);
+  dev.engine.install(leaf, std::move(cl2.program), 3);
+  EXPECT_EQ(run(), 16);  // interpreted root -> native leaf
+}
+
+TEST(Vm, DynamicDownloadRoundTripsAllBenchmarks) {
+  // The paper's killer feature: applications are downloaded on demand as
+  // class files. Every benchmark must survive serialize -> ship -> load ->
+  // link -> execute with identical results.
+  for (const apps::App& a : apps::registry()) {
+    std::vector<ClassFile> shipped;
+    for (const ClassFile& cf : a.classes)
+      shipped.push_back(deserialize_class(serialize_class(cf)));
+
+    rt::Device original(isa::client_machine());
+    original.core.step_limit = 50'000'000'000ULL;
+    original.deploy(a.classes);
+    rt::Device downloaded(isa::client_machine());
+    downloaded.core.step_limit = 50'000'000'000ULL;
+    downloaded.deploy(shipped);
+
+    Rng rng1(5), rng2(5);
+    const auto args1 =
+        a.make_args(original.vm, a.profile_scales.front(), rng1);
+    const auto args2 =
+        a.make_args(downloaded.vm, a.profile_scales.front(), rng2);
+    const Value r1 = original.engine.invoke(
+        original.vm.find_method(a.cls, a.method), args1);
+    const Value r2 = downloaded.engine.invoke(
+        downloaded.vm.find_method(a.cls, a.method), args2);
+    EXPECT_TRUE(a.check(downloaded.vm, args2, downloaded.vm, r2)) << a.name;
+    // Identical energy accounting too (same seed, same layout).
+    EXPECT_TRUE(a.check(original.vm, args1, original.vm, r1)) << a.name;
+  }
+}
+
+TEST(Vm, StaticsSharedAcrossInvocationsButNotDevices) {
+  ClassBuilder cb("Ctr");
+  cb.field("n", TypeKind::kInt, /*is_static=*/true);
+  {
+    auto& m = cb.method("bump", Signature{{}, TypeKind::kInt});
+    m.getstatic("Ctr", "n").iconst(1).iadd().putstatic("Ctr", "n");
+    m.getstatic("Ctr", "n").iret();
+  }
+  ClassFile cf = cb.build();
+  rt::Device d1(isa::client_machine()), d2(isa::client_machine());
+  d1.deploy({cf});
+  d2.deploy({cf});
+  const std::int32_t m1 = d1.vm.find_method("Ctr", "bump");
+  EXPECT_EQ(d1.engine.invoke(m1, {}).as_int(), 1);
+  EXPECT_EQ(d1.engine.invoke(m1, {}).as_int(), 2);
+  EXPECT_EQ(d2.engine.invoke(d2.vm.find_method("Ctr", "bump"), {}).as_int(), 1);
+}
+
+}  // namespace
+}  // namespace javelin::jvm
