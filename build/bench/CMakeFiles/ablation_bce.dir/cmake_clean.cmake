@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bce.dir/ablation_bce.cpp.o"
+  "CMakeFiles/ablation_bce.dir/ablation_bce.cpp.o.d"
+  "ablation_bce"
+  "ablation_bce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ewma.dir/ablation_ewma.cpp.o"
+  "CMakeFiles/ablation_ewma.dir/ablation_ewma.cpp.o.d"
+  "ablation_ewma"
+  "ablation_ewma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ewma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_server_delay.dir/ablation_server_delay.cpp.o"
+  "CMakeFiles/ablation_server_delay.dir/ablation_server_delay.cpp.o.d"
+  "ablation_server_delay"
+  "ablation_server_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_server_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

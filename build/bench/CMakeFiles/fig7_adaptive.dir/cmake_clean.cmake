@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_adaptive.dir/fig7_adaptive.cpp.o"
+  "CMakeFiles/fig7_adaptive.dir/fig7_adaptive.cpp.o.d"
+  "fig7_adaptive"
+  "fig7_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_compilation.dir/fig8_compilation.cpp.o"
+  "CMakeFiles/fig8_compilation.dir/fig8_compilation.cpp.o.d"
+  "fig8_compilation"
+  "fig8_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_remote.dir/speedup_remote.cpp.o"
+  "CMakeFiles/speedup_remote.dir/speedup_remote.cpp.o.d"
+  "speedup_remote"
+  "speedup_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

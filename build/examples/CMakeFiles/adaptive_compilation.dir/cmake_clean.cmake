@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_compilation.dir/adaptive_compilation.cpp.o"
+  "CMakeFiles/adaptive_compilation.dir/adaptive_compilation.cpp.o.d"
+  "adaptive_compilation"
+  "adaptive_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/download_and_run.dir/download_and_run.cpp.o"
+  "CMakeFiles/download_and_run.dir/download_and_run.cpp.o.d"
+  "download_and_run"
+  "download_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/download_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_cli.dir/javelin_cli.cpp.o"
+  "CMakeFiles/javelin_cli.dir/javelin_cli.cpp.o.d"
+  "javelin_cli"
+  "javelin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_image_pipeline.dir/offload_image_pipeline.cpp.o"
+  "CMakeFiles/offload_image_pipeline.dir/offload_image_pipeline.cpp.o.d"
+  "offload_image_pipeline"
+  "offload_image_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_image_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

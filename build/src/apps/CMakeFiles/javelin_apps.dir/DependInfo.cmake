@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/db.cpp" "src/apps/CMakeFiles/javelin_apps.dir/db.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/db.cpp.o.d"
+  "/root/repo/src/apps/ed.cpp" "src/apps/CMakeFiles/javelin_apps.dir/ed.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/ed.cpp.o.d"
+  "/root/repo/src/apps/fe.cpp" "src/apps/CMakeFiles/javelin_apps.dir/fe.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/fe.cpp.o.d"
+  "/root/repo/src/apps/hpf.cpp" "src/apps/CMakeFiles/javelin_apps.dir/hpf.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/hpf.cpp.o.d"
+  "/root/repo/src/apps/jess.cpp" "src/apps/CMakeFiles/javelin_apps.dir/jess.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/jess.cpp.o.d"
+  "/root/repo/src/apps/mf.cpp" "src/apps/CMakeFiles/javelin_apps.dir/mf.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/mf.cpp.o.d"
+  "/root/repo/src/apps/pf.cpp" "src/apps/CMakeFiles/javelin_apps.dir/pf.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/pf.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/javelin_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sort.cpp" "src/apps/CMakeFiles/javelin_apps.dir/sort.cpp.o" "gcc" "src/apps/CMakeFiles/javelin_apps.dir/sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jvm/CMakeFiles/javelin_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/javelin_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/javelin_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/javelin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/javelin_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javelin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/javelin_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/javelin_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/javelin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_apps.dir/db.cpp.o"
+  "CMakeFiles/javelin_apps.dir/db.cpp.o.d"
+  "CMakeFiles/javelin_apps.dir/ed.cpp.o"
+  "CMakeFiles/javelin_apps.dir/ed.cpp.o.d"
+  "CMakeFiles/javelin_apps.dir/fe.cpp.o"
+  "CMakeFiles/javelin_apps.dir/fe.cpp.o.d"
+  "CMakeFiles/javelin_apps.dir/hpf.cpp.o"
+  "CMakeFiles/javelin_apps.dir/hpf.cpp.o.d"
+  "CMakeFiles/javelin_apps.dir/jess.cpp.o"
+  "CMakeFiles/javelin_apps.dir/jess.cpp.o.d"
+  "CMakeFiles/javelin_apps.dir/mf.cpp.o"
+  "CMakeFiles/javelin_apps.dir/mf.cpp.o.d"
+  "CMakeFiles/javelin_apps.dir/pf.cpp.o"
+  "CMakeFiles/javelin_apps.dir/pf.cpp.o.d"
+  "CMakeFiles/javelin_apps.dir/registry.cpp.o"
+  "CMakeFiles/javelin_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/javelin_apps.dir/sort.cpp.o"
+  "CMakeFiles/javelin_apps.dir/sort.cpp.o.d"
+  "libjavelin_apps.a"
+  "libjavelin_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

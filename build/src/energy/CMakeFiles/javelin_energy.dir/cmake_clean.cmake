@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_energy.dir/energy.cpp.o"
+  "CMakeFiles/javelin_energy.dir/energy.cpp.o.d"
+  "libjavelin_energy.a"
+  "libjavelin_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/executor.cpp" "src/isa/CMakeFiles/javelin_isa.dir/executor.cpp.o" "gcc" "src/isa/CMakeFiles/javelin_isa.dir/executor.cpp.o.d"
+  "/root/repo/src/isa/machine.cpp" "src/isa/CMakeFiles/javelin_isa.dir/machine.cpp.o" "gcc" "src/isa/CMakeFiles/javelin_isa.dir/machine.cpp.o.d"
+  "/root/repo/src/isa/nisa.cpp" "src/isa/CMakeFiles/javelin_isa.dir/nisa.cpp.o" "gcc" "src/isa/CMakeFiles/javelin_isa.dir/nisa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/javelin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/javelin_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javelin_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_isa.dir/executor.cpp.o"
+  "CMakeFiles/javelin_isa.dir/executor.cpp.o.d"
+  "CMakeFiles/javelin_isa.dir/machine.cpp.o"
+  "CMakeFiles/javelin_isa.dir/machine.cpp.o.d"
+  "CMakeFiles/javelin_isa.dir/nisa.cpp.o"
+  "CMakeFiles/javelin_isa.dir/nisa.cpp.o.d"
+  "libjavelin_isa.a"
+  "libjavelin_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

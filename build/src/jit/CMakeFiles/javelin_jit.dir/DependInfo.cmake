@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/analysis.cpp" "src/jit/CMakeFiles/javelin_jit.dir/analysis.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/analysis.cpp.o.d"
+  "/root/repo/src/jit/bce.cpp" "src/jit/CMakeFiles/javelin_jit.dir/bce.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/bce.cpp.o.d"
+  "/root/repo/src/jit/codegen.cpp" "src/jit/CMakeFiles/javelin_jit.dir/codegen.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/codegen.cpp.o.d"
+  "/root/repo/src/jit/inline.cpp" "src/jit/CMakeFiles/javelin_jit.dir/inline.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/inline.cpp.o.d"
+  "/root/repo/src/jit/ir.cpp" "src/jit/CMakeFiles/javelin_jit.dir/ir.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/ir.cpp.o.d"
+  "/root/repo/src/jit/jit.cpp" "src/jit/CMakeFiles/javelin_jit.dir/jit.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/jit.cpp.o.d"
+  "/root/repo/src/jit/opt.cpp" "src/jit/CMakeFiles/javelin_jit.dir/opt.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/opt.cpp.o.d"
+  "/root/repo/src/jit/regalloc.cpp" "src/jit/CMakeFiles/javelin_jit.dir/regalloc.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/regalloc.cpp.o.d"
+  "/root/repo/src/jit/translate.cpp" "src/jit/CMakeFiles/javelin_jit.dir/translate.cpp.o" "gcc" "src/jit/CMakeFiles/javelin_jit.dir/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jvm/CMakeFiles/javelin_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/javelin_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javelin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/javelin_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/javelin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_jit.dir/analysis.cpp.o"
+  "CMakeFiles/javelin_jit.dir/analysis.cpp.o.d"
+  "CMakeFiles/javelin_jit.dir/bce.cpp.o"
+  "CMakeFiles/javelin_jit.dir/bce.cpp.o.d"
+  "CMakeFiles/javelin_jit.dir/codegen.cpp.o"
+  "CMakeFiles/javelin_jit.dir/codegen.cpp.o.d"
+  "CMakeFiles/javelin_jit.dir/inline.cpp.o"
+  "CMakeFiles/javelin_jit.dir/inline.cpp.o.d"
+  "CMakeFiles/javelin_jit.dir/ir.cpp.o"
+  "CMakeFiles/javelin_jit.dir/ir.cpp.o.d"
+  "CMakeFiles/javelin_jit.dir/jit.cpp.o"
+  "CMakeFiles/javelin_jit.dir/jit.cpp.o.d"
+  "CMakeFiles/javelin_jit.dir/opt.cpp.o"
+  "CMakeFiles/javelin_jit.dir/opt.cpp.o.d"
+  "CMakeFiles/javelin_jit.dir/regalloc.cpp.o"
+  "CMakeFiles/javelin_jit.dir/regalloc.cpp.o.d"
+  "CMakeFiles/javelin_jit.dir/translate.cpp.o"
+  "CMakeFiles/javelin_jit.dir/translate.cpp.o.d"
+  "libjavelin_jit.a"
+  "libjavelin_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/builder.cpp" "src/jvm/CMakeFiles/javelin_jvm.dir/builder.cpp.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/builder.cpp.o.d"
+  "/root/repo/src/jvm/classfile.cpp" "src/jvm/CMakeFiles/javelin_jvm.dir/classfile.cpp.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/classfile.cpp.o.d"
+  "/root/repo/src/jvm/engine.cpp" "src/jvm/CMakeFiles/javelin_jvm.dir/engine.cpp.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/engine.cpp.o.d"
+  "/root/repo/src/jvm/interp.cpp" "src/jvm/CMakeFiles/javelin_jvm.dir/interp.cpp.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/interp.cpp.o.d"
+  "/root/repo/src/jvm/opcodes.cpp" "src/jvm/CMakeFiles/javelin_jvm.dir/opcodes.cpp.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/opcodes.cpp.o.d"
+  "/root/repo/src/jvm/value.cpp" "src/jvm/CMakeFiles/javelin_jvm.dir/value.cpp.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/value.cpp.o.d"
+  "/root/repo/src/jvm/verifier.cpp" "src/jvm/CMakeFiles/javelin_jvm.dir/verifier.cpp.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/verifier.cpp.o.d"
+  "/root/repo/src/jvm/vm.cpp" "src/jvm/CMakeFiles/javelin_jvm.dir/vm.cpp.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/javelin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/javelin_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javelin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/javelin_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

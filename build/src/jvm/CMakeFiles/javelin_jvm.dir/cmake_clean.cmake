@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_jvm.dir/builder.cpp.o"
+  "CMakeFiles/javelin_jvm.dir/builder.cpp.o.d"
+  "CMakeFiles/javelin_jvm.dir/classfile.cpp.o"
+  "CMakeFiles/javelin_jvm.dir/classfile.cpp.o.d"
+  "CMakeFiles/javelin_jvm.dir/engine.cpp.o"
+  "CMakeFiles/javelin_jvm.dir/engine.cpp.o.d"
+  "CMakeFiles/javelin_jvm.dir/interp.cpp.o"
+  "CMakeFiles/javelin_jvm.dir/interp.cpp.o.d"
+  "CMakeFiles/javelin_jvm.dir/opcodes.cpp.o"
+  "CMakeFiles/javelin_jvm.dir/opcodes.cpp.o.d"
+  "CMakeFiles/javelin_jvm.dir/value.cpp.o"
+  "CMakeFiles/javelin_jvm.dir/value.cpp.o.d"
+  "CMakeFiles/javelin_jvm.dir/verifier.cpp.o"
+  "CMakeFiles/javelin_jvm.dir/verifier.cpp.o.d"
+  "CMakeFiles/javelin_jvm.dir/vm.cpp.o"
+  "CMakeFiles/javelin_jvm.dir/vm.cpp.o.d"
+  "libjavelin_jvm.a"
+  "libjavelin_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_mem.dir/arena.cpp.o"
+  "CMakeFiles/javelin_mem.dir/arena.cpp.o.d"
+  "CMakeFiles/javelin_mem.dir/cache.cpp.o"
+  "CMakeFiles/javelin_mem.dir/cache.cpp.o.d"
+  "libjavelin_mem.a"
+  "libjavelin_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_net.dir/protocol.cpp.o"
+  "CMakeFiles/javelin_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/javelin_net.dir/serializer.cpp.o"
+  "CMakeFiles/javelin_net.dir/serializer.cpp.o.d"
+  "libjavelin_net.a"
+  "libjavelin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

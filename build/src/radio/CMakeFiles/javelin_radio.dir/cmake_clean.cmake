@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_radio.dir/radio.cpp.o"
+  "CMakeFiles/javelin_radio.dir/radio.cpp.o.d"
+  "libjavelin_radio.a"
+  "libjavelin_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_rt.dir/client.cpp.o"
+  "CMakeFiles/javelin_rt.dir/client.cpp.o.d"
+  "CMakeFiles/javelin_rt.dir/profiler.cpp.o"
+  "CMakeFiles/javelin_rt.dir/profiler.cpp.o.d"
+  "CMakeFiles/javelin_rt.dir/server.cpp.o"
+  "CMakeFiles/javelin_rt.dir/server.cpp.o.d"
+  "libjavelin_rt.a"
+  "libjavelin_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_sim.dir/scenario.cpp.o"
+  "CMakeFiles/javelin_sim.dir/scenario.cpp.o.d"
+  "libjavelin_sim.a"
+  "libjavelin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

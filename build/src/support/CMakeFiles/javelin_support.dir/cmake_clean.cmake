@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_support.dir/fit.cpp.o"
+  "CMakeFiles/javelin_support.dir/fit.cpp.o.d"
+  "CMakeFiles/javelin_support.dir/rng.cpp.o"
+  "CMakeFiles/javelin_support.dir/rng.cpp.o.d"
+  "CMakeFiles/javelin_support.dir/stats.cpp.o"
+  "CMakeFiles/javelin_support.dir/stats.cpp.o.d"
+  "CMakeFiles/javelin_support.dir/table.cpp.o"
+  "CMakeFiles/javelin_support.dir/table.cpp.o.d"
+  "libjavelin_support.a"
+  "libjavelin_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classfile_test.dir/classfile_test.cpp.o"
+  "CMakeFiles/classfile_test.dir/classfile_test.cpp.o.d"
+  "classfile_test"
+  "classfile_test.pdb"
+  "classfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

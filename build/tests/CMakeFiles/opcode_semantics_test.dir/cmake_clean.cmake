@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opcode_semantics_test.dir/opcode_semantics_test.cpp.o"
+  "CMakeFiles/opcode_semantics_test.dir/opcode_semantics_test.cpp.o.d"
+  "opcode_semantics_test"
+  "opcode_semantics_test.pdb"
+  "opcode_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opcode_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/javelin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/javelin_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/javelin_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/javelin_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/javelin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/javelin_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/javelin_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javelin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/javelin_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/javelin_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/javelin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serializer_test.cpp" "tests/CMakeFiles/serializer_test.dir/serializer_test.cpp.o" "gcc" "tests/CMakeFiles/serializer_test.dir/serializer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/javelin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/javelin_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/javelin_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javelin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/javelin_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/javelin_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/javelin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
