@@ -4,61 +4,90 @@
 // gain); BCE is the canonical Java-JIT optimization in that space. This
 // bench compiles each benchmark at Level 3 with and without BCE and measures
 // executed instructions, execution energy and code size for one large-input
-// run.
+// run. Each (app, bce) cell owns a private Device, so the 8 x 2 grid fans
+// out on the parallel sweep engine.
 
 #include <cstdio>
 
 #include "jit/compiler.hpp"
 #include "rt/device.hpp"
 #include "apps/app.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace javelin;
+
+namespace {
+
+struct CellResult {
+  double energy = 0.0;
+  std::uint64_t instrs = 0;
+  std::size_t code_bytes = 0;
+  bool correct = false;
+};
+
+CellResult run_cell(const apps::App& a, bool bce) {
+  CellResult out;
+  rt::Device dev(isa::client_machine());
+  dev.core.step_limit = 200'000'000'000ULL;
+  dev.deploy(a.classes);
+  const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+  std::vector<std::int32_t> plan{mid};
+  for (auto c : jit::collect_callees(dev.vm, mid)) plan.push_back(c);
+  jit::CompileOptions opts;
+  opts.opt_level = 3;
+  opts.bounds_check_elimination = bce;
+  for (auto id : plan) {
+    auto res = jit::compile_method(dev.vm, id, opts, dev.cfg.energy);
+    out.code_bytes += res.program.image_bytes();
+    dev.engine.install(id, std::move(res.program), 3);
+  }
+  Rng rng(11);
+  const std::size_t mark = dev.arena.heap_mark();
+  const auto args = a.make_args(dev.vm, a.large_scale, rng);
+  const auto e0 = dev.meter.snapshot();
+  const jvm::Value result = dev.engine.invoke(mid, args);
+  out.correct = a.check(dev.vm, args, dev.vm, result);
+  const auto d = dev.meter.since(e0);
+  out.energy = d.total();
+  out.instrs = d.counts().total();
+  dev.arena.heap_release(mark);
+  return out;
+}
+
+}  // namespace
 
 int main() {
   TextTable table("Ablation — bounds-check elimination at Level 3");
   table.set_header({"app", "BCE", "exec energy (mJ)", "instrs", "code bytes",
                     "saving"});
 
-  for (const apps::App& a : apps::registry()) {
-    double energy[2] = {};
-    std::uint64_t instrs[2] = {};
-    std::size_t code_bytes[2] = {};
+  const auto& registry = apps::registry();
+  sim::SweepEngine engine;
+
+  // Cell grid: [app][bce off/on].
+  const auto cells = engine.map<CellResult>(
+      registry.size() * 2, [&registry](std::size_t cell) {
+        return run_cell(registry[cell / 2], cell % 2 != 0);
+      });
+
+  for (std::size_t ai = 0; ai < registry.size(); ++ai) {
+    const apps::App& a = registry[ai];
+    const CellResult* r = &cells[ai * 2];
     for (int bce = 0; bce < 2; ++bce) {
-      rt::Device dev(isa::client_machine());
-      dev.core.step_limit = 200'000'000'000ULL;
-      dev.deploy(a.classes);
-      const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
-      std::vector<std::int32_t> plan{mid};
-      for (auto c : jit::collect_callees(dev.vm, mid)) plan.push_back(c);
-      jit::CompileOptions opts;
-      opts.opt_level = 3;
-      opts.bounds_check_elimination = bce != 0;
-      for (auto id : plan) {
-        auto res = jit::compile_method(dev.vm, id, opts, dev.cfg.energy);
-        code_bytes[bce] += res.program.image_bytes();
-        dev.engine.install(id, std::move(res.program), 3);
-      }
-      Rng rng(11);
-      const std::size_t mark = dev.arena.heap_mark();
-      const auto args = a.make_args(dev.vm, a.large_scale, rng);
-      const auto e0 = dev.meter.snapshot();
-      const jvm::Value result = dev.engine.invoke(mid, args);
-      if (!a.check(dev.vm, args, dev.vm, result)) {
+      if (!r[bce].correct) {
         std::fprintf(stderr, "FAIL: %s wrong result (bce=%d)\n",
                      a.name.c_str(), bce);
         return 1;
       }
-      const auto d = dev.meter.since(e0);
-      energy[bce] = d.total();
-      instrs[bce] = d.counts().total();
-      dev.arena.heap_release(mark);
     }
     for (int bce = 0; bce < 2; ++bce) {
       table.add_row(
-          {a.name, bce ? "on" : "off", TextTable::num(energy[bce] * 1e3, 3),
-           std::to_string(instrs[bce]), std::to_string(code_bytes[bce]),
-           bce ? TextTable::num(100.0 * (1.0 - energy[1] / energy[0]), 1) + "%"
+          {a.name, bce ? "on" : "off",
+           TextTable::num(r[bce].energy * 1e3, 3),
+           std::to_string(r[bce].instrs), std::to_string(r[bce].code_bytes),
+           bce ? TextTable::num(100.0 * (1.0 - r[1].energy / r[0].energy), 1) +
+                     "%"
                : ""});
     }
   }

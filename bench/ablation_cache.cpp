@@ -6,11 +6,13 @@
 // execution time. The per-instruction energies (Fig 1) already include cache
 // access energy, so geometry shows up through DRAM accesses and miss-stall
 // cycles — this bench quantifies how much the headline numbers owe to the
-// memory system the paper modelled.
+// memory system the paper modelled. The 4 apps x 3 geometries grid runs on
+// the parallel sweep engine with the machine config as per-cell state.
 
 #include <cstdio>
+#include <memory>
 
-#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace javelin;
@@ -36,23 +38,40 @@ int main() {
       {"paper 16K/8K", with_caches(16 * 1024, 8 * 1024)},
       {"large 256K/256K", with_caches(256 * 1024, 256 * 1024)},
   };
+  const char* names[] = {"mf", "hpf", "ed", "sort"};
+  constexpr std::size_t kNumApps = std::size(names);
+  constexpr std::size_t kNumConfigs = std::size(configs);
 
   TextTable table("Ablation — cache geometry (one L2 execution, Class 4)");
   table.set_header({"app", "config", "energy (mJ)", "dram share", "time (ms)"});
 
-  for (const char* name : {"mf", "hpf", "ed", "sort"}) {
-    const apps::App& a = apps::app(name);
-    sim::ScenarioRunner runner(a);
-    for (const Config& cfg : configs) {
-      runner.client_config.machine = cfg.machine;
-      const auto r = runner.run_single(rt::Strategy::kLocal2, a.large_scale,
-                                       radio::PowerClass::kClass4);
+  sim::SweepEngine engine;
+  const auto runners = engine.map<std::shared_ptr<const sim::ScenarioRunner>>(
+      kNumApps, [&names](std::size_t i) {
+        return std::make_shared<const sim::ScenarioRunner>(
+            apps::app(names[i]));
+      });
+
+  const auto cells = engine.map<sim::StrategyResult>(
+      kNumApps * kNumConfigs, [&runners, &configs, &names](std::size_t cell) {
+        rt::ClientConfig cfg;
+        cfg.machine = configs[cell % kNumConfigs].machine;
+        const apps::App& a = apps::app(names[cell / kNumConfigs]);
+        return runners[cell / kNumConfigs]->run_single(
+            rt::Strategy::kLocal2, a.large_scale, radio::PowerClass::kClass4,
+            /*verify=*/true, &cfg);
+      });
+
+  for (std::size_t ai = 0; ai < kNumApps; ++ai) {
+    for (std::size_t ci = 0; ci < kNumConfigs; ++ci) {
+      const sim::StrategyResult& r = cells[ai * kNumConfigs + ci];
       if (!r.all_correct) {
-        std::fprintf(stderr, "FAIL: wrong result in %s\n", name);
+        std::fprintf(stderr, "FAIL: wrong result in %s\n", names[ai]);
         return 1;
       }
       table.add_row(
-          {name, cfg.name, TextTable::num(r.total_energy_j * 1e3, 3),
+          {names[ai], configs[ci].name,
+           TextTable::num(r.total_energy_j * 1e3, 3),
            TextTable::num(100.0 * r.dram_j / r.total_energy_j, 1) + "%",
            TextTable::num(r.total_seconds * 1e3, 2)});
     }

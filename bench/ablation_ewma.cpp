@@ -4,10 +4,16 @@
 // Sweeps the weight for the AL strategy under the uniform scenario (where
 // prediction matters most) and reports total energy. u = 0 means "trust only
 // the newest sample"; u = 1 means "never update the first estimate".
+//
+// The 4 apps x 6 weights grid runs on the parallel sweep engine: each app is
+// profiled once, and every cell passes its weight as a per-cell client
+// config, so the shared runners stay immutable.
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
-#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace javelin;
@@ -22,24 +28,39 @@ int main() {
                     "u=1.0"});
 
   const double weights[] = {0.0, 0.3, 0.5, 0.7, 0.9, 1.0};
+  const char* names[] = {"fe", "mf", "hpf", "sort"};
+  constexpr std::size_t kNumApps = std::size(names);
+  constexpr std::size_t kNumWeights = std::size(weights);
 
-  for (const char* name : {"fe", "mf", "hpf", "sort"}) {
-    sim::ScenarioRunner runner(apps::app(name));
-    std::vector<std::string> row{name};
+  sim::SweepEngine engine;
+  const auto runners = engine.map<std::shared_ptr<const sim::ScenarioRunner>>(
+      kNumApps, [&names](std::size_t i) {
+        return std::make_shared<const sim::ScenarioRunner>(
+            apps::app(names[i]));
+      });
+
+  const auto cells = engine.map<sim::StrategyResult>(
+      kNumApps * kNumWeights,
+      [&runners, &weights, execs](std::size_t cell) {
+        rt::ClientConfig cfg;
+        cfg.u1 = cfg.u2 = weights[cell % kNumWeights];
+        return runners[cell / kNumWeights]->run(
+            rt::Strategy::kAdaptiveLocal, sim::Situation::kUniform, execs,
+            /*verify=*/true, &cfg);
+      });
+
+  for (std::size_t ai = 0; ai < kNumApps; ++ai) {
+    std::vector<std::string> row{names[ai]};
     double at07 = 0.0;
     std::vector<double> energies;
-    for (double u : weights) {
-      runner.client_config.u1 = u;
-      runner.client_config.u2 = u;
-      const auto r =
-          runner.run(rt::Strategy::kAdaptiveLocal, sim::Situation::kUniform,
-                     execs);
+    for (std::size_t wi = 0; wi < kNumWeights; ++wi) {
+      const sim::StrategyResult& r = cells[ai * kNumWeights + wi];
       if (!r.all_correct) {
-        std::fprintf(stderr, "FAIL: wrong result in %s\n", name);
+        std::fprintf(stderr, "FAIL: wrong result in %s\n", names[ai]);
         return 1;
       }
       energies.push_back(r.total_energy_j);
-      if (u == 0.7) at07 = r.total_energy_j;
+      if (weights[wi] == 0.7) at07 = r.total_energy_j;
     }
     for (double e : energies)
       row.push_back(TextTable::num(e / at07, 3));  // normalized to u=0.7

@@ -5,11 +5,13 @@
 //
 // Compares client energy for the Remote strategy with power-down enabled vs
 // disabled, and reports the idle-energy share. Apps whose server time is
-// longer benefit more.
+// longer benefit more. The 6 apps x 2 settings grid runs on the parallel
+// sweep engine with power-down as a per-cell client config.
 
 #include <cstdio>
+#include <memory>
 
-#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace javelin;
@@ -19,23 +21,38 @@ int main() {
   table.set_header({"app", "scale", "E powered-down (mJ)", "E awake (mJ)",
                     "saving", "idle share (pd)"});
 
-  for (const char* name : {"fe", "pf", "mf", "hpf", "ed", "sort"}) {
-    const apps::App& a = apps::app(name);
-    sim::ScenarioRunner runner(a);
-    const double scale = a.large_scale;
+  const char* names[] = {"fe", "pf", "mf", "hpf", "ed", "sort"};
+  constexpr std::size_t kNumApps = std::size(names);
 
-    runner.client_config.powerdown = true;
-    const auto with_pd = runner.run_single(rt::Strategy::kRemote, scale,
-                                           radio::PowerClass::kClass4);
-    runner.client_config.powerdown = false;
-    const auto without = runner.run_single(rt::Strategy::kRemote, scale,
-                                           radio::PowerClass::kClass4);
+  sim::SweepEngine engine;
+  const auto runners = engine.map<std::shared_ptr<const sim::ScenarioRunner>>(
+      kNumApps, [&names](std::size_t i) {
+        return std::make_shared<const sim::ScenarioRunner>(
+            apps::app(names[i]));
+      });
+
+  // Cell grid: [app][powerdown on/off].
+  const auto cells = engine.map<sim::StrategyResult>(
+      kNumApps * 2, [&runners, &names](std::size_t cell) {
+        rt::ClientConfig cfg;
+        cfg.powerdown = cell % 2 == 0;
+        const apps::App& a = apps::app(names[cell / 2]);
+        return runners[cell / 2]->run_single(rt::Strategy::kRemote,
+                                             a.large_scale,
+                                             radio::PowerClass::kClass4,
+                                             /*verify=*/true, &cfg);
+      });
+
+  for (std::size_t ai = 0; ai < kNumApps; ++ai) {
+    const apps::App& a = apps::app(names[ai]);
+    const sim::StrategyResult& with_pd = cells[ai * 2];
+    const sim::StrategyResult& without = cells[ai * 2 + 1];
     if (!with_pd.all_correct || !without.all_correct) {
-      std::fprintf(stderr, "FAIL: wrong result in %s\n", name);
+      std::fprintf(stderr, "FAIL: wrong result in %s\n", names[ai]);
       return 1;
     }
     table.add_row(
-        {name, TextTable::num(scale, 0),
+        {names[ai], TextTable::num(a.large_scale, 0),
          TextTable::num(with_pd.total_energy_j * 1e3, 3),
          TextTable::num(without.total_energy_j * 1e3, 3),
          TextTable::num(

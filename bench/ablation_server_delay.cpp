@@ -9,14 +9,61 @@
 // for remote fe executions: with no delay the response is queued and the
 // client sleeps its whole window (leakage only); with moderate delay the
 // client wakes early and idles at full power; past the timeout it falls back
-// to local execution.
+// to local execution. Each delay case owns a private server/client pair and
+// runs as one cell on the parallel sweep engine.
 
 #include <cstdio>
 
-#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace javelin;
+
+namespace {
+
+struct CaseResult {
+  double energy = 0.0;
+  double idle = 0.0;
+  double seconds = 0.0;
+  int fallbacks = 0;
+  bool response_queued = false;
+  bool correct = true;
+};
+
+CaseResult run_case(const sim::ScenarioRunner& runner, double delay) {
+  const apps::App& fe = apps::app("fe");
+  CaseResult out;
+  rt::Server server;
+  server.deploy(runner.profiled_classes());
+  server.set_queue_delay(delay);
+  radio::FixedChannel channel(radio::PowerClass::kClass4);
+  net::Link link;
+  rt::Client client(rt::ClientConfig{}, server, channel, link);
+  client.deploy(runner.profiled_classes());
+
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t mark = client.device().arena.heap_mark();
+    const auto args = fe.make_args(
+        client.device().vm, fe.profile_scales[fe.profile_scales.size() / 2],
+        rng);
+    rt::InvokeReport rep;
+    const jvm::Value result =
+        client.run(fe.cls, fe.method, args, rt::Strategy::kRemote, &rep);
+    if (!fe.check(client.device().vm, args, client.device().vm, result))
+      out.correct = false;
+    out.energy += rep.energy_j;
+    out.seconds += rep.seconds;
+    if (rep.fallback_local) ++out.fallbacks;
+    client.device().arena.heap_release(mark);
+  }
+  out.idle = client.device().meter.of(energy::Subsystem::kIdle);
+  const rt::MobileStatus* st = server.status_of(1);
+  out.response_queued = st && st->response_queued;
+  return out;
+}
+
+}  // namespace
 
 int main() {
   const apps::App& fe = apps::app("fe");
@@ -43,43 +90,23 @@ int main() {
       {"past timeout", 6.0},  // response_timeout_s defaults to 5 s
   };
 
-  for (const Case& c : cases) {
-    rt::Server server;
-    server.deploy(runner.profiled_classes());
-    server.set_queue_delay(c.delay);
-    radio::FixedChannel channel(radio::PowerClass::kClass4);
-    net::Link link;
-    rt::Client client(rt::ClientConfig{}, server, channel, link);
-    client.deploy(runner.profiled_classes());
+  sim::SweepEngine engine;
+  const auto results = engine.map<CaseResult>(
+      std::size(cases), [&runner, &cases](std::size_t i) {
+        return run_case(runner, cases[i].delay);
+      });
 
-    Rng rng(5);
-    double energy = 0, seconds = 0;
-    int fallbacks = 0;
-    for (int i = 0; i < 10; ++i) {
-      const std::size_t mark = client.device().arena.heap_mark();
-      const auto args = fe.make_args(
-          client.device().vm, fe.profile_scales[fe.profile_scales.size() / 2],
-          rng);
-      rt::InvokeReport rep;
-      const jvm::Value result =
-          client.run(fe.cls, fe.method, args, rt::Strategy::kRemote, &rep);
-      if (!fe.check(client.device().vm, args, client.device().vm, result)) {
-        std::fprintf(stderr, "FAIL: wrong result\n");
-        return 1;
-      }
-      energy += rep.energy_j;
-      seconds += rep.seconds;
-      if (rep.fallback_local) ++fallbacks;
-      client.device().arena.heap_release(mark);
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const CaseResult& r = results[i];
+    if (!r.correct) {
+      std::fprintf(stderr, "FAIL: wrong result\n");
+      return 1;
     }
-    const rt::MobileStatus* st = server.status_of(1);
-    table.add_row({c.label, TextTable::num(energy * 1e3, 3),
-                   TextTable::num(client.device().meter.of(
-                                      energy::Subsystem::kIdle) *
-                                      1e3,
-                                  3),
-                   TextTable::num(seconds * 1e3, 2), std::to_string(fallbacks),
-                   st && st->response_queued ? "yes" : "no"});
+    table.add_row({cases[i].label, TextTable::num(r.energy * 1e3, 3),
+                   TextTable::num(r.idle * 1e3, 3),
+                   TextTable::num(r.seconds * 1e3, 2),
+                   std::to_string(r.fallbacks),
+                   r.response_queued ? "yes" : "no"});
   }
 
   std::fputs(table.render().c_str(), stdout);

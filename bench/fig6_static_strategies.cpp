@@ -8,6 +8,10 @@
 // as in the paper: "the energy numbers presented in this subsection include
 // the energy cost of loading and initializing the compiler classes").
 //
+// Cells (3 apps x 2 inputs x 8 strategy/channel variants) run on the
+// parallel sweep engine; every cell's seed derives from its coordinates, so
+// the table is identical at any JAVELIN_JOBS value.
+//
 // Expected shape (paper Section 3.1): for the small input, R is preferable
 // under good channel conditions but degrades sharply toward Class 1, where
 // local interpretation wins (compilation cost dominates small runs); for the
@@ -16,55 +20,83 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace javelin;
 
+namespace {
+
+struct Variant {
+  const char* label;
+  rt::Strategy strategy;
+  radio::PowerClass channel;
+};
+
+}  // namespace
+
 int main() {
   const char* names[] = {"fe", "mf", "hpf"};
+  const Variant variants[] = {
+      {"R@Class 4", rt::Strategy::kRemote, radio::PowerClass::kClass4},
+      {"R@Class 3", rt::Strategy::kRemote, radio::PowerClass::kClass3},
+      {"R@Class 2", rt::Strategy::kRemote, radio::PowerClass::kClass2},
+      {"R@Class 1", rt::Strategy::kRemote, radio::PowerClass::kClass1},
+      {"I", rt::Strategy::kInterpret, radio::PowerClass::kClass4},
+      {"L1", rt::Strategy::kLocal1, radio::PowerClass::kClass4},
+      {"L2", rt::Strategy::kLocal2, radio::PowerClass::kClass4},
+      {"L3", rt::Strategy::kLocal3, radio::PowerClass::kClass4},
+  };
+  constexpr std::size_t kNumApps = std::size(names);
+  constexpr std::size_t kNumVariants = std::size(variants);
+
+  sim::SweepEngine engine;
+
+  // Profile each app once, in parallel; cells share the immutable runners.
+  const auto runners = engine.map<std::shared_ptr<const sim::ScenarioRunner>>(
+      kNumApps, [&names](std::size_t i) {
+        return std::make_shared<const sim::ScenarioRunner>(
+            apps::app(names[i]));
+      });
+
+  // Cell grid: [app][input][variant], app-major.
+  const std::size_t n_cells = kNumApps * 2 * kNumVariants;
+  const auto cells = engine.map<sim::StrategyResult>(
+      n_cells, [&runners, &variants, &names](std::size_t cell) {
+        const std::size_t app = cell / (2 * kNumVariants);
+        const bool large = (cell / kNumVariants) % 2 != 0;
+        const Variant& v = variants[cell % kNumVariants];
+        const apps::App& a = apps::app(names[app]);
+        return runners[app]->run_single(
+            v.strategy, large ? a.large_scale : a.small_scale, v.channel);
+      });
 
   TextTable table("Fig 6 — static strategies, energy normalized to L1");
   table.set_header({"app", "input", "R@C4", "R@C3", "R@C2", "R@C1", "I", "L1",
                     "L2", "L3", "best"});
 
-  for (const char* name : names) {
-    const apps::App& a = apps::app(name);
-    sim::ScenarioRunner runner(a);
+  for (std::size_t app = 0; app < kNumApps; ++app) {
     for (const bool large : {false, true}) {
-      const double scale = large ? a.large_scale : a.small_scale;
       double l1 = 0.0;
-      std::vector<std::pair<std::string, double>> cells;
-      for (auto cls : {radio::PowerClass::kClass4, radio::PowerClass::kClass3,
-                       radio::PowerClass::kClass2, radio::PowerClass::kClass1}) {
-        const auto r = runner.run_single(rt::Strategy::kRemote, scale, cls);
+      std::vector<std::pair<std::string, double>> row_cells;
+      for (std::size_t vi = 0; vi < kNumVariants; ++vi) {
+        const sim::StrategyResult& r =
+            cells[(app * 2 + (large ? 1 : 0)) * kNumVariants + vi];
         if (!r.all_correct) {
-          std::fprintf(stderr,
-                       "FAIL: %s remote produced a wrong result "
-                       "(scale=%g class=%d)\n",
-                       name, scale, static_cast<int>(cls));
+          std::fprintf(stderr, "FAIL: %s %s produced a wrong result (%s)\n",
+                       names[app], variants[vi].label,
+                       large ? "large" : "small");
           return 1;
         }
-        cells.emplace_back(std::string("R@") + radio::power_class_name(cls),
-                           r.total_energy_j);
-      }
-      for (auto strat : {rt::Strategy::kInterpret, rt::Strategy::kLocal1,
-                         rt::Strategy::kLocal2, rt::Strategy::kLocal3}) {
-        const auto r = runner.run_single(strat, scale,
-                                         radio::PowerClass::kClass4);
-        if (!r.all_correct) {
-          std::fprintf(stderr, "FAIL: %s %s produced a wrong result\n", name,
-                       rt::strategy_name(strat));
-          return 1;
-        }
-        if (strat == rt::Strategy::kLocal1) l1 = r.total_energy_j;
-        cells.emplace_back(rt::strategy_name(strat), r.total_energy_j);
+        if (variants[vi].strategy == rt::Strategy::kLocal1)
+          l1 = r.total_energy_j;
+        row_cells.emplace_back(variants[vi].label, r.total_energy_j);
       }
 
-      std::vector<std::string> row{name, large ? "large" : "small"};
+      std::vector<std::string> row{names[app], large ? "large" : "small"};
       std::string best = "?";
       double best_e = 1e300;
-      for (const auto& [label, e] : cells) {
+      for (const auto& [label, e] : row_cells) {
         row.push_back(TextTable::num(e / l1, 2));
         if (e < best_e) {
           best_e = e;

@@ -11,12 +11,18 @@
 // strategy in all three situations (paper: 25% / 10% / 22% less than the
 // best static, L2), and AA saves further energy via remote compilation.
 //
+// The 8 x 3 x 7 = 168 cells run on the parallel sweep engine; the figure
+// tables are assembled from the cell-indexed grid, so the output is
+// byte-identical at any JAVELIN_JOBS value. Telemetry (cells/sec, wall
+// seconds, workers) is written to BENCH_sweep.json (override the path with
+// JAVELIN_BENCH_JSON).
+//
 // Set JAVELIN_FIG7_EXECS to override the per-scenario execution count.
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace javelin;
@@ -35,6 +41,19 @@ int main() {
       sim::Situation::kGoodChannelDominantSize,
       sim::Situation::kPoorChannelDominantSize, sim::Situation::kUniform};
 
+  sim::ScenarioSweepSpec spec;
+  for (const apps::App& a : apps::registry()) spec.apps.push_back(&a);
+  spec.situations.assign(std::begin(kSituations), std::end(kSituations));
+  spec.strategies.assign(std::begin(kStrategies), std::end(kStrategies));
+  spec.executions = execs;
+
+  sim::SweepEngine engine;
+  const sim::ScenarioSweepResult sweep = sim::run_scenario_sweep(
+      engine, spec,
+      [](const apps::App& a) {
+        std::fprintf(stderr, "  [fig7] %s done\n", a.name.c_str());
+      });
+
   // normalized[situation][strategy] accumulated over apps (normalized to L1
   // per app, then averaged — as in the paper's figure).
   double normalized[3][7] = {};
@@ -45,12 +64,14 @@ int main() {
   per_app.set_header({"app", "situation", "R", "I", "L1", "L2", "L3", "AL",
                       "AA"});
 
-  for (const apps::App& a : apps::registry()) {
-    sim::ScenarioRunner runner(a);
+  for (std::size_t ai = 0; ai < spec.apps.size(); ++ai) {
+    const apps::App& a = *spec.apps[ai];
     for (int si = 0; si < 3; ++si) {
       double energy[7] = {};
       for (int st = 0; st < 7; ++st) {
-        const auto r = runner.run(kStrategies[st], kSituations[si], execs);
+        const sim::StrategyResult& r =
+            sweep.at(ai, static_cast<std::size_t>(si),
+                     static_cast<std::size_t>(st));
         if (!r.all_correct) {
           std::fprintf(stderr, "FAIL: %s under %s computed a wrong result\n",
                        a.name.c_str(), rt::strategy_name(kStrategies[st]));
@@ -68,7 +89,6 @@ int main() {
       per_app.add_row(std::move(row));
     }
     ++napps;
-    std::fprintf(stderr, "  [fig7] %s done\n", a.name.c_str());
   }
 
   std::fputs(per_app.render().c_str(), stdout);
@@ -102,5 +122,14 @@ int main() {
         si + 1, rt::strategy_name(kStrategies[best_idx]),
         100.0 * (1.0 - al / best_static), 100.0 * (1.0 - aa / best_static));
   }
+
+  // Machine-readable perf trajectory record (cells/sec, wall, workers).
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  sim::write_sweep_json(json_path ? json_path : "BENCH_sweep.json",
+                        "fig7_adaptive", sweep, execs);
+  std::fprintf(stderr,
+               "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
+               sweep.cells.size(), sweep.jobs, sweep.wall_seconds,
+               sweep.cells_per_second());
   return 0;
 }

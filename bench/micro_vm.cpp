@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "apps/app.hpp"
 #include "jit/compiler.hpp"
 #include "net/serializer.hpp"
@@ -14,6 +16,16 @@
 using namespace javelin;
 
 namespace {
+
+/// Host wall-clock in nanoseconds (steady_clock), for reporting host time
+/// alongside the simulated-cycle counters: together they give the
+/// cycles-simulated-per-host-second rate that gates sweep sizes.
+double host_now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 rt::Device& shared_device() {
   static rt::Device* dev = [] {
@@ -38,8 +50,12 @@ void BM_InterpreterDispatch(benchmark::State& state) {
     const std::size_t mark = dev.arena.heap_mark();
     auto args = sort_args(dev, static_cast<std::int32_t>(state.range(0)));
     const std::uint64_t c0 = dev.core.steps;
+    const std::uint64_t cy0 = dev.core.cycles;
+    const double t0 = host_now_ns();
     benchmark::DoNotOptimize(dev.engine.invoke(mid, args));
+    state.counters["host_wall_ns"] = host_now_ns() - t0;
     state.counters["guest_instrs"] = static_cast<double>(dev.core.steps - c0);
+    state.counters["sim_cycles"] = static_cast<double>(dev.core.cycles - cy0);
     dev.arena.heap_release(mark);
   }
   dev.engine.set_force_interpret(false);
@@ -60,7 +76,11 @@ void BM_NativeExecutor(benchmark::State& state) {
   for (auto _ : state) {
     const std::size_t mark = dev.arena.heap_mark();
     auto args = sort_args(dev, static_cast<std::int32_t>(state.range(0)));
+    const std::uint64_t cy0 = dev.core.cycles;
+    const double t0 = host_now_ns();
     benchmark::DoNotOptimize(dev.engine.invoke(mid, args));
+    state.counters["host_wall_ns"] = host_now_ns() - t0;
+    state.counters["sim_cycles"] = static_cast<double>(dev.core.cycles - cy0);
     dev.arena.heap_release(mark);
   }
   dev.engine.clear_code();

@@ -133,6 +133,12 @@ Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
 
     std::size_t pc = 0;
     const auto& code = mi.code;
+    // Decoded-bytecode cache: pool-indirect operands were resolved once at
+    // link(). When the cache is disabled (golden-path tests), fall back to
+    // decoding the raw instruction every iteration — simulated cost is
+    // identical, only host work differs.
+    const DecodedInsn* dcode = m.decoded.empty() ? nullptr : m.decoded.data();
+    DecodedInsn undecoded;
 
     for (;;) {
       if (pc >= code.size())
@@ -144,7 +150,8 @@ Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
       core.charge_class(InstrClass::kAluSimple);
       core.charge_class(InstrClass::kBranch);
 
-      const Insn& in = code[pc];
+      const DecodedInsn& in =
+          dcode ? dcode[pc] : (undecoded = Jvm::decode_insn(rc, code[pc]));
       std::size_t next = pc + 1;
 
       switch (in.op) {
@@ -156,7 +163,7 @@ Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
           // Load the double from the constant pool (resident near bytecode).
           core.stall(core.hier->load(m.bc_addr));
           core.charge_class(InstrClass::kLoad);
-          fr.push_f64(rc.cf.pool.doubles[in.a]);
+          fr.push_f64(in.d);
           break;
         }
         case Op::kAconstNull:
@@ -319,7 +326,7 @@ Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
 
         case Op::kInvokeStatic:
         case Op::kInvokeVirtual: {
-          std::int32_t callee_id = rc.pool_method_ids[in.a];
+          std::int32_t callee_id = in.rid;
           const RtMethod& callee = jvm_.method(callee_id);
           const std::size_t nargs = callee.info->num_args();
           std::vector<Value> call_args(nargs);
@@ -397,7 +404,7 @@ Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
         case Op::kPutField:
         case Op::kGetStatic:
         case Op::kPutStatic: {
-          const RtField& f = jvm_.field(rc.pool_field_ids[in.a]);
+          const RtField& f = jvm_.field(in.rid);
           const bool is_put = in.op == Op::kPutField || in.op == Op::kPutStatic;
           const bool is_instance =
               in.op == Op::kGetField || in.op == Op::kPutField;
@@ -446,7 +453,7 @@ Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
         }
 
         case Op::kNew: {
-          const std::int32_t cid = rc.pool_class_ids[in.a];
+          const std::int32_t cid = in.rid;
           core.charge_class(InstrClass::kBranch);  // runtime call
           fr.push_ref(jvm_.new_object(cid, /*charge=*/true));
           break;

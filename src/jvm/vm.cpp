@@ -138,7 +138,50 @@ void Jvm::link() {
     }
   }
 
+  // Build the decoded-bytecode cache: every pool-indirect operand is
+  // resolved once per method, so the interpreter's dispatch loop touches no
+  // constant pool. Host-side only; the simulated decode cost is unchanged.
+  if (decode_cache_)
+    for (RtMethod& m : methods_) {
+      const RtClass& rc = classes_[static_cast<std::size_t>(m.class_id)];
+      m.decoded.reserve(m.info->code.size());
+      for (const Insn& in : m.info->code)
+        m.decoded.push_back(decode_insn(rc, in));
+    }
+
   linked_ = true;
+}
+
+void Jvm::set_decode_cache(bool enabled) {
+  if (linked_) throw Error("jvm: set_decode_cache after link()");
+  decode_cache_ = enabled;
+}
+
+DecodedInsn Jvm::decode_insn(const RtClass& rc, const Insn& in) {
+  DecodedInsn d;
+  d.op = in.op;
+  d.a = in.a;
+  switch (in.op) {
+    case Op::kDconst:
+      d.d = rc.cf.pool.doubles[static_cast<std::size_t>(in.a)];
+      break;
+    case Op::kInvokeStatic:
+    case Op::kInvokeVirtual:
+      d.rid = rc.pool_method_ids[static_cast<std::size_t>(in.a)];
+      break;
+    case Op::kGetField:
+    case Op::kPutField:
+    case Op::kGetStatic:
+    case Op::kPutStatic:
+      d.rid = rc.pool_field_ids[static_cast<std::size_t>(in.a)];
+      break;
+    case Op::kNew:
+      d.rid = rc.pool_class_ids[static_cast<std::size_t>(in.a)];
+      break;
+    default:
+      break;
+  }
+  return d;
 }
 
 std::int32_t Jvm::find_class(const std::string& name) const {

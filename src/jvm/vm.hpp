@@ -23,12 +23,27 @@
 
 namespace javelin::jvm {
 
+/// One pre-decoded interpreter instruction: the original {op, a} record plus
+/// operands resolved at link time, so the dispatch loop performs no
+/// constant-pool indirection per iteration. Host-side only — the simulated
+/// fetch/decode/dispatch energy and cycles are charged exactly as for raw
+/// bytecode.
+struct DecodedInsn {
+  Op op = Op::kReturn;
+  std::int32_t a = 0;    ///< Immediate / slot / branch target (Insn::a).
+  std::int32_t rid = -1; ///< Resolved runtime method/field/class id.
+  double d = 0.0;        ///< Resolved constant for kDconst.
+};
+
 struct RtMethod {
   std::int32_t id = -1;
   std::int32_t class_id = -1;
   const MethodInfo* info = nullptr;
   mem::Addr bc_addr = mem::kNullAddr;  ///< Installed bytecode address.
   std::string qualified_name;          ///< "Class.method" for diagnostics.
+  /// Decoded-bytecode cache, built once per method at link() (empty when the
+  /// cache is disabled; the interpreter then decodes per iteration).
+  std::vector<DecodedInsn> decoded;
 };
 
 struct RtField {
@@ -74,6 +89,12 @@ class Jvm {
   void link();
   bool linked() const { return linked_; }
 
+  /// Enable/disable the decoded-bytecode cache (must be set before link()).
+  /// Disabling forces the interpreter onto the decode-per-iteration path;
+  /// energy/cycle accounting is identical either way (tests assert this).
+  void set_decode_cache(bool enabled);
+  bool decode_cache_enabled() const { return decode_cache_; }
+
   // ---- lookup ------------------------------------------------------------
   std::int32_t find_class(const std::string& name) const;  ///< -1 if absent.
   std::int32_t find_method(const std::string& cls,
@@ -117,11 +138,17 @@ class Jvm {
   isa::Core& core() const { return core_; }
   mem::Arena& arena() const { return *core_.arena; }
 
+  /// Resolve one instruction's pool-indirect operands against `rc` (the
+  /// declaring class). Used for the link-time cache and by the interpreter's
+  /// decode-per-iteration fallback path.
+  static DecodedInsn decode_insn(const RtClass& rc, const Insn& in);
+
  private:
   void layout_class(RtClass& rc);
 
   isa::Core& core_;
   bool linked_ = false;
+  bool decode_cache_ = true;
   std::vector<RtClass> classes_;
   std::vector<RtMethod> methods_;
   std::vector<RtField> fields_;

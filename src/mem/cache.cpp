@@ -25,15 +25,15 @@ CacheAccess DirectMappedCache::access(Addr addr, bool is_write) {
 
   CacheAccess result;
   if (line.valid && line.tag == tag) {
-    ++hits_;
+    CacheStats::saturating_inc(stats_.hits);
     line.dirty = line.dirty || is_write;
     return result;
   }
-  ++misses_;
+  CacheStats::saturating_inc(stats_.misses);
   result.hit = false;
   result.dram_accesses = 1;  // line fill
   if (line.valid && line.dirty) {
-    ++writebacks_;
+    CacheStats::saturating_inc(stats_.writebacks);
     ++result.dram_accesses;  // dirty eviction
   }
   line.valid = true;

@@ -27,6 +27,29 @@ struct CacheAccess {
   std::uint32_t dram_accesses = 0;  ///< 0 on hit; 1 on miss (+1 dirty evict).
 };
 
+/// Overflow-safe statistics counters. Multi-day sweeps at simulated-GHz
+/// rates can push access counts toward 2^64; the counters saturate at the
+/// maximum instead of wrapping to zero, and ratios are computed in double so
+/// the sum hits+misses cannot overflow either.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  /// Increment that sticks at UINT64_MAX instead of wrapping.
+  static void saturating_inc(std::uint64_t& c) {
+    if (c != ~0ULL) ++c;
+  }
+
+  double hit_rate() const {
+    const double total =
+        static_cast<double>(hits) + static_cast<double>(misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 1.0;
+  }
+
+  void reset() { hits = misses = writebacks = 0; }
+};
+
 /// Direct-mapped, write-back, write-allocate cache (tags only).
 class DirectMappedCache {
  public:
@@ -34,17 +57,15 @@ class DirectMappedCache {
 
   CacheAccess access(Addr addr, bool is_write);
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t writebacks() const { return writebacks_; }
-  double hit_rate() const {
-    const auto total = hits_ + misses_;
-    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 1.0;
-  }
+  const CacheStats& stats() const { return stats_; }
+  std::uint64_t hits() const { return stats_.hits; }
+  std::uint64_t misses() const { return stats_.misses; }
+  std::uint64_t writebacks() const { return stats_.writebacks; }
+  double hit_rate() const { return stats_.hit_rate(); }
 
   const CacheConfig& config() const { return cfg_; }
 
-  void reset_stats() { hits_ = misses_ = writebacks_ = 0; }
+  void reset_stats() { stats_.reset(); }
   void invalidate_all();
 
  private:
@@ -58,9 +79,7 @@ class DirectMappedCache {
   std::size_t num_lines_;
   std::size_t line_shift_;
   std::vector<Line> lines_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t writebacks_ = 0;
+  CacheStats stats_;
 };
 
 /// Client/server memory hierarchy: split L1 I/D caches in front of DRAM.

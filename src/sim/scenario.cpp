@@ -71,14 +71,14 @@ const jvm::EnergyProfile& ScenarioRunner::profile() const {
   throw Error("scenario: potential method not found");
 }
 
-StrategyResult ScenarioRunner::run_sequence(rt::Strategy strategy,
-                                            radio::ChannelProcess& channel,
-                                            const std::vector<double>& scales,
-                                            bool verify, std::uint64_t seed) {
+StrategyResult ScenarioRunner::run_sequence(
+    rt::Strategy strategy, radio::ChannelProcess& channel,
+    const std::vector<double>& scales, bool verify, std::uint64_t seed,
+    const rt::ClientConfig* config) const {
   rt::Server server;
   server.deploy(classes_);
   net::Link link(radio::CommModel{}, seed ^ 0x11777);
-  rt::Client client(client_config, server, channel, link);
+  rt::Client client(config ? *config : client_config, server, channel, link);
   client.deploy(classes_);
   client.device().core.step_limit = 500'000'000'000ULL;
 
@@ -113,22 +113,26 @@ StrategyResult ScenarioRunner::run_sequence(rt::Strategy strategy,
 }
 
 StrategyResult ScenarioRunner::run(rt::Strategy strategy, Situation situation,
-                                   int executions, bool verify) {
+                                   int executions, bool verify,
+                                   const rt::ClientConfig* config) const {
   Rng rng(seed_ ^ (static_cast<std::uint64_t>(situation) * 0x9e3779b9));
   const std::vector<double> scales =
       scenario_scales(app_, situation, rng, executions);
   radio::IidChannel channel(channel_weights(situation), /*dwell=*/0.25,
                             seed_ ^ 0xc4a77e1);
   return run_sequence(strategy, channel, scales, verify,
-                      seed_ ^ (static_cast<std::uint64_t>(situation) << 8));
+                      seed_ ^ (static_cast<std::uint64_t>(situation) << 8),
+                      config);
 }
 
 StrategyResult ScenarioRunner::run_single(rt::Strategy strategy, double scale,
                                           radio::PowerClass channel_class,
-                                          bool verify) {
+                                          bool verify,
+                                          const rt::ClientConfig* config) const {
   radio::FixedChannel channel(channel_class);
   return run_sequence(strategy, channel, {scale}, verify,
-                      seed_ ^ (static_cast<std::uint64_t>(channel_class) << 16));
+                      seed_ ^ (static_cast<std::uint64_t>(channel_class) << 16),
+                      config);
 }
 
 }  // namespace javelin::sim

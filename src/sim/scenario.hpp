@@ -46,23 +46,34 @@ struct StrategyResult {
   bool all_correct = true;
 };
 
+/// Default experiment seed (the paper's submission date).
+inline constexpr std::uint64_t kDefaultScenarioSeed = 20030422;
+
 /// Runs one benchmark app under the paper's scenarios. Profiles the app at
-/// construction (deploy-time profiling, Section 3.2).
+/// construction (deploy-time profiling, Section 3.2); after construction the
+/// runner is immutable and every run* method is const, so one profiled runner
+/// can serve many sweep cells concurrently (each run builds its own
+/// server/client/device — no state is shared between calls).
 class ScenarioRunner {
  public:
-  ScenarioRunner(const apps::App& app, std::uint64_t seed = 20030422);
+  explicit ScenarioRunner(const apps::App& app,
+                          std::uint64_t seed = kDefaultScenarioSeed);
 
   /// Run `executions` invocations under `situation` with a fresh client and
   /// server. Inputs/channels are drawn deterministically from the seed, so
-  /// every strategy sees the same workload sequence.
+  /// every strategy sees the same workload sequence. Seeds are functions of
+  /// (runner seed, situation) only — never of call order — so results are
+  /// identical whether cells run serially or on a pool. `config` overrides
+  /// the runner-level client_config for this call (per-cell configuration).
   StrategyResult run(rt::Strategy strategy, Situation situation,
-                     int executions = 300, bool verify = true);
+                     int executions = 300, bool verify = true,
+                     const rt::ClientConfig* config = nullptr) const;
 
   /// Fig 6-style single execution at a fixed scale under a fixed channel.
   /// Includes compilation energy (as the paper's Fig 6 does).
   StrategyResult run_single(rt::Strategy strategy, double scale,
-                            radio::PowerClass channel_class,
-                            bool verify = true);
+                            radio::PowerClass channel_class, bool verify = true,
+                            const rt::ClientConfig* config = nullptr) const;
 
   const apps::App& app() const { return app_; }
   const std::vector<jvm::ClassFile>& profiled_classes() const {
@@ -80,7 +91,8 @@ class ScenarioRunner {
   StrategyResult run_sequence(rt::Strategy strategy,
                               radio::ChannelProcess& channel,
                               const std::vector<double>& scales, bool verify,
-                              std::uint64_t seed);
+                              std::uint64_t seed,
+                              const rt::ClientConfig* config) const;
 
   apps::App app_;
   std::vector<jvm::ClassFile> classes_;  ///< Profiled class files.

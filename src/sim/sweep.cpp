@@ -1,0 +1,87 @@
+#include "sim/sweep.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace javelin::sim {
+
+int sweep_jobs() {
+  if (const char* env = std::getenv("JAVELIN_JOBS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+SweepEngine::SweepEngine(int jobs) : pool_(jobs >= 1 ? jobs : sweep_jobs()) {}
+
+ScenarioSweepResult run_scenario_sweep(
+    SweepEngine& engine, const ScenarioSweepSpec& spec,
+    const std::function<void(const apps::App&)>& on_app_done) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ScenarioSweepResult out;
+  out.num_apps = spec.apps.size();
+  out.num_situations = spec.situations.size();
+  out.num_strategies = spec.strategies.size();
+  out.jobs = engine.jobs();
+
+  // Phase 1: deploy-time profiling, once per app, in parallel. The runners
+  // are immutable afterwards and shared read-only by every cell.
+  const auto runners = engine.map<std::shared_ptr<const ScenarioRunner>>(
+      spec.apps.size(), [&spec](std::size_t i) {
+        return std::make_shared<const ScenarioRunner>(*spec.apps[i],
+                                                      spec.base_seed);
+      });
+
+  // Phase 2: fan out the cells. Each cell's seeds derive from its
+  // coordinates (runner seed + situation), never from scheduling order.
+  const std::size_t cells_per_app = out.num_situations * out.num_strategies;
+  const std::size_t n_cells = out.num_apps * cells_per_app;
+  std::vector<std::future<StrategyResult>> futures;
+  futures.reserve(n_cells);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    futures.push_back(engine.pool().submit([&spec, &runners, cells_per_app,
+                                            num_strategies = out.num_strategies,
+                                            cell] {
+      const std::size_t app = cell / cells_per_app;
+      const std::size_t rem = cell % cells_per_app;
+      return runners[app]->run(spec.strategies[rem % num_strategies],
+                               spec.situations[rem / num_strategies],
+                               spec.executions, spec.verify,
+                               &spec.client_config);
+    }));
+  }
+  out.cells.reserve(n_cells);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    out.cells.push_back(futures[cell].get());
+    if (on_app_done && (cell + 1) % cells_per_app == 0)
+      on_app_done(*spec.apps[cell / cells_per_app]);
+  }
+
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+void write_sweep_json(const std::string& path, const std::string& bench_name,
+                      const ScenarioSweepResult& result, int executions) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "sweep: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"%s\", \"cells\": %zu, \"executions\": %d, "
+               "\"jobs\": %d, \"wall_seconds\": %.3f, "
+               "\"cells_per_second\": %.3f}\n",
+               bench_name.c_str(), result.cells.size(), executions, result.jobs,
+               result.wall_seconds, result.cells_per_second());
+  std::fclose(f);
+}
+
+}  // namespace javelin::sim

@@ -1,0 +1,116 @@
+// Parallel sweep engine for the paper's figure and ablation experiments.
+//
+// Every headline result is a grid of independent simulation cells — Fig 7
+// alone is 8 apps x 3 situations x 7 strategies, each executing the app 300
+// times. Cells share no simulated state (each constructs its own server,
+// client, link and arena), so they fan out across host cores.
+//
+// Determinism contract: a cell's RNG seeds are pure functions of its cell
+// coordinates (app, situation/channel, strategy) and the base experiment
+// seed — ScenarioRunner::run derives them that way — and results are written
+// into a cell-indexed grid. Output is therefore bit-identical to the serial
+// run at any worker count; JAVELIN_JOBS only changes wall-clock time.
+//
+// Two layers:
+//  * SweepEngine::map — generic ordered fan-out (results[i] = fn(i)) used by
+//    the Fig 6/8 and ablation benches whose cells are bespoke;
+//  * run_scenario_sweep — the canonical (app x situation x strategy) grid of
+//    ScenarioRunner::run cells used by Fig 7-style experiments. Apps are
+//    profiled once, up front and in parallel; the profiled runners are then
+//    shared read-only by all of that app's cells.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "support/threadpool.hpp"
+
+namespace javelin::sim {
+
+/// Worker count for sweeps: the JAVELIN_JOBS environment override, else
+/// std::thread::hardware_concurrency(), clamped to >= 1.
+int sweep_jobs();
+
+class SweepEngine {
+ public:
+  /// `jobs` < 1 means "use sweep_jobs()".
+  explicit SweepEngine(int jobs = 0);
+
+  int jobs() const { return pool_.size(); }
+
+  /// Ordered parallel map: returns {fn(0), ..., fn(n-1)}. Tasks run on the
+  /// pool in any order; the result vector is indexed by cell, so output is
+  /// independent of scheduling. A throwing fn propagates out of map() (the
+  /// first-indexed exception wins; remaining cells still complete).
+  template <typename T>
+  std::vector<T> map(std::size_t n,
+                     const std::function<T(std::size_t)>& fn) {
+    std::vector<std::future<T>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      futures.push_back(pool_.submit([fn, i] { return fn(i); }));
+    std::vector<T> out;
+    out.reserve(n);
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  }
+
+  support::ThreadPool& pool() { return pool_; }
+
+ private:
+  support::ThreadPool pool_;
+};
+
+/// Specification of an (app x situation x strategy) scenario sweep.
+struct ScenarioSweepSpec {
+  std::vector<const apps::App*> apps;
+  std::vector<Situation> situations;
+  std::vector<rt::Strategy> strategies;
+  int executions = 300;
+  bool verify = true;
+  std::uint64_t base_seed = kDefaultScenarioSeed;
+  rt::ClientConfig client_config;
+};
+
+/// Cell-indexed result grid plus host-side performance telemetry.
+struct ScenarioSweepResult {
+  std::size_t num_apps = 0;
+  std::size_t num_situations = 0;
+  std::size_t num_strategies = 0;
+  /// Flattened [app][situation][strategy], app-major.
+  std::vector<StrategyResult> cells;
+
+  double wall_seconds = 0.0;  ///< Host wall-clock for the whole sweep.
+  int jobs = 1;               ///< Worker count that executed it.
+
+  const StrategyResult& at(std::size_t app, std::size_t situation,
+                           std::size_t strategy) const {
+    return cells[(app * num_situations + situation) * num_strategies +
+                 strategy];
+  }
+  double cells_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(cells.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Run the full grid on `engine`. Profiling (ScenarioRunner construction)
+/// happens once per app, in parallel; cells then share the immutable
+/// runners. `on_app_done`, if set, fires once per app as its last cell
+/// completes (progress reporting; called from the collecting thread).
+ScenarioSweepResult run_scenario_sweep(
+    SweepEngine& engine, const ScenarioSweepSpec& spec,
+    const std::function<void(const apps::App&)>& on_app_done = {});
+
+/// Serialize sweep telemetry as a BENCH_*.json machine-readable record and
+/// write it to `path`. Schema:
+///   {"bench": <name>, "cells": N, "executions": E, "jobs": J,
+///    "wall_seconds": S, "cells_per_second": R}
+void write_sweep_json(const std::string& path, const std::string& bench_name,
+                      const ScenarioSweepResult& result, int executions);
+
+}  // namespace javelin::sim

@@ -1,0 +1,55 @@
+#include "support/threadpool.hpp"
+
+#include <stdexcept>
+
+namespace javelin::support {
+
+ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  const int n = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return stopping_ || queue_.size() < capacity_; });
+  if (stopping_)
+    throw std::runtime_error("threadpool: submit after shutdown");
+  queue_.push_back(std::move(task));
+  not_empty_.notify_one();
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      not_full_.notify_one();
+    }
+    // packaged_task captures exceptions into the future; nothing escapes.
+    task();
+  }
+}
+
+}  // namespace javelin::support

@@ -1,0 +1,77 @@
+// Fixed-size worker pool with a bounded task queue.
+//
+// The sweep engine fans independent simulation cells out across host cores;
+// this is the execution substrate. Design choices, in order of importance:
+//
+//  * Determinism lives one layer up: tasks must not observe submission or
+//    completion order. The pool therefore needs no work stealing and no
+//    per-thread queues — a single mutex-protected ring is plenty, because a
+//    task here is an entire scenario cell (milliseconds to seconds of work),
+//    so queue contention is noise.
+//  * The queue is bounded: submit() blocks once `queue_capacity` tasks are
+//    waiting, so a producer enumerating millions of cells cannot balloon
+//    memory. Capacity 0 is normalized to 1.
+//  * submit() returns a std::future; exceptions thrown by the task are
+//    captured and rethrown at future.get(), never swallowed.
+//  * Graceful shutdown: the destructor (or shutdown()) lets already-queued
+//    tasks run to completion before joining the workers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace javelin::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int threads, std::size_t queue_capacity = 256);
+
+  /// Drains queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a callable; blocks while the queue is full. Throws
+  /// std::runtime_error if the pool has been shut down. The returned future
+  /// delivers the callable's result or rethrows its exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // shared_ptr because std::function requires copyable targets.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Wait for all queued and running tasks, then join. Idempotent; called by
+  /// the destructor. After shutdown, submit() throws.
+  void shutdown();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  const std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace javelin::support

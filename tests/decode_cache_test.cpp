@@ -1,0 +1,81 @@
+// The interpreter's pre-decoded bytecode cache is a host-side optimisation:
+// it must not change anything the simulation observes. For every app in the
+// registry, an interpreted run with the cache enabled (default) must charge
+// exactly the same energy and cycles as one with the cache disabled, and
+// produce a correct result either way.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "rt/device.hpp"
+
+namespace javelin {
+namespace {
+
+struct RunTotals {
+  double energy_j = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t dram = 0;
+  bool correct = false;
+};
+
+RunTotals run_interpreted(const apps::App& app, bool decode_cache) {
+  rt::Device dev(isa::client_machine());
+  dev.core.step_limit = ~0ULL;
+  dev.vm.set_decode_cache(decode_cache);
+  dev.deploy(app.classes);
+  EXPECT_EQ(dev.vm.decode_cache_enabled(), decode_cache);
+  dev.engine.set_force_interpret(true);
+
+  Rng rng(7);
+  auto args = app.make_args(dev.vm, app.small_scale, rng);
+  const jvm::Value result =
+      dev.engine.invoke(dev.vm.find_method(app.cls, app.method), args);
+
+  RunTotals t;
+  t.energy_j = dev.meter.total();
+  t.cycles = dev.core.cycles;
+  t.steps = dev.core.steps;
+  t.dram = dev.meter.dram_accesses();
+  t.correct = app.check(dev.vm, args, dev.vm, result);
+  return t;
+}
+
+TEST(DecodeCache, SimulatedTotalsUnchangedForEveryApp) {
+  for (const apps::App& app : apps::registry()) {
+    SCOPED_TRACE(app.name);
+    const RunTotals cached = run_interpreted(app, /*decode_cache=*/true);
+    const RunTotals plain = run_interpreted(app, /*decode_cache=*/false);
+    EXPECT_TRUE(cached.correct);
+    EXPECT_TRUE(plain.correct);
+    EXPECT_EQ(cached.steps, plain.steps);
+    EXPECT_EQ(cached.cycles, plain.cycles);
+    EXPECT_EQ(cached.dram, plain.dram);
+    EXPECT_EQ(cached.energy_j, plain.energy_j);  // bitwise, not approximate
+  }
+}
+
+TEST(DecodeCache, CannotToggleAfterLink) {
+  rt::Device dev(isa::client_machine());
+  dev.deploy(apps::app("sort").classes);
+  EXPECT_THROW(dev.vm.set_decode_cache(false), Error);
+}
+
+TEST(DecodeCache, DisabledLeavesMethodsUndecoded) {
+  rt::Device dev(isa::client_machine());
+  dev.vm.set_decode_cache(false);
+  dev.deploy(apps::app("sort").classes);
+  const std::int32_t mid = dev.vm.find_method("Sort", "sortcopy");
+  EXPECT_TRUE(dev.vm.method(mid).decoded.empty());
+}
+
+TEST(DecodeCache, EnabledDecodesEveryInstruction) {
+  rt::Device dev(isa::client_machine());
+  dev.deploy(apps::app("sort").classes);
+  const std::int32_t mid = dev.vm.find_method("Sort", "sortcopy");
+  const jvm::RtMethod& m = dev.vm.method(mid);
+  EXPECT_EQ(m.decoded.size(), m.info->code.size());
+}
+
+}  // namespace
+}  // namespace javelin

@@ -108,6 +108,62 @@ TEST(Cache, RejectsBadGeometry) {
   EXPECT_THROW(DirectMappedCache({1024, 33}), std::invalid_argument);
 }
 
+TEST(CacheStats, SaturatingIncrementDoesNotWrap) {
+  std::uint64_t c = ~0ULL - 1;
+  CacheStats::saturating_inc(c);
+  EXPECT_EQ(c, ~0ULL);
+  CacheStats::saturating_inc(c);  // at the ceiling: stays, never wraps to 0
+  EXPECT_EQ(c, ~0ULL);
+}
+
+TEST(CacheStats, HitRateIsOverflowSafe) {
+  // hits + misses would wrap u64 arithmetic; the double-domain computation
+  // must not (and must land near 0.5 for equal counts).
+  CacheStats s;
+  s.hits = ~0ULL;
+  s.misses = ~0ULL;
+  EXPECT_NEAR(s.hit_rate(), 0.5, 1e-9);
+  s.reset();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 1.0);  // no accesses yet
+}
+
+TEST(Cache, ResetStatsClearsCountersButKeepsContents) {
+  DirectMappedCache c({1024, 32});
+  c.access(0, true);
+  c.access(1024, false);  // dirty eviction
+  EXPECT_GT(c.misses(), 0u);
+  EXPECT_EQ(c.writebacks(), 1u);
+  c.reset_stats();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_EQ(c.writebacks(), 0u);
+  // The tag array is untouched: the line filled by the last access still
+  // hits.
+  EXPECT_TRUE(c.access(1024, false).hit);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Hierarchy, ResetStatsClearsBothCaches) {
+  energy::InstructionEnergyTable table;
+  energy::EnergyMeter meter;
+  MemoryHierarchy h({1024, 32}, {1024, 32}, 20, &table, &meter);
+  h.load(64);
+  h.store(128);
+  h.fetch(64);
+  EXPECT_GT(h.dcache().misses(), 0u);
+  EXPECT_GT(h.icache().misses(), 0u);
+  h.reset_stats();
+  EXPECT_EQ(h.dcache().hits(), 0u);
+  EXPECT_EQ(h.dcache().misses(), 0u);
+  EXPECT_EQ(h.dcache().writebacks(), 0u);
+  EXPECT_EQ(h.icache().hits(), 0u);
+  EXPECT_EQ(h.icache().misses(), 0u);
+  // Contents survive: re-touching the same lines hits.
+  EXPECT_EQ(h.load(64), 0u);
+  EXPECT_EQ(h.fetch(64), 0u);
+}
+
 TEST(Hierarchy, ChargesDramAndStalls) {
   energy::InstructionEnergyTable table;
   energy::EnergyMeter meter;

@@ -1,0 +1,167 @@
+// Parallel sweep engine tests: the thread pool's contract (submit/drain,
+// exception propagation, graceful shutdown) and the determinism guarantee —
+// the parallel result grid is bit-identical to the serial run at any worker
+// count, because every cell's seeds derive from its coordinates alone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "sim/sweep.hpp"
+#include "support/threadpool.hpp"
+
+namespace javelin {
+namespace {
+
+// ---- thread pool ----------------------------------------------------------
+
+TEST(ThreadPool, SubmitAndDrain) {
+  support::ThreadPool pool(4, /*queue_capacity=*/8);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, ClampsWorkerAndCapacityFloors) {
+  support::ThreadPool pool(0, /*queue_capacity=*/0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  support::ThreadPool pool(2);
+  auto ok = pool.submit([] { return 1; });
+  auto boom = pool.submit([]() -> int {
+    throw std::runtime_error("cell exploded");
+  });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    support::ThreadPool pool(2, /*queue_capacity=*/64);
+    for (int i = 0; i < 32; ++i)
+      pool.submit([&ran] { ++ran; });
+    pool.shutdown();  // must let all queued tasks finish
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  }
+  EXPECT_EQ(ran.load(), 32);  // destructor after shutdown is a no-op
+}
+
+TEST(ThreadPool, BoundedQueueBlocksProducerWithoutDeadlock) {
+  // Queue of 2 with slow tasks: submission must block and resume, and all
+  // tasks must still run exactly once.
+  std::atomic<int> ran{0};
+  support::ThreadPool pool(1, /*queue_capacity=*/2);
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 16; ++i)
+    futs.push_back(pool.submit([&ran] { ++ran; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+// ---- sweep engine ---------------------------------------------------------
+
+TEST(SweepEngine, MapIsOrderedByCell) {
+  sim::SweepEngine engine(4);
+  const auto v = engine.map<std::size_t>(50, [](std::size_t i) {
+    return i * 3;
+  });
+  ASSERT_EQ(v.size(), 50u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(SweepEngine, JobsEnvOverride) {
+  ::setenv("JAVELIN_JOBS", "3", 1);
+  EXPECT_EQ(sim::sweep_jobs(), 3);
+  ::setenv("JAVELIN_JOBS", "garbage", 1);
+  EXPECT_GE(sim::sweep_jobs(), 1);  // falls back to hardware concurrency
+  ::unsetenv("JAVELIN_JOBS");
+  EXPECT_GE(sim::sweep_jobs(), 1);
+}
+
+// Exact (bitwise) equality of two strategy results.
+void expect_identical(const sim::StrategyResult& a,
+                      const sim::StrategyResult& b, const std::string& what) {
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j) << what;
+  EXPECT_EQ(a.total_seconds, b.total_seconds) << what;
+  EXPECT_EQ(a.computation_j, b.computation_j) << what;
+  EXPECT_EQ(a.communication_j, b.communication_j) << what;
+  EXPECT_EQ(a.idle_j, b.idle_j) << what;
+  EXPECT_EQ(a.dram_j, b.dram_j) << what;
+  EXPECT_EQ(a.mode_counts, b.mode_counts) << what;
+  EXPECT_EQ(a.compiles, b.compiles) << what;
+  EXPECT_EQ(a.remote_compiles, b.remote_compiles) << what;
+  EXPECT_EQ(a.fallbacks, b.fallbacks) << what;
+  EXPECT_EQ(a.executions, b.executions) << what;
+  EXPECT_EQ(a.all_correct, b.all_correct) << what;
+}
+
+sim::ScenarioSweepSpec small_spec() {
+  sim::ScenarioSweepSpec spec;
+  spec.apps = {&apps::app("fe"), &apps::app("sort")};
+  spec.situations = {sim::Situation::kGoodChannelDominantSize,
+                     sim::Situation::kPoorChannelDominantSize,
+                     sim::Situation::kUniform};
+  spec.strategies = {rt::Strategy::kInterpret, rt::Strategy::kLocal2,
+                     rt::Strategy::kAdaptiveLocal};
+  spec.executions = 10;
+  return spec;
+}
+
+TEST(SweepEngine, ParallelGridIsBitIdenticalToSerial) {
+  const sim::ScenarioSweepSpec spec = small_spec();
+
+  // Serial reference: plain nested loops over one runner per app, exactly
+  // like the pre-engine benches.
+  std::vector<sim::StrategyResult> serial;
+  for (const apps::App* a : spec.apps) {
+    const sim::ScenarioRunner runner(*a, spec.base_seed);
+    for (sim::Situation si : spec.situations)
+      for (rt::Strategy st : spec.strategies)
+        serial.push_back(runner.run(st, si, spec.executions, spec.verify,
+                                    &spec.client_config));
+  }
+
+  for (int jobs : {1, 2, 8}) {
+    sim::SweepEngine engine(jobs);
+    ASSERT_EQ(engine.jobs(), jobs);
+    const auto result = sim::run_scenario_sweep(engine, spec);
+    ASSERT_EQ(result.cells.size(), serial.size());
+    EXPECT_EQ(result.jobs, jobs);
+    std::size_t i = 0;
+    for (std::size_t a = 0; a < spec.apps.size(); ++a)
+      for (std::size_t si = 0; si < spec.situations.size(); ++si)
+        for (std::size_t st = 0; st < spec.strategies.size(); ++st, ++i)
+          expect_identical(
+              result.at(a, si, st), serial[i],
+              spec.apps[a]->name + " jobs=" + std::to_string(jobs) +
+                  " cell=" + std::to_string(i));
+  }
+}
+
+TEST(SweepEngine, RepeatedSweepsAreIdentical) {
+  // Re-running the same sweep on the same engine must reproduce itself —
+  // no state leaks between sweeps through the shared pool.
+  sim::ScenarioSweepSpec spec = small_spec();
+  spec.apps = {&apps::app("fe")};
+  spec.executions = 5;
+  sim::SweepEngine engine(2);
+  const auto r1 = sim::run_scenario_sweep(engine, spec);
+  const auto r2 = sim::run_scenario_sweep(engine, spec);
+  ASSERT_EQ(r1.cells.size(), r2.cells.size());
+  for (std::size_t i = 0; i < r1.cells.size(); ++i)
+    expect_identical(r1.cells[i], r2.cells[i], "rerun cell " +
+                                                   std::to_string(i));
+}
+
+}  // namespace
+}  // namespace javelin
