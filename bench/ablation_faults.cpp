@@ -1,0 +1,183 @@
+// Ablation: fault injection x resilience policy (robustness study).
+//
+// The paper's protocol handles exactly one failure mode: a response missing
+// past the timeout triggers local fallback (Section 3.2). This bench stresses
+// the offloading runtime under richer fault episodes — Gilbert-Elliott burst
+// loss, periodic server outages, payload corruption, latency spikes — and
+// compares three client policies:
+//   * paper (1 try):  the paper's semantics — one attempt, timeout fallback;
+//   * retry x3:       bounded retries with exponential backoff;
+//   * retry+breaker:  retries plus a circuit breaker that blacklists the
+//                     remote path after consecutive failures and half-opens
+//                     with a probe after a cooldown.
+// Every failed attempt is charged its true radio + idle/power-down energy, so
+// "wasted" below is real battery spend, not an abstract counter. Cells run on
+// the parallel sweep engine; all fault decisions derive from per-cell seeds,
+// so output (and BENCH_faults.json) is bit-identical at any JAVELIN_JOBS.
+
+#include <cstdio>
+#include <string>
+
+#include "sim/sweep.hpp"
+#include "support/table.hpp"
+
+using namespace javelin;
+
+namespace {
+
+struct FaultCase {
+  const char* label;
+  net::FaultPlan plan;
+};
+
+struct PolicyCase {
+  const char* label;
+  rt::ResiliencePolicy policy;
+};
+
+std::vector<FaultCase> fault_cases() {
+  std::vector<FaultCase> cases;
+  cases.push_back({"fault-free", {}});
+
+  net::FaultPlan mild;
+  mild.enabled = true;
+  mild.ge_p_good_to_bad = 0.05;
+  mild.ge_p_bad_to_good = 0.5;
+  mild.ge_loss_bad = 0.8;
+  cases.push_back({"mild burst loss", mild});
+
+  net::FaultPlan heavy;
+  heavy.enabled = true;
+  heavy.ge_p_good_to_bad = 0.15;
+  heavy.ge_p_bad_to_good = 0.3;
+  heavy.ge_loss_bad = 0.9;
+  cases.push_back({"heavy burst loss", heavy});
+
+  net::FaultPlan outage;
+  outage.enabled = true;
+  outage.outage_period_s = 30.0;
+  outage.outage_duration_s = 6.0;
+  outage.outage_phase_s = 10.0;
+  cases.push_back({"server outages", outage});
+
+  net::FaultPlan corrupt;
+  corrupt.enabled = true;
+  corrupt.corrupt_uplink_p = 0.08;
+  corrupt.corrupt_downlink_p = 0.08;
+  cases.push_back({"corruption", corrupt});
+
+  net::FaultPlan works = mild;
+  works.outage_period_s = 40.0;
+  works.outage_duration_s = 5.0;
+  works.corrupt_uplink_p = 0.04;
+  works.corrupt_downlink_p = 0.04;
+  works.spike_p = 0.05;
+  works.spike_seconds = 0.4;
+  cases.push_back({"the works", works});
+
+  return cases;
+}
+
+std::vector<PolicyCase> policy_cases() {
+  std::vector<PolicyCase> cases;
+  cases.push_back({"paper (1 try)", {}});
+
+  rt::ResiliencePolicy retry;
+  retry.max_attempts = 3;
+  cases.push_back({"retry x3", retry});
+
+  rt::ResiliencePolicy breaker = retry;
+  breaker.breaker_threshold = 4;
+  breaker.breaker_cooldown_s = 20.0;
+  cases.push_back({"retry+breaker", breaker});
+
+  return cases;
+}
+
+}  // namespace
+
+int main() {
+  const apps::App& fe = apps::app("fe");
+  const int executions = 120;
+
+  // Profile once; each fault case gets a cheap copy carrying its plan.
+  const sim::ScenarioRunner base(fe);
+  const std::vector<FaultCase> faults = fault_cases();
+  const std::vector<PolicyCase> policies = policy_cases();
+
+  std::vector<sim::ScenarioRunner> runners;
+  runners.reserve(faults.size());
+  for (const FaultCase& fc : faults) {
+    runners.push_back(base);
+    runners.back().fault_plan = fc.plan;
+  }
+
+  const std::size_t n = faults.size() * policies.size();
+  sim::SweepEngine engine;
+  const auto results = engine.map<sim::StrategyResult>(
+      n, [&](std::size_t i) {
+        const std::size_t fi = i / policies.size();
+        const std::size_t pi = i % policies.size();
+        rt::ClientConfig config = runners[fi].client_config;
+        config.resilience = policies[pi].policy;
+        return runners[fi].run(rt::Strategy::kAdaptiveAdaptive,
+                               sim::Situation::kUniform, executions,
+                               /*verify=*/true, &config);
+      });
+
+  TextTable table("Ablation — fault injection x resilience policy (fe, AA)");
+  table.set_header({"faults", "policy", "energy (J)", "remote", "fail",
+                    "retry", "wasted (mJ)", "fallback", "brk o/c"});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::StrategyResult& r = results[i];
+    if (!r.all_correct) {
+      std::fprintf(stderr, "FAIL: wrong result in cell %zu\n", i);
+      return 1;
+    }
+    const auto it = r.mode_counts.find(rt::ExecMode::kRemote);
+    const int remote = it == r.mode_counts.end() ? 0 : it->second;
+    table.add_row({faults[i / policies.size()].label,
+                   policies[i % policies.size()].label,
+                   TextTable::num(r.total_energy_j, 3), std::to_string(remote),
+                   std::to_string(r.remote_failures),
+                   std::to_string(r.retries),
+                   TextTable::num(r.wasted_retry_j * 1e3, 2),
+                   std::to_string(r.fallbacks),
+                   std::to_string(r.breaker_opened) + "/" +
+                       std::to_string(r.breaker_reclosed)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nfail counts every failed exchange attempt by class; wasted is the\n"
+      "client energy those attempts burnt. Under burst loss, retries convert\n"
+      "timeout fallbacks back into (cheaper) remote executions; under heavy\n"
+      "loss or outages the breaker stops paying for doomed attempts and the\n"
+      "helper method degrades to local modes until a half-open probe heals.");
+
+  // Machine-readable record. Deterministic fields only (no wall-clock), so
+  // the file is byte-identical at any JAVELIN_JOBS.
+  std::FILE* f = std::fopen("BENCH_faults.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_faults.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\": \"ablation_faults\", \"executions\": %d, "
+               "\"cells\": [", executions);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::StrategyResult& r = results[i];
+    std::fprintf(
+        f,
+        "%s\n  {\"faults\": \"%s\", \"policy\": \"%s\", "
+        "\"energy_j\": %.6f, \"remote_failures\": %d, \"retries\": %d, "
+        "\"wasted_retry_j\": %.6f, \"fallbacks\": %d, "
+        "\"breaker_opened\": %d, \"breaker_reclosed\": %d}",
+        i ? "," : "", faults[i / policies.size()].label,
+        policies[i % policies.size()].label, r.total_energy_j,
+        r.remote_failures, r.retries, r.wasted_retry_j, r.fallbacks,
+        r.breaker_opened, r.breaker_reclosed);
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "net/fault.hpp"
+
+#include <cmath>
+
+namespace javelin::net {
+
+bool FaultPlan::server_down(double t) const {
+  if (!enabled || outage_period_s <= 0.0 || outage_duration_s <= 0.0)
+    return false;
+  const double local = t - outage_phase_s;
+  if (local < 0.0) return false;
+  const double into = local - std::floor(local / outage_period_s) * outage_period_s;
+  return into < outage_duration_s;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+void FaultInjector::reset() {
+  rng_.reseed(plan_.seed);
+  bad_ = false;
+  counters_ = Counters{};
+}
+
+bool FaultInjector::message_lost() {
+  ++counters_.messages;
+  // Fixed draw count per message: one transition draw + one loss draw.
+  const double u_trans = rng_.next_double();
+  const double u_loss = rng_.next_double();
+  if (bad_) {
+    if (u_trans < plan_.ge_p_bad_to_good) bad_ = false;
+  } else {
+    if (u_trans < plan_.ge_p_good_to_bad) bad_ = true;
+  }
+  const double p = bad_ ? plan_.ge_loss_bad : plan_.ge_loss_good;
+  const bool lost = u_loss < p;
+  if (lost) ++counters_.losses;
+  return lost;
+}
+
+double FaultInjector::latency_spike() {
+  if (!sample(plan_.spike_p)) return 0.0;
+  ++counters_.spikes;
+  return plan_.spike_seconds;
+}
+
+void FaultInjector::corrupt(std::vector<std::uint8_t>& bytes) {
+  ++counters_.corruptions;
+  if (bytes.empty()) return;
+  if (bytes.size() > 1 && rng_.bernoulli(0.5)) {
+    // Truncate to a strict prefix (possibly empty).
+    bytes.resize(static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1)));
+  } else {
+    const auto byte_at = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    const auto bit = static_cast<unsigned>(rng_.uniform_int(0, 7));
+    bytes[byte_at] ^= static_cast<std::uint8_t>(1u << bit);
+  }
+}
+
+}  // namespace javelin::net

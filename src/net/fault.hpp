@@ -1,0 +1,128 @@
+// Deterministic fault injection for the offloading path.
+//
+// The paper's failure model (Section 3.2) is a single event: a response that
+// does not arrive within a threshold triggers one timeout and a local
+// fallback. Real WCDMA links and offloading servers fail in *bursts*,
+// *outages*, and *partial corruptions*, and the client energy spent handling
+// those failures is exactly what an energy-aware runtime must model. This
+// module provides a seed-driven schedule of fault episodes:
+//
+//  * burst packet loss — a Gilbert–Elliott two-state process (good/bad
+//    channel states with per-state loss probabilities) layered on top of the
+//    link's legacy Bernoulli loss, advanced once per message so losses
+//    cluster;
+//  * server outage windows — deterministic periodic intervals during which
+//    the server accepts nothing (a pure function of simulated time: no RNG,
+//    so outage placement is identical across strategies and worker counts);
+//  * payload corruption — delivered frames are bit-flipped or truncated;
+//    the CRC32-framed wire protocol turns these into FormatError, which the
+//    client treats as a retryable failure;
+//  * latency spikes — occasional extra response delay that can push an
+//    otherwise-fine exchange past the client's timeout.
+//
+// Determinism contract: an injector's decisions are a pure function of its
+// seed and the *sequence* of queries made to it. Each simulation cell owns a
+// private injector seeded from its cell coordinates (see
+// sim::ScenarioRunner), so sweeps remain bit-identical at any JAVELIN_JOBS.
+// With `FaultPlan::enabled == false` nothing is attached anywhere and the
+// fault-free energy numbers are untouched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace javelin::net {
+
+/// Bytes of CRC32 framing appended to every wire message. Charged over the
+/// air only when fault injection is active (net::Link adds it per message);
+/// in fault-free mode the paper's Fig 8 byte counts stay pinned.
+inline constexpr std::uint64_t kFrameCrcBytes = 4;
+
+/// A declarative schedule of fault episodes. Plain data so benches can build
+/// grids of plans; all probabilities are per-message.
+struct FaultPlan {
+  bool enabled = false;     ///< Master switch; false = inject nothing.
+  std::uint64_t seed = 1;   ///< Stream seed for every stochastic choice.
+
+  // Gilbert–Elliott burst loss. The chain steps once per message (uplink and
+  // downlink both count); in the bad state losses cluster.
+  double ge_p_good_to_bad = 0.0;  ///< P(good -> bad) per message.
+  double ge_p_bad_to_good = 0.3;  ///< P(bad -> good) per message.
+  double ge_loss_good = 0.0;      ///< Loss probability in the good state.
+  double ge_loss_bad = 0.9;       ///< Loss probability in the bad state.
+
+  // Server outage windows: down during [k*period + phase, k*period + phase +
+  // duration) for every integer k >= 0. period <= 0 disables outages.
+  double outage_period_s = 0.0;
+  double outage_duration_s = 0.0;
+  double outage_phase_s = 0.0;
+
+  // Payload corruption of *delivered* frames, per direction.
+  double corrupt_uplink_p = 0.0;
+  double corrupt_downlink_p = 0.0;
+
+  // Latency spikes: with probability spike_p a response is delayed by an
+  // extra spike_seconds (models RLC retransmission stalls / server GC).
+  double spike_p = 0.0;
+  double spike_seconds = 0.0;
+
+  /// Whether the server is inside an outage window at absolute time `t`.
+  /// Deterministic in `t` alone.
+  bool server_down(double t) const;
+};
+
+/// Stateful sampler for a FaultPlan. One instance per simulated link/cell;
+/// not thread-safe (cells never share one).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Sample loss of one uplink / downlink message. Advances the
+  /// Gilbert–Elliott chain exactly one step per call, with a fixed number of
+  /// RNG draws per call regardless of state (keeps streams aligned).
+  bool uplink_lost() { return message_lost(); }
+  bool downlink_lost() { return message_lost(); }
+
+  /// Sample corruption of one delivered message, per direction.
+  bool corrupt_uplink() { return sample(plan_.corrupt_uplink_p); }
+  bool corrupt_downlink() { return sample(plan_.corrupt_downlink_p); }
+
+  /// Extra response delay for this exchange (0.0 = no spike).
+  double latency_spike();
+
+  /// Damage `bytes` in place: flip one bit or truncate to a strict prefix.
+  /// Guaranteed to change the frame (so CRC32 verification must fail).
+  void corrupt(std::vector<std::uint8_t>& bytes);
+
+  /// Return to the exact post-construction state (fresh session).
+  void reset();
+
+  /// Whether the Gilbert–Elliott chain is currently in the bad state.
+  bool in_bad_state() const { return bad_; }
+
+  /// Observational counters (telemetry only; no behavioural effect).
+  struct Counters {
+    std::uint64_t messages = 0;
+    std::uint64_t losses = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t spikes = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  bool message_lost();
+  /// One RNG draw, consumed whether or not p is zero, so decision streams do
+  /// not depend on which fault knobs are active.
+  bool sample(double p) { return rng_.next_double() < p; }
+
+  FaultPlan plan_;
+  Rng rng_;
+  bool bad_ = false;
+  Counters counters_;
+};
+
+}  // namespace javelin::net

@@ -5,9 +5,32 @@
 // the receiver-chain power. An optional loss probability models prolonged
 // loss of connectivity (paper Section 3.2: when a response does not arrive
 // within a threshold, the client falls back to local execution).
+//
+// Loss models, combined independently per message:
+//  * legacy `set_loss_probability(p)` — the product default: the probability
+//    that a whole request/response *exchange* is lost, sampled once on the
+//    uplink (a lost exchange charges only the uplink energy, matching the
+//    paper's "response never arrives" event);
+//  * `set_direction_loss(up, down)` — per-direction Bernoulli loss: uplink
+//    and downlink messages are sampled independently, so a lost *downlink*
+//    charges the full uplink + server wait + downlink receive energy before
+//    the client discovers the failure;
+//  * an attached net::FaultInjector — Gilbert–Elliott burst loss (and CRC
+//    framing overhead, see below).
+// Each model draws from the RNG only while active, so enabling one never
+// perturbs the stream of another (and the default configuration draws
+// nothing at all).
+//
+// When a FaultInjector is attached, every message additionally carries the
+// 4-byte CRC32 frame trailer over the air (kFrameCrcBytes); in fault-free
+// mode the trailer is not charged so the paper's Fig 8 byte counts stay
+// pinned.
 #pragma once
 
+#include <memory>
+
 #include "energy/energy.hpp"
+#include "net/fault.hpp"
 #include "radio/radio.hpp"
 #include "support/rng.hpp"
 
@@ -19,9 +42,27 @@ class Link {
                 std::uint64_t seed = 1)
       : comm_(comm), rng_(seed) {}
 
-  /// Probability that a whole request/response exchange is lost.
+  /// Probability that a whole request/response exchange is lost (legacy
+  /// whole-exchange semantics, sampled on the uplink).
   void set_loss_probability(double p) { loss_ = p; }
   double loss_probability() const { return loss_; }
+
+  /// Independent per-direction Bernoulli loss probabilities.
+  void set_direction_loss(double up, double down) {
+    up_loss_ = up;
+    down_loss_ = down;
+  }
+  double uplink_loss_probability() const { return up_loss_; }
+  double downlink_loss_probability() const { return down_loss_; }
+
+  /// Attach a fault-injection schedule (burst loss + CRC frame charging).
+  /// Plans with `enabled == false` are ignored.
+  void attach_faults(const FaultPlan& plan) {
+    if (plan.enabled) injector_ = std::make_unique<FaultInjector>(plan);
+  }
+  /// The attached injector, or nullptr in fault-free mode. The client uses
+  /// it for corruption and latency-spike decisions on its side of the wire.
+  FaultInjector* fault_injector() { return injector_.get(); }
 
   struct Transfer {
     double seconds = 0.0;
@@ -32,18 +73,25 @@ class Link {
   /// client meter. The energy is spent even if the transfer is lost.
   Transfer client_send(std::uint64_t bytes, radio::PowerClass pa,
                        energy::EnergyMeter& client_meter) {
+    const std::uint64_t framed = bytes + (injector_ ? kFrameCrcBytes : 0);
     Transfer t;
-    t.seconds = comm_.tx_seconds(bytes);
-    client_meter.add(energy::Subsystem::kCommTx, comm_.tx_energy(bytes, pa));
-    t.lost = loss_ > 0.0 && rng_.bernoulli(loss_);
+    t.seconds = comm_.tx_seconds(framed);
+    client_meter.add(energy::Subsystem::kCommTx, comm_.tx_energy(framed, pa));
+    if (loss_ > 0.0 && rng_.bernoulli(loss_)) t.lost = true;
+    if (up_loss_ > 0.0 && rng_.bernoulli(up_loss_)) t.lost = true;
+    if (injector_ && injector_->uplink_lost()) t.lost = true;
     return t;
   }
 
-  /// Downlink: client receives `bytes`. Charges the client meter.
+  /// Downlink: client receives `bytes`. Charges the client meter. A lost
+  /// downlink still charges the receive window (the radio listened).
   Transfer client_recv(std::uint64_t bytes, energy::EnergyMeter& client_meter) {
+    const std::uint64_t framed = bytes + (injector_ ? kFrameCrcBytes : 0);
     Transfer t;
-    t.seconds = comm_.rx_seconds(bytes);
-    client_meter.add(energy::Subsystem::kCommRx, comm_.rx_energy(bytes));
+    t.seconds = comm_.rx_seconds(framed);
+    client_meter.add(energy::Subsystem::kCommRx, comm_.rx_energy(framed));
+    if (down_loss_ > 0.0 && rng_.bernoulli(down_loss_)) t.lost = true;
+    if (injector_ && injector_->downlink_lost()) t.lost = true;
     return t;
   }
 
@@ -52,7 +100,10 @@ class Link {
  private:
   radio::CommModel comm_;
   double loss_ = 0.0;
+  double up_loss_ = 0.0;
+  double down_loss_ = 0.0;
   Rng rng_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace javelin::net

@@ -1,5 +1,9 @@
 #include "net/protocol.hpp"
 
+#include <cstring>
+
+#include "net/fault.hpp"
+
 namespace javelin::net {
 
 namespace {
@@ -10,6 +14,27 @@ constexpr std::uint8_t kMsgCompileResp = 4;
 
 void expect(ByteReader& r, std::uint8_t tag) {
   if (r.u8() != tag) throw FormatError("protocol: unexpected message type");
+}
+
+/// Append the CRC32 frame trailer over the encoded body.
+std::vector<std::uint8_t> seal_frame(ByteWriter&& w) {
+  const std::uint32_t crc = crc32(w.data().data(), w.size());
+  w.u32(crc);
+  return w.take();
+}
+
+/// Verify the CRC32 trailer and return a reader over the body only. Any
+/// truncation or bit flip anywhere in the frame fails here, so decoders only
+/// ever see checksummed bytes.
+ByteReader open_frame(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kFrameCrcBytes + 1)
+    throw FormatError("protocol: frame too short");
+  const std::size_t body = bytes.size() - kFrameCrcBytes;
+  std::uint32_t stored;
+  std::memcpy(&stored, bytes.data() + body, kFrameCrcBytes);
+  if (stored != crc32(bytes.data(), body))
+    throw FormatError("protocol: CRC32 mismatch (corrupt frame)");
+  return ByteReader(bytes, body);
 }
 }  // namespace
 
@@ -60,11 +85,11 @@ std::vector<std::uint8_t> InvokeRequest::encode() const {
     w.u32(static_cast<std::uint32_t>(a.size()));
     w.bytes(a.data(), a.size());
   }
-  return w.take();
+  return seal_frame(std::move(w));
 }
 
 InvokeRequest InvokeRequest::decode(const std::vector<std::uint8_t>& bytes) {
-  ByteReader r(bytes);
+  ByteReader r = open_frame(bytes);
   expect(r, kMsgInvokeReq);
   InvokeRequest m;
   m.cls = r.str();
@@ -95,11 +120,11 @@ std::vector<std::uint8_t> InvokeResponse::encode() const {
   w.str(error);
   w.u32(static_cast<std::uint32_t>(result.size()));
   w.bytes(result.data(), result.size());
-  return w.take();
+  return seal_frame(std::move(w));
 }
 
 InvokeResponse InvokeResponse::decode(const std::vector<std::uint8_t>& bytes) {
-  ByteReader r(bytes);
+  ByteReader r = open_frame(bytes);
   expect(r, kMsgInvokeResp);
   InvokeResponse m;
   m.ok = r.u8() != 0;
@@ -121,11 +146,11 @@ std::vector<std::uint8_t> CompileRequest::encode() const {
   w.str(cls);
   w.str(method);
   w.i32(level);
-  return w.take();
+  return seal_frame(std::move(w));
 }
 
 CompileRequest CompileRequest::decode(const std::vector<std::uint8_t>& bytes) {
-  ByteReader r(bytes);
+  ByteReader r = open_frame(bytes);
   expect(r, kMsgCompileReq);
   CompileRequest m;
   m.cls = r.str();
@@ -151,11 +176,11 @@ std::vector<std::uint8_t> CompileResponse::encode() const {
     w.str(u.method);
     encode_program(u.program, w);
   }
-  return w.take();
+  return seal_frame(std::move(w));
 }
 
 CompileResponse CompileResponse::decode(const std::vector<std::uint8_t>& bytes) {
-  ByteReader r(bytes);
+  ByteReader r = open_frame(bytes);
   expect(r, kMsgCompileResp);
   CompileResponse m;
   m.ok = r.u8() != 0;

@@ -14,6 +14,13 @@
 // CompileResponse the charged size is the *machine-code image* size (4 bytes
 // per instruction + literal pool), matching what a real SPARC binary would
 // occupy; the functional encoding carries whatever the simulator needs.
+//
+// Every `encode()` seals the message in a CRC32 frame (a 4-byte trailer over
+// the body) and every `decode()` verifies it before parsing, so truncated or
+// bit-flipped frames raise FormatError instead of crashing — corruption is a
+// detectable, retryable failure. The trailer is *not* part of `wire_bytes()`;
+// net::Link charges the extra kFrameCrcBytes per message only when fault
+// injection is active, keeping fault-free Fig 8 numbers pinned.
 #pragma once
 
 #include <string>

@@ -1,11 +1,24 @@
 #include "rt/client.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "net/serializer.hpp"
 
 namespace javelin::rt {
+
+const char* failure_class_name(FailureClass f) {
+  switch (f) {
+    case FailureClass::kNone: return "none";
+    case FailureClass::kUplinkLoss: return "uplink-loss";
+    case FailureClass::kDownlinkLoss: return "downlink-loss";
+    case FailureClass::kOutage: return "outage";
+    case FailureClass::kCorrupt: return "corrupt";
+    case FailureClass::kTimeout: return "timeout";
+  }
+  return "?";
+}
 
 const char* strategy_name(Strategy s) {
   switch (s) {
@@ -48,6 +61,47 @@ void Client::deploy(const std::vector<jvm::ClassFile>& app) {
 void Client::reset_session() {
   dev_->engine.clear_code();
   stats_.assign(dev_->vm.num_methods(), MethodStats{});
+  breaker_ = CircuitBreaker{};
+}
+
+bool Client::breaker_allows_remote() {
+  if (cfg_.resilience.breaker_threshold <= 0) return true;
+  switch (breaker_.state) {
+    case CircuitBreaker::State::kClosed:
+    case CircuitBreaker::State::kHalfOpen:
+      return true;
+    case CircuitBreaker::State::kOpen:
+      if (now() - breaker_.opened_at >= cfg_.resilience.breaker_cooldown_s) {
+        breaker_.state = CircuitBreaker::State::kHalfOpen;
+        ++breaker_.times_half_opened;
+        return true;  // The admitted exchange is the probe.
+      }
+      return false;
+  }
+  return true;
+}
+
+void Client::breaker_on_success() {
+  breaker_.consecutive_failures = 0;
+  if (breaker_.state != CircuitBreaker::State::kClosed) {
+    breaker_.state = CircuitBreaker::State::kClosed;
+    ++breaker_.times_reclosed;
+  }
+}
+
+void Client::breaker_on_failure() {
+  ++breaker_.consecutive_failures;
+  const ResiliencePolicy& rp = cfg_.resilience;
+  if (rp.breaker_threshold <= 0) return;
+  const bool probe_failed = breaker_.state == CircuitBreaker::State::kHalfOpen;
+  const bool tripped =
+      breaker_.state == CircuitBreaker::State::kClosed &&
+      breaker_.consecutive_failures >= rp.breaker_threshold;
+  if (probe_failed || tripped) {
+    breaker_.state = CircuitBreaker::State::kOpen;
+    breaker_.opened_at = now();
+    ++breaker_.times_opened;
+  }
 }
 
 double Client::size_param(const jvm::Jvm& vm, const jvm::MethodInfo& mi,
@@ -118,9 +172,14 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
   const radio::CommModel& comm = link_.comm();
   const int current_level = dev_->engine.compiled_level(m.id);
 
+  // An open circuit breaker blacklists the remote path (execution *and*
+  // compilation): the decision degrades gracefully to the local modes until
+  // the cooldown admits a half-open probe.
+  const bool remote_ok = breaker_allows_remote();
+
   double best = EI;
   Decision d{ExecMode::kInterpret, false};
-  if (ER < best) {
+  if (remote_ok && ER < best) {
     best = ER;
     d = Decision{ExecMode::kRemote, false};
   }
@@ -130,7 +189,7 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
     if (current_level != level) {
       const double local_cost = prof.compile_energy[level - 1];
       compile_cost = local_cost;
-      if (adaptive_compilation) {
+      if (adaptive_compilation && remote_ok) {
         // AA: compare compiling locally against downloading pre-compiled
         // native code (request uplink + code image downlink).
         const double code_bytes = prof.code_size_bytes[level - 1];
@@ -164,31 +223,93 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
 
   if (remote) {
     // Download pre-compiled native code from the server (Section 3.3). The
-    // class verifier cannot check native code; the server is trusted.
+    // class verifier cannot check native code; the server is trusted. The
+    // exchange runs under the retry policy; on exhaustion (or an open
+    // breaker) compilation degrades to local.
     const jvm::RtClass& rc = dev_->vm.cls(m.class_id);
     net::CompileRequest req{rc.cf.name, m.info->name, level};
-    const radio::PowerClass pa = pilot_.estimate(now());
-    const auto up = link_.client_send(req.wire_bytes(), pa, dev_->meter);
-    extra_seconds_ += up.seconds;
-    net::CompileResponse resp = server_.handle_compile(req);
-    if (!resp.ok || up.lost) {
-      // Fall back to local compilation.
-      charge_wait(cfg_.response_timeout_s * 0.1, /*powered_down=*/false);
-      ensure_compiled(m, level, /*remote=*/false, nullptr);
-      return;
+    const ResiliencePolicy& rp = cfg_.resilience;
+    ResilienceStats* rs = report ? &report->resilience : nullptr;
+    net::FaultInjector* fi = link_.fault_injector();
+
+    for (int attempt = 1; breaker_allows_remote(); ++attempt) {
+      if (rs) ++rs->attempts;
+      const double e0 = dev_->meter.total();
+      const radio::PowerClass pa = pilot_.estimate(now());
+      const auto up = link_.client_send(req.wire_bytes(), pa, dev_->meter);
+      extra_seconds_ += up.seconds;
+
+      FailureClass fc = FailureClass::kNone;
+      net::CompileResponse resp;
+      if (up.lost) {
+        fc = FailureClass::kUplinkLoss;
+      } else if (server_.in_outage(now())) {
+        fc = FailureClass::kOutage;
+      } else {
+        resp = server_.handle_compile(req);
+        if (!resp.ok) {
+          // The server cannot compile this method — a semantic refusal, not
+          // a transient fault. Idle the legacy re-request window, then
+          // compile locally.
+          charge_wait(cfg_.response_timeout_s * 0.1, /*powered_down=*/false);
+          break;
+        }
+        // Wait for the server to compile, then receive the image.
+        charge_wait(resp.server_seconds, cfg_.powerdown);
+        const auto down = link_.client_recv(resp.wire_bytes(), dev_->meter);
+        extra_seconds_ += down.seconds;
+        if (down.lost) {
+          fc = FailureClass::kDownlinkLoss;
+        } else if (fi) {
+          // Hardened path: the image travels as a CRC32-sealed frame and may
+          // arrive damaged; a corrupt frame is detected and retried.
+          auto bytes = resp.encode();
+          if (fi->corrupt_downlink()) fi->corrupt(bytes);
+          try {
+            resp = net::CompileResponse::decode(bytes);
+          } catch (const FormatError&) {
+            fc = FailureClass::kCorrupt;
+          }
+        }
+      }
+
+      if (fc == FailureClass::kNone) {
+        breaker_on_success();
+        // Link and install each unit (small per-unit linking cost).
+        for (auto& unit : resp.units) {
+          const std::int32_t id = dev_->vm.find_method(unit.cls, unit.method);
+          if (id < 0) throw Error("client: downloaded code for unknown method");
+          dev_->core.charge_class(energy::InstrClass::kAluSimple,
+                                  unit.program.code.size() / 4 + 8);
+          dev_->engine.install(id, std::move(unit.program), level);
+        }
+        return;
+      }
+
+      // Nothing (usable) came back: idle the lost-exchange re-request window.
+      if (fc != FailureClass::kDownlinkLoss && fc != FailureClass::kCorrupt)
+        charge_wait(cfg_.response_timeout_s * 0.1, /*powered_down=*/false);
+      if (rs) {
+        const double wasted = dev_->meter.total() - e0;
+        const auto ci = static_cast<std::size_t>(fc);
+        ++rs->failures[ci];
+        rs->wasted_j[ci] += wasted;
+        rs->wasted_energy_j += wasted;
+      }
+      breaker_on_failure();
+      if (attempt >= rp.max_attempts ||
+          breaker_.state == CircuitBreaker::State::kOpen)
+        break;
+      const double backoff =
+          rp.backoff_base_s * std::pow(rp.backoff_multiplier, attempt - 1);
+      charge_wait(backoff, /*powered_down=*/false);
+      if (rs) {
+        rs->backoff_seconds += backoff;
+        ++rs->retries;
+      }
     }
-    // Wait for the server to compile, then receive the image.
-    charge_wait(resp.server_seconds, cfg_.powerdown);
-    const auto down = link_.client_recv(resp.wire_bytes(), dev_->meter);
-    extra_seconds_ += down.seconds;
-    // Link and install each unit (small per-unit linking cost).
-    for (auto& unit : resp.units) {
-      const std::int32_t id = dev_->vm.find_method(unit.cls, unit.method);
-      if (id < 0) throw Error("client: downloaded code for unknown method");
-      dev_->core.charge_class(energy::InstrClass::kAluSimple,
-                              unit.program.code.size() / 4 + 8);
-      dev_->engine.install(id, std::move(unit.program), level);
-    }
+    // Fall back to local compilation.
+    ensure_compiled(m, level, /*remote=*/false, nullptr);
     return;
   }
 
@@ -234,6 +355,116 @@ jvm::Value Client::exec_local(const jvm::RtMethod& m,
   return dev_->engine.invoke(m.id, args);
 }
 
+void Client::charge_timeout_wait(double estimated_server_seconds) {
+  // No (usable) response will arrive: the client sleeps through its
+  // estimated window, then idles awake until the timeout expires (paper
+  // Section 3.2).
+  const double sleep =
+      std::min(estimated_server_seconds, cfg_.response_timeout_s);
+  charge_wait(sleep, cfg_.powerdown);
+  charge_wait(cfg_.response_timeout_s - sleep, /*powered_down=*/false);
+}
+
+FailureClass Client::attempt_remote_invoke(const net::InvokeRequest& req,
+                                           jvm::Value& result) {
+  net::FaultInjector* fi = link_.fault_injector();
+
+  // Uplink at the PA class the power control picked from the pilot.
+  const radio::PowerClass pa = pilot_.estimate(now());
+  const auto up = link_.client_send(req.wire_bytes(), pa, dev_->meter);
+  extra_seconds_ += up.seconds;
+  const double t_sent = now();
+
+  if (up.lost) {
+    charge_timeout_wait(req.estimated_server_seconds);
+    return FailureClass::kUplinkLoss;
+  }
+  if (fi && fi->corrupt_uplink()) {
+    // The frame arrived damaged. Run the real bytes through the hardened
+    // decoder exactly as the server would; CRC32 framing turns the damage
+    // into a detectable parse failure, i.e. silence from the server.
+    auto bytes = req.encode();
+    fi->corrupt(bytes);
+    bool parsed = true;
+    try {
+      (void)net::InvokeRequest::decode(bytes);
+    } catch (const FormatError&) {
+      parsed = false;
+    }
+    if (!parsed) {
+      charge_timeout_wait(req.estimated_server_seconds);
+      return FailureClass::kCorrupt;
+    }
+  }
+  Server::ExecOutcome out = server_.handle_invoke(req, t_sent, cfg_.client_id);
+  if (out.unavailable) {
+    charge_timeout_wait(req.estimated_server_seconds);
+    return FailureClass::kOutage;
+  }
+  if (!out.response.ok)
+    throw Error("remote execution failed: " + out.response.error);
+
+  const double spike = fi ? fi->latency_spike() : 0.0;
+  const double compute_seconds = out.compute_seconds + spike;
+  if (compute_seconds > cfg_.response_timeout_s) {
+    // Treated as lost connectivity (paper Section 3.2).
+    charge_timeout_wait(req.estimated_server_seconds);
+    return FailureClass::kTimeout;
+  }
+
+  // Power-down window: the client sleeps until its estimated wake time; the
+  // server queues the response if it finishes earlier (mobile status table).
+  const double wake_after = cfg_.powerdown
+                                ? req.estimated_server_seconds
+                                : compute_seconds;
+  if (cfg_.powerdown) {
+    if (compute_seconds <= wake_after) {
+      // Response was queued; sleep the full window.
+      charge_wait(wake_after, /*powered_down=*/true);
+    } else {
+      // Early re-activation penalty: sleep the window, then idle awake.
+      charge_wait(wake_after, /*powered_down=*/true);
+      charge_wait(compute_seconds - wake_after, /*powered_down=*/false);
+    }
+  } else {
+    charge_wait(compute_seconds, /*powered_down=*/false);
+  }
+
+  // Downlink: receive and deserialize the result.
+  const auto down =
+      link_.client_recv(out.response.wire_bytes(), dev_->meter);
+  extra_seconds_ += down.seconds;
+  if (down.lost) {
+    // The radio listened through the receive window but no frame arrived;
+    // the client idles awake until the timeout gives up on the exchange.
+    charge_wait(cfg_.response_timeout_s - (now() - t_sent),
+                /*powered_down=*/false);
+    return FailureClass::kDownlinkLoss;
+  }
+  if (fi) {
+    // Hardened path: the response travels as a CRC32-sealed frame and may
+    // arrive damaged; corruption is detected (never UB) and retried.
+    auto bytes = out.response.encode();
+    if (fi->corrupt_downlink()) fi->corrupt(bytes);
+    net::InvokeResponse resp;
+    try {
+      resp = net::InvokeResponse::decode(bytes);
+    } catch (const FormatError&) {
+      return FailureClass::kCorrupt;
+    }
+    result = resp.result.empty()
+                 ? jvm::Value::make_void()
+                 : net::deserialize_value(dev_->vm, resp.result,
+                                          /*charge=*/true);
+    return FailureClass::kNone;
+  }
+  result = out.response.result.empty()
+               ? jvm::Value::make_void()
+               : net::deserialize_value(dev_->vm, out.response.result,
+                                        /*charge=*/true);
+  return FailureClass::kNone;
+}
+
 jvm::Value Client::exec_remote(const jvm::RtMethod& m,
                                std::span<const jvm::Value> args,
                                InvokeReport* report) {
@@ -252,73 +483,56 @@ jvm::Value Client::exec_remote(const jvm::RtMethod& m,
       prof.valid ? std::max(0.0, prof.server_cycles.eval(s)) / cfg_.server_clock_hz
                  : 0.0;
 
-  // Uplink at the PA class the power control picked from the pilot.
-  const radio::PowerClass pa = pilot_.estimate(now());
-  const auto up = link_.client_send(req.wire_bytes(), pa, dev_->meter);
-  extra_seconds_ += up.seconds;
-  const double t_sent = now();
+  const ResiliencePolicy& rp = cfg_.resilience;
+  ResilienceStats rs;
 
-  if (up.lost) {
-    // No response will ever come: the client sleeps through its estimated
-    // window, idles to the timeout, then falls back to local execution.
-    charge_wait(std::min(req.estimated_server_seconds, cfg_.response_timeout_s),
-                cfg_.powerdown);
-    const double already = std::min(req.estimated_server_seconds,
-                                    cfg_.response_timeout_s);
-    charge_wait(cfg_.response_timeout_s - already, /*powered_down=*/false);
-    if (report) report->fallback_local = true;
-    // Best local mode from the cost model (cheap heuristic: reuse compiled
-    // code if present, else interpret).
-    const int lvl = dev_->engine.compiled_level(m.id);
-    return exec_local(m, args,
-                      lvl == 0 ? ExecMode::kInterpret
-                               : static_cast<ExecMode>(lvl),
-                      false, report);
-  }
-
-  Server::ExecOutcome out = server_.handle_invoke(req, t_sent, cfg_.client_id);
-  if (!out.response.ok)
-    throw Error("remote execution failed: " + out.response.error);
-
-  if (out.compute_seconds > cfg_.response_timeout_s) {
-    // Treated as lost connectivity (paper Section 3.2): local fallback.
-    charge_wait(std::min(req.estimated_server_seconds, cfg_.response_timeout_s),
-                cfg_.powerdown);
-    const double already = std::min(req.estimated_server_seconds,
-                                    cfg_.response_timeout_s);
-    charge_wait(cfg_.response_timeout_s - already, /*powered_down=*/false);
-    if (report) report->fallback_local = true;
-    const int lvl = dev_->engine.compiled_level(m.id);
-    return exec_local(m, args,
-                      lvl == 0 ? ExecMode::kInterpret
-                               : static_cast<ExecMode>(lvl),
-                      false, report);
-  }
-
-  // Power-down window: the client sleeps until its estimated wake time; the
-  // server queues the response if it finishes earlier (mobile status table).
-  const double wake_after = cfg_.powerdown
-                                ? req.estimated_server_seconds
-                                : out.compute_seconds;
-  if (cfg_.powerdown) {
-    if (out.compute_seconds <= wake_after) {
-      // Response was queued; sleep the full window.
-      charge_wait(wake_after, /*powered_down=*/true);
-    } else {
-      // Early re-activation penalty: sleep the window, then idle awake.
-      charge_wait(wake_after, /*powered_down=*/true);
-      charge_wait(out.compute_seconds - wake_after, /*powered_down=*/false);
-    }
+  if (!breaker_allows_remote()) {
+    // Breaker open: skip the radio entirely and execute locally.
+    rs.breaker_short_circuit = true;
   } else {
-    charge_wait(out.compute_seconds, /*powered_down=*/false);
+    if (breaker_.state == CircuitBreaker::State::kHalfOpen)
+      rs.breaker_probe = true;
+    jvm::Value result;
+    for (int attempt = 1;; ++attempt) {
+      ++rs.attempts;
+      const double e0 = dev_->meter.total();
+      const FailureClass fc = attempt_remote_invoke(req, result);
+      if (fc == FailureClass::kNone) {
+        breaker_on_success();
+        if (report) report->resilience = rs;
+        return result;
+      }
+      const double wasted = dev_->meter.total() - e0;
+      const auto ci = static_cast<std::size_t>(fc);
+      ++rs.failures[ci];
+      rs.wasted_j[ci] += wasted;
+      rs.wasted_energy_j += wasted;
+      breaker_on_failure();
+      if (attempt >= rp.max_attempts ||
+          breaker_.state == CircuitBreaker::State::kOpen)
+        break;
+      // Exponential backoff before the next try (awake idle: the radio and
+      // core stay powered, which is exactly the energy cost of retrying).
+      const double backoff =
+          rp.backoff_base_s * std::pow(rp.backoff_multiplier, attempt - 1);
+      charge_wait(backoff, /*powered_down=*/false);
+      rs.backoff_seconds += backoff;
+      ++rs.retries;
+    }
   }
 
-  // Downlink: receive and deserialize the result.
-  const auto down =
-      link_.client_recv(out.response.wire_bytes(), dev_->meter);
-  extra_seconds_ += down.seconds;
-  if (out.response.result.empty()) return jvm::Value::make_void();
-  return net::deserialize_value(dev_->vm, out.response.result, /*charge=*/true);
+  // Remote path exhausted (or short-circuited): local fallback. Best local
+  // mode from the cost model (cheap heuristic: reuse compiled code if
+  // present, else interpret).
+  if (report) {
+    report->fallback_local = true;
+    report->resilience = rs;
+  }
+  const int lvl = dev_->engine.compiled_level(m.id);
+  return exec_local(m, args,
+                    lvl == 0 ? ExecMode::kInterpret
+                             : static_cast<ExecMode>(lvl),
+                    false, report);
 }
 
 jvm::Value Client::run(const std::string& cls, const std::string& method,

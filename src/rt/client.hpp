@@ -20,8 +20,20 @@
 // (mobile status table); an early-woken client idles at normal power until
 // the response arrives; a response missing past the timeout triggers local
 // fallback execution.
+//
+// Resilience (generalizing the paper's single timeout-fallback event): every
+// remote exchange — InvokeRequest and CompileRequest alike — runs under a
+// bounded-retry policy with exponential backoff, each failed attempt charged
+// its true radio + idle/power-down energy; a per-session circuit breaker
+// counts consecutive remote failures and, once open, blacklists
+// ExecMode::kRemote and remote compilation so the helper-method decision
+// degrades gracefully to local modes, half-opening with a single probe after
+// a cooldown. The default policy (1 attempt, breaker disabled) reproduces
+// the paper's behaviour bit-for-bit; `reset_session()` clears all breaker /
+// retry / EWMA state so sweep determinism is preserved.
 #pragma once
 
+#include <array>
 #include <span>
 
 #include "jit/compiler.hpp"
@@ -30,6 +42,53 @@
 #include "rt/strategy.hpp"
 
 namespace javelin::rt {
+
+/// Why one remote exchange attempt failed.
+enum class FailureClass : std::uint8_t {
+  kNone = 0,
+  kUplinkLoss,    ///< Request never reached the server.
+  kDownlinkLoss,  ///< Response transmission lost.
+  kOutage,        ///< Server inside an outage window.
+  kCorrupt,       ///< Frame delivered but failed CRC32 / decoding.
+  kTimeout,       ///< Response later than response_timeout_s.
+};
+inline constexpr std::size_t kNumFailureClasses = 6;
+
+const char* failure_class_name(FailureClass f);
+
+/// Retry / circuit-breaker policy for remote exchanges. The defaults are the
+/// paper's semantics: one attempt, no breaker.
+struct ResiliencePolicy {
+  int max_attempts = 1;           ///< Total tries per exchange (1 = no retry).
+  double backoff_base_s = 0.05;   ///< First retry waits this long (awake).
+  double backoff_multiplier = 2.0;
+  int breaker_threshold = 0;      ///< Consecutive failures to open; 0 = off.
+  double breaker_cooldown_s = 10.0;  ///< Open -> half-open probe delay.
+};
+
+/// Per-invocation resilience telemetry (part of InvokeReport).
+struct ResilienceStats {
+  int attempts = 0;  ///< Remote exchange attempts (0 = never went remote).
+  int retries = 0;   ///< attempts beyond the first.
+  double backoff_seconds = 0.0;   ///< Time spent idling between retries.
+  double wasted_energy_j = 0.0;   ///< Client energy burnt by failed attempts.
+  std::array<int, kNumFailureClasses> failures{};      ///< By FailureClass.
+  std::array<double, kNumFailureClasses> wasted_j{};   ///< Energy by class.
+  bool breaker_short_circuit = false;  ///< Remote skipped: breaker open.
+  bool breaker_probe = false;          ///< This exchange was a half-open probe.
+};
+
+/// Circuit-breaker state over the remote path (execution + compilation).
+struct CircuitBreaker {
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+  State state = State::kClosed;
+  int consecutive_failures = 0;
+  double opened_at = 0.0;  ///< Simulated time the breaker last opened.
+  // Transition counters (telemetry; cleared by reset_session()).
+  int times_opened = 0;
+  int times_half_opened = 0;
+  int times_reclosed = 0;
+};
 
 struct ClientConfig {
   isa::MachineConfig machine = isa::client_machine();
@@ -40,6 +99,7 @@ struct ClientConfig {
   double pilot_period_s = 20e-3;
   double server_clock_hz = 750e6;  ///< Known from the service handshake.
   std::uint32_t client_id = 1;
+  ResiliencePolicy resilience;  ///< Defaults preserve the paper's behaviour.
 };
 
 /// Telemetry for one top-level invocation.
@@ -50,6 +110,7 @@ struct InvokeReport {
   bool fallback_local = false;  ///< Remote attempt lost/timed out.
   double energy_j = 0.0;        ///< Client energy for this invocation.
   double seconds = 0.0;         ///< Wall-clock time for this invocation.
+  ResilienceStats resilience;   ///< Retry/breaker telemetry.
 };
 
 class Client {
@@ -77,7 +138,16 @@ class Client {
   Device& device() { return *dev_; }
   const ClientConfig& config() const { return cfg_; }
 
-  /// Drop adaptive state and installed code (fresh application session).
+  /// Breaker state (telemetry; see CircuitBreaker).
+  const CircuitBreaker& breaker() const { return breaker_; }
+  /// Invocation count the EWMA predictor has seen for `method_id` (0 after
+  /// deploy/reset; exposed so tests can check reset_session()).
+  std::uint64_t invocation_count(std::int32_t method_id) const {
+    return stats_.at(static_cast<std::size_t>(method_id)).k;
+  }
+
+  /// Drop adaptive state, breaker/retry state and installed code (fresh
+  /// application session).
   void reset_session();
 
   /// Scalar size parameter of a method invocation per its SizeParamSpec.
@@ -97,8 +167,20 @@ class Client {
   };
 
   /// The helper-method logic: evaluate EI / ER / EL1..EL3 and pick the min.
+  /// With the breaker open, remote candidates are excluded.
   Decision decide(const jvm::RtMethod& m, MethodStats& st, double s,
                   radio::PowerClass channel_now, bool adaptive_compilation);
+
+  /// Whether the breaker currently admits a remote exchange. Transitions
+  /// open -> half-open once the cooldown has elapsed (the admitted exchange
+  /// is the probe).
+  bool breaker_allows_remote();
+  void breaker_on_success();
+  void breaker_on_failure();
+
+  /// Charge the lost-exchange wait (sleep through the estimated window, then
+  /// idle awake until the timeout expires) — the paper's Section 3.2 event.
+  void charge_timeout_wait(double estimated_server_seconds);
 
   /// Estimated per-invocation remote-execution energy E''(m, s, p).
   double remote_energy(const jvm::EnergyProfile& prof, double s,
@@ -115,6 +197,12 @@ class Client {
                          std::span<const jvm::Value> args,
                          InvokeReport* report);
 
+  /// One remote-invocation exchange attempt: send, wait, receive. Returns
+  /// kNone and fills `result` on success, else the failure class (with all
+  /// failure-path energy already charged).
+  FailureClass attempt_remote_invoke(const net::InvokeRequest& req,
+                                     jvm::Value& result);
+
   /// Charge `seconds` of idle/power-down time to the meter.
   void charge_wait(double seconds, bool powered_down);
 
@@ -126,6 +214,7 @@ class Client {
   std::unique_ptr<Device> dev_;
   double extra_seconds_ = 0.0;  ///< Non-CPU elapsed time.
   std::vector<MethodStats> stats_;
+  CircuitBreaker breaker_;
 };
 
 }  // namespace javelin::rt

@@ -30,6 +30,12 @@ Server::ExecOutcome Server::handle_invoke(const net::InvokeRequest& req,
                                           double arrival_time,
                                           std::uint32_t client_id) {
   ExecOutcome out;
+  if (in_outage(arrival_time)) {
+    // The request dies at the door: no status-table entry, no response. The
+    // client discovers this only by timing out.
+    out.unavailable = true;
+    return out;
+  }
   MobileStatus& st = status_[client_id];
   st.request_time = arrival_time;
   st.estimated_wake = arrival_time + req.estimated_server_seconds;

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "jit/compiler.hpp"
+#include "net/fault.hpp"
 #include "net/protocol.hpp"
 #include "rt/device.hpp"
 
@@ -47,6 +48,9 @@ class Server {
   struct ExecOutcome {
     net::InvokeResponse response;
     double compute_seconds = 0.0;  ///< Server-side execution time.
+    /// The request arrived during an outage window: no response was (or ever
+    /// will be) produced — the client sees only silence and times out.
+    bool unavailable = false;
   };
 
   /// Handle a remote-invocation request arriving at `arrival_time`.
@@ -63,6 +67,12 @@ class Server {
   /// loaded server; used by ablation benches). Default 0.
   void set_queue_delay(double seconds) { queue_delay_ = seconds; }
 
+  /// Install a fault schedule; only its (time-deterministic) outage windows
+  /// apply to the server. Default: no outages.
+  void set_fault_plan(const net::FaultPlan& plan) { fault_plan_ = plan; }
+  /// Whether the server is unreachable at simulated time `t`.
+  bool in_outage(double t) const { return fault_plan_.server_down(t); }
+
   Device& device() { return *dev_; }
 
  private:
@@ -71,6 +81,7 @@ class Server {
   std::map<std::uint32_t, MobileStatus> status_;
   std::map<std::pair<std::string, int>, net::CompileResponse> compile_cache_;
   double queue_delay_ = 0.0;
+  net::FaultPlan fault_plan_;  ///< Outage windows (disabled by default).
 };
 
 }  // namespace javelin::rt

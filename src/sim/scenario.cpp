@@ -78,6 +78,14 @@ StrategyResult ScenarioRunner::run_sequence(
   rt::Server server;
   server.deploy(classes_);
   net::Link link(radio::CommModel{}, seed ^ 0x11777);
+  if (fault_plan.enabled) {
+    // The injector seed is a pure function of the cell seed, so sweeps stay
+    // bit-identical at any JAVELIN_JOBS.
+    net::FaultPlan plan = fault_plan;
+    plan.seed = seed ^ 0xFA017;
+    link.attach_faults(plan);
+    server.set_fault_plan(plan);
+  }
   rt::Client client(config ? *config : client_config, server, channel, link);
   client.deploy(classes_);
   client.device().core.step_limit = 500'000'000'000ULL;
@@ -103,8 +111,16 @@ StrategyResult ScenarioRunner::run_sequence(
     if (report.remote_compile) ++out.remote_compiles;
     if (report.fallback_local) ++out.fallbacks;
     ++out.executions;
+    out.retries += report.resilience.retries;
+    out.wasted_retry_j += report.resilience.wasted_energy_j;
+    for (std::size_t c = 0; c < rt::kNumFailureClasses; ++c) {
+      out.remote_failures += report.resilience.failures[c];
+      out.failures_by_class[c] += report.resilience.failures[c];
+    }
     client.device().arena.heap_release(mark);
   }
+  out.breaker_opened = client.breaker().times_opened;
+  out.breaker_reclosed = client.breaker().times_reclosed;
   out.computation_j = client.device().meter.computation();
   out.communication_j = client.device().meter.communication();
   out.idle_j = client.device().meter.of(energy::Subsystem::kIdle);

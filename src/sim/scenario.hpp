@@ -44,6 +44,14 @@ struct StrategyResult {
   int fallbacks = 0;
   int executions = 0;
   bool all_correct = true;
+  // Resilience telemetry (all zero in fault-free runs with the default
+  // one-attempt policy).
+  int retries = 0;               ///< Retried exchange attempts.
+  int remote_failures = 0;       ///< Failed exchange attempts, all classes.
+  double wasted_retry_j = 0.0;   ///< Client energy burnt by failed attempts.
+  std::array<int, rt::kNumFailureClasses> failures_by_class{};
+  int breaker_opened = 0;        ///< Circuit-breaker open transitions.
+  int breaker_reclosed = 0;      ///< Successful half-open probes.
 };
 
 /// Default experiment seed (the paper's submission date).
@@ -86,6 +94,11 @@ class ScenarioRunner {
   rt::ClientConfig client_config;
   /// Mean inter-invocation think time (seconds, not energy-charged).
   double think_time_s = 0.5;
+  /// Fault schedule applied to every run's link and server. Disabled by
+  /// default (fault-free numbers stay pinned); when enabled, the injector
+  /// seed is derived from the cell seed so sweeps stay deterministic at any
+  /// JAVELIN_JOBS.
+  net::FaultPlan fault_plan;
 
  private:
   StrategyResult run_sequence(rt::Strategy strategy,

@@ -3,8 +3,14 @@
 // Shared by the class-file binary format and the wire serializer so both
 // layers agree on encoding and both can report exact byte counts (the byte
 // count is what the radio model charges for).
+//
+// The reader is hardened against hostile input: every length field is
+// validated against the bytes actually present *before* any allocation, so a
+// corrupted 0xFFFFFFFF string length raises FormatError instead of attempting
+// a 4 GiB allocation, and the bounds arithmetic cannot overflow.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -13,6 +19,32 @@
 #include "support/error.hpp"
 
 namespace javelin {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320). Pass a
+/// previous return value as `crc` to checksum data incrementally.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t crc = 0) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = detail::kCrc32Table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
 
 class ByteWriter {
  public:
@@ -42,7 +74,12 @@ class ByteWriter {
 
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : buf_(buf), end_(buf.size()) {}
+  /// Read only the first `limit` bytes of `buf` (e.g. a payload followed by
+  /// a checksum trailer the caller has already verified and peeled off).
+  ByteReader(const std::vector<std::uint8_t>& buf, std::size_t limit)
+      : buf_(buf), end_(limit < buf.size() ? limit : buf.size()) {}
 
   std::uint8_t u8() { return buf_[need(1)]; }
   std::uint16_t u16() { return read<std::uint16_t>(); }
@@ -52,16 +89,20 @@ class ByteReader {
   double f64() { return read<double>(); }
   std::string str() {
     const std::uint32_t n = u32();
+    // Validate the length field against the bytes present before touching
+    // the allocator: a hostile length must fail cheaply, not via bad_alloc.
+    if (n > remaining()) throw FormatError("byte stream: string length field exceeds remaining bytes");
     const std::size_t at = need(n);
     return std::string(reinterpret_cast<const char*>(buf_.data() + at), n);
   }
   void bytes(void* p, std::size_t n) {
+    if (n > remaining()) throw FormatError("byte stream: byte run exceeds remaining bytes");
     const std::size_t at = need(n);
     std::memcpy(p, buf_.data() + at, n);
   }
 
-  bool at_end() const { return pos_ == buf_.size(); }
-  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool at_end() const { return pos_ == end_; }
+  std::size_t remaining() const { return end_ - pos_; }
 
  private:
   template <typename T>
@@ -72,13 +113,16 @@ class ByteReader {
     return v;
   }
   std::size_t need(std::size_t n) {
-    if (pos_ + n > buf_.size()) throw FormatError("byte stream underflow");
+    // `n > end_ - pos_` (never `pos_ + n > end_`): the subtraction cannot
+    // wrap because pos_ <= end_, whereas the addition can.
+    if (n > end_ - pos_) throw FormatError("byte stream underflow");
     const std::size_t at = pos_;
     pos_ += n;
     return at;
   }
 
   const std::vector<std::uint8_t>& buf_;
+  std::size_t end_;
   std::size_t pos_ = 0;
 };
 

@@ -1,0 +1,189 @@
+// Fault-injection tests: Gilbert-Elliott burstiness, outage windows,
+// guaranteed-detectable corruption, per-direction link loss, CRC frame
+// charging, and preservation of the legacy loss stream.
+#include <gtest/gtest.h>
+
+#include "net/fault.hpp"
+#include "net/link.hpp"
+#include "net/protocol.hpp"
+
+namespace javelin::net {
+namespace {
+
+FaultPlan burst_plan(std::uint64_t seed = 7) {
+  FaultPlan p;
+  p.enabled = true;
+  p.seed = seed;
+  p.ge_p_good_to_bad = 0.1;
+  p.ge_p_bad_to_good = 0.2;
+  p.ge_loss_good = 0.0;
+  p.ge_loss_bad = 1.0;
+  return p;
+}
+
+TEST(FaultPlan, OutageWindowsAreDeterministicInTime) {
+  FaultPlan p;
+  p.enabled = true;
+  p.outage_period_s = 10.0;
+  p.outage_duration_s = 2.0;
+  p.outage_phase_s = 1.0;
+  EXPECT_FALSE(p.server_down(0.0));
+  EXPECT_TRUE(p.server_down(1.0));
+  EXPECT_TRUE(p.server_down(2.9));
+  EXPECT_FALSE(p.server_down(3.0));
+  EXPECT_TRUE(p.server_down(11.5));
+  EXPECT_FALSE(p.server_down(13.0));
+  EXPECT_TRUE(p.server_down(101.5));
+
+  // Outages disabled: period 0, or the whole plan off.
+  p.outage_period_s = 0.0;
+  EXPECT_FALSE(p.server_down(1.0));
+  p.outage_period_s = 10.0;
+  p.enabled = false;
+  EXPECT_FALSE(p.server_down(1.0));
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultPlan p = burst_plan();
+  p.corrupt_uplink_p = 0.3;
+  p.corrupt_downlink_p = 0.3;
+  p.spike_p = 0.2;
+  p.spike_seconds = 0.5;
+
+  FaultInjector a(p), b(p);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.uplink_lost(), b.uplink_lost());
+    EXPECT_EQ(a.downlink_lost(), b.downlink_lost());
+    EXPECT_EQ(a.corrupt_uplink(), b.corrupt_uplink());
+    EXPECT_EQ(a.corrupt_downlink(), b.corrupt_downlink());
+    EXPECT_EQ(a.latency_spike(), b.latency_spike());
+  }
+  EXPECT_EQ(a.counters().losses, b.counters().losses);
+}
+
+TEST(FaultInjector, ResetRestoresTheFullDecisionStream) {
+  FaultInjector inj(burst_plan());
+  std::vector<bool> first;
+  for (int i = 0; i < 500; ++i) first.push_back(inj.uplink_lost());
+  inj.reset();
+  EXPECT_FALSE(inj.in_bad_state());
+  EXPECT_EQ(inj.counters().messages, 0u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(inj.uplink_lost(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(FaultInjector, GilbertElliottLossesCluster) {
+  // loss_good = 0 and loss_bad = 1, so losses mirror bad-state dwells: the
+  // mean loss-run length should approach 1/p_bad_to_good = 5, far above the
+  // ~1 a Bernoulli process of equal rate would produce.
+  FaultInjector inj(burst_plan());
+  const int n = 20000;
+  int losses = 0, runs = 0;
+  bool prev = false;
+  for (int i = 0; i < n; ++i) {
+    const bool lost = inj.uplink_lost();
+    if (lost) {
+      ++losses;
+      if (!prev) ++runs;
+    }
+    prev = lost;
+  }
+  const double rate = static_cast<double>(losses) / n;
+  // Stationary bad-state probability = 0.1 / (0.1 + 0.2) = 1/3.
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.5);
+  ASSERT_GT(runs, 0);
+  const double mean_run = static_cast<double>(losses) / runs;
+  EXPECT_GT(mean_run, 3.0);
+}
+
+TEST(FaultInjector, CorruptionAlwaysBreaksTheFrame) {
+  InvokeRequest req;
+  req.cls = "FE";
+  req.method = "integrate";
+  req.estimated_server_seconds = 0.01;
+  req.args = {{1, 2, 3, 4}, {9, 9}};
+  const std::vector<std::uint8_t> frame = req.encode();
+  ASSERT_NO_THROW(InvokeRequest::decode(frame));
+
+  FaultPlan p;
+  p.enabled = true;
+  p.seed = 99;
+  FaultInjector inj(p);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint8_t> damaged = frame;
+    inj.corrupt(damaged);
+    EXPECT_NE(damaged, frame);
+    // CRC32 framing turns every single-bit flip and every strict-prefix
+    // truncation into FormatError — never a crash, never silent garbage.
+    EXPECT_THROW(InvokeRequest::decode(damaged), FormatError);
+  }
+}
+
+TEST(Link, PerDirectionLossIsIndependent) {
+  energy::EnergyMeter meter;
+  {
+    Link link(radio::CommModel{}, 3);
+    link.set_direction_loss(1.0, 0.0);
+    EXPECT_TRUE(link.client_send(100, radio::PowerClass::kClass4, meter).lost);
+    EXPECT_FALSE(link.client_recv(100, meter).lost);
+  }
+  {
+    Link link(radio::CommModel{}, 3);
+    link.set_direction_loss(0.0, 1.0);
+    EXPECT_FALSE(link.client_send(100, radio::PowerClass::kClass4, meter).lost);
+    EXPECT_TRUE(link.client_recv(100, meter).lost);
+  }
+  // The radio listened / transmitted either way: energy is charged on loss.
+  EXPECT_GT(meter.of(energy::Subsystem::kCommTx), 0.0);
+  EXPECT_GT(meter.of(energy::Subsystem::kCommRx), 0.0);
+}
+
+TEST(Link, LegacyLossStreamIsUntouchedByNewModels) {
+  // The legacy whole-exchange loss draws the same deterministic stream it
+  // always has: one bernoulli(p) per send, straight from the link seed —
+  // with per-direction loss and fault injection off, nothing else draws.
+  const std::uint64_t seed = 42;
+  const double p = 0.3;
+  Link link(radio::CommModel{}, seed);
+  link.set_loss_probability(p);
+  Rng reference(seed);
+  energy::EnergyMeter meter;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(link.client_send(50, radio::PowerClass::kClass2, meter).lost,
+              reference.bernoulli(p));
+    // Downlink draws nothing in this configuration.
+    EXPECT_FALSE(link.client_recv(50, meter).lost);
+  }
+}
+
+TEST(Link, CrcFrameBytesChargedOnlyUnderFaultInjection) {
+  energy::EnergyMeter plain_meter, faulty_meter;
+  Link plain(radio::CommModel{}, 5);
+  Link faulty(radio::CommModel{}, 5);
+  FaultPlan p;
+  p.enabled = true;  // all probabilities zero: overhead but no faults
+  faulty.attach_faults(p);
+  ASSERT_NE(faulty.fault_injector(), nullptr);
+  EXPECT_EQ(plain.fault_injector(), nullptr);
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(
+        faulty.client_send(200, radio::PowerClass::kClass4, faulty_meter).lost);
+    EXPECT_FALSE(faulty.client_recv(200, faulty_meter).lost);
+    plain.client_send(200, radio::PowerClass::kClass4, plain_meter);
+    plain.client_recv(200, plain_meter);
+  }
+  // Same payload bytes, but the faulty link carries the 4-byte CRC trailer.
+  EXPECT_GT(faulty_meter.of(energy::Subsystem::kCommTx),
+            plain_meter.of(energy::Subsystem::kCommTx));
+  EXPECT_GT(faulty_meter.of(energy::Subsystem::kCommRx),
+            plain_meter.of(energy::Subsystem::kCommRx));
+
+  // A disabled plan attaches nothing: byte accounting identical to legacy.
+  Link ignored(radio::CommModel{}, 5);
+  ignored.attach_faults(FaultPlan{});
+  EXPECT_EQ(ignored.fault_injector(), nullptr);
+}
+
+}  // namespace
+}  // namespace javelin::net

@@ -19,9 +19,12 @@ TEST(Protocol, InvokeRequestRoundTrip) {
   EXPECT_EQ(back.method, "median");
   EXPECT_DOUBLE_EQ(back.estimated_server_seconds, 0.0125);
   EXPECT_EQ(back.args, req.args);
-  // Wire size tracks the encoding size.
+  // Wire size tracks the encoding size. The encoding carries a 4-byte CRC32
+  // frame trailer that wire_bytes() deliberately excludes (the paper's
+  // fault-free byte accounting stays pinned; the link charges the trailer
+  // only under fault injection).
   EXPECT_NEAR(static_cast<double>(req.wire_bytes()),
-              static_cast<double>(bytes.size()), 2.0);
+              static_cast<double>(bytes.size()), 6.0);
 }
 
 TEST(Protocol, InvokeResponseRoundTrip) {

@@ -1,0 +1,222 @@
+// Resilient-offloading tests: bounded retries with true energy accounting,
+// circuit-breaker open/half-open/re-close transitions, adaptive degradation
+// to local modes, corruption robustness end to end, and session reset.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "rt/client.hpp"
+#include "rt/profiler.hpp"
+
+namespace javelin::rt {
+namespace {
+
+using apps::App;
+
+std::vector<jvm::ClassFile> profiled_fe() {
+  static const std::vector<jvm::ClassFile> classes = [] {
+    const App& a = apps::app("fe");
+    auto cs = a.classes;
+    profile_application(cs, {{a.cls + "." + a.method, a.workload()}});
+    return cs;
+  }();
+  return classes;
+}
+
+struct ClientRig {
+  Server server;
+  radio::FixedChannel channel{radio::PowerClass::kClass4};
+  net::Link link;
+  ClientConfig cfg;
+  std::unique_ptr<Client> client;
+
+  explicit ClientRig(ClientConfig c = {}) : cfg(c) {
+    server.deploy(profiled_fe());
+    client = std::make_unique<Client>(cfg, server, channel, link);
+    client->deploy(profiled_fe());
+  }
+  void attach_faults(const net::FaultPlan& plan) {
+    link.attach_faults(plan);
+    server.set_fault_plan(plan);
+  }
+  std::vector<jvm::Value> args(std::int32_t steps = 400) {
+    return {jvm::Value::make_double(0.0), jvm::Value::make_double(4.0),
+            jvm::Value::make_int(steps)};
+  }
+  InvokeReport run(Strategy s, std::int32_t steps = 400) {
+    InvokeReport rep;
+    const jvm::Value v = client->run("FE", "integrate", args(steps), s, &rep);
+    EXPECT_GT(v.as_double(), 0.0);
+    return rep;
+  }
+};
+
+TEST(Resilience, RetryRecoversFromTransientOutage) {
+  // One outage window covers the start of the session; the paper's policy
+  // (one attempt) would fall back locally, but a second attempt after the
+  // timeout + backoff lands past the window and succeeds remotely.
+  ClientConfig cfg;
+  cfg.resilience.max_attempts = 2;
+  ClientRig rig(cfg);
+  net::FaultPlan plan;
+  plan.enabled = true;
+  plan.outage_period_s = 1e6;  // one window only
+  plan.outage_duration_s = 2.0;
+  rig.attach_faults(plan);
+
+  const InvokeReport rep = rig.run(Strategy::kRemote);
+  EXPECT_FALSE(rep.fallback_local);
+  EXPECT_EQ(rep.mode, ExecMode::kRemote);
+  EXPECT_EQ(rep.resilience.attempts, 2);
+  EXPECT_EQ(rep.resilience.retries, 1);
+  EXPECT_EQ(
+      rep.resilience.failures[static_cast<std::size_t>(FailureClass::kOutage)],
+      1);
+  // The failed attempt burnt real battery: uplink radio + timeout wait.
+  EXPECT_GT(rep.resilience.wasted_energy_j, 0.0);
+  EXPECT_GT(
+      rep.resilience.wasted_j[static_cast<std::size_t>(FailureClass::kOutage)],
+      0.0);
+  EXPECT_GT(rep.resilience.backoff_seconds, 0.0);
+}
+
+TEST(Resilience, SingleAttemptPolicyMatchesPaperFallback) {
+  ClientRig rig;  // default policy: 1 attempt, breaker off
+  rig.link.set_loss_probability(1.0);
+  const InvokeReport rep = rig.run(Strategy::kRemote);
+  EXPECT_TRUE(rep.fallback_local);
+  EXPECT_EQ(rep.resilience.attempts, 1);
+  EXPECT_EQ(rep.resilience.retries, 0);
+  EXPECT_EQ(rep.resilience.failures[static_cast<std::size_t>(
+                FailureClass::kUplinkLoss)],
+            1);
+  EXPECT_EQ(rig.client->breaker().state, CircuitBreaker::State::kClosed);
+}
+
+TEST(Resilience, BreakerOpensAfterConsecutiveFailuresAndHalfOpenHeals) {
+  ClientConfig cfg;
+  cfg.resilience.breaker_threshold = 3;
+  ClientRig rig(cfg);
+  rig.link.set_loss_probability(1.0);
+
+  for (int i = 0; i < 3; ++i) {
+    const InvokeReport rep = rig.run(Strategy::kRemote);
+    EXPECT_TRUE(rep.fallback_local);
+    EXPECT_EQ(rep.resilience.attempts, 1);
+  }
+  EXPECT_EQ(rig.client->breaker().state, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(rig.client->breaker().times_opened, 1);
+
+  // While open, the remote path is skipped entirely: no radio energy spent.
+  const InvokeReport blocked = rig.run(Strategy::kRemote);
+  EXPECT_TRUE(blocked.fallback_local);
+  EXPECT_TRUE(blocked.resilience.breaker_short_circuit);
+  EXPECT_EQ(blocked.resilience.attempts, 0);
+
+  // After the cooldown the breaker half-opens; a successful probe re-closes.
+  rig.link.set_loss_probability(0.0);
+  rig.client->skip_time(cfg.resilience.breaker_cooldown_s + 1.0);
+  const InvokeReport probe = rig.run(Strategy::kRemote);
+  EXPECT_FALSE(probe.fallback_local);
+  EXPECT_EQ(probe.mode, ExecMode::kRemote);
+  EXPECT_TRUE(probe.resilience.breaker_probe);
+  EXPECT_EQ(rig.client->breaker().state, CircuitBreaker::State::kClosed);
+  EXPECT_EQ(rig.client->breaker().times_half_opened, 1);
+  EXPECT_EQ(rig.client->breaker().times_reclosed, 1);
+}
+
+TEST(Resilience, FailedProbeReopensTheBreaker) {
+  ClientConfig cfg;
+  cfg.resilience.breaker_threshold = 2;
+  ClientRig rig(cfg);
+  rig.link.set_loss_probability(1.0);
+  rig.run(Strategy::kRemote);
+  rig.run(Strategy::kRemote);
+  ASSERT_EQ(rig.client->breaker().state, CircuitBreaker::State::kOpen);
+
+  rig.client->skip_time(cfg.resilience.breaker_cooldown_s + 1.0);
+  const InvokeReport probe = rig.run(Strategy::kRemote);  // still lossy
+  EXPECT_TRUE(probe.resilience.breaker_probe);
+  EXPECT_TRUE(probe.fallback_local);
+  EXPECT_EQ(rig.client->breaker().state, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(rig.client->breaker().times_opened, 2);
+}
+
+TEST(Resilience, OpenBreakerDegradesAdaptiveDecisionsToLocal) {
+  // Under AA with a dead link, the helper method keeps picking remote (the
+  // cost model cannot see losses) until the breaker opens; afterwards remote
+  // candidates are excluded outright and no further attempts are made.
+  ClientConfig cfg;
+  cfg.resilience.breaker_threshold = 2;
+  cfg.resilience.breaker_cooldown_s = 1e6;  // never half-open in this test
+  ClientRig rig(cfg);
+  rig.link.set_loss_probability(1.0);
+
+  for (int i = 0; i < 20 && rig.client->breaker().times_opened == 0; ++i)
+    rig.run(Strategy::kAdaptiveAdaptive, 3200);
+  ASSERT_EQ(rig.client->breaker().times_opened, 1);
+
+  const InvokeReport rep = rig.run(Strategy::kAdaptiveAdaptive, 3200);
+  EXPECT_NE(rep.mode, ExecMode::kRemote);
+  EXPECT_EQ(rep.resilience.attempts, 0);
+  EXPECT_EQ(rig.client->breaker().state, CircuitBreaker::State::kOpen);
+}
+
+TEST(Resilience, CorruptionIsDetectedRetriedAndNeverWrong) {
+  // Every downlink frame is corrupted: the CRC32 framing must turn each one
+  // into a clean retryable failure — results stay correct via retry or
+  // fallback, never silently wrong, never a crash.
+  ClientConfig cfg;
+  cfg.resilience.max_attempts = 2;
+  ClientRig rig(cfg);
+  net::FaultPlan plan;
+  plan.enabled = true;
+  plan.corrupt_downlink_p = 1.0;
+  rig.attach_faults(plan);
+
+  int corrupt_failures = 0;
+  for (int i = 0; i < 4; ++i) {
+    const InvokeReport rep = rig.run(Strategy::kRemote);
+    EXPECT_TRUE(rep.fallback_local);
+    corrupt_failures += rep.resilience.failures[static_cast<std::size_t>(
+        FailureClass::kCorrupt)];
+  }
+  EXPECT_EQ(corrupt_failures, 8);  // 4 invocations x 2 attempts
+
+  // Mixed invoke + compile traffic under the same corruption also stays
+  // correct (the remote-compile download travels the hardened path too).
+  for (int i = 0; i < 6; ++i) rig.run(Strategy::kAdaptiveAdaptive, 900);
+}
+
+TEST(Resilience, ResetSessionClearsBreakerRetryAndPredictorState) {
+  ClientConfig cfg;
+  cfg.resilience.breaker_threshold = 2;
+  ClientRig rig(cfg);
+  const std::int32_t mid =
+      rig.client->device().vm.find_method("FE", "integrate");
+  ASSERT_GE(mid, 0);
+
+  rig.link.set_loss_probability(1.0);
+  rig.run(Strategy::kRemote);
+  rig.run(Strategy::kRemote);
+  ASSERT_EQ(rig.client->breaker().state, CircuitBreaker::State::kOpen);
+  // The EWMA predictor ticks in decide(), i.e. under adaptive strategies
+  // (with the breaker open this one executes locally).
+  rig.run(Strategy::kAdaptiveAdaptive);
+  ASSERT_GT(rig.client->invocation_count(mid), 0u);
+
+  rig.client->reset_session();
+  EXPECT_EQ(rig.client->breaker().state, CircuitBreaker::State::kClosed);
+  EXPECT_EQ(rig.client->breaker().consecutive_failures, 0);
+  EXPECT_EQ(rig.client->breaker().times_opened, 0);
+  EXPECT_EQ(rig.client->invocation_count(mid), 0u);
+
+  // A fresh session behaves as if the breaker never opened.
+  rig.link.set_loss_probability(0.0);
+  const InvokeReport rep = rig.run(Strategy::kRemote);
+  EXPECT_FALSE(rep.fallback_local);
+  EXPECT_EQ(rep.resilience.attempts, 1);
+  EXPECT_FALSE(rep.resilience.breaker_short_circuit);
+}
+
+}  // namespace
+}  // namespace javelin::rt
