@@ -1,0 +1,105 @@
+// Demonstrates the cross-layer tracing subsystem (DESIGN.md §10) on the
+// paper's fe (FFT edge-detect) benchmark under the AA strategy.
+//
+// Two tracks are recorded into one TraceCollector:
+//  * "fe/good/AA"        — the fault-free good-channel scenario;
+//  * "fe/good/AA+faults" — the same workload under a burst-loss / outage /
+//                          corruption / latency-spike schedule with a
+//                          3-attempt retry policy and a circuit breaker, so
+//                          the trace shows retries, wasted-energy ledgers and
+//                          breaker transitions.
+//
+// Outputs:
+//  * BENCH_trace.json (override with JAVELIN_TRACE_JSON) — Chrome trace-event
+//    JSON, loadable in chrome://tracing or Perfetto; validated with the
+//    built-in JSON checker before writing.
+//  * stdout — the Prometheus text-format metrics aggregated from both tracks.
+//
+// Tracing is read-only: the StrategyResults printed at the end are
+// bit-identical to an untraced run (tests/trace_determinism_test.cpp pins
+// this). Set JAVELIN_TRACE_EXECS to change the per-track execution count.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "sim/sweep.hpp"
+
+using namespace javelin;
+
+int main() {
+  int execs = 40;
+  if (const char* env = std::getenv("JAVELIN_TRACE_EXECS"))
+    execs = std::atoi(env);
+
+  const apps::App* fe = nullptr;
+  for (const apps::App& a : apps::registry())
+    if (a.name == "fe") fe = &a;
+  if (!fe) {
+    std::fprintf(stderr, "trace_demo: no 'fe' app in the registry\n");
+    return 1;
+  }
+
+  obs::TraceCollector collector;
+
+  // Track 0: fault-free fe/AA under the good-channel situation.
+  sim::ScenarioRunner runner(*fe);
+  obs::TraceBuffer* clean =
+      collector.make_buffer("fe/good/AA", /*order_key=*/0);
+  const sim::StrategyResult clean_result =
+      runner.run(rt::Strategy::kAdaptiveAdaptive,
+                 sim::Situation::kGoodChannelDominantSize, execs,
+                 /*verify=*/true, /*config=*/nullptr, clean);
+
+  // Track 1: the same workload under faults, with retries and a breaker.
+  sim::ScenarioRunner faulted(*fe);
+  faulted.fault_plan.enabled = true;
+  faulted.fault_plan.ge_p_good_to_bad = 0.08;
+  faulted.fault_plan.ge_loss_bad = 0.8;
+  faulted.fault_plan.outage_period_s = 40.0;
+  faulted.fault_plan.outage_duration_s = 4.0;
+  faulted.fault_plan.corrupt_downlink_p = 0.05;
+  faulted.fault_plan.spike_p = 0.05;
+  faulted.fault_plan.spike_seconds = 1.0;
+  faulted.client_config.resilience.max_attempts = 3;
+  faulted.client_config.resilience.breaker_threshold = 4;
+  faulted.client_config.resilience.breaker_cooldown_s = 5.0;
+  obs::TraceBuffer* dirty =
+      collector.make_buffer("fe/good/AA+faults", /*order_key=*/1);
+  const sim::StrategyResult faulted_result =
+      faulted.run(rt::Strategy::kAdaptiveAdaptive,
+                  sim::Situation::kGoodChannelDominantSize, execs,
+                  /*verify=*/true, /*config=*/nullptr, dirty);
+
+  // Export: validate, then write the Chrome trace.
+  const std::string json = obs::chrome_trace_json(collector);
+  std::string err;
+  if (!obs::json_valid(json, &err)) {
+    std::fprintf(stderr, "trace_demo: invalid trace JSON: %s\n", err.c_str());
+    return 1;
+  }
+  const char* path_env = std::getenv("JAVELIN_TRACE_JSON");
+  const std::string path = path_env ? path_env : "BENCH_trace.json";
+  if (!obs::write_file(path, json)) return 1;
+
+  // Prometheus metrics for both tracks.
+  std::fputs(obs::build_metrics(collector).prometheus_text().c_str(), stdout);
+
+  std::fprintf(stderr,
+               "[trace] %zu tracks, %zu + %zu events -> %s (%zu bytes)\n",
+               collector.size(), clean->events().size(),
+               dirty->events().size(), path.c_str(), json.size());
+  std::fprintf(stderr,
+               "[trace] fe/AA energy: clean %.3f mJ, faulted %.3f mJ "
+               "(%d retries, %d failures, %.3f mJ wasted)\n",
+               clean_result.total_energy_j * 1e3,
+               faulted_result.total_energy_j * 1e3, faulted_result.retries,
+               faulted_result.remote_failures,
+               faulted_result.wasted_retry_j * 1e3);
+  if (!clean_result.all_correct || !faulted_result.all_correct) {
+    std::fprintf(stderr, "trace_demo: wrong results\n");
+    return 1;
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "isa/nisa.hpp"
 #include "jit/ir.hpp"
 #include "jvm/vm.hpp"
+#include "obs/trace.hpp"
 
 namespace javelin::jit {
 
@@ -95,9 +96,13 @@ struct CompileResult {
 };
 
 /// Compile one method. Throws CompileError if the method cannot be compiled.
+/// `trace` (null = disabled) counts compiles and IR instructions in/out; the
+/// compiler has no clock, so timed compile spans are emitted by callers that
+/// do (rt::Client).
 CompileResult compile_method(const jvm::Jvm& jvm, std::int32_t method_id,
                              const CompileOptions& opts,
-                             const energy::InstructionEnergyTable& table);
+                             const energy::InstructionEnergyTable& table,
+                             obs::TraceBuffer* trace = nullptr);
 
 /// Translate a method to IR only (exposed for tests and for the inliner).
 Function translate_to_ir(const jvm::Jvm& jvm, std::int32_t method_id,

@@ -11,7 +11,8 @@ namespace javelin::jit {
 
 CompileResult compile_method(const jvm::Jvm& jvm, std::int32_t method_id,
                              const CompileOptions& opts,
-                             const energy::InstructionEnergyTable& table) {
+                             const energy::InstructionEnergyTable& table,
+                             obs::TraceBuffer* trace) {
   if (opts.opt_level < 1 || opts.opt_level > 3)
     throw Error("jit: bad optimization level");
 
@@ -47,6 +48,13 @@ CompileResult compile_method(const jvm::Jvm& jvm, std::int32_t method_id,
   result.compile_work = meter.counts();
   result.compile_energy = meter.energy(table);
   result.compile_cycles = meter.cycles();
+  if (trace) {
+    trace->count(obs::Counter::kJitCompiles);
+    trace->count(obs::Counter::kJitIrInstrsIn,
+                 static_cast<std::uint64_t>(result.ir_instrs_before));
+    trace->count(obs::Counter::kJitIrInstrsOut,
+                 static_cast<std::uint64_t>(result.ir_instrs_after));
+  }
   return result;
 }
 

@@ -33,8 +33,10 @@ Value ExecutionEngine::invoke(std::int32_t method_id,
                               std::span<const Value> args) {
   const RtMethod& m = jvm_.method(method_id);
   if (!force_interpret_) {
-    if (const isa::NativeProgram* prog = compiled(method_id))
+    if (const isa::NativeProgram* prog = compiled(method_id)) {
+      if (trace_) trace_->count(obs::Counter::kEngineNativeCalls);
       return invoke_native(m, *prog, args);
+    }
   }
   return interp_.run(m, args, *this);
 }

@@ -36,6 +36,13 @@ class ExecutionEngine final : public isa::RuntimeBridge, public Invoker {
   void set_force_interpret(bool f) { force_interpret_ = f; }
   bool force_interpret() const { return force_interpret_; }
 
+  /// Observability hook (null = disabled, the default). Counts native-code
+  /// dispatches here and forwards to the interpreter's run counters.
+  void set_trace(obs::TraceBuffer* t) {
+    trace_ = t;
+    interp_.set_trace(t);
+  }
+
   // ---- invocation ------------------------------------------------------------
   Value invoke(std::int32_t method_id, std::span<const Value> args) override;
   /// Convenience lookup-and-invoke.
@@ -65,6 +72,7 @@ class ExecutionEngine final : public isa::RuntimeBridge, public Invoker {
   Interpreter interp_;
   std::vector<CodeSlot> code_;
   bool force_interpret_ = false;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace javelin::jvm

@@ -101,6 +101,9 @@ class Frame {
 
 Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
                        Invoker& invoker) {
+  if (trace_)
+    trace_->count(m.decoded.empty() ? obs::Counter::kInterpRunsUndecoded
+                                    : obs::Counter::kInterpRunsDecoded);
   const MethodInfo& mi = *m.info;
   isa::Core& core = jvm_.core();
   const RtClass& rc = jvm_.cls(m.class_id);

@@ -14,6 +14,7 @@
 #include <span>
 
 #include "jvm/vm.hpp"
+#include "obs/trace.hpp"
 
 namespace javelin::jvm {
 
@@ -33,8 +34,14 @@ class Interpreter {
   /// argument kinds (receiver first for instance methods).
   Value run(const RtMethod& m, std::span<const Value> args, Invoker& invoker);
 
+  /// Observability hook (null = disabled, the default; a single null check
+  /// per method run, nothing per bytecode). Counts runs split by whether the
+  /// method was served from the link-time decode cache.
+  void set_trace(obs::TraceBuffer* t) { trace_ = t; }
+
  private:
   Jvm& jvm_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace javelin::jvm

@@ -41,6 +41,11 @@ struct CacheStats {
     if (c != ~0ULL) ++c;
   }
 
+  /// Hits / (hits + misses). With zero recorded accesses this returns 1.0 by
+  /// convention, not 0.0 or NaN: an untouched cache has never missed, and
+  /// downstream consumers (sweep JSON, Prometheus gauges, efficiency ratios)
+  /// treat the rate as "fraction of accesses that did not stall", for which
+  /// the vacuous case is a perfect score. Pinned by tests/mem_test.cpp.
   double hit_rate() const {
     const double total =
         static_cast<double>(hits) + static_cast<double>(misses);

@@ -24,6 +24,7 @@ void FaultInjector::reset() {
 
 bool FaultInjector::message_lost() {
   ++counters_.messages;
+  if (trace_) trace_->count(obs::Counter::kFaultMessages);
   // Fixed draw count per message: one transition draw + one loss draw.
   const double u_trans = rng_.next_double();
   const double u_loss = rng_.next_double();
@@ -34,18 +35,23 @@ bool FaultInjector::message_lost() {
   }
   const double p = bad_ ? plan_.ge_loss_bad : plan_.ge_loss_good;
   const bool lost = u_loss < p;
-  if (lost) ++counters_.losses;
+  if (lost) {
+    ++counters_.losses;
+    if (trace_) trace_->count(obs::Counter::kFaultLosses);
+  }
   return lost;
 }
 
 double FaultInjector::latency_spike() {
   if (!sample(plan_.spike_p)) return 0.0;
   ++counters_.spikes;
+  if (trace_) trace_->count(obs::Counter::kFaultSpikes);
   return plan_.spike_seconds;
 }
 
 void FaultInjector::corrupt(std::vector<std::uint8_t>& bytes) {
   ++counters_.corruptions;
+  if (trace_) trace_->count(obs::Counter::kFaultCorruptions);
   if (bytes.empty()) return;
   if (bytes.size() > 1 && rng_.bernoulli(0.5)) {
     // Truncate to a strict prefix (possibly empty).

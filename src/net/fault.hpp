@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 
 namespace javelin::net {
@@ -113,6 +114,10 @@ class FaultInjector {
   };
   const Counters& counters() const { return counters_; }
 
+  /// Observability hook (null = disabled, the default). Mirrors Counters
+  /// into the trace buffer; reads nothing, draws nothing.
+  void set_trace(obs::TraceBuffer* t) { trace_ = t; }
+
  private:
   bool message_lost();
   /// One RNG draw, consumed whether or not p is zero, so decision streams do
@@ -123,6 +128,7 @@ class FaultInjector {
   Rng rng_;
   bool bad_ = false;
   Counters counters_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace javelin::net

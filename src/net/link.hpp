@@ -58,11 +58,22 @@ class Link {
   /// Attach a fault-injection schedule (burst loss + CRC frame charging).
   /// Plans with `enabled == false` are ignored.
   void attach_faults(const FaultPlan& plan) {
-    if (plan.enabled) injector_ = std::make_unique<FaultInjector>(plan);
+    if (plan.enabled) {
+      injector_ = std::make_unique<FaultInjector>(plan);
+      if (trace_) injector_->set_trace(trace_);
+    }
   }
   /// The attached injector, or nullptr in fault-free mode. The client uses
   /// it for corruption and latency-spike decisions on its side of the wire.
   FaultInjector* fault_injector() { return injector_.get(); }
+
+  /// Observability hook (null = disabled, the default). Counts over-the-air
+  /// messages and framed bytes per direction, and forwards to the attached
+  /// fault injector (order-independent with attach_faults).
+  void set_trace(obs::TraceBuffer* t) {
+    trace_ = t;
+    if (injector_) injector_->set_trace(t);
+  }
 
   struct Transfer {
     double seconds = 0.0;
@@ -77,6 +88,10 @@ class Link {
     Transfer t;
     t.seconds = comm_.tx_seconds(framed);
     client_meter.add(energy::Subsystem::kCommTx, comm_.tx_energy(framed, pa));
+    if (trace_) {
+      trace_->count(obs::Counter::kRadioTxMessages);
+      trace_->count(obs::Counter::kRadioTxBytes, framed);
+    }
     if (loss_ > 0.0 && rng_.bernoulli(loss_)) t.lost = true;
     if (up_loss_ > 0.0 && rng_.bernoulli(up_loss_)) t.lost = true;
     if (injector_ && injector_->uplink_lost()) t.lost = true;
@@ -90,6 +105,10 @@ class Link {
     Transfer t;
     t.seconds = comm_.rx_seconds(framed);
     client_meter.add(energy::Subsystem::kCommRx, comm_.rx_energy(framed));
+    if (trace_) {
+      trace_->count(obs::Counter::kRadioRxMessages);
+      trace_->count(obs::Counter::kRadioRxBytes, framed);
+    }
     if (down_loss_ > 0.0 && rng_.bernoulli(down_loss_)) t.lost = true;
     if (injector_ && injector_->downlink_lost()) t.lost = true;
     return t;
@@ -104,6 +123,7 @@ class Link {
   double down_loss_ = 0.0;
   Rng rng_;
   std::unique_ptr<FaultInjector> injector_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace javelin::net

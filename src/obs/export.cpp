@@ -1,0 +1,333 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace javelin::obs {
+
+namespace {
+
+/// printf-append with a bounded stack buffer (every caller formats short
+/// numeric fields).
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[192];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// JSON string escaping (quotes, backslash, control characters).
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          appendf(out, "\\u%04x", c);
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_ledger_args(std::string& out, const EnergyLedger& e) {
+  appendf(out,
+          "\"compute_j\":%.9g,\"comm_j\":%.9g,\"idle_j\":%.9g,"
+          "\"dram_j\":%.9g,\"total_j\":%.9g",
+          e.compute_j, e.comm_j, e.idle_j, e.dram_j, e.total_j);
+}
+
+const char* chrome_phase(EventKind k) {
+  switch (k) {
+    case EventKind::kInvokeBegin:
+    case EventKind::kCompileBegin:
+      return "B";
+    case EventKind::kInvokeEnd:
+    case EventKind::kCompileEnd:
+      return "E";
+    case EventKind::kPowerDown:
+    case EventKind::kIdleAwake:
+    case EventKind::kRetryBackoff:
+      return "X";
+    default:
+      return "i";
+  }
+}
+
+void append_chrome_event(std::string& out, const TraceBuffer& buf,
+                         std::size_t pid, const TraceEvent& ev) {
+  const char* ph = chrome_phase(ev.kind);
+  out += ",\n{\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":";
+  appendf(out, "%zu", pid);
+  out += ",\"tid\":0,\"ts\":";
+  appendf(out, "%.3f", ev.t_s * 1e6);
+  if (ph[0] == 'X') appendf(out, ",\"dur\":%.3f", ev.dur_s * 1e6);
+  if (ph[0] == 'i') out += ",\"s\":\"t\"";
+  out += ",\"cat\":";
+  append_json_string(out, event_kind_name(ev.kind));
+  out += ",\"name\":";
+  append_json_string(out, ev.name >= 0 ? buf.string_at(ev.name)
+                                       : event_kind_name(ev.kind));
+  out += ",\"args\":{";
+  if (ev.detail >= 0) {
+    out += "\"detail\":";
+    append_json_string(out, buf.string_at(ev.detail));
+    out += ",";
+  }
+  appendf(out, "\"method_id\":%d,\"a\":%.9g,\"b\":%.9g,", ev.method_id, ev.a,
+          ev.b);
+  if (ev.kind == EventKind::kDecide) {
+    out += "\"costs\":[";
+    for (std::size_t i = 0; i < kNumDecideCosts; ++i)
+      appendf(out, i ? ",%.9g" : "%.9g", ev.costs[i]);
+    out += "],";
+  }
+  append_ledger_args(out, ev.ledger);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceCollector& collector) {
+  const auto buffers = collector.ordered();
+  std::string out;
+  out.reserve(4096);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t pid = 0; pid < buffers.size(); ++pid) {
+    const TraceBuffer& buf = *buffers[pid];
+    // Track identity: one "process" per (scenario, strategy) cell.
+    for (const char* meta : {"process_name", "thread_name"}) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      appendf(out, "{\"ph\":\"M\",\"pid\":%zu,\"tid\":0,\"name\":\"%s\","
+                   "\"args\":{\"name\":",
+              pid, meta);
+      append_json_string(out, buf.track());
+      out += "}}";
+    }
+    for (const TraceEvent& ev : buf.events())
+      append_chrome_event(out, buf, pid, ev);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string text_dump(const TraceCollector& collector) {
+  std::string out;
+  for (const TraceBuffer* buf : collector.ordered()) {
+    out += "== ";
+    out += buf->track();
+    out += "\n";
+    for (const TraceEvent& ev : buf->events()) {
+      appendf(out, "%s t=%.9f dur=%.9f", event_kind_name(ev.kind), ev.t_s,
+              ev.dur_s);
+      if (ev.name >= 0) {
+        out += " name=";
+        out += buf->string_at(ev.name);
+      }
+      if (ev.detail >= 0) {
+        out += " detail=";
+        out += buf->string_at(ev.detail);
+      }
+      appendf(out, " m=%d a=%.9g b=%.9g", ev.method_id, ev.a, ev.b);
+      if (ev.kind == EventKind::kDecide) {
+        out += " costs=[";
+        for (std::size_t i = 0; i < kNumDecideCosts; ++i)
+          appendf(out, i ? ",%.9g" : "%.9g", ev.costs[i]);
+        out += "]";
+      }
+      appendf(out, " e=[%.9g,%.9g,%.9g,%.9g,%.9g]\n", ev.ledger.compute_j,
+              ev.ledger.comm_j, ev.ledger.idle_j, ev.ledger.dram_j,
+              ev.ledger.total_j);
+    }
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+      const auto v = buf->counter(static_cast<Counter>(c));
+      if (v)
+        appendf(out, "counter %s %llu\n", counter_name(static_cast<Counter>(c)),
+                static_cast<unsigned long long>(v));
+    }
+    for (const auto& [name, value] : buf->stats())
+      appendf(out, "stat %s %.9g\n", name.c_str(), value);
+  }
+  return out;
+}
+
+// ---- minimal JSON validity checker ----------------------------------------
+
+namespace {
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t pos = 0;
+  std::string err;
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (err.empty())
+      err = what + " at byte " + std::to_string(pos);
+    return false;
+  }
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r'))
+      ++pos;
+  }
+  bool consume(char c) {
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string() {
+    if (!consume('"')) return fail("expected string");
+    while (pos < s.size()) {
+      const auto c = static_cast<unsigned char>(s[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (pos >= s.size()) return fail("truncated escape");
+        const char e = s[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (pos >= s.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s[pos])))
+              return fail("bad \\u escape");
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos;
+    consume('-');
+    if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos])))
+      return fail("bad number");
+    if (s[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos])))
+        ++pos;
+    }
+    if (consume('.')) {
+      if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos])))
+        return fail("bad fraction");
+      while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos])))
+        ++pos;
+    }
+    if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+      ++pos;
+      if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) ++pos;
+      if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos])))
+        return fail("bad exponent");
+      while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos])))
+        ++pos;
+    }
+    return pos > start;
+  }
+
+  bool parse_literal(std::string_view lit) {
+    if (s.substr(pos, lit.size()) != lit) return fail("bad literal");
+    pos += lit.size();
+    return true;
+  }
+
+  bool parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= s.size()) return fail("unexpected end of input");
+    switch (s[pos]) {
+      case '{': {
+        ++pos;
+        skip_ws();
+        if (consume('}')) return true;
+        for (;;) {
+          skip_ws();
+          if (!parse_string()) return false;
+          skip_ws();
+          if (!consume(':')) return fail("expected ':'");
+          if (!parse_value(depth + 1)) return false;
+          skip_ws();
+          if (consume('}')) return true;
+          if (!consume(',')) return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        skip_ws();
+        if (consume(']')) return true;
+        for (;;) {
+          if (!parse_value(depth + 1)) return false;
+          skip_ws();
+          if (consume(']')) return true;
+          if (!consume(',')) return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        return parse_string();
+      case 't':
+        return parse_literal("true");
+      case 'f':
+        return parse_literal("false");
+      case 'n':
+        return parse_literal("null");
+      default:
+        return parse_number();
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* err) {
+  JsonParser p{text};
+  if (!p.parse_value(0)) {
+    if (err) *err = p.err;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (err) *err = "trailing garbage at byte " + std::to_string(p.pos);
+    return false;
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return n == content.size();
+}
+
+}  // namespace javelin::obs

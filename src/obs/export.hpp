@@ -1,0 +1,38 @@
+// Trace exporters: Chrome trace-event JSON (chrome://tracing / Perfetto
+// loadable), a compact deterministic text dump for tests, and a minimal
+// JSON validity checker used by the round-trip ctest and the trace demo.
+//
+// Determinism contract: both exporters iterate TraceCollector::ordered()
+// (cell-index order) and format every number with fixed printf conversions,
+// so output is byte-identical at any JAVELIN_JOBS for a fixed seed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace javelin::obs {
+
+/// Serialize the collected trace in Chrome trace-event JSON ("JSON object
+/// format": {"traceEvents":[...]}). One track per buffer: pid = the
+/// buffer's position in deterministic order, with process_name/thread_name
+/// metadata carrying the track label. Begin/end pairs become ph "B"/"E",
+/// spans become complete events ("X"), the rest instants ("i"); timestamps
+/// are simulated microseconds.
+std::string chrome_trace_json(const TraceCollector& collector);
+
+/// Compact deterministic text dump: one header line per track, one line per
+/// event with fixed-precision fields. The test-facing stable format.
+std::string text_dump(const TraceCollector& collector);
+
+/// Minimal strict JSON validity checker (objects, arrays, strings with
+/// escapes, numbers, true/false/null; rejects trailing garbage and NaN/Inf).
+/// On failure returns false and, if `err` is non-null, sets a short
+/// description with the byte offset.
+bool json_valid(std::string_view text, std::string* err = nullptr);
+
+/// Write `content` to `path`; returns false (and prints to stderr) on error.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace javelin::obs

@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace javelin::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[192];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// Format a sample value: integral values (counts) print without exponent
+/// noise, everything else as %.9g.
+std::string num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v >= -1e15 &&
+      v <= 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string label(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 MetricType type,
+                                                 const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::declare(const std::string& name, MetricType type,
+                              const std::string& help) {
+  family(name, type, help);
+}
+
+void MetricsRegistry::add(const std::string& name, const std::string& labels,
+                          double v) {
+  family(name, MetricType::kCounter, "").samples[labels] += v;
+}
+
+void MetricsRegistry::set(const std::string& name, const std::string& labels,
+                          double v) {
+  family(name, MetricType::kGauge, "").samples[labels] = v;
+}
+
+void MetricsRegistry::observe(const std::string& name,
+                              const std::string& labels, double v) {
+  Histogram& h = family(name, MetricType::kHistogram, "").hists[labels];
+  std::size_t i = 0;
+  while (i < kEnergyBucketsJ.size() && v > kEnergyBucketsJ[i]) ++i;
+  ++h.buckets[i];
+  h.sum += v;
+  ++h.count;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) {
+      out += "# HELP " + name + " " + fam.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (fam.type) {
+      case MetricType::kCounter: out += "counter"; break;
+      case MetricType::kGauge: out += "gauge"; break;
+      case MetricType::kHistogram: out += "histogram"; break;
+    }
+    out += "\n";
+    for (const auto& [labels, value] : fam.samples) {
+      out += name;
+      if (!labels.empty()) out += "{" + labels + "}";
+      out += " " + num(value) + "\n";
+    }
+    for (const auto& [labels, h] : fam.hists) {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i <= kEnergyBucketsJ.size(); ++i) {
+        cum += h.buckets[i];
+        std::string le = i < kEnergyBucketsJ.size()
+                             ? num(kEnergyBucketsJ[i])
+                             : std::string("+Inf");
+        out += name + "_bucket{";
+        if (!labels.empty()) out += labels + ",";
+        out += label("le", le) + "} ";
+        appendf(out, "%llu\n", static_cast<unsigned long long>(cum));
+      }
+      out += name + "_sum";
+      if (!labels.empty()) out += "{" + labels + "}";
+      appendf(out, " %.9g\n", h.sum);
+      out += name + "_count";
+      if (!labels.empty()) out += "{" + labels + "}";
+      appendf(out, " %llu\n", static_cast<unsigned long long>(h.count));
+    }
+  }
+  return out;
+}
+
+MetricsRegistry build_metrics(const TraceCollector& collector) {
+  MetricsRegistry reg;
+  reg.declare("javelin_invocations_total", MetricType::kCounter,
+              "Top-level potential-method invocations per track.");
+  reg.declare("javelin_energy_joules_total", MetricType::kCounter,
+              "Client energy across invocations per track (ledger sums).");
+  reg.declare("javelin_invocation_energy_joules", MetricType::kHistogram,
+              "Per-invocation client energy distribution.");
+  reg.declare("javelin_remote_failures_total", MetricType::kCounter,
+              "Failed remote exchange attempts by failure class.");
+  reg.declare("javelin_wasted_energy_joules_total", MetricType::kCounter,
+              "Client energy burnt by failed remote attempts, by class.");
+  reg.declare("javelin_retries_total", MetricType::kCounter,
+              "Remote exchange retries (backoff waits).");
+  reg.declare("javelin_breaker_transitions_total", MetricType::kCounter,
+              "Circuit-breaker state transitions by destination state.");
+  reg.declare("javelin_compiles_total", MetricType::kCounter,
+              "JIT compilations finished per optimization level.");
+
+  for (const TraceBuffer* buf : collector.ordered()) {
+    const std::string track = label("track", buf->track());
+
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+      const std::uint64_t v = buf->counter(static_cast<Counter>(c));
+      if (!v) continue;
+      const std::string name =
+          std::string("javelin_") + counter_name(static_cast<Counter>(c)) +
+          "_total";
+      reg.declare(name, MetricType::kCounter,
+                  "Instrumentation hook counter.");
+      reg.add(name, track, static_cast<double>(v));
+    }
+
+    for (const TraceEvent& ev : buf->events()) {
+      switch (ev.kind) {
+        case EventKind::kInvokeEnd:
+          reg.add("javelin_invocations_total", track, 1.0);
+          reg.add("javelin_energy_joules_total", track, ev.ledger.total_j);
+          reg.observe("javelin_invocation_energy_joules", "",
+                      ev.ledger.total_j);
+          break;
+        case EventKind::kRemoteFailure: {
+          const std::string by_class =
+              track + "," + label("class", buf->string_at(ev.detail));
+          reg.add("javelin_remote_failures_total", by_class, 1.0);
+          reg.add("javelin_wasted_energy_joules_total", by_class,
+                  ev.ledger.total_j);
+          break;
+        }
+        case EventKind::kRetryBackoff:
+          reg.add("javelin_retries_total", track, 1.0);
+          break;
+        case EventKind::kBreakerTransition:
+          reg.add("javelin_breaker_transitions_total",
+                  track + "," + label("to", buf->string_at(ev.name)), 1.0);
+          break;
+        case EventKind::kCompileEnd:
+          reg.add("javelin_compiles_total",
+                  track + "," + label("level", num(ev.a)), 1.0);
+          break;
+        default:
+          break;
+      }
+    }
+
+    for (const auto& [name, value] : buf->stats()) {
+      const std::string metric = "javelin_" + name;
+      reg.declare(metric, MetricType::kGauge, "End-of-cell stat.");
+      reg.set(metric, track, value);
+    }
+  }
+  return reg;
+}
+
+}  // namespace javelin::obs

@@ -1,0 +1,79 @@
+// Metrics registry with a Prometheus text-format exporter.
+//
+// Two layers:
+//  * MetricsRegistry — a plain, deterministic container of counter / gauge /
+//    histogram families keyed by (metric name, label set). Families and
+//    samples live in sorted maps, so `prometheus_text()` is byte-identical
+//    for the same logical contents regardless of insertion order.
+//  * build_metrics — turns a TraceCollector into a populated registry:
+//    hook counters become per-track counters, invoke-end ledgers feed the
+//    energy-per-invocation histogram, remote failures / retries / breaker
+//    transitions are tallied from events, and end-of-cell stats (cache hit
+//    rates, decode-cache sizes, breaker state) become gauges. Buffers are
+//    consumed in TraceCollector::ordered() order, so double accumulation
+//    (histogram sums) is deterministic at any JAVELIN_JOBS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace javelin::obs {
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Fixed log-scale bucket upper bounds (joules) for energy-per-invocation
+/// histograms; an implicit +Inf bucket follows. Spans the simulator's range
+/// from sub-µJ interpreted calls to multi-J remote exchanges.
+inline constexpr std::array<double, 10> kEnergyBucketsJ{
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0};
+
+class MetricsRegistry {
+ public:
+  /// Register family metadata (idempotent; first help/type wins).
+  void declare(const std::string& name, MetricType type,
+               const std::string& help);
+
+  /// Accumulate into a counter sample. `labels` is the pre-rendered label
+  /// block without braces, e.g. `track="fe/good/AA"` ("" = no labels).
+  void add(const std::string& name, const std::string& labels, double v);
+
+  /// Set a gauge sample (last write wins).
+  void set(const std::string& name, const std::string& labels, double v);
+
+  /// Record one observation into a histogram sample (kEnergyBucketsJ).
+  void observe(const std::string& name, const std::string& labels, double v);
+
+  /// Render everything in Prometheus text exposition format (families and
+  /// samples in lexicographic order; histograms emit _bucket/_sum/_count).
+  std::string prometheus_text() const;
+
+ private:
+  struct Histogram {
+    std::array<std::uint64_t, kEnergyBucketsJ.size() + 1> buckets{};
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::map<std::string, double> samples;      // counter / gauge
+    std::map<std::string, Histogram> hists;     // histogram
+  };
+
+  Family& family(const std::string& name, MetricType type,
+                 const std::string& help);
+
+  std::map<std::string, Family> families_;
+};
+
+/// Render one label pair, escaping the value per the Prometheus text format.
+std::string label(std::string_view key, std::string_view value);
+
+/// Aggregate a collected trace into a metrics registry (see file comment).
+MetricsRegistry build_metrics(const TraceCollector& collector);
+
+}  // namespace javelin::obs

@@ -1,0 +1,107 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace javelin::obs {
+
+EnergyLedger EnergyLedger::since(const energy::EnergyMeter& now,
+                                 const energy::EnergyMeter& earlier) {
+  using energy::Subsystem;
+  EnergyLedger d;
+  d.compute_j = now.of(Subsystem::kCore) - earlier.of(Subsystem::kCore);
+  d.comm_j = now.communication() - earlier.communication();
+  d.idle_j = now.of(Subsystem::kIdle) - earlier.of(Subsystem::kIdle);
+  d.dram_j = now.of(Subsystem::kDram) - earlier.of(Subsystem::kDram);
+  // The canonical sum: the exact expression InvokeReport::energy_j uses
+  // (meter.total() delta), so ledger sums reproduce StrategyResult energies
+  // bit-for-bit rather than re-associating the component additions.
+  d.total_j = now.total() - earlier.total();
+  return d;
+}
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kInvokeBegin: return "invoke-begin";
+    case EventKind::kInvokeEnd: return "invoke-end";
+    case EventKind::kDecide: return "decide";
+    case EventKind::kCompileBegin: return "compile-begin";
+    case EventKind::kCompileEnd: return "compile-end";
+    case EventKind::kRemoteAttempt: return "remote-attempt";
+    case EventKind::kRemoteFailure: return "remote-failure";
+    case EventKind::kRetryBackoff: return "retry-backoff";
+    case EventKind::kBreakerTransition: return "breaker-transition";
+    case EventKind::kPowerDown: return "power-down";
+    case EventKind::kIdleAwake: return "idle-awake";
+    case EventKind::kFault: return "fault";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kInterpRunsDecoded: return "interp_runs_decoded";
+    case Counter::kInterpRunsUndecoded: return "interp_runs_undecoded";
+    case Counter::kEngineNativeCalls: return "engine_native_calls";
+    case Counter::kRadioTxMessages: return "radio_tx_messages";
+    case Counter::kRadioTxBytes: return "radio_tx_bytes";
+    case Counter::kRadioRxMessages: return "radio_rx_messages";
+    case Counter::kRadioRxBytes: return "radio_rx_bytes";
+    case Counter::kFaultMessages: return "fault_messages";
+    case Counter::kFaultLosses: return "fault_losses";
+    case Counter::kFaultCorruptions: return "fault_corruptions";
+    case Counter::kFaultSpikes: return "fault_spikes";
+    case Counter::kJitCompiles: return "jit_compiles";
+    case Counter::kJitIrInstrsIn: return "jit_ir_instrs_in";
+    case Counter::kJitIrInstrsOut: return "jit_ir_instrs_out";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+std::int32_t TraceBuffer::intern(std::string_view s) {
+  const auto it = intern_.find(std::string(s));
+  if (it != intern_.end()) return it->second;
+  const auto id = static_cast<std::int32_t>(strings_.size());
+  strings_.emplace_back(s);
+  intern_.emplace(strings_.back(), id);
+  return id;
+}
+
+const std::string& TraceBuffer::string_at(std::int32_t id) const {
+  static const std::string empty;
+  if (id < 0 || static_cast<std::size_t>(id) >= strings_.size()) return empty;
+  return strings_[static_cast<std::size_t>(id)];
+}
+
+TraceBuffer* TraceCollector::make_buffer(std::string track,
+                                         std::uint64_t order_key) {
+  auto buf = std::make_unique<TraceBuffer>(std::move(track));
+  TraceBuffer* raw = buf.get();
+  const std::lock_guard<std::mutex> lock(mu_);
+  buffers_.emplace_back(order_key, std::move(buf));
+  return raw;
+}
+
+std::vector<const TraceBuffer*> TraceCollector::ordered() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::uint64_t, const TraceBuffer*>> keyed;
+  keyed.reserve(buffers_.size());
+  for (const auto& [key, buf] : buffers_) keyed.emplace_back(key, buf.get());
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& x, const auto& y) {
+              if (x.first != y.first) return x.first < y.first;
+              return x.second->track() < y.second->track();
+            });
+  std::vector<const TraceBuffer*> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, buf] : keyed) out.push_back(buf);
+  return out;
+}
+
+std::size_t TraceCollector::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+}  // namespace javelin::obs

@@ -1,0 +1,206 @@
+// Cross-layer tracing: typed event buffers with per-event energy attribution.
+//
+// The paper's argument is about *where energy goes* — per-invocation splits
+// across computation, communication, compilation and idle (Figs 6–8) — but
+// the simulator's native outputs are end-of-run aggregates. This module adds
+// the missing diagnostic layer: every interesting runtime event (method
+// invoke begin/end, the helper-method decision with its candidate-cost
+// vector, JIT compiles per optimization level, remote exchange attempts and
+// failures, circuit-breaker transitions, power-down windows, fault episodes)
+// is recorded as a typed TraceEvent stamped with *simulated* time and an
+// energy-delta ledger split by subsystem.
+//
+// Design rules:
+//  * Zero overhead when disabled. Every hook site holds a raw
+//    `obs::TraceBuffer*` that defaults to nullptr and guards with a single
+//    null check; no RNG draw, no meter charge, no allocation happens on the
+//    disabled path, so all fig/ablation outputs are byte-identical with
+//    tracing off.
+//  * Tracing never perturbs the simulation. Hooks only *read* simulated
+//    state (time, meter, breaker); they charge nothing and draw nothing, so
+//    enabling tracing leaves every StrategyResult bit-identical too
+//    (tests/trace_determinism_test.cpp pins this).
+//  * Lock-free per thread. One TraceBuffer belongs to exactly one simulation
+//    cell, which runs on one worker; buffers are registered with a
+//    TraceCollector under an explicit order key (the cell index), so exports
+//    merge in cell order and are byte-identical at any JAVELIN_JOBS.
+//  * Simulated time only. Events are stamped with Client::now()-style
+//    simulated seconds — never host clocks — which is what makes traces
+//    reproducible across hosts and worker counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/energy.hpp"
+
+namespace javelin::obs {
+
+/// Energy attribution for one event: the client meter's delta over the
+/// event, split the way the paper reports it (computation / communication /
+/// idle, with DRAM broken out of computation).
+///
+/// `total_j` is the canonical sum: it is computed as
+/// `now.total() - earlier.total()`, the *same expression on the same
+/// doubles* that `rt::InvokeReport::energy_j` uses, so summing the
+/// invoke-end ledgers of a cell in event order reproduces
+/// `sim::StrategyResult::total_energy_j` exactly (bit-for-bit), not merely
+/// approximately.
+struct EnergyLedger {
+  double compute_j = 0.0;  ///< Core datapath.
+  double comm_j = 0.0;     ///< Radio Tx + Rx.
+  double idle_j = 0.0;     ///< Leakage / awake idle waits.
+  double dram_j = 0.0;     ///< Off-chip memory accesses.
+  double total_j = 0.0;    ///< Meter-total delta (see above).
+
+  /// Delta `now - earlier` of two snapshots from the same meter line.
+  static EnergyLedger since(const energy::EnergyMeter& now,
+                            const energy::EnergyMeter& earlier);
+};
+
+/// Event taxonomy (DESIGN.md §10). Begin/end pairs nest (invoke around
+/// compile around remote attempts); the rest are instants or spans.
+enum class EventKind : std::uint8_t {
+  kInvokeBegin = 0,    ///< Top-level potential-method invocation starts.
+  kInvokeEnd,          ///< ... ends; ledger covers the whole invocation.
+  kDecide,             ///< Helper-method decision: costs[] + chosen mode.
+  kCompileBegin,       ///< JIT compile (local or downloaded) starts.
+  kCompileEnd,         ///< ... ends; a = level, b = compile cycles.
+  kRemoteAttempt,      ///< One remote exchange attempt starts; a = attempt #.
+  kRemoteFailure,      ///< Attempt failed; detail = class, ledger = wasted.
+  kRetryBackoff,       ///< Awake-idle wait between retries (span).
+  kBreakerTransition,  ///< name = new state, detail = old state.
+  kPowerDown,          ///< Powered-down wait span (ends at wake).
+  kIdleAwake,          ///< Awake idle wait span.
+  kFault,              ///< Observed fault episode (loss/corruption/spike).
+  kCount
+};
+
+constexpr std::size_t kNumEventKinds = static_cast<std::size_t>(EventKind::kCount);
+
+const char* event_kind_name(EventKind k);
+
+/// Candidate-cost slots recorded by kDecide events: EI, ER, EL1, EL2, EL3.
+/// A candidate excluded from the decision (open breaker) records
+/// `kCostExcluded`.
+inline constexpr std::size_t kNumDecideCosts = 5;
+inline constexpr double kCostExcluded = -1.0;
+
+/// One trace event. Strings are interned in the owning buffer (`name` /
+/// `detail` are ids into TraceBuffer::strings(), -1 = none) so events stay
+/// POD-sized and comparisons/exports are cheap.
+struct TraceEvent {
+  EventKind kind = EventKind::kInvokeBegin;
+  double t_s = 0.0;    ///< Simulated start time, seconds.
+  double dur_s = 0.0;  ///< Span duration (0 for instants).
+  std::int32_t name = -1;       ///< Interned primary name.
+  std::int32_t detail = -1;     ///< Interned secondary name.
+  std::int32_t method_id = -1;  ///< Runtime method id, if any.
+  double a = 0.0;               ///< Kind-specific payload.
+  double b = 0.0;               ///< Kind-specific payload.
+  std::array<double, kNumDecideCosts> costs{};  ///< kDecide only.
+  EnergyLedger ledger;
+};
+
+/// Hot-path counters bumped by instrumentation hooks (one uint64 add each;
+/// no strings, no allocation). Exported as Prometheus counters.
+enum class Counter : std::uint8_t {
+  kInterpRunsDecoded = 0,  ///< Interpreter runs served from the decode cache.
+  kInterpRunsUndecoded,    ///< ... from the decode-per-iteration fallback.
+  kEngineNativeCalls,      ///< Dispatches to installed native code.
+  kRadioTxMessages,
+  kRadioTxBytes,           ///< Framed (over-the-air) uplink bytes.
+  kRadioRxMessages,
+  kRadioRxBytes,           ///< Framed downlink bytes.
+  kFaultMessages,          ///< Messages seen by the fault injector.
+  kFaultLosses,            ///< Gilbert–Elliott losses injected.
+  kFaultCorruptions,       ///< Corruption decisions sampled true.
+  kFaultSpikes,            ///< Latency spikes injected.
+  kJitCompiles,            ///< jit::compile_method completions.
+  kJitIrInstrsIn,          ///< IR instructions before optimization (summed).
+  kJitIrInstrsOut,         ///< IR instructions after optimization (summed).
+  kCount
+};
+
+constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
+
+/// Prometheus-safe base name, e.g. "interp_runs_decoded".
+const char* counter_name(Counter c);
+
+/// Append-only event/counter buffer for one simulation cell. Owned by a
+/// TraceCollector (or stack-allocated in tests); used by exactly one thread,
+/// so no locking anywhere on the hot path.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::string track) : track_(std::move(track)) {}
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Track label ("app/situation/strategy" in sweeps).
+  const std::string& track() const { return track_; }
+
+  void emit(const TraceEvent& e) { events_.push_back(e); }
+
+  /// Intern `s`, returning a stable id (insertion-ordered, deterministic
+  /// because each buffer is single-threaded).
+  std::int32_t intern(std::string_view s);
+
+  /// The interned string for `id` ("" for -1 / out of range).
+  const std::string& string_at(std::int32_t id) const;
+
+  void count(Counter c, std::uint64_t n = 1) {
+    counters_[static_cast<std::size_t>(c)] += n;
+  }
+  std::uint64_t counter(Counter c) const {
+    return counters_[static_cast<std::size_t>(c)];
+  }
+
+  /// End-of-cell scalar stats (cache hit rates, breaker state, decode-cache
+  /// sizes). Insertion-ordered; exported as Prometheus gauges.
+  void set_stat(std::string_view name, double value) {
+    stats_.emplace_back(std::string(name), value);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<std::pair<std::string, double>>& stats() const {
+    return stats_;
+  }
+
+ private:
+  std::string track_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::int32_t> intern_;
+  std::array<std::uint64_t, kNumCounters> counters_{};
+  std::vector<std::pair<std::string, double>> stats_;
+};
+
+/// Thread-safe registry of per-cell buffers. Creation takes a mutex (cold
+/// path, once per cell); the buffers themselves are single-owner and
+/// lock-free. `ordered()` sorts by (order_key, track), which sweeps set to
+/// the cell index — the deterministic merge order every exporter uses.
+class TraceCollector {
+ public:
+  /// Create and own a buffer. `order_key` fixes its position in exports
+  /// regardless of which worker ran the cell or when it finished.
+  TraceBuffer* make_buffer(std::string track, std::uint64_t order_key);
+
+  /// Buffers sorted by (order_key, track). Call after the parallel phase.
+  std::vector<const TraceBuffer*> ordered() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::uint64_t, std::unique_ptr<TraceBuffer>>> buffers_;
+};
+
+}  // namespace javelin::obs

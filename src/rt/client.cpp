@@ -44,6 +44,62 @@ const char* exec_mode_name(ExecMode m) {
   return "?";
 }
 
+const char* breaker_state_name(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void Client::trace_breaker(CircuitBreaker::State from,
+                           CircuitBreaker::State to) {
+  if (!trace_) return;
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kBreakerTransition;
+  ev.t_s = now();
+  ev.name = trace_->intern(breaker_state_name(to));
+  ev.detail = trace_->intern(breaker_state_name(from));
+  ev.a = static_cast<double>(breaker_.consecutive_failures);
+  trace_->emit(ev);
+}
+
+void Client::trace_remote_attempt(const char* what, int attempt,
+                                  std::int32_t mid) {
+  if (!trace_) return;
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kRemoteAttempt;
+  ev.t_s = now();
+  ev.name = trace_->intern(what);
+  ev.method_id = mid;
+  ev.a = static_cast<double>(attempt);
+  trace_->emit(ev);
+}
+
+void Client::trace_remote_failure(FailureClass fc, int attempt,
+                                  std::int32_t mid,
+                                  const energy::EnergyMeter& before) {
+  if (!trace_) return;
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kRemoteFailure;
+  ev.t_s = now();
+  ev.detail = trace_->intern(failure_class_name(fc));
+  ev.method_id = mid;
+  ev.a = static_cast<double>(attempt);
+  ev.ledger = obs::EnergyLedger::since(dev_->meter, before);  // Wasted energy.
+  trace_->emit(ev);
+}
+
+void Client::trace_backoff(double seconds) {
+  if (!trace_) return;
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kRetryBackoff;
+  ev.t_s = now();
+  ev.dur_s = seconds;
+  trace_->emit(ev);
+}
+
 Client::Client(ClientConfig cfg, Server& server,
                radio::ChannelProcess& channel, net::Link& link)
     : cfg_(std::move(cfg)),
@@ -74,6 +130,8 @@ bool Client::breaker_allows_remote() {
       if (now() - breaker_.opened_at >= cfg_.resilience.breaker_cooldown_s) {
         breaker_.state = CircuitBreaker::State::kHalfOpen;
         ++breaker_.times_half_opened;
+        trace_breaker(CircuitBreaker::State::kOpen,
+                      CircuitBreaker::State::kHalfOpen);
         return true;  // The admitted exchange is the probe.
       }
       return false;
@@ -84,8 +142,10 @@ bool Client::breaker_allows_remote() {
 void Client::breaker_on_success() {
   breaker_.consecutive_failures = 0;
   if (breaker_.state != CircuitBreaker::State::kClosed) {
+    const CircuitBreaker::State from = breaker_.state;
     breaker_.state = CircuitBreaker::State::kClosed;
     ++breaker_.times_reclosed;
+    trace_breaker(from, CircuitBreaker::State::kClosed);
   }
 }
 
@@ -98,9 +158,11 @@ void Client::breaker_on_failure() {
       breaker_.state == CircuitBreaker::State::kClosed &&
       breaker_.consecutive_failures >= rp.breaker_threshold;
   if (probe_failed || tripped) {
+    const CircuitBreaker::State from = breaker_.state;
     breaker_.state = CircuitBreaker::State::kOpen;
     breaker_.opened_at = now();
     ++breaker_.times_opened;
+    trace_breaker(from, CircuitBreaker::State::kOpen);
   }
 }
 
@@ -125,6 +187,16 @@ void Client::charge_wait(double seconds, bool powered_down) {
   if (seconds <= 0) return;
   const double power = powered_down ? dev_->cfg.leakage_power_w()
                                     : dev_->cfg.normal_power_w;
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = powered_down ? obs::EventKind::kPowerDown
+                           : obs::EventKind::kIdleAwake;
+    ev.t_s = now();  // Span starts before the wait advances the clock.
+    ev.dur_s = seconds;
+    ev.ledger.idle_j = power * seconds;
+    ev.ledger.total_j = ev.ledger.idle_j;
+    trace_->emit(ev);
+  }
   dev_->meter.add(energy::Subsystem::kIdle, power * seconds);
   extra_seconds_ += seconds;
 }
@@ -177,6 +249,12 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
   // the cooldown admits a half-open probe.
   const bool remote_ok = breaker_allows_remote();
 
+  // Candidate-cost vector for the kDecide trace event: EI, ER, EL1..EL3,
+  // with excluded candidates (open breaker) marked kCostExcluded.
+  std::array<double, obs::kNumDecideCosts> costs{};
+  costs[0] = EI;
+  costs[1] = remote_ok ? ER : obs::kCostExcluded;
+
   double best = EI;
   Decision d{ExecMode::kInterpret, false};
   if (remote_ok && ER < best) {
@@ -205,10 +283,23 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
     }
     const double EL =
         compile_cost + k * std::max(0.0, prof.local_energy[level].eval(st.ewma_s));
+    costs[static_cast<std::size_t>(1 + level)] = EL;
     if (EL < best) {
       best = EL;
       d = Decision{static_cast<ExecMode>(level), remote_compile};
     }
+  }
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kDecide;
+    ev.t_s = now();
+    ev.name = trace_->intern(exec_mode_name(d.mode));
+    if (d.remote_compile) ev.detail = trace_->intern("remote-compile");
+    ev.method_id = m.id;
+    ev.a = st.ewma_s;                    // Predicted size parameter.
+    ev.b = static_cast<double>(st.k);    // Invocation count k.
+    ev.costs = costs;
+    trace_->emit(ev);
   }
   return d;
 }
@@ -232,9 +323,25 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
     ResilienceStats* rs = report ? &report->resilience : nullptr;
     net::FaultInjector* fi = link_.fault_injector();
 
+    energy::EnergyMeter c0;  // Exchange-wide ledger base (tracing only).
+    if (trace_) {
+      c0 = dev_->meter.snapshot();
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kCompileBegin;
+      ev.t_s = now();
+      ev.name = trace_->intern(m.qualified_name);
+      ev.detail = trace_->intern("remote");
+      ev.method_id = m.id;
+      ev.a = static_cast<double>(level);
+      trace_->emit(ev);
+    }
+
     for (int attempt = 1; breaker_allows_remote(); ++attempt) {
       if (rs) ++rs->attempts;
       const double e0 = dev_->meter.total();
+      energy::EnergyMeter m0;
+      if (trace_) m0 = dev_->meter.snapshot();
+      trace_remote_attempt("compile", attempt, m.id);
       const radio::PowerClass pa = pilot_.estimate(now());
       const auto up = link_.client_send(req.wire_bytes(), pa, dev_->meter);
       extra_seconds_ += up.seconds;
@@ -283,6 +390,17 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
                                   unit.program.code.size() / 4 + 8);
           dev_->engine.install(id, std::move(unit.program), level);
         }
+        if (trace_) {
+          obs::TraceEvent ev;
+          ev.kind = obs::EventKind::kCompileEnd;
+          ev.t_s = now();
+          ev.name = trace_->intern(m.qualified_name);
+          ev.detail = trace_->intern("downloaded");
+          ev.method_id = m.id;
+          ev.a = static_cast<double>(level);
+          ev.ledger = obs::EnergyLedger::since(dev_->meter, c0);
+          trace_->emit(ev);
+        }
         return;
       }
 
@@ -296,12 +414,14 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
         rs->wasted_j[ci] += wasted;
         rs->wasted_energy_j += wasted;
       }
+      trace_remote_failure(fc, attempt, m.id, m0);
       breaker_on_failure();
       if (attempt >= rp.max_attempts ||
           breaker_.state == CircuitBreaker::State::kOpen)
         break;
       const double backoff =
           rp.backoff_base_s * std::pow(rp.backoff_multiplier, attempt - 1);
+      trace_backoff(backoff);
       charge_wait(backoff, /*powered_down=*/false);
       if (rs) {
         rs->backoff_seconds += backoff;
@@ -310,6 +430,17 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
     }
     // Fall back to local compilation.
     ensure_compiled(m, level, /*remote=*/false, nullptr);
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kCompileEnd;
+      ev.t_s = now();
+      ev.name = trace_->intern(m.qualified_name);
+      ev.detail = trace_->intern("fallback-local");
+      ev.method_id = m.id;
+      ev.a = static_cast<double>(level);
+      ev.ledger = obs::EnergyLedger::since(dev_->meter, c0);
+      trace_->emit(ev);
+    }
     return;
   }
 
@@ -321,18 +452,46 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
     plan.push_back(callee);
   for (std::int32_t id : plan) {
     if (dev_->engine.compiled_level(id) == level) continue;
+    energy::EnergyMeter c0;
+    if (trace_) {
+      c0 = dev_->meter.snapshot();
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kCompileBegin;
+      ev.t_s = now();
+      ev.name = trace_->intern(dev_->vm.method(id).qualified_name);
+      ev.detail = trace_->intern("local");
+      ev.method_id = id;
+      ev.a = static_cast<double>(level);
+      trace_->emit(ev);
+    }
+    std::uint64_t cycles = 0;
+    const char* outcome = "local";
     try {
       auto res = jit::compile_method(dev_->vm, id,
                                      jit::CompileOptions{.opt_level = level},
-                                     dev_->cfg.energy);
+                                     dev_->cfg.energy, trace_);
       // Charge the compilation work to the client core.
       dev_->meter.add_instrs(res.compile_work, dev_->cfg.energy);
       dev_->meter.add_dram_accesses(
           res.compile_work.total() / 50, dev_->cfg.energy);
       dev_->core.cycles += res.compile_cycles;
+      cycles = res.compile_cycles;
       dev_->engine.install(id, std::move(res.program), level);
     } catch (const jit::CompileError&) {
       // Leave this callee interpreted (mixed-mode execution handles it).
+      outcome = "compile-error";
+    }
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kCompileEnd;
+      ev.t_s = now();
+      ev.name = trace_->intern(dev_->vm.method(id).qualified_name);
+      ev.detail = trace_->intern(outcome);
+      ev.method_id = id;
+      ev.a = static_cast<double>(level);
+      ev.b = static_cast<double>(cycles);
+      ev.ledger = obs::EnergyLedger::since(dev_->meter, c0);
+      trace_->emit(ev);
     }
   }
 }
@@ -405,6 +564,14 @@ FailureClass Client::attempt_remote_invoke(const net::InvokeRequest& req,
     throw Error("remote execution failed: " + out.response.error);
 
   const double spike = fi ? fi->latency_spike() : 0.0;
+  if (trace_ && spike > 0.0) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kFault;
+    ev.t_s = now();
+    ev.name = trace_->intern("latency-spike");
+    ev.a = spike;
+    trace_->emit(ev);
+  }
   const double compute_seconds = out.compute_seconds + spike;
   if (compute_seconds > cfg_.response_timeout_s) {
     // Treated as lost connectivity (paper Section 3.2).
@@ -496,6 +663,10 @@ jvm::Value Client::exec_remote(const jvm::RtMethod& m,
     for (int attempt = 1;; ++attempt) {
       ++rs.attempts;
       const double e0 = dev_->meter.total();
+      energy::EnergyMeter m0;
+      if (trace_) m0 = dev_->meter.snapshot();
+      trace_remote_attempt(rs.breaker_probe ? "invoke-probe" : "invoke",
+                           attempt, m.id);
       const FailureClass fc = attempt_remote_invoke(req, result);
       if (fc == FailureClass::kNone) {
         breaker_on_success();
@@ -507,6 +678,7 @@ jvm::Value Client::exec_remote(const jvm::RtMethod& m,
       ++rs.failures[ci];
       rs.wasted_j[ci] += wasted;
       rs.wasted_energy_j += wasted;
+      trace_remote_failure(fc, attempt, m.id, m0);
       breaker_on_failure();
       if (attempt >= rp.max_attempts ||
           breaker_.state == CircuitBreaker::State::kOpen)
@@ -515,6 +687,7 @@ jvm::Value Client::exec_remote(const jvm::RtMethod& m,
       // core stay powered, which is exactly the energy cost of retrying).
       const double backoff =
           rp.backoff_base_s * std::pow(rp.backoff_multiplier, attempt - 1);
+      trace_backoff(backoff);
       charge_wait(backoff, /*powered_down=*/false);
       rs.backoff_seconds += backoff;
       ++rs.retries;
@@ -548,6 +721,17 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
 
   const double e0 = dev_->meter.total();
   const double t0 = now();
+  energy::EnergyMeter ledger0;  // Tracing only; copies the same doubles e0
+  if (trace_) {                 // summed, so ledger totals match bit-for-bit.
+    ledger0 = dev_->meter.snapshot();
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kInvokeBegin;
+    ev.t_s = t0;
+    ev.name = trace_->intern(m.qualified_name);
+    ev.detail = trace_->intern(strategy_name(strategy));
+    ev.method_id = mid;
+    trace_->emit(ev);
+  }
 
   ExecMode mode;
   bool remote_compile = false;
@@ -586,6 +770,20 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
     report->mode = mode;
     report->energy_j = dev_->meter.total() - e0;
     report->seconds = now() - t0;
+  }
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kInvokeEnd;
+    ev.t_s = now();
+    ev.name = trace_->intern(m.qualified_name);
+    ev.detail = trace_->intern(exec_mode_name(mode));
+    ev.method_id = mid;
+    ev.a = now() - t0;
+    // ledger.total_j is the meter-total delta over the invocation — the same
+    // expression InvokeReport::energy_j uses — so per-cell invoke-end sums
+    // reproduce StrategyResult::total_energy_j exactly.
+    ev.ledger = obs::EnergyLedger::since(dev_->meter, ledger0);
+    trace_->emit(ev);
   }
   return result;
 }

@@ -38,6 +38,7 @@
 
 #include "jit/compiler.hpp"
 #include "net/link.hpp"
+#include "obs/trace.hpp"
 #include "rt/server.hpp"
 #include "rt/strategy.hpp"
 
@@ -150,6 +151,17 @@ class Client {
   /// application session).
   void reset_session();
 
+  /// Observability hook (null = disabled, the default). Forwards to the
+  /// execution engine and the link (hence the fault injector). Hooks only
+  /// *read* simulated state — no charge, no RNG draw — so enabling tracing
+  /// leaves every report and sweep output bit-identical.
+  void set_trace(obs::TraceBuffer* t) {
+    trace_ = t;
+    dev_->engine.set_trace(t);
+    link_.set_trace(t);
+  }
+  obs::TraceBuffer* trace() const { return trace_; }
+
   /// Scalar size parameter of a method invocation per its SizeParamSpec.
   static double size_param(const jvm::Jvm& vm, const jvm::MethodInfo& mi,
                            std::span<const jvm::Value> args);
@@ -206,6 +218,13 @@ class Client {
   /// Charge `seconds` of idle/power-down time to the meter.
   void charge_wait(double seconds, bool powered_down);
 
+  // ---- trace emission (no-ops when trace_ is null) --------------------------
+  void trace_breaker(CircuitBreaker::State from, CircuitBreaker::State to);
+  void trace_remote_attempt(const char* what, int attempt, std::int32_t mid);
+  void trace_remote_failure(FailureClass fc, int attempt, std::int32_t mid,
+                            const energy::EnergyMeter& before);
+  void trace_backoff(double seconds);
+
   ClientConfig cfg_;
   Server& server_;
   radio::ChannelProcess& channel_;
@@ -215,6 +234,9 @@ class Client {
   double extra_seconds_ = 0.0;  ///< Non-CPU elapsed time.
   std::vector<MethodStats> stats_;
   CircuitBreaker breaker_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
+
+const char* breaker_state_name(CircuitBreaker::State s);
 
 }  // namespace javelin::rt

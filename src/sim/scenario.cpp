@@ -14,6 +14,15 @@ const char* situation_name(Situation s) {
   return "?";
 }
 
+const char* situation_tag(Situation s) {
+  switch (s) {
+    case Situation::kGoodChannelDominantSize: return "good";
+    case Situation::kPoorChannelDominantSize: return "poor";
+    case Situation::kUniform: return "uniform";
+  }
+  return "?";
+}
+
 std::array<double, 4> channel_weights(Situation s) {
   switch (s) {
     case Situation::kGoodChannelDominantSize:
@@ -74,7 +83,7 @@ const jvm::EnergyProfile& ScenarioRunner::profile() const {
 StrategyResult ScenarioRunner::run_sequence(
     rt::Strategy strategy, radio::ChannelProcess& channel,
     const std::vector<double>& scales, bool verify, std::uint64_t seed,
-    const rt::ClientConfig* config) const {
+    const rt::ClientConfig* config, obs::TraceBuffer* trace) const {
   rt::Server server;
   server.deploy(classes_);
   net::Link link(radio::CommModel{}, seed ^ 0x11777);
@@ -89,6 +98,9 @@ StrategyResult ScenarioRunner::run_sequence(
   rt::Client client(config ? *config : client_config, server, channel, link);
   client.deploy(classes_);
   client.device().core.step_limit = 500'000'000'000ULL;
+  // Attach the trace buffer (forwards through engine/interpreter/link/fault
+  // injector). Hooks are read-only, so enabling tracing cannot change `out`.
+  if (trace) client.set_trace(trace);
 
   StrategyResult out;
   Rng workload_rng(seed ^ 0xA0B1C2D3);
@@ -125,12 +137,40 @@ StrategyResult ScenarioRunner::run_sequence(
   out.communication_j = client.device().meter.communication();
   out.idle_j = client.device().meter.of(energy::Subsystem::kIdle);
   out.dram_j = client.device().meter.of(energy::Subsystem::kDram);
+  if (trace) {
+    // End-of-cell scalar stats (exported as Prometheus gauges).
+    rt::Device& dev = client.device();
+    const mem::CacheStats& ic = dev.hier.icache().stats();
+    const mem::CacheStats& dc = dev.hier.dcache().stats();
+    trace->set_stat("icache_hits", static_cast<double>(ic.hits));
+    trace->set_stat("icache_misses", static_cast<double>(ic.misses));
+    trace->set_stat("icache_hit_rate", ic.hit_rate());
+    trace->set_stat("dcache_hits", static_cast<double>(dc.hits));
+    trace->set_stat("dcache_misses", static_cast<double>(dc.misses));
+    trace->set_stat("dcache_writebacks", static_cast<double>(dc.writebacks));
+    trace->set_stat("dcache_hit_rate", dc.hit_rate());
+    std::uint64_t decoded_methods = 0, decoded_insns = 0;
+    for (std::size_t i = 0; i < dev.vm.num_methods(); ++i) {
+      const auto& decoded = dev.vm.method(static_cast<std::int32_t>(i)).decoded;
+      if (decoded.empty()) continue;
+      ++decoded_methods;
+      decoded_insns += decoded.size();
+    }
+    trace->set_stat("decode_cache_methods", static_cast<double>(decoded_methods));
+    trace->set_stat("decode_cache_insns", static_cast<double>(decoded_insns));
+    trace->set_stat("breaker_opened", static_cast<double>(out.breaker_opened));
+    trace->set_stat("breaker_reclosed",
+                    static_cast<double>(out.breaker_reclosed));
+    trace->set_stat("total_energy_j", out.total_energy_j);
+    trace->set_stat("executions", static_cast<double>(out.executions));
+  }
   return out;
 }
 
 StrategyResult ScenarioRunner::run(rt::Strategy strategy, Situation situation,
                                    int executions, bool verify,
-                                   const rt::ClientConfig* config) const {
+                                   const rt::ClientConfig* config,
+                                   obs::TraceBuffer* trace) const {
   Rng rng(seed_ ^ (static_cast<std::uint64_t>(situation) * 0x9e3779b9));
   const std::vector<double> scales =
       scenario_scales(app_, situation, rng, executions);
@@ -138,17 +178,18 @@ StrategyResult ScenarioRunner::run(rt::Strategy strategy, Situation situation,
                             seed_ ^ 0xc4a77e1);
   return run_sequence(strategy, channel, scales, verify,
                       seed_ ^ (static_cast<std::uint64_t>(situation) << 8),
-                      config);
+                      config, trace);
 }
 
 StrategyResult ScenarioRunner::run_single(rt::Strategy strategy, double scale,
                                           radio::PowerClass channel_class,
                                           bool verify,
-                                          const rt::ClientConfig* config) const {
+                                          const rt::ClientConfig* config,
+                                          obs::TraceBuffer* trace) const {
   radio::FixedChannel channel(channel_class);
   return run_sequence(strategy, channel, {scale}, verify,
                       seed_ ^ (static_cast<std::uint64_t>(channel_class) << 16),
-                      config);
+                      config, trace);
 }
 
 }  // namespace javelin::sim

@@ -27,6 +27,10 @@ enum class Situation {
 
 const char* situation_name(Situation s);
 
+/// Short machine-friendly tag for track labels and metric names:
+/// "good" / "poor" / "uniform".
+const char* situation_tag(Situation s);
+
 /// Per-class channel weights for a situation.
 std::array<double, 4> channel_weights(Situation s);
 
@@ -75,13 +79,15 @@ class ScenarioRunner {
   /// the runner-level client_config for this call (per-cell configuration).
   StrategyResult run(rt::Strategy strategy, Situation situation,
                      int executions = 300, bool verify = true,
-                     const rt::ClientConfig* config = nullptr) const;
+                     const rt::ClientConfig* config = nullptr,
+                     obs::TraceBuffer* trace = nullptr) const;
 
   /// Fig 6-style single execution at a fixed scale under a fixed channel.
   /// Includes compilation energy (as the paper's Fig 6 does).
   StrategyResult run_single(rt::Strategy strategy, double scale,
                             radio::PowerClass channel_class, bool verify = true,
-                            const rt::ClientConfig* config = nullptr) const;
+                            const rt::ClientConfig* config = nullptr,
+                            obs::TraceBuffer* trace = nullptr) const;
 
   const apps::App& app() const { return app_; }
   const std::vector<jvm::ClassFile>& profiled_classes() const {
@@ -105,7 +111,8 @@ class ScenarioRunner {
                               radio::ChannelProcess& channel,
                               const std::vector<double>& scales, bool verify,
                               std::uint64_t seed,
-                              const rt::ClientConfig* config) const;
+                              const rt::ClientConfig* config,
+                              obs::TraceBuffer* trace) const;
 
   apps::App app_;
   std::vector<jvm::ClassFile> classes_;  ///< Profiled class files.

@@ -44,15 +44,27 @@ ScenarioSweepResult run_scenario_sweep(
   std::vector<std::future<StrategyResult>> futures;
   futures.reserve(n_cells);
   for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    // Make the cell's trace buffer up front (cold path, mutex-guarded) so
+    // the worker lambda only touches its own single-threaded buffer.
+    obs::TraceBuffer* trace = nullptr;
+    if (spec.collector) {
+      const std::size_t app = cell / cells_per_app;
+      const std::size_t rem = cell % cells_per_app;
+      trace = spec.collector->make_buffer(
+          spec.apps[app]->name + "/" +
+              situation_tag(spec.situations[rem / out.num_strategies]) + "/" +
+              rt::strategy_name(spec.strategies[rem % out.num_strategies]),
+          static_cast<std::uint64_t>(cell));
+    }
     futures.push_back(engine.pool().submit([&spec, &runners, cells_per_app,
                                             num_strategies = out.num_strategies,
-                                            cell] {
+                                            cell, trace] {
       const std::size_t app = cell / cells_per_app;
       const std::size_t rem = cell % cells_per_app;
       return runners[app]->run(spec.strategies[rem % num_strategies],
                                spec.situations[rem / num_strategies],
                                spec.executions, spec.verify,
-                               &spec.client_config);
+                               &spec.client_config, trace);
     }));
   }
   out.cells.reserve(n_cells);

@@ -73,6 +73,11 @@ struct ScenarioSweepSpec {
   bool verify = true;
   std::uint64_t base_seed = kDefaultScenarioSeed;
   rt::ClientConfig client_config;
+  /// When set, every cell records into its own TraceBuffer (track
+  /// "app/situation/strategy", order key = cell index), so exports merge in
+  /// cell order and are byte-identical at any JAVELIN_JOBS. Null = tracing
+  /// off; the sweep then touches no obs state at all.
+  obs::TraceCollector* collector = nullptr;
 };
 
 /// Cell-indexed result grid plus host-side performance telemetry.

@@ -177,5 +177,45 @@ TEST(Hierarchy, ChargesDramAndStalls) {
   EXPECT_EQ(h.fetch(64), 0u);
 }
 
+// Pins the documented zero-access convention: an untouched cache reports a
+// hit rate of 1.0 (never 0.0 or NaN), because downstream consumers treat the
+// rate as "fraction of accesses that did not stall" and the vacuous case is
+// a perfect score. See CacheStats::hit_rate() in mem/cache.hpp.
+TEST(CacheStats, HitRateZeroAccessConventionIsOne) {
+  CacheStats s;
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 1.0);
+  // A fresh cache object reports the same.
+  DirectMappedCache c({1024, 32});
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 1.0);
+  // After reset() the convention applies again.
+  s.hits = 3;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 1.0);
+  // Misses-only is a genuine 0.0, not the vacuous 1.0.
+  s.misses = 5;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.0);
+}
+
+TEST(CacheStats, SaturatingIncSticksAtMax) {
+  std::uint64_t c = ~0ULL - 2;
+  CacheStats::saturating_inc(c);
+  EXPECT_EQ(c, ~0ULL - 1);
+  CacheStats::saturating_inc(c);
+  EXPECT_EQ(c, ~0ULL);
+  CacheStats::saturating_inc(c);  // Saturates instead of wrapping to zero.
+  EXPECT_EQ(c, ~0ULL);
+  // The saturated counter still yields a finite, sane hit rate.
+  CacheStats s;
+  s.hits = ~0ULL;
+  s.misses = ~0ULL;
+  const double r = s.hit_rate();
+  EXPECT_GT(r, 0.49);
+  EXPECT_LT(r, 0.51);
+}
+
 }  // namespace
 }  // namespace javelin::mem

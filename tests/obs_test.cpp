@@ -1,0 +1,233 @@
+// Unit tests for the observability layer: trace buffers and interning,
+// collector merge order, the energy ledger's exact-delta contract, the
+// Chrome trace / text exporters, the JSON validity checker, and the
+// Prometheus metrics registry.
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace javelin::obs {
+namespace {
+
+TEST(TraceBuffer, InternsDeterministicInsertionOrderedIds) {
+  TraceBuffer buf("t");
+  EXPECT_EQ(buf.intern("alpha"), 0);
+  EXPECT_EQ(buf.intern("beta"), 1);
+  EXPECT_EQ(buf.intern("alpha"), 0);  // Idempotent.
+  EXPECT_EQ(buf.intern("gamma"), 2);
+  EXPECT_EQ(buf.string_at(1), "beta");
+  EXPECT_EQ(buf.string_at(-1), "");   // No-name sentinel.
+  EXPECT_EQ(buf.string_at(99), "");   // Out of range is safe.
+  ASSERT_EQ(buf.strings().size(), 3u);
+}
+
+TEST(TraceBuffer, CountersAccumulate) {
+  TraceBuffer buf("t");
+  EXPECT_EQ(buf.counter(Counter::kRadioTxBytes), 0u);
+  buf.count(Counter::kRadioTxBytes, 128);
+  buf.count(Counter::kRadioTxBytes, 64);
+  buf.count(Counter::kRadioTxMessages);
+  EXPECT_EQ(buf.counter(Counter::kRadioTxBytes), 192u);
+  EXPECT_EQ(buf.counter(Counter::kRadioTxMessages), 1u);
+}
+
+TEST(TraceCollector, OrderedByOrderKeyNotCreationOrder) {
+  TraceCollector col;
+  col.make_buffer("late", 2);
+  col.make_buffer("early", 0);
+  col.make_buffer("mid", 1);
+  const auto ordered = col.ordered();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0]->track(), "early");
+  EXPECT_EQ(ordered[1]->track(), "mid");
+  EXPECT_EQ(ordered[2]->track(), "late");
+}
+
+TEST(EnergyLedger, SinceMatchesMeterTotalDeltaExactly) {
+  energy::EnergyMeter meter;
+  meter.add(energy::Subsystem::kCore, 0.1);
+  meter.add(energy::Subsystem::kCommTx, 0.037);
+  const energy::EnergyMeter before = meter.snapshot();
+  const double e0 = meter.total();
+  meter.add(energy::Subsystem::kCore, 1e-9);
+  meter.add(energy::Subsystem::kDram, 3e-10);
+  meter.add(energy::Subsystem::kCommRx, 0.002);
+  meter.add(energy::Subsystem::kIdle, 0.5);
+  const EnergyLedger d = EnergyLedger::since(meter, before);
+  // The bitwise contract: total_j is the same expression on the same doubles
+  // as InvokeReport::energy_j (meter-total delta), not a re-associated sum
+  // of the per-subsystem deltas.
+  EXPECT_EQ(d.total_j, meter.total() - e0);
+  // Component deltas are subtractions of accumulated meter values, so they
+  // carry the usual cancellation error relative to the nominal charges.
+  using energy::Subsystem;
+  EXPECT_EQ(d.compute_j, meter.of(Subsystem::kCore) - before.of(Subsystem::kCore));
+  EXPECT_EQ(d.dram_j, meter.of(Subsystem::kDram) - before.of(Subsystem::kDram));
+  EXPECT_NEAR(d.compute_j, 1e-9, 1e-15);
+  EXPECT_NEAR(d.dram_j, 3e-10, 1e-15);
+  EXPECT_DOUBLE_EQ(d.comm_j, 0.002);
+  EXPECT_DOUBLE_EQ(d.idle_j, 0.5);
+}
+
+// TraceCollector owns a mutex, so it is populated in place, not returned.
+void fill_sample(TraceCollector& col) {
+  TraceBuffer* buf = col.make_buffer("fe/good/AA", 0);
+  TraceEvent begin;
+  begin.kind = EventKind::kInvokeBegin;
+  begin.t_s = 0.25;
+  begin.name = buf->intern("FE.integrate");
+  begin.detail = buf->intern("AA");
+  begin.method_id = 7;
+  buf->emit(begin);
+  TraceEvent decide;
+  decide.kind = EventKind::kDecide;
+  decide.t_s = 0.2501;
+  decide.name = buf->intern("remote");
+  decide.method_id = 7;
+  decide.costs = {1.0, 0.5, kCostExcluded, 2.0, 3.0};
+  buf->emit(decide);
+  TraceEvent wait;
+  wait.kind = EventKind::kPowerDown;
+  wait.t_s = 0.26;
+  wait.dur_s = 0.04;
+  wait.ledger.idle_j = 0.001;
+  wait.ledger.total_j = 0.001;
+  buf->emit(wait);
+  TraceEvent end;
+  end.kind = EventKind::kInvokeEnd;
+  end.t_s = 0.31;
+  end.name = begin.name;
+  end.detail = buf->intern("remote");
+  end.method_id = 7;
+  end.ledger.comm_j = 0.003;
+  end.ledger.idle_j = 0.001;
+  end.ledger.total_j = 0.004;
+  buf->emit(end);
+  buf->count(Counter::kRadioTxMessages, 2);
+  buf->set_stat("dcache_hit_rate", 0.9375);
+}
+
+TEST(ChromeTrace, EmitsValidJsonWithTrackMetadataAndPhases) {
+  TraceCollector col;
+  fill_sample(col);
+  const std::string json = chrome_trace_json(col);
+  std::string err;
+  EXPECT_TRUE(json_valid(json, &err)) << err;
+  // Track metadata and the four phases are present.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("fe/good/AA"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Timestamps are simulated microseconds; the decide event carries its
+  // candidate-cost vector with the excluded slot marked.
+  EXPECT_NE(json.find("\"ts\":250000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"costs\":[1,0.5,-1,2,3]"), std::string::npos);
+  // Deterministic: same logical contents, same bytes.
+  TraceCollector again;
+  fill_sample(again);
+  EXPECT_EQ(json, chrome_trace_json(again));
+}
+
+TEST(TextDump, IsCompactAndDeterministic) {
+  TraceCollector col;
+  fill_sample(col);
+  const std::string dump = text_dump(col);
+  EXPECT_NE(dump.find("== fe/good/AA"), std::string::npos);
+  EXPECT_NE(dump.find("invoke-begin"), std::string::npos);
+  EXPECT_NE(dump.find("decide"), std::string::npos);
+  EXPECT_NE(dump.find("counter radio_tx_messages 2"), std::string::npos);
+  EXPECT_NE(dump.find("stat dcache_hit_rate 0.9375"), std::string::npos);
+  TraceCollector again;
+  fill_sample(again);
+  EXPECT_EQ(dump, text_dump(again));
+}
+
+TEST(JsonValid, AcceptsWellFormedDocuments) {
+  for (const char* ok :
+       {"{}", "[]", "null", "true", "-12.5e-3", "\"a\\n\\u00e9\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}", "  [1, 2]  "}) {
+    std::string err;
+    EXPECT_TRUE(json_valid(ok, &err)) << ok << ": " << err;
+  }
+}
+
+TEST(JsonValid, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "nul", "NaN", "Infinity",
+        "01", "1.", "1e", "\"unterminated", "\"bad\\q\"", "\"\\u12g4\"",
+        "{} trailing", "[1] 2", "\"a\x01b\""}) {
+    std::string err;
+    EXPECT_FALSE(json_valid(bad, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(JsonValid, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_valid(deep));
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(json_valid(ok));
+}
+
+TEST(Metrics, PrometheusTextRendersAllThreeTypes) {
+  MetricsRegistry reg;
+  reg.declare("demo_total", MetricType::kCounter, "A counter.");
+  reg.add("demo_total", label("track", "a"), 2.0);
+  reg.add("demo_total", label("track", "a"), 3.0);
+  reg.declare("demo_gauge", MetricType::kGauge, "A gauge.");
+  reg.set("demo_gauge", "", 0.5);
+  reg.set("demo_gauge", "", 0.25);  // Last write wins.
+  reg.declare("demo_hist", MetricType::kHistogram, "A histogram.");
+  reg.observe("demo_hist", "", 5e-4);
+  reg.observe("demo_hist", "", 50.0);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP demo_total A counter.\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_total{track=\"a\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_gauge 0.25\n"), std::string::npos);
+  // Cumulative buckets: 5e-4 lands in le=0.001, 50 in le=100; +Inf = count.
+  EXPECT_NE(text.find("demo_hist_bucket{le=\"0.001\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_hist_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_hist_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_hist_count 2\n"), std::string::npos);
+  // Deterministic regardless of family insertion order (sorted maps).
+  EXPECT_LT(text.find("demo_gauge"), text.find("demo_hist"));
+  EXPECT_LT(text.find("demo_hist"), text.find("demo_total"));
+}
+
+TEST(Metrics, LabelEscapesValue) {
+  EXPECT_EQ(label("k", "a\"b\\c\nd"), "k=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Metrics, BuildMetricsAggregatesEventsCountersAndStats) {
+  TraceCollector col;
+  fill_sample(col);
+  const std::string text = build_metrics(col).prometheus_text();
+  EXPECT_NE(text.find("javelin_invocations_total{track=\"fe/good/AA\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("javelin_energy_joules_total{track=\"fe/good/AA\"} "
+                      "0.004\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("javelin_radio_tx_messages_total{track=\"fe/good/AA\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("javelin_dcache_hit_rate{track=\"fe/good/AA\"} "
+                      "0.9375\n"),
+            std::string::npos);
+  // The invoke-end energy (0.004 J) lands in the le=0.01 histogram bucket.
+  EXPECT_NE(text.find("javelin_invocation_energy_joules_bucket{le=\"0.01\"} "
+                      "1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("javelin_invocation_energy_joules_count 1\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace javelin::obs

@@ -218,5 +218,44 @@ TEST(Resilience, ResetSessionClearsBreakerRetryAndPredictorState) {
   EXPECT_FALSE(rep.resilience.breaker_short_circuit);
 }
 
+TEST(Resilience, ReportInvariantsAcrossMixedFailureClasses) {
+  // A multi-attempt invocation against a fully-lossy uplink: the per-class
+  // breakdowns in ResilienceStats must be consistent with the scalar
+  // aggregates — this is the invariant sim::run_sequence relies on when it
+  // folds reports into a StrategyResult.
+  ClientConfig cfg;
+  cfg.resilience.max_attempts = 3;
+  ClientRig rig(cfg);
+  rig.link.set_loss_probability(1.0);
+
+  const InvokeReport rep = rig.run(Strategy::kRemote);
+  EXPECT_TRUE(rep.fallback_local);
+  EXPECT_EQ(rep.resilience.attempts, 3);
+  EXPECT_EQ(rep.resilience.retries, 2);
+
+  int failures = 0;
+  double wasted = 0.0;
+  for (std::size_t c = 0; c < kNumFailureClasses; ++c) {
+    failures += rep.resilience.failures[c];
+    wasted += rep.resilience.wasted_j[c];
+    if (rep.resilience.failures[c] == 0)
+      EXPECT_EQ(rep.resilience.wasted_j[c], 0.0) << c;
+    else
+      EXPECT_GT(rep.resilience.wasted_j[c], 0.0) << c;
+  }
+  // Every attempt failed, each is classified exactly once.
+  EXPECT_EQ(failures, rep.resilience.attempts);
+  EXPECT_EQ(rep.resilience.failures[static_cast<std::size_t>(
+                FailureClass::kUplinkLoss)],
+            3);
+  // The per-class wasted ledger partitions the scalar (same addends, so only
+  // association differs — allow rounding slack, nothing more).
+  EXPECT_GT(rep.resilience.wasted_energy_j, 0.0);
+  EXPECT_NEAR(wasted, rep.resilience.wasted_energy_j,
+              1e-12 * rep.resilience.wasted_energy_j);
+  // None of the wasted energy can exceed what the whole invocation burnt.
+  EXPECT_LE(rep.resilience.wasted_energy_j, rep.energy_j);
+}
+
 }  // namespace
 }  // namespace javelin::rt

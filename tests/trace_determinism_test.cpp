@@ -1,0 +1,192 @@
+// End-to-end contracts of the tracing subsystem (DESIGN.md §10):
+//  * exports are byte-identical at any worker count for a fixed seed,
+//    because per-cell buffers merge in cell order, not completion order;
+//  * tracing is read-only — traced StrategyResults are bit-identical to
+//    untraced ones;
+//  * the per-event energy ledger is exact: kInvokeEnd totals sum bitwise to
+//    StrategyResult::total_energy_j per cell;
+//  * faulted traces cross-check the ResilienceStats aggregation (per-class
+//    failure counts, retries, breaker transitions, wasted joules).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "sim/sweep.hpp"
+
+namespace javelin {
+namespace {
+
+sim::ScenarioSweepSpec trace_spec() {
+  sim::ScenarioSweepSpec spec;
+  spec.apps = {&apps::app("fe"), &apps::app("sort")};
+  spec.situations = {sim::Situation::kGoodChannelDominantSize,
+                     sim::Situation::kUniform};
+  spec.strategies = {rt::Strategy::kRemote, rt::Strategy::kAdaptiveAdaptive};
+  spec.executions = 8;
+  return spec;
+}
+
+TEST(TraceDeterminism, ExportsAreByteIdenticalAcrossJobCounts) {
+  std::string ref_json, ref_dump, ref_metrics;
+  for (int jobs : {1, 8}) {
+    obs::TraceCollector collector;
+    sim::ScenarioSweepSpec spec = trace_spec();
+    spec.collector = &collector;
+    sim::SweepEngine engine(jobs);
+    const auto result = sim::run_scenario_sweep(engine, spec);
+    ASSERT_EQ(result.cells.size(), 8u);
+    ASSERT_EQ(collector.size(), 8u);
+
+    const std::string json = obs::chrome_trace_json(collector);
+    std::string err;
+    EXPECT_TRUE(obs::json_valid(json, &err)) << err;
+    const std::string dump = obs::text_dump(collector);
+    const std::string metrics = obs::build_metrics(collector).prometheus_text();
+    if (jobs == 1) {
+      ref_json = json;
+      ref_dump = dump;
+      ref_metrics = metrics;
+      EXPECT_GT(json.size(), 1000u);  // Non-vacuous: events were recorded.
+    } else {
+      EXPECT_EQ(json, ref_json);
+      EXPECT_EQ(dump, ref_dump);
+      EXPECT_EQ(metrics, ref_metrics);
+    }
+  }
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbResults) {
+  sim::SweepEngine engine(4);
+  const sim::ScenarioSweepSpec plain = trace_spec();
+  const auto untraced = sim::run_scenario_sweep(engine, plain);
+
+  obs::TraceCollector collector;
+  sim::ScenarioSweepSpec spec = trace_spec();
+  spec.collector = &collector;
+  const auto traced = sim::run_scenario_sweep(engine, spec);
+
+  ASSERT_EQ(traced.cells.size(), untraced.cells.size());
+  for (std::size_t i = 0; i < traced.cells.size(); ++i) {
+    const sim::StrategyResult& a = traced.cells[i];
+    const sim::StrategyResult& b = untraced.cells[i];
+    EXPECT_EQ(a.total_energy_j, b.total_energy_j) << i;
+    EXPECT_EQ(a.total_seconds, b.total_seconds) << i;
+    EXPECT_EQ(a.computation_j, b.computation_j) << i;
+    EXPECT_EQ(a.communication_j, b.communication_j) << i;
+    EXPECT_EQ(a.idle_j, b.idle_j) << i;
+    EXPECT_EQ(a.dram_j, b.dram_j) << i;
+    EXPECT_EQ(a.mode_counts, b.mode_counts) << i;
+    EXPECT_EQ(a.compiles, b.compiles) << i;
+    EXPECT_EQ(a.retries, b.retries) << i;
+    EXPECT_EQ(a.remote_failures, b.remote_failures) << i;
+    EXPECT_EQ(a.wasted_retry_j, b.wasted_retry_j) << i;
+    EXPECT_EQ(a.all_correct, b.all_correct) << i;
+  }
+}
+
+TEST(TraceDeterminism, InvokeEndLedgersSumExactlyToCellEnergy) {
+  obs::TraceCollector collector;
+  sim::ScenarioSweepSpec spec = trace_spec();
+  spec.collector = &collector;
+  sim::SweepEngine engine(4);
+  const auto result = sim::run_scenario_sweep(engine, spec);
+
+  const auto buffers = collector.ordered();
+  ASSERT_EQ(buffers.size(), result.cells.size());
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    // One kInvokeEnd per execution, each carrying the meter delta computed
+    // from the same snapshot as InvokeReport::energy_j. Summing them in
+    // event order is the same FP addition sequence run_sequence performs,
+    // so the total must match bit for bit — not approximately.
+    double sum = 0.0;
+    int invocations = 0;
+    for (const obs::TraceEvent& ev : buffers[i]->events()) {
+      if (ev.kind != obs::EventKind::kInvokeEnd) continue;
+      sum += ev.ledger.total_j;
+      ++invocations;
+    }
+    EXPECT_EQ(invocations, spec.executions) << buffers[i]->track();
+    EXPECT_EQ(sum, result.cells[i].total_energy_j) << buffers[i]->track();
+  }
+}
+
+TEST(TraceDeterminism, FaultedTraceCrossChecksResilienceAggregation) {
+  // A lossy channel with retries and a breaker: every ResilienceStats
+  // aggregate in the StrategyResult must be reconstructible from the event
+  // stream alone.
+  sim::ScenarioRunner runner(apps::app("fe"));
+  runner.fault_plan.enabled = true;
+  runner.fault_plan.ge_p_good_to_bad = 0.08;
+  runner.fault_plan.ge_loss_bad = 0.8;
+  runner.fault_plan.outage_period_s = 40.0;
+  runner.fault_plan.outage_duration_s = 4.0;
+  runner.fault_plan.corrupt_downlink_p = 0.05;
+  runner.client_config.resilience.max_attempts = 3;
+  runner.client_config.resilience.breaker_threshold = 4;
+  runner.client_config.resilience.breaker_cooldown_s = 5.0;
+
+  obs::TraceCollector collector;
+  obs::TraceBuffer* buf = collector.make_buffer("fe/good/R", 0);
+  const sim::StrategyResult result =
+      runner.run(rt::Strategy::kRemote, sim::Situation::kGoodChannelDominantSize,
+                 /*executions=*/30, /*verify=*/true, /*config=*/nullptr, buf);
+  ASSERT_TRUE(result.all_correct);
+  ASSERT_GT(result.remote_failures, 0) << "fault plan produced no failures";
+  ASSERT_GT(result.retries, 0);
+
+  int retries = 0, opened = 0, reclosed = 0;
+  std::map<std::string, int> failures;
+  // wasted_retry_j is a sum of per-invocation subtotals, so reproduce that
+  // two-level accumulation: group failure ledgers by enclosing invocation.
+  double wasted_total = 0.0, wasted_invocation = 0.0;
+  for (const obs::TraceEvent& ev : buf->events()) {
+    switch (ev.kind) {
+      case obs::EventKind::kInvokeBegin:
+        wasted_invocation = 0.0;
+        break;
+      case obs::EventKind::kInvokeEnd:
+        wasted_total += wasted_invocation;
+        break;
+      case obs::EventKind::kRemoteFailure:
+        ++failures[buf->string_at(ev.detail)];
+        wasted_invocation += ev.ledger.total_j;
+        break;
+      case obs::EventKind::kRetryBackoff:
+        ++retries;
+        break;
+      case obs::EventKind::kBreakerTransition: {
+        const std::string to = buf->string_at(ev.name);
+        if (to == "open") ++opened;
+        if (to == "closed") ++reclosed;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  EXPECT_EQ(retries, result.retries);
+  EXPECT_EQ(opened, result.breaker_opened);
+  EXPECT_EQ(reclosed, result.breaker_reclosed);
+  EXPECT_EQ(wasted_total, result.wasted_retry_j);  // Bitwise, not approximate.
+  int total_failures = 0;
+  for (std::size_t c = 0; c < rt::kNumFailureClasses; ++c) {
+    const auto it =
+        failures.find(rt::failure_class_name(static_cast<rt::FailureClass>(c)));
+    EXPECT_EQ(it == failures.end() ? 0 : it->second,
+              result.failures_by_class[c])
+        << rt::failure_class_name(static_cast<rt::FailureClass>(c));
+    total_failures += result.failures_by_class[c];
+  }
+  EXPECT_EQ(total_failures, result.remote_failures);
+
+  // The faulted trace also round-trips the JSON checker.
+  std::string err;
+  EXPECT_TRUE(obs::json_valid(obs::chrome_trace_json(collector), &err)) << err;
+}
+
+}  // namespace
+}  // namespace javelin
