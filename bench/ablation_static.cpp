@@ -1,0 +1,134 @@
+// Ablation: cold-start AA vs static-analysis-seeded AA.
+//
+// AA's helper-method logic starts every session ignorant: the first few
+// invocations of a loop-heavy method are amortized over k = 1, 2, ... calls,
+// biasing the decision toward interpretation or remote execution until the
+// observed count catches up. The opt-in DecisionPolicy knob runs the
+// src/analysis passes once at deploy and seeds the decision with two static
+// facts: loop-containing methods amortize compilation over at least
+// `seed_invocations` expected executions, and methods whose offload-safety
+// verdict is unsafe (static-field writes, unresolved callees) have remote
+// execution excluded outright. This bench measures the knob's effect across
+// the paper's full 8 apps x 3 situations grid. Cells run on the parallel
+// sweep engine; all randomness derives from per-cell seeds, so output (and
+// BENCH_static.json) is bit-identical at any JAVELIN_JOBS.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/sweep.hpp"
+#include "support/table.hpp"
+
+using namespace javelin;
+
+namespace {
+
+int remote_count(const sim::StrategyResult& r) {
+  const auto it = r.mode_counts.find(rt::ExecMode::kRemote);
+  return it == r.mode_counts.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+int main() {
+  int executions = 120;
+  if (const char* env = std::getenv("JAVELIN_ABLATION_EXECS"))
+    executions = std::atoi(env);
+
+  const std::vector<apps::App>& apps = apps::registry();
+  const sim::Situation situations[] = {
+      sim::Situation::kGoodChannelDominantSize,
+      sim::Situation::kPoorChannelDominantSize,
+      sim::Situation::kUniform,
+  };
+  constexpr std::size_t kNumSituations = 3;
+
+  sim::SweepEngine engine;
+
+  // Profile each app once, in parallel; the runners are then shared
+  // read-only by both of each scenario's cells.
+  const auto runners = engine.map<sim::ScenarioRunner>(
+      apps.size(),
+      [&](std::size_t i) { return sim::ScenarioRunner(apps[i]); });
+
+  rt::ClientConfig seeded_config;
+  seeded_config.decision.static_seed = true;
+
+  // Cell layout: [app][situation][cold, seeded], app-major.
+  const std::size_t n = apps.size() * kNumSituations * 2;
+  const auto results = engine.map<sim::StrategyResult>(n, [&](std::size_t i) {
+    const std::size_t app = i / (kNumSituations * 2);
+    const std::size_t situation = (i / 2) % kNumSituations;
+    const bool seeded = (i % 2) != 0;
+    return runners[app].run(rt::Strategy::kAdaptiveAdaptive,
+                            situations[situation], executions,
+                            /*verify=*/true,
+                            seeded ? &seeded_config : nullptr);
+  });
+
+  TextTable table("Ablation — cold AA vs static-analysis-seeded AA");
+  table.set_header({"app", "situation", "cold (J)", "seeded (J)", "delta %",
+                    "remote c/s", "compiles c/s"});
+  for (std::size_t app = 0; app < apps.size(); ++app) {
+    for (std::size_t s = 0; s < kNumSituations; ++s) {
+      const std::size_t base = (app * kNumSituations + s) * 2;
+      const sim::StrategyResult& cold = results[base];
+      const sim::StrategyResult& seeded = results[base + 1];
+      if (!cold.all_correct || !seeded.all_correct) {
+        std::fprintf(stderr, "FAIL: wrong result in scenario %zu/%zu\n", app,
+                     s);
+        return 1;
+      }
+      const double delta =
+          cold.total_energy_j > 0.0
+              ? 100.0 * (seeded.total_energy_j - cold.total_energy_j) /
+                    cold.total_energy_j
+              : 0.0;
+      table.add_row({apps[app].name, sim::situation_tag(situations[s]),
+                     TextTable::num(cold.total_energy_j, 3),
+                     TextTable::num(seeded.total_energy_j, 3),
+                     TextTable::num(delta, 2),
+                     std::to_string(remote_count(cold)) + "/" +
+                         std::to_string(remote_count(seeded)),
+                     std::to_string(cold.compiles) + "/" +
+                         std::to_string(seeded.compiles)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nseeded = DecisionPolicy{static_seed} (deploy-time analysis): loop\n"
+      "methods amortize compilation over >= 8 expected executions and\n"
+      "statically-unsafe methods lose the remote candidate. delta < 0 means\n"
+      "the seed saved energy versus the cold-start decision sequence.");
+
+  // Machine-readable record. Deterministic fields only (no wall-clock), so
+  // the file is byte-identical at any JAVELIN_JOBS.
+  std::FILE* f = std::fopen("BENCH_static.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_static.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\": \"ablation_static\", \"executions\": %d, "
+               "\"cells\": [", executions);
+  for (std::size_t app = 0; app < apps.size(); ++app) {
+    for (std::size_t s = 0; s < kNumSituations; ++s) {
+      const std::size_t base = (app * kNumSituations + s) * 2;
+      const sim::StrategyResult& cold = results[base];
+      const sim::StrategyResult& seeded = results[base + 1];
+      std::fprintf(
+          f,
+          "%s\n  {\"app\": \"%s\", \"situation\": \"%s\", "
+          "\"cold_energy_j\": %.6f, \"seeded_energy_j\": %.6f, "
+          "\"cold_remote\": %d, \"seeded_remote\": %d, "
+          "\"cold_compiles\": %d, \"seeded_compiles\": %d}",
+          base ? "," : "", apps[app].name.c_str(),
+          sim::situation_tag(situations[s]), cold.total_energy_j,
+          seeded.total_energy_j, remote_count(cold), remote_count(seeded),
+          cold.compiles, seeded.compiles);
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "analysis/analyzer.hpp"
+
+namespace javelin::analysis {
+
+std::string safety_verdict(const OffloadSafety& s) {
+  std::string v;
+  auto tag = [&v](const char* t) {
+    if (!v.empty()) v += ',';
+    v += t;
+  };
+  if (s.writes_statics) tag("writes-statics");
+  if (s.calls_unresolved) tag("calls-unresolved");
+  if (s.mutates_params) tag("mutates-params");
+  if (s.param_escapes) tag("param-escapes");
+  if (s.alloc_in_loop) tag("alloc-in-loop");
+  if (s.recursive) tag("recursive");
+  if (v.empty()) v = "pure";
+  return s.offloadable() ? (v == "pure" ? "offloadable" : "offloadable:" + v)
+                         : "not-offloadable:" + v;
+}
+
+MethodAnalysis Analyzer::analyze_method(const jvm::ClassFile& cf,
+                                        const jvm::MethodInfo& m) {
+  MethodAnalysis r;
+  r.qualified_name = cf.name + "." + m.name;
+  r.method = &m;
+  r.cost = cost_.summarize(cf, m);
+  r.safety = offload_.analyze(cf, m);
+  r.lint_work = lint_method(cf, m, r.diagnostics);
+  sort_diagnostics(r.diagnostics);
+
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kAnalysis;
+    e.name = trace_->intern(r.qualified_name);
+    e.detail = trace_->intern(safety_verdict(r.safety));
+    e.a = r.cost.energy_j;
+    e.b = static_cast<double>(r.cost.work + r.safety.work + r.lint_work);
+    trace_->emit(e);
+  }
+  return r;
+}
+
+std::vector<MethodAnalysis> Analyzer::analyze_class(const jvm::ClassFile& cf) {
+  std::vector<MethodAnalysis> out;
+  out.reserve(cf.methods.size());
+  for (const auto& m : cf.methods) out.push_back(analyze_method(cf, m));
+  return out;
+}
+
+}  // namespace javelin::analysis

@@ -1,0 +1,63 @@
+// Class-load-time analysis driver.
+//
+// Runs after verification (the passes assume structurally sound code) and
+// bundles the three passes — static cost estimation, offload safety, lint —
+// into one per-method record. Optionally emits one `analysis` trace event
+// per method into the obs layer (nullptr buffer = zero overhead, the
+// convention every other hook site follows). Pass "timings" are
+// deterministic work-unit counts, never host clocks, so traces stay
+// byte-identical across hosts and worker counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cost.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/offload.hpp"
+#include "jvm/classfile.hpp"
+#include "jvm/verifier.hpp"
+#include "obs/trace.hpp"
+
+namespace javelin::analysis {
+
+/// Everything the analyzer knows about one method.
+struct MethodAnalysis {
+  std::string qualified_name;  ///< "Class.method".
+  const jvm::MethodInfo* method = nullptr;
+  StaticCostSummary cost;
+  OffloadSafety safety;
+  std::vector<Diagnostic> diagnostics;  ///< Sorted, this method only.
+  std::uint64_t lint_work = 0;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const jvm::SignatureResolver& resolver,
+                    const energy::InstructionEnergyTable& table = {},
+                    CostOptions cost_opts = {})
+      : resolver_(resolver),
+        cost_(resolver, table, cost_opts),
+        offload_(resolver) {}
+
+  /// Attach a trace buffer (nullptr = disabled, the default).
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
+  MethodAnalysis analyze_method(const jvm::ClassFile& cf,
+                                const jvm::MethodInfo& m);
+
+  /// Analyze every method of `cf`, in declaration order.
+  std::vector<MethodAnalysis> analyze_class(const jvm::ClassFile& cf);
+
+ private:
+  const jvm::SignatureResolver& resolver_;
+  CostEstimator cost_;
+  OffloadAnalyzer offload_;
+  obs::TraceBuffer* trace_ = nullptr;
+};
+
+/// Compact verdict string for traces/CLI, e.g. "offloadable" or
+/// "writes-statics,recursive".
+std::string safety_verdict(const OffloadSafety& s);
+
+}  // namespace javelin::analysis

@@ -1,0 +1,57 @@
+#include "analysis/bytecode_cfg.hpp"
+
+namespace javelin::analysis {
+
+using jvm::Insn;
+using jvm::Op;
+
+BytecodeCfg build_bytecode_cfg(const std::vector<Insn>& code) {
+  BytecodeCfg cfg;
+  const std::size_t n = code.size();
+  if (n == 0) return cfg;
+
+  // Mark leaders.
+  std::vector<char> leader(n, 0);
+  leader[0] = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Insn& in = code[i];
+    if (jvm::is_branch(in.op)) {
+      if (in.a >= 0 && static_cast<std::size_t>(in.a) < n) leader[in.a] = 1;
+      if (i + 1 < n) leader[i + 1] = 1;
+    } else if (jvm::ends_block(in.op)) {
+      if (i + 1 < n) leader[i + 1] = 1;
+    }
+  }
+
+  // Carve blocks and index instructions.
+  cfg.block_of.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader[i])
+      cfg.blocks.push_back(BytecodeBlock{static_cast<std::int32_t>(i),
+                                         static_cast<std::int32_t>(i)});
+    cfg.block_of[i] = static_cast<std::int32_t>(cfg.blocks.size() - 1);
+    cfg.blocks.back().end = static_cast<std::int32_t>(i + 1);
+  }
+
+  // Edges. Fallthrough first, then branch target (interpreter order).
+  cfg.graph.succs.assign(cfg.blocks.size(), {});
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const Insn& last = code[cfg.blocks[b].end - 1];
+    auto add = [&](std::int32_t target_insn) {
+      if (target_insn >= 0 && static_cast<std::size_t>(target_insn) < n)
+        cfg.graph.succs[b].push_back(cfg.block_of[target_insn]);
+    };
+    if (last.op == Op::kGoto) {
+      add(last.a);
+    } else if (jvm::is_branch(last.op)) {
+      add(cfg.blocks[b].end);  // fallthrough
+      add(last.a);             // taken
+    } else if (!jvm::ends_block(last.op)) {
+      add(cfg.blocks[b].end);  // split only by a leader: plain fallthrough
+    }
+  }
+  cfg.graph.compute_preds();
+  return cfg;
+}
+
+}  // namespace javelin::analysis

@@ -1,0 +1,37 @@
+// Basic-block decomposition of verified mini-JVM bytecode.
+//
+// Leaders are instruction 0, every branch target, and every instruction
+// following a branch or block terminator. The resulting `Cfg` plugs directly
+// into the shared dominator/loop/dataflow machinery in analysis/cfg.hpp.
+// Inputs are assumed verified (targets in range, no falling off the end);
+// build_bytecode_cfg() tolerates hostile inputs only enough to not crash.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "jvm/opcodes.hpp"
+
+namespace javelin::analysis {
+
+/// Half-open instruction range [begin, end) of one basic block.
+struct BytecodeBlock {
+  std::int32_t begin = 0;
+  std::int32_t end = 0;
+};
+
+struct BytecodeCfg {
+  std::vector<BytecodeBlock> blocks;    ///< In bytecode order; block 0 = entry.
+  std::vector<std::int32_t> block_of;   ///< Instruction index -> block index.
+  Cfg graph;                            ///< Successor/predecessor adjacency.
+
+  std::size_t num_blocks() const { return blocks.size(); }
+};
+
+/// Split `code` into basic blocks. Empty code yields an empty CFG.
+/// Successor order is fallthrough first, then branch target (mirroring the
+/// interpreter's `next` computation) — deterministic for a given method.
+BytecodeCfg build_bytecode_cfg(const std::vector<jvm::Insn>& code);
+
+}  // namespace javelin::analysis

@@ -1,0 +1,171 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace javelin::analysis {
+
+void Cfg::compute_preds() {
+  preds.assign(succs.size(), {});
+  for (std::size_t b = 0; b < succs.size(); ++b)
+    for (std::int32_t s : succs[b])
+      preds[static_cast<std::size_t>(s)].push_back(static_cast<std::int32_t>(b));
+}
+
+bool DomInfo::dominates(std::int32_t a, std::int32_t b) const {
+  while (b >= 0) {
+    if (a == b) return true;
+    b = idom[b];
+  }
+  return false;
+}
+
+namespace {
+
+void postorder(const Cfg& g, std::int32_t b, std::vector<char>& seen,
+               std::vector<std::int32_t>& out) {
+  seen[b] = 1;
+  for (std::int32_t s : g.succs[b])
+    if (!seen[s]) postorder(g, s, seen, out);
+  out.push_back(b);
+}
+
+inline void charge(const WorkFn& work, std::uint64_t units) {
+  if (work) work(units);
+}
+
+}  // namespace
+
+DomInfo compute_dominators(const Cfg& g, const WorkFn& work) {
+  const std::size_t n = g.size();
+  DomInfo a;
+  a.rpo_index.assign(n, -1);
+  a.idom.assign(n, -1);
+
+  std::vector<char> seen(n, 0);
+  std::vector<std::int32_t> po;
+  postorder(g, 0, seen, po);
+  a.rpo.assign(po.rbegin(), po.rend());
+  for (std::size_t i = 0; i < a.rpo.size(); ++i)
+    a.rpo_index[a.rpo[i]] = static_cast<std::int32_t>(i);
+  charge(work, a.rpo.size());
+
+  // Cooper–Harvey–Kennedy iterative dominators.
+  a.idom[0] = 0;
+  bool changed = true;
+  auto intersect = [&](std::int32_t x, std::int32_t y) {
+    while (x != y) {
+      while (a.rpo_index[x] > a.rpo_index[y]) x = a.idom[x];
+      while (a.rpo_index[y] > a.rpo_index[x]) y = a.idom[y];
+    }
+    return x;
+  };
+  while (changed) {
+    changed = false;
+    for (std::int32_t b : a.rpo) {
+      if (b == 0) continue;
+      std::int32_t new_idom = -1;
+      for (std::int32_t p : g.preds[b]) {
+        if (!a.reachable(p) || a.idom[p] < 0) continue;
+        new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+      }
+      if (new_idom >= 0 && a.idom[b] != new_idom) {
+        a.idom[b] = new_idom;
+        changed = true;
+      }
+      charge(work, 1);
+    }
+  }
+  a.idom[0] = -1;  // entry has no dominator
+  return a;
+}
+
+std::vector<NaturalLoop> find_natural_loops(const Cfg& g, const DomInfo& a,
+                                            const WorkFn& work) {
+  std::vector<NaturalLoop> loops;
+  // Back edge t -> h where h dominates t.
+  for (std::size_t t = 0; t < g.size(); ++t) {
+    if (!a.reachable(static_cast<std::int32_t>(t))) continue;
+    for (std::int32_t h : g.succs[t]) {
+      if (!a.dominates(h, static_cast<std::int32_t>(t))) continue;
+      // Find or create the loop for header h.
+      NaturalLoop* loop = nullptr;
+      for (auto& l : loops)
+        if (l.header == h) loop = &l;
+      if (!loop) {
+        loops.push_back(NaturalLoop{h, {h}});
+        loop = &loops.back();
+      }
+      // Walk predecessors from t up to h (natural-loop body collection).
+      std::vector<std::int32_t> stack;
+      if (static_cast<std::int32_t>(t) != h &&
+          !loop->contains(static_cast<std::int32_t>(t))) {
+        loop->blocks.push_back(static_cast<std::int32_t>(t));
+        stack.push_back(static_cast<std::int32_t>(t));
+      }
+      while (!stack.empty()) {
+        const std::int32_t b = stack.back();
+        stack.pop_back();
+        for (std::int32_t p : g.preds[b]) {
+          if (!a.reachable(p) || p == h || loop->contains(p)) continue;
+          loop->blocks.push_back(p);
+          stack.push_back(p);
+        }
+        charge(work, 1);
+      }
+    }
+  }
+  // Inner loops first (fewer blocks) so clients hoist innermost-outward.
+  std::sort(loops.begin(), loops.end(),
+            [](const NaturalLoop& x, const NaturalLoop& y) {
+              return x.blocks.size() < y.blocks.size();
+            });
+  return loops;
+}
+
+std::vector<std::int32_t> loop_depths(std::size_t num_blocks,
+                                      const std::vector<NaturalLoop>& loops) {
+  std::vector<std::int32_t> depth(num_blocks, 0);
+  for (const auto& l : loops)
+    for (std::int32_t b : l.blocks) ++depth[b];
+  return depth;
+}
+
+BitsetFlow solve_backward_may(const Cfg& g, std::size_t nbits,
+                              const std::vector<std::uint64_t>& gen,
+                              const std::vector<std::uint64_t>& kill,
+                              const WorkFn& work) {
+  const std::size_t nb = g.size();
+  const std::size_t w = bitset_words(nbits);
+  BitsetFlow flow;
+  flow.words = w;
+  flow.in.assign(nb * w, 0);
+  flow.out.assign(nb * w, 0);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = nb; bi-- > 0;) {
+      // out[b] = union of in[succ]
+      for (std::size_t k = 0; k < w; ++k) {
+        std::uint64_t o = 0;
+        for (std::int32_t s : g.succs[bi])
+          o |= flow.in[static_cast<std::size_t>(s) * w + k];
+        if (o != flow.out[bi * w + k]) {
+          flow.out[bi * w + k] = o;
+          changed = true;
+        }
+        // in[b] = gen[b] | (out[b] & ~kill[b])
+        const std::uint64_t i =
+            gen[bi * w + k] | (flow.out[bi * w + k] & ~kill[bi * w + k]);
+        if (i != flow.in[bi * w + k]) {
+          flow.in[bi * w + k] = i;
+          changed = true;
+        }
+      }
+      charge(work, 1);
+    }
+  }
+  return flow;
+}
+
+}  // namespace javelin::analysis

@@ -1,0 +1,108 @@
+// Shared control-flow-graph machinery: reverse postorder, dominator tree
+// (Cooper–Harvey–Kennedy), natural loops, loop-nesting depth, and a dense
+// backward bitset dataflow solver.
+//
+// This is the single implementation consumed by every CFG client in the
+// system: the JIT's analyses (src/jit/analysis.* are thin adapters over this
+// module), the static-analysis passes that run at class-load time
+// (analysis::Analyzer), and the lint tool. Algorithms are expressed over a
+// plain adjacency `Cfg` so graphs built from JIT IR and graphs built from
+// bytecode share one code path.
+//
+// Callers that meter their work (the JIT charges compilation energy per
+// abstract operation, paper Fig 8) pass a WorkFn; the callback is invoked
+// with exactly the unit counts the pre-refactor jit::analyze /
+// jit::find_loops / jit::compute_liveness charged, so compile energy is
+// bit-identical to the historical implementation. Passing an empty WorkFn
+// costs one branch per call site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace javelin::analysis {
+
+/// Work-metering callback: `fn(units)` charges `units` abstract operations.
+using WorkFn = std::function<void(std::uint64_t)>;
+
+/// Adjacency-list CFG. Node 0 is the entry. `preds` can be derived from
+/// `succs` via compute_preds().
+struct Cfg {
+  std::vector<std::vector<std::int32_t>> succs;
+  std::vector<std::vector<std::int32_t>> preds;
+
+  std::size_t size() const { return succs.size(); }
+
+  /// Rebuild `preds` from `succs`.
+  void compute_preds();
+};
+
+/// Reverse postorder + immediate dominators of the reachable subgraph.
+struct DomInfo {
+  std::vector<std::int32_t> rpo;        ///< Reachable blocks in RPO.
+  std::vector<std::int32_t> rpo_index;  ///< Block -> RPO position (-1 = dead).
+  std::vector<std::int32_t> idom;       ///< Immediate dominator (-1 = none).
+
+  bool reachable(std::int32_t b) const { return rpo_index[b] >= 0; }
+  /// True if `a` dominates `b` (reflexive).
+  bool dominates(std::int32_t a, std::int32_t b) const;
+};
+
+/// RPO + iterative dominators (Cooper–Harvey–Kennedy). Work metering: one
+/// call with rpo.size() after the DFS, then one unit per non-entry RPO block
+/// per fixed-point pass — the JIT's historical charging, preserved exactly.
+DomInfo compute_dominators(const Cfg& g, const WorkFn& work = {});
+
+/// One natural loop (all back edges to the same header merged).
+struct NaturalLoop {
+  std::int32_t header = -1;
+  std::vector<std::int32_t> blocks;  ///< Includes the header.
+  bool contains(std::int32_t b) const {
+    for (auto x : blocks)
+      if (x == b) return true;
+    return false;
+  }
+};
+
+/// Natural loops from back edges t -> h with h dominating t, sorted inner
+/// loops first (fewer blocks). Work metering: one unit per body-collection
+/// step, as the JIT historically charged.
+std::vector<NaturalLoop> find_natural_loops(const Cfg& g, const DomInfo& dom,
+                                            const WorkFn& work = {});
+
+/// Per-block loop-nesting depth (0 = not in any loop). A block inside two
+/// nested loops has depth 2; headers count as inside their own loop.
+std::vector<std::int32_t> loop_depths(std::size_t num_blocks,
+                                      const std::vector<NaturalLoop>& loops);
+
+/// Dense per-block bitset dataflow result: `words` 64-bit words per block.
+struct BitsetFlow {
+  std::size_t words = 0;
+  std::vector<std::uint64_t> in, out;
+
+  bool get_in(std::int32_t block, std::int32_t bit) const {
+    return (in[static_cast<std::size_t>(block) * words + bit / 64] >>
+            (bit % 64)) & 1;
+  }
+  bool get_out(std::int32_t block, std::int32_t bit) const {
+    return (out[static_cast<std::size_t>(block) * words + bit / 64] >>
+            (bit % 64)) & 1;
+  }
+};
+
+/// Iterative backward may-analysis over dense bitsets (the liveness shape):
+///   out[b] = union of in[succ];  in[b] = gen[b] | (out[b] & ~kill[b])
+/// `gen`/`kill` are per-block bitsets laid out like BitsetFlow (block-major,
+/// `words(nbits)` words per block). Blocks are swept in reverse index order
+/// until a fixed point; `work` is invoked with 1 per block per sweep (the
+/// JIT's historical liveness charging).
+BitsetFlow solve_backward_may(const Cfg& g, std::size_t nbits,
+                              const std::vector<std::uint64_t>& gen,
+                              const std::vector<std::uint64_t>& kill,
+                              const WorkFn& work = {});
+
+/// Words needed per block for `nbits` bits.
+inline std::size_t bitset_words(std::size_t nbits) { return (nbits + 63) / 64; }
+
+}  // namespace javelin::analysis

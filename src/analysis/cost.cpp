@@ -1,0 +1,272 @@
+#include "analysis/cost.hpp"
+
+#include <algorithm>
+
+#include "analysis/bytecode_cfg.hpp"
+#include "isa/nisa.hpp"
+
+namespace javelin::analysis {
+
+using energy::InstrClass;
+using jvm::Op;
+
+namespace {
+
+/// Saturating arithmetic so pathological nests can't wrap the counters.
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > UINT64_MAX / a) return UINT64_MAX;
+  return a * b;
+}
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+void add_scaled(energy::InstrCounts& into, const energy::InstrCounts& from,
+                std::uint64_t scale) {
+  for (std::size_t i = 0; i < energy::kNumInstrClasses; ++i)
+    into.by_class[i] = sat_add(into.by_class[i],
+                               sat_mul(from.by_class[i], scale));
+}
+
+}  // namespace
+
+ResolvedMethod resolve_method_class(const jvm::SignatureResolver& resolver,
+                                    const jvm::MethodRef& ref) {
+  for (const jvm::ClassFile* cf = resolver.resolve_class(ref.class_name);
+       cf != nullptr;
+       cf = cf->super_name.empty() ? nullptr
+                                   : resolver.resolve_class(cf->super_name)) {
+    if (const jvm::MethodInfo* m = cf->find_method(ref.method_name))
+      return {cf, m};
+  }
+  return {};
+}
+
+const StaticCostSummary& CostEstimator::summarize(const jvm::ClassFile& cf,
+                                                  const jvm::MethodInfo& m) {
+  auto it = memo_.find(&m);
+  if (it != memo_.end()) return it->second;
+  StaticCostSummary s = compute(cf, m);
+  return memo_.emplace(&m, std::move(s)).first->second;
+}
+
+StaticCostSummary CostEstimator::compute(const jvm::ClassFile& cf,
+                                         const jvm::MethodInfo& m) {
+  StaticCostSummary sum;
+  sum.num_insns = static_cast<std::int32_t>(m.code.size());
+  if (m.code.empty()) return sum;
+
+  stack_.push_back(&m);
+
+  const BytecodeCfg cfg = build_bytecode_cfg(m.code);
+  const DomInfo dom = compute_dominators(cfg.graph);
+  const std::vector<NaturalLoop> loops = find_natural_loops(cfg.graph, dom);
+  const std::vector<std::int32_t> depth = loop_depths(cfg.num_blocks(), loops);
+
+  sum.num_blocks = static_cast<std::int32_t>(dom.rpo.size());
+  for (std::int32_t b : dom.rpo)
+    sum.max_loop_depth = std::max(sum.max_loop_depth, depth[b]);
+
+  for (std::int32_t b : dom.rpo) {
+    sum.work = sat_add(sum.work, 1);
+    std::uint64_t weight = 1;
+    const std::int32_t d = std::min(depth[b], opts_.max_weighted_depth);
+    for (std::int32_t i = 0; i < d; ++i)
+      weight = sat_mul(weight, opts_.loop_trip_weight);
+
+    energy::InstrCounts block;  // one execution of this block
+    for (std::int32_t pc = cfg.blocks[b].begin; pc < cfg.blocks[b].end; ++pc) {
+      const jvm::Insn& in = m.code[pc];
+      // Fetch-decode-dispatch, charged for every instruction.
+      block.add(InstrClass::kLoad);
+      block.add(InstrClass::kAluSimple);
+      block.add(InstrClass::kBranch);
+
+      switch (in.op) {
+        case Op::kIconst:
+        case Op::kAconstNull:
+          block.add(InstrClass::kAluSimple);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kDconst:
+          block.add(InstrClass::kLoad);   // constant-pool read
+          block.add(InstrClass::kStore);  // push
+          break;
+
+        case Op::kIload: case Op::kDload: case Op::kAload:
+        case Op::kIstore: case Op::kDstore: case Op::kAstore:
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kStore);
+          break;
+
+        case Op::kPop:
+          block.add(InstrClass::kLoad);
+          break;
+        case Op::kDup:
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kStore, 2);
+          break;
+
+        case Op::kIadd: case Op::kIsub: case Op::kIand: case Op::kIor:
+        case Op::kIxor: case Op::kIshl: case Op::kIshr: case Op::kIushr:
+          block.add(InstrClass::kLoad, 2);
+          block.add(InstrClass::kAluSimple);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kImul: case Op::kIdiv: case Op::kIrem:
+          block.add(InstrClass::kLoad, 2);
+          block.add(InstrClass::kAluComplex);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kIneg:
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kAluSimple);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kDadd: case Op::kDsub: case Op::kDmul: case Op::kDdiv:
+        case Op::kDcmp:
+          block.add(InstrClass::kLoad, 2);
+          block.add(InstrClass::kAluComplex);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kDneg: case Op::kI2d: case Op::kD2i:
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kAluComplex);
+          block.add(InstrClass::kStore);
+          break;
+
+        case Op::kIfeq: case Op::kIfne: case Op::kIflt:
+        case Op::kIfle: case Op::kIfgt: case Op::kIfge:
+        case Op::kIfNull: case Op::kIfNonNull:
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kBranch);
+          break;
+        case Op::kIfIcmpEq: case Op::kIfIcmpNe: case Op::kIfIcmpLt:
+        case Op::kIfIcmpLe: case Op::kIfIcmpGt: case Op::kIfIcmpGe:
+          block.add(InstrClass::kLoad, 2);
+          block.add(InstrClass::kBranch);
+          break;
+        case Op::kGoto:
+          block.add(InstrClass::kBranch);
+          break;
+
+        case Op::kInvokeStatic:
+        case Op::kInvokeVirtual: {
+          if (in.a < 0 ||
+              static_cast<std::size_t>(in.a) >= cf.pool.methods.size())
+            break;  // hostile pool index: charge dispatch only
+          const jvm::MethodRef& ref = cf.pool.methods[in.a];
+          const ResolvedMethod callee = resolve_method_class(resolver_, ref);
+          const jvm::MethodInfo* ci =
+              callee.method ? callee.method : resolver_.resolve_method(ref);
+          // Invoke overhead: argument pops, dispatch, result push.
+          if (ci) block.add(InstrClass::kLoad, ci->num_args());
+          if (in.op == Op::kInvokeVirtual) block.add(InstrClass::kLoad, 2);
+          block.add(InstrClass::kBranch);
+          if (ci && ci->sig.ret != jvm::TypeKind::kVoid)
+            block.add(InstrClass::kStore);
+          // Callee body: fold the summary in once per (weighted) call site;
+          // cut cycles at the back edge.
+          if (callee.method && callee.cls) {
+            const bool on_stack =
+                std::find(stack_.begin(), stack_.end(), callee.method) !=
+                stack_.end();
+            if (on_stack) {
+              sum.recursive = true;
+            } else {
+              const StaticCostSummary& cs =
+                  summarize(*callee.cls, *callee.method);
+              add_scaled(sum.counts, cs.counts, weight);
+              sum.recursive = sum.recursive || cs.recursive;
+              sum.work = sat_add(sum.work, cs.work);
+            }
+          }
+          break;
+        }
+        case Op::kInvokeIntrinsic: {
+          if (in.a < 0 ||
+              in.a >= static_cast<std::int32_t>(isa::Intrinsic::kCount))
+            break;
+          const auto id = static_cast<isa::Intrinsic>(in.a);
+          block.add(InstrClass::kLoad,
+                    static_cast<std::uint64_t>(isa::intrinsic_fp_args(id) +
+                                               isa::intrinsic_int_args(id)));
+          block.add(InstrClass::kAluComplex, isa::intrinsic_cost(id));
+          block.add(InstrClass::kStore);
+          break;
+        }
+
+        case Op::kReturn:
+          block.add(InstrClass::kBranch);
+          break;
+        case Op::kIreturn: case Op::kDreturn: case Op::kAreturn:
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kBranch);
+          break;
+
+        case Op::kGetStatic:
+          block.add(InstrClass::kAluSimple);
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kGetField:
+          block.add(InstrClass::kLoad);    // pop base
+          block.add(InstrClass::kBranch);  // null check
+          block.add(InstrClass::kAluSimple);
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kPutStatic:
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kAluSimple);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kPutField:
+          block.add(InstrClass::kLoad, 2);
+          block.add(InstrClass::kBranch);
+          block.add(InstrClass::kAluSimple);
+          block.add(InstrClass::kStore);
+          break;
+
+        case Op::kNew:
+          block.add(InstrClass::kBranch);  // runtime call
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kNewArray:
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kBranch);
+          block.add(InstrClass::kStore);
+          break;
+
+        case Op::kIaload: case Op::kDaload: case Op::kBaload: case Op::kAaload:
+          block.add(InstrClass::kLoad, 3);  // idx, ref, length
+          block.add(InstrClass::kBranch, 2);
+          block.add(InstrClass::kAluSimple, 2);
+          block.add(InstrClass::kLoad);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kIastore: case Op::kDastore: case Op::kBastore:
+        case Op::kAastore:
+          block.add(InstrClass::kLoad, 4);  // value, idx, ref, length
+          block.add(InstrClass::kBranch, 2);
+          block.add(InstrClass::kAluSimple, 2);
+          block.add(InstrClass::kStore);
+          break;
+        case Op::kArrayLength:
+          block.add(InstrClass::kLoad, 2);
+          block.add(InstrClass::kStore);
+          break;
+
+        case Op::kCount:
+          break;
+      }
+    }
+    add_scaled(sum.counts, block, weight);
+  }
+
+  stack_.pop_back();
+  sum.energy_j = sum.counts.energy(table_);
+  return sum;
+}
+
+}  // namespace javelin::analysis

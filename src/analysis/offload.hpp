@@ -1,0 +1,74 @@
+// Offload-safety / purity analysis.
+//
+// Decides whether a method can run on the server with only its serialized
+// arguments as context (the paper's remote-execution model ships args and
+// receives the result; it cannot replicate client heap state that the method
+// reaches through other channels). The pass runs the forward lattice solver
+// over an alias abstraction of the operand stack and locals — each slot
+// carries a bitmask of "may hold a reference reaching parameter i" /
+// "fresh allocation" / "non-reference" — and records:
+//
+//   * static-field writes (server cannot push them back),
+//   * mutation of parameter-reachable state (arrays/fields written through a
+//     parameter ref — the response would have to ship the mutation back),
+//   * parameter escape (param ref stored into the heap or returned),
+//   * allocation inside a loop (unbounded fresh memory), and
+//   * a static serialization-size bound for the request (from the
+//     signature; any reference parameter makes it unbounded).
+//
+// Interprocedural: callee verdicts fold into the caller; call-graph cycles
+// are treated conservatively (the in-progress callee is assumed to mutate
+// and leak whatever parameter-derived refs it is passed).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "jvm/classfile.hpp"
+#include "jvm/verifier.hpp"
+
+namespace javelin::analysis {
+
+/// Offload-safety verdict for one method.
+struct OffloadSafety {
+  bool writes_statics = false;   ///< Mutates static fields (self or callee).
+  bool mutates_params = false;   ///< Writes through a param-reachable ref.
+  bool param_escapes = false;    ///< Param ref stored to heap or returned.
+  bool alloc_in_loop = false;    ///< new/newarray inside a loop.
+  bool calls_unresolved = false; ///< Call target outside the resolution set.
+  bool recursive = false;        ///< On (or calling into) a call-graph cycle.
+  /// Static bound on the serialized request payload, bytes (1-byte tag +
+  /// value per argument). -1 = unbounded (some argument is a reference).
+  std::int64_t request_bytes_bound = 0;
+  std::uint64_t work = 0;        ///< Deterministic effort (lattice transfers).
+
+  /// Safe to execute remotely from serialized args alone. Mutating or
+  /// leaking params is *observable* state the response protocol already
+  /// ships back (arrays round-trip), so only effects the server cannot
+  /// deliver — static writes — and unresolvable callees disqualify.
+  bool offloadable() const { return !writes_statics && !calls_unresolved; }
+};
+
+/// Memoizing interprocedural offload analyzer over a resolution set.
+class OffloadAnalyzer {
+ public:
+  explicit OffloadAnalyzer(const jvm::SignatureResolver& resolver)
+      : resolver_(resolver) {}
+
+  const OffloadSafety& analyze(const jvm::ClassFile& cf,
+                               const jvm::MethodInfo& m);
+
+ private:
+  OffloadSafety compute(const jvm::ClassFile& cf, const jvm::MethodInfo& m);
+
+  const jvm::SignatureResolver& resolver_;
+  std::unordered_map<const jvm::MethodInfo*, OffloadSafety> memo_;
+  std::vector<const jvm::MethodInfo*> stack_;  ///< DFS path (cycle cut).
+};
+
+/// Serialized size of one argument of kind `k` (1-byte tag + payload), or
+/// -1 for references (statically unbounded).
+std::int64_t serialized_arg_bytes(jvm::TypeKind k);
+
+}  // namespace javelin::analysis

@@ -1,6 +1,11 @@
+// Thin adapters binding the shared CFG machinery in src/analysis to the JIT
+// IR and its compile-energy meter. The algorithms live in analysis/cfg.cpp;
+// these wrappers only build the adjacency graph and forward meter.work().
 #include "jit/analysis.hpp"
 
-#include <algorithm>
+#include <utility>
+
+#include "analysis/cfg.hpp"
 
 namespace javelin::jit {
 
@@ -14,99 +19,44 @@ bool Analysis::dominates(std::int32_t a, std::int32_t b) const {
 
 namespace {
 
-void postorder(const Function& f, std::int32_t b, std::vector<char>& seen,
-               std::vector<std::int32_t>& out) {
-  seen[b] = 1;
-  for (std::int32_t s : f.blocks[b].succs)
-    if (!seen[s]) postorder(f, s, seen, out);
-  out.push_back(b);
+analysis::Cfg make_cfg(const Function& f) {
+  analysis::Cfg g;
+  g.succs.reserve(f.blocks.size());
+  g.preds.reserve(f.blocks.size());
+  for (const Block& b : f.blocks) {
+    g.succs.push_back(b.succs);
+    g.preds.push_back(b.preds);
+  }
+  return g;
+}
+
+analysis::WorkFn metered(CompileMeter& meter) {
+  return [&meter](std::uint64_t units) { meter.work(units); };
 }
 
 }  // namespace
 
 Analysis analyze(const Function& f, CompileMeter& meter) {
-  const std::size_t n = f.blocks.size();
+  analysis::DomInfo d =
+      analysis::compute_dominators(make_cfg(f), metered(meter));
   Analysis a;
-  a.rpo_index.assign(n, -1);
-  a.idom.assign(n, -1);
-
-  std::vector<char> seen(n, 0);
-  std::vector<std::int32_t> po;
-  postorder(f, 0, seen, po);
-  a.rpo.assign(po.rbegin(), po.rend());
-  for (std::size_t i = 0; i < a.rpo.size(); ++i)
-    a.rpo_index[a.rpo[i]] = static_cast<std::int32_t>(i);
-  meter.work(a.rpo.size());
-
-  // Cooper–Harvey–Kennedy iterative dominators.
-  a.idom[0] = 0;
-  bool changed = true;
-  auto intersect = [&](std::int32_t x, std::int32_t y) {
-    while (x != y) {
-      while (a.rpo_index[x] > a.rpo_index[y]) x = a.idom[x];
-      while (a.rpo_index[y] > a.rpo_index[x]) y = a.idom[y];
-    }
-    return x;
-  };
-  while (changed) {
-    changed = false;
-    for (std::int32_t b : a.rpo) {
-      if (b == 0) continue;
-      std::int32_t new_idom = -1;
-      for (std::int32_t p : f.blocks[b].preds) {
-        if (!a.reachable(p) || a.idom[p] < 0) continue;
-        new_idom = new_idom < 0 ? p : intersect(p, new_idom);
-      }
-      if (new_idom >= 0 && a.idom[b] != new_idom) {
-        a.idom[b] = new_idom;
-        changed = true;
-      }
-      meter.work(1);
-    }
-  }
-  a.idom[0] = -1;  // entry has no dominator
+  a.rpo = std::move(d.rpo);
+  a.rpo_index = std::move(d.rpo_index);
+  a.idom = std::move(d.idom);
   return a;
 }
 
 std::vector<Loop> find_loops(const Function& f, const Analysis& a,
                              CompileMeter& meter) {
+  analysis::DomInfo d;
+  d.rpo = a.rpo;
+  d.rpo_index = a.rpo_index;
+  d.idom = a.idom;
+  std::vector<analysis::NaturalLoop> nl =
+      analysis::find_natural_loops(make_cfg(f), d, metered(meter));
   std::vector<Loop> loops;
-  // Back edge t -> h where h dominates t.
-  for (std::size_t t = 0; t < f.blocks.size(); ++t) {
-    if (!a.reachable(static_cast<std::int32_t>(t))) continue;
-    for (std::int32_t h : f.blocks[t].succs) {
-      if (!a.dominates(h, static_cast<std::int32_t>(t))) continue;
-      // Find or create the loop for header h.
-      Loop* loop = nullptr;
-      for (auto& l : loops)
-        if (l.header == h) loop = &l;
-      if (!loop) {
-        loops.push_back(Loop{h, {h}});
-        loop = &loops.back();
-      }
-      // Walk predecessors from t up to h (natural-loop body collection).
-      std::vector<std::int32_t> stack;
-      if (static_cast<std::int32_t>(t) != h &&
-          !loop->contains(static_cast<std::int32_t>(t))) {
-        loop->blocks.push_back(static_cast<std::int32_t>(t));
-        stack.push_back(static_cast<std::int32_t>(t));
-      }
-      while (!stack.empty()) {
-        const std::int32_t b = stack.back();
-        stack.pop_back();
-        for (std::int32_t p : f.blocks[b].preds) {
-          if (!a.reachable(p) || p == h || loop->contains(p)) continue;
-          loop->blocks.push_back(p);
-          stack.push_back(p);
-        }
-        meter.work(1);
-      }
-    }
-  }
-  // Inner loops first (fewer blocks) so LICM hoists innermost-outward.
-  std::sort(loops.begin(), loops.end(), [](const Loop& x, const Loop& y) {
-    return x.blocks.size() < y.blocks.size();
-  });
+  loops.reserve(nl.size());
+  for (auto& l : nl) loops.push_back(Loop{l.header, std::move(l.blocks)});
   return loops;
 }
 
@@ -142,30 +92,10 @@ Liveness compute_liveness(const Function& f, CompileMeter& meter) {
     }
   }
 
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t bi = nb; bi-- > 0;) {
-      // out[b] = union of in[succ]
-      for (std::size_t k = 0; k < w; ++k) {
-        std::uint64_t o = 0;
-        for (std::int32_t s : f.blocks[bi].succs)
-          o |= lv.in_[static_cast<std::size_t>(s) * w + k];
-        if (o != lv.out_[bi * w + k]) {
-          lv.out_[bi * w + k] = o;
-          changed = true;
-        }
-        // in[b] = use[b] | (out[b] & ~def[b])
-        const std::uint64_t i =
-            use[bi * w + k] | (lv.out_[bi * w + k] & ~def[bi * w + k]);
-        if (i != lv.in_[bi * w + k]) {
-          lv.in_[bi * w + k] = i;
-          changed = true;
-        }
-      }
-      meter.work(1);
-    }
-  }
+  analysis::BitsetFlow flow = analysis::solve_backward_may(
+      make_cfg(f), nv, use, def, metered(meter));
+  lv.in_ = std::move(flow.in);
+  lv.out_ = std::move(flow.out);
   return lv;
 }
 

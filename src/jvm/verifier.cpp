@@ -28,9 +28,8 @@ const FieldInfo* ClassSetResolver::resolve_field(const FieldRef& ref) const {
 }
 
 const ClassFile* ClassSetResolver::find_class(const std::string& name) const {
-  for (const ClassFile* cf : classes_)
-    if (cf->name == name) return cf;
-  return nullptr;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
 }
 
 namespace {

@@ -15,6 +15,8 @@
 // stores into the class file (javac's job in real Java).
 #pragma once
 
+#include <unordered_map>
+
 #include "jvm/classfile.hpp"
 
 namespace javelin::jvm {
@@ -26,18 +28,30 @@ class SignatureResolver {
   /// Returns nullptr if unknown.
   virtual const MethodInfo* resolve_method(const MethodRef& ref) const = 0;
   virtual const FieldInfo* resolve_field(const FieldRef& ref) const = 0;
+  /// The class file for `name`, if this resolver can name one. Optional:
+  /// only interprocedural clients (src/analysis) need it; the base returns
+  /// nullptr so signature-only resolvers keep working unchanged.
+  virtual const ClassFile* resolve_class(const std::string& name) const {
+    (void)name;
+    return nullptr;
+  }
 };
 
-/// Resolver over a set of class files (the "classpath").
+/// Resolver over a set of class files (the "classpath"). Lookup is a
+/// name-keyed map built in add(); duplicate names keep the first-added class
+/// (classpath order wins, as before).
 class ClassSetResolver : public SignatureResolver {
  public:
-  void add(const ClassFile* cf) { classes_.push_back(cf); }
+  void add(const ClassFile* cf) { by_name_.emplace(cf->name, cf); }
   const MethodInfo* resolve_method(const MethodRef& ref) const override;
   const FieldInfo* resolve_field(const FieldRef& ref) const override;
+  const ClassFile* resolve_class(const std::string& name) const override {
+    return find_class(name);
+  }
 
  private:
   const ClassFile* find_class(const std::string& name) const;
-  std::vector<const ClassFile*> classes_;
+  std::unordered_map<std::string, const ClassFile*> by_name_;
 };
 
 /// Verify one method; fills in max_stack. Throws VerifyError on rejection.

@@ -33,6 +33,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kPowerDown: return "power-down";
     case EventKind::kIdleAwake: return "idle-awake";
     case EventKind::kFault: return "fault";
+    case EventKind::kAnalysis: return "analysis";
     case EventKind::kCount: break;
   }
   return "?";

@@ -79,6 +79,9 @@ enum class EventKind : std::uint8_t {
   kPowerDown,          ///< Powered-down wait span (ends at wake).
   kIdleAwake,          ///< Awake idle wait span.
   kFault,              ///< Observed fault episode (loss/corruption/spike).
+  kAnalysis,           ///< Static analysis of one method: name = qualified
+                       ///< method, detail = verdict string, a = estimated
+                       ///< energy (J), b = total pass effort (work units).
   kCount
 };
 

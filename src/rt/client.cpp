@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/analyzer.hpp"
 #include "net/serializer.hpp"
 
 namespace javelin::rt {
@@ -112,6 +113,32 @@ Client::Client(ClientConfig cfg, Server& server,
 void Client::deploy(const std::vector<jvm::ClassFile>& app) {
   dev_->deploy(app);
   stats_.assign(dev_->vm.num_methods(), MethodStats{});
+  static_seed_k_.clear();
+  static_remote_ok_.clear();
+  if (cfg_.decision.static_seed) seed_from_analysis();
+}
+
+void Client::seed_from_analysis() {
+  const jvm::Jvm& vm = dev_->vm;
+  jvm::ClassSetResolver resolver;
+  for (std::size_t c = 0; c < vm.num_classes(); ++c)
+    resolver.add(&vm.cls(static_cast<std::int32_t>(c)).cf);
+  analysis::Analyzer analyzer(resolver);
+  analyzer.set_trace(trace_);
+  static_seed_k_.assign(vm.num_methods(), 0.0);
+  static_remote_ok_.assign(vm.num_methods(), 1);
+  for (std::size_t i = 0; i < vm.num_methods(); ++i) {
+    const jvm::RtMethod& m = vm.method(static_cast<std::int32_t>(i));
+    const analysis::MethodAnalysis r =
+        analyzer.analyze_method(vm.cls(m.class_id).cf, *m.info);
+    if (r.cost.max_loop_depth >= 1)
+      static_seed_k_[i] = cfg_.decision.seed_invocations;
+    bool ok = r.safety.offloadable();
+    if (ok && cfg_.decision.max_request_bytes > 0)
+      ok = r.safety.request_bytes_bound >= 0 &&
+           r.safety.request_bytes_bound <= cfg_.decision.max_request_bytes;
+    static_remote_ok_[i] = ok ? 1 : 0;
+  }
 }
 
 void Client::reset_session() {
@@ -235,7 +262,13 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
     st.ewma_p = cfg_.u2 * st.ewma_p + (1.0 - cfg_.u2) * p_now;
   }
   ++st.k;
-  const auto k = static_cast<double>(st.k);
+  // AL "optimistically assumes the method will be executed k more times".
+  // The opt-in static seed (DecisionPolicy) raises the cold-start floor for
+  // loop-containing methods; static_seed_k_ is empty when the knob is off,
+  // so the default path never consults it.
+  auto k = static_cast<double>(st.k);
+  if (!static_seed_k_.empty())
+    k = std::max(k, static_seed_k_[static_cast<std::size_t>(m.id)]);
 
   // Expected energies for k further executions.
   const double EI = k * std::max(0.0, prof.local_energy[0].eval(st.ewma_s));
@@ -248,16 +281,24 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
   // compilation): the decision degrades gracefully to the local modes until
   // the cooldown admits a half-open probe.
   const bool remote_ok = breaker_allows_remote();
+  // The opt-in static offload-safety verdict additionally excludes remote
+  // *execution* (not remote compilation — downloading native code serializes
+  // no parameters) for methods the analysis proved unsafe to ship.
+  const bool remote_exec_ok =
+      remote_ok &&
+      (static_remote_ok_.empty() ||
+       static_remote_ok_[static_cast<std::size_t>(m.id)] != 0);
 
   // Candidate-cost vector for the kDecide trace event: EI, ER, EL1..EL3,
-  // with excluded candidates (open breaker) marked kCostExcluded.
+  // with excluded candidates (open breaker, unsafe offload) marked
+  // kCostExcluded.
   std::array<double, obs::kNumDecideCosts> costs{};
   costs[0] = EI;
-  costs[1] = remote_ok ? ER : obs::kCostExcluded;
+  costs[1] = remote_exec_ok ? ER : obs::kCostExcluded;
 
   double best = EI;
   Decision d{ExecMode::kInterpret, false};
-  if (remote_ok && ER < best) {
+  if (remote_exec_ok && ER < best) {
     best = ER;
     d = Decision{ExecMode::kRemote, false};
   }

@@ -91,6 +91,25 @@ struct CircuitBreaker {
   int times_reclosed = 0;
 };
 
+/// Opt-in static-analysis seeding of the helper-method decision. With
+/// `static_seed` off (the default) the decision logic is byte-identical to
+/// the paper's: no analysis runs at deploy and decide() never consults it.
+/// With it on, class-load-time analysis (src/analysis) runs once per deploy:
+///  * methods whose offload-safety verdict is not offloadable (static-field
+///    writes, unresolvable callees) have ExecMode::kRemote excluded from the
+///    candidate set, exactly like an open circuit breaker; and
+///  * methods containing loops amortize compilation over at least
+///    `seed_invocations` expected executions while their observed invocation
+///    count is still below it — removing the cold-start bias toward
+///    interpret/remote on the first few calls.
+struct DecisionPolicy {
+  bool static_seed = false;
+  double seed_invocations = 8.0;
+  /// If > 0, also exclude remote execution when the static request-size
+  /// bound exceeds this many bytes (or is unbounded, i.e. ref params).
+  std::int64_t max_request_bytes = 0;
+};
+
 struct ClientConfig {
   isa::MachineConfig machine = isa::client_machine();
   double u1 = 0.7;  ///< EWMA weight for the size parameter.
@@ -101,6 +120,7 @@ struct ClientConfig {
   double server_clock_hz = 750e6;  ///< Known from the service handshake.
   std::uint32_t client_id = 1;
   ResiliencePolicy resilience;  ///< Defaults preserve the paper's behaviour.
+  DecisionPolicy decision;      ///< Defaults preserve the paper's behaviour.
 };
 
 /// Telemetry for one top-level invocation.
@@ -183,6 +203,11 @@ class Client {
   Decision decide(const jvm::RtMethod& m, MethodStats& st, double s,
                   radio::PowerClass channel_now, bool adaptive_compilation);
 
+  /// Run the static-analysis passes over the deployed classes and fill the
+  /// per-method seed tables (DecisionPolicy::static_seed only; never called
+  /// on the default path).
+  void seed_from_analysis();
+
   /// Whether the breaker currently admits a remote exchange. Transitions
   /// open -> half-open once the cooldown has elapsed (the admitted exchange
   /// is the probe).
@@ -233,6 +258,11 @@ class Client {
   std::unique_ptr<Device> dev_;
   double extra_seconds_ = 0.0;  ///< Non-CPU elapsed time.
   std::vector<MethodStats> stats_;
+  // Static-analysis seed tables, indexed by method id. Empty unless
+  // DecisionPolicy::static_seed ran at deploy; reset_session() keeps them
+  // (static facts survive adaptive-state resets).
+  std::vector<double> static_seed_k_;
+  std::vector<char> static_remote_ok_;
   CircuitBreaker breaker_;
   obs::TraceBuffer* trace_ = nullptr;
 };

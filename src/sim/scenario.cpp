@@ -96,11 +96,13 @@ StrategyResult ScenarioRunner::run_sequence(
     server.set_fault_plan(plan);
   }
   rt::Client client(config ? *config : client_config, server, channel, link);
+  // Attach the trace buffer (forwards through engine/interpreter/link/fault
+  // injector) before deploy, so deploy-time events — the static-analysis
+  // pass under DecisionPolicy::static_seed — are captured too. Hooks are
+  // read-only, so enabling tracing cannot change `out`.
+  if (trace) client.set_trace(trace);
   client.deploy(classes_);
   client.device().core.step_limit = 500'000'000'000ULL;
-  // Attach the trace buffer (forwards through engine/interpreter/link/fault
-  // injector). Hooks are read-only, so enabling tracing cannot change `out`.
-  if (trace) client.set_trace(trace);
 
   StrategyResult out;
   Rng workload_rng(seed ^ 0xA0B1C2D3);

@@ -1,0 +1,381 @@
+// src/analysis tests: bytecode CFG construction, the lint checks (and their
+// corpus calibration), static cost estimation pinned against two benchmark
+// methods, offload-safety verdicts, interprocedural recursion cut-off, and
+// the analyzer's obs trace events.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/bytecode_cfg.hpp"
+#include "apps/app.hpp"
+#include "jvm/builder.hpp"
+#include "jvm/verifier.hpp"
+
+namespace javelin::analysis {
+namespace {
+
+using jvm::Op;
+
+jvm::ClassFile raw_class(std::vector<jvm::Insn> code, jvm::Signature sig,
+                         std::uint16_t max_locals,
+                         const std::string& name = "Raw") {
+  jvm::ClassFile cf;
+  cf.name = name;
+  jvm::MethodInfo m;
+  m.name = "f";
+  m.sig = std::move(sig);
+  m.is_static = true;
+  m.max_locals = max_locals;
+  m.code = std::move(code);
+  cf.methods.push_back(std::move(m));
+  return cf;
+}
+
+std::vector<Diagnostic> lint_raw(const jvm::ClassFile& cf) {
+  std::vector<Diagnostic> out;
+  lint_method(cf, cf.methods[0], out);
+  sort_diagnostics(out);
+  return out;
+}
+
+bool has(const std::vector<Diagnostic>& ds, const char* code, int pc) {
+  for (const Diagnostic& d : ds)
+    if (d.code == code && d.pc == pc) return true;
+  return false;
+}
+
+/// Analyze one method of one shipped benchmark app.
+MethodAnalysis analyze_app_method(const std::string& app,
+                                  const std::string& method) {
+  const apps::App& a = apps::app(app);
+  jvm::ClassSetResolver resolver;
+  for (const jvm::ClassFile& cf : a.classes) resolver.add(&cf);
+  Analyzer analyzer(resolver);
+  for (const jvm::ClassFile& cf : a.classes)
+    for (const jvm::MethodInfo& m : cf.methods)
+      if (m.name == method) return analyzer.analyze_method(cf, m);
+  throw std::runtime_error("no such method: " + method);
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode CFG
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeCfg, SplitsAtBranchesAndTargets) {
+  // 0: iload 0
+  // 1: ifeq -> 4
+  // 2: iconst 1
+  // 3: goto -> 5
+  // 4: iconst 2
+  // 5: ireturn        (join point)
+  const jvm::ClassFile cf = raw_class({{Op::kIload, 0, 0},
+                                       {Op::kIfeq, 4, 0},
+                                       {Op::kIconst, 1, 0},
+                                       {Op::kGoto, 5, 0},
+                                       {Op::kIconst, 2, 0},
+                                       {Op::kIreturn, 0, 0}},
+                                      {{jvm::TypeKind::kInt},
+                                       jvm::TypeKind::kInt},
+                                      1);
+  const BytecodeCfg cfg = build_bytecode_cfg(cf.methods[0].code);
+  ASSERT_EQ(cfg.num_blocks(), 4u);
+  EXPECT_EQ(cfg.blocks[0].begin, 0);
+  EXPECT_EQ(cfg.blocks[0].end, 2);
+  // Conditional branch: fallthrough first, then target.
+  ASSERT_EQ(cfg.graph.succs[0].size(), 2u);
+  EXPECT_EQ(cfg.graph.succs[0][0], 1);
+  EXPECT_EQ(cfg.graph.succs[0][1], 2);
+  // The join block has two predecessors.
+  EXPECT_EQ(cfg.graph.preds[3].size(), 2u);
+  // block_of maps every pc into its block.
+  EXPECT_EQ(cfg.block_of[0], 0);
+  EXPECT_EQ(cfg.block_of[3], 1);
+  EXPECT_EQ(cfg.block_of[5], 3);
+}
+
+TEST(BytecodeCfg, EmptyCodeYieldsEmptyCfg) {
+  const BytecodeCfg cfg = build_bytecode_cfg({});
+  EXPECT_EQ(cfg.num_blocks(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lint
+// ---------------------------------------------------------------------------
+
+TEST(Lint, FlagsDeadStoreAndUnreachableBlock) {
+  // The canonical seeded example (javelin_lint --self-check uses the same
+  // shape): a store that is overwritten before any read, and code after the
+  // return. Both verify cleanly — the verifier only walks reachable code.
+  jvm::ClassFile cf = raw_class({{Op::kIload, 0, 0},
+                                 {Op::kIstore, 1, 0},   // dead store
+                                 {Op::kIconst, 2, 0},
+                                 {Op::kIstore, 1, 0},
+                                 {Op::kIload, 1, 0},
+                                 {Op::kIreturn, 0, 0},
+                                 {Op::kIconst, 7, 0},   // unreachable
+                                 {Op::kIreturn, 0, 0}},
+                                {{jvm::TypeKind::kInt}, jvm::TypeKind::kInt},
+                                2);
+  EXPECT_NO_THROW(jvm::verify_class(cf));
+  const auto ds = lint_raw(cf);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_TRUE(has(ds, "dead-store", 1));
+  EXPECT_EQ(ds[0].severity, Severity::kWarning);
+  EXPECT_TRUE(has(ds, "unreachable-block", 6));
+  EXPECT_EQ(ds[1].severity, Severity::kError);
+}
+
+TEST(Lint, FlagsPeepholePatterns) {
+  // iconst 2, iconst 3, iadd  -> constant-foldable @2
+  // iload 0, iload 0, istore 1 -> redundant-load-pair @4 (not the x*x idiom)
+  // iconst 9, pop             -> pop-of-pure-value @7
+  const jvm::ClassFile cf = raw_class({{Op::kIconst, 2, 0},
+                                       {Op::kIconst, 3, 0},
+                                       {Op::kIadd, 0, 0},
+                                       {Op::kIload, 0, 0},
+                                       {Op::kIload, 0, 0},
+                                       {Op::kIstore, 1, 0},
+                                       {Op::kIconst, 9, 0},
+                                       {Op::kPop, 0, 0},
+                                       {Op::kIreturn, 0, 0}},
+                                      {{jvm::TypeKind::kInt},
+                                       jvm::TypeKind::kInt},
+                                      2);
+  const auto ds = lint_raw(cf);
+  EXPECT_TRUE(has(ds, "constant-foldable", 2));
+  EXPECT_TRUE(has(ds, "redundant-load-pair", 4));
+  EXPECT_TRUE(has(ds, "pop-of-pure-value", 7));
+}
+
+TEST(Lint, CalibrationSuppressesDeliberateIdioms) {
+  // x*x squaring, 1 << 30 bit-flag construction, and BIG + 1 named-constant
+  // arithmetic are all deliberate patterns in the shipped benchmarks; the
+  // checks are calibrated to stay silent on them (the whole corpus lints
+  // clean — javelin_lint --self-check enforces that end to end).
+  const jvm::ClassFile square = raw_class({{Op::kIload, 0, 0},
+                                           {Op::kIload, 0, 0},
+                                           {Op::kImul, 0, 0},
+                                           {Op::kIreturn, 0, 0}},
+                                          {{jvm::TypeKind::kInt},
+                                           jvm::TypeKind::kInt},
+                                          1);
+  EXPECT_TRUE(lint_raw(square).empty());
+
+  const jvm::ClassFile flag = raw_class({{Op::kIconst, 1, 0},
+                                         {Op::kIconst, 30, 0},
+                                         {Op::kIshl, 0, 0},
+                                         {Op::kIreturn, 0, 0}},
+                                        {{}, jvm::TypeKind::kInt}, 0);
+  EXPECT_TRUE(lint_raw(flag).empty());
+
+  const jvm::ClassFile sentinel = raw_class({{Op::kIconst, 1 << 29, 0},
+                                             {Op::kIconst, 1, 0},
+                                             {Op::kIadd, 0, 0},
+                                             {Op::kIreturn, 0, 0}},
+                                            {{}, jvm::TypeKind::kInt}, 0);
+  EXPECT_TRUE(lint_raw(sentinel).empty());
+}
+
+TEST(Lint, PeepholeChecksSkipUnreachableBlocks) {
+  // The unreachable block contains a pop-of-pure-value; only the
+  // unreachable-block error should be reported for it.
+  const jvm::ClassFile cf = raw_class({{Op::kIconst, 1, 0},
+                                       {Op::kIreturn, 0, 0},
+                                       {Op::kIconst, 2, 0},
+                                       {Op::kPop, 0, 0},
+                                       {Op::kIconst, 3, 0},
+                                       {Op::kIreturn, 0, 0}},
+                                      {{}, jvm::TypeKind::kInt}, 0);
+  const auto ds = lint_raw(cf);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].code, "unreachable-block");
+  EXPECT_EQ(ds[0].pc, 2);
+}
+
+TEST(Lint, DiagnosticsAreDeterministicallyOrdered) {
+  const apps::App& a = apps::app("fe");
+  const auto first = lint_class(a.classes[0]);
+  const auto second = lint_class(a.classes[0]);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].pc, second[i].pc);
+    EXPECT_EQ(first[i].code, second[i].code);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Static cost estimation
+// ---------------------------------------------------------------------------
+
+TEST(Cost, PinsFeIntegrandSummary) {
+  const MethodAnalysis r = analyze_app_method("fe", "f");
+  EXPECT_EQ(r.cost.num_blocks, 1);
+  EXPECT_EQ(r.cost.num_insns, 33);
+  EXPECT_EQ(r.cost.max_loop_depth, 0);
+  EXPECT_FALSE(r.cost.recursive);
+  // Pinned golden value: straight-line transcendental evaluation.
+  EXPECT_NEAR(r.cost.energy_j, 1.593312e-06, 1e-11);
+}
+
+TEST(Cost, PinsFeIntegrateSummary) {
+  const MethodAnalysis r = analyze_app_method("fe", "integrate");
+  EXPECT_EQ(r.cost.num_blocks, 4);
+  EXPECT_EQ(r.cost.num_insns, 39);
+  EXPECT_EQ(r.cost.max_loop_depth, 1);
+  EXPECT_FALSE(r.cost.recursive);
+  // Pinned golden value: the loop body (which inlines FE.f's summary) is
+  // weighted by the loop-trip factor.
+  EXPECT_NEAR(r.cost.energy_j, 2.349919e-05, 1e-10);
+  // Interprocedural sanity: one loop-weighted call to FE.f dominates, so
+  // integrate must cost well over the default trip weight times f.
+  const MethodAnalysis f = analyze_app_method("fe", "f");
+  EXPECT_GT(r.cost.energy_j, 10.0 * f.cost.energy_j);
+}
+
+TEST(Cost, PinsSortQsortSummary) {
+  const MethodAnalysis r = analyze_app_method("sort", "qsort");
+  EXPECT_EQ(r.cost.num_blocks, 9);
+  EXPECT_EQ(r.cost.num_insns, 96);
+  EXPECT_EQ(r.cost.max_loop_depth, 1);
+  EXPECT_TRUE(r.cost.recursive);  // Self-recursion is cut off, not followed.
+  EXPECT_NEAR(r.cost.energy_j, 6.475422e-05, 1e-10);
+}
+
+TEST(Cost, RecursionCutOffTerminates) {
+  // Mutually recursive a <-> b: the estimator must terminate, flag both as
+  // recursive, and produce a finite energy figure.
+  jvm::ClassBuilder cb("Mut");
+  auto& a = cb.method("a", {{jvm::TypeKind::kInt}, jvm::TypeKind::kInt});
+  a.iload("p0").invokestatic("Mut", "b").iret();
+  auto& b = cb.method("b", {{jvm::TypeKind::kInt}, jvm::TypeKind::kInt});
+  b.iload("p0").invokestatic("Mut", "a").iret();
+  const jvm::ClassFile cf = cb.build();
+
+  jvm::ClassSetResolver resolver;
+  resolver.add(&cf);
+  CostEstimator est(resolver);
+  const StaticCostSummary& sa = est.summarize(cf, cf.methods[0]);
+  EXPECT_TRUE(sa.recursive);
+  EXPECT_GT(sa.energy_j, 0.0);
+  EXPECT_LT(sa.energy_j, 1.0);  // Finite, not a blow-up.
+}
+
+// ---------------------------------------------------------------------------
+// Offload safety
+// ---------------------------------------------------------------------------
+
+TEST(Offload, BenchmarkVerdicts) {
+  const MethodAnalysis f = analyze_app_method("fe", "f");
+  EXPECT_TRUE(f.safety.offloadable());
+  EXPECT_EQ(safety_verdict(f.safety), "offloadable");
+  EXPECT_EQ(f.safety.request_bytes_bound, 9);  // One double argument.
+
+  const MethodAnalysis integrate = analyze_app_method("fe", "integrate");
+  EXPECT_TRUE(integrate.safety.offloadable());
+  EXPECT_EQ(integrate.safety.request_bytes_bound, 23);  // d + d + i.
+
+  const MethodAnalysis qsort = analyze_app_method("sort", "qsort");
+  EXPECT_TRUE(qsort.safety.offloadable());
+  EXPECT_TRUE(qsort.safety.mutates_params);
+  EXPECT_TRUE(qsort.safety.recursive);
+  EXPECT_EQ(qsort.safety.request_bytes_bound, -1);  // Ref argument.
+}
+
+TEST(Offload, StaticWriteBlocksOffload) {
+  jvm::ClassBuilder cb("S");
+  cb.field("total", jvm::TypeKind::kInt, /*is_static=*/true);
+  auto& m = cb.method("bump", {{jvm::TypeKind::kInt}, jvm::TypeKind::kInt});
+  m.getstatic("S", "total").iload("p0").iadd().putstatic("S", "total");
+  m.getstatic("S", "total").iret();
+  const jvm::ClassFile cf = cb.build();
+
+  jvm::ClassSetResolver resolver;
+  resolver.add(&cf);
+  const OffloadSafety s = OffloadAnalyzer(resolver).analyze(cf, cf.methods[0]);
+  EXPECT_TRUE(s.writes_statics);
+  EXPECT_FALSE(s.offloadable());
+}
+
+TEST(Offload, AllocationInLoopIsFlagged) {
+  jvm::ClassBuilder cb("A");
+  auto& m = cb.method("grow", {{jvm::TypeKind::kInt}, jvm::TypeKind::kInt});
+  auto loop = m.new_label(), done = m.new_label();
+  const auto i = m.local("i");
+  (void)i;
+  m.iconst(0).istore("i");
+  m.bind(loop);
+  m.iload("i").iload("p0").if_icmpge(done);
+  m.iconst(8).newarray(jvm::TypeKind::kInt).pop();
+  m.iload("i").iconst(1).iadd().istore("i");
+  m.goto_(loop);
+  m.bind(done);
+  m.iload("i").iret();
+  const jvm::ClassFile cf = cb.build();
+
+  jvm::ClassSetResolver resolver;
+  resolver.add(&cf);
+  const OffloadSafety s = OffloadAnalyzer(resolver).analyze(cf, cf.methods[0]);
+  EXPECT_TRUE(s.alloc_in_loop);
+  EXPECT_TRUE(s.offloadable());  // A bound concern, not a correctness one.
+}
+
+TEST(Offload, UnresolvedCalleeBlocksOffload) {
+  const jvm::ClassFile cf = raw_class(
+      {{Op::kInvokeStatic, 0, 0}, {Op::kReturn, 0, 0}},
+      {{}, jvm::TypeKind::kVoid}, 0);
+  // The pool has no method entry 0 resolvable anywhere.
+  jvm::ClassSetResolver resolver;
+  const OffloadSafety s = OffloadAnalyzer(resolver).analyze(cf, cf.methods[0]);
+  EXPECT_TRUE(s.calls_unresolved);
+  EXPECT_FALSE(s.offloadable());
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer + obs events
+// ---------------------------------------------------------------------------
+
+TEST(Analyzer, EmitsOneAnalysisEventPerMethodWhenTraced) {
+  const apps::App& a = apps::app("fe");
+  jvm::ClassSetResolver resolver;
+  for (const jvm::ClassFile& cf : a.classes) resolver.add(&cf);
+
+  Analyzer analyzer(resolver);
+  obs::TraceBuffer buf("test");
+  analyzer.set_trace(&buf);
+  std::size_t methods = 0;
+  for (const jvm::ClassFile& cf : a.classes)
+    methods += analyzer.analyze_class(cf).size();
+
+  ASSERT_EQ(buf.events().size(), methods);
+  for (const obs::TraceEvent& e : buf.events()) {
+    EXPECT_EQ(e.kind, obs::EventKind::kAnalysis);
+    EXPECT_GT(e.b, 0.0);  // Deterministic pass work units, never a clock.
+  }
+  EXPECT_EQ(buf.string_at(buf.events()[0].name), "FE.f");
+  EXPECT_EQ(buf.string_at(buf.events()[0].detail), "offloadable");
+}
+
+TEST(Analyzer, NoBufferMeansNoEvents) {
+  // The nullptr-hook convention: an untrace analyzer touches no obs state
+  // and produces the same analysis results.
+  const apps::App& a = apps::app("fe");
+  jvm::ClassSetResolver resolver;
+  for (const jvm::ClassFile& cf : a.classes) resolver.add(&cf);
+
+  Analyzer untraced(resolver);
+  Analyzer traced(resolver);
+  obs::TraceBuffer buf("test");
+  traced.set_trace(&buf);
+
+  const auto r1 = untraced.analyze_class(a.classes[0]);
+  const auto r2 = traced.analyze_class(a.classes[0]);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1[i].cost.energy_j, r2[i].cost.energy_j);
+    EXPECT_EQ(r1[i].safety.offloadable(), r2[i].safety.offloadable());
+    EXPECT_EQ(r1[i].diagnostics.size(), r2[i].diagnostics.size());
+  }
+  EXPECT_EQ(buf.events().size(), r2.size());  // And only the traced one emits.
+}
+
+}  // namespace
+}  // namespace javelin::analysis

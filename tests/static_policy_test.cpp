@@ -1,0 +1,183 @@
+// DecisionPolicy::static_seed tests: the knob's default leaves the decision
+// sequence bit-identical, the seed changes cold-start behaviour when set,
+// the OffloadSafety verdict excludes remote execution only under the knob,
+// analysis trace events appear only when a buffer is attached, and seeded
+// sweeps stay bit-identical across worker counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jvm/builder.hpp"
+#include "sim/sweep.hpp"
+
+namespace javelin {
+namespace {
+
+using jvm::TypeKind;
+using jvm::Value;
+
+rt::ClientConfig seeded_config() {
+  rt::ClientConfig c;
+  c.decision.static_seed = true;
+  return c;
+}
+
+/// A deliberately offload-unsafe benchmark: the potential method's loop
+/// bumps a static counter (visible side effect on the client VM), so its
+/// OffloadSafety verdict is not-offloadable even though the transcendental
+/// loop body makes it look exactly like the offload-friendly FE shape.
+apps::App make_unsafe_app() {
+  jvm::ClassBuilder cb("Unsafe");
+  cb.field("calls", TypeKind::kInt, /*is_static=*/true);
+  auto& m = cb.method(
+      "work", {{TypeKind::kDouble, TypeKind::kInt}, TypeKind::kDouble});
+  m.param_name(0, "x").param_name(1, "n");
+  m.potential(jvm::SizeParamSpec{{{1, false}}});
+  auto loop = m.new_label(), done = m.new_label();
+  m.dconst(0.0).dstore("acc");
+  m.iconst(0).istore("i");
+  m.bind(loop);
+  m.iload("i").iload("n").if_icmpge(done);
+  m.getstatic("Unsafe", "calls").iconst(1).iadd().putstatic("Unsafe", "calls");
+  m.dload("acc");
+  m.dload("x").iload("i").i2d().dadd().intrinsic(isa::Intrinsic::kSin);
+  m.dadd().dstore("acc");
+  m.iload("i").iconst(1).iadd().istore("i");
+  m.goto_(loop);
+  m.bind(done);
+  m.dload("acc").dret();
+
+  apps::App a;
+  a.name = "unsafe";
+  a.description = "transcendental loop that also bumps a static counter";
+  a.cls = "Unsafe";
+  a.method = "work";
+  a.classes = {cb.build()};
+  a.make_args = [](jvm::Jvm&, double scale, Rng& rng) {
+    return std::vector<Value>{Value::make_double(rng.uniform_real(0.0, 1.0)),
+                              Value::make_int(static_cast<int>(scale))};
+  };
+  // The static counter accumulates across executions, so there is no
+  // per-invocation golden value to pin; correctness of the loop itself is
+  // covered by the shipped apps.
+  a.check = [](const jvm::Jvm&, std::span<const Value>, const jvm::Jvm&,
+               Value) { return true; };
+  a.profile_scales = {200, 400, 800, 1600, 3200};
+  a.small_scale = 300;
+  a.large_scale = 6000;
+  return a;
+}
+
+int remote_count(const sim::StrategyResult& r) {
+  const auto it = r.mode_counts.find(rt::ExecMode::kRemote);
+  return it == r.mode_counts.end() ? 0 : it->second;
+}
+
+TEST(StaticPolicy, DefaultConfigLeavesDecisionsUntouched) {
+  // An explicit default-constructed config must reproduce the nullptr
+  // (runner-default) path bit for bit: the knob's default runs no analysis.
+  const sim::ScenarioRunner runner(apps::app("fe"));
+  const rt::ClientConfig defaults;
+  const auto a = runner.run(rt::Strategy::kAdaptiveAdaptive,
+                            sim::Situation::kUniform, 30);
+  const auto b = runner.run(rt::Strategy::kAdaptiveAdaptive,
+                            sim::Situation::kUniform, 30, true, &defaults);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.mode_counts, b.mode_counts);
+  EXPECT_EQ(a.compiles, b.compiles);
+}
+
+TEST(StaticPolicy, SeedChangesColdStartDecisions) {
+  // db shows the largest cold-start penalty in the ablation: the seeded
+  // decision compiles earlier and never pays the exploration ladder.
+  const sim::ScenarioRunner runner(apps::app("db"));
+  const rt::ClientConfig seeded = seeded_config();
+  const auto cold = runner.run(rt::Strategy::kAdaptiveAdaptive,
+                               sim::Situation::kUniform, 40);
+  const auto with_seed = runner.run(rt::Strategy::kAdaptiveAdaptive,
+                                    sim::Situation::kUniform, 40, true,
+                                    &seeded);
+  EXPECT_NE(cold.total_energy_j, with_seed.total_energy_j);
+  EXPECT_LT(with_seed.total_energy_j, cold.total_energy_j);
+  EXPECT_TRUE(with_seed.all_correct);
+}
+
+TEST(StaticPolicy, OffloadVerdictExcludesRemoteOnlyWhenSeeded) {
+  const apps::App unsafe = make_unsafe_app();
+  const sim::ScenarioRunner runner(unsafe);
+  // Good channel + heavy transcendental loop: cold AA offloads eagerly —
+  // the knob-off path ignores the (unsafe) verdict entirely.
+  const auto cold = runner.run(rt::Strategy::kAdaptiveAdaptive,
+                               sim::Situation::kGoodChannelDominantSize, 30);
+  EXPECT_GT(remote_count(cold), 0);
+  // Seeded, the static verdict (writes-statics) excludes the remote
+  // candidate; every invocation must run locally.
+  const rt::ClientConfig seeded = seeded_config();
+  const auto with_seed =
+      runner.run(rt::Strategy::kAdaptiveAdaptive,
+                 sim::Situation::kGoodChannelDominantSize, 30, true, &seeded);
+  EXPECT_EQ(remote_count(with_seed), 0);
+}
+
+TEST(StaticPolicy, AnalysisEventsAppearOnlyWhenTraced) {
+  const sim::ScenarioRunner runner(apps::app("fe"));
+  const rt::ClientConfig seeded = seeded_config();
+
+  // Seeded + traced: one kAnalysis event per deployed method.
+  obs::TraceBuffer traced("t");
+  const auto with_trace =
+      runner.run(rt::Strategy::kAdaptiveAdaptive, sim::Situation::kUniform,
+                 20, true, &seeded, &traced);
+  std::size_t analysis_events = 0;
+  for (const obs::TraceEvent& e : traced.events())
+    if (e.kind == obs::EventKind::kAnalysis) ++analysis_events;
+  EXPECT_EQ(analysis_events, apps::app("fe").classes[0].methods.size());
+
+  // Tracing is read-only: the untraced seeded run is bit-identical.
+  const auto untraced = runner.run(rt::Strategy::kAdaptiveAdaptive,
+                                   sim::Situation::kUniform, 20, true,
+                                   &seeded);
+  EXPECT_EQ(with_trace.total_energy_j, untraced.total_energy_j);
+  EXPECT_EQ(with_trace.mode_counts, untraced.mode_counts);
+
+  // Knob off: no analysis runs, so a traced run emits zero analysis events.
+  obs::TraceBuffer cold_buf("c");
+  runner.run(rt::Strategy::kAdaptiveAdaptive, sim::Situation::kUniform, 20,
+             true, nullptr, &cold_buf);
+  for (const obs::TraceEvent& e : cold_buf.events())
+    EXPECT_NE(e.kind, obs::EventKind::kAnalysis);
+}
+
+TEST(StaticPolicy, SeededSweepIsBitIdenticalAcrossJobCounts) {
+  // The acceptance bar: seeding must not introduce any scheduling
+  // sensitivity. Run the same seeded cells at 1 and 8 workers and require
+  // exact equality.
+  const apps::App& db = apps::app("db");
+  const apps::App& sort = apps::app("sort");
+  const sim::ScenarioRunner runners[] = {sim::ScenarioRunner(db),
+                                         sim::ScenarioRunner(sort)};
+  const sim::Situation situations[] = {
+      sim::Situation::kGoodChannelDominantSize,
+      sim::Situation::kPoorChannelDominantSize,
+      sim::Situation::kUniform,
+  };
+  const rt::ClientConfig seeded = seeded_config();
+  const auto run_cells = [&](int jobs) {
+    sim::SweepEngine engine(jobs);
+    return engine.map<sim::StrategyResult>(6, [&](std::size_t i) {
+      return runners[i / 3].run(rt::Strategy::kAdaptiveAdaptive,
+                                situations[i % 3], 25, true, &seeded);
+    });
+  };
+  const auto serial = run_cells(1);
+  const auto parallel = run_cells(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].total_energy_j, parallel[i].total_energy_j) << i;
+    EXPECT_EQ(serial[i].mode_counts, parallel[i].mode_counts) << i;
+    EXPECT_EQ(serial[i].compiles, parallel[i].compiles) << i;
+  }
+}
+
+}  // namespace
+}  // namespace javelin

@@ -189,5 +189,90 @@ TEST(Verifier, ComputesMaxStackOverBranches) {
   EXPECT_EQ(cf.find_method("f")->max_stack, 4);
 }
 
+
+TEST(ClassSetResolver, DuplicateClassNamesKeepFirstAdded) {
+  // Classpath semantics: when two classes share a name, the first one added
+  // wins for every lookup (the map build in add() must preserve what the
+  // old linear scan did).
+  ClassFile first;
+  first.name = "Dup";
+  MethodInfo fm;
+  fm.name = "m";
+  fm.sig = Signature{{TypeKind::kInt}, TypeKind::kInt};
+  first.methods.push_back(fm);
+
+  ClassFile second;
+  second.name = "Dup";
+  MethodInfo sm;
+  sm.name = "m";
+  sm.sig = Signature{{}, TypeKind::kVoid};  // Different signature.
+  second.methods.push_back(sm);
+
+  ClassSetResolver r;
+  r.add(&first);
+  r.add(&second);
+  const MethodInfo* got = r.resolve_method(MethodRef{"Dup", "m"});
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got, &first.methods[0]);
+  EXPECT_EQ(r.resolve_class("Dup"), &first);
+
+  // Reversed insertion order flips the winner.
+  ClassSetResolver rev;
+  rev.add(&second);
+  rev.add(&first);
+  EXPECT_EQ(rev.resolve_method(MethodRef{"Dup", "m"}), &second.methods[0]);
+}
+
+TEST(Verifier, HostileBodiesAreRejectedNamingThePc) {
+  // Table-driven structural negative paths. Every rejection message must
+  // carry the offending pc ("@<pc>") so a tool user can find the site.
+  struct Case {
+    const char* label;
+    std::vector<Insn> code;
+    Signature sig;
+    std::uint16_t max_locals;
+    int pc;                  ///< Offending pc the message must name.
+    const char* why;         ///< Substring of the reason.
+  };
+  const std::vector<Case> cases = {
+      {"branch past code end",
+       {{Op::kGoto, 99, 0}},
+       Signature{{}, TypeKind::kVoid}, 0, 0, "branch target out of range"},
+      {"truncated double-constant operand (no pool backing)",
+       {{Op::kDconst, 0, 0}, {Op::kDreturn, 0, 0}},
+       Signature{{}, TypeKind::kDouble}, 0, 0,
+       "dconst pool index out of range"},
+      {"constant-pool index 0xFFFF",
+       {{Op::kInvokeStatic, 0xFFFF, 0}, {Op::kReturn, 0, 0}},
+       Signature{{}, TypeKind::kVoid}, 0, 0,
+       "method pool index out of range"},
+      {"stack underflow at a merge point",
+       // Both paths reach pc 5 with an empty stack; the pop underflows
+       // exactly at the join.
+       {{Op::kIload, 0, 0},
+        {Op::kIfeq, 5, 0},
+        {Op::kIconst, 1, 0},
+        {Op::kPop, 0, 0},
+        {Op::kGoto, 5, 0},
+        {Op::kPop, 0, 0},
+        {Op::kReturn, 0, 0}},
+       Signature{{TypeKind::kInt}, TypeKind::kVoid}, 1, 5,
+       "operand stack underflow"},
+  };
+  for (const Case& c : cases) {
+    ClassFile cf = raw_class(c.code, c.sig, c.max_locals);
+    try {
+      verify_class(cf);
+      FAIL() << c.label << ": expected VerifyError";
+    } catch (const VerifyError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("@" + std::to_string(c.pc) + ":"), std::string::npos)
+          << c.label << ": message does not name pc " << c.pc << ": " << msg;
+      EXPECT_NE(msg.find(c.why), std::string::npos)
+          << c.label << ": message missing reason: " << msg;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace javelin::jvm
