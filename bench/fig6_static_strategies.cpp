@@ -17,6 +17,7 @@
 // local interpretation wins (compilation cost dominates small runs); for the
 // large input, compiled local execution (L2) becomes the best strategy.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -51,6 +52,7 @@ int main() {
   constexpr std::size_t kNumVariants = std::size(variants);
 
   sim::SweepEngine engine;
+  const auto t0 = std::chrono::steady_clock::now();
 
   // Profile each app once, in parallel; cells share the immutable runners.
   const auto runners = engine.map<std::shared_ptr<const sim::ScenarioRunner>>(
@@ -113,5 +115,18 @@ int main() {
       "\nPaper shape check: small input -> R preferable under good channel\n"
       "conditions, degrading toward Class 1 where interpretation wins; large\n"
       "input -> compiled local execution (L2) wins.");
+
+  // Machine-readable perf trajectory record (cells/sec, wall, workers),
+  // same schema as the Fig 7 BENCH_sweep.json record.
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  sim::write_sweep_json(json_path ? json_path : "BENCH_fig6.json",
+                        "fig6_static_strategies", n_cells, /*executions=*/1,
+                        engine.jobs(), wall);
+  std::fprintf(stderr, "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
+               n_cells, engine.jobs(), wall,
+               wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
   return 0;
 }

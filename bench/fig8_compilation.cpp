@@ -14,7 +14,9 @@
 // aggressive optimization can even *reduce* remote energy when it shrinks
 // the code image.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "net/link.hpp"
@@ -36,6 +38,7 @@ int main() {
   // output is identical at any worker count.
   const auto& registry = apps::registry();
   sim::SweepEngine engine;
+  const auto t0 = std::chrono::steady_clock::now();
   const auto runners =
       engine.map<std::shared_ptr<const sim::ScenarioRunner>>(
           registry.size(), [&registry](std::size_t i) {
@@ -70,5 +73,18 @@ int main() {
       "\nPaper shape check: local energy rises with optimization level; under\n"
       "good channels remote compilation often undercuts local compilation at\n"
       "the same level (e.g. the paper's db rows), enabling the AA strategy.");
+
+  // Machine-readable perf trajectory record (cells = per-app profiling
+  // fan-out), same schema as the Fig 7 BENCH_sweep.json record.
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  sim::write_sweep_json(json_path ? json_path : "BENCH_fig8.json",
+                        "fig8_compilation", registry.size(), /*executions=*/1,
+                        engine.jobs(), wall);
+  std::fprintf(stderr, "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
+               registry.size(), engine.jobs(), wall,
+               wall > 0.0 ? static_cast<double>(registry.size()) / wall : 0.0);
   return 0;
 }

@@ -3,10 +3,17 @@
 // each level, object serialization and the cache model. These gate how big a
 // Fig 6/7 experiment the harness can afford; they are host-performance
 // benchmarks, not guest-energy measurements.
+//
+// On startup the bench also runs a dispatch-flavor comparison (hand switch
+// vs computed goto vs L0.5 baseline stream) over the whole 8-app corpus and
+// writes the result to BENCH_dispatch.json (override the path with
+// JAVELIN_DISPATCH_JSON; set JAVELIN_DISPATCH_BENCH=0 to skip it).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "apps/app.hpp"
 #include "jit/compiler.hpp"
@@ -127,6 +134,108 @@ void BM_CacheModel(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheModel);
 
+/// Interpreter dispatch flavors head-to-head on one app (sortcopy):
+/// 0 = hand switch, 1 = computed goto, 2 = L0.5 baseline stream.
+void BM_DispatchFlavor(benchmark::State& state) {
+  rt::Device& dev = shared_device();
+  dev.engine.set_force_interpret(true);
+  const jvm::DispatchMode saved = dev.engine.dispatch_mode();
+  dev.engine.set_dispatch_mode(
+      static_cast<jvm::DispatchMode>(state.range(0)));
+  const std::int32_t mid = dev.vm.find_method("Sort", "sortcopy");
+  for (auto _ : state) {
+    const std::size_t mark = dev.arena.heap_mark();
+    auto args = sort_args(dev, 1024);
+    const std::uint64_t c0 = dev.core.steps;
+    benchmark::DoNotOptimize(dev.engine.invoke(mid, args));
+    state.counters["guest_instrs"] = static_cast<double>(dev.core.steps - c0);
+    dev.arena.heap_release(mark);
+  }
+  dev.engine.set_dispatch_mode(saved);
+  dev.engine.set_force_interpret(false);
+}
+BENCHMARK(BM_DispatchFlavor)->Arg(0)->Arg(1)->Arg(2);
+
+/// One pass of the whole 8-app corpus under `mode`: fresh device per app,
+/// force-interpret, invoke the potential method at the smallest profiling
+/// scale `reps` times. Returns host wall seconds; accumulates guest
+/// bytecodes retired into *bytecodes (identical across modes by
+/// construction — the stream replays the same charge sequence).
+double corpus_pass(jvm::DispatchMode mode, int reps, double* bytecodes) {
+  double wall = 0.0;
+  for (const apps::App& a : apps::registry()) {
+    rt::Device dev(isa::client_machine());
+    dev.core.step_limit = ~0ULL;
+    dev.deploy(a.classes);
+    dev.engine.set_force_interpret(true);
+    dev.engine.set_dispatch_mode(mode);
+    const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+    const double scale =
+        a.profile_scales.empty() ? a.small_scale : a.profile_scales.front();
+    for (int r = 0; r < reps; ++r) {
+      Rng rng(1234 + static_cast<std::uint64_t>(r));
+      const std::size_t mark = dev.arena.heap_mark();
+      auto args = a.make_args(dev.vm, scale, rng);
+      const std::uint64_t c0 = dev.core.steps;
+      const double t0 = host_now_ns();
+      benchmark::DoNotOptimize(dev.engine.invoke(mid, args));
+      wall += (host_now_ns() - t0) * 1e-9;
+      if (bytecodes) *bytecodes += static_cast<double>(dev.core.steps - c0);
+      dev.arena.heap_release(mark);
+    }
+  }
+  return wall;
+}
+
+/// Corpus-wide dispatch comparison -> BENCH_dispatch.json. Schema:
+///   {"bench": "dispatch", "reps": R,
+///    "modes": [{"mode": "switch", "wall_seconds": S,
+///               "guest_instrs": N, "instrs_per_second": IPS}, ...],
+///    "speedup_goto": X, "speedup_baseline": Y}   (both vs switch)
+void run_dispatch_corpus() {
+  if (const char* env = std::getenv("JAVELIN_DISPATCH_BENCH"))
+    if (env[0] == '0') return;
+  int reps = 3;
+  if (const char* env = std::getenv("JAVELIN_DISPATCH_REPS"))
+    reps = std::atoi(env) >= 1 ? std::atoi(env) : reps;
+
+  constexpr jvm::DispatchMode kModes[] = {jvm::DispatchMode::kSwitch,
+                                          jvm::DispatchMode::kGoto,
+                                          jvm::DispatchMode::kBaseline};
+  double wall[3] = {};
+  double instrs[3] = {};
+  corpus_pass(jvm::DispatchMode::kSwitch, 1, nullptr);  // warm-up pass
+  for (int i = 0; i < 3; ++i) {
+    wall[i] = corpus_pass(kModes[i], reps, &instrs[i]);
+    std::fprintf(stderr, "[dispatch] %-8s %.3fs wall, %.0f guest instrs "
+                 "(%.2fM instrs/s)\n",
+                 jvm::dispatch_mode_name(kModes[i]), wall[i], instrs[i],
+                 wall[i] > 0.0 ? instrs[i] / wall[i] * 1e-6 : 0.0);
+  }
+
+  const char* path = std::getenv("JAVELIN_DISPATCH_JSON");
+  std::FILE* f = std::fopen(path ? path : "BENCH_dispatch.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\"bench\": \"dispatch\", \"reps\": %d, \"modes\": [", reps);
+  for (int i = 0; i < 3; ++i)
+    std::fprintf(f,
+                 "%s{\"mode\": \"%s\", \"wall_seconds\": %.4f, "
+                 "\"guest_instrs\": %.0f, \"instrs_per_second\": %.0f}",
+                 i ? ", " : "", jvm::dispatch_mode_name(kModes[i]), wall[i],
+                 instrs[i], wall[i] > 0.0 ? instrs[i] / wall[i] : 0.0);
+  std::fprintf(f, "], \"speedup_goto\": %.3f, \"speedup_baseline\": %.3f}\n",
+               wall[1] > 0.0 ? wall[0] / wall[1] : 0.0,
+               wall[2] > 0.0 ? wall[0] / wall[2] : 0.0);
+  std::fclose(f);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_dispatch_corpus();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

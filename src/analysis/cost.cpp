@@ -4,6 +4,7 @@
 
 #include "analysis/bytecode_cfg.hpp"
 #include "isa/nisa.hpp"
+#include "jvm/opspec.hpp"
 
 namespace javelin::analysis {
 
@@ -77,79 +78,27 @@ StaticCostSummary CostEstimator::compute(const jvm::ClassFile& cf,
     energy::InstrCounts block;  // one execution of this block
     for (std::int32_t pc = cfg.blocks[b].begin; pc < cfg.blocks[b].end; ++pc) {
       const jvm::Insn& in = m.code[pc];
-      // Fetch-decode-dispatch, charged for every instruction.
-      block.add(InstrClass::kLoad);
-      block.add(InstrClass::kAluSimple);
-      block.add(InstrClass::kBranch);
+      // Fetch-decode-dispatch, charged for every instruction — the same
+      // opspec::kDispatchCost triple the interpreter's dispatch loops charge.
+      block.add(InstrClass::kLoad, jvm::opspec::kDispatchCost.loads);
+      block.add(InstrClass::kAluSimple, jvm::opspec::kDispatchCost.alu_simple);
+      block.add(InstrClass::kBranch, jvm::opspec::kDispatchCost.branches);
+
+      if (static_cast<std::size_t>(in.op) >= jvm::kNumOps) continue;
+
+      // Context-free semantic cost straight from the opcode-spec table
+      // (tests/opspec_test.cpp pins each row against the interpreter's
+      // actual charge sequence). Invokes and intrinsics carry an additional
+      // context-dependent part handled below.
+      const jvm::opspec::StaticOpCost& c = jvm::opspec::spec(in.op).cost;
+      block.add(InstrClass::kLoad, c.loads);
+      block.add(InstrClass::kStore, c.stores);
+      block.add(InstrClass::kBranch, c.branches);
+      block.add(InstrClass::kAluSimple, c.alu_simple);
+      block.add(InstrClass::kAluComplex, c.alu_complex);
+      if (!c.context_dependent) continue;
 
       switch (in.op) {
-        case Op::kIconst:
-        case Op::kAconstNull:
-          block.add(InstrClass::kAluSimple);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kDconst:
-          block.add(InstrClass::kLoad);   // constant-pool read
-          block.add(InstrClass::kStore);  // push
-          break;
-
-        case Op::kIload: case Op::kDload: case Op::kAload:
-        case Op::kIstore: case Op::kDstore: case Op::kAstore:
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kStore);
-          break;
-
-        case Op::kPop:
-          block.add(InstrClass::kLoad);
-          break;
-        case Op::kDup:
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kStore, 2);
-          break;
-
-        case Op::kIadd: case Op::kIsub: case Op::kIand: case Op::kIor:
-        case Op::kIxor: case Op::kIshl: case Op::kIshr: case Op::kIushr:
-          block.add(InstrClass::kLoad, 2);
-          block.add(InstrClass::kAluSimple);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kImul: case Op::kIdiv: case Op::kIrem:
-          block.add(InstrClass::kLoad, 2);
-          block.add(InstrClass::kAluComplex);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kIneg:
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kAluSimple);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kDadd: case Op::kDsub: case Op::kDmul: case Op::kDdiv:
-        case Op::kDcmp:
-          block.add(InstrClass::kLoad, 2);
-          block.add(InstrClass::kAluComplex);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kDneg: case Op::kI2d: case Op::kD2i:
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kAluComplex);
-          block.add(InstrClass::kStore);
-          break;
-
-        case Op::kIfeq: case Op::kIfne: case Op::kIflt:
-        case Op::kIfle: case Op::kIfgt: case Op::kIfge:
-        case Op::kIfNull: case Op::kIfNonNull:
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kBranch);
-          break;
-        case Op::kIfIcmpEq: case Op::kIfIcmpNe: case Op::kIfIcmpLt:
-        case Op::kIfIcmpLe: case Op::kIfIcmpGt: case Op::kIfIcmpGe:
-          block.add(InstrClass::kLoad, 2);
-          block.add(InstrClass::kBranch);
-          break;
-        case Op::kGoto:
-          block.add(InstrClass::kBranch);
-          break;
-
         case Op::kInvokeStatic:
         case Op::kInvokeVirtual: {
           if (in.a < 0 ||
@@ -196,69 +145,8 @@ StaticCostSummary CostEstimator::compute(const jvm::ClassFile& cf,
           break;
         }
 
-        case Op::kReturn:
-          block.add(InstrClass::kBranch);
-          break;
-        case Op::kIreturn: case Op::kDreturn: case Op::kAreturn:
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kBranch);
-          break;
-
-        case Op::kGetStatic:
-          block.add(InstrClass::kAluSimple);
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kGetField:
-          block.add(InstrClass::kLoad);    // pop base
-          block.add(InstrClass::kBranch);  // null check
-          block.add(InstrClass::kAluSimple);
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kPutStatic:
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kAluSimple);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kPutField:
-          block.add(InstrClass::kLoad, 2);
-          block.add(InstrClass::kBranch);
-          block.add(InstrClass::kAluSimple);
-          block.add(InstrClass::kStore);
-          break;
-
-        case Op::kNew:
-          block.add(InstrClass::kBranch);  // runtime call
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kNewArray:
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kBranch);
-          block.add(InstrClass::kStore);
-          break;
-
-        case Op::kIaload: case Op::kDaload: case Op::kBaload: case Op::kAaload:
-          block.add(InstrClass::kLoad, 3);  // idx, ref, length
-          block.add(InstrClass::kBranch, 2);
-          block.add(InstrClass::kAluSimple, 2);
-          block.add(InstrClass::kLoad);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kIastore: case Op::kDastore: case Op::kBastore:
-        case Op::kAastore:
-          block.add(InstrClass::kLoad, 4);  // value, idx, ref, length
-          block.add(InstrClass::kBranch, 2);
-          block.add(InstrClass::kAluSimple, 2);
-          block.add(InstrClass::kStore);
-          break;
-        case Op::kArrayLength:
-          block.add(InstrClass::kLoad, 2);
-          block.add(InstrClass::kStore);
-          break;
-
-        case Op::kCount:
-          break;
+        default:
+          break;  // No other op is context-dependent.
       }
     }
     add_scaled(sum.counts, block, weight);

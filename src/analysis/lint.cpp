@@ -4,6 +4,7 @@
 
 #include "analysis/bytecode_cfg.hpp"
 #include "analysis/cfg.hpp"
+#include "jvm/opspec.hpp"
 
 namespace javelin::analysis {
 
@@ -20,37 +21,19 @@ const char* severity_name(Severity s) {
 
 namespace {
 
-bool is_local_load(Op op) {
-  return op == Op::kIload || op == Op::kDload || op == Op::kAload;
-}
-bool is_local_store(Op op) {
-  return op == Op::kIstore || op == Op::kDstore || op == Op::kAstore;
-}
-bool is_int_binop(Op op) {
-  switch (op) {
-    case Op::kIadd: case Op::kIsub: case Op::kImul: case Op::kIdiv:
-    case Op::kIrem: case Op::kIshl: case Op::kIshr: case Op::kIushr:
-    case Op::kIand: case Op::kIor: case Op::kIxor:
-      return true;
-    default:
-      return false;
-  }
-}
-bool is_double_binop(Op op) {
-  return op == Op::kDadd || op == Op::kDsub || op == Op::kDmul ||
-         op == Op::kDdiv;
-}
-bool is_shift(Op op) {
-  return op == Op::kIshl || op == Op::kIshr || op == Op::kIushr;
-}
+// Opcode-classification predicates come from the shared opcode-spec table,
+// so the lint checks cannot drift from the interpreter / cost model when an
+// opcode is added (tests/opspec_test.cpp pins the categories).
+using jvm::opspec::is_double_binop;
+using jvm::opspec::is_int_binop;
+using jvm::opspec::is_local_load;
+using jvm::opspec::is_local_store;
+using jvm::opspec::is_pure_producer;
+using jvm::opspec::is_shift;
+
 /// Literal small enough that pre-folding it would plainly be clearer than
 /// writing the expression (see the calibration note at the check site).
 bool is_small_literal(std::int32_t v) { return v >= -128 && v <= 127; }
-/// Produces exactly one value with no side effects or faults.
-bool is_pure_producer(Op op) {
-  return op == Op::kIconst || op == Op::kDconst || op == Op::kAconstNull ||
-         is_local_load(op) || op == Op::kDup;
-}
 
 }  // namespace
 

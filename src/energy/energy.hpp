@@ -133,6 +133,21 @@ class EnergyMeter {
   const InstrCounts& counts() const { return counts_; }
   std::uint64_t dram_accesses() const { return dram_accesses_; }
 
+  // Register-caching support for the execution hot loops.
+  //
+  // The executor and interpreter add one core-datapath energy term per
+  // simulated instruction; routing each through add_instr() costs a
+  // load+store of the accumulator per instruction. A hot loop may instead
+  // borrow these references, keep the running core sum in a register, and
+  // write it back before anything else can observe the meter (bridge
+  // escapes, exceptions, loop exit). Every addition still lands on the same
+  // running sum in the same order, so the result — including the rounding —
+  // is bit-identical to unbatched add_instr() calls.
+  double& core_joules_ref() {
+    return by_subsystem_[static_cast<std::size_t>(Subsystem::kCore)];
+  }
+  InstrCounts& counts_mut() { return counts_; }
+
   /// A copyable snapshot; `EnergyMeter::since` computes deltas.
   EnergyMeter snapshot() const { return *this; }
   /// Difference `*this - earlier` (both must come from the same meter line).

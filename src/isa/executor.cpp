@@ -1,6 +1,16 @@
 #include "isa/executor.hpp"
 
 #include <cmath>
+#include <utility>
+
+// Threaded dispatch needs the GNU &&label extension (GCC/Clang); elsewhere
+// the portable switch flavor below is compiled instead. Same convention as
+// the bytecode interpreter (jvm/interp.cpp).
+#if defined(__GNUC__) || defined(__clang__)
+#define JAVELIN_NEXEC_HAVE_COMPUTED_GOTO 1
+#else
+#define JAVELIN_NEXEC_HAVE_COMPUTED_GOTO 0
+#endif
 
 namespace javelin::isa {
 
@@ -16,8 +26,55 @@ const char* trap_message(TrapCode c) {
   return "unknown trap";
 }
 
+// JAVELIN_NOP_LIST (nisa.hpp) must enumerate the opcodes in NOp enum order:
+// the computed-goto label table is generated from it and indexed by the raw
+// opcode value.
+constexpr NOp kNopListOrder[] = {
+#define JAVELIN_NLO(Name) NOp::k##Name,
+    JAVELIN_NOP_LIST(JAVELIN_NLO)
+#undef JAVELIN_NLO
+};
+template <std::size_t... I>
+constexpr bool nop_list_in_enum_order(std::index_sequence<I...>) {
+  return ((static_cast<std::size_t>(kNopListOrder[I]) == I) && ...);
+}
+static_assert(sizeof(kNopListOrder) / sizeof(kNopListOrder[0]) ==
+              static_cast<std::size_t>(NOp::kNop) + 1);
+static_assert(nop_list_in_enum_order(
+    std::make_index_sequence<sizeof(kNopListOrder) /
+                             sizeof(kNopListOrder[0])>{}));
+
 }  // namespace
 
+// The hot loop host-optimizes four things without changing one bit of
+// simulated state (the dispatch differential test and the golden bench
+// outputs pin this):
+//
+//  1. Core counters (cycles, steps) and the meter's core-energy accumulator
+//     live in locals — registers — for the duration of straight-line
+//     execution. They are flushed back before anything that can observe the
+//     Core or the meter (bridge escapes, exceptions, loop exit) and reloaded
+//     after a bridge call may have advanced them. Every energy addition
+//     still lands on the same running sum in the same order, so the rounding
+//     is identical to per-instruction add_instr() calls.
+//
+//  2. Instruction fetch memoizes the current cache line: a fetch from the
+//     same line as the previous fetch, with no intervening icache access
+//     (only nested native frames reached through the bridge touch the
+//     icache), is a guaranteed hit whose only architectural effect is the
+//     hit counter — so the tag lookup is skipped. Bridge escapes reset the
+//     memo.
+//
+//  3. Register-file access is branch-free: reads index the file directly
+//     (the invariant iregs_[0] == 0 / fregs_[0] == 0.0 is maintained by
+//     re-zeroing slot 0 after every write, MIPS-$zero style) instead of
+//     testing every operand for the hardwired zero register.
+//
+//  4. On GCC/Clang, dispatch is threaded: every handler ends in its own
+//     indirect jump through the label table, so the branch predictor can
+//     learn per-pair opcode transitions instead of funneling every
+//     instruction through one switch dispatch site. Handler bodies are
+//     shared with the portable switch flavor via executor_ops.inc.
 void NativeExecutor::run(const NativeProgram& prog) {
   if (!prog.installed())
     throw Error("executor: program not installed in simulated memory");
@@ -35,190 +92,144 @@ void NativeExecutor::run(const NativeProgram& prog) {
 
   const auto i32 = [](std::int64_t v) { return static_cast<std::int32_t>(v); };
   std::size_t pc = 0;
+  std::size_t next = 0;
   const std::size_t n = prog.code.size();
+  const NInstr* const code = prog.code.data();
+  const NInstr* in_p = nullptr;
+  const mem::Addr code_base = prog.code_base;
+
+  mem::MemoryHierarchy& hier = *c.hier;
+  mem::DirectMappedCache& icache = hier.icache();
+  mem::Arena& arena = *c.arena;
+  const energy::InstructionEnergyTable& et = c.cfg->energy;
+  energy::InstrCounts& counts = c.meter->counts_mut();
+  double& core_slot = c.meter->core_joules_ref();
+  const std::uint64_t step_limit = c.step_limit;
+
+  // Register-cached core state; see the flush/reload contract above.
+  // `cached` makes flush() safe on every unwind path: if a bridge callee
+  // throws after we flushed, the catch-all below must not overwrite the
+  // callee's progress with our stale locals.
+  std::uint64_t cycles = c.cycles;
+  std::uint64_t steps = c.steps;
+  double core_j = core_slot;
+  bool cached = true;
+  const auto flush = [&] {
+    if (cached) {
+      c.cycles = cycles;
+      c.steps = steps;
+      core_slot = core_j;
+      cached = false;
+    }
+  };
+  const auto reload = [&] {
+    cycles = c.cycles;
+    steps = c.steps;
+    core_j = core_slot;
+    cached = true;
+  };
+
+  // Branch-free register writes (reads are raw iregs_/fregs_ indexing).
+  const auto wr_i = [&](std::uint8_t rd, std::int64_t v) {
+    iregs_[rd] = v;
+    iregs_[0] = 0;
+  };
+  const auto wr_f = [&](std::uint8_t rd, double v) {
+    fregs_[rd] = v;
+    fregs_[0] = 0.0;
+  };
+
+  // Fetch-line memo; ~0 is "no line resident that we can prove".
+  std::uint64_t cur_line = ~0ULL;
+
+// Per-instruction fetch + charge, identical across both dispatch flavors.
+// `in_p` must already point at code[pc].
+#define JAVELIN_NEXEC_FETCH_CHARGE()                                          \
+  do {                                                                        \
+    const auto fetch_addr = code_base + static_cast<mem::Addr>(pc * 4);       \
+    const std::uint64_t fetch_line = icache.line_key(fetch_addr);             \
+    if (fetch_line == cur_line) {                                             \
+      icache.note_repeat_read_hit();                                          \
+    } else {                                                                  \
+      cur_line = fetch_line;                                                  \
+      cycles += hier.fetch(fetch_addr);                                       \
+    }                                                                         \
+    const energy::InstrClass cls = instr_class_of(in_p->op);                  \
+    counts.add(cls);                                                          \
+    core_j += et.of(cls);                                                     \
+    ++cycles;                                                                 \
+    if (++steps > step_limit)                                                 \
+      throw VmError("core: step limit exceeded (runaway guest program?)");    \
+  } while (0)
 
   try {
+#if JAVELIN_NEXEC_HAVE_COMPUTED_GOTO
+
+    static const void* kLabels[] = {
+#define JAVELIN_NLBL(Name) &&h_##Name,
+        JAVELIN_NOP_LIST(JAVELIN_NLBL)
+#undef JAVELIN_NLBL
+    };
+    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                  static_cast<std::size_t>(NOp::kNop) + 1);
+
+  dispatch:
+    if (pc >= n) goto done;
+    in_p = &code[pc];
+    JAVELIN_NEXEC_FETCH_CHARGE();
+    next = pc + 1;
+    goto* kLabels[static_cast<std::size_t>(in_p->op)];
+
+// Handlers cannot bind a reference across a goto, so `in` reads through the
+// pointer set at dispatch.
+#define in (*in_p)
+#define JAVELIN_NH(Name) h_##Name : {
+#define JAVELIN_NH_END \
+  }                    \
+  pc = next;           \
+  goto dispatch;
+#include "isa/executor_ops.inc"
+#undef JAVELIN_NH
+#undef JAVELIN_NH_END
+#undef in
+
+  done:;
+
+#else  // !JAVELIN_NEXEC_HAVE_COMPUTED_GOTO — portable switch flavor.
+
     while (pc < n) {
-      c.stall(c.hier->fetch(prog.code_base + static_cast<mem::Addr>(pc * 4)));
-      const NInstr& in = prog.code[pc];
-      c.charge(in.op);
-      std::size_t next = pc + 1;
+      in_p = &code[pc];
+      JAVELIN_NEXEC_FETCH_CHARGE();
+      next = pc + 1;
 
-      switch (in.op) {
-        case NOp::kLdw: {
-          const auto addr = static_cast<mem::Addr>(
-              int_reg(in.ra) + int_reg(in.rb) + in.imm);
-          c.stall(c.hier->load(addr));
-          set_int_reg(in.rd, c.arena->load_i32(addr));
-          break;
-        }
-        case NOp::kLdb: {
-          const auto addr = static_cast<mem::Addr>(
-              int_reg(in.ra) + int_reg(in.rb) + in.imm);
-          c.stall(c.hier->load(addr));
-          set_int_reg(in.rd, c.arena->load_u8(addr));
-          break;
-        }
-        case NOp::kLdd: {
-          const auto addr = static_cast<mem::Addr>(
-              int_reg(in.ra) + int_reg(in.rb) + in.imm);
-          c.stall(c.hier->load(addr));
-          set_fp_reg(in.rd, c.arena->load_f64(addr));
-          break;
-        }
-        case NOp::kStw: {
-          const auto addr = static_cast<mem::Addr>(
-              int_reg(in.ra) + int_reg(in.rb) + in.imm);
-          c.stall(c.hier->store(addr));
-          c.arena->store_i32(addr, i32(int_reg(in.rd)));
-          break;
-        }
-        case NOp::kStb: {
-          const auto addr = static_cast<mem::Addr>(
-              int_reg(in.ra) + int_reg(in.rb) + in.imm);
-          c.stall(c.hier->store(addr));
-          c.arena->store_u8(addr, static_cast<std::uint8_t>(int_reg(in.rd)));
-          break;
-        }
-        case NOp::kStd: {
-          const auto addr = static_cast<mem::Addr>(
-              int_reg(in.ra) + int_reg(in.rb) + in.imm);
-          c.stall(c.hier->store(addr));
-          c.arena->store_f64(addr, fp_reg(in.rd));
-          break;
-        }
-
-        case NOp::kAdd: set_int_reg(in.rd, i32(int_reg(in.ra) + int_reg(in.rb))); break;
-        case NOp::kSub: set_int_reg(in.rd, i32(int_reg(in.ra) - int_reg(in.rb))); break;
-        case NOp::kAnd: set_int_reg(in.rd, i32(int_reg(in.ra) & int_reg(in.rb))); break;
-        case NOp::kOr: set_int_reg(in.rd, i32(int_reg(in.ra) | int_reg(in.rb))); break;
-        case NOp::kXor: set_int_reg(in.rd, i32(int_reg(in.ra) ^ int_reg(in.rb))); break;
-        case NOp::kShl:
-          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) << (int_reg(in.rb) & 31)));
-          break;
-        case NOp::kShr:
-          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) >> (int_reg(in.rb) & 31)));
-          break;
-        case NOp::kShru:
-          set_int_reg(in.rd,
-                      i32(static_cast<std::uint32_t>(int_reg(in.ra)) >>
-                          (int_reg(in.rb) & 31)));
-          break;
-        case NOp::kAddi: set_int_reg(in.rd, i32(int_reg(in.ra) + in.imm)); break;
-        case NOp::kAndi: set_int_reg(in.rd, i32(int_reg(in.ra) & in.imm)); break;
-        case NOp::kOri: set_int_reg(in.rd, i32(int_reg(in.ra) | in.imm)); break;
-        case NOp::kXori: set_int_reg(in.rd, i32(int_reg(in.ra) ^ in.imm)); break;
-        case NOp::kShli:
-          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) << (in.imm & 31)));
-          break;
-        case NOp::kShri:
-          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) >> (in.imm & 31)));
-          break;
-        case NOp::kShrui:
-          set_int_reg(in.rd,
-                      i32(static_cast<std::uint32_t>(int_reg(in.ra)) >>
-                          (in.imm & 31)));
-          break;
-        case NOp::kMovi: set_int_reg(in.rd, in.imm); break;
-        case NOp::kMov: set_int_reg(in.rd, int_reg(in.ra)); break;
-        case NOp::kFmov: set_fp_reg(in.rd, fp_reg(in.ra)); break;
-
-        case NOp::kMul: set_int_reg(in.rd, i32(int_reg(in.ra) * int_reg(in.rb))); break;
-        case NOp::kDiv: {
-          const auto d = i32(int_reg(in.rb));
-          if (d == 0) throw VmError(trap_message(TrapCode::kDivByZero));
-          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) / d));
-          break;
-        }
-        case NOp::kRem: {
-          const auto d = i32(int_reg(in.rb));
-          if (d == 0) throw VmError(trap_message(TrapCode::kDivByZero));
-          set_int_reg(in.rd, i32(i32(int_reg(in.ra)) % d));
-          break;
-        }
-        case NOp::kFadd: set_fp_reg(in.rd, fp_reg(in.ra) + fp_reg(in.rb)); break;
-        case NOp::kFsub: set_fp_reg(in.rd, fp_reg(in.ra) - fp_reg(in.rb)); break;
-        case NOp::kFmul: set_fp_reg(in.rd, fp_reg(in.ra) * fp_reg(in.rb)); break;
-        case NOp::kFdiv: set_fp_reg(in.rd, fp_reg(in.ra) / fp_reg(in.rb)); break;
-        case NOp::kFneg: set_fp_reg(in.rd, -fp_reg(in.ra)); break;
-        case NOp::kI2d:
-          set_fp_reg(in.rd, static_cast<double>(i32(int_reg(in.ra))));
-          break;
-        case NOp::kD2i:
-          set_int_reg(in.rd, static_cast<std::int32_t>(fp_reg(in.ra)));
-          break;
-        case NOp::kFcmp: {
-          const double a = fp_reg(in.ra), b = fp_reg(in.rb);
-          set_int_reg(in.rd, a > b ? 1 : (a == b ? 0 : -1));
-          break;
-        }
-
-        case NOp::kBeq:
-          if (i32(int_reg(in.ra)) == i32(int_reg(in.rb))) next = in.imm;
-          break;
-        case NOp::kBne:
-          if (i32(int_reg(in.ra)) != i32(int_reg(in.rb))) next = in.imm;
-          break;
-        case NOp::kBlt:
-          if (i32(int_reg(in.ra)) < i32(int_reg(in.rb))) next = in.imm;
-          break;
-        case NOp::kBle:
-          if (i32(int_reg(in.ra)) <= i32(int_reg(in.rb))) next = in.imm;
-          break;
-        case NOp::kBgt:
-          if (i32(int_reg(in.ra)) > i32(int_reg(in.rb))) next = in.imm;
-          break;
-        case NOp::kBge:
-          if (i32(int_reg(in.ra)) >= i32(int_reg(in.rb))) next = in.imm;
-          break;
-        case NOp::kJmp: next = in.imm; break;
-
-        case NOp::kCall:
-          bridge_.call_static(in.imm, *this);
-          break;
-        case NOp::kCallv:
-          bridge_.call_virtual(in.imm, *this);
-          break;
-        case NOp::kRet: next = n; break;
-        case NOp::kTrap:
-          throw VmError(trap_message(static_cast<TrapCode>(in.imm)));
-
-        case NOp::kRtNewArr:
-          set_int_reg(in.rd, bridge_.new_array(in.imm, i32(int_reg(in.ra))));
-          break;
-        case NOp::kRtNewObj:
-          set_int_reg(in.rd, bridge_.new_object(in.imm));
-          break;
-
-        case NOp::kIntrI: {
-          const auto id = static_cast<Intrinsic>(in.imm);
-          c.charge_class(energy::InstrClass::kAluComplex, intrinsic_cost(id) - 1);
-          const std::int32_t ints[2] = {static_cast<std::int32_t>(iregs_[1]),
-                                        static_cast<std::int32_t>(iregs_[2])};
-          set_int_reg(in.rd, apply_intrinsic_i(id, ints));
-          break;
-        }
-        case NOp::kIntrD: {
-          const auto id = static_cast<Intrinsic>(in.imm);
-          c.charge_class(energy::InstrClass::kAluComplex, intrinsic_cost(id) - 1);
-          const double fps[2] = {fregs_[1], fregs_[2]};
-          const std::int32_t ints[2] = {static_cast<std::int32_t>(iregs_[1]),
-                                        static_cast<std::int32_t>(iregs_[2])};
-          set_fp_reg(in.rd, apply_intrinsic_d(id, fps, ints));
-          break;
-        }
-
-        case NOp::kNop: break;
+      switch (in_p->op) {
+#define in (*in_p)
+#define JAVELIN_NH(Name) case NOp::k##Name: {
+#define JAVELIN_NH_END \
+  }                    \
+  break;
+#include "isa/executor_ops.inc"
+#undef JAVELIN_NH
+#undef JAVELIN_NH_END
+#undef in
       }
+
       pc = next;
     }
+
+#endif  // JAVELIN_NEXEC_HAVE_COMPUTED_GOTO
+
+    flush();
   } catch (...) {
+    flush();
     c.arena->stack_release(frame_mark);
     --c.call_depth;
     throw;
   }
   c.arena->stack_release(frame_mark);
   --c.call_depth;
+
+#undef JAVELIN_NEXEC_FETCH_CHARGE
 }
 
 }  // namespace javelin::isa

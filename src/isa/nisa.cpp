@@ -62,52 +62,6 @@ const char* nop_name(NOp op) {
   return "?";
 }
 
-energy::InstrClass instr_class_of(NOp op) {
-  using energy::InstrClass;
-  switch (op) {
-    case NOp::kLdw:
-    case NOp::kLdb:
-    case NOp::kLdd:
-      return InstrClass::kLoad;
-    case NOp::kStw:
-    case NOp::kStb:
-    case NOp::kStd:
-      return InstrClass::kStore;
-    case NOp::kBeq:
-    case NOp::kBne:
-    case NOp::kBlt:
-    case NOp::kBle:
-    case NOp::kBgt:
-    case NOp::kBge:
-    case NOp::kJmp:
-    case NOp::kCall:
-    case NOp::kCallv:
-    case NOp::kRet:
-    case NOp::kTrap:
-    case NOp::kRtNewArr:
-    case NOp::kRtNewObj:
-      return InstrClass::kBranch;
-    case NOp::kMul:
-    case NOp::kDiv:
-    case NOp::kRem:
-    case NOp::kFadd:
-    case NOp::kFsub:
-    case NOp::kFmul:
-    case NOp::kFdiv:
-    case NOp::kFneg:
-    case NOp::kI2d:
-    case NOp::kD2i:
-    case NOp::kFcmp:
-    case NOp::kIntrI:
-    case NOp::kIntrD:
-      return InstrClass::kAluComplex;
-    case NOp::kNop:
-      return InstrClass::kNop;
-    default:
-      return InstrClass::kAluSimple;
-  }
-}
-
 const char* intrinsic_name(Intrinsic i) {
   switch (i) {
     case Intrinsic::kSqrt: return "sqrt";
@@ -126,28 +80,6 @@ const char* intrinsic_name(Intrinsic i) {
     case Intrinsic::kCount: break;
   }
   return "?";
-}
-
-std::uint32_t intrinsic_cost(Intrinsic i) {
-  // Equivalent complex-ALU ops of a software libm on a core without hardware
-  // transcendentals (microSPARC-IIep has FPU add/mul/div only).
-  switch (i) {
-    case Intrinsic::kSqrt: return 12;
-    case Intrinsic::kSin: return 40;
-    case Intrinsic::kCos: return 40;
-    case Intrinsic::kExp: return 32;
-    case Intrinsic::kLog: return 32;
-    case Intrinsic::kPow: return 70;
-    case Intrinsic::kFabs: return 1;
-    case Intrinsic::kFloor: return 2;
-    case Intrinsic::kIabs: return 1;
-    case Intrinsic::kImin: return 1;
-    case Intrinsic::kImax: return 1;
-    case Intrinsic::kDmin: return 1;
-    case Intrinsic::kDmax: return 1;
-    case Intrinsic::kCount: break;
-  }
-  return 1;
 }
 
 bool intrinsic_returns_double(Intrinsic i) {

@@ -96,10 +96,72 @@ enum class NOp : std::uint8_t {
   kNop,
 };
 
+/// X-macro over every native opcode, in NOp enum order (a static_assert in
+/// executor.cpp pins the correspondence). Drives the executor's computed-goto
+/// label table and keeps the handler include in one place.
+#define JAVELIN_NOP_LIST(X)                                               \
+  X(Ldw) X(Ldb) X(Ldd) X(Stw) X(Stb) X(Std)                               \
+  X(Add) X(Sub) X(And) X(Or) X(Xor) X(Shl) X(Shr) X(Shru)                 \
+  X(Addi) X(Andi) X(Ori) X(Xori) X(Shli) X(Shri) X(Shrui)                 \
+  X(Movi) X(Mov) X(Fmov)                                                  \
+  X(Mul) X(Div) X(Rem)                                                    \
+  X(Fadd) X(Fsub) X(Fmul) X(Fdiv) X(Fneg) X(I2d) X(D2i) X(Fcmp)           \
+  X(Beq) X(Bne) X(Blt) X(Ble) X(Bgt) X(Bge) X(Jmp)                        \
+  X(Call) X(Callv) X(Ret) X(Trap)                                         \
+  X(RtNewArr) X(RtNewObj)                                                 \
+  X(IntrI) X(IntrD)                                                       \
+  X(Nop)
+
 const char* nop_name(NOp op);
 
-/// Map an opcode to the Fig 1 energy class.
-energy::InstrClass instr_class_of(NOp op);
+/// Map an opcode to the Fig 1 energy class. Constexpr-inline: Core::charge
+/// calls this once per executed native instruction, so an out-of-line call
+/// here was pure dispatch overhead on the executor's hottest path.
+constexpr energy::InstrClass instr_class_of(NOp op) {
+  using energy::InstrClass;
+  switch (op) {
+    case NOp::kLdw:
+    case NOp::kLdb:
+    case NOp::kLdd:
+      return InstrClass::kLoad;
+    case NOp::kStw:
+    case NOp::kStb:
+    case NOp::kStd:
+      return InstrClass::kStore;
+    case NOp::kBeq:
+    case NOp::kBne:
+    case NOp::kBlt:
+    case NOp::kBle:
+    case NOp::kBgt:
+    case NOp::kBge:
+    case NOp::kJmp:
+    case NOp::kCall:
+    case NOp::kCallv:
+    case NOp::kRet:
+    case NOp::kTrap:
+    case NOp::kRtNewArr:
+    case NOp::kRtNewObj:
+      return InstrClass::kBranch;
+    case NOp::kMul:
+    case NOp::kDiv:
+    case NOp::kRem:
+    case NOp::kFadd:
+    case NOp::kFsub:
+    case NOp::kFmul:
+    case NOp::kFdiv:
+    case NOp::kFneg:
+    case NOp::kI2d:
+    case NOp::kD2i:
+    case NOp::kFcmp:
+    case NOp::kIntrI:
+    case NOp::kIntrD:
+      return InstrClass::kAluComplex;
+    case NOp::kNop:
+      return InstrClass::kNop;
+    default:
+      return InstrClass::kAluSimple;
+  }
+}
 
 enum class TrapCode : std::int32_t {
   kNullPointer = 1,
@@ -130,7 +192,30 @@ enum class Intrinsic : std::int32_t {
 const char* intrinsic_name(Intrinsic i);
 
 /// Equivalent complex-ALU operation count charged per intrinsic call.
-std::uint32_t intrinsic_cost(Intrinsic i);
+/// Constexpr-inline: the executor and interpreter look this up once per
+/// executed intrinsic, so an out-of-line call here was pure overhead on the
+/// hot path (same rationale as instr_class_of above).
+constexpr std::uint32_t intrinsic_cost(Intrinsic i) {
+  // Equivalent complex-ALU ops of a software libm on a core without hardware
+  // transcendentals (microSPARC-IIep has FPU add/mul/div only).
+  switch (i) {
+    case Intrinsic::kSqrt: return 12;
+    case Intrinsic::kSin: return 40;
+    case Intrinsic::kCos: return 40;
+    case Intrinsic::kExp: return 32;
+    case Intrinsic::kLog: return 32;
+    case Intrinsic::kPow: return 70;
+    case Intrinsic::kFabs: return 1;
+    case Intrinsic::kFloor: return 2;
+    case Intrinsic::kIabs: return 1;
+    case Intrinsic::kImin: return 1;
+    case Intrinsic::kImax: return 1;
+    case Intrinsic::kDmin: return 1;
+    case Intrinsic::kDmax: return 1;
+    case Intrinsic::kCount: break;
+  }
+  return 1;
+}
 
 /// True if the intrinsic produces a double (else int).
 bool intrinsic_returns_double(Intrinsic i);

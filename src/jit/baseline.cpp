@@ -1,0 +1,54 @@
+// L0.5 baseline-translation cost model.
+//
+// The baseline tier's superinstruction stream (jvm/baseline.cpp) is built
+// host-side at link(), but a client that *adopts* the tier for a method pays
+// the simulated cost of running the linear translator: one pass over the
+// bytecode with no IR, no register allocation and no analysis. We model it
+// as ~a dozen native instructions per bytecode (read the instruction, write
+// the pre-resolved entry, one fusion-window compare, a little arithmetic)
+// plus a small fixed setup — about 24x cheaper per bytecode than a Level-1
+// compile (whose CompileMeter charges ~10^3 cycles/bytecode), matching the
+// baseline-vs-optimizing gap reported for the era's JVMs.
+#include "jit/compiler.hpp"
+
+namespace javelin::jit {
+
+namespace {
+
+// Per-bytecode translator work: 3 loads (fetch insn + pool/operand reads),
+// 2 stores (stream entry), 1 branch (fusion-window test), 6 simple ALU
+// (decode, remap arithmetic). Setup/teardown: one small fixed block.
+constexpr std::uint64_t kLoadsPerBc = 3;
+constexpr std::uint64_t kStoresPerBc = 2;
+constexpr std::uint64_t kBranchesPerBc = 1;
+constexpr std::uint64_t kAluPerBc = 6;
+constexpr std::uint64_t kSetupInstrs = 32;
+
+}  // namespace
+
+BaselineCompileResult compile_baseline(
+    const jvm::Jvm& jvm, std::int32_t method_id,
+    const energy::InstructionEnergyTable& table) {
+  using energy::InstrClass;
+  const jvm::RtMethod& m = jvm.method(method_id);
+  const auto n = static_cast<std::uint64_t>(m.info->code.size());
+
+  BaselineCompileResult r;
+  r.compile_work.add(InstrClass::kLoad, kLoadsPerBc * n);
+  r.compile_work.add(InstrClass::kStore, kStoresPerBc * n);
+  r.compile_work.add(InstrClass::kBranch, kBranchesPerBc * n);
+  r.compile_work.add(InstrClass::kAluSimple, kAluPerBc * n + kSetupInstrs);
+
+  // Same DRAM-share convention as CompileMeter: ~2% of the translator's
+  // loads/stores miss cache and touch main memory.
+  const auto ls = static_cast<double>(
+      r.compile_work.of(InstrClass::kLoad) +
+      r.compile_work.of(InstrClass::kStore));
+  r.compile_energy = r.compile_work.energy(table) + 0.02 * ls * table.main_memory;
+  r.compile_cycles =
+      r.compile_work.total() + static_cast<std::uint64_t>(0.02 * ls * 20.0);
+  r.stream_len = m.baseline.size();
+  return r;
+}
+
+}  // namespace javelin::jit

@@ -104,6 +104,22 @@ CompileResult compile_method(const jvm::Jvm& jvm, std::int32_t method_id,
                              const energy::InstructionEnergyTable& table,
                              obs::TraceBuffer* trace = nullptr);
 
+/// Cost of the L0.5 baseline translation for one method (the stream itself
+/// is built host-side at link(); this is the *simulated* energy/cycles the
+/// client pays to run the linear translator). One pass, no IR: roughly a
+/// dozen native instructions per bytecode versus ~10^3 cycles/bytecode for
+/// a Level-1 compile.
+struct BaselineCompileResult {
+  energy::InstrCounts compile_work;
+  double compile_energy = 0.0;  ///< Under the compiling machine's table.
+  std::uint64_t compile_cycles = 0;
+  std::size_t stream_len = 0;   ///< Superinstruction entries produced.
+};
+
+BaselineCompileResult compile_baseline(const jvm::Jvm& jvm,
+                                       std::int32_t method_id,
+                                       const energy::InstructionEnergyTable& table);
+
 /// Translate a method to IR only (exposed for tests and for the inliner).
 Function translate_to_ir(const jvm::Jvm& jvm, std::int32_t method_id,
                          CompileMeter& meter);

@@ -1,0 +1,87 @@
+#include "jvm/baseline.hpp"
+
+#include "jvm/opspec.hpp"
+
+namespace javelin::jvm {
+
+namespace {
+
+bool is_il_load(Op op) { return op == Op::kIload || op == Op::kAload; }
+
+}  // namespace
+
+bool fusable_pair(const DecodedInsn& a, const DecodedInsn& b,
+                  std::uint16_t& sop) {
+  if (is_il_load(a.op)) {
+    if (is_il_load(b.op)) { sop = kSopFuseLL; return true; }
+    if (b.op == Op::kIconst) { sop = kSopFuseLC; return true; }
+    if (b.op == Op::kIadd || b.op == Op::kImul) { sop = kSopFuseLA; return true; }
+    return false;
+  }
+  if (a.op == Op::kDload) {
+    if (b.op == Op::kDload) { sop = kSopFuseDD; return true; }
+    if (b.op == Op::kDadd || b.op == Op::kDmul) { sop = kSopFuseDA; return true; }
+    return false;
+  }
+  if (a.op == Op::kIconst) {
+    if (b.op == Op::kIstore || b.op == Op::kAstore) { sop = kSopFuseCS; return true; }
+    return false;
+  }
+  return false;
+}
+
+std::vector<BaselineInsn> build_baseline_stream(
+    const std::vector<DecodedInsn>& decoded) {
+  const std::size_t n = decoded.size();
+
+  // Pass 1: mark branch targets. Fusion must not swallow a pc some branch
+  // jumps to — the fused pair has a single stream entry, and landing in the
+  // middle of it would skip the first constituent.
+  std::vector<std::uint8_t> is_target(n, 0);
+  for (const DecodedInsn& in : decoded) {
+    if ((opspec::spec(in.op).flags & opspec::kFlagBranch) == 0) continue;
+    const auto t = static_cast<std::size_t>(in.a);
+    if (static_cast<std::int64_t>(in.a) >= 0 && t < n) is_target[t] = 1;
+  }
+
+  // Pass 2: emit entries, fusing eligible adjacent pairs.
+  std::vector<BaselineInsn> out;
+  out.reserve(n);
+  std::vector<std::uint32_t> stream_of(n, 0);
+  for (std::size_t pc = 0; pc < n;) {
+    stream_of[pc] = static_cast<std::uint32_t>(out.size());
+    BaselineInsn bi;
+    bi.di = decoded[pc];
+    bi.pc = static_cast<std::uint32_t>(pc);
+    std::uint16_t sop = 0;
+    if (pc + 1 < n && !is_target[pc + 1] &&
+        fusable_pair(decoded[pc], decoded[pc + 1], sop)) {
+      bi.sop = sop;
+      bi.di2 = decoded[pc + 1];
+      // The second constituent is never a branch target, but record its
+      // stream index anyway so the table is total (harmless: nothing maps
+      // through it).
+      stream_of[pc + 1] = static_cast<std::uint32_t>(out.size());
+      pc += 2;
+    } else {
+      bi.sop = static_cast<std::uint16_t>(bi.di.op);
+      pc += 1;
+    }
+    out.push_back(bi);
+  }
+
+  // Pass 3: remap branch operands to stream indices. Out-of-range targets
+  // (including "falls off the end") map to out.size() so the executor's
+  // bounds check throws the interpreter's exact "pc out of range" error.
+  for (BaselineInsn& bi : out) {
+    if ((opspec::spec(bi.di.op).flags & opspec::kFlagBranch) == 0) continue;
+    const auto t = static_cast<std::size_t>(bi.di.a);
+    if (static_cast<std::int64_t>(bi.di.a) >= 0 && t < n)
+      bi.di.a = static_cast<std::int32_t>(stream_of[t]);
+    else
+      bi.di.a = static_cast<std::int32_t>(out.size());
+  }
+  return out;
+}
+
+}  // namespace javelin::jvm

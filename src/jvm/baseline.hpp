@@ -1,0 +1,43 @@
+// L0.5 baseline-tier translator: linear, near-zero-cost translation of a
+// decoded method body into a pre-resolved superinstruction stream.
+//
+// The stream is the cheapest compilation tier in the system (between the
+// interpreter and the L1 JIT): one linear pass, no IR, no register
+// allocation. Common adjacent pairs are fused into one stream entry so the
+// executor performs one dispatch per pair; all operands (pool constants,
+// resolved ids, branch targets as *stream* indices) are pre-decoded.
+//
+// Invariant: executing a method through the stream charges exactly the same
+// simulated energy/cycles and performs exactly the same cache accesses as
+// the plain interpreter loop — only host-side dispatch work is eliminated.
+// tests/dispatch_differential_test.cpp asserts this bit-for-bit. The tier's
+// *accounting* divergence (skipping the fused second dispatch) is a separate,
+// opt-in execution mode (Interpreter::run_baseline), never the default.
+#pragma once
+
+#include <vector>
+
+#include "jvm/vm.hpp"
+
+namespace javelin::jvm {
+
+/// True if (a, b) is a fusable adjacent pair; sets `sop` to the fused stream
+/// opcode. Fusion rules (kept in sync with the handlers in
+/// interp_fused.inc):
+///   - neither constituent may throw (loads, consts, int stores, Iadd/Imul,
+///     Dadd/Dmul only),
+///   - the second constituent must not be a branch or a branch target,
+///   - Dstore is never a fusion tail (kept conservative: f64 stack traffic
+///     stays on the generic path).
+bool fusable_pair(const DecodedInsn& a, const DecodedInsn& b,
+                  std::uint16_t& sop);
+
+/// Translate a decoded method body into a baseline stream. Branch operands
+/// (`di.a` of branch ops) are remapped from bytecode indices to stream
+/// indices; out-of-range targets map to the stream size so the executor's
+/// bounds check fires at exactly the same point as the interpreter's.
+/// Returns an empty stream for an empty body.
+std::vector<BaselineInsn> build_baseline_stream(
+    const std::vector<DecodedInsn>& decoded);
+
+}  // namespace javelin::jvm

@@ -29,6 +29,19 @@ int ExecutionEngine::compiled_level(std::int32_t method_id) const {
 
 void ExecutionEngine::clear_code() { code_.clear(); }
 
+void ExecutionEngine::install_baseline(std::int32_t method_id) {
+  if (jvm_.method(method_id).baseline.empty())
+    throw Error("engine: no baseline stream for method (decode cache or "
+                "baseline stream disabled at link)");
+  if (code_.size() < jvm_.num_methods()) code_.resize(jvm_.num_methods());
+  code_.at(method_id).baseline = true;
+}
+
+bool ExecutionEngine::baseline_installed(std::int32_t method_id) const {
+  if (static_cast<std::size_t>(method_id) >= code_.size()) return false;
+  return code_[method_id].baseline;
+}
+
 Value ExecutionEngine::invoke(std::int32_t method_id,
                               std::span<const Value> args) {
   const RtMethod& m = jvm_.method(method_id);
@@ -36,6 +49,11 @@ Value ExecutionEngine::invoke(std::int32_t method_id,
     if (const isa::NativeProgram* prog = compiled(method_id)) {
       if (trace_) trace_->count(obs::Counter::kEngineNativeCalls);
       return invoke_native(m, *prog, args);
+    }
+    if (static_cast<std::size_t>(method_id) < code_.size() &&
+        code_[method_id].baseline) {
+      if (trace_) trace_->count(obs::Counter::kEngineBaselineCalls);
+      return interp_.run_baseline(m, args, *this);
     }
   }
   return interp_.run(m, args, *this);

@@ -31,10 +31,21 @@ class ExecutionEngine final : public isa::RuntimeBridge, public Invoker {
   /// Drop all installed code (the method reverts to interpretation).
   void clear_code();
 
+  /// Mark a method as having its L0.5 baseline translation installed
+  /// (the stream itself was built at link(); this flips the tier on for the
+  /// method). Native code, when also installed, still takes precedence.
+  void install_baseline(std::int32_t method_id);
+  bool baseline_installed(std::int32_t method_id) const;
+
   /// When set, invoke() always interprets, ignoring installed code (used to
   /// measure the pure-Interpreter execution strategy).
   void set_force_interpret(bool f) { force_interpret_ = f; }
   bool force_interpret() const { return force_interpret_; }
+
+  /// Host-side interpreter dispatch flavor (simulated costs unaffected;
+  /// default from JAVELIN_DISPATCH).
+  void set_dispatch_mode(DispatchMode m) { interp_.set_dispatch_mode(m); }
+  DispatchMode dispatch_mode() const { return interp_.dispatch_mode(); }
 
   /// Observability hook (null = disabled, the default). Counts native-code
   /// dispatches here and forwards to the interpreter's run counters.
@@ -62,6 +73,7 @@ class ExecutionEngine final : public isa::RuntimeBridge, public Invoker {
   struct CodeSlot {
     std::unique_ptr<isa::NativeProgram> prog;
     int level = 0;
+    bool baseline = false;  ///< L0.5 baseline tier installed for the method.
   };
 
   Value invoke_native(const RtMethod& m, const isa::NativeProgram& prog,

@@ -1,10 +1,40 @@
 #include "jvm/interp.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "isa/nisa.hpp"
+#include "jvm/opspec.hpp"
+
+// Threaded dispatch needs the GNU &&label extension (GCC/Clang). Elsewhere
+// every flavor degrades to the portable switch loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define JAVELIN_HAVE_COMPUTED_GOTO 1
+#else
+#define JAVELIN_HAVE_COMPUTED_GOTO 0
+#endif
 
 namespace javelin::jvm {
 
 using energy::InstrClass;
+
+const char* dispatch_mode_name(DispatchMode m) {
+  switch (m) {
+    case DispatchMode::kSwitch: return "switch";
+    case DispatchMode::kGoto: return "goto";
+    case DispatchMode::kBaseline: return "baseline";
+  }
+  return "?";
+}
+
+DispatchMode default_dispatch_mode() {
+  if (const char* e = std::getenv("JAVELIN_DISPATCH")) {
+    if (std::strcmp(e, "switch") == 0) return DispatchMode::kSwitch;
+    if (std::strcmp(e, "goto") == 0) return DispatchMode::kGoto;
+    if (std::strcmp(e, "baseline") == 0) return DispatchMode::kBaseline;
+  }
+  return DispatchMode::kBaseline;
+}
 
 namespace {
 
@@ -97,16 +127,238 @@ class Frame {
   std::int32_t sp_ = 0;
 };
 
+// Per-bytecode dispatch overhead: opcode fetch through the D-cache at the
+// installed bytecode address, decode ALU op, dispatch branch. Shared by all
+// loop flavors so it cannot drift (this is opspec::kDispatchCost in charge
+// form).
+inline void charge_dispatch(isa::Core& core, mem::Addr bc_addr,
+                            std::size_t pc) {
+  core.stall(core.hier->load(bc_addr + static_cast<mem::Addr>(pc * 4)));
+  core.charge_class(InstrClass::kLoad);
+  core.charge_class(InstrClass::kAluSimple);
+  core.charge_class(InstrClass::kBranch);
+}
+
+// ---------------------------------------------------------------------------
+// Flavor 1: portable switch loop (the original implementation, with per-op
+// specialized cases generated from interp_ops.inc).
+// ---------------------------------------------------------------------------
+
+Value run_switch_loop(Jvm& jvm, const RtMethod& m, const RtClass& rc,
+                      isa::Core& core, Frame& fr, Invoker& invoker) {
+  std::size_t pc = 0;
+  const auto& code = m.info->code;
+  // Decoded-bytecode cache: pool-indirect operands were resolved once at
+  // link(). When the cache is disabled (golden-path tests), fall back to
+  // decoding the raw instruction every iteration — simulated cost is
+  // identical, only host work differs.
+  const DecodedInsn* dcode = m.decoded.empty() ? nullptr : m.decoded.data();
+  DecodedInsn undecoded;
+
+  for (;;) {
+    if (pc >= code.size())
+      throw VmError("interpreter: pc out of range in " + m.qualified_name);
+    charge_dispatch(core, m.bc_addr, pc);
+    const DecodedInsn& in =
+        dcode ? dcode[pc] : (undecoded = Jvm::decode_insn(rc, code[pc]));
+    std::size_t next = pc + 1;
+
+    switch (in.op) {
+#define JAVELIN_H(Name) case Op::k##Name: {
+#define JAVELIN_H_END \
+  }                   \
+  break;
+#include "jvm/interp_ops.inc"
+#undef JAVELIN_H
+#undef JAVELIN_H_END
+      case Op::kCount:
+        throw VmError("interpreter: invalid opcode");
+    }
+
+    pc = next;
+  }
+}
+
+#if JAVELIN_HAVE_COMPUTED_GOTO
+
+// ---------------------------------------------------------------------------
+// Flavor 2: threaded computed-goto loop. One indirect jump per bytecode,
+// through a label table generated from the opcode-spec X-macro in enum
+// order (the static_assert in opspec.hpp pins the correspondence).
+// ---------------------------------------------------------------------------
+
+Value run_goto_loop(Jvm& jvm, const RtMethod& m, const RtClass& rc,
+                    isa::Core& core, Frame& fr, Invoker& invoker) {
+  static const void* kLabels[] = {
+#define JAVELIN_LBL(Name, ...) &&h_##Name,
+      JAVELIN_OPCODE_LIST(JAVELIN_LBL)
+#undef JAVELIN_LBL
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumOps);
+
+  std::size_t pc = 0;
+  const auto& code = m.info->code;
+  const DecodedInsn* dcode = m.decoded.empty() ? nullptr : m.decoded.data();
+  DecodedInsn undecoded;
+  const DecodedInsn* in_p = nullptr;
+  std::size_t next = 0;
+
+dispatch:
+  if (pc >= code.size())
+    throw VmError("interpreter: pc out of range in " + m.qualified_name);
+  charge_dispatch(core, m.bc_addr, pc);
+  in_p = dcode ? &dcode[pc]
+               : (undecoded = Jvm::decode_insn(rc, code[pc]), &undecoded);
+  next = pc + 1;
+  if (static_cast<std::size_t>(in_p->op) >= kNumOps)
+    throw VmError("interpreter: invalid opcode");
+  goto* kLabels[static_cast<std::size_t>(in_p->op)];
+
+// Handlers cannot bind a reference across a goto, so `in` reads through the
+// pointer set at dispatch.
+#define in (*in_p)
+#define JAVELIN_H(Name) h_##Name : {
+#define JAVELIN_H_END \
+  }                   \
+  pc = next;          \
+  goto dispatch;
+#include "jvm/interp_ops.inc"
+#undef JAVELIN_H
+#undef JAVELIN_H_END
+#undef in
+}
+
+#endif  // JAVELIN_HAVE_COMPUTED_GOTO
+
+// ---------------------------------------------------------------------------
+// Flavor 3: L0.5 baseline superinstruction stream. Entries are pre-resolved
+// (no per-iteration decode or pool access), branch targets are stream
+// indices, and common adjacent pairs are fused into one dispatch. Simulated
+// charges are replayed at the original bytecode addresses, so default-mode
+// execution is bit-identical to the other flavors; `baseline_acct` is the
+// opt-in tier accounting where a fused pair costs a single dispatch.
+// ---------------------------------------------------------------------------
+
+Value run_stream_loop(Jvm& jvm, const RtMethod& m, const RtClass& rc,
+                      isa::Core& core, Frame& fr, Invoker& invoker,
+                      bool baseline_acct) {
+  (void)rc;  // Stream entries are fully pre-decoded.
+  const BaselineInsn* stream = m.baseline.data();
+  const std::size_t nstream = m.baseline.size();
+  std::size_t si = 0;
+  std::size_t next = 0;
+  const BaselineInsn* bi_p = nullptr;
+
+#define JAVELIN_FUSED_DISPATCH2()                        \
+  if (!baseline_acct)                                    \
+    charge_dispatch(core, m.bc_addr, bi_p->pc + 1)
+
+#if JAVELIN_HAVE_COMPUTED_GOTO
+
+  static const void* kLabels[] = {
+#define JAVELIN_LBL(Name, ...) &&h_##Name,
+      JAVELIN_OPCODE_LIST(JAVELIN_LBL)
+#undef JAVELIN_LBL
+      &&h_FuseLL, &&h_FuseDD, &&h_FuseLC,
+      &&h_FuseCS, &&h_FuseLA, &&h_FuseDA,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kSopCount);
+
+dispatch:
+  if (si >= nstream)
+    throw VmError("interpreter: pc out of range in " + m.qualified_name);
+  bi_p = &stream[si];
+  charge_dispatch(core, m.bc_addr, bi_p->pc);
+  next = si + 1;
+  goto* kLabels[bi_p->sop];
+
+#define in (bi_p->di)
+#define in2 (bi_p->di2)
+#define JAVELIN_H(Name) h_##Name : {
+#define JAVELIN_H_END \
+  }                   \
+  si = next;          \
+  goto dispatch;
+#define JAVELIN_FH(Name) h_##Name : {
+#define JAVELIN_FH_END \
+  }                    \
+  si = next;           \
+  goto dispatch;
+#include "jvm/interp_ops.inc"
+#include "jvm/interp_fused.inc"
+#undef JAVELIN_H
+#undef JAVELIN_H_END
+#undef JAVELIN_FH
+#undef JAVELIN_FH_END
+#undef in
+#undef in2
+
+#else  // !JAVELIN_HAVE_COMPUTED_GOTO — portable switch over the stream.
+
+  for (;;) {
+    if (si >= nstream)
+      throw VmError("interpreter: pc out of range in " + m.qualified_name);
+    bi_p = &stream[si];
+    charge_dispatch(core, m.bc_addr, bi_p->pc);
+    next = si + 1;
+
+    switch (bi_p->sop) {
+#define in (bi_p->di)
+#define in2 (bi_p->di2)
+#define JAVELIN_H(Name) case static_cast<std::uint16_t>(Op::k##Name): {
+#define JAVELIN_H_END \
+  }                   \
+  break;
+#define JAVELIN_FH(Name) case kSop##Name: {
+#define JAVELIN_FH_END \
+  }                    \
+  break;
+#include "jvm/interp_ops.inc"
+#include "jvm/interp_fused.inc"
+#undef JAVELIN_H
+#undef JAVELIN_H_END
+#undef JAVELIN_FH
+#undef JAVELIN_FH_END
+#undef in
+#undef in2
+      default:
+        throw VmError("interpreter: invalid opcode");
+    }
+
+    si = next;
+  }
+
+#endif  // JAVELIN_HAVE_COMPUTED_GOTO
+
+#undef JAVELIN_FUSED_DISPATCH2
+}
+
 }  // namespace
 
-Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
-                       Invoker& invoker) {
-  if (trace_)
-    trace_->count(m.decoded.empty() ? obs::Counter::kInterpRunsUndecoded
-                                    : obs::Counter::kInterpRunsDecoded);
+Value Interpreter::run_mode(const RtMethod& m, std::span<const Value> args,
+                            Invoker& invoker, DispatchMode mode,
+                            bool baseline_acct) {
+  if (trace_) {
+    if (baseline_acct)
+      trace_->count(obs::Counter::kInterpRunsBaseline);
+    else
+      trace_->count(m.decoded.empty() ? obs::Counter::kInterpRunsUndecoded
+                                      : obs::Counter::kInterpRunsDecoded);
+  }
   const MethodInfo& mi = *m.info;
   isa::Core& core = jvm_.core();
   const RtClass& rc = jvm_.cls(m.class_id);
+
+  // Resolve the effective flavor: the stream only exists when the decode
+  // cache + baseline stream were enabled at link(); a missing stream (or a
+  // compiler without &&label) degrades one flavor at a time. Simulated costs
+  // are identical on every path.
+  DispatchMode eff = mode;
+  if (eff == DispatchMode::kBaseline && m.baseline.empty())
+    eff = DispatchMode::kGoto;
+#if !JAVELIN_HAVE_COMPUTED_GOTO
+  if (eff == DispatchMode::kGoto) eff = DispatchMode::kSwitch;
+#endif
 
   if (++core.call_depth > isa::Core::kMaxCallDepth) {
     --core.call_depth;
@@ -134,409 +386,31 @@ Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
       }
     }
 
-    std::size_t pc = 0;
-    const auto& code = mi.code;
-    // Decoded-bytecode cache: pool-indirect operands were resolved once at
-    // link(). When the cache is disabled (golden-path tests), fall back to
-    // decoding the raw instruction every iteration — simulated cost is
-    // identical, only host work differs.
-    const DecodedInsn* dcode = m.decoded.empty() ? nullptr : m.decoded.data();
-    DecodedInsn undecoded;
-
-    for (;;) {
-      if (pc >= code.size())
-        throw VmError("interpreter: pc out of range in " + m.qualified_name);
-      // Fetch-decode-dispatch: the bytecode itself is data for the
-      // interpreter, so the fetch goes through the D-cache.
-      core.stall(core.hier->load(m.bc_addr + static_cast<mem::Addr>(pc * 4)));
-      core.charge_class(InstrClass::kLoad);
-      core.charge_class(InstrClass::kAluSimple);
-      core.charge_class(InstrClass::kBranch);
-
-      const DecodedInsn& in =
-          dcode ? dcode[pc] : (undecoded = Jvm::decode_insn(rc, code[pc]));
-      std::size_t next = pc + 1;
-
-      switch (in.op) {
-        case Op::kIconst:
-          core.charge_class(InstrClass::kAluSimple);
-          fr.push_i32(in.a);
-          break;
-        case Op::kDconst: {
-          // Load the double from the constant pool (resident near bytecode).
-          core.stall(core.hier->load(m.bc_addr));
-          core.charge_class(InstrClass::kLoad);
-          fr.push_f64(in.d);
-          break;
-        }
-        case Op::kAconstNull:
-          core.charge_class(InstrClass::kAluSimple);
-          fr.push_ref(mem::kNullAddr);
-          break;
-
-        case Op::kIload:
-        case Op::kAload:
-          fr.push_i64(fr.load_local_i64(in.a));
-          break;
-        case Op::kDload:
-          fr.push_f64(fr.load_local_f64(in.a));
-          break;
-        case Op::kIstore:
-        case Op::kAstore:
-          fr.store_local_i64(in.a, fr.pop_i64());
-          break;
-        case Op::kDstore:
-          fr.store_local_f64(in.a, fr.pop_f64());
-          break;
-
-        case Op::kPop:
-          fr.pop_i64();
-          break;
-        case Op::kDup: {
-          const std::int64_t v = fr.pop_i64();
-          fr.push_i64(v);
-          fr.push_i64(v);
-          break;
-        }
-
-        case Op::kIadd: case Op::kIsub: case Op::kIand: case Op::kIor:
-        case Op::kIxor: case Op::kIshl: case Op::kIshr: case Op::kIushr: {
-          const std::int32_t b = fr.pop_i32();
-          const std::int32_t a = fr.pop_i32();
-          core.charge_class(InstrClass::kAluSimple);
-          std::int32_t r = 0;
-          switch (in.op) {
-            case Op::kIadd: r = a + b; break;
-            case Op::kIsub: r = a - b; break;
-            case Op::kIand: r = a & b; break;
-            case Op::kIor: r = a | b; break;
-            case Op::kIxor: r = a ^ b; break;
-            case Op::kIshl: r = a << (b & 31); break;
-            case Op::kIshr: r = a >> (b & 31); break;
-            default:
-              r = static_cast<std::int32_t>(static_cast<std::uint32_t>(a) >>
-                                            (b & 31));
-              break;
-          }
-          fr.push_i32(r);
-          break;
-        }
-        case Op::kImul: case Op::kIdiv: case Op::kIrem: {
-          const std::int32_t b = fr.pop_i32();
-          const std::int32_t a = fr.pop_i32();
-          core.charge_class(InstrClass::kAluComplex);
-          std::int32_t r = 0;
-          if (in.op == Op::kImul) {
-            r = a * b;
-          } else {
-            if (b == 0) throw VmError("division by zero");
-            r = in.op == Op::kIdiv ? a / b : a % b;
-          }
-          fr.push_i32(r);
-          break;
-        }
-        case Op::kIneg: {
-          const std::int32_t a = fr.pop_i32();
-          core.charge_class(InstrClass::kAluSimple);
-          fr.push_i32(-a);
-          break;
-        }
-        case Op::kDadd: case Op::kDsub: case Op::kDmul: case Op::kDdiv: {
-          const double b = fr.pop_f64();
-          const double a = fr.pop_f64();
-          core.charge_class(InstrClass::kAluComplex);
-          double r = 0;
-          switch (in.op) {
-            case Op::kDadd: r = a + b; break;
-            case Op::kDsub: r = a - b; break;
-            case Op::kDmul: r = a * b; break;
-            default: r = a / b; break;
-          }
-          fr.push_f64(r);
-          break;
-        }
-        case Op::kDneg: {
-          const double a = fr.pop_f64();
-          core.charge_class(InstrClass::kAluComplex);
-          fr.push_f64(-a);
-          break;
-        }
-        case Op::kI2d: {
-          const std::int32_t a = fr.pop_i32();
-          core.charge_class(InstrClass::kAluComplex);
-          fr.push_f64(static_cast<double>(a));
-          break;
-        }
-        case Op::kD2i: {
-          const double a = fr.pop_f64();
-          core.charge_class(InstrClass::kAluComplex);
-          fr.push_i32(static_cast<std::int32_t>(a));
-          break;
-        }
-        case Op::kDcmp: {
-          const double b = fr.pop_f64();
-          const double a = fr.pop_f64();
-          core.charge_class(InstrClass::kAluComplex);
-          fr.push_i32(a > b ? 1 : (a == b ? 0 : -1));
-          break;
-        }
-
-        case Op::kIfeq: case Op::kIfne: case Op::kIflt:
-        case Op::kIfle: case Op::kIfgt: case Op::kIfge: {
-          const std::int32_t a = fr.pop_i32();
-          core.charge_class(InstrClass::kBranch);
-          bool taken = false;
-          switch (in.op) {
-            case Op::kIfeq: taken = a == 0; break;
-            case Op::kIfne: taken = a != 0; break;
-            case Op::kIflt: taken = a < 0; break;
-            case Op::kIfle: taken = a <= 0; break;
-            case Op::kIfgt: taken = a > 0; break;
-            default: taken = a >= 0; break;
-          }
-          if (taken) next = static_cast<std::size_t>(in.a);
-          break;
-        }
-        case Op::kIfIcmpEq: case Op::kIfIcmpNe: case Op::kIfIcmpLt:
-        case Op::kIfIcmpLe: case Op::kIfIcmpGt: case Op::kIfIcmpGe: {
-          const std::int32_t b = fr.pop_i32();
-          const std::int32_t a = fr.pop_i32();
-          core.charge_class(InstrClass::kBranch);
-          bool taken = false;
-          switch (in.op) {
-            case Op::kIfIcmpEq: taken = a == b; break;
-            case Op::kIfIcmpNe: taken = a != b; break;
-            case Op::kIfIcmpLt: taken = a < b; break;
-            case Op::kIfIcmpLe: taken = a <= b; break;
-            case Op::kIfIcmpGt: taken = a > b; break;
-            default: taken = a >= b; break;
-          }
-          if (taken) next = static_cast<std::size_t>(in.a);
-          break;
-        }
-        case Op::kIfNull: case Op::kIfNonNull: {
-          const mem::Addr r = fr.pop_ref();
-          core.charge_class(InstrClass::kBranch);
-          const bool taken =
-              in.op == Op::kIfNull ? r == mem::kNullAddr : r != mem::kNullAddr;
-          if (taken) next = static_cast<std::size_t>(in.a);
-          break;
-        }
-        case Op::kGoto:
-          core.charge_class(InstrClass::kBranch);
-          next = static_cast<std::size_t>(in.a);
-          break;
-
-        case Op::kInvokeStatic:
-        case Op::kInvokeVirtual: {
-          std::int32_t callee_id = in.rid;
-          const RtMethod& callee = jvm_.method(callee_id);
-          const std::size_t nargs = callee.info->num_args();
-          std::vector<Value> call_args(nargs);
-          // Pop arguments right-to-left.
-          for (std::size_t i = nargs; i-- > 0;) {
-            const TypeKind k = callee.info->arg_kind(i);
-            if (k == TypeKind::kDouble)
-              call_args[i] = Value::make_double(fr.pop_f64());
-            else if (k == TypeKind::kRef)
-              call_args[i] = Value::make_ref(fr.pop_ref());
-            else
-              call_args[i] = Value::make_int(fr.pop_i32());
-          }
-          if (in.op == Op::kInvokeVirtual) {
-            // Dynamic dispatch: header load + table lookup + indirect call.
-            const mem::Addr receiver = call_args[0].as_ref();
-            if (receiver == mem::kNullAddr)
-              throw VmError("null pointer dereference");
-            core.stall(core.hier->load(receiver));
-            core.charge_class(InstrClass::kLoad, 2);
-            core.charge_class(InstrClass::kBranch);
-            callee_id = jvm_.resolve_virtual(callee_id, receiver);
-          } else {
-            core.charge_class(InstrClass::kBranch);
-          }
-          const Value result = invoker.invoke(callee_id, call_args);
-          if (result.kind == TypeKind::kDouble)
-            fr.push_f64(result.d);
-          else if (result.kind == TypeKind::kRef)
-            fr.push_ref(result.ref);
-          else if (result.kind == TypeKind::kInt)
-            fr.push_i32(result.i);
-          break;
-        }
-        case Op::kInvokeIntrinsic: {
-          const auto id = static_cast<isa::Intrinsic>(in.a);
-          double fp[2]{};
-          std::int32_t ints[2]{};
-          for (int i = isa::intrinsic_fp_args(id); i-- > 0;)
-            fp[i] = fr.pop_f64();
-          for (int i = isa::intrinsic_int_args(id); i-- > 0;)
-            ints[i] = fr.pop_i32();
-          core.charge_class(InstrClass::kAluComplex, isa::intrinsic_cost(id));
-          if (isa::intrinsic_returns_double(id))
-            fr.push_f64(isa::apply_intrinsic_d(id, fp, ints));
-          else
-            fr.push_i32(isa::apply_intrinsic_i(id, ints));
-          break;
-        }
-
-        case Op::kReturn:
-          core.charge_class(InstrClass::kBranch);
-          --core.call_depth;
-          return Value::make_void();
-        case Op::kIreturn: {
-          const std::int32_t v = fr.pop_i32();
-          core.charge_class(InstrClass::kBranch);
-          --core.call_depth;
-          return Value::make_int(v);
-        }
-        case Op::kDreturn: {
-          const double v = fr.pop_f64();
-          core.charge_class(InstrClass::kBranch);
-          --core.call_depth;
-          return Value::make_double(v);
-        }
-        case Op::kAreturn: {
-          const mem::Addr v = fr.pop_ref();
-          core.charge_class(InstrClass::kBranch);
-          --core.call_depth;
-          return Value::make_ref(v);
-        }
-
-        case Op::kGetField:
-        case Op::kPutField:
-        case Op::kGetStatic:
-        case Op::kPutStatic: {
-          const RtField& f = jvm_.field(in.rid);
-          const bool is_put = in.op == Op::kPutField || in.op == Op::kPutStatic;
-          const bool is_instance =
-              in.op == Op::kGetField || in.op == Op::kPutField;
-          Value v;
-          if (is_put) {
-            if (f.kind == TypeKind::kDouble)
-              v = Value::make_double(fr.pop_f64());
-            else if (f.kind == TypeKind::kRef)
-              v = Value::make_ref(fr.pop_ref());
-            else
-              v = Value::make_int(fr.pop_i32());
-          }
-          mem::Addr base = mem::kNullAddr;
-          if (is_instance) {
-            base = fr.pop_ref();
-            if (base == mem::kNullAddr)
-              throw VmError("null pointer dereference");
-            core.charge_class(InstrClass::kBranch);  // null check
-          }
-          const mem::Addr a = jvm_.field_addr(base, f);
-          core.charge_class(InstrClass::kAluSimple);  // address arithmetic
-          if (is_put) {
-            core.stall(core.hier->store(a));
-            core.charge_class(InstrClass::kStore);
-            if (f.kind == TypeKind::kDouble)
-              core.arena->store_f64(a, v.d);
-            else if (f.kind == TypeKind::kRef)
-              core.arena->store_u32(a, v.ref);
-            else if (f.kind == TypeKind::kByte)
-              core.arena->store_u8(a, static_cast<std::uint8_t>(v.i));
-            else
-              core.arena->store_i32(a, v.i);
-          } else {
-            core.stall(core.hier->load(a));
-            core.charge_class(InstrClass::kLoad);
-            if (f.kind == TypeKind::kDouble)
-              fr.push_f64(core.arena->load_f64(a));
-            else if (f.kind == TypeKind::kRef)
-              fr.push_ref(core.arena->load_u32(a));
-            else if (f.kind == TypeKind::kByte)
-              fr.push_i32(core.arena->load_u8(a));
-            else
-              fr.push_i32(core.arena->load_i32(a));
-          }
-          break;
-        }
-
-        case Op::kNew: {
-          const std::int32_t cid = in.rid;
-          core.charge_class(InstrClass::kBranch);  // runtime call
-          fr.push_ref(jvm_.new_object(cid, /*charge=*/true));
-          break;
-        }
-        case Op::kNewArray: {
-          const std::int32_t len = fr.pop_i32();
-          core.charge_class(InstrClass::kBranch);  // runtime call
-          fr.push_ref(
-              jvm_.new_array(static_cast<TypeKind>(in.a), len, /*charge=*/true));
-          break;
-        }
-
-        case Op::kIaload: case Op::kDaload: case Op::kBaload: case Op::kAaload: {
-          const std::int32_t idx = fr.pop_i32();
-          const mem::Addr ref = fr.pop_ref();
-          // Null + bounds checks: length load and two compare-branches.
-          if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
-          core.stall(core.hier->load(ref + 4));
-          core.charge_class(InstrClass::kLoad);
-          core.charge_class(InstrClass::kBranch, 2);
-          const mem::Addr a = jvm_.elem_addr(ref, idx);
-          core.charge_class(InstrClass::kAluSimple, 2);  // address arithmetic
-          core.stall(core.hier->load(a));
-          core.charge_class(InstrClass::kLoad);
-          switch (in.op) {
-            case Op::kIaload: fr.push_i32(core.arena->load_i32(a)); break;
-            case Op::kDaload: fr.push_f64(core.arena->load_f64(a)); break;
-            case Op::kBaload: fr.push_i32(core.arena->load_u8(a)); break;
-            default: fr.push_ref(core.arena->load_u32(a)); break;
-          }
-          break;
-        }
-        case Op::kIastore: case Op::kDastore: case Op::kBastore:
-        case Op::kAastore: {
-          Value v;
-          if (in.op == Op::kDastore)
-            v = Value::make_double(fr.pop_f64());
-          else if (in.op == Op::kAastore)
-            v = Value::make_ref(fr.pop_ref());
-          else
-            v = Value::make_int(fr.pop_i32());
-          const std::int32_t idx = fr.pop_i32();
-          const mem::Addr ref = fr.pop_ref();
-          if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
-          core.stall(core.hier->load(ref + 4));
-          core.charge_class(InstrClass::kLoad);
-          core.charge_class(InstrClass::kBranch, 2);
-          const mem::Addr a = jvm_.elem_addr(ref, idx);
-          core.charge_class(InstrClass::kAluSimple, 2);
-          core.stall(core.hier->store(a));
-          core.charge_class(InstrClass::kStore);
-          switch (in.op) {
-            case Op::kIastore: core.arena->store_i32(a, v.i); break;
-            case Op::kDastore: core.arena->store_f64(a, v.d); break;
-            case Op::kBastore:
-              core.arena->store_u8(a, static_cast<std::uint8_t>(v.i));
-              break;
-            default: core.arena->store_u32(a, v.ref); break;
-          }
-          break;
-        }
-        case Op::kArrayLength: {
-          const mem::Addr ref = fr.pop_ref();
-          if (ref == mem::kNullAddr) throw VmError("null pointer dereference");
-          core.stall(core.hier->load(ref + 4));
-          core.charge_class(InstrClass::kLoad);
-          fr.push_i32(jvm_.array_length(ref));
-          break;
-        }
-
-        case Op::kCount:
-          throw VmError("interpreter: invalid opcode");
-      }
-
-      pc = next;
+    switch (eff) {
+      case DispatchMode::kBaseline:
+        return run_stream_loop(jvm_, m, rc, core, fr, invoker, baseline_acct);
+#if JAVELIN_HAVE_COMPUTED_GOTO
+      case DispatchMode::kGoto:
+        return run_goto_loop(jvm_, m, rc, core, fr, invoker);
+#endif
+      default:
+        return run_switch_loop(jvm_, m, rc, core, fr, invoker);
     }
   } catch (...) {
     --core.call_depth;
     throw;
   }
+}
+
+Value Interpreter::run(const RtMethod& m, std::span<const Value> args,
+                       Invoker& invoker) {
+  return run_mode(m, args, invoker, mode_, /*baseline_acct=*/false);
+}
+
+Value Interpreter::run_baseline(const RtMethod& m, std::span<const Value> args,
+                                Invoker& invoker) {
+  return run_mode(m, args, invoker, DispatchMode::kBaseline,
+                  /*baseline_acct=*/true);
 }
 
 }  // namespace javelin::jvm

@@ -9,6 +9,18 @@
 //
 // Frames live in the arena's stack zone:
 //   [ locals: max_locals x 8 bytes | operand stack: max_stack x 8 bytes ]
+//
+// Three host-side dispatch flavors execute the same per-opcode handler bodies
+// (interp_ops.inc) and charge identical simulated costs — they differ only in
+// how much host work each dispatch costs:
+//   kSwitch   portable switch loop (the original implementation),
+//   kGoto     threaded computed-goto loop (GCC/Clang &&label extension),
+//   kBaseline the L0.5 superinstruction stream built at link() — operands
+//             pre-resolved, adjacent pairs fused (jvm/baseline.cpp); falls
+//             back per-method to kGoto/kSwitch when no stream exists.
+// Select with JAVELIN_DISPATCH=switch|goto|baseline (default: baseline, the
+// fastest; goto where unavailable). tests/dispatch_differential_test.cpp
+// pins bit-identical energy/cycles/heap state across all three.
 #pragma once
 
 #include <span>
@@ -26,13 +38,41 @@ class Invoker {
   virtual Value invoke(std::int32_t method_id, std::span<const Value> args) = 0;
 };
 
+/// Host-side dispatch flavor. Simulated costs are identical across all
+/// three; only host throughput differs.
+enum class DispatchMode : std::uint8_t {
+  kSwitch = 0,   ///< Portable switch-based loop.
+  kGoto = 1,     ///< Threaded computed-goto loop (falls back to switch when
+                 ///< the compiler lacks &&label support).
+  kBaseline = 2, ///< Pre-resolved superinstruction stream (L0.5 translation).
+};
+
+const char* dispatch_mode_name(DispatchMode m);
+
+/// Resolve the process-wide default from JAVELIN_DISPATCH
+/// ("switch" | "goto" | "baseline"); unset or unrecognized → kBaseline.
+DispatchMode default_dispatch_mode();
+
 class Interpreter {
  public:
-  explicit Interpreter(Jvm& jvm) : jvm_(jvm) {}
+  explicit Interpreter(Jvm& jvm) : jvm_(jvm), mode_(default_dispatch_mode()) {}
 
   /// Execute one method to completion. `args` must match the method's
   /// argument kinds (receiver first for instance methods).
   Value run(const RtMethod& m, std::span<const Value> args, Invoker& invoker);
+
+  /// Execute one method as the L0.5 baseline *tier* (opt-in via
+  /// DecisionPolicy::baseline_tier): same superinstruction stream, but fused
+  /// pairs charge a single dispatch — the honest accounting model for a
+  /// baseline translation, which is why the tier can be cheaper than the
+  /// interpreter in simulated energy. Requires the method's stream to exist
+  /// (engine installs it via jit::compile_baseline first).
+  Value run_baseline(const RtMethod& m, std::span<const Value> args,
+                     Invoker& invoker);
+
+  /// Host dispatch flavor (simulated costs unaffected).
+  void set_dispatch_mode(DispatchMode m) { mode_ = m; }
+  DispatchMode dispatch_mode() const { return mode_; }
 
   /// Observability hook (null = disabled, the default; a single null check
   /// per method run, nothing per bytecode). Counts runs split by whether the
@@ -40,7 +80,11 @@ class Interpreter {
   void set_trace(obs::TraceBuffer* t) { trace_ = t; }
 
  private:
+  Value run_mode(const RtMethod& m, std::span<const Value> args,
+                 Invoker& invoker, DispatchMode mode, bool baseline_acct);
+
   Jvm& jvm_;
+  DispatchMode mode_;
   obs::TraceBuffer* trace_ = nullptr;
 };
 

@@ -2,117 +2,27 @@
 
 #include <sstream>
 
+#include "jvm/opspec.hpp"
+
 namespace javelin::jvm {
 
+// All three predicates are views over the opcode-spec table (opspec.hpp);
+// tests/opspec_test.cpp pins them against the enum so they cannot drift from
+// the interpreter or the static cost model.
+
 const char* op_name(Op op) {
-  switch (op) {
-    case Op::kIconst: return "iconst";
-    case Op::kDconst: return "dconst";
-    case Op::kAconstNull: return "aconst_null";
-    case Op::kIload: return "iload";
-    case Op::kIstore: return "istore";
-    case Op::kDload: return "dload";
-    case Op::kDstore: return "dstore";
-    case Op::kAload: return "aload";
-    case Op::kAstore: return "astore";
-    case Op::kPop: return "pop";
-    case Op::kDup: return "dup";
-    case Op::kIadd: return "iadd";
-    case Op::kIsub: return "isub";
-    case Op::kImul: return "imul";
-    case Op::kIdiv: return "idiv";
-    case Op::kIrem: return "irem";
-    case Op::kIneg: return "ineg";
-    case Op::kIshl: return "ishl";
-    case Op::kIshr: return "ishr";
-    case Op::kIushr: return "iushr";
-    case Op::kIand: return "iand";
-    case Op::kIor: return "ior";
-    case Op::kIxor: return "ixor";
-    case Op::kDadd: return "dadd";
-    case Op::kDsub: return "dsub";
-    case Op::kDmul: return "dmul";
-    case Op::kDdiv: return "ddiv";
-    case Op::kDneg: return "dneg";
-    case Op::kI2d: return "i2d";
-    case Op::kD2i: return "d2i";
-    case Op::kDcmp: return "dcmp";
-    case Op::kIfeq: return "ifeq";
-    case Op::kIfne: return "ifne";
-    case Op::kIflt: return "iflt";
-    case Op::kIfle: return "ifle";
-    case Op::kIfgt: return "ifgt";
-    case Op::kIfge: return "ifge";
-    case Op::kIfIcmpEq: return "if_icmpeq";
-    case Op::kIfIcmpNe: return "if_icmpne";
-    case Op::kIfIcmpLt: return "if_icmplt";
-    case Op::kIfIcmpLe: return "if_icmple";
-    case Op::kIfIcmpGt: return "if_icmpgt";
-    case Op::kIfIcmpGe: return "if_icmpge";
-    case Op::kIfNull: return "ifnull";
-    case Op::kIfNonNull: return "ifnonnull";
-    case Op::kGoto: return "goto";
-    case Op::kInvokeStatic: return "invokestatic";
-    case Op::kInvokeVirtual: return "invokevirtual";
-    case Op::kInvokeIntrinsic: return "invokeintrinsic";
-    case Op::kReturn: return "return";
-    case Op::kIreturn: return "ireturn";
-    case Op::kDreturn: return "dreturn";
-    case Op::kAreturn: return "areturn";
-    case Op::kGetField: return "getfield";
-    case Op::kPutField: return "putfield";
-    case Op::kGetStatic: return "getstatic";
-    case Op::kPutStatic: return "putstatic";
-    case Op::kNew: return "new";
-    case Op::kNewArray: return "newarray";
-    case Op::kIaload: return "iaload";
-    case Op::kIastore: return "iastore";
-    case Op::kDaload: return "daload";
-    case Op::kDastore: return "dastore";
-    case Op::kBaload: return "baload";
-    case Op::kBastore: return "bastore";
-    case Op::kAaload: return "aaload";
-    case Op::kAastore: return "aastore";
-    case Op::kArrayLength: return "arraylength";
-    case Op::kCount: break;
-  }
-  return "?";
+  if (static_cast<std::size_t>(op) >= kNumOps) return "?";
+  return opspec::spec(op).mnemonic;
 }
 
 bool is_branch(Op op) {
-  switch (op) {
-    case Op::kIfeq:
-    case Op::kIfne:
-    case Op::kIflt:
-    case Op::kIfle:
-    case Op::kIfgt:
-    case Op::kIfge:
-    case Op::kIfIcmpEq:
-    case Op::kIfIcmpNe:
-    case Op::kIfIcmpLt:
-    case Op::kIfIcmpLe:
-    case Op::kIfIcmpGt:
-    case Op::kIfIcmpGe:
-    case Op::kIfNull:
-    case Op::kIfNonNull:
-    case Op::kGoto:
-      return true;
-    default:
-      return false;
-  }
+  if (static_cast<std::size_t>(op) >= kNumOps) return false;
+  return (opspec::spec(op).flags & opspec::kFlagBranch) != 0;
 }
 
 bool ends_block(Op op) {
-  switch (op) {
-    case Op::kGoto:
-    case Op::kReturn:
-    case Op::kIreturn:
-    case Op::kDreturn:
-    case Op::kAreturn:
-      return true;
-    default:
-      return false;
-  }
+  if (static_cast<std::size_t>(op) >= kNumOps) return false;
+  return (opspec::spec(op).flags & opspec::kFlagEndsBlock) != 0;
 }
 
 std::string disassemble(const std::vector<Insn>& code) {

@@ -1,0 +1,243 @@
+// The opcode specification table: the single source of truth for guest
+// bytecode semantics metadata.
+//
+// Every consumer of per-opcode knowledge derives from the X-macro list in
+// this header rather than maintaining its own switch:
+//  * jvm/opcodes.cpp     — mnemonics, is_branch(), ends_block();
+//  * jvm/interp.cpp      — the generated dispatch loops (portable switch,
+//                          threaded computed-goto, and the L0.5 baseline
+//                          stream executor) are all stamped out over this
+//                          list, so a missing handler is a compile error;
+//  * jvm/baseline.cpp    — the L0.5 translator's fusion legality checks;
+//  * analysis/cost.cpp   — the static cost estimator charges each opcode
+//                          from the StaticOpCost column;
+//  * analysis/lint.cpp   — opcode-class predicates (local load/store, int
+//                          and double binops, pure producers).
+// tests/opspec_test.cpp asserts the table covers every jvm::Op exactly once
+// and that all derived views agree, so semantics can never drift between
+// the interpreter, the lint pass and the static cost model.
+//
+// Columns of JAVELIN_OPCODE_LIST(X):
+//   X(Name, mnemonic, Category, OperandKind, flags, ld, st, br, as, ac, ctx)
+//     Name        jvm::Op::k##Name
+//     mnemonic    disassembly name
+//     Category    semantic family (OpCategory)
+//     OperandKind meaning of Insn::a (OperandKind)
+//     flags       bitwise-or of OpFlags
+//     ld/st/br/as/ac
+//                 StaticOpCost: loads/stores/branches/simple-ALU/complex-ALU
+//                 the static estimator charges for one execution of the op's
+//                 *semantics* (the fetch/decode/dispatch triple is charged
+//                 separately; see kDispatchCost)
+//     ctx         1 if the semantic cost is context-dependent (invokes:
+//                 callee signature and summary; intrinsics: per-id cost) and
+//                 the ld..ac columns cover only the context-free part
+#pragma once
+
+#include <cstdint>
+
+#include "energy/energy.hpp"
+#include "jvm/opcodes.hpp"
+
+namespace javelin::jvm::opspec {
+
+/// Semantic family of an opcode (drives lint predicates and fusion rules).
+enum class OpCategory : std::uint8_t {
+  kConst,        ///< push a constant (iconst/dconst/aconst_null)
+  kLocalLoad,    ///< push a local slot
+  kLocalStore,   ///< pop into a local slot
+  kStack,        ///< pure operand-stack shuffle (pop/dup)
+  kIntBinop,     ///< pop 2 ints, push int
+  kIntUnary,     ///< pop int, push int
+  kDblBinop,     ///< pop 2 doubles, push double
+  kDblUnary,     ///< pop double, push double
+  kConv,         ///< numeric conversion
+  kCmp,          ///< pop 2 doubles, push -1/0/+1
+  kCondBranch,   ///< conditional branch
+  kGoto,         ///< unconditional branch
+  kInvoke,       ///< static/virtual invocation
+  kIntrinsic,    ///< math intrinsic invocation
+  kReturn,       ///< method return
+  kField,        ///< get/put field or static
+  kNew,          ///< object allocation
+  kNewArray,     ///< array allocation
+  kArrayLoad,    ///< array element load
+  kArrayStore,   ///< array element store
+  kArrayLength,  ///< array length query
+};
+
+/// What Insn::a means for an opcode.
+enum class OperandKind : std::uint8_t {
+  kNone,          ///< unused
+  kImm,           ///< immediate int value
+  kPoolDouble,    ///< constant-pool double index
+  kSlot,          ///< local variable slot
+  kBranchTarget,  ///< instruction index
+  kPoolMethod,    ///< constant-pool method index
+  kIntrinsicId,   ///< isa::Intrinsic id
+  kPoolField,     ///< constant-pool field index
+  kPoolClass,     ///< constant-pool class index
+  kElemKind,      ///< TypeKind of array elements
+};
+
+enum OpFlags : std::uint8_t {
+  kFlagNone = 0,
+  kFlagBranch = 1 << 0,     ///< `a` is a branch target (jvm::is_branch)
+  kFlagEndsBlock = 1 << 1,  ///< unconditional transfer (jvm::ends_block)
+};
+
+/// Instruction-class counts the static cost estimator charges for one
+/// execution of the op's semantics (context-free part only when `ctx`).
+struct StaticOpCost {
+  std::uint8_t loads = 0;
+  std::uint8_t stores = 0;
+  std::uint8_t branches = 0;
+  std::uint8_t alu_simple = 0;
+  std::uint8_t alu_complex = 0;
+  bool context_dependent = false;
+};
+
+struct OpSpec {
+  Op op = Op::kCount;
+  const char* mnemonic = "?";
+  OpCategory category = OpCategory::kStack;
+  OperandKind operand = OperandKind::kNone;
+  std::uint8_t flags = kFlagNone;
+  StaticOpCost cost;
+};
+
+// clang-format off
+#define JAVELIN_OPCODE_LIST(X)                                                  \
+  X(Iconst,          "iconst",          kConst,       kImm,          kFlagNone,                    0, 1, 0, 1, 0, 0) \
+  X(Dconst,          "dconst",          kConst,       kPoolDouble,   kFlagNone,                    1, 1, 0, 0, 0, 0) \
+  X(AconstNull,      "aconst_null",     kConst,       kNone,         kFlagNone,                    0, 1, 0, 1, 0, 0) \
+  X(Iload,           "iload",           kLocalLoad,   kSlot,         kFlagNone,                    1, 1, 0, 0, 0, 0) \
+  X(Istore,          "istore",          kLocalStore,  kSlot,         kFlagNone,                    1, 1, 0, 0, 0, 0) \
+  X(Dload,           "dload",           kLocalLoad,   kSlot,         kFlagNone,                    1, 1, 0, 0, 0, 0) \
+  X(Dstore,          "dstore",          kLocalStore,  kSlot,         kFlagNone,                    1, 1, 0, 0, 0, 0) \
+  X(Aload,           "aload",           kLocalLoad,   kSlot,         kFlagNone,                    1, 1, 0, 0, 0, 0) \
+  X(Astore,          "astore",          kLocalStore,  kSlot,         kFlagNone,                    1, 1, 0, 0, 0, 0) \
+  X(Pop,             "pop",             kStack,       kNone,         kFlagNone,                    1, 0, 0, 0, 0, 0) \
+  X(Dup,             "dup",             kStack,       kNone,         kFlagNone,                    1, 2, 0, 0, 0, 0) \
+  X(Iadd,            "iadd",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 1, 0, 0) \
+  X(Isub,            "isub",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 1, 0, 0) \
+  X(Imul,            "imul",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 0, 1, 0) \
+  X(Idiv,            "idiv",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 0, 1, 0) \
+  X(Irem,            "irem",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 0, 1, 0) \
+  X(Ineg,            "ineg",            kIntUnary,    kNone,         kFlagNone,                    1, 1, 0, 1, 0, 0) \
+  X(Ishl,            "ishl",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 1, 0, 0) \
+  X(Ishr,            "ishr",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 1, 0, 0) \
+  X(Iushr,           "iushr",           kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 1, 0, 0) \
+  X(Iand,            "iand",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 1, 0, 0) \
+  X(Ior,             "ior",             kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 1, 0, 0) \
+  X(Ixor,            "ixor",            kIntBinop,    kNone,         kFlagNone,                    2, 1, 0, 1, 0, 0) \
+  X(Dadd,            "dadd",            kDblBinop,    kNone,         kFlagNone,                    2, 1, 0, 0, 1, 0) \
+  X(Dsub,            "dsub",            kDblBinop,    kNone,         kFlagNone,                    2, 1, 0, 0, 1, 0) \
+  X(Dmul,            "dmul",            kDblBinop,    kNone,         kFlagNone,                    2, 1, 0, 0, 1, 0) \
+  X(Ddiv,            "ddiv",            kDblBinop,    kNone,         kFlagNone,                    2, 1, 0, 0, 1, 0) \
+  X(Dneg,            "dneg",            kDblUnary,    kNone,         kFlagNone,                    1, 1, 0, 0, 1, 0) \
+  X(I2d,             "i2d",             kConv,        kNone,         kFlagNone,                    1, 1, 0, 0, 1, 0) \
+  X(D2i,             "d2i",             kConv,        kNone,         kFlagNone,                    1, 1, 0, 0, 1, 0) \
+  X(Dcmp,            "dcmp",            kCmp,         kNone,         kFlagNone,                    2, 1, 0, 0, 1, 0) \
+  X(Ifeq,            "ifeq",            kCondBranch,  kBranchTarget, kFlagBranch,                  1, 0, 1, 0, 0, 0) \
+  X(Ifne,            "ifne",            kCondBranch,  kBranchTarget, kFlagBranch,                  1, 0, 1, 0, 0, 0) \
+  X(Iflt,            "iflt",            kCondBranch,  kBranchTarget, kFlagBranch,                  1, 0, 1, 0, 0, 0) \
+  X(Ifle,            "ifle",            kCondBranch,  kBranchTarget, kFlagBranch,                  1, 0, 1, 0, 0, 0) \
+  X(Ifgt,            "ifgt",            kCondBranch,  kBranchTarget, kFlagBranch,                  1, 0, 1, 0, 0, 0) \
+  X(Ifge,            "ifge",            kCondBranch,  kBranchTarget, kFlagBranch,                  1, 0, 1, 0, 0, 0) \
+  X(IfIcmpEq,        "if_icmpeq",       kCondBranch,  kBranchTarget, kFlagBranch,                  2, 0, 1, 0, 0, 0) \
+  X(IfIcmpNe,        "if_icmpne",       kCondBranch,  kBranchTarget, kFlagBranch,                  2, 0, 1, 0, 0, 0) \
+  X(IfIcmpLt,        "if_icmplt",       kCondBranch,  kBranchTarget, kFlagBranch,                  2, 0, 1, 0, 0, 0) \
+  X(IfIcmpLe,        "if_icmple",       kCondBranch,  kBranchTarget, kFlagBranch,                  2, 0, 1, 0, 0, 0) \
+  X(IfIcmpGt,        "if_icmpgt",       kCondBranch,  kBranchTarget, kFlagBranch,                  2, 0, 1, 0, 0, 0) \
+  X(IfIcmpGe,        "if_icmpge",       kCondBranch,  kBranchTarget, kFlagBranch,                  2, 0, 1, 0, 0, 0) \
+  X(IfNull,          "ifnull",          kCondBranch,  kBranchTarget, kFlagBranch,                  1, 0, 1, 0, 0, 0) \
+  X(IfNonNull,       "ifnonnull",       kCondBranch,  kBranchTarget, kFlagBranch,                  1, 0, 1, 0, 0, 0) \
+  X(Goto,            "goto",            kGoto,        kBranchTarget, kFlagBranch | kFlagEndsBlock, 0, 0, 1, 0, 0, 0) \
+  X(InvokeStatic,    "invokestatic",    kInvoke,      kPoolMethod,   kFlagNone,                    0, 0, 0, 0, 0, 1) \
+  X(InvokeVirtual,   "invokevirtual",   kInvoke,      kPoolMethod,   kFlagNone,                    0, 0, 0, 0, 0, 1) \
+  X(InvokeIntrinsic, "invokeintrinsic", kIntrinsic,   kIntrinsicId,  kFlagNone,                    0, 0, 0, 0, 0, 1) \
+  X(Return,          "return",          kReturn,      kNone,         kFlagEndsBlock,               0, 0, 1, 0, 0, 0) \
+  X(Ireturn,         "ireturn",         kReturn,      kNone,         kFlagEndsBlock,               1, 0, 1, 0, 0, 0) \
+  X(Dreturn,         "dreturn",         kReturn,      kNone,         kFlagEndsBlock,               1, 0, 1, 0, 0, 0) \
+  X(Areturn,         "areturn",         kReturn,      kNone,         kFlagEndsBlock,               1, 0, 1, 0, 0, 0) \
+  X(GetField,        "getfield",        kField,       kPoolField,    kFlagNone,                    2, 1, 1, 1, 0, 0) \
+  X(PutField,        "putfield",        kField,       kPoolField,    kFlagNone,                    2, 1, 1, 1, 0, 0) \
+  X(GetStatic,       "getstatic",       kField,       kPoolField,    kFlagNone,                    1, 1, 0, 1, 0, 0) \
+  X(PutStatic,       "putstatic",       kField,       kPoolField,    kFlagNone,                    1, 1, 0, 1, 0, 0) \
+  X(New,             "new",             kNew,         kPoolClass,    kFlagNone,                    0, 1, 1, 0, 0, 0) \
+  X(NewArray,        "newarray",        kNewArray,    kElemKind,     kFlagNone,                    1, 1, 1, 0, 0, 0) \
+  X(Iaload,          "iaload",          kArrayLoad,   kNone,         kFlagNone,                    4, 1, 2, 2, 0, 0) \
+  X(Iastore,         "iastore",         kArrayStore,  kNone,         kFlagNone,                    4, 1, 2, 2, 0, 0) \
+  X(Daload,          "daload",          kArrayLoad,   kNone,         kFlagNone,                    4, 1, 2, 2, 0, 0) \
+  X(Dastore,         "dastore",         kArrayStore,  kNone,         kFlagNone,                    4, 1, 2, 2, 0, 0) \
+  X(Baload,          "baload",          kArrayLoad,   kNone,         kFlagNone,                    4, 1, 2, 2, 0, 0) \
+  X(Bastore,         "bastore",         kArrayStore,  kNone,         kFlagNone,                    4, 1, 2, 2, 0, 0) \
+  X(Aaload,          "aaload",          kArrayLoad,   kNone,         kFlagNone,                    4, 1, 2, 2, 0, 0) \
+  X(Aastore,         "aastore",         kArrayStore,  kNone,         kFlagNone,                    4, 1, 2, 2, 0, 0) \
+  X(ArrayLength,     "arraylength",     kArrayLength, kNone,         kFlagNone,                    2, 1, 0, 0, 0, 0)
+// clang-format on
+
+/// The table, indexed by static_cast<std::size_t>(Op). Built entirely at
+/// compile time from JAVELIN_OPCODE_LIST.
+inline constexpr OpSpec kTable[kNumOps] = {
+#define JAVELIN_OPSPEC_ROW(Name, mnem, cat, opnd, flg, ld, st, br, as, ac, ctx) \
+  OpSpec{Op::k##Name,         mnem,                                             \
+         OpCategory::cat,     OperandKind::opnd,                                \
+         std::uint8_t{flg},                                                     \
+         StaticOpCost{ld, st, br, as, ac, ctx != 0}},
+    JAVELIN_OPCODE_LIST(JAVELIN_OPSPEC_ROW)
+#undef JAVELIN_OPSPEC_ROW
+};
+
+// Coverage: one row per enum member, in enum order. A new Op without a table
+// row (or a row out of order) fails to compile here, not at runtime.
+#define JAVELIN_OPSPEC_COUNT(Name, mnem, cat, opnd, flg, ld, st, br, as, ac, \
+                             ctx)                                            \
+  +1
+static_assert(0 JAVELIN_OPCODE_LIST(JAVELIN_OPSPEC_COUNT) == kNumOps,
+              "opspec: JAVELIN_OPCODE_LIST must cover every jvm::Op exactly "
+              "once");
+#undef JAVELIN_OPSPEC_COUNT
+
+constexpr const OpSpec& spec(Op op) {
+  return kTable[static_cast<std::size_t>(op)];
+}
+
+/// Fetch/decode/dispatch cost charged for *every* bytecode before its
+/// semantic cost: opcode fetch (a load through the D-cache at the installed
+/// bytecode address), decode ALU op, dispatch branch. The interpreter's
+/// dispatch loops and the static cost estimator both charge exactly this.
+struct DispatchCost {
+  std::uint8_t loads = 1;
+  std::uint8_t alu_simple = 1;
+  std::uint8_t branches = 1;
+};
+inline constexpr DispatchCost kDispatchCost{};
+
+// ---- derived predicates (shared by lint and the baseline translator) -------
+
+constexpr bool is_local_load(Op op) {
+  return spec(op).category == OpCategory::kLocalLoad;
+}
+constexpr bool is_local_store(Op op) {
+  return spec(op).category == OpCategory::kLocalStore;
+}
+constexpr bool is_int_binop(Op op) {
+  return spec(op).category == OpCategory::kIntBinop;
+}
+constexpr bool is_double_binop(Op op) {
+  return spec(op).category == OpCategory::kDblBinop;
+}
+constexpr bool is_shift(Op op) {
+  return op == Op::kIshl || op == Op::kIshr || op == Op::kIushr;
+}
+/// Pushes exactly one value computable without observable side effects
+/// (constants, local loads, dup) — the lint pass's "pure producer".
+constexpr bool is_pure_producer(Op op) {
+  const OpCategory c = spec(op).category;
+  return c == OpCategory::kConst || c == OpCategory::kLocalLoad ||
+         op == Op::kDup;
+}
+
+}  // namespace javelin::jvm::opspec

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "jvm/baseline.hpp"
+
 namespace javelin::jvm {
 
 std::int32_t Jvm::load(ClassFile cf) {
@@ -149,12 +151,23 @@ void Jvm::link() {
         m.decoded.push_back(decode_insn(rc, in));
     }
 
+  // Build the L0.5 baseline superinstruction streams on top of the decoded
+  // cache. With the cache disabled the interpreter is deliberately on the
+  // decode-per-iteration path, so no stream is built either.
+  if (decode_cache_ && baseline_stream_)
+    for (RtMethod& m : methods_) m.baseline = build_baseline_stream(m.decoded);
+
   linked_ = true;
 }
 
 void Jvm::set_decode_cache(bool enabled) {
   if (linked_) throw Error("jvm: set_decode_cache after link()");
   decode_cache_ = enabled;
+}
+
+void Jvm::set_baseline_stream(bool enabled) {
+  if (linked_) throw Error("jvm: set_baseline_stream after link()");
+  baseline_stream_ = enabled;
 }
 
 DecodedInsn Jvm::decode_insn(const RtClass& rc, const Insn& in) {

@@ -35,6 +35,33 @@ struct DecodedInsn {
   double d = 0.0;        ///< Resolved constant for kDconst.
 };
 
+/// Stream opcodes for the L0.5 baseline tier. Values below kNumOps are plain
+/// jvm::Op; the extra codes are fused superinstruction pairs recognised by
+/// the baseline translator (jvm/baseline.cpp). Fusion never crosses a branch
+/// target and only combines ops whose handlers cannot throw, so the fused
+/// handlers replay both constituents' charge sequences verbatim.
+enum : std::uint16_t {
+  kSopFuseLL = kNumOps,  ///< {Iload|Aload} ; {Iload|Aload}
+  kSopFuseDD,            ///< Dload ; Dload
+  kSopFuseLC,            ///< {Iload|Aload} ; Iconst
+  kSopFuseCS,            ///< Iconst ; {Istore|Astore}
+  kSopFuseLA,            ///< {Iload|Aload} ; {Iadd|Imul}
+  kSopFuseDA,            ///< Dload ; {Dadd|Dmul}
+  kSopCount,
+};
+
+/// One L0.5 baseline-stream entry: a pre-resolved instruction (or fused
+/// pair), the original bytecode index it came from (instruction fetches are
+/// still charged at the original bytecode addresses), and the stream opcode.
+/// Branch operands in `di.a` are remapped to *stream* indices by the
+/// translator.
+struct BaselineInsn {
+  DecodedInsn di;       ///< First (or only) constituent, branch target remapped.
+  DecodedInsn di2;      ///< Second constituent of a fused pair.
+  std::uint32_t pc = 0; ///< Original bytecode index of `di`.
+  std::uint16_t sop = 0;///< jvm::Op value, or a kSopFuse* superinstruction.
+};
+
 struct RtMethod {
   std::int32_t id = -1;
   std::int32_t class_id = -1;
@@ -44,6 +71,9 @@ struct RtMethod {
   /// Decoded-bytecode cache, built once per method at link() (empty when the
   /// cache is disabled; the interpreter then decodes per iteration).
   std::vector<DecodedInsn> decoded;
+  /// L0.5 baseline superinstruction stream (jvm/baseline.cpp), built at
+  /// link() when both the decode cache and the baseline stream are enabled.
+  std::vector<BaselineInsn> baseline;
 };
 
 struct RtField {
@@ -94,6 +124,15 @@ class Jvm {
   /// energy/cycle accounting is identical either way (tests assert this).
   void set_decode_cache(bool enabled);
   bool decode_cache_enabled() const { return decode_cache_; }
+
+  /// Enable/disable building the L0.5 baseline superinstruction stream at
+  /// link() (must be set before link()). The stream is only built when the
+  /// decode cache is also enabled — with the cache off the interpreter is
+  /// deliberately on the decode-per-iteration path and the stream would
+  /// bypass it. Execution through the stream is bit-identical in simulated
+  /// energy/cycles (tests/dispatch_differential_test.cpp asserts this).
+  void set_baseline_stream(bool enabled);
+  bool baseline_stream_enabled() const { return baseline_stream_; }
 
   // ---- lookup ------------------------------------------------------------
   std::int32_t find_class(const std::string& name) const;  ///< -1 if absent.
@@ -149,6 +188,7 @@ class Jvm {
   isa::Core& core_;
   bool linked_ = false;
   bool decode_cache_ = true;
+  bool baseline_stream_ = true;
   std::vector<RtClass> classes_;
   std::vector<RtMethod> methods_;
   std::vector<RtField> fields_;

@@ -14,43 +14,12 @@ DirectMappedCache::DirectMappedCache(CacheConfig cfg) : cfg_(cfg) {
   if ((num_lines_ & (num_lines_ - 1)) != 0)
     throw std::invalid_argument("cache: line count must be a power of two");
   line_shift_ = static_cast<std::size_t>(std::countr_zero(cfg_.line_bytes));
+  index_bits_ = static_cast<std::size_t>(std::countr_zero(num_lines_));
   lines_.resize(num_lines_);
-}
-
-CacheAccess DirectMappedCache::access(Addr addr, bool is_write) {
-  const std::uint32_t block = addr >> line_shift_;
-  const std::size_t index = block & (num_lines_ - 1);
-  const std::uint32_t tag = block >> std::countr_zero(num_lines_);
-  Line& line = lines_[index];
-
-  CacheAccess result;
-  if (line.valid && line.tag == tag) {
-    CacheStats::saturating_inc(stats_.hits);
-    line.dirty = line.dirty || is_write;
-    return result;
-  }
-  CacheStats::saturating_inc(stats_.misses);
-  result.hit = false;
-  result.dram_accesses = 1;  // line fill
-  if (line.valid && line.dirty) {
-    CacheStats::saturating_inc(stats_.writebacks);
-    ++result.dram_accesses;  // dirty eviction
-  }
-  line.valid = true;
-  line.tag = tag;
-  line.dirty = is_write;
-  return result;
 }
 
 void DirectMappedCache::invalidate_all() {
   for (auto& l : lines_) l = Line{};
-}
-
-std::uint64_t MemoryHierarchy::route(DirectMappedCache& c, Addr a, bool write) {
-  const CacheAccess r = c.access(a, write);
-  if (r.hit) return 0;
-  if (meter_ && table_) meter_->add_dram_accesses(r.dram_accesses, *table_);
-  return miss_penalty_;
 }
 
 }  // namespace javelin::mem

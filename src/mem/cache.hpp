@@ -56,11 +56,55 @@ struct CacheStats {
 };
 
 /// Direct-mapped, write-back, write-allocate cache (tags only).
+///
+/// access() is defined inline: it runs 2–5 times per simulated bytecode /
+/// native instruction (every charged fetch/load/store routes through it), so
+/// keeping it out-of-line cost an opaque call on the simulator's hottest
+/// path. The tag/index math and stats updates are unchanged — simulated
+/// hit/miss behaviour is bit-identical.
 class DirectMappedCache {
  public:
   explicit DirectMappedCache(CacheConfig cfg = {});
 
-  CacheAccess access(Addr addr, bool is_write);
+  CacheAccess access(Addr addr, bool is_write) {
+    const std::uint32_t block = addr >> line_shift_;
+    const std::size_t index = block & (num_lines_ - 1);
+    const std::uint32_t tag = block >> index_bits_;
+    Line& line = lines_[index];
+
+    CacheAccess result;
+    if (line.valid && line.tag == tag) {
+      CacheStats::saturating_inc(stats_.hits);
+      line.dirty = line.dirty || is_write;
+      return result;
+    }
+    CacheStats::saturating_inc(stats_.misses);
+    result.hit = false;
+    result.dram_accesses = 1;  // line fill
+    if (line.valid && line.dirty) {
+      CacheStats::saturating_inc(stats_.writebacks);
+      ++result.dram_accesses;  // dirty eviction
+    }
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = is_write;
+    return result;
+  }
+
+  /// Line-granular address key: two addresses with equal keys fall in the
+  /// same cache line. Pairs with note_repeat_read_hit() below.
+  std::uint64_t line_key(Addr a) const { return a >> line_shift_; }
+
+  /// Record a hit without the tag lookup. Contract: the caller has proved
+  /// the line is resident — its immediately-preceding access to this cache
+  /// was to the same line (equal line_key) and nothing else touched the
+  /// cache in between. A direct-mapped cache can only lose a line to an
+  /// access that maps to the same index with a different tag, so a
+  /// back-to-back access to the same line is always a hit; the only
+  /// architectural side effect of a clean read hit is the hit counter
+  /// (dirty is unchanged: `dirty || false`). Used by the executor's
+  /// straight-line fetch path; simulated state is bit-identical to access().
+  void note_repeat_read_hit() { CacheStats::saturating_inc(stats_.hits); }
 
   const CacheStats& stats() const { return stats_; }
   std::uint64_t hits() const { return stats_.hits; }
@@ -83,6 +127,7 @@ class DirectMappedCache {
   CacheConfig cfg_;
   std::size_t num_lines_;
   std::size_t line_shift_;
+  std::size_t index_bits_;  ///< log2(num_lines_), precomputed for access().
   std::vector<Line> lines_;
   CacheStats stats_;
 };
@@ -104,7 +149,8 @@ class MemoryHierarchy {
         table_(table),
         meter_(meter) {}
 
-  /// Returns stall cycles caused by this access.
+  /// Returns stall cycles caused by this access. Inline for the same reason
+  /// as DirectMappedCache::access — one call per charged memory operation.
   std::uint64_t fetch(Addr pc) { return route(icache_, pc, /*write=*/false); }
   std::uint64_t load(Addr a) { return route(dcache_, a, /*write=*/false); }
   std::uint64_t store(Addr a) { return route(dcache_, a, /*write=*/true); }
@@ -118,7 +164,12 @@ class MemoryHierarchy {
   }
 
  private:
-  std::uint64_t route(DirectMappedCache& c, Addr a, bool write);
+  std::uint64_t route(DirectMappedCache& c, Addr a, bool write) {
+    const CacheAccess r = c.access(a, write);
+    if (r.hit) return 0;
+    if (meter_ && table_) meter_->add_dram_accesses(r.dram_accesses, *table_);
+    return miss_penalty_;
+  }
 
   DirectMappedCache icache_;
   DirectMappedCache dcache_;

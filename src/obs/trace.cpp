@@ -55,6 +55,8 @@ const char* counter_name(Counter c) {
     case Counter::kJitCompiles: return "jit_compiles";
     case Counter::kJitIrInstrsIn: return "jit_ir_instrs_in";
     case Counter::kJitIrInstrsOut: return "jit_ir_instrs_out";
+    case Counter::kInterpRunsBaseline: return "interp_runs_baseline";
+    case Counter::kEngineBaselineCalls: return "engine_baseline_calls";
     case Counter::kCount: break;
   }
   return "?";

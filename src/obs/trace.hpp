@@ -128,6 +128,8 @@ enum class Counter : std::uint8_t {
   kJitCompiles,            ///< jit::compile_method completions.
   kJitIrInstrsIn,          ///< IR instructions before optimization (summed).
   kJitIrInstrsOut,         ///< IR instructions after optimization (summed).
+  kInterpRunsBaseline,     ///< L0.5 baseline-tier runs (opt-in accounting).
+  kEngineBaselineCalls,    ///< Dispatches to an installed L0.5 translation.
   kCount
 };
 

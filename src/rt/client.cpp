@@ -41,6 +41,7 @@ const char* exec_mode_name(ExecMode m) {
     case ExecMode::kLocal2: return "L2";
     case ExecMode::kLocal3: return "L3";
     case ExecMode::kRemote: return "remote";
+    case ExecMode::kBaseline: return "L0.5";
   }
   return "?";
 }
@@ -330,6 +331,25 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
       d = Decision{static_cast<ExecMode>(level), remote_compile};
     }
   }
+  // Opt-in L0.5 baseline tier: a one-off linear translation (~24x cheaper
+  // than an L1 compile) plus discounted interpretation. Strict < keeps the
+  // default-off decision sequence identical; the candidate is deliberately
+  // NOT added to the kDecide costs vector, whose 5-entry layout (EI, ER,
+  // EL1..EL3) is pinned by the trace-export format.
+  if (cfg_.decision.baseline_tier) {
+    double compile_cost = 0.0;
+    if (!dev_->engine.baseline_installed(m.id))
+      compile_cost =
+          jit::compile_baseline(dev_->vm, m.id, dev_->cfg.energy).compile_energy;
+    const double EL0 =
+        compile_cost +
+        k * std::max(0.0, prof.local_energy[0].eval(st.ewma_s)) *
+            (1.0 - cfg_.decision.baseline_discount);
+    if (EL0 < best) {
+      best = EL0;
+      d = Decision{ExecMode::kBaseline, false};
+    }
+  }
   if (trace_) {
     obs::TraceEvent ev;
     ev.kind = obs::EventKind::kDecide;
@@ -537,6 +557,51 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
   }
 }
 
+void Client::ensure_baseline(const jvm::RtMethod& m, InvokeReport* report) {
+  // Translate the potential method plus its compilation plan (the same plan
+  // a local compile covers, so mixed-mode callees also run the stream).
+  std::vector<std::int32_t> plan{m.id};
+  for (std::int32_t callee : jit::collect_callees(dev_->vm, m.id))
+    plan.push_back(callee);
+  bool any = false;
+  for (std::int32_t id : plan) {
+    if (dev_->engine.baseline_installed(id)) continue;
+    if (dev_->vm.method(id).baseline.empty()) continue;  // No stream built.
+    any = true;
+    energy::EnergyMeter c0;
+    if (trace_) {
+      c0 = dev_->meter.snapshot();
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kCompileBegin;
+      ev.t_s = now();
+      ev.name = trace_->intern(dev_->vm.method(id).qualified_name);
+      ev.detail = trace_->intern("baseline");
+      ev.method_id = id;
+      ev.a = 0.5;  // Tier marker: L0.5.
+      trace_->emit(ev);
+    }
+    const auto res = jit::compile_baseline(dev_->vm, id, dev_->cfg.energy);
+    dev_->meter.add_instrs(res.compile_work, dev_->cfg.energy);
+    dev_->meter.add_dram_accesses(res.compile_work.total() / 50,
+                                  dev_->cfg.energy);
+    dev_->core.cycles += res.compile_cycles;
+    dev_->engine.install_baseline(id);
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kCompileEnd;
+      ev.t_s = now();
+      ev.name = trace_->intern(dev_->vm.method(id).qualified_name);
+      ev.detail = trace_->intern("baseline");
+      ev.method_id = id;
+      ev.a = 0.5;
+      ev.b = static_cast<double>(res.compile_cycles);
+      ev.ledger = obs::EnergyLedger::since(dev_->meter, c0);
+      trace_->emit(ev);
+    }
+  }
+  if (any && report) report->compiled_this_call = true;
+}
+
 jvm::Value Client::exec_local(const jvm::RtMethod& m,
                               std::span<const jvm::Value> args, ExecMode mode,
                               bool remote_compile, InvokeReport* report) {
@@ -550,6 +615,10 @@ jvm::Value Client::exec_local(const jvm::RtMethod& m,
       dev_->engine.set_force_interpret(false);
       throw;
     }
+  }
+  if (mode == ExecMode::kBaseline) {
+    ensure_baseline(m, report);
+    return dev_->engine.invoke(m.id, args);
   }
   ensure_compiled(m, static_cast<int>(mode), remote_compile, report);
   return dev_->engine.invoke(m.id, args);

@@ -108,6 +108,14 @@ struct DecisionPolicy {
   /// If > 0, also exclude remote execution when the static request-size
   /// bound exceeds this many bytes (or is unbounded, i.e. ref params).
   std::int64_t max_request_bytes = 0;
+  /// Opt-in L0.5 baseline tier: decide() also considers executing through
+  /// the method's pre-resolved superinstruction stream. Costed as a one-off
+  /// linear translation (jit::compile_baseline — ~24x cheaper than L1) plus
+  /// per-run interpretation discounted by `baseline_discount` (the dispatch
+  /// share the fused stream saves). OFF by default: the decision sequence,
+  /// trace format and every figure are byte-identical unless enabled.
+  bool baseline_tier = false;
+  double baseline_discount = 0.08;
 };
 
 struct ClientConfig {
@@ -226,6 +234,11 @@ class Client {
   /// Make sure `m` (and its compilation plan) is installed at `level`.
   void ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
                        InvokeReport* report);
+
+  /// Make sure `m` (and its compilation plan) has the L0.5 baseline
+  /// translation installed, charging the linear-translation energy/cycles
+  /// (DecisionPolicy::baseline_tier paths only).
+  void ensure_baseline(const jvm::RtMethod& m, InvokeReport* report);
 
   jvm::Value exec_local(const jvm::RtMethod& m, std::span<const jvm::Value> args,
                         ExecMode mode, bool remote_compile,

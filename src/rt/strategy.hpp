@@ -23,13 +23,17 @@ inline constexpr Strategy kAllStrategies[] = {
 
 const char* strategy_name(Strategy s);
 
-/// What the helper method decides for one invocation.
+/// What the helper method decides for one invocation. Values 1..3 double as
+/// optimization levels, which several call sites rely on; kBaseline (the
+/// L0.5 translation tier, opt-in via DecisionPolicy::baseline_tier) is
+/// deliberately appended after kRemote so that mapping stays intact.
 enum class ExecMode : std::uint8_t {
   kInterpret = 0,
   kLocal1 = 1,
   kLocal2 = 2,
   kLocal3 = 3,
   kRemote = 4,
+  kBaseline = 5,
 };
 
 const char* exec_mode_name(ExecMode m);

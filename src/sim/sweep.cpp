@@ -82,17 +82,25 @@ ScenarioSweepResult run_scenario_sweep(
 
 void write_sweep_json(const std::string& path, const std::string& bench_name,
                       const ScenarioSweepResult& result, int executions) {
+  write_sweep_json(path, bench_name, result.cells.size(), executions,
+                   result.jobs, result.wall_seconds);
+}
+
+void write_sweep_json(const std::string& path, const std::string& bench_name,
+                      std::size_t cells, int executions, int jobs,
+                      double wall_seconds) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "sweep: cannot write %s\n", path.c_str());
     return;
   }
+  const double rate =
+      wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds : 0.0;
   std::fprintf(f,
                "{\"bench\": \"%s\", \"cells\": %zu, \"executions\": %d, "
                "\"jobs\": %d, \"wall_seconds\": %.3f, "
                "\"cells_per_second\": %.3f}\n",
-               bench_name.c_str(), result.cells.size(), executions, result.jobs,
-               result.wall_seconds, result.cells_per_second());
+               bench_name.c_str(), cells, executions, jobs, wall_seconds, rate);
   std::fclose(f);
 }
 

@@ -118,4 +118,12 @@ ScenarioSweepResult run_scenario_sweep(
 void write_sweep_json(const std::string& path, const std::string& bench_name,
                       const ScenarioSweepResult& result, int executions);
 
+/// Generic variant for benches whose cells are bespoke SweepEngine::map
+/// fan-outs (Fig 6/8 and the ablations) rather than a scenario grid. Writes
+/// the same record schema; cells_per_second is derived from `cells` and
+/// `wall_seconds`.
+void write_sweep_json(const std::string& path, const std::string& bench_name,
+                      std::size_t cells, int executions, int jobs,
+                      double wall_seconds);
+
 }  // namespace javelin::sim

@@ -1,0 +1,149 @@
+// Differential proof of the dispatch-flavor invariant: every app in the
+// corpus, executed through the hand-written switch loop, the generated
+// computed-goto loop and the L0.5 baseline superinstruction stream, must
+// produce bit-identical simulated state — result correctness, retired guest
+// instructions, simulated cycles, per-class instruction counts, metered
+// energy (exact double equality: the accumulation order is part of the
+// contract) and the full heap image.
+//
+// The opt-in L0.5 *tier* accounting (Interpreter::run_baseline via
+// ExecutionEngine::install_baseline) is also exercised: it must stay correct
+// and strictly cheaper than plain interpretation, but is exempt from the
+// bit-identity clause (skipping the fused pair's second dispatch triple is
+// the tier's whole point).
+//
+// A UBSan-instrumented copy of this test rides along in the regular build
+// (see tests/CMakeLists.txt): the computed-goto loop and the pre-decoded
+// stream are exactly the kind of code where UB would hide.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "apps/app.hpp"
+#include "energy/energy.hpp"
+#include "rt/device.hpp"
+#include "support/rng.hpp"
+
+namespace javelin {
+namespace {
+
+struct RunOutcome {
+  bool correct = false;
+  std::uint64_t steps = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t dram = 0;
+  double energy = 0.0;
+  energy::InstrCounts counts;
+  std::uint64_t heap_hash = 0;
+  std::size_t heap_used = 0;
+};
+
+/// FNV-1a over the live heap zone — any divergence in allocation order or
+/// stored values between dispatch flavors shows up here.
+std::uint64_t hash_heap(const mem::Arena& arena) {
+  const std::size_t top = arena.heap_mark();
+  const std::size_t base = top - arena.heap_used();
+  std::uint64_t h = 1469598103934665603ull;
+  std::uint8_t buf[4096];
+  for (std::size_t a = base; a < top; a += sizeof(buf)) {
+    const std::size_t n = std::min(sizeof(buf), top - a);
+    arena.copy_out(static_cast<mem::Addr>(a), buf, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= buf[i];
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+enum class Flavor { kSwitch, kGoto, kStream, kTier };
+
+/// One deterministic invocation of the app's potential method on a fresh
+/// device. `Flavor::kTier` routes through ExecutionEngine::install_baseline
+/// (the opt-in L0.5 tier accounting); the others set the interpreter's
+/// dispatch mode.
+RunOutcome run_app(const apps::App& a, Flavor flavor) {
+  rt::Device dev(isa::client_machine());
+  dev.core.step_limit = ~0ULL;
+  dev.deploy(a.classes);
+  dev.engine.set_force_interpret(true);
+  const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+  switch (flavor) {
+    case Flavor::kSwitch:
+      dev.engine.set_dispatch_mode(jvm::DispatchMode::kSwitch);
+      break;
+    case Flavor::kGoto:
+      dev.engine.set_dispatch_mode(jvm::DispatchMode::kGoto);
+      break;
+    case Flavor::kStream:
+      dev.engine.set_dispatch_mode(jvm::DispatchMode::kBaseline);
+      break;
+    case Flavor::kTier:
+      dev.engine.install_baseline(mid);
+      break;
+  }
+
+  Rng rng(20260808);
+  const double scale =
+      a.profile_scales.empty() ? a.small_scale : a.profile_scales.front();
+  auto args = a.make_args(dev.vm, scale, rng);
+
+  RunOutcome out;
+  const jvm::Value result = dev.engine.invoke(mid, args);
+  out.correct = a.check(dev.vm, args, dev.vm, result);
+  out.steps = dev.core.steps;
+  out.cycles = dev.core.cycles;
+  out.dram = dev.meter.dram_accesses();
+  out.energy = dev.meter.total();
+  out.counts = dev.meter.counts();
+  out.heap_hash = hash_heap(dev.arena);
+  out.heap_used = dev.arena.heap_used();
+  return out;
+}
+
+void expect_identical(const RunOutcome& ref, const RunOutcome& got,
+                      const std::string& label) {
+  EXPECT_TRUE(got.correct) << label;
+  EXPECT_EQ(ref.steps, got.steps) << label;
+  EXPECT_EQ(ref.cycles, got.cycles) << label;
+  EXPECT_EQ(ref.dram, got.dram) << label;
+  // Exact: both flavors must execute the same double additions in the same
+  // order, so even the rounding is identical.
+  EXPECT_EQ(ref.energy, got.energy) << label;
+  for (std::size_t c = 0; c < energy::kNumInstrClasses; ++c)
+    EXPECT_EQ(ref.counts.by_class[c], got.counts.by_class[c])
+        << label << " instr class " << c;
+  EXPECT_EQ(ref.heap_used, got.heap_used) << label;
+  EXPECT_EQ(ref.heap_hash, got.heap_hash) << label;
+}
+
+TEST(DispatchDifferential, AllFlavorsBitIdenticalOnWholeCorpus) {
+  for (const apps::App& a : apps::registry()) {
+    SCOPED_TRACE(a.name);
+    const RunOutcome sw = run_app(a, Flavor::kSwitch);
+    ASSERT_TRUE(sw.correct) << a.name;
+    expect_identical(sw, run_app(a, Flavor::kGoto), a.name + "/goto");
+    expect_identical(sw, run_app(a, Flavor::kStream), a.name + "/stream");
+  }
+}
+
+TEST(DispatchDifferential, BaselineTierCorrectAndCheaper) {
+  for (const apps::App& a : apps::registry()) {
+    SCOPED_TRACE(a.name);
+    const RunOutcome interp = run_app(a, Flavor::kSwitch);
+    const RunOutcome tier = run_app(a, Flavor::kTier);
+    EXPECT_TRUE(tier.correct) << a.name;
+    // Same architectural effects...
+    EXPECT_EQ(interp.heap_hash, tier.heap_hash) << a.name;
+    EXPECT_EQ(interp.heap_used, tier.heap_used) << a.name;
+    // ...but strictly cheaper accounting whenever anything fused.
+    EXPECT_LE(tier.energy, interp.energy) << a.name;
+    EXPECT_LE(tier.steps, interp.steps) << a.name;
+    EXPECT_LE(tier.cycles, interp.cycles) << a.name;
+  }
+}
+
+}  // namespace
+}  // namespace javelin

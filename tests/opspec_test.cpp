@@ -1,0 +1,202 @@
+// Pins the opcode-spec table (jvm/opspec.hpp) as the single source of truth:
+// coverage of every jvm::Op exactly once and in enum order, agreement of all
+// derived views (mnemonics, branch predicates, lint categories, static cost
+// rows), and the L0.5 baseline translator's fusion/branch-remap rules.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "jvm/baseline.hpp"
+#include "jvm/opcodes.hpp"
+#include "jvm/opspec.hpp"
+#include "jvm/vm.hpp"
+
+namespace javelin::jvm {
+namespace {
+
+using opspec::kTable;
+using opspec::OpCategory;
+using opspec::OperandKind;
+
+TEST(OpSpec, CoversEveryOpExactlyOnceInEnumOrder) {
+  // The static_assert in opspec.hpp already fails the build on a count
+  // mismatch; here we additionally pin that row i describes opcode i.
+  for (std::size_t i = 0; i < kNumOps; ++i)
+    EXPECT_EQ(static_cast<std::size_t>(kTable[i].op), i)
+        << "row " << i << " (" << kTable[i].mnemonic << ") out of order";
+
+  std::set<std::string> mnemonics;
+  for (const auto& row : kTable)
+    EXPECT_TRUE(mnemonics.insert(row.mnemonic).second)
+        << "duplicate mnemonic " << row.mnemonic;
+  EXPECT_EQ(mnemonics.size(), kNumOps);
+}
+
+TEST(OpSpec, MnemonicsAndFlagsAgreeWithOpcodeQueries) {
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    EXPECT_STREQ(op_name(op), kTable[i].mnemonic);
+    EXPECT_EQ(is_branch(op), (kTable[i].flags & opspec::kFlagBranch) != 0)
+        << kTable[i].mnemonic;
+    EXPECT_EQ(ends_block(op), (kTable[i].flags & opspec::kFlagEndsBlock) != 0)
+        << kTable[i].mnemonic;
+    // `a` is a branch target exactly for the branch ops.
+    EXPECT_EQ(kTable[i].operand == OperandKind::kBranchTarget, is_branch(op))
+        << kTable[i].mnemonic;
+  }
+}
+
+TEST(OpSpec, CategoryPredicatesMatchLintExpectations) {
+  using namespace opspec;
+  for (Op op : {Op::kIload, Op::kDload, Op::kAload})
+    EXPECT_TRUE(is_local_load(op));
+  for (Op op : {Op::kIstore, Op::kDstore, Op::kAstore})
+    EXPECT_TRUE(is_local_store(op));
+  for (Op op : {Op::kIadd, Op::kIsub, Op::kImul, Op::kIdiv, Op::kIrem,
+                Op::kIshl, Op::kIshr, Op::kIushr, Op::kIand, Op::kIor,
+                Op::kIxor})
+    EXPECT_TRUE(is_int_binop(op));
+  for (Op op : {Op::kDadd, Op::kDsub, Op::kDmul, Op::kDdiv})
+    EXPECT_TRUE(is_double_binop(op));
+  for (Op op : {Op::kIshl, Op::kIshr, Op::kIushr}) EXPECT_TRUE(is_shift(op));
+  EXPECT_FALSE(is_shift(Op::kIadd));
+  for (Op op : {Op::kIconst, Op::kDconst, Op::kAconstNull, Op::kIload,
+                Op::kDload, Op::kAload, Op::kDup})
+    EXPECT_TRUE(is_pure_producer(op));
+  for (Op op : {Op::kInvokeStatic, Op::kGetField, Op::kIaload, Op::kNew})
+    EXPECT_FALSE(is_pure_producer(op));
+}
+
+TEST(OpSpec, StaticCostRowsMatchInterpreterChargeSequences) {
+  // Spot-pin rows against the interpreter's actual charge sequences
+  // (jvm/interp_ops.inc). Dispatch triple is charged separately.
+  const auto& dc = opspec::kDispatchCost;
+  EXPECT_EQ(dc.loads, 1);
+  EXPECT_EQ(dc.alu_simple, 1);
+  EXPECT_EQ(dc.branches, 1);
+
+  auto cost = [](Op op) { return opspec::spec(op).cost; };
+  // Local load: pop nothing, read slot (load), push (store).
+  for (Op op : {Op::kIload, Op::kDload, Op::kAload}) {
+    EXPECT_EQ(cost(op).loads, 1) << op_name(op);
+    EXPECT_EQ(cost(op).stores, 1) << op_name(op);
+    EXPECT_EQ(cost(op).branches, 0) << op_name(op);
+  }
+  // Int binop: two pops, one push, one simple (or complex for mul/div) ALU.
+  EXPECT_EQ(cost(Op::kIadd).loads, 2);
+  EXPECT_EQ(cost(Op::kIadd).stores, 1);
+  EXPECT_EQ(cost(Op::kIadd).alu_simple, 1);
+  EXPECT_EQ(cost(Op::kImul).alu_complex, 1);
+  EXPECT_EQ(cost(Op::kDadd).alu_complex, 1);
+  // Array access: ref+idx pops, length load, 2 bounds branches, address
+  // arithmetic, element access.
+  for (Op op : {Op::kIaload, Op::kIastore, Op::kDaload, Op::kDastore,
+                Op::kBaload, Op::kBastore, Op::kAaload, Op::kAastore}) {
+    EXPECT_EQ(cost(op).loads, 4) << op_name(op);
+    EXPECT_EQ(cost(op).branches, 2) << op_name(op);
+    EXPECT_EQ(cost(op).alu_simple, 2) << op_name(op);
+  }
+  // Context-dependent rows are exactly the invokes and the intrinsic call.
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    const bool expect_ctx = op == Op::kInvokeStatic ||
+                            op == Op::kInvokeVirtual ||
+                            op == Op::kInvokeIntrinsic;
+    EXPECT_EQ(cost(op).context_dependent, expect_ctx) << op_name(op);
+  }
+}
+
+// ---- L0.5 baseline translator ----------------------------------------------
+
+DecodedInsn di(Op op, std::int32_t a = 0) {
+  DecodedInsn d;
+  d.op = op;
+  d.a = a;
+  return d;
+}
+
+TEST(BaselineStream, FusionRules) {
+  std::uint16_t sop = 0;
+  EXPECT_TRUE(fusable_pair(di(Op::kIload, 0), di(Op::kIload, 1), sop));
+  EXPECT_EQ(sop, kSopFuseLL);
+  EXPECT_TRUE(fusable_pair(di(Op::kAload, 0), di(Op::kAload, 1), sop));
+  EXPECT_EQ(sop, kSopFuseLL);
+  EXPECT_TRUE(fusable_pair(di(Op::kDload, 0), di(Op::kDload, 1), sop));
+  EXPECT_EQ(sop, kSopFuseDD);
+  EXPECT_TRUE(fusable_pair(di(Op::kIload, 0), di(Op::kIconst, 7), sop));
+  EXPECT_EQ(sop, kSopFuseLC);
+  EXPECT_TRUE(fusable_pair(di(Op::kIconst, 7), di(Op::kIstore, 2), sop));
+  EXPECT_EQ(sop, kSopFuseCS);
+  EXPECT_TRUE(fusable_pair(di(Op::kIload, 0), di(Op::kIadd), sop));
+  EXPECT_EQ(sop, kSopFuseLA);
+  EXPECT_TRUE(fusable_pair(di(Op::kDload, 0), di(Op::kDmul), sop));
+  EXPECT_EQ(sop, kSopFuseDA);
+
+  // Throwing ops never fuse (division can trap; array ops can throw).
+  EXPECT_FALSE(fusable_pair(di(Op::kIload, 0), di(Op::kIdiv), sop));
+  EXPECT_FALSE(fusable_pair(di(Op::kDload, 0), di(Op::kDdiv), sop));
+  EXPECT_FALSE(fusable_pair(di(Op::kIload, 0), di(Op::kIaload), sop));
+  // Dstore is never a fusion tail.
+  EXPECT_FALSE(fusable_pair(di(Op::kDconst, 0), di(Op::kDstore, 1), sop));
+  // Branches never fuse.
+  EXPECT_FALSE(fusable_pair(di(Op::kIload, 0), di(Op::kIfeq, 0), sop));
+  EXPECT_FALSE(fusable_pair(di(Op::kGoto, 0), di(Op::kIload, 0), sop));
+}
+
+TEST(BaselineStream, FusesAdjacentPairAndRemapsBranches) {
+  // 0: iload 0          --+ fused (LL)
+  // 1: iload 1          --+
+  // 2: iadd
+  // 3: ifgt -> 6
+  // 4: iconst 1         --+ fused (CS)
+  // 5: istore 0         --+
+  // 6: iload 0
+  // 7: ireturn
+  const std::vector<DecodedInsn> body{
+      di(Op::kIload, 0),  di(Op::kIload, 1), di(Op::kIadd),
+      di(Op::kIfgt, 6),   di(Op::kIconst, 1), di(Op::kIstore, 0),
+      di(Op::kIload, 0),  di(Op::kIreturn)};
+  const auto stream = build_baseline_stream(body);
+  ASSERT_EQ(stream.size(), 6u);
+  EXPECT_EQ(stream[0].sop, kSopFuseLL);
+  EXPECT_EQ(stream[0].pc, 0u);
+  EXPECT_EQ(stream[1].sop, static_cast<std::uint16_t>(Op::kIadd));
+  EXPECT_EQ(stream[2].sop, static_cast<std::uint16_t>(Op::kIfgt));
+  // Branch operand remapped from bytecode index 6 to stream index 4.
+  EXPECT_EQ(stream[2].di.a, 4);
+  EXPECT_EQ(stream[3].sop, kSopFuseCS);
+  EXPECT_EQ(stream[4].sop, static_cast<std::uint16_t>(Op::kIload));
+  EXPECT_EQ(stream[5].sop, static_cast<std::uint16_t>(Op::kIreturn));
+}
+
+TEST(BaselineStream, NeverFusesAcrossBranchTarget) {
+  // 2: iload 1 is a branch target: the pair (1,2) must not fuse even though
+  // iload;iload is otherwise fusable.
+  const std::vector<DecodedInsn> body{
+      di(Op::kGoto, 2), di(Op::kIload, 0), di(Op::kIload, 1),
+      di(Op::kIreturn)};
+  const auto stream = build_baseline_stream(body);
+  ASSERT_EQ(stream.size(), 4u);
+  for (const auto& e : stream)
+    EXPECT_LT(e.sop, static_cast<std::uint16_t>(kNumOps));
+  EXPECT_EQ(stream[0].di.a, 2);  // goto remapped 2 -> 2 (1:1 here)
+}
+
+TEST(BaselineStream, OutOfRangeBranchTargetMapsToStreamEnd) {
+  // The interpreter throws "pc out of range" when a branch lands outside the
+  // body; the translator maps such targets to the stream size so the stream
+  // executor's bounds check fires at exactly the same point.
+  const std::vector<DecodedInsn> body{di(Op::kGoto, 99), di(Op::kIreturn)};
+  const auto stream = build_baseline_stream(body);
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream[0].di.a, static_cast<std::int32_t>(stream.size()));
+}
+
+TEST(BaselineStream, EmptyBodyGivesEmptyStream) {
+  EXPECT_TRUE(build_baseline_stream({}).empty());
+}
+
+}  // namespace
+}  // namespace javelin::jvm
