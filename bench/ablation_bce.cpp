@@ -2,13 +2,19 @@
 //
 // The paper discusses optimization-level tradeoffs (code size vs execution
 // gain); BCE is the canonical Java-JIT optimization in that space. This
-// bench compiles each benchmark at Level 3 with and without BCE and measures
-// executed instructions, execution energy and code size for one large-input
-// run. Each (app, bce) cell owns a private Device, so the 8 x 2 grid fans
-// out on the parallel sweep engine.
+// bench compiles each benchmark at Level 3 under three regimes — BCE off,
+// per-method BCE (dominating-access proofs only), and cross-procedure BCE
+// (per-method proofs plus the interprocedural array-length-fact pass,
+// analysis/lengths.hpp) — and measures executed instructions, execution
+// energy, code size and elided guards for one large-input run. Each
+// (app, regime) cell owns a private Device, so the 8 x 3 grid fans out on
+// the parallel sweep engine.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
+#include "analysis/lengths.hpp"
 #include "jit/compiler.hpp"
 #include "rt/device.hpp"
 #include "apps/app.hpp"
@@ -23,10 +29,40 @@ struct CellResult {
   double energy = 0.0;
   std::uint64_t instrs = 0;
   std::size_t code_bytes = 0;
+  std::size_t elided = 0;           ///< Guards elided, all proofs.
+  std::size_t elided_interproc = 0; ///< Of which interprocedural facts.
   bool correct = false;
 };
 
-CellResult run_cell(const apps::App& a, bool bce) {
+/// Regimes: 0 = BCE off, 1 = per-method BCE, 2 = per-method + interproc.
+constexpr int kNumRegimes = 3;
+
+/// Per-method jit facts from the interprocedural length pass (the same
+/// conversion rt::Client::seed_length_facts performs at deploy time).
+std::vector<std::vector<jit::ArrayParamFact>> length_facts(const jvm::Jvm& vm) {
+  std::vector<const jvm::ClassFile*> classes;
+  for (std::size_t c = 0; c < vm.num_classes(); ++c)
+    classes.push_back(&vm.cls(static_cast<std::int32_t>(c)).cf);
+  const analysis::LengthAnalysis la = analysis::analyze_lengths(classes);
+  std::vector<std::vector<jit::ArrayParamFact>> out(vm.num_methods());
+  if (la.incomplete) return out;  // Fail closed: no facts anywhere.
+  for (std::size_t i = 0; i < vm.num_methods(); ++i) {
+    const analysis::MethodLengthFacts* f =
+        la.find(vm.method(static_cast<std::int32_t>(i)).info);
+    if (f == nullptr || !f->valid()) continue;
+    std::vector<jit::ArrayParamFact> facts(f->params.size());
+    bool any = false;
+    for (std::size_t p = 0; p < f->params.size(); ++p) {
+      facts[p].non_null = f->params[p].non_null;
+      facts[p].min_len = f->params[p].min_len;
+      any = any || facts[p].non_null;
+    }
+    if (any) out[i] = std::move(facts);
+  }
+  return out;
+}
+
+CellResult run_cell(const apps::App& a, int regime) {
   CellResult out;
   rt::Device dev(isa::client_machine());
   dev.core.step_limit = 200'000'000'000ULL;
@@ -34,12 +70,21 @@ CellResult run_cell(const apps::App& a, bool bce) {
   const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
   std::vector<std::int32_t> plan{mid};
   for (auto c : jit::collect_callees(dev.vm, mid)) plan.push_back(c);
+  std::vector<std::vector<jit::ArrayParamFact>> facts;
+  if (regime == 2) facts = length_facts(dev.vm);
   jit::CompileOptions opts;
   opts.opt_level = 3;
-  opts.bounds_check_elimination = bce;
+  opts.bounds_check_elimination = regime != 0;
   for (auto id : plan) {
+    if (regime == 2 && static_cast<std::size_t>(id) < facts.size() &&
+        !facts[static_cast<std::size_t>(id)].empty())
+      opts.param_facts = &facts[static_cast<std::size_t>(id)];
+    else
+      opts.param_facts = nullptr;
     auto res = jit::compile_method(dev.vm, id, opts, dev.cfg.energy);
     out.code_bytes += res.program.image_bytes();
+    out.elided += res.guards_elided;
+    out.elided_interproc += res.guards_elided_interproc;
     dev.engine.install(id, std::move(res.program), 3);
   }
   Rng rng(11);
@@ -55,40 +100,56 @@ CellResult run_cell(const apps::App& a, bool bce) {
   return out;
 }
 
+const char* regime_name(int regime) {
+  switch (regime) {
+    case 0: return "off";
+    case 1: return "on";
+    default: return "interproc";
+  }
+}
+
 }  // namespace
 
 int main() {
+  const auto t0 = std::chrono::steady_clock::now();
   TextTable table("Ablation — bounds-check elimination at Level 3");
   table.set_header({"app", "BCE", "exec energy (mJ)", "instrs", "code bytes",
-                    "saving"});
+                    "elided", "saving"});
 
   const auto& registry = apps::registry();
   sim::SweepEngine engine;
 
-  // Cell grid: [app][bce off/on].
+  // Cell grid: [app][regime].
+  const std::size_t n_cells = registry.size() * kNumRegimes;
   const auto cells = engine.map<CellResult>(
-      registry.size() * 2, [&registry](std::size_t cell) {
-        return run_cell(registry[cell / 2], cell % 2 != 0);
+      n_cells, [&registry](std::size_t cell) {
+        return run_cell(registry[cell / kNumRegimes],
+                        static_cast<int>(cell % kNumRegimes));
       });
 
   for (std::size_t ai = 0; ai < registry.size(); ++ai) {
     const apps::App& a = registry[ai];
-    const CellResult* r = &cells[ai * 2];
-    for (int bce = 0; bce < 2; ++bce) {
-      if (!r[bce].correct) {
-        std::fprintf(stderr, "FAIL: %s wrong result (bce=%d)\n",
-                     a.name.c_str(), bce);
+    const CellResult* r = &cells[ai * kNumRegimes];
+    for (int regime = 0; regime < kNumRegimes; ++regime) {
+      if (!r[regime].correct) {
+        std::fprintf(stderr, "FAIL: %s wrong result (regime=%s)\n",
+                     a.name.c_str(), regime_name(regime));
         return 1;
       }
     }
-    for (int bce = 0; bce < 2; ++bce) {
+    for (int regime = 0; regime < kNumRegimes; ++regime) {
+      std::string elided = std::to_string(r[regime].elided);
+      if (r[regime].elided_interproc > 0)
+        elided += " (+" + std::to_string(r[regime].elided_interproc) + " ip)";
       table.add_row(
-          {a.name, bce ? "on" : "off",
-           TextTable::num(r[bce].energy * 1e3, 3),
-           std::to_string(r[bce].instrs), std::to_string(r[bce].code_bytes),
-           bce ? TextTable::num(100.0 * (1.0 - r[1].energy / r[0].energy), 1) +
-                     "%"
-               : ""});
+          {a.name, regime_name(regime),
+           TextTable::num(r[regime].energy * 1e3, 3),
+           std::to_string(r[regime].instrs),
+           std::to_string(r[regime].code_bytes), elided,
+           regime ? TextTable::num(
+                        100.0 * (1.0 - r[regime].energy / r[0].energy), 1) +
+                        "%"
+                  : ""});
     }
   }
   std::fputs(table.render().c_str(), stdout);
@@ -96,6 +157,21 @@ int main() {
       "\nBCE removes guards proven by a dominating access to the same\n"
       "(array, index) pair; kernels that re-read elements through the same\n"
       "registers (ed's hysteresis, sort) gain, and their code images shrink;\n"
-      "kernels whose indices are recomputed per access are unaffected.");
+      "kernels whose indices are recomputed per access are unaffected.\n"
+      "The interproc regime adds parameter facts proven across call\n"
+      "boundaries, so even first accesses to parameter arrays drop guards;\n"
+      "shadow-bounds mode (JAVELIN_SHADOW=1) cross-validates every elision.");
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  sim::write_sweep_json(json_path ? json_path : "BENCH_ablation_bce.json",
+                        "ablation_bce", n_cells, /*executions=*/1,
+                        engine.jobs(), wall);
+  std::fprintf(stderr,
+               "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
+               n_cells, engine.jobs(), wall,
+               wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
   return 0;
 }

@@ -9,7 +9,9 @@
 // memory system the paper modelled. The 4 apps x 3 geometries grid runs on
 // the parallel sweep engine with the machine config as per-cell state.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "sim/sweep.hpp"
@@ -29,6 +31,7 @@ isa::MachineConfig with_caches(std::size_t icache, std::size_t dcache) {
 }  // namespace
 
 int main() {
+  const auto t0 = std::chrono::steady_clock::now();
   struct Config {
     const char* name;
     isa::MachineConfig machine;
@@ -80,5 +83,19 @@ int main() {
   std::puts(
       "\nSmaller caches raise both the DRAM energy share and execution time\n"
       "(miss stalls); the paper's 16K/8K point sits between the extremes.");
+
+  // Machine-readable perf trajectory record, same schema as BENCH_fig6.json.
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::size_t n_cells = kNumApps * kNumConfigs;
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  sim::write_sweep_json(json_path ? json_path : "BENCH_ablation_cache.json",
+                        "ablation_cache", n_cells, /*executions=*/1,
+                        engine.jobs(), wall);
+  std::fprintf(stderr,
+               "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
+               n_cells, engine.jobs(), wall,
+               wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
   return 0;
 }

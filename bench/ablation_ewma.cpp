@@ -9,6 +9,7 @@
 // profiled once, and every cell passes its weight as a per-cell client
 // config, so the shared runners stay immutable.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -19,6 +20,7 @@
 using namespace javelin;
 
 int main() {
+  const auto t0 = std::chrono::steady_clock::now();
   int execs = 150;
   if (const char* env = std::getenv("JAVELIN_ABLATION_EXECS"))
     execs = std::atoi(env);
@@ -72,5 +74,18 @@ int main() {
       "\nValues normalized to u=0.7 (the paper's choice); ~1.0 across the row\n"
       "means the decision logic is robust to the weight, as the paper's\n"
       "'satisfactory results' phrasing suggests.");
+
+  // Machine-readable perf trajectory record, same schema as BENCH_fig6.json.
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::size_t n_cells = kNumApps * kNumWeights;
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  sim::write_sweep_json(json_path ? json_path : "BENCH_ablation_ewma.json",
+                        "ablation_ewma", n_cells, execs, engine.jobs(), wall);
+  std::fprintf(stderr,
+               "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
+               n_cells, engine.jobs(), wall,
+               wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
   return 0;
 }

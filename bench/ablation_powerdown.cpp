@@ -8,7 +8,9 @@
 // longer benefit more. The 6 apps x 2 settings grid runs on the parallel
 // sweep engine with power-down as a per-cell client config.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "sim/sweep.hpp"
@@ -17,6 +19,7 @@
 using namespace javelin;
 
 int main() {
+  const auto t0 = std::chrono::steady_clock::now();
   TextTable table("Ablation — power-down during remote execution (Class 4)");
   table.set_header({"app", "scale", "E powered-down (mJ)", "E awake (mJ)",
                     "saving", "idle share (pd)"});
@@ -66,5 +69,19 @@ int main() {
   std::puts(
       "\nPower-down saves 90% of the wait-time energy (leakage = 10% of\n"
       "normal power); the absolute saving grows with server compute time.");
+
+  // Machine-readable perf trajectory record, same schema as BENCH_fig6.json.
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::size_t n_cells = kNumApps * 2;
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  sim::write_sweep_json(
+      json_path ? json_path : "BENCH_ablation_powerdown.json",
+      "ablation_powerdown", n_cells, /*executions=*/1, engine.jobs(), wall);
+  std::fprintf(stderr,
+               "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
+               n_cells, engine.jobs(), wall,
+               wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
   return 0;
 }

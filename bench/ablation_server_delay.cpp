@@ -12,7 +12,9 @@
 // to local execution. Each delay case owns a private server/client pair and
 // runs as one cell on the parallel sweep engine.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
@@ -66,6 +68,7 @@ CaseResult run_case(const sim::ScenarioRunner& runner, double delay) {
 }  // namespace
 
 int main() {
+  const auto t0 = std::chrono::steady_clock::now();
   const apps::App& fe = apps::app("fe");
   sim::ScenarioRunner runner(fe);
 
@@ -115,5 +118,20 @@ int main() {
       "and queues the response (leakage-only wait). Moderate delay: early\n"
       "re-activation burns idle energy at full power. Past the timeout: the\n"
       "client gives up and executes locally (fallbacks = 10).");
+
+  // Machine-readable perf trajectory record, same schema as BENCH_fig6.json.
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::size_t n_cells = std::size(cases);
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  sim::write_sweep_json(
+      json_path ? json_path : "BENCH_ablation_server_delay.json",
+      "ablation_server_delay", n_cells, /*executions=*/10, engine.jobs(),
+      wall);
+  std::fprintf(stderr,
+               "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
+               n_cells, engine.jobs(), wall,
+               wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
   return 0;
 }

@@ -20,7 +20,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "obs/export.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -63,14 +66,34 @@ int main() {
 
   // Cell grid: [app][input][variant], app-major.
   const std::size_t n_cells = kNumApps * 2 * kNumVariants;
+
+  // Opt-in Chrome-trace capture: one track per cell (created up front, so
+  // the parallel map only ever touches its own buffer). Tracing is
+  // read-only — the figure table is bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(n_cells, nullptr);
+  if (trace_path) {
+    for (std::size_t cell = 0; cell < n_cells; ++cell) {
+      const std::size_t app = cell / (2 * kNumVariants);
+      const bool large = (cell / kNumVariants) % 2 != 0;
+      const Variant& v = variants[cell % kNumVariants];
+      tracks[cell] = collector.make_buffer(
+          std::string(names[app]) + "/" + (large ? "large" : "small") + "/" +
+              v.label,
+          /*order_key=*/cell);
+    }
+  }
+
   const auto cells = engine.map<sim::StrategyResult>(
-      n_cells, [&runners, &variants, &names](std::size_t cell) {
+      n_cells, [&runners, &variants, &names, &tracks](std::size_t cell) {
         const std::size_t app = cell / (2 * kNumVariants);
         const bool large = (cell / kNumVariants) % 2 != 0;
         const Variant& v = variants[cell % kNumVariants];
         const apps::App& a = apps::app(names[app]);
         return runners[app]->run_single(
-            v.strategy, large ? a.large_scale : a.small_scale, v.channel);
+            v.strategy, large ? a.large_scale : a.small_scale, v.channel,
+            /*verify=*/true, /*config=*/nullptr, tracks[cell]);
       });
 
   TextTable table("Fig 6 — static strategies, energy normalized to L1");
@@ -128,5 +151,17 @@ int main() {
   std::fprintf(stderr, "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
                n_cells, engine.jobs(), wall,
                wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
+
+  if (trace_path) {
+    const std::string json = obs::chrome_trace_json(collector);
+    std::string err;
+    if (!obs::json_valid(json, &err)) {
+      std::fprintf(stderr, "fig6: invalid trace JSON: %s\n", err.c_str());
+      return 1;
+    }
+    if (!obs::write_file(trace_path, json)) return 1;
+    std::fprintf(stderr, "[trace] %zu tracks -> %s (%zu bytes)\n",
+                 collector.size(), trace_path, json.size());
+  }
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/export.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -46,6 +47,13 @@ int main() {
   spec.situations.assign(std::begin(kSituations), std::end(kSituations));
   spec.strategies.assign(std::begin(kStrategies), std::end(kStrategies));
   spec.executions = execs;
+
+  // Opt-in Chrome-trace capture: every sweep cell records into its own
+  // track, so any cell is inspectable in chrome://tracing / Perfetto.
+  // Tracing is read-only — the figure tables are bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  if (trace_path) spec.collector = &collector;
 
   sim::SweepEngine engine;
   const sim::ScenarioSweepResult sweep = sim::run_scenario_sweep(
@@ -131,5 +139,17 @@ int main() {
                "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
                sweep.cells.size(), sweep.jobs, sweep.wall_seconds,
                sweep.cells_per_second());
+
+  if (trace_path) {
+    const std::string json = obs::chrome_trace_json(collector);
+    std::string err;
+    if (!obs::json_valid(json, &err)) {
+      std::fprintf(stderr, "fig7: invalid trace JSON: %s\n", err.c_str());
+      return 1;
+    }
+    if (!obs::write_file(trace_path, json)) return 1;
+    std::fprintf(stderr, "[trace] %zu tracks -> %s (%zu bytes)\n",
+                 collector.size(), trace_path, json.size());
+  }
   return 0;
 }

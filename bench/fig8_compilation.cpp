@@ -18,8 +18,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "net/link.hpp"
+#include "obs/export.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -86,5 +88,33 @@ int main() {
   std::fprintf(stderr, "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
                registry.size(), engine.jobs(), wall,
                wall > 0.0 ? static_cast<double>(registry.size()) / wall : 0.0);
+
+  // Opt-in Chrome-trace capture: the figure itself only reads deploy-time
+  // profiles, so when a trace is requested run one traced L3 execution per
+  // app — its kCompileBegin/End spans are the compilation-energy story this
+  // figure tells. The table above is printed either way, unchanged.
+  if (const char* trace_path = std::getenv("JAVELIN_TRACE_JSON")) {
+    obs::TraceCollector collector;
+    std::vector<obs::TraceBuffer*> tracks(registry.size(), nullptr);
+    for (std::size_t ai = 0; ai < registry.size(); ++ai)
+      tracks[ai] = collector.make_buffer(registry[ai].name + "/L3",
+                                         /*order_key=*/ai);
+    engine.map<int>(registry.size(), [&runners, &registry,
+                                      &tracks](std::size_t ai) {
+      runners[ai]->run_single(rt::Strategy::kLocal3, registry[ai].large_scale,
+                              radio::PowerClass::kClass4, /*verify=*/true,
+                              /*config=*/nullptr, tracks[ai]);
+      return 0;
+    });
+    const std::string json = obs::chrome_trace_json(collector);
+    std::string err;
+    if (!obs::json_valid(json, &err)) {
+      std::fprintf(stderr, "fig8: invalid trace JSON: %s\n", err.c_str());
+      return 1;
+    }
+    if (!obs::write_file(trace_path, json)) return 1;
+    std::fprintf(stderr, "[trace] %zu tracks -> %s (%zu bytes)\n",
+                 collector.size(), trace_path, json.size());
+  }
   return 0;
 }

@@ -1,0 +1,394 @@
+#include "analysis/lengths.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "analysis/bytecode_cfg.hpp"
+#include "analysis/cost.hpp"
+#include "isa/nisa.hpp"
+#include "jvm/opspec.hpp"
+#include "jvm/verifier.hpp"
+
+namespace javelin::analysis {
+
+using jvm::ClassFile;
+using jvm::Insn;
+using jvm::MethodInfo;
+using jvm::Op;
+using jvm::TypeKind;
+
+namespace {
+
+/// Abstract value flowing through one method: what we know about the
+/// reference/int on the stack or in a local. Bottom (the default) knows
+/// nothing.
+struct AbsVal {
+  bool non_null = false;
+  std::int32_t min_len = 0;
+  bool is_const = false;       ///< Known int constant.
+  std::int32_t const_val = 0;
+};
+
+AbsVal meet_val(const AbsVal& x, const AbsVal& y) {
+  AbsVal r;
+  r.non_null = x.non_null && y.non_null;
+  r.min_len = std::min(x.min_len, y.min_len);
+  r.is_const = x.is_const && y.is_const && x.const_val == y.const_val;
+  r.const_val = r.is_const ? x.const_val : 0;
+  return r;
+}
+
+bool same_val(const AbsVal& x, const AbsVal& y) {
+  return x.non_null == y.non_null && x.min_len == y.min_len &&
+         x.is_const == y.is_const && x.const_val == y.const_val;
+}
+
+/// Per-block dataflow state: locals and the abstract operand stack.
+struct State {
+  std::vector<AbsVal> locals;
+  std::vector<AbsVal> stack;
+};
+
+constexpr std::int32_t kTopLen = INT32_MAX;
+
+/// The optimistic starting point for a not-yet-called method's parameter.
+LengthParamFact top_fact() { return LengthParamFact{true, kTopLen}; }
+
+class Pass {
+ public:
+  explicit Pass(const std::vector<const ClassFile*>& classes)
+      : classes_(classes) {
+    for (const ClassFile* cf : classes_) resolver_.add(cf);
+  }
+
+  LengthAnalysis run();
+
+ private:
+  void init_method(const ClassFile& cf, const MethodInfo& m);
+  void analyze_method(const ClassFile& cf, const MethodInfo& m);
+  /// Abstract-interpret one instruction. Returns false (and poisons the
+  /// pass) on anything inconsistent — unresolvable callee, hostile indices.
+  bool simulate(const ClassFile& cf, const MethodInfo& m, const Insn& in,
+                State& st);
+  void contribute(const MethodInfo* callee, const std::vector<AbsVal>& args);
+  void enqueue(const MethodInfo* m);
+  void poison() { out_.incomplete = true; }
+
+  const std::vector<const ClassFile*>& classes_;
+  jvm::ClassSetResolver resolver_;
+  LengthAnalysis out_;
+  std::unordered_map<const MethodInfo*, const ClassFile*> owner_;
+  std::deque<const MethodInfo*> worklist_;
+  std::unordered_map<const MethodInfo*, char> in_queue_;
+};
+
+void Pass::init_method(const ClassFile& cf, const MethodInfo& m) {
+  MethodLengthFacts f;
+  f.root = m.potential;
+  f.params.assign(m.num_args(), f.root ? LengthParamFact{} : top_fact());
+  // The receiver of an instance method is null-checked by the dispatch
+  // itself, so it is non-null at entry no matter what call sites pass.
+  if (!m.is_static && !f.params.empty()) f.params[0].non_null = true;
+  out_.methods.emplace(&m, std::move(f));
+  owner_.emplace(&m, &cf);
+}
+
+void Pass::enqueue(const MethodInfo* m) {
+  auto& flag = in_queue_[m];
+  if (flag) return;
+  flag = 1;
+  worklist_.push_back(m);
+}
+
+void Pass::contribute(const MethodInfo* callee,
+                      const std::vector<AbsVal>& args) {
+  MethodLengthFacts& f = out_.methods.at(callee);
+  ++f.site_count;
+  ++out_.work;
+  bool changed = false;
+  if (args.size() != f.params.size()) {
+    // Signature drift (shouldn't happen on verified code): fail closed by
+    // dropping every fact for this callee.
+    for (LengthParamFact& p : f.params) {
+      changed = changed || p.non_null || p.min_len != 0;
+      p = LengthParamFact{};
+    }
+  } else {
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      LengthParamFact& p = f.params[i];
+      const bool nn = p.non_null && args[i].non_null;
+      const std::int32_t ml = std::min(p.min_len, args[i].min_len);
+      if (nn != p.non_null || ml != p.min_len) changed = true;
+      p.non_null = nn;
+      p.min_len = ml;
+    }
+  }
+  if (!callee->is_static && !f.params.empty()) f.params[0].non_null = true;
+  if (changed) enqueue(callee);
+}
+
+bool Pass::simulate(const ClassFile& cf, const MethodInfo& m, const Insn& in,
+                    State& st) {
+  using jvm::opspec::OpCategory;
+  if (static_cast<std::size_t>(in.op) >= jvm::kNumOps) return false;
+  const auto& sp = jvm::opspec::spec(in.op);
+
+  const auto pop_n = [&](std::size_t n) {
+    if (st.stack.size() < n) return false;
+    st.stack.resize(st.stack.size() - n);
+    return true;
+  };
+  const auto push = [&](AbsVal v) { st.stack.push_back(v); };
+  const auto slot_ok = [&](std::int32_t s) {
+    return s >= 0 && static_cast<std::size_t>(s) < st.locals.size();
+  };
+
+  switch (sp.category) {
+    case OpCategory::kConst: {
+      AbsVal v;
+      if (in.op == Op::kIconst) {
+        v.is_const = true;
+        v.const_val = in.a;
+      }
+      push(v);
+      return true;
+    }
+    case OpCategory::kLocalLoad:
+      if (!slot_ok(in.a)) return false;
+      push(st.locals[static_cast<std::size_t>(in.a)]);
+      return true;
+    case OpCategory::kLocalStore: {
+      if (!slot_ok(in.a) || st.stack.empty()) return false;
+      st.locals[static_cast<std::size_t>(in.a)] = st.stack.back();
+      st.stack.pop_back();
+      return true;
+    }
+    case OpCategory::kStack:
+      if (st.stack.empty()) return false;
+      if (in.op == Op::kDup) push(st.stack.back());
+      else st.stack.pop_back();
+      return true;
+    case OpCategory::kIntBinop:
+    case OpCategory::kDblBinop:
+    case OpCategory::kCmp:
+      if (!pop_n(2)) return false;
+      push(AbsVal{});
+      return true;
+    case OpCategory::kIntUnary:
+    case OpCategory::kDblUnary:
+    case OpCategory::kConv:
+      if (!pop_n(1)) return false;
+      push(AbsVal{});
+      return true;
+    case OpCategory::kCondBranch: {
+      const bool two = in.op == Op::kIfIcmpEq || in.op == Op::kIfIcmpNe ||
+                       in.op == Op::kIfIcmpLt || in.op == Op::kIfIcmpLe ||
+                       in.op == Op::kIfIcmpGt || in.op == Op::kIfIcmpGe;
+      return pop_n(two ? 2 : 1);
+    }
+    case OpCategory::kGoto:
+      return true;
+    case OpCategory::kReturn:
+      if (in.op == Op::kReturn) return true;
+      return pop_n(1);
+    case OpCategory::kField:
+      switch (in.op) {
+        case Op::kGetField:
+          if (!pop_n(1)) return false;
+          push(AbsVal{});
+          return true;
+        case Op::kPutField:
+          return pop_n(2);
+        case Op::kGetStatic:
+          push(AbsVal{});
+          return true;
+        default:  // kPutStatic
+          return pop_n(1);
+      }
+    case OpCategory::kNew: {
+      AbsVal v;
+      v.non_null = true;
+      push(v);
+      return true;
+    }
+    case OpCategory::kNewArray: {
+      if (st.stack.empty()) return false;
+      const AbsVal len = st.stack.back();
+      st.stack.pop_back();
+      AbsVal v;
+      v.non_null = true;
+      if (len.is_const && len.const_val > 0) v.min_len = len.const_val;
+      push(v);
+      return true;
+    }
+    case OpCategory::kArrayLoad:
+      if (!pop_n(2)) return false;
+      push(AbsVal{});
+      return true;
+    case OpCategory::kArrayStore:
+      return pop_n(3);
+    case OpCategory::kArrayLength:
+      if (!pop_n(1)) return false;
+      push(AbsVal{});
+      return true;
+    case OpCategory::kIntrinsic: {
+      if (in.a < 0 || in.a >= static_cast<std::int32_t>(isa::Intrinsic::kCount))
+        return false;
+      const auto id = static_cast<isa::Intrinsic>(in.a);
+      const std::size_t n =
+          static_cast<std::size_t>(isa::intrinsic_fp_args(id)) +
+          static_cast<std::size_t>(isa::intrinsic_int_args(id));
+      if (!pop_n(n)) return false;
+      push(AbsVal{});
+      return true;
+    }
+    case OpCategory::kInvoke: {
+      if (in.a < 0 || static_cast<std::size_t>(in.a) >= cf.pool.methods.size())
+        return false;
+      const jvm::MethodRef& ref = cf.pool.methods[static_cast<std::size_t>(in.a)];
+      const MethodInfo* sig = resolver_.resolve_method(ref);
+      if (sig == nullptr) return false;
+      const std::size_t n = sig->num_args();
+      if (st.stack.size() < n) return false;
+      std::vector<AbsVal> args(st.stack.end() - static_cast<std::ptrdiff_t>(n),
+                               st.stack.end());
+      st.stack.resize(st.stack.size() - n);
+      if (sig->sig.ret != TypeKind::kVoid) push(AbsVal{});
+      if (in.op == Op::kInvokeStatic) {
+        const ResolvedMethod r = resolve_method_class(resolver_, ref);
+        if (r.method == nullptr) return false;
+        contribute(r.method, args);
+      } else {
+        // Sound virtual dispatch: meet into every loaded instance method
+        // with a matching name and signature — a superset of the dynamic
+        // targets in this closed world.
+        bool any = false;
+        for (const ClassFile* c : classes_) {
+          const MethodInfo* cand = c->find_method(ref.method_name);
+          if (cand == nullptr || cand->is_static) continue;
+          if (cand->sig.params != sig->sig.params ||
+              cand->sig.ret != sig->sig.ret)
+            continue;
+          contribute(cand, args);
+          any = true;
+        }
+        if (!any) return false;
+      }
+      (void)m;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Pass::analyze_method(const ClassFile& cf, const MethodInfo& m) {
+  if (m.code.empty() || out_.incomplete) return;
+  ++out_.work;
+
+  const MethodLengthFacts& f = out_.methods.at(&m);
+  State entry;
+  entry.locals.assign(m.max_locals, AbsVal{});
+  const std::size_t nargs = m.num_args();
+  for (std::size_t i = 0; i < nargs && i < entry.locals.size(); ++i) {
+    AbsVal v;
+    if (!f.root) {
+      v.non_null = f.params[i].non_null;
+      v.min_len = f.params[i].min_len == kTopLen ? 0 : f.params[i].min_len;
+    }
+    if (i == 0 && !m.is_static) v.non_null = true;
+    entry.locals[i] = v;
+  }
+
+  const BytecodeCfg cfg = build_bytecode_cfg(m.code);
+  if (cfg.num_blocks() == 0) return;
+  std::vector<std::optional<State>> in_states(cfg.num_blocks());
+  in_states[0] = std::move(entry);
+  std::deque<std::int32_t> blocks{0};
+  std::vector<char> queued(cfg.num_blocks(), 0);
+  queued[0] = 1;
+
+  while (!blocks.empty()) {
+    const std::int32_t b = blocks.front();
+    blocks.pop_front();
+    queued[static_cast<std::size_t>(b)] = 0;
+    ++out_.work;
+    State st = *in_states[static_cast<std::size_t>(b)];
+    bool ok = true;
+    for (std::int32_t pc = cfg.blocks[static_cast<std::size_t>(b)].begin;
+         ok && pc < cfg.blocks[static_cast<std::size_t>(b)].end; ++pc)
+      ok = simulate(cf, m, m.code[static_cast<std::size_t>(pc)], st);
+    if (!ok) {
+      poison();
+      return;
+    }
+    for (std::int32_t s : cfg.graph.succs[static_cast<std::size_t>(b)]) {
+      auto& target = in_states[static_cast<std::size_t>(s)];
+      bool changed = false;
+      if (!target.has_value()) {
+        target = st;
+        changed = true;
+      } else {
+        if (target->locals.size() != st.locals.size() ||
+            target->stack.size() != st.stack.size()) {
+          poison();  // verified code has consistent depths at joins
+          return;
+        }
+        for (std::size_t i = 0; i < st.locals.size(); ++i) {
+          const AbsVal mv = meet_val(target->locals[i], st.locals[i]);
+          if (!same_val(mv, target->locals[i])) changed = true;
+          target->locals[i] = mv;
+        }
+        for (std::size_t i = 0; i < st.stack.size(); ++i) {
+          const AbsVal mv = meet_val(target->stack[i], st.stack[i]);
+          if (!same_val(mv, target->stack[i])) changed = true;
+          target->stack[i] = mv;
+        }
+      }
+      if (changed && !queued[static_cast<std::size_t>(s)]) {
+        queued[static_cast<std::size_t>(s)] = 1;
+        blocks.push_back(s);
+      }
+    }
+  }
+}
+
+LengthAnalysis Pass::run() {
+  for (const ClassFile* cf : classes_)
+    for (const MethodInfo& m : cf->methods) init_method(*cf, m);
+
+  for (const ClassFile* cf : classes_)
+    for (const MethodInfo& m : cf->methods) enqueue(&m);
+
+  // Generous valve: the optimistic lattice guarantees termination, but a
+  // hostile class set should degrade to "no facts", not spin.
+  constexpr std::uint64_t kWorkLimit = 10'000'000;
+  while (!worklist_.empty() && !out_.incomplete) {
+    if (out_.work > kWorkLimit) {
+      poison();
+      break;
+    }
+    const MethodInfo* m = worklist_.front();
+    worklist_.pop_front();
+    in_queue_[m] = 0;
+    analyze_method(*owner_.at(m), *m);
+  }
+
+  // Fail closed on a poisoned pass: no method may advertise facts.
+  if (out_.incomplete)
+    for (auto& [mi, f] : out_.methods) {
+      (void)mi;
+      f.site_count = 0;
+    }
+  return out_;
+}
+
+}  // namespace
+
+LengthAnalysis analyze_lengths(
+    const std::vector<const ClassFile*>& classes) {
+  Pass p(classes);
+  return p.run();
+}
+
+}  // namespace javelin::analysis

@@ -1,0 +1,72 @@
+// Interprocedural array-length-fact analysis (the offense half of the
+// elide-then-validate pair; DESIGN.md §13).
+//
+// For every method in a closed class set, compute per-parameter facts of the
+// form "this reference parameter is never null, and when it is an array its
+// length is at least N" — the meet, over *every* call site that can reach the
+// method, of the abstract argument values flowing in. The JIT's Level-3
+// bounds-check elimination consumes the facts (jit::ArrayParamFact) to drop
+// null/range guards on parameter arrays that no dominating access inside the
+// method could prove.
+//
+// Soundness model:
+//  * Closed world: the class set is the deployed application; the runtime
+//    cannot call anything else.
+//  * Roots — methods marked `potential` (externally invokable) — are assumed
+//    to receive arbitrary arguments and get no facts.
+//  * Virtual call sites meet their argument facts into every loaded
+//    non-static method with a matching name and signature (a superset of the
+//    dynamic dispatch targets), static sites into the resolved method only.
+//  * The fixpoint is optimistic (facts start at top and only descend), so it
+//    terminates: non_null is boolean and min_len is a min over the finite
+//    set of observed constants.
+//  * Any unresolvable call site marks the whole analysis `incomplete`;
+//    callers must then attach no facts at all ("Static Metrics Are
+//    Insufficient" — a partial static view must fail closed).
+// Facts are only *valid* for methods that are not roots and have at least
+// one observed call site; everything else keeps the guard-everything
+// default. Shadow-bounds mode (mem/shadow.hpp) cross-validates every
+// elision dynamically.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "jvm/classfile.hpp"
+
+namespace javelin::analysis {
+
+/// One parameter's accumulated fact (receiver included for instance methods).
+struct LengthParamFact {
+  bool non_null = false;
+  std::int32_t min_len = 0;  ///< Proven minimum array length (0 = unknown).
+};
+
+/// Facts for one method.
+struct MethodLengthFacts {
+  std::vector<LengthParamFact> params;  ///< Indexed by argument position.
+  std::uint64_t site_count = 0;         ///< Call sites observed (re-visits
+                                        ///< during the fixpoint included).
+  bool root = false;                    ///< Externally invokable (`potential`).
+  /// Facts may be consumed only when true: the method is not a root and at
+  /// least one call site constrained it.
+  bool valid() const { return !root && site_count > 0; }
+};
+
+struct LengthAnalysis {
+  std::unordered_map<const jvm::MethodInfo*, MethodLengthFacts> methods;
+  std::uint64_t work = 0;   ///< Deterministic effort (blocks/edges processed).
+  bool incomplete = false;  ///< An unresolvable call site poisoned the pass.
+
+  const MethodLengthFacts* find(const jvm::MethodInfo* m) const {
+    const auto it = methods.find(m);
+    return it == methods.end() ? nullptr : &it->second;
+  }
+};
+
+/// Run the pass over a closed class set (load order fixes iteration order,
+/// so results are deterministic). Classes must be verified.
+LengthAnalysis analyze_lengths(const std::vector<const jvm::ClassFile*>& classes);
+
+}  // namespace javelin::analysis

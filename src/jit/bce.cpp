@@ -11,6 +11,13 @@
 // the dominating-pair rule already removes the repeated-access checks that
 // dominate the image kernels (mag[idx] read four times in ed's hysteresis),
 // stays trivially sound, and needs no loop analysis.
+//
+// The overload taking ArrayParamFacts extends the proof base across call
+// boundaries: the interprocedural length-fact pass (analysis/lengths.hpp)
+// proves per-parameter "never null, length >= N" facts from every call site
+// reaching the method, so even the *first* access to a parameter array can
+// drop its guards. Fact-elided ops are tagged kGuardProofInterproc; shadow-
+// bounds mode (mem/shadow.hpp) dynamically cross-validates every elision.
 
 #include <unordered_set>
 
@@ -29,6 +36,12 @@ std::uint64_t pair_key(std::int32_t a, std::int32_t b) {
 }  // namespace
 
 std::size_t bounds_check_elim(Function& f, CompileMeter& meter) {
+  return bounds_check_elim(f, meter, nullptr, nullptr);
+}
+
+std::size_t bounds_check_elim(Function& f, CompileMeter& meter,
+                              const std::vector<ArrayParamFact>* facts,
+                              std::size_t* interproc_elided) {
   // Single-def vregs only: a redefinition could rebind the name to a
   // different array or index value.
   std::vector<std::int32_t> defs(f.num_vregs(), 0);
@@ -36,6 +49,26 @@ std::size_t bounds_check_elim(Function& f, CompileMeter& meter) {
     for (const auto& in : b.instrs)
       if (has_dest(in.op) && in.d >= 0) ++defs[in.d];
   for (std::int32_t v : f.arg_vregs) ++defs[v];
+
+  // Interprocedural facts bind to the (single-def) argument vregs; constant
+  // indices below a parameter's proven minimum length need no range guard.
+  // Copy propagation (run before this pass at L2+) has already collapsed
+  // kAload moves, so accesses reference the argument vregs directly.
+  std::vector<const ArrayParamFact*> vreg_fact(f.num_vregs(), nullptr);
+  std::vector<char> is_const(f.num_vregs(), 0);
+  std::vector<std::int32_t> const_val(f.num_vregs(), 0);
+  if (facts != nullptr) {
+    for (std::size_t i = 0; i < facts->size() && i < f.arg_vregs.size(); ++i) {
+      const std::int32_t v = f.arg_vregs[i];
+      if (defs[v] == 1) vreg_fact[v] = &(*facts)[i];
+    }
+    for (const auto& b : f.blocks)
+      for (const auto& in : b.instrs)
+        if (in.op == IOp::kConstI && in.d >= 0 && defs[in.d] == 1) {
+          is_const[in.d] = 1;
+          const_val[in.d] = in.imm;
+        }
+  }
 
   Analysis a = analyze(f, meter);
 
@@ -80,9 +113,34 @@ std::size_t bounds_check_elim(Function& f, CompileMeter& meter) {
       // element accesses.
       if (proven(key, b)) {
         in.skip_guards = true;
+        in.guard_proof = kGuardProofDominating;
         ++eliminated;
         meter.work(2);
         continue;
+      }
+      if (facts != nullptr && in.a >= 0 && vreg_fact[in.a] != nullptr &&
+          vreg_fact[in.a]->non_null) {
+        const ArrayParamFact& pf = *vreg_fact[in.a];
+        // kArrLen/kFld* need only the null proof; element accesses also need
+        // the index provably inside the parameter's minimum length.
+        const bool elide =
+            (in.op == IOp::kArrLen || in.op == IOp::kFldLoad ||
+             in.op == IOp::kFldStore) ||
+            (is_const[in.b] && const_val[in.b] >= 0 &&
+             const_val[in.b] < pf.min_len);
+        if (elide) {
+          in.skip_guards = true;
+          in.guard_proof = kGuardProofInterproc;
+          ++eliminated;
+          if (interproc_elided != nullptr) ++*interproc_elided;
+          meter.work(2);
+          // The unguarded access still executes, so it proves the pair for
+          // dominated successors exactly like a guarded one would.
+          proofs.push_back(Proof{key, b});
+          if (in.op == IOp::kArrLoad || in.op == IOp::kArrStore)
+            proofs.push_back(Proof{pair_key(in.a, -1), b});
+          continue;
+        }
       }
       proofs.push_back(Proof{key, b});
       if (in.op == IOp::kArrLoad || in.op == IOp::kArrStore)

@@ -77,6 +77,16 @@ class CompileMeter {
   energy::InstrCounts counts_;
 };
 
+/// One parameter's interprocedural array fact, computed by the length-fact
+/// pass (analysis/lengths.hpp) over every call site reaching the method:
+/// "this reference parameter is never null, and when it is an array its
+/// length is at least min_len". Facts for non-reference parameters are left
+/// at the all-false default.
+struct ArrayParamFact {
+  bool non_null = false;
+  std::int32_t min_len = 0;
+};
+
 struct CompileOptions {
   int opt_level = 1;               ///< 1..3 (Local1..Local3).
   std::size_t inline_budget = 48;  ///< Max callee IR instrs to inline.
@@ -84,6 +94,11 @@ struct CompileOptions {
   /// Level-3 extra: eliminate null/bounds checks proven by a dominating
   /// access to the same (array, index) pair (see passes::bounds_check_elim).
   bool bounds_check_elimination = true;
+  /// Per-parameter interprocedural facts for this method (index = parameter
+  /// position), or nullptr (the default — compiled code is unchanged). Only
+  /// consulted by bounds_check_elim at Level 3. Not owned; must outlive the
+  /// compile.
+  const std::vector<ArrayParamFact>* param_facts = nullptr;
 };
 
 struct CompileResult {
@@ -93,6 +108,8 @@ struct CompileResult {
   std::uint64_t compile_cycles = 0;
   std::size_t ir_instrs_before = 0;
   std::size_t ir_instrs_after = 0;
+  std::size_t guards_elided = 0;           ///< Total ops with guards skipped.
+  std::size_t guards_elided_interproc = 0; ///< ... proven by param facts.
 };
 
 /// Compile one method. Throws CompileError if the method cannot be compiled.
@@ -149,6 +166,12 @@ void inline_calls(Function& f, const jvm::Jvm& jvm, const CompileOptions& o,
 /// pair — sound because guest arrays never move or resize. Returns the
 /// number of ops whose guards were eliminated.
 std::size_t bounds_check_elim(Function& f, CompileMeter& meter);
+/// As above, additionally consuming interprocedural per-parameter facts
+/// (nullable). Ops elided via facts are tagged IInstr::kGuardProofInterproc
+/// and counted in *interproc_elided when non-null.
+std::size_t bounds_check_elim(Function& f, CompileMeter& meter,
+                              const std::vector<ArrayParamFact>* facts,
+                              std::size_t* interproc_elided);
 }  // namespace passes
 
 }  // namespace javelin::jit

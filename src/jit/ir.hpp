@@ -63,6 +63,10 @@ enum class IOp : std::uint8_t {
 
 const char* iop_name(IOp op);
 
+// IInstr::guard_proof values (why bounds_check_elim set skip_guards).
+inline constexpr std::uint8_t kGuardProofDominating = 1;
+inline constexpr std::uint8_t kGuardProofInterproc = 2;
+
 /// True if the instruction produces a value in `d`.
 bool has_dest(IOp op);
 /// True if the op is a pure computation (no side effects, no traps) —
@@ -87,6 +91,11 @@ struct IInstr {
   /// null/bounds guards for this (array, index) pair, so codegen may omit
   /// them (kArrLoad/kArrStore/kArrLen/kFldLoad/kFldStore only).
   bool skip_guards = false;
+  /// Which proof justified skip_guards (diagnostics + the shadow-mode
+  /// differential test): 0 = none, kGuardProofDominating = a dominating
+  /// access in this function, kGuardProofInterproc = interprocedural
+  /// parameter facts.
+  std::uint8_t guard_proof = 0;
   std::vector<std::int32_t> args;  ///< Call arguments.
 };
 

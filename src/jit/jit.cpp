@@ -37,7 +37,8 @@ CompileResult compile_method(const jvm::Jvm& jvm, std::int32_t method_id,
     passes::copy_prop_dce(f, meter);
   }
   if (opts.opt_level >= 3 && opts.bounds_check_elimination) {
-    passes::bounds_check_elim(f, meter);
+    result.guards_elided = passes::bounds_check_elim(
+        f, meter, opts.param_facts, &result.guards_elided_interproc);
   }
   result.ir_instrs_after = f.num_instrs();
 

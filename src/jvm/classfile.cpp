@@ -197,31 +197,39 @@ ClassFile read_class(ByteReader& r) {
   cf.name = r.str();
   cf.super_name = r.str();
 
-  const std::uint32_t nd = r.u32();
-  if (static_cast<std::size_t>(nd) * 8 > r.remaining())
-    throw FormatError("classfile: truncated pool");
-  cf.pool.doubles.resize(nd);
+  // Every count field is validated against the bytes actually present
+  // (each element encodes to at least `per` bytes) before it reaches the
+  // allocator: a forged 0xFFFFFFFF count must fail as a FormatError, not as
+  // a multi-gigabyte resize.
+  const auto counted = [&r](std::size_t per, const char* what) {
+    const std::uint32_t n = r.u32();
+    if (static_cast<std::size_t>(n) * per > r.remaining())
+      throw FormatError(std::string("classfile: truncated ") + what);
+    return n;
+  };
+
+  cf.pool.doubles.resize(counted(8, "pool"));
   for (auto& d : cf.pool.doubles) d = r.f64();
-  cf.pool.methods.resize(r.u32());
+  cf.pool.methods.resize(counted(8, "pool"));  // two length-prefixed strings
   for (auto& m : cf.pool.methods) {
     m.class_name = r.str();
     m.method_name = r.str();
   }
-  cf.pool.fields.resize(r.u32());
+  cf.pool.fields.resize(counted(8, "pool"));
   for (auto& f : cf.pool.fields) {
     f.class_name = r.str();
     f.field_name = r.str();
   }
-  cf.pool.classes.resize(r.u32());
+  cf.pool.classes.resize(counted(4, "pool"));
   for (auto& c : cf.pool.classes) c = r.str();
 
-  cf.fields.resize(r.u32());
+  cf.fields.resize(counted(6, "field table"));
   for (auto& f : cf.fields) {
     f.name = r.str();
     f.kind = static_cast<TypeKind>(r.u8());
     f.is_static = r.u8() != 0;
   }
-  const std::uint32_t nm = r.u32();
+  const std::uint32_t nm = counted(9, "method table");
   cf.methods.reserve(nm);
   for (std::uint32_t i = 0; i < nm; ++i) cf.methods.push_back(read_method(r));
   return cf;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/shadow.hpp"
+
 namespace javelin::mem {
 
 Arena::Arena(std::size_t capacity, std::size_t immortal_bytes)
@@ -20,7 +22,9 @@ Addr Arena::alloc_immortal(std::size_t size, std::size_t align) {
   if (align == 0 || (align & (align - 1)) != 0)
     throw std::invalid_argument("arena: alignment must be a power of two");
   const std::size_t base = (immortal_top_ + align - 1) & ~(align - 1);
-  if (base + size > heap_base_)
+  // `size > limit - base`, not `base + size > limit`: the sum wraps for sizes
+  // near SIZE_MAX (a forged 0xFFFFFFFF length scaled by an element width).
+  if (base > heap_base_ || size > heap_base_ - base)
     throw VmError("arena: simulated RAM exhausted (immortal zone)");
   immortal_top_ = base + size;
   std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(base),
@@ -32,11 +36,13 @@ Addr Arena::alloc(std::size_t size, std::size_t align) {
   if (align == 0 || (align & (align - 1)) != 0)
     throw std::invalid_argument("arena: alignment must be a power of two");
   const std::size_t base = (heap_top_ + align - 1) & ~(align - 1);
-  if (base + size > stack_top_)
+  // Overflow-safe form (see alloc_immortal).
+  if (base > stack_top_ || size > stack_top_ - base)
     throw VmError("arena: simulated RAM exhausted (heap)");
   heap_top_ = base + size;
   std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(base),
             bytes_.begin() + static_cast<std::ptrdiff_t>(heap_top_), 0);
+  if (shadow_ != nullptr) shadow_->note_alloc(static_cast<Addr>(base), size);
   return static_cast<Addr>(base);
 }
 
@@ -57,6 +63,7 @@ void Arena::heap_release(std::size_t mark) {
   if (mark > heap_top_ || mark < heap_base_)
     throw std::invalid_argument("arena: bad heap watermark");
   heap_top_ = mark;
+  if (shadow_ != nullptr) shadow_->release_above(mark);
 }
 
 void Arena::stack_release(std::size_t mark) {
@@ -79,6 +86,11 @@ void Arena::reset() {
   immortal_top_ = 16;
   heap_top_ = heap_base_;
   stack_top_ = bytes_.size();
+  if (shadow_ != nullptr) shadow_->clear();
+}
+
+void Arena::shadow_check(Addr a, std::size_t n) const {
+  shadow_->check_access(a, n);
 }
 
 }  // namespace javelin::mem

@@ -31,6 +31,8 @@ using Addr = std::uint32_t;
 
 constexpr Addr kNullAddr = 0;
 
+class ShadowBounds;
+
 /// Bump-allocated simulated RAM with typed accessors.
 class Arena {
  public:
@@ -80,6 +82,13 @@ class Arena {
 
   void reset();
 
+  /// Attach opt-in shadow-bounds metadata (mem/shadow.hpp). While attached,
+  /// every heap-zone access must additionally land inside a live allocation
+  /// (BoundsFault otherwise), heap allocations register entries, and the
+  /// watermark releases drop them. nullptr detaches. Not owned.
+  void set_shadow(ShadowBounds* s) { shadow_ = s; }
+  ShadowBounds* shadow() const { return shadow_; }
+
  private:
   template <typename T>
   T load(Addr a) const {
@@ -100,13 +109,16 @@ class Arena {
     const bool in_stack = a >= stack_top_ && end <= bytes_.size();
     if (!in_immortal && !in_heap && !in_stack)
       throw VmError("arena: access out of range at addr " + std::to_string(a));
+    if (shadow_ != nullptr && in_heap) shadow_check(a, n);
   }
+  void shadow_check(Addr a, std::size_t n) const;  // non-inline: cold path
 
   std::vector<std::uint8_t> bytes_;
   std::size_t immortal_top_;  ///< First free immortal byte.
   std::size_t heap_base_;     ///< Start of the heap zone (= immortal limit).
   std::size_t heap_top_;      ///< First free heap byte.
   std::size_t stack_top_;     ///< Lowest allocated stack byte.
+  ShadowBounds* shadow_ = nullptr;  ///< Opt-in checked metadata (not owned).
 };
 
 }  // namespace javelin::mem

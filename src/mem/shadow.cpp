@@ -1,0 +1,52 @@
+#include "mem/shadow.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace javelin::mem {
+
+void ShadowBounds::note_alloc(Addr base, std::size_t size) {
+  // The heap is a bump allocator: bases are strictly increasing within one
+  // watermark epoch, and release_above() removes every entry at or above the
+  // watermark before the bump pointer revisits those addresses. Guard the
+  // invariant anyway — a misordered entry would silently break the binary
+  // search below.
+  if (!entries_.empty() && base < entries_.back().base + entries_.back().size)
+    throw std::invalid_argument("shadow: allocation out of bump order");
+  entries_.push_back(Entry{base, static_cast<std::uint32_t>(size)});
+  ++stats_.allocations;
+}
+
+void ShadowBounds::release_above(std::size_t watermark) {
+  while (!entries_.empty() && entries_.back().base >= watermark)
+    entries_.pop_back();
+}
+
+void ShadowBounds::clear() { entries_.clear(); }
+
+void ShadowBounds::check_access(Addr a, std::size_t n) const {
+  ++stats_.checks;
+  // Last entry with base <= a.
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), a,
+      [](Addr addr, const Entry& e) { return addr < e.base; });
+  if (it != entries_.begin()) {
+    const Entry& e = *(it - 1);
+    if (static_cast<std::size_t>(a) + n <= static_cast<std::size_t>(e.base) + e.size)
+      return;
+  }
+  ++stats_.violations;
+  throw BoundsFault("shadow: heap access outside any live allocation at addr " +
+                    std::to_string(a) + " size " + std::to_string(n));
+}
+
+bool shadow_bounds_default() {
+  if (const char* env = std::getenv("JAVELIN_SHADOW")) return *env != '0';
+#ifdef JAVELIN_SHADOW_FORCE
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace javelin::mem

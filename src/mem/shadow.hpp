@@ -1,0 +1,74 @@
+// Opt-in shadow-bounds metadata for the simulated heap.
+//
+// The arena's zone check (arena.hpp) proves an access stays inside *some*
+// zone; it cannot tell a live object from the alignment gap between two
+// objects, or from memory whose allocation was released and re-covered by a
+// later bump. ShadowBounds closes that gap: every heap allocation registers a
+// [base, base+size) shadow entry, and in shadow mode every heap access must
+// land fully inside exactly one entry. A miss is a BoundsFault — a typed,
+// catchable guest fault, never UB and never a silent read of a neighbour.
+//
+// This is the defense half of the elide-then-validate workflow (DESIGN.md
+// §13): the JIT's interprocedural bounds-check elimination removes guards it
+// proves redundant, and tier-1 runs the whole corpus with shadow mode on to
+// demonstrate the proofs hold dynamically. Shadow mode is off by default and
+// charges no simulated energy; it is a pure host-side validity oracle, so
+// ledgers are bit-identical with it on or off.
+//
+// Enablement: `JAVELIN_SHADOW=1` in the environment, or compiling with
+// `JAVELIN_SHADOW_FORCE` (the `JAVELIN_SANITIZE=shadow` CMake preset).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "support/error.hpp"
+
+namespace javelin::mem {
+
+/// BoundsFault (a VmError, raised on heap accesses outside every live shadow
+/// entry) lives in support/error.hpp so the checked ByteReader can raise it
+/// too; re-exported here since mem is its conceptual home.
+using javelin::BoundsFault;
+
+struct ShadowStats {
+  std::uint64_t allocations = 0;  ///< Entries registered (lifetime total).
+  std::uint64_t checks = 0;       ///< Heap accesses validated.
+  std::uint64_t violations = 0;   ///< BoundsFaults raised.
+};
+
+/// Sorted base/limit entries for every live heap allocation. The arena's heap
+/// is a bump allocator, so note_alloc() always appends in increasing base
+/// order and lookups are a binary search; release_above() mirrors the
+/// watermark bulk-release the benchmarks use between executions.
+class ShadowBounds {
+ public:
+  void note_alloc(Addr base, std::size_t size);
+  void release_above(std::size_t watermark);
+  void clear();
+
+  /// Validate that [a, a+n) lies fully inside one live allocation.
+  /// Throws BoundsFault otherwise.
+  void check_access(Addr a, std::size_t n) const;
+
+  const ShadowStats& stats() const { return stats_; }
+  std::size_t live_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Addr base;
+    std::uint32_t size;
+  };
+  std::vector<Entry> entries_;  ///< Sorted by base (bump order).
+  mutable ShadowStats stats_;   ///< Mutable: counted on the const check path.
+};
+
+/// Process-wide default: `JAVELIN_SHADOW` env var (any value but "0" enables,
+/// "0" disables, overriding the build) else the JAVELIN_SHADOW_FORCE compile
+/// definition, else off.
+bool shadow_bounds_default();
+
+}  // namespace javelin::mem

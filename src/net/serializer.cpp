@@ -167,7 +167,13 @@ class Encoder {
 class Decoder {
  public:
   Decoder(Jvm& vm, const std::vector<std::uint8_t>& bytes, bool charge)
-      : vm_(vm), r_(bytes), charge_(charge) {}
+      : vm_(vm), r_(bytes), charge_(charge) {
+    // When this vm's heap carries shadow-bounds metadata, the byte stream
+    // feeding it is part of the checked surface: a payload overrun becomes a
+    // BoundsFault (handled as a guest fault, aborting the invocation) rather
+    // than a FormatError that the corrupt-frame retry path would absorb.
+    if (vm.arena().shadow() != nullptr) r_.set_checked(true);
+  }
 
   Value value() {
     const std::uint8_t tag = r_.u8();

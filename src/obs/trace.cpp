@@ -34,6 +34,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kIdleAwake: return "idle-awake";
     case EventKind::kFault: return "fault";
     case EventKind::kAnalysis: return "analysis";
+    case EventKind::kBoundsFault: return "bounds-fault";
     case EventKind::kCount: break;
   }
   return "?";

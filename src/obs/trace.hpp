@@ -82,6 +82,9 @@ enum class EventKind : std::uint8_t {
   kAnalysis,           ///< Static analysis of one method: name = qualified
                        ///< method, detail = verdict string, a = estimated
                        ///< energy (J), b = total pass effort (work units).
+  kBoundsFault,        ///< Shadow-bounds violation aborted an invocation:
+                       ///< name = qualified method, detail = fault message,
+                       ///< ledger = energy spent before the abort.
   kCount
 };
 

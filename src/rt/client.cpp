@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/lengths.hpp"
 #include "net/serializer.hpp"
 
 namespace javelin::rt {
@@ -117,6 +118,8 @@ void Client::deploy(const std::vector<jvm::ClassFile>& app) {
   static_seed_k_.clear();
   static_remote_ok_.clear();
   if (cfg_.decision.static_seed) seed_from_analysis();
+  length_facts_.clear();
+  if (cfg_.decision.interprocedural_bce) seed_length_facts();
 }
 
 void Client::seed_from_analysis() {
@@ -139,6 +142,30 @@ void Client::seed_from_analysis() {
       ok = r.safety.request_bytes_bound >= 0 &&
            r.safety.request_bytes_bound <= cfg_.decision.max_request_bytes;
     static_remote_ok_[i] = ok ? 1 : 0;
+  }
+}
+
+void Client::seed_length_facts() {
+  const jvm::Jvm& vm = dev_->vm;
+  std::vector<const jvm::ClassFile*> classes;
+  for (std::size_t c = 0; c < vm.num_classes(); ++c)
+    classes.push_back(&vm.cls(static_cast<std::int32_t>(c)).cf);
+  const analysis::LengthAnalysis la = analysis::analyze_lengths(classes);
+  // An incomplete pass attaches no facts anywhere (fail closed).
+  if (la.incomplete) return;
+  length_facts_.assign(vm.num_methods(), {});
+  for (std::size_t i = 0; i < vm.num_methods(); ++i) {
+    const jvm::RtMethod& m = vm.method(static_cast<std::int32_t>(i));
+    const analysis::MethodLengthFacts* f = la.find(m.info);
+    if (f == nullptr || !f->valid()) continue;
+    std::vector<jit::ArrayParamFact> facts(f->params.size());
+    bool any = false;
+    for (std::size_t p = 0; p < f->params.size(); ++p) {
+      facts[p].non_null = f->params[p].non_null;
+      facts[p].min_len = f->params[p].min_len;
+      any = any || facts[p].non_null;
+    }
+    if (any) length_facts_[i] = std::move(facts);
   }
 }
 
@@ -528,9 +555,14 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
     std::uint64_t cycles = 0;
     const char* outcome = "local";
     try {
-      auto res = jit::compile_method(dev_->vm, id,
-                                     jit::CompileOptions{.opt_level = level},
-                                     dev_->cfg.energy, trace_);
+      jit::CompileOptions copts{.opt_level = level};
+      // Interprocedural BCE facts (opt-in, deploy-time): present only when
+      // the knob is on and the length analysis completed.
+      if (static_cast<std::size_t>(id) < length_facts_.size() &&
+          !length_facts_[static_cast<std::size_t>(id)].empty())
+        copts.param_facts = &length_facts_[static_cast<std::size_t>(id)];
+      auto res =
+          jit::compile_method(dev_->vm, id, copts, dev_->cfg.energy, trace_);
       // Charge the compilation work to the client core.
       dev_->meter.add_instrs(res.compile_work, dev_->cfg.energy);
       dev_->meter.add_dram_accesses(
@@ -870,10 +902,35 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
   }
 
   jvm::Value result;
-  if (mode == ExecMode::kRemote) {
-    result = exec_remote(m, args, report);
-  } else {
-    result = exec_local(m, args, mode, remote_compile, report);
+  try {
+    if (mode == ExecMode::kRemote) {
+      result = exec_remote(m, args, report);
+    } else {
+      result = exec_local(m, args, mode, remote_compile, report);
+    }
+  } catch (const BoundsFault& bf) {
+    // Graceful degradation (shadow-bounds mode): the invocation aborts with
+    // a typed fault, but the session survives — frames unwind via RAII, the
+    // arena heap watermark is still released by the caller's scope, and the
+    // next invocation proceeds normally. Energy spent before the abort stays
+    // charged (the meter only ever accumulates).
+    if (report) {
+      report->mode = mode;
+      report->energy_j = dev_->meter.total() - e0;
+      report->seconds = now() - t0;
+      ++report->resilience.bounds_faults;
+    }
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kBoundsFault;
+      ev.t_s = now();
+      ev.name = trace_->intern(m.qualified_name);
+      ev.detail = trace_->intern(bf.what());
+      ev.method_id = mid;
+      ev.ledger = obs::EnergyLedger::since(dev_->meter, ledger0);
+      trace_->emit(ev);
+    }
+    throw;
   }
 
   if (report) {

@@ -77,6 +77,7 @@ struct ResilienceStats {
   std::array<double, kNumFailureClasses> wasted_j{};   ///< Energy by class.
   bool breaker_short_circuit = false;  ///< Remote skipped: breaker open.
   bool breaker_probe = false;          ///< This exchange was a half-open probe.
+  int bounds_faults = 0;  ///< Shadow-bounds violations aborted this invocation.
 };
 
 /// Circuit-breaker state over the remote path (execution + compilation).
@@ -116,6 +117,13 @@ struct DecisionPolicy {
   /// trace format and every figure are byte-identical unless enabled.
   bool baseline_tier = false;
   double baseline_discount = 0.08;
+  /// Opt-in interprocedural bounds-check elimination: at deploy, run the
+  /// array-length-fact pass (analysis/lengths.hpp) and hand each method's
+  /// per-parameter facts to the L3 compiler, which elides guards the facts
+  /// prove redundant across call boundaries. OFF by default: compiled code,
+  /// energy and every figure are byte-identical unless enabled. The shadow-
+  /// bounds mode (mem/shadow.hpp) dynamically cross-validates every elision.
+  bool interprocedural_bce = false;
 };
 
 struct ClientConfig {
@@ -216,6 +224,10 @@ class Client {
   /// on the default path).
   void seed_from_analysis();
 
+  /// Run the interprocedural array-length-fact pass and fill length_facts_
+  /// (DecisionPolicy::interprocedural_bce only; never on the default path).
+  void seed_length_facts();
+
   /// Whether the breaker currently admits a remote exchange. Transitions
   /// open -> half-open once the cooldown has elapsed (the admitted exchange
   /// is the probe).
@@ -276,6 +288,10 @@ class Client {
   // (static facts survive adaptive-state resets).
   std::vector<double> static_seed_k_;
   std::vector<char> static_remote_ok_;
+  // Per-method, per-parameter array-length facts for the interprocedural
+  // BCE knob, indexed by method id. Empty unless interprocedural_bce ran at
+  // deploy; like the seed tables, reset_session() keeps them.
+  std::vector<std::vector<jit::ArrayParamFact>> length_facts_;
   CircuitBreaker breaker_;
   obs::TraceBuffer* trace_ = nullptr;
 };

@@ -7,6 +7,7 @@
 
 #include "jvm/classfile.hpp"
 #include "jvm/engine.hpp"
+#include "mem/shadow.hpp"
 
 namespace javelin::rt {
 
@@ -19,10 +20,21 @@ struct Device {
              &meter),
         core{&cfg, &arena, &hier, &meter},
         vm(core),
-        engine(vm) {}
+        engine(vm) {
+    if (mem::shadow_bounds_default()) enable_shadow_bounds();
+  }
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
+
+  /// Turn on shadow-bounds checking for this device's heap (mem/shadow.hpp).
+  /// Idempotent; charges no simulated energy, so ledgers are unchanged.
+  void enable_shadow_bounds() {
+    if (!shadow_bounds) {
+      shadow_bounds = std::make_unique<mem::ShadowBounds>();
+      arena.set_shadow(shadow_bounds.get());
+    }
+  }
 
   /// Load and link an application (a set of class files, superclasses first).
   void deploy(const std::vector<jvm::ClassFile>& app) {
@@ -32,6 +44,7 @@ struct Device {
 
   isa::MachineConfig cfg;
   mem::Arena arena;
+  std::unique_ptr<mem::ShadowBounds> shadow_bounds;  ///< Non-null when enabled.
   energy::EnergyMeter meter;
   mem::MemoryHierarchy hier;
   isa::Core core;

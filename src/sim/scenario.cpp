@@ -126,6 +126,7 @@ StrategyResult ScenarioRunner::run_sequence(
     if (report.fallback_local) ++out.fallbacks;
     ++out.executions;
     out.retries += report.resilience.retries;
+    out.bounds_faults += report.resilience.bounds_faults;
     out.wasted_retry_j += report.resilience.wasted_energy_j;
     for (std::size_t c = 0; c < rt::kNumFailureClasses; ++c) {
       out.remote_failures += report.resilience.failures[c];

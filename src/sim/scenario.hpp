@@ -56,6 +56,7 @@ struct StrategyResult {
   std::array<int, rt::kNumFailureClasses> failures_by_class{};
   int breaker_opened = 0;        ///< Circuit-breaker open transitions.
   int breaker_reclosed = 0;      ///< Successful half-open probes.
+  int bounds_faults = 0;         ///< Shadow-bounds faults (aborted invokes).
 };
 
 /// Default experiment seed (the paper's submission date).

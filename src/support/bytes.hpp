@@ -81,6 +81,13 @@ class ByteReader {
   ByteReader(const std::vector<std::uint8_t>& buf, std::size_t limit)
       : buf_(buf), end_(limit < buf.size() ? limit : buf.size()) {}
 
+  /// Opt-in shadow mode for readers feeding checked heaps: overruns raise
+  /// BoundsFault (a VmError) instead of FormatError, so the deserializer's
+  /// faults unify with the arena's shadow-bounds faults and are never
+  /// mistaken for a merely-corrupt frame. Default off — every existing
+  /// caller keeps the FormatError contract.
+  void set_checked(bool checked) { checked_ = checked; }
+
   std::uint8_t u8() { return buf_[need(1)]; }
   std::uint16_t u16() { return read<std::uint16_t>(); }
   std::uint32_t u32() { return read<std::uint32_t>(); }
@@ -91,12 +98,13 @@ class ByteReader {
     const std::uint32_t n = u32();
     // Validate the length field against the bytes present before touching
     // the allocator: a hostile length must fail cheaply, not via bad_alloc.
-    if (n > remaining()) throw FormatError("byte stream: string length field exceeds remaining bytes");
+    if (n > remaining())
+      fail("byte stream: string length field exceeds remaining bytes");
     const std::size_t at = need(n);
     return std::string(reinterpret_cast<const char*>(buf_.data() + at), n);
   }
   void bytes(void* p, std::size_t n) {
-    if (n > remaining()) throw FormatError("byte stream: byte run exceeds remaining bytes");
+    if (n > remaining()) fail("byte stream: byte run exceeds remaining bytes");
     const std::size_t at = need(n);
     std::memcpy(p, buf_.data() + at, n);
   }
@@ -115,15 +123,20 @@ class ByteReader {
   std::size_t need(std::size_t n) {
     // `n > end_ - pos_` (never `pos_ + n > end_`): the subtraction cannot
     // wrap because pos_ <= end_, whereas the addition can.
-    if (n > end_ - pos_) throw FormatError("byte stream underflow");
+    if (n > end_ - pos_) fail("byte stream underflow");
     const std::size_t at = pos_;
     pos_ += n;
     return at;
+  }
+  [[noreturn]] void fail(const char* what) const {
+    if (checked_) throw BoundsFault(std::string("shadow: ") + what);
+    throw FormatError(what);
   }
 
   const std::vector<std::uint8_t>& buf_;
   std::size_t end_;
   std::size_t pos_ = 0;
+  bool checked_ = false;
 };
 
 }  // namespace javelin

@@ -35,4 +35,15 @@ class VmError : public Error {
   explicit VmError(const std::string& what) : Error(what) {}
 };
 
+/// Raised by the opt-in shadow-bounds machinery (mem/shadow.hpp, and the
+/// checked ByteReader mode) when an access escapes every live allocation or
+/// declared extent. A guest fault, not a wire-format problem: it derives from
+/// VmError so the corrupt-frame handlers that catch FormatError never swallow
+/// a heap-bounds violation. Declared here (not in mem/) because the support
+/// layer's ByteReader raises it too and support cannot depend on mem.
+class BoundsFault : public VmError {
+ public:
+  explicit BoundsFault(const std::string& what) : VmError(what) {}
+};
+
 }  // namespace javelin

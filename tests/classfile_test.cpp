@@ -90,6 +90,38 @@ TEST(ClassFile, RejectsBadMagicAndTruncation) {
   EXPECT_THROW(deserialize_class(trailing), FormatError);
 }
 
+TEST(ClassFile, EveryTruncationPrefixIsAFormatError) {
+  // Exhaustive truncation sweep: every proper prefix of a valid class image
+  // must be rejected with a typed FormatError by the ByteReader-backed
+  // decoder — never a crash, never a partial ClassFile.
+  ClassFile cf = sample_class();
+  const auto bytes = serialize_class(cf);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(n));
+    EXPECT_THROW(deserialize_class(prefix), FormatError)
+        << "prefix of " << n << " bytes was accepted";
+  }
+}
+
+TEST(ClassFile, ForgedPoolCountsFailCheaplyNotViaBadAlloc) {
+  // Forge every 32-bit count field in the image to 0xFFFFFFFF in turn. Each
+  // must be caught by the count-vs-remaining-bytes validation (or a later
+  // structural check) as a FormatError before it reaches the allocator —
+  // a hostile length field must not be able to demand a 4 GiB resize.
+  ClassFile cf = sample_class();
+  const auto bytes = serialize_class(cf);
+  for (std::size_t at = 0; at + 4 <= bytes.size(); ++at) {
+    auto forged = bytes;
+    forged[at] = forged[at + 1] = forged[at + 2] = forged[at + 3] = 0xFF;
+    try {
+      deserialize_class(forged);  // some offsets only hit payload, not counts
+    } catch (const FormatError&) {
+      // The expected rejection for corrupted structure.
+    }
+  }
+}
+
 TEST(MethodInfo, ArgKindsIncludeReceiver) {
   ClassBuilder cb("C");
   auto& m = cb.method("inst", Signature{{TypeKind::kInt}, TypeKind::kVoid},

@@ -1,6 +1,8 @@
 // Unit tests for the simulated memory: arena zones and the cache model.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "mem/arena.hpp"
 #include "mem/cache.hpp"
 
@@ -75,6 +77,62 @@ TEST(Arena, ExhaustionThrows) {
   EXPECT_THROW(a.alloc(1 << 20), VmError);
   EXPECT_THROW(a.alloc_stack(1 << 20), VmError);
   EXPECT_THROW(a.alloc_immortal(1 << 20), VmError);
+}
+
+TEST(Arena, StaleHeapWatermarkThrows) {
+  Arena a(1 << 20, 1 << 16);
+  const std::size_t base_mark = a.heap_mark();
+  // Below the heap base: no watermark can ever have been issued there.
+  EXPECT_THROW(a.heap_release(base_mark - 1), std::invalid_argument);
+  EXPECT_THROW(a.heap_release(0), std::invalid_argument);
+  // A mark taken high, then invalidated by releasing below it, is stale.
+  a.alloc(64);
+  const std::size_t low = a.heap_mark();
+  a.alloc(64);
+  const std::size_t high = a.heap_mark();
+  a.heap_release(low);
+  EXPECT_THROW(a.heap_release(high), std::invalid_argument);
+  // The arena is still usable after each rejected release.
+  const Addr p = a.alloc(16);
+  a.store_i32(p, 7);
+  EXPECT_EQ(a.load_i32(p), 7);
+}
+
+TEST(Arena, ZoneSpanningAccessThrows) {
+  Arena a(1 << 20, 1 << 16);
+  // Immortal object at the immortal bump frontier: an 8-byte access whose
+  // last bytes hang past the frontier is in no zone, even though its first
+  // bytes are valid immortal memory.
+  const Addr code = a.alloc_immortal(32);
+  a.store_i32(code + 24, 5);
+  EXPECT_THROW(a.load_i64(code + 28), VmError);
+  // Heap object at the heap frontier: same rule.
+  const Addr p = a.alloc(8);
+  EXPECT_THROW(a.load_i64(p + 4), VmError);
+  // The gap between heap top and the stack frontier belongs to neither zone.
+  const Addr frame = a.alloc_stack(16);
+  EXPECT_THROW(a.load_i32(frame - 8), VmError);
+  a.store_i32(frame, 9);
+  EXPECT_EQ(a.load_i32(frame), 9);
+}
+
+TEST(Arena, AllocationSizeOverflowThrowsInsteadOfWrapping) {
+  Arena a(1 << 20, 1 << 16);
+  // A forged guest array header claiming 0xFFFFFFFF elements, scaled by an
+  // 8-byte element width, must be rejected — the `base + size` sum used by a
+  // naive limit check would wrap and "succeed".
+  const std::size_t forged = std::size_t{0xFFFFFFFFu} * 8;
+  EXPECT_THROW(a.alloc(forged), VmError);
+  EXPECT_THROW(a.alloc(SIZE_MAX - 4), VmError);
+  EXPECT_THROW(a.alloc_stack(SIZE_MAX - 4), VmError);
+  EXPECT_THROW(a.alloc_immortal(SIZE_MAX - 4), VmError);
+  // The failed requests must not have corrupted the bump pointers.
+  const Addr p = a.alloc(16);
+  a.store_i32(p, 11);
+  EXPECT_EQ(a.load_i32(p), 11);
+  const Addr q = a.alloc_immortal(16);
+  a.store_i32(q, 12);
+  EXPECT_EQ(a.load_i32(q), 12);
 }
 
 TEST(Cache, HitsAfterFill) {

@@ -1,0 +1,370 @@
+// Shadow-bounds tests: the elide-then-validate contract (DESIGN.md §13).
+//
+// Unit tests for the ShadowBounds oracle itself, arena integration (alignment
+// gaps between live allocations), and the tier-1 differential criteria:
+//  (a) interprocedural BCE elisions produce zero shadow violations across
+//      the 8-app corpus (and a synthetic app where elisions provably fire),
+//  (b) energy ledgers are bit-identical with shadow mode on or off,
+//      regardless of the BCE setting, and
+//  (c) a deliberately-forged class (fabricated length facts backing an
+//      out-of-bounds elided access) raises a typed BoundsFault and the
+//      session survives — no crash, no silent read of a neighbour.
+#include <gtest/gtest.h>
+
+#include "analysis/lengths.hpp"
+#include "apps/app.hpp"
+#include "jit/compiler.hpp"
+#include "jvm/builder.hpp"
+#include "jvm/engine.hpp"
+#include "mem/shadow.hpp"
+#include "rt/client.hpp"
+
+namespace javelin {
+namespace {
+
+using jvm::ClassBuilder;
+using jvm::Signature;
+using jvm::TypeKind;
+using jvm::Value;
+
+// ---- ShadowBounds unit tests ----------------------------------------------
+
+TEST(ShadowBounds, NoteAllocEnforcesBumpOrder) {
+  mem::ShadowBounds sb;
+  sb.note_alloc(100, 10);
+  // Overlapping or retrograde bases would break the binary search.
+  EXPECT_THROW(sb.note_alloc(105, 4), std::invalid_argument);
+  EXPECT_THROW(sb.note_alloc(99, 1), std::invalid_argument);
+  sb.note_alloc(110, 4);  // exactly adjacent is fine
+  EXPECT_EQ(sb.live_entries(), 2u);
+  EXPECT_EQ(sb.stats().allocations, 2u);
+}
+
+TEST(ShadowBounds, CheckAccessRequiresOneLiveEntry) {
+  mem::ShadowBounds sb;
+  sb.note_alloc(100, 10);
+  sb.note_alloc(120, 8);
+  sb.check_access(100, 10);  // whole first entry
+  sb.check_access(108, 2);   // tail of first entry
+  sb.check_access(120, 8);   // whole second entry
+  // Below, between, past, and spanning-out-of an entry all fault.
+  EXPECT_THROW(sb.check_access(96, 4), BoundsFault);
+  EXPECT_THROW(sb.check_access(110, 4), BoundsFault);
+  EXPECT_THROW(sb.check_access(128, 1), BoundsFault);
+  EXPECT_THROW(sb.check_access(108, 4), BoundsFault);
+  EXPECT_EQ(sb.stats().checks, 7u);
+  EXPECT_EQ(sb.stats().violations, 4u);
+}
+
+TEST(ShadowBounds, ReleaseAboveAndClearDropEntries) {
+  mem::ShadowBounds sb;
+  sb.note_alloc(100, 10);
+  sb.note_alloc(120, 8);
+  sb.note_alloc(128, 8);
+  sb.release_above(120);  // watermark release back to the second allocation
+  EXPECT_EQ(sb.live_entries(), 1u);
+  EXPECT_THROW(sb.check_access(120, 4), BoundsFault);
+  sb.check_access(100, 10);
+  // The bump pointer may now revisit released addresses.
+  sb.note_alloc(120, 16);
+  sb.check_access(130, 4);
+  sb.clear();
+  EXPECT_EQ(sb.live_entries(), 0u);
+  EXPECT_THROW(sb.check_access(100, 1), BoundsFault);
+}
+
+// ---- Arena integration -----------------------------------------------------
+
+TEST(ShadowArena, AlignmentGapBetweenAllocationsFaults) {
+  mem::Arena a(1 << 20, 1 << 16);
+  mem::ShadowBounds sb;
+  a.set_shadow(&sb);
+  // alloc(5) occupies 5 bytes; the next 8-aligned allocation leaves a 3-byte
+  // gap the zone check cannot see (both sides are heap).
+  const mem::Addr p = a.alloc(5);
+  const mem::Addr q = a.alloc(8);
+  ASSERT_GT(q, p + 5);
+  EXPECT_EQ(a.load_u8(p + 4), 0);                   // inside the allocation
+  EXPECT_THROW(a.load_u8(p + 6), BoundsFault);      // the gap
+  EXPECT_THROW(a.load_i64(p), BoundsFault);         // spans out of the entry
+  a.store_i64(q, 42);                               // neighbour is untouched
+  EXPECT_EQ(a.load_i64(q), 42);
+  EXPECT_EQ(sb.stats().violations, 2u);
+  EXPECT_GT(sb.stats().checks, sb.stats().violations);
+}
+
+TEST(ShadowArena, WatermarkReleaseAndResetTrackTheArena) {
+  mem::Arena a(1 << 20, 1 << 16);
+  mem::ShadowBounds sb;
+  a.set_shadow(&sb);
+  a.alloc(16);
+  const std::size_t mark = a.heap_mark();
+  a.alloc(16);
+  a.alloc(16);
+  EXPECT_EQ(sb.live_entries(), 3u);
+  a.heap_release(mark);
+  EXPECT_EQ(sb.live_entries(), 1u);
+  // Reuse after release is clean: the bump pointer revisits the addresses.
+  const mem::Addr p = a.alloc(24);
+  a.store_i32(p + 16, 9);
+  EXPECT_EQ(a.load_i32(p + 16), 9);
+  a.reset();
+  EXPECT_EQ(sb.live_entries(), 0u);
+}
+
+// ---- Synthetic interprocedural app ----------------------------------------
+
+// Caller allocates a length-3 array and passes it to a non-root kernel whose
+// accesses (arraylength + constant indices 0 and 2) are exactly what the
+// length-fact pass can prove safe across the call.
+jvm::ClassFile chain_class() {
+  ClassBuilder cb("Chain");
+  {
+    auto& k = cb.method("kernel", Signature{{TypeKind::kRef}, TypeKind::kInt});
+    k.param_name(0, "b");
+    k.aload("b").arraylength();
+    k.aload("b").iconst(0).iaload().iadd();
+    k.aload("b").iconst(2).iaload().iadd();
+    k.iret();
+  }
+  {
+    auto& e = cb.method("entry", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    e.param_name(0, "n");
+    e.potential(jvm::SizeParamSpec{{{0, false}}});
+    e.iconst(3).newarray(TypeKind::kInt).astore("a");
+    e.aload("a").iconst(0).iload("n").iastore();
+    e.aload("a").iconst(2).iload("n").iconst(2).imul().iastore();
+    e.aload("a").invokestatic("Chain", "kernel").iret();
+  }
+  return cb.build();
+}
+
+struct EngineRig {
+  isa::MachineConfig cfg = isa::client_machine();
+  mem::Arena arena;
+  energy::EnergyMeter meter;
+  mem::MemoryHierarchy hier{cfg.icache, cfg.dcache, cfg.miss_penalty_cycles,
+                            &cfg.energy, &meter};
+  isa::Core core{&cfg, &arena, &hier, &meter};
+  jvm::Jvm vm{core};
+  jvm::ExecutionEngine engine{vm};
+};
+
+TEST(ShadowInterproc, ElidedKernelRunsCleanUnderShadow) {
+  EngineRig rig;
+  const jvm::ClassFile cf = chain_class();
+  rig.vm.load(cf);
+  rig.vm.link();
+
+  // The pass proves kernel's parameter non-null with length >= 3.
+  const analysis::LengthAnalysis la = analysis::analyze_lengths({&cf});
+  ASSERT_FALSE(la.incomplete);
+  const jvm::MethodInfo* kmi = nullptr;
+  for (const auto& m : cf.methods)
+    if (m.name == "kernel") kmi = &m;
+  ASSERT_NE(kmi, nullptr);
+  const analysis::MethodLengthFacts* f = la.find(kmi);
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(f->valid());
+  ASSERT_EQ(f->params.size(), 1u);
+  EXPECT_TRUE(f->params[0].non_null);
+  EXPECT_EQ(f->params[0].min_len, 3);
+
+  // L3 with the facts elides guards no dominating access could prove.
+  const std::int32_t kid = rig.vm.find_method("Chain", "kernel");
+  std::vector<jit::ArrayParamFact> facts{{f->params[0].non_null,
+                                          f->params[0].min_len}};
+  jit::CompileOptions opts;
+  opts.opt_level = 3;
+  opts.param_facts = &facts;
+  auto res = jit::compile_method(rig.vm, kid, opts, rig.cfg.energy);
+  EXPECT_GT(res.guards_elided_interproc, 0u);
+  EXPECT_GE(res.guards_elided, res.guards_elided_interproc);
+  rig.engine.install(kid, std::move(res.program), 3);
+
+  // Shadow mode dynamically validates every elision.
+  mem::ShadowBounds sb;
+  rig.arena.set_shadow(&sb);
+  const std::int32_t eid = rig.vm.find_method("Chain", "entry");
+  const Value v = rig.engine.invoke(eid, {{Value::make_int(5)}});
+  EXPECT_EQ(v.as_int(), 3 + 5 + 10);
+  EXPECT_EQ(sb.stats().violations, 0u);
+  EXPECT_GT(sb.stats().checks, 0u);
+}
+
+// ---- Forged facts: the hostile case ---------------------------------------
+
+// peek() reads b[3] of a length-3 array. With honestly-computed facts that
+// access keeps its guard and traps as a guest error; with *forged* facts
+// (min_len = 4) the guard is elided and the generated code reads the 4-byte
+// alignment gap after the array — precisely what shadow mode exists to catch.
+jvm::ClassFile forge_class() {
+  ClassBuilder cb("Forge");
+  {
+    auto& p = cb.method("peek", Signature{{TypeKind::kRef}, TypeKind::kInt});
+    p.param_name(0, "b");
+    p.aload("b").iconst(3).iaload().iret();
+  }
+  {
+    auto& g = cb.method("go", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    g.param_name(0, "n");
+    g.potential(jvm::SizeParamSpec{{{0, false}}});
+    // a = new int[3] (20 bytes: 8 header + 12 data, bumped to 24 by the
+    // next allocation's alignment); pad keeps the heap frontier past the gap
+    // so the zone check alone cannot catch the overflow.
+    g.iconst(3).newarray(TypeKind::kInt).astore("a");
+    g.iconst(16).newarray(TypeKind::kInt).astore("pad");
+    g.aload("a").iconst(0).iload("n").iastore();
+    g.aload("a").invokestatic("Forge", "peek").iret();
+  }
+  {
+    auto& k = cb.method("ok", Signature{{TypeKind::kInt}, TypeKind::kInt});
+    k.param_name(0, "n");
+    k.potential(jvm::SizeParamSpec{{{0, false}}});
+    k.iload("n").iconst(2).imul().iret();
+  }
+  return cb.build();
+}
+
+// Compile peek with fabricated facts; the elision must actually fire for the
+// test to mean anything.
+isa::NativeProgram forged_peek(EngineRig& rig, std::int32_t pid) {
+  std::vector<jit::ArrayParamFact> forged{{true, 4}};
+  jit::CompileOptions opts;
+  opts.opt_level = 3;
+  opts.param_facts = &forged;
+  auto res = jit::compile_method(rig.vm, pid, opts, rig.cfg.energy);
+  EXPECT_GT(res.guards_elided_interproc, 0u);
+  return std::move(res.program);
+}
+
+TEST(ShadowForged, SilentNeighbourReadWithoutShadowFaultsWithShadow) {
+  // Without shadow: the elided access reads the zero-filled alignment gap —
+  // wrong but silent, the exact failure mode the oracle closes.
+  {
+    EngineRig rig;
+    rig.vm.load(forge_class());
+    rig.vm.link();
+    const std::int32_t pid = rig.vm.find_method("Forge", "peek");
+    rig.engine.install(pid, forged_peek(rig, pid), 3);
+    const std::int32_t gid = rig.vm.find_method("Forge", "go");
+    EXPECT_EQ(rig.engine.invoke(gid, {{Value::make_int(7)}}).as_int(), 0);
+  }
+  // With shadow: a typed BoundsFault, and the engine survives it.
+  {
+    EngineRig rig;
+    rig.vm.load(forge_class());
+    rig.vm.link();
+    const std::int32_t pid = rig.vm.find_method("Forge", "peek");
+    rig.engine.install(pid, forged_peek(rig, pid), 3);
+    mem::ShadowBounds sb;
+    rig.arena.set_shadow(&sb);
+    const std::int32_t gid = rig.vm.find_method("Forge", "go");
+    EXPECT_THROW(rig.engine.invoke(gid, {{Value::make_int(7)}}), BoundsFault);
+    EXPECT_EQ(sb.stats().violations, 1u);
+    // The arena is intact: further guest work proceeds normally.
+    const std::int32_t oid = rig.vm.find_method("Forge", "ok");
+    EXPECT_EQ(rig.engine.invoke(oid, {{Value::make_int(7)}}).as_int(), 14);
+  }
+}
+
+TEST(ShadowForged, ClientSessionSurvivesBoundsFault) {
+  rt::Server server;
+  radio::FixedChannel channel{radio::PowerClass::kClass4};
+  net::Link link;
+  rt::Client client(rt::ClientConfig{}, server, channel, link);
+  client.deploy({forge_class()});
+  rt::Device& dev = client.device();
+  dev.enable_shadow_bounds();
+
+  // Plant the forged compilation; ensure_compiled() sees the level tag and
+  // never recompiles it.
+  const std::int32_t pid = dev.vm.find_method("Forge", "peek");
+  {
+    std::vector<jit::ArrayParamFact> forged{{true, 4}};
+    jit::CompileOptions opts;
+    opts.opt_level = 3;
+    opts.param_facts = &forged;
+    auto res = jit::compile_method(dev.vm, pid, opts, dev.cfg.energy);
+    ASSERT_GT(res.guards_elided_interproc, 0u);
+    dev.engine.install(pid, std::move(res.program), 1);
+  }
+
+  // The invocation aborts with the typed fault; the report records it.
+  rt::InvokeReport rep;
+  std::vector<Value> args{Value::make_int(7)};
+  EXPECT_THROW(client.run("Forge", "go", args, rt::Strategy::kLocal1, &rep),
+               BoundsFault);
+  EXPECT_EQ(rep.resilience.bounds_faults, 1);
+  ASSERT_NE(dev.shadow_bounds, nullptr);
+  EXPECT_EQ(dev.shadow_bounds->stats().violations, 1u);
+
+  // Graceful degradation: the session survives — the same client serves the
+  // next invocation (and even the faulting method interpreted, where the
+  // guard is back and the error is an ordinary guest trap).
+  rt::InvokeReport rep2;
+  EXPECT_EQ(
+      client.run("Forge", "ok", args, rt::Strategy::kInterpret, &rep2).as_int(),
+      14);
+  EXPECT_EQ(rep2.resilience.bounds_faults, 0);
+  EXPECT_THROW(client.run("Forge", "go", args, rt::Strategy::kInterpret),
+               VmError);
+}
+
+// ---- The 8-app differential -----------------------------------------------
+
+struct CorpusRun {
+  double energy = 0.0;
+  std::uint64_t violations = 0;
+  bool correct = false;
+};
+
+CorpusRun run_app(const apps::App& a, bool shadow, bool interproc_bce) {
+  rt::Server server;
+  radio::FixedChannel channel{radio::PowerClass::kClass4};
+  net::Link link;
+  rt::ClientConfig cfg;
+  cfg.decision.interprocedural_bce = interproc_bce;
+  rt::Client client(cfg, server, channel, link);
+  client.deploy(a.classes);
+  if (shadow) client.device().enable_shadow_bounds();
+
+  Rng rng(11);
+  jvm::Jvm& vm = client.device().vm;
+  const auto args = a.make_args(vm, a.small_scale, rng);
+  const Value result =
+      client.run(a.cls, a.method, args, rt::Strategy::kLocal3);
+  CorpusRun out;
+  out.correct = a.check(vm, args, vm, result);
+  out.energy = client.device().meter.total();
+  const mem::ShadowBounds* sb = client.device().shadow_bounds.get();
+  out.violations = sb ? sb->stats().violations : 0;
+  return out;
+}
+
+TEST(ShadowDifferential, CorpusLedgersIdenticalAndElisionsClean) {
+  for (const apps::App& a : apps::registry()) {
+    SCOPED_TRACE(a.name);
+    const CorpusRun base = run_app(a, /*shadow=*/false, /*bce=*/false);
+    const CorpusRun base_sh = run_app(a, /*shadow=*/true, /*bce=*/false);
+    const CorpusRun ip = run_app(a, /*shadow=*/false, /*bce=*/true);
+    const CorpusRun ip_sh = run_app(a, /*shadow=*/true, /*bce=*/true);
+
+    EXPECT_TRUE(base.correct);
+    EXPECT_TRUE(base_sh.correct);
+    EXPECT_TRUE(ip.correct);
+    EXPECT_TRUE(ip_sh.correct);
+
+    // (b) shadow mode never perturbs the ledger, under either BCE setting:
+    // bit-identical energy, not approximately equal.
+    EXPECT_EQ(base.energy, base_sh.energy);
+    EXPECT_EQ(ip.energy, ip_sh.energy);
+
+    // (a) every check the interprocedural pass elided holds dynamically.
+    EXPECT_EQ(base_sh.violations, 0u);
+    EXPECT_EQ(ip_sh.violations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace javelin

@@ -258,6 +258,27 @@ TEST(Verifier, HostileBodiesAreRejectedNamingThePc) {
         {Op::kReturn, 0, 0}},
        Signature{{TypeKind::kInt}, TypeKind::kVoid}, 1, 5,
        "operand stack underflow"},
+      {"negative branch target",
+       {{Op::kGoto, -3, 0}},
+       Signature{{}, TypeKind::kVoid}, 0, 0, "negative branch target"},
+      {"newarray with a forged element-kind operand",
+       {{Op::kIconst, 1, 0}, {Op::kNewArray, 999, 0}, {Op::kReturn, 0, 0}},
+       Signature{{}, TypeKind::kVoid}, 0, 1, "newarray of bad element kind"},
+      {"array load with a non-ref receiver",
+       {{Op::kIconst, 0, 0},
+        {Op::kIconst, 0, 0},
+        {Op::kIaload, 0, 0},
+        {Op::kIreturn, 0, 0}},
+       Signature{{}, TypeKind::kInt}, 0, 2, "expected ref"},
+      {"field pool index 0xFFFF",
+       {{Op::kGetStatic, 0xFFFF, 0}, {Op::kReturn, 0, 0}},
+       Signature{{}, TypeKind::kVoid}, 0, 0, "field pool index out of range"},
+      {"new with a forged class pool index",
+       {{Op::kNew, 0xFFFF, 0}, {Op::kPop, 0, 0}, {Op::kReturn, 0, 0}},
+       Signature{{}, TypeKind::kVoid}, 0, 0, "class pool index out of range"},
+      {"forged intrinsic id",
+       {{Op::kInvokeIntrinsic, 9999, 0}, {Op::kReturn, 0, 0}},
+       Signature{{}, TypeKind::kVoid}, 0, 0, "bad intrinsic id"},
   };
   for (const Case& c : cases) {
     ClassFile cf = raw_class(c.code, c.sig, c.max_locals);
