@@ -1,0 +1,244 @@
+// javelin_tracediff — golden-trace behavioral regression gate, from the shell.
+//
+// Replays the golden scenarios (sim/goldens.hpp), projects their traces into
+// behavioral snapshots (obs/snapshot.hpp) and compares them against the
+// snapshots checked into tests/golden/. A divergence means the runtime's
+// *decision sequences* changed — decide outcomes, compile plans, retry/
+// breaker behavior, power-down spans — even if every energy total still
+// looks plausible. Exit status: 0 identical, 1 divergence, 2 usage/IO error,
+// so the tool slots into CI next to javelin_lint.
+//
+//   javelin_tracediff check [name ...]     replay + compare vs goldens
+//   javelin_tracediff --check              alias for `check` (CI spelling)
+//   javelin_tracediff record [name ...]    replay + (re)write golden files
+//   javelin_tracediff record --all         ... for every scenario
+//   javelin_tracediff diff A.snap B.snap   compare two snapshot files
+//   javelin_tracediff list                 list scenarios
+//   options: --json, --context N, --dir DIR (default: the source tree's
+//   tests/golden, overridable with JAVELIN_GOLDEN_DIR)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+#include "sim/goldens.hpp"
+#include "support/error.hpp"
+
+using namespace javelin;
+
+namespace {
+
+#ifndef JAVELIN_GOLDEN_DIR
+#define JAVELIN_GOLDEN_DIR "tests/golden"
+#endif
+
+struct Options {
+  std::string mode;                 // check / record / diff / list
+  std::vector<std::string> names;   // scenario names or snapshot paths
+  std::string dir = JAVELIN_GOLDEN_DIR;
+  bool json = false;
+  bool all = false;
+  int context = 3;
+};
+
+int usage(std::FILE* to) {
+  std::fputs(
+      "usage: javelin_tracediff <mode> [options]\n"
+      "  check [name ...]      replay scenarios, compare vs golden snapshots\n"
+      "  --check               alias for `check` over every scenario\n"
+      "  record [name|--all]   replay scenarios, write golden snapshots\n"
+      "  diff <a> <b>          compare two snapshot files\n"
+      "  list                  list golden scenarios\n"
+      "options:\n"
+      "  --json                machine-readable diff output\n"
+      "  --context N           events of context around a divergence (3)\n"
+      "  --dir DIR             golden directory (default: " JAVELIN_GOLDEN_DIR
+      ",\n"
+      "                        or $JAVELIN_GOLDEN_DIR when set)\n",
+      to);
+  return to == stdout ? 0 : 2;
+}
+
+std::string golden_path(const Options& opt, const char* name) {
+  return opt.dir + "/" + name + ".snap";
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  std::size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = !std::ferror(f);
+  std::fclose(f);
+  return ok;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return !(std::fclose(f) != 0 || !ok);
+}
+
+/// Replay one scenario and project its trace.
+obs::Snapshot replay(const sim::GoldenScenario& s) {
+  obs::TraceCollector collector;
+  s.run(collector);
+  return obs::project(collector, s.name);
+}
+
+/// Resolve the scenario set for check/record: explicit names, or all.
+int resolve(const Options& opt, std::vector<const sim::GoldenScenario*>* out) {
+  if (opt.names.empty() || opt.all) {
+    for (const sim::GoldenScenario& s : sim::golden_scenarios())
+      out->push_back(&s);
+    return 0;
+  }
+  for (const std::string& name : opt.names) {
+    const sim::GoldenScenario* s = sim::find_golden_scenario(name);
+    if (!s) {
+      std::fprintf(stderr, "javelin_tracediff: unknown scenario '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+    out->push_back(s);
+  }
+  return 0;
+}
+
+int run_list() {
+  for (const sim::GoldenScenario& s : sim::golden_scenarios())
+    std::printf("%-16s %s\n", s.name, s.description);
+  return 0;
+}
+
+int run_record(const Options& opt) {
+  std::vector<const sim::GoldenScenario*> scenarios;
+  if (int rc = resolve(opt, &scenarios)) return rc;
+  for (const sim::GoldenScenario* s : scenarios) {
+    const std::string path = golden_path(opt, s->name);
+    const obs::Snapshot snap = replay(*s);
+    if (!write_file(path, obs::render(snap))) {
+      std::fprintf(stderr, "javelin_tracediff: cannot write %s\n",
+                   path.c_str());
+      return 2;
+    }
+    std::size_t events = 0;
+    for (const obs::SnapTrack& t : snap.tracks) events += t.events.size();
+    std::printf("recorded %s: %zu tracks, %zu events\n", path.c_str(),
+                snap.tracks.size(), events);
+  }
+  return 0;
+}
+
+int run_check(const Options& opt) {
+  std::vector<const sim::GoldenScenario*> scenarios;
+  if (int rc = resolve(opt, &scenarios)) return rc;
+  int divergent = 0;
+  for (const sim::GoldenScenario* s : scenarios) {
+    const std::string path = golden_path(opt, s->name);
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr,
+                   "javelin_tracediff: cannot read golden %s "
+                   "(run `javelin_tracediff record %s` first)\n",
+                   path.c_str(), s->name);
+      return 2;
+    }
+    obs::Snapshot golden;
+    try {
+      golden = obs::parse(text);
+    } catch (const FormatError& e) {
+      std::fprintf(stderr, "javelin_tracediff: %s: %s\n", path.c_str(),
+                   e.what());
+      return 2;
+    }
+    const obs::Snapshot current = replay(*s);
+    const obs::DiffResult d = obs::diff(golden, current, opt.context);
+    if (opt.json) {
+      std::printf("{\"scenario\": \"%s\", \"diff\": %s}\n", s->name,
+                  obs::diff_json(d).c_str());
+    } else if (d.identical) {
+      std::printf("ok %s (%zu tracks)\n", s->name, current.tracks.size());
+    } else {
+      std::printf("DIVERGED %s vs %s\n%s\n", s->name, path.c_str(),
+                  d.report.c_str());
+    }
+    if (!d.identical) ++divergent;
+  }
+  if (divergent)
+    std::fprintf(stderr, "javelin_tracediff: %d scenario(s) diverged\n",
+                 divergent);
+  return divergent ? 1 : 0;
+}
+
+int run_diff(const Options& opt) {
+  if (opt.names.size() != 2) return usage(stderr);
+  obs::Snapshot snaps[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!read_file(opt.names[i], &text)) {
+      std::fprintf(stderr, "javelin_tracediff: cannot read %s\n",
+                   opt.names[i].c_str());
+      return 2;
+    }
+    try {
+      snaps[i] = obs::parse(text);
+    } catch (const FormatError& e) {
+      std::fprintf(stderr, "javelin_tracediff: %s: %s\n",
+                   opt.names[i].c_str(), e.what());
+      return 2;
+    }
+  }
+  const obs::DiffResult d = obs::diff(snaps[0], snaps[1], opt.context);
+  if (opt.json)
+    std::printf("%s\n", obs::diff_json(d).c_str());
+  else if (d.identical)
+    std::printf("identical\n");
+  else
+    std::printf("%s\n", d.report.c_str());
+  return d.identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (const char* env = std::getenv("JAVELIN_GOLDEN_DIR"))
+    if (*env) opt.dir = env;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--json") {
+      opt.json = true;
+    } else if (a == "--all") {
+      opt.all = true;
+    } else if (a == "--context") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      opt.context = std::atoi(args[++i].c_str());
+      if (opt.context < 0) return usage(stderr);
+    } else if (a == "--dir") {
+      if (i + 1 >= args.size()) return usage(stderr);
+      opt.dir = args[++i];
+    } else if (a == "--check") {
+      opt.mode = "check";
+    } else if (a == "--help" || a == "-h") {
+      return usage(stdout);
+    } else if (opt.mode.empty()) {
+      opt.mode = a;
+    } else {
+      opt.names.push_back(a);
+    }
+  }
+
+  if (opt.mode == "check") return run_check(opt);
+  if (opt.mode == "record") return run_record(opt);
+  if (opt.mode == "diff") return run_diff(opt);
+  if (opt.mode == "list") return run_list();
+  return usage(opt.mode.empty() ? stderr : stderr);
+}

@@ -13,9 +13,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "analysis/lengths.hpp"
 #include "jit/compiler.hpp"
+#include "obs/export.hpp"
 #include "rt/device.hpp"
 #include "apps/app.hpp"
 #include "sim/sweep.hpp"
@@ -62,10 +65,11 @@ std::vector<std::vector<jit::ArrayParamFact>> length_facts(const jvm::Jvm& vm) {
   return out;
 }
 
-CellResult run_cell(const apps::App& a, int regime) {
+CellResult run_cell(const apps::App& a, int regime, obs::TraceBuffer* trace) {
   CellResult out;
   rt::Device dev(isa::client_machine());
   dev.core.step_limit = 200'000'000'000ULL;
+  if (trace) dev.engine.set_trace(trace);
   dev.deploy(a.classes);
   const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
   std::vector<std::int32_t> plan{mid};
@@ -81,7 +85,7 @@ CellResult run_cell(const apps::App& a, int regime) {
       opts.param_facts = &facts[static_cast<std::size_t>(id)];
     else
       opts.param_facts = nullptr;
-    auto res = jit::compile_method(dev.vm, id, opts, dev.cfg.energy);
+    auto res = jit::compile_method(dev.vm, id, opts, dev.cfg.energy, trace);
     out.code_bytes += res.program.image_bytes();
     out.elided += res.guards_elided;
     out.elided_interproc += res.guards_elided_interproc;
@@ -121,10 +125,24 @@ int main() {
 
   // Cell grid: [app][regime].
   const std::size_t n_cells = registry.size() * kNumRegimes;
+
+  // Opt-in Chrome-trace capture (JAVELIN_TRACE_JSON): one track per cell.
+  // Tracing is read-only — the table is bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(n_cells, nullptr);
+  if (trace_path) {
+    for (std::size_t cell = 0; cell < n_cells; ++cell)
+      tracks[cell] = collector.make_buffer(
+          registry[cell / kNumRegimes].name + "/bce=" +
+              regime_name(static_cast<int>(cell % kNumRegimes)),
+          /*order_key=*/cell);
+  }
+
   const auto cells = engine.map<CellResult>(
-      n_cells, [&registry](std::size_t cell) {
+      n_cells, [&registry, &tracks](std::size_t cell) {
         return run_cell(registry[cell / kNumRegimes],
-                        static_cast<int>(cell % kNumRegimes));
+                        static_cast<int>(cell % kNumRegimes), tracks[cell]);
       });
 
   for (std::size_t ai = 0; ai < registry.size(); ++ai) {
@@ -173,5 +191,9 @@ int main() {
                "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
                n_cells, engine.jobs(), wall,
                wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
+
+  if (trace_path &&
+      !obs::export_chrome_trace(collector, "ablation_bce", trace_path))
+    return 1;
   return 0;
 }

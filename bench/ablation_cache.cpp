@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
+#include "obs/export.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -55,14 +57,28 @@ int main() {
             apps::app(names[i]));
       });
 
+  // Opt-in Chrome-trace capture (JAVELIN_TRACE_JSON): one track per cell.
+  // Tracing is read-only — the table is bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(kNumApps * kNumConfigs, nullptr);
+  if (trace_path) {
+    for (std::size_t cell = 0; cell < kNumApps * kNumConfigs; ++cell)
+      tracks[cell] = collector.make_buffer(
+          std::string(names[cell / kNumConfigs]) + "/" +
+              configs[cell % kNumConfigs].name,
+          /*order_key=*/cell);
+  }
+
   const auto cells = engine.map<sim::StrategyResult>(
-      kNumApps * kNumConfigs, [&runners, &configs, &names](std::size_t cell) {
+      kNumApps * kNumConfigs,
+      [&runners, &configs, &names, &tracks](std::size_t cell) {
         rt::ClientConfig cfg;
         cfg.machine = configs[cell % kNumConfigs].machine;
         const apps::App& a = apps::app(names[cell / kNumConfigs]);
         return runners[cell / kNumConfigs]->run_single(
             rt::Strategy::kLocal2, a.large_scale, radio::PowerClass::kClass4,
-            /*verify=*/true, &cfg);
+            /*verify=*/true, &cfg, tracks[cell]);
       });
 
   for (std::size_t ai = 0; ai < kNumApps; ++ai) {
@@ -97,5 +113,9 @@ int main() {
                "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
                n_cells, engine.jobs(), wall,
                wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
+
+  if (trace_path &&
+      !obs::export_chrome_trace(collector, "ablation_cache", trace_path))
+    return 1;
   return 0;
 }

@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
+#include "obs/export.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -41,14 +43,28 @@ int main() {
             apps::app(names[i]));
       });
 
+  // Opt-in Chrome-trace capture (JAVELIN_TRACE_JSON): one track per cell.
+  // Tracing is read-only — the table is bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(kNumApps * kNumWeights, nullptr);
+  if (trace_path) {
+    for (std::size_t cell = 0; cell < kNumApps * kNumWeights; ++cell) {
+      char label[64];
+      std::snprintf(label, sizeof label, "%s/u=%g",
+                    names[cell / kNumWeights], weights[cell % kNumWeights]);
+      tracks[cell] = collector.make_buffer(label, /*order_key=*/cell);
+    }
+  }
+
   const auto cells = engine.map<sim::StrategyResult>(
       kNumApps * kNumWeights,
-      [&runners, &weights, execs](std::size_t cell) {
+      [&runners, &weights, &tracks, execs](std::size_t cell) {
         rt::ClientConfig cfg;
         cfg.u1 = cfg.u2 = weights[cell % kNumWeights];
         return runners[cell / kNumWeights]->run(
             rt::Strategy::kAdaptiveLocal, sim::Situation::kUniform, execs,
-            /*verify=*/true, &cfg);
+            /*verify=*/true, &cfg, tracks[cell]);
       });
 
   for (std::size_t ai = 0; ai < kNumApps; ++ai) {
@@ -87,5 +103,9 @@ int main() {
                "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
                n_cells, engine.jobs(), wall,
                wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
+
+  if (trace_path &&
+      !obs::export_chrome_trace(collector, "ablation_ewma", trace_path))
+    return 1;
   return 0;
 }

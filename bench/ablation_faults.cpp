@@ -16,103 +16,51 @@
 // so output (and BENCH_faults.json) is bit-identical at any JAVELIN_JOBS.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "obs/export.hpp"
+#include "sim/goldens.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace javelin;
 
-namespace {
-
-struct FaultCase {
-  const char* label;
-  net::FaultPlan plan;
-};
-
-struct PolicyCase {
-  const char* label;
-  rt::ResiliencePolicy policy;
-};
-
-std::vector<FaultCase> fault_cases() {
-  std::vector<FaultCase> cases;
-  cases.push_back({"fault-free", {}});
-
-  net::FaultPlan mild;
-  mild.enabled = true;
-  mild.ge_p_good_to_bad = 0.05;
-  mild.ge_p_bad_to_good = 0.5;
-  mild.ge_loss_bad = 0.8;
-  cases.push_back({"mild burst loss", mild});
-
-  net::FaultPlan heavy;
-  heavy.enabled = true;
-  heavy.ge_p_good_to_bad = 0.15;
-  heavy.ge_p_bad_to_good = 0.3;
-  heavy.ge_loss_bad = 0.9;
-  cases.push_back({"heavy burst loss", heavy});
-
-  net::FaultPlan outage;
-  outage.enabled = true;
-  outage.outage_period_s = 30.0;
-  outage.outage_duration_s = 6.0;
-  outage.outage_phase_s = 10.0;
-  cases.push_back({"server outages", outage});
-
-  net::FaultPlan corrupt;
-  corrupt.enabled = true;
-  corrupt.corrupt_uplink_p = 0.08;
-  corrupt.corrupt_downlink_p = 0.08;
-  cases.push_back({"corruption", corrupt});
-
-  net::FaultPlan works = mild;
-  works.outage_period_s = 40.0;
-  works.outage_duration_s = 5.0;
-  works.corrupt_uplink_p = 0.04;
-  works.corrupt_downlink_p = 0.04;
-  works.spike_p = 0.05;
-  works.spike_seconds = 0.4;
-  cases.push_back({"the works", works});
-
-  return cases;
-}
-
-std::vector<PolicyCase> policy_cases() {
-  std::vector<PolicyCase> cases;
-  cases.push_back({"paper (1 try)", {}});
-
-  rt::ResiliencePolicy retry;
-  retry.max_attempts = 3;
-  cases.push_back({"retry x3", retry});
-
-  rt::ResiliencePolicy breaker = retry;
-  breaker.breaker_threshold = 4;
-  breaker.breaker_cooldown_s = 20.0;
-  cases.push_back({"retry+breaker", breaker});
-
-  return cases;
-}
-
-}  // namespace
-
 int main() {
   const apps::App& fe = apps::app("fe");
   const int executions = 120;
 
-  // Profile once; each fault case gets a cheap copy carrying its plan.
+  // Profile once; each fault case gets a cheap copy carrying its plan. The
+  // fault-regime and resilience-policy grids are shared with the golden
+  // trace suite (sim/goldens.hpp), so `javelin_tracediff check
+  // ablation_faults` gates exactly the grid this table reports.
   const sim::ScenarioRunner base(fe);
-  const std::vector<FaultCase> faults = fault_cases();
-  const std::vector<PolicyCase> policies = policy_cases();
+  const auto& faults = sim::golden_fault_cases();
+  const auto& policies = sim::golden_policy_cases();
 
   std::vector<sim::ScenarioRunner> runners;
   runners.reserve(faults.size());
-  for (const FaultCase& fc : faults) {
+  for (const sim::GoldenFaultCase& fc : faults) {
     runners.push_back(base);
     runners.back().fault_plan = fc.plan;
   }
 
   const std::size_t n = faults.size() * policies.size();
+
+  // Opt-in Chrome-trace capture: one track per cell, created up front so the
+  // parallel map only touches its own buffer. Tracing is read-only — the
+  // table and BENCH_faults.json are bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(n, nullptr);
+  if (trace_path) {
+    for (std::size_t i = 0; i < n; ++i)
+      tracks[i] = collector.make_buffer(
+          std::string(faults[i / policies.size()].label) + "/" +
+              policies[i % policies.size()].label,
+          /*order_key=*/i);
+  }
+
   sim::SweepEngine engine;
   const auto results = engine.map<sim::StrategyResult>(
       n, [&](std::size_t i) {
@@ -122,7 +70,7 @@ int main() {
         config.resilience = policies[pi].policy;
         return runners[fi].run(rt::Strategy::kAdaptiveAdaptive,
                                sim::Situation::kUniform, executions,
-                               /*verify=*/true, &config);
+                               /*verify=*/true, &config, tracks[i]);
       });
 
   TextTable table("Ablation — fault injection x resilience policy (fe, AA)");
@@ -179,5 +127,9 @@ int main() {
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);
+
+  if (trace_path &&
+      !obs::export_chrome_trace(collector, "ablation_faults", trace_path))
+    return 1;
   return 0;
 }

@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
+#include "obs/export.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -34,16 +36,30 @@ int main() {
             apps::app(names[i]));
       });
 
+  // Opt-in Chrome-trace capture (JAVELIN_TRACE_JSON): one track per cell.
+  // Tracing is read-only — the table is bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(kNumApps * 2, nullptr);
+  if (trace_path) {
+    for (std::size_t cell = 0; cell < kNumApps * 2; ++cell)
+      tracks[cell] = collector.make_buffer(
+          std::string(names[cell / 2]) +
+              (cell % 2 == 0 ? "/powerdown" : "/awake"),
+          /*order_key=*/cell);
+  }
+
   // Cell grid: [app][powerdown on/off].
   const auto cells = engine.map<sim::StrategyResult>(
-      kNumApps * 2, [&runners, &names](std::size_t cell) {
+      kNumApps * 2, [&runners, &names, &tracks](std::size_t cell) {
         rt::ClientConfig cfg;
         cfg.powerdown = cell % 2 == 0;
         const apps::App& a = apps::app(names[cell / 2]);
         return runners[cell / 2]->run_single(rt::Strategy::kRemote,
                                              a.large_scale,
                                              radio::PowerClass::kClass4,
-                                             /*verify=*/true, &cfg);
+                                             /*verify=*/true, &cfg,
+                                             tracks[cell]);
       });
 
   for (std::size_t ai = 0; ai < kNumApps; ++ai) {
@@ -83,5 +99,9 @@ int main() {
                "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
                n_cells, engine.jobs(), wall,
                wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
+
+  if (trace_path &&
+      !obs::export_chrome_trace(collector, "ablation_powerdown", trace_path))
+    return 1;
   return 0;
 }

@@ -15,7 +15,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "obs/export.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -32,7 +34,8 @@ struct CaseResult {
   bool correct = true;
 };
 
-CaseResult run_case(const sim::ScenarioRunner& runner, double delay) {
+CaseResult run_case(const sim::ScenarioRunner& runner, double delay,
+                    obs::TraceBuffer* trace) {
   const apps::App& fe = apps::app("fe");
   CaseResult out;
   rt::Server server;
@@ -41,6 +44,7 @@ CaseResult run_case(const sim::ScenarioRunner& runner, double delay) {
   radio::FixedChannel channel(radio::PowerClass::kClass4);
   net::Link link;
   rt::Client client(rt::ClientConfig{}, server, channel, link);
+  if (trace) client.set_trace(trace);
   client.deploy(runner.profiled_classes());
 
   Rng rng(5);
@@ -93,10 +97,20 @@ int main() {
       {"past timeout", 6.0},  // response_timeout_s defaults to 5 s
   };
 
+  // Opt-in Chrome-trace capture (JAVELIN_TRACE_JSON): one track per case.
+  // Tracing is read-only — the table is bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(std::size(cases), nullptr);
+  if (trace_path) {
+    for (std::size_t i = 0; i < std::size(cases); ++i)
+      tracks[i] = collector.make_buffer(cases[i].label, /*order_key=*/i);
+  }
+
   sim::SweepEngine engine;
   const auto results = engine.map<CaseResult>(
-      std::size(cases), [&runner, &cases](std::size_t i) {
-        return run_case(runner, cases[i].delay);
+      std::size(cases), [&runner, &cases, &tracks](std::size_t i) {
+        return run_case(runner, cases[i].delay, tracks[i]);
       });
 
   for (std::size_t i = 0; i < std::size(cases); ++i) {
@@ -133,5 +147,10 @@ int main() {
                "[sweep] %zu cells, %d workers, %.2fs wall (%.2f cells/s)\n",
                n_cells, engine.jobs(), wall,
                wall > 0.0 ? static_cast<double>(n_cells) / wall : 0.0);
+
+  if (trace_path && !obs::export_chrome_trace(collector,
+                                              "ablation_server_delay",
+                                              trace_path))
+    return 1;
   return 0;
 }

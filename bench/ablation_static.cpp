@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/export.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -57,6 +58,26 @@ int main() {
 
   // Cell layout: [app][situation][cold, seeded], app-major.
   const std::size_t n = apps.size() * kNumSituations * 2;
+
+  // Opt-in Chrome-trace capture (JAVELIN_TRACE_JSON): one track per cell,
+  // created up front so the parallel map only touches its own buffer.
+  // Tracing is read-only — table and BENCH_static.json are bit-identical
+  // either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(n, nullptr);
+  if (trace_path) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t app = i / (kNumSituations * 2);
+      const std::size_t situation = (i / 2) % kNumSituations;
+      const bool seeded = (i % 2) != 0;
+      tracks[i] = collector.make_buffer(
+          apps[app].name + "/" + sim::situation_tag(situations[situation]) +
+              (seeded ? "/seeded" : "/cold"),
+          /*order_key=*/i);
+    }
+  }
+
   const auto results = engine.map<sim::StrategyResult>(n, [&](std::size_t i) {
     const std::size_t app = i / (kNumSituations * 2);
     const std::size_t situation = (i / 2) % kNumSituations;
@@ -64,7 +85,7 @@ int main() {
     return runners[app].run(rt::Strategy::kAdaptiveAdaptive,
                             situations[situation], executions,
                             /*verify=*/true,
-                            seeded ? &seeded_config : nullptr);
+                            seeded ? &seeded_config : nullptr, tracks[i]);
   });
 
   TextTable table("Ablation — cold AA vs static-analysis-seeded AA");
@@ -130,5 +151,9 @@ int main() {
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);
+
+  if (trace_path &&
+      !obs::export_chrome_trace(collector, "ablation_static", trace_path))
+    return 1;
   return 0;
 }

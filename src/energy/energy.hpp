@@ -97,6 +97,19 @@ const char* subsystem_name(Subsystem s);
 ///
 /// One meter per simulated device; `snapshot()`/difference support scoping a
 /// measurement to a single method execution.
+///
+/// Meter lines and the client/server split. Every Device owns exactly one
+/// meter, and lines are never mixed: the client's meter is what the paper's
+/// figures report (battery energy), while the server's meters feed the
+/// *total-system* accounting surfaced as `server_j` (rt::Server::energy_j,
+/// obs::EnergyLedger::server_j, sim::StrategyResult::server_j). Server
+/// charging rules: remote execution charges the server machine's meter at
+/// its own table (deserialize + invoke + serialize); remote compilation
+/// charges the server's client-ABI twin under the client's table with the
+/// same add_instrs + dram-per-50-instructions rule the client uses for
+/// local compiles, so the two are directly comparable; memoized compile
+/// responses charge nothing. Deltas of one line are only ever taken against
+/// snapshots of that same line — `since()` across lines is meaningless.
 class EnergyMeter {
  public:
   void add(Subsystem s, double joules) {

@@ -35,9 +35,11 @@ struct MachineConfig {
 /// The paper's mobile client (Section 2).
 MachineConfig client_machine();
 
-/// The paper's remote server: 750 MHz SPARC workstation. Its energy is not
-/// charged to the client; only its speed matters (it determines the client's
-/// power-down interval).
+/// The paper's remote server: 750 MHz SPARC workstation. Its energy is never
+/// charged to the client — the figures report the client's battery only —
+/// but it is metered on the server's own lines for total-system accounting
+/// (rt::Server::energy_j). Its speed also matters to the client: it
+/// determines the client's power-down interval.
 MachineConfig server_machine();
 
 }  // namespace javelin::isa

@@ -42,10 +42,12 @@ void append_json_string(std::string& out, std::string_view s) {
 }
 
 void append_ledger_args(std::string& out, const EnergyLedger& e) {
+  // server_j is the wall-powered server's line, additive alongside the
+  // client-battery fields; total_j remains the client meter delta only.
   appendf(out,
           "\"compute_j\":%.9g,\"comm_j\":%.9g,\"idle_j\":%.9g,"
-          "\"dram_j\":%.9g,\"total_j\":%.9g",
-          e.compute_j, e.comm_j, e.idle_j, e.dram_j, e.total_j);
+          "\"dram_j\":%.9g,\"total_j\":%.9g,\"server_j\":%.9g",
+          e.compute_j, e.comm_j, e.idle_j, e.dram_j, e.total_j, e.server_j);
 }
 
 const char* chrome_phase(EventKind k) {
@@ -150,9 +152,9 @@ std::string text_dump(const TraceCollector& collector) {
           appendf(out, i ? ",%.9g" : "%.9g", ev.costs[i]);
         out += "]";
       }
-      appendf(out, " e=[%.9g,%.9g,%.9g,%.9g,%.9g]\n", ev.ledger.compute_j,
-              ev.ledger.comm_j, ev.ledger.idle_j, ev.ledger.dram_j,
-              ev.ledger.total_j);
+      appendf(out, " e=[%.9g,%.9g,%.9g,%.9g,%.9g,%.9g]\n",
+              ev.ledger.compute_j, ev.ledger.comm_j, ev.ledger.idle_j,
+              ev.ledger.dram_j, ev.ledger.total_j, ev.ledger.server_j);
     }
     for (std::size_t c = 0; c < kNumCounters; ++c) {
       const auto v = buf->counter(static_cast<Counter>(c));
@@ -328,6 +330,20 @@ bool write_file(const std::string& path, std::string_view content) {
   const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
   std::fclose(f);
   return n == content.size();
+}
+
+bool export_chrome_trace(const TraceCollector& collector, const char* bench,
+                         const std::string& path) {
+  const std::string json = chrome_trace_json(collector);
+  std::string err;
+  if (!json_valid(json, &err)) {
+    std::fprintf(stderr, "%s: invalid trace JSON: %s\n", bench, err.c_str());
+    return false;
+  }
+  if (!write_file(path, json)) return false;
+  std::fprintf(stderr, "[trace] %zu tracks -> %s (%zu bytes)\n",
+               collector.size(), path.c_str(), json.size());
+  return true;
 }
 
 }  // namespace javelin::obs

@@ -35,4 +35,12 @@ bool json_valid(std::string_view text, std::string* err = nullptr);
 /// Write `content` to `path`; returns false (and prints to stderr) on error.
 bool write_file(const std::string& path, std::string_view content);
 
+/// The shared tail of every bench's opt-in JAVELIN_TRACE_JSON export:
+/// serialize `collector` as Chrome trace JSON, validate it, write it to
+/// `path` and log a one-line `[trace]` summary to stderr. Returns false
+/// (having printed the reason, prefixed with `bench`) on invalid JSON or a
+/// write failure.
+bool export_chrome_trace(const TraceCollector& collector, const char* bench,
+                         const std::string& path);
+
 }  // namespace javelin::obs

@@ -129,6 +129,9 @@ MetricsRegistry build_metrics(const TraceCollector& collector) {
               "Top-level potential-method invocations per track.");
   reg.declare("javelin_energy_joules_total", MetricType::kCounter,
               "Client energy across invocations per track (ledger sums).");
+  reg.declare("javelin_server_energy_joules_total", MetricType::kCounter,
+              "Wall-powered server energy spent on behalf of invocations per "
+              "track (remote execution + compilation; not client battery).");
   reg.declare("javelin_invocation_energy_joules", MetricType::kHistogram,
               "Per-invocation client energy distribution.");
   reg.declare("javelin_remote_failures_total", MetricType::kCounter,
@@ -161,6 +164,8 @@ MetricsRegistry build_metrics(const TraceCollector& collector) {
         case EventKind::kInvokeEnd:
           reg.add("javelin_invocations_total", track, 1.0);
           reg.add("javelin_energy_joules_total", track, ev.ledger.total_j);
+          reg.add("javelin_server_energy_joules_total", track,
+                  ev.ledger.server_j);
           reg.observe("javelin_invocation_energy_joules", "",
                       ev.ledger.total_j);
           break;

@@ -1,0 +1,523 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace javelin::obs {
+
+namespace {
+
+constexpr const char* kMagic = "javelin-snapshot";
+
+constexpr const char* kSnapKindNames[kNumSnapKinds] = {
+    "invoke",         "invoke-end", "decide",  "compile-begin", "compile-end",
+    "remote-attempt", "failure",    "backoff", "breaker",       "power-down",
+    "idle-awake",     "bounds-fault",
+};
+
+/// Reverse lookup for parse(); -1 if `s` is not a kind name.
+int snap_kind_of(std::string_view s) {
+  for (std::size_t i = 0; i < kNumSnapKinds; ++i)
+    if (s == kSnapKindNames[i]) return static_cast<int>(i);
+  return -1;
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[192];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// %.17g round-trips every finite double through strtod exactly.
+void append_double(std::string& out, double v) { appendf(out, "%.17g", v); }
+
+/// Percent-escape so a string becomes a single whitespace-free token:
+/// '%', space, tab, CR, LF and other control bytes become %XX.
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (c == '%' || c == ' ' || c < 0x21) {
+      appendf(out, "%%%02X", c);
+    } else {
+      out.push_back(ch);
+    }
+  }
+}
+
+std::string unescape(std::string_view s, std::size_t line_no) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size())
+      throw FormatError("snapshot line " + std::to_string(line_no) +
+                        ": truncated %-escape");
+    const auto hex = [&](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+    if (hi < 0 || lo < 0)
+      throw FormatError("snapshot line " + std::to_string(line_no) +
+                        ": bad %-escape");
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+/// Split a line into whitespace-free tokens (single spaces separate fields).
+std::vector<std::string_view> tokens_of(std::string_view line) {
+  std::vector<std::string_view> toks;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t sp = line.find(' ', pos);
+    const std::size_t end = sp == std::string_view::npos ? line.size() : sp;
+    if (end > pos) toks.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return toks;
+}
+
+double parse_double(std::string_view tok, std::size_t line_no) {
+  // Tokens are short and %-free; strtod needs NUL termination.
+  char buf[64];
+  if (tok.size() >= sizeof buf)
+    throw FormatError("snapshot line " + std::to_string(line_no) +
+                      ": number too long");
+  std::memcpy(buf, tok.data(), tok.size());
+  buf[tok.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + tok.size() || tok.empty())
+    throw FormatError("snapshot line " + std::to_string(line_no) +
+                      ": bad number '" + std::string(tok) + "'");
+  return v;
+}
+
+std::int32_t parse_i32(std::string_view tok, std::size_t line_no) {
+  char buf[32];
+  if (tok.size() >= sizeof buf || tok.empty())
+    throw FormatError("snapshot line " + std::to_string(line_no) +
+                      ": bad integer");
+  std::memcpy(buf, tok.data(), tok.size());
+  buf[tok.size()] = '\0';
+  char* end = nullptr;
+  const long v = std::strtol(buf, &end, 10);
+  if (end != buf + tok.size())
+    throw FormatError("snapshot line " + std::to_string(line_no) +
+                      ": bad integer '" + std::string(tok) + "'");
+  return static_cast<std::int32_t>(v);
+}
+
+/// `tok` must look like "<key>=<value>"; returns the value part.
+std::string_view expect_field(std::string_view tok, std::string_view key,
+                              std::size_t line_no) {
+  if (tok.size() < key.size() + 1 || tok.substr(0, key.size()) != key ||
+      tok[key.size()] != '=')
+    throw FormatError("snapshot line " + std::to_string(line_no) +
+                      ": expected field '" + std::string(key) + "=', got '" +
+                      std::string(tok) + "'");
+  return tok.substr(key.size() + 1);
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          appendf(out, "\\u%04x", c);
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Name the fields that differ between two events (for diff reports).
+std::string field_difference(const SnapEvent& g, const SnapEvent& c) {
+  std::string out;
+  const auto add = [&out](const char* f) {
+    if (!out.empty()) out += ", ";
+    out += f;
+  };
+  if (g.kind != c.kind) add("kind");
+  if (g.method_id != c.method_id) add("method_id");
+  if (g.name != c.name) add("name");
+  if (g.detail != c.detail) add("detail");
+  if (g.a != c.a) add("a");
+  if (g.b != c.b) add("b");
+  if (g.costs != c.costs) add("costs");
+  return out;
+}
+
+}  // namespace
+
+const char* snap_kind_name(SnapKind k) {
+  const auto i = static_cast<std::size_t>(k);
+  return i < kNumSnapKinds ? kSnapKindNames[i] : "?";
+}
+
+Snapshot project(const TraceCollector& collector, std::string label) {
+  Snapshot snap;
+  snap.label = std::move(label);
+  for (const TraceBuffer* buf : collector.ordered()) {
+    SnapTrack track;
+    track.track = buf->track();
+    track.events.reserve(buf->events().size());
+    for (const TraceEvent& ev : buf->events()) {
+      SnapEvent e;
+      // Per-kind projection: only behavioral fields are copied; energy
+      // ledgers and timestamps never are (see header).
+      switch (ev.kind) {
+        case EventKind::kInvokeBegin:
+          e.kind = SnapKind::kInvoke;
+          e.method_id = ev.method_id;
+          e.name = buf->string_at(ev.name);
+          e.detail = buf->string_at(ev.detail);  // Requested strategy.
+          break;
+        case EventKind::kInvokeEnd:
+          e.kind = SnapKind::kInvokeEnd;
+          e.method_id = ev.method_id;
+          e.name = buf->string_at(ev.name);
+          e.detail = buf->string_at(ev.detail);  // Executed mode.
+          break;
+        case EventKind::kDecide:
+          e.kind = SnapKind::kDecide;
+          e.method_id = ev.method_id;
+          e.name = buf->string_at(ev.name);      // Chosen mode.
+          e.detail = buf->string_at(ev.detail);  // "remote-compile" or "".
+          e.a = ev.a;                            // Predicted size EWMA.
+          e.b = ev.b;                            // Invocation count k.
+          e.costs = ev.costs;
+          break;
+        case EventKind::kCompileBegin:
+          e.kind = SnapKind::kCompileBegin;
+          e.method_id = ev.method_id;
+          e.name = buf->string_at(ev.name);
+          e.detail = buf->string_at(ev.detail);
+          e.a = ev.a;  // Level (0.5 for the baseline tier).
+          break;
+        case EventKind::kCompileEnd:
+          e.kind = SnapKind::kCompileEnd;
+          e.method_id = ev.method_id;
+          e.name = buf->string_at(ev.name);
+          e.detail = buf->string_at(ev.detail);
+          e.a = ev.a;  // Level; compile cycles (b) are work, not behavior.
+          break;
+        case EventKind::kRemoteAttempt:
+          e.kind = SnapKind::kRemoteAttempt;
+          e.method_id = ev.method_id;
+          e.name = buf->string_at(ev.name);  // "invoke" / "compile".
+          e.a = ev.a;                        // Attempt number.
+          break;
+        case EventKind::kRemoteFailure:
+          e.kind = SnapKind::kRemoteFailure;
+          e.method_id = ev.method_id;
+          e.detail = buf->string_at(ev.detail);  // Failure class.
+          e.a = ev.a;                            // Attempt number.
+          break;
+        case EventKind::kRetryBackoff:
+          e.kind = SnapKind::kBackoff;
+          e.a = ev.dur_s;  // Policy-derived backoff span.
+          break;
+        case EventKind::kBreakerTransition:
+          e.kind = SnapKind::kBreaker;
+          e.name = buf->string_at(ev.name);      // New state.
+          e.detail = buf->string_at(ev.detail);  // Old state.
+          e.a = ev.a;                            // Consecutive failures.
+          break;
+        case EventKind::kPowerDown:
+          e.kind = SnapKind::kPowerDown;
+          e.a = ev.dur_s;
+          break;
+        case EventKind::kIdleAwake:
+          e.kind = SnapKind::kIdleAwake;
+          e.a = ev.dur_s;
+          break;
+        case EventKind::kBoundsFault:
+          e.kind = SnapKind::kBoundsFault;
+          e.method_id = ev.method_id;
+          e.name = buf->string_at(ev.name);
+          e.detail = buf->string_at(ev.detail);
+          break;
+        case EventKind::kFault:     // Injector episodes: consequences only.
+        case EventKind::kAnalysis:  // Cost-model estimates, not behavior.
+        case EventKind::kCount:
+          continue;
+      }
+      track.events.push_back(std::move(e));
+    }
+    snap.tracks.push_back(std::move(track));
+  }
+  return snap;
+}
+
+std::string format_event(const SnapEvent& e) {
+  std::string out;
+  out += snap_kind_name(e.kind);
+  appendf(out, " m=%" PRId32 " n=", e.method_id);
+  append_escaped(out, e.name);
+  out += " d=";
+  append_escaped(out, e.detail);
+  out += " a=";
+  append_double(out, e.a);
+  out += " b=";
+  append_double(out, e.b);
+  out += " c=";
+  for (std::size_t i = 0; i < kNumDecideCosts; ++i) {
+    if (i) out.push_back(',');
+    append_double(out, e.costs[i]);
+  }
+  return out;
+}
+
+std::string render(const Snapshot& snap) {
+  std::string out;
+  out.reserve(1 << 16);
+  appendf(out, "%s v%d\n", kMagic, snap.version);
+  out += "label ";
+  append_escaped(out, snap.label);
+  out.push_back('\n');
+  for (const SnapTrack& t : snap.tracks) {
+    out += "track ";
+    append_escaped(out, t.track);
+    out.push_back('\n');
+    for (const SnapEvent& e : t.events) {
+      out += format_event(e);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+Snapshot parse(std::string_view text) {
+  Snapshot snap;
+  snap.tracks.clear();
+  SnapTrack* current = nullptr;
+  std::size_t line_no = 0;
+  bool saw_magic = false, saw_label = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (nl == std::string_view::npos && line.empty()) break;  // Trailing EOF.
+    if (line.empty())
+      throw FormatError("snapshot line " + std::to_string(line_no) +
+                        ": empty line");
+    const auto toks = tokens_of(line);
+    if (!saw_magic) {
+      if (toks.size() != 2 || toks[0] != kMagic || toks[1].size() < 2 ||
+          toks[1][0] != 'v')
+        throw FormatError("snapshot line 1: expected '" + std::string(kMagic) +
+                          " v<N>' header");
+      snap.version = parse_i32(toks[1].substr(1), line_no);
+      if (snap.version != kSnapshotVersion)
+        throw FormatError("snapshot version v" + std::to_string(snap.version) +
+                          " unsupported (this build reads v" +
+                          std::to_string(kSnapshotVersion) +
+                          "); regenerate goldens");
+      saw_magic = true;
+      continue;
+    }
+    if (!saw_label) {
+      if (toks.empty() || toks[0] != "label" || toks.size() > 2)
+        throw FormatError("snapshot line " + std::to_string(line_no) +
+                          ": expected 'label <name>'");
+      snap.label = toks.size() == 2 ? unescape(toks[1], line_no) : "";
+      saw_label = true;
+      continue;
+    }
+    if (toks[0] == "track") {
+      if (toks.size() != 2)
+        throw FormatError("snapshot line " + std::to_string(line_no) +
+                          ": expected 'track <name>'");
+      snap.tracks.emplace_back();
+      current = &snap.tracks.back();
+      current->track = unescape(toks[1], line_no);
+      continue;
+    }
+    const int kind = snap_kind_of(toks[0]);
+    if (kind < 0)
+      throw FormatError("snapshot line " + std::to_string(line_no) +
+                        ": unknown event kind '" + std::string(toks[0]) + "'");
+    if (current == nullptr)
+      throw FormatError("snapshot line " + std::to_string(line_no) +
+                        ": event before any 'track'");
+    if (toks.size() != 7)
+      throw FormatError("snapshot line " + std::to_string(line_no) +
+                        ": expected 7 fields, got " +
+                        std::to_string(toks.size()));
+    SnapEvent e;
+    e.kind = static_cast<SnapKind>(kind);
+    e.method_id = parse_i32(expect_field(toks[1], "m", line_no), line_no);
+    e.name = unescape(expect_field(toks[2], "n", line_no), line_no);
+    e.detail = unescape(expect_field(toks[3], "d", line_no), line_no);
+    e.a = parse_double(expect_field(toks[4], "a", line_no), line_no);
+    e.b = parse_double(expect_field(toks[5], "b", line_no), line_no);
+    std::string_view cs = expect_field(toks[6], "c", line_no);
+    for (std::size_t i = 0; i < kNumDecideCosts; ++i) {
+      const std::size_t comma = cs.find(',');
+      const bool last = i + 1 == kNumDecideCosts;
+      if (last != (comma == std::string_view::npos))
+        throw FormatError("snapshot line " + std::to_string(line_no) +
+                          ": expected " + std::to_string(kNumDecideCosts) +
+                          " costs");
+      e.costs[i] = parse_double(last ? cs : cs.substr(0, comma), line_no);
+      if (!last) cs = cs.substr(comma + 1);
+    }
+    current->events.push_back(std::move(e));
+  }
+  if (!saw_magic)
+    throw FormatError("snapshot: empty input (missing header)");
+  if (!saw_label)
+    throw FormatError("snapshot: missing 'label' line");
+  return snap;
+}
+
+namespace {
+
+/// Append up to `context` formatted events of `t` from [from, to) as
+/// indented, index-numbered lines.
+void append_context(std::string& out, const SnapTrack& t, std::int64_t from,
+                    std::int64_t to, std::int64_t mark) {
+  for (std::int64_t i = std::max<std::int64_t>(from, 0);
+       i < to && i < static_cast<std::int64_t>(t.events.size()); ++i) {
+    appendf(out, "  %s %5lld: ", i == mark ? ">" : " ",
+            static_cast<long long>(i));
+    out += format_event(t.events[static_cast<std::size_t>(i)]);
+    out.push_back('\n');
+  }
+}
+
+DiffResult track_level(std::int64_t index, std::string track,
+                       std::string what) {
+  DiffResult d;
+  d.identical = false;
+  d.track_index = index;
+  d.track = std::move(track);
+  d.event_index = -1;
+  d.summary = std::move(what);
+  d.report = d.summary + "\n";
+  return d;
+}
+
+}  // namespace
+
+DiffResult diff(const Snapshot& golden, const Snapshot& current, int context) {
+  if (golden.version != current.version)
+    return track_level(-1, "",
+                       "snapshot version mismatch: golden v" +
+                           std::to_string(golden.version) + " vs current v" +
+                           std::to_string(current.version));
+  const std::size_t shared = std::min(golden.tracks.size(),
+                                      current.tracks.size());
+  for (std::size_t ti = 0; ti < shared; ++ti) {
+    const SnapTrack& g = golden.tracks[ti];
+    const SnapTrack& c = current.tracks[ti];
+    if (g.track != c.track)
+      return track_level(static_cast<std::int64_t>(ti), g.track,
+                         "track " + std::to_string(ti) + " renamed: golden '" +
+                             g.track + "' vs current '" + c.track + "'");
+    if (g.events == c.events) continue;
+
+    // First divergent event (or the shorter length if one is a prefix).
+    const std::size_t n = std::min(g.events.size(), c.events.size());
+    std::size_t ei = 0;
+    while (ei < n && g.events[ei] == c.events[ei]) ++ei;
+
+    DiffResult d;
+    d.identical = false;
+    d.track_index = static_cast<std::int64_t>(ti);
+    d.track = g.track;
+    d.event_index = static_cast<std::int64_t>(ei);
+    const auto e = static_cast<std::int64_t>(ei);
+    std::string& r = d.report;
+    if (ei >= n) {
+      // One side ran out: a missing or extra tail.
+      const bool golden_longer = g.events.size() > c.events.size();
+      d.summary = "track '" + g.track + "' (index " + std::to_string(ti) +
+                  "): event count differs at event " + std::to_string(ei) +
+                  " — golden has " + std::to_string(g.events.size()) +
+                  " events, current has " + std::to_string(c.events.size());
+      r = d.summary + "\n";
+      r += "common tail:\n";
+      append_context(r, g, e - context, e, -1);
+      r += golden_longer ? "golden continues (current ends here):\n"
+                         : "current continues (golden ends here):\n";
+      append_context(r, golden_longer ? g : c, e, e + context, e);
+    } else {
+      d.summary = "track '" + g.track + "' (index " + std::to_string(ti) +
+                  "), event " + std::to_string(ei) + ": " +
+                  field_difference(g.events[ei], c.events[ei]) + " differ(s)";
+      r = d.summary + "\n";
+      r += "common context:\n";
+      append_context(r, g, e - context, e, -1);
+      r += "- golden : " + format_event(g.events[ei]) + "\n";
+      r += "+ current: " + format_event(c.events[ei]) + "\n";
+      r += "golden continues:\n";
+      append_context(r, g, e + 1, e + 1 + context, -1);
+      r += "current continues:\n";
+      append_context(r, c, e + 1, e + 1 + context, -1);
+    }
+    return d;
+  }
+  if (golden.tracks.size() != current.tracks.size()) {
+    const bool golden_longer = golden.tracks.size() > current.tracks.size();
+    const auto& longer = golden_longer ? golden : current;
+    return track_level(
+        static_cast<std::int64_t>(shared), longer.tracks[shared].track,
+        std::string("track count differs: golden has ") +
+            std::to_string(golden.tracks.size()) + ", current has " +
+            std::to_string(current.tracks.size()) + "; first " +
+            (golden_longer ? "missing" : "extra") + " track is '" +
+            longer.tracks[shared].track + "'");
+  }
+  DiffResult d;  // Identical (labels excluded by design).
+  d.summary = "identical: " + std::to_string(golden.tracks.size()) +
+              " tracks match";
+  d.report = d.summary + "\n";
+  return d;
+}
+
+std::string diff_json(const DiffResult& d) {
+  std::string out = "{\"identical\":";
+  out += d.identical ? "true" : "false";
+  appendf(out, ",\"track_index\":%lld,\"track\":",
+          static_cast<long long>(d.track_index));
+  append_json_string(out, d.track);
+  appendf(out, ",\"event_index\":%lld,\"summary\":",
+          static_cast<long long>(d.event_index));
+  append_json_string(out, d.summary);
+  out += ",\"report\":";
+  append_json_string(out, d.report);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace javelin::obs

@@ -1,0 +1,142 @@
+// Behavioral snapshots: a versioned, deterministic digest of a trace.
+//
+// The figures and ablations pin *energy totals*, and the trace layer records
+// *everything* — but neither catches silent decision-policy drift: a change
+// that flips a decide() outcome, reorders retry/backoff sequences or shifts
+// a breaker transition can leave end-of-run energies plausible while the
+// runtime's behavior is quietly different. This module projects a
+// TraceCollector into a canonical per-cell *event-sequence* digest — the
+// decide candidate-cost vectors and chosen modes, compile level transitions,
+// remote attempt/failure/backoff/breaker sequences, and power-down spans —
+// and diffs two digests *structurally*, reporting the first divergence with
+// a ±N event context window. Energy ledgers and timestamps are deliberately
+// NOT part of the digest: those are covered by the byte-identity checks on
+// bench output; this layer gates the event *sequences* behind them.
+//
+// Format: a line-oriented text file ("javelin-snapshot v1"), one event per
+// line, strings percent-escaped, doubles printed with %.17g so that
+// parse(render(x)) == x exactly. Snapshots of the same scenario are byte-
+// identical at any JAVELIN_JOBS (buffers merge in collector order).
+//
+// Consumers: apps/javelin_tracediff (record/diff/check CLI),
+// tests/trace_regression_test (in-process golden gate), sim::goldens (the
+// scenario suites whose snapshots live in tests/golden/).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace javelin::obs {
+
+/// Bump when the projection rules or the text format change; `diff` refuses
+/// to compare snapshots of different versions (regenerate goldens instead).
+inline constexpr int kSnapshotVersion = 1;
+
+/// Behavioral event classes retained by the projection — a deliberate subset
+/// of EventKind. Excluded: kFault (injector-side episodes whose behavioral
+/// consequences already surface as failure/retry events), kAnalysis (cost-
+/// model estimates, not runtime behavior), and the energy/time payloads of
+/// every event.
+enum class SnapKind : std::uint8_t {
+  kInvoke = 0,     ///< Invocation begins: name = method, detail = strategy.
+  kInvokeEnd,      ///< ... ends: detail = *executed* mode (fallback visible).
+  kDecide,         ///< name = chosen mode, detail = "remote-compile" if the
+                   ///< compile will be downloaded, a = predicted size EWMA,
+                   ///< b = invocation count k, costs = EI/ER/EL1..EL3.
+  kCompileBegin,   ///< name = method, detail = local/remote/baseline,
+                   ///< a = level.
+  kCompileEnd,     ///< detail = local/downloaded/fallback-local/
+                   ///< compile-error/baseline, a = level (cycles excluded).
+  kRemoteAttempt,  ///< name = "invoke"/"compile", a = attempt number.
+  kRemoteFailure,  ///< detail = failure class, a = attempt number.
+  kBackoff,        ///< a = backoff span seconds (policy-derived).
+  kBreaker,        ///< name = new state, detail = old state,
+                   ///< a = consecutive failures.
+  kPowerDown,      ///< a = powered-down span seconds.
+  kIdleAwake,      ///< a = awake-idle span seconds.
+  kBoundsFault,    ///< name = method, detail = fault message.
+  kCount
+};
+
+constexpr std::size_t kNumSnapKinds = static_cast<std::size_t>(SnapKind::kCount);
+
+/// Stable one-token name used in the text format ("decide", "power-down"...).
+const char* snap_kind_name(SnapKind k);
+
+/// One projected event. Field meanings are per-kind (see SnapKind); fields a
+/// kind does not use stay at their defaults so equality is uniform.
+struct SnapEvent {
+  SnapKind kind = SnapKind::kInvoke;
+  std::int32_t method_id = -1;
+  std::string name;
+  std::string detail;
+  double a = 0.0;
+  double b = 0.0;
+  std::array<double, kNumDecideCosts> costs{};  ///< kDecide only.
+
+  bool operator==(const SnapEvent&) const = default;
+};
+
+/// The digest of one cell (one TraceBuffer).
+struct SnapTrack {
+  std::string track;
+  std::vector<SnapEvent> events;
+
+  bool operator==(const SnapTrack&) const = default;
+};
+
+struct Snapshot {
+  int version = kSnapshotVersion;
+  std::string label;  ///< Scenario name ("fig6", "ablation_faults", ...).
+  std::vector<SnapTrack> tracks;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// Project a collector into a snapshot. Purely a read: iterates
+/// `collector.ordered()`, so the result is byte-identical at any
+/// JAVELIN_JOBS for a deterministic scenario.
+Snapshot project(const TraceCollector& collector, std::string label);
+
+/// Canonical text form. `parse(render(x)) == x` exactly (doubles round-trip
+/// via %.17g; strings are percent-escaped).
+std::string render(const Snapshot& snap);
+
+/// Parse the canonical text form; throws support::FormatError (with a line
+/// number) on anything malformed, unknown versions included.
+Snapshot parse(std::string_view text);
+
+/// One event formatted as a single human-readable line (also the exact line
+/// the text format uses — handy in diff reports).
+std::string format_event(const SnapEvent& e);
+
+/// Structural comparison result. `identical` means equal snapshots (labels
+/// excluded — a golden may be compared against a freshly recorded run whose
+/// label differs). When not identical, the first divergence is located by
+/// (track_index, event_index): event_index == -1 marks a track-level
+/// divergence (renamed / missing / extra track). `diff(a, b)` and
+/// `diff(b, a)` locate the same position.
+struct DiffResult {
+  bool identical = true;
+  std::int64_t track_index = -1;
+  std::string track;            ///< Label of the divergent track ("" = none).
+  std::int64_t event_index = -1;
+  std::string summary;  ///< One line: where and what diverged.
+  std::string report;   ///< Multi-line: summary + ±context event window.
+};
+
+/// Compare `golden` against `current`, reporting the first divergence with
+/// `context` events of context on each side. Sequences only: any energy or
+/// timing drift that leaves the projected fields equal is NOT a divergence.
+DiffResult diff(const Snapshot& golden, const Snapshot& current,
+                int context = 3);
+
+/// Machine-readable form of a DiffResult (strict JSON; obs::json_valid).
+std::string diff_json(const DiffResult& d);
+
+}  // namespace javelin::obs

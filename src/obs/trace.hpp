@@ -58,8 +58,16 @@ struct EnergyLedger {
   double idle_j = 0.0;     ///< Leakage / awake idle waits.
   double dram_j = 0.0;     ///< Off-chip memory accesses.
   double total_j = 0.0;    ///< Meter-total delta (see above).
+  /// Wall-powered server energy spent on behalf of this event (remote
+  /// execution + remote compilation), from the *server's* meters — a
+  /// different meter line entirely, so it is NOT part of `total_j` (the
+  /// client-battery delta the paper's figures report). `since()` leaves it
+  /// zero; rt::Client fills it on kInvokeEnd from rt::Server::energy_j()
+  /// deltas. Total-system energy of an invocation = total_j + server_j.
+  double server_j = 0.0;
 
   /// Delta `now - earlier` of two snapshots from the same meter line.
+  /// `server_j` is left zero: it belongs to a different device's meters.
   static EnergyLedger since(const energy::EnergyMeter& now,
                             const energy::EnergyMeter& earlier);
 };

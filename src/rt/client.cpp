@@ -862,6 +862,10 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
     stats_.resize(dev_->vm.num_methods());
 
   const double e0 = dev_->meter.total();
+  // Total-system accounting: the server's meter total before this invocation
+  // touches it. A pure read of the server's own lines — never mixed into the
+  // client meter, never part of energy_j/total_j.
+  const double s0 = server_.energy_j();
   const double t0 = now();
   energy::EnergyMeter ledger0;  // Tracing only; copies the same doubles e0
   if (trace_) {                 // summed, so ledger totals match bit-for-bit.
@@ -917,6 +921,7 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
     if (report) {
       report->mode = mode;
       report->energy_j = dev_->meter.total() - e0;
+      report->server_j = server_.energy_j() - s0;
       report->seconds = now() - t0;
       ++report->resilience.bounds_faults;
     }
@@ -928,6 +933,7 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
       ev.detail = trace_->intern(bf.what());
       ev.method_id = mid;
       ev.ledger = obs::EnergyLedger::since(dev_->meter, ledger0);
+      ev.ledger.server_j = server_.energy_j() - s0;
       trace_->emit(ev);
     }
     throw;
@@ -936,6 +942,7 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
   if (report) {
     report->mode = mode;
     report->energy_j = dev_->meter.total() - e0;
+    report->server_j = server_.energy_j() - s0;
     report->seconds = now() - t0;
   }
   if (trace_) {
@@ -948,8 +955,11 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
     ev.a = now() - t0;
     // ledger.total_j is the meter-total delta over the invocation — the same
     // expression InvokeReport::energy_j uses — so per-cell invoke-end sums
-    // reproduce StrategyResult::total_energy_j exactly.
+    // reproduce StrategyResult::total_energy_j exactly. server_j is the same
+    // delta expression over the *server's* lines (= InvokeReport::server_j),
+    // kept out of total_j: the figures report the client battery only.
     ev.ledger = obs::EnergyLedger::since(dev_->meter, ledger0);
+    ev.ledger.server_j = server_.energy_j() - s0;
     trace_->emit(ev);
   }
   return result;

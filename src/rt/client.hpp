@@ -146,6 +146,12 @@ struct InvokeReport {
   bool remote_compile = false;
   bool fallback_local = false;  ///< Remote attempt lost/timed out.
   double energy_j = 0.0;        ///< Client energy for this invocation.
+  /// Wall-powered server energy spent on behalf of this invocation (remote
+  /// execution + remote compilation), measured as a delta of
+  /// Server::energy_j() around the call. Zero for purely local invocations.
+  /// NOT part of energy_j — the figures report the client battery only;
+  /// total-system energy is energy_j + server_j.
+  double server_j = 0.0;
   double seconds = 0.0;         ///< Wall-clock time for this invocation.
   ResilienceStats resilience;   ///< Retry/breaker telemetry.
 };

@@ -64,8 +64,9 @@ Server::ExecOutcome Server::handle_invoke(const net::InvokeRequest& req,
   const std::uint64_t cycles_before = dev_->core.cycles;
   try {
     // Deserialize parameter objects into the server heap (reflection-style
-    // invocation per Fig 4). Server-side costs are charged to the server
-    // meter, which nobody reads for energy — but the cycle count matters.
+    // invocation per Fig 4). Server-side costs land on the server machine's
+    // meter — surfaced through Server::energy_j() for total-system
+    // accounting — and the cycle count sets the client's wait estimate.
     std::vector<jvm::Value> args;
     args.reserve(req.args.size());
     for (std::size_t i = 0; i < req.args.size(); ++i) {
@@ -120,6 +121,17 @@ net::CompileResponse Server::handle_compile(const net::CompileRequest& req) {
       // The server is 7.5x faster than the client core the meter models.
       resp.server_seconds += static_cast<double>(res.compile_cycles) /
                              isa::server_machine().clock_hz;
+      // Total-system accounting (Server::energy_j): the compile work is
+      // charged to the twin's meter under the client table — the same
+      // add_instrs + dram/50 rule rt::Client applies to local compiles — so
+      // server-side compile energy is directly comparable to the local
+      // alternative. Memoized repeats (cache hits above) charge nothing.
+      // Nothing client-visible changes: server_seconds, the response bytes
+      // and the twin's core cycles are all untouched.
+      client_twin_->meter.add_instrs(res.compile_work,
+                                     client_twin_->cfg.energy);
+      client_twin_->meter.add_dram_accesses(res.compile_work.total() / 50,
+                                            client_twin_->cfg.energy);
       const jvm::RtMethod& m = client_twin_->vm.method(id);
       const jvm::RtClass& rc = client_twin_->vm.cls(m.class_id);
       net::CompiledUnit unit;

@@ -14,8 +14,14 @@
 //    estimated power-down interval so responses are queued until the client
 //    wakes (Section 2).
 //
-// Server energy is not metered: only the client's battery matters. Server
-// *time* matters, because it determines the client's power-down interval.
+// Server energy IS metered — but on the server's own meter lines, never the
+// client's. The paper's figures report the client's battery only; the server
+// meters exist for *total-system* accounting (obs::EnergyLedger::server_j,
+// sim::StrategyResult::server_j), motivated by the cloud-offloading surveys
+// in PAPERS.md: an offload that saves the handset can still cost the system.
+// Charging rules are documented at `Server::energy_j()` below and in
+// energy/energy.hpp. Server *time* additionally matters to the client,
+// because it determines the client's power-down interval.
 #pragma once
 
 #include <map>
@@ -72,6 +78,27 @@ class Server {
   void set_fault_plan(const net::FaultPlan& plan) { fault_plan_ = plan; }
   /// Whether the server is unreachable at simulated time `t`.
   bool in_outage(double t) const { return fault_plan_.server_down(t); }
+
+  /// Total wall-powered energy this server has burnt so far, in joules —
+  /// the sum of its two meter lines (the server machine plus the client
+  /// twin). Charging rules:
+  ///  * remote execution (handle_invoke): deserialization, reflection-style
+  ///    invocation and result serialization charge the server machine's
+  ///    meter at its own instruction-energy table;
+  ///  * remote compilation (handle_compile): the client-ABI compile work is
+  ///    charged to the client twin's meter under the client's table — the
+  ///    same add_instrs + dram/50 rule the client applies to local compiles
+  ///    — so "what the server burnt compiling" is directly comparable to
+  ///    "what the client would have burnt". Cache hits charge nothing.
+  ///  * deploy-time work (class loading, the server's own L3 warm-up) is
+  ///    charged at deploy; callers measure invocations as deltas of this
+  ///    total, so it never leaks into per-invocation attribution.
+  /// Reading this is free of side effects; the client reads deltas of it
+  /// around each invocation to fill InvokeReport::server_j. It is never
+  /// added to any client ledger's total_j.
+  double energy_j() const {
+    return dev_->meter.total() + client_twin_->meter.total();
+  }
 
   Device& device() { return *dev_; }
 

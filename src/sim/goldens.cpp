@@ -1,0 +1,251 @@
+#include "sim/goldens.hpp"
+
+#include <memory>
+
+#include "sim/sweep.hpp"
+
+namespace javelin::sim {
+
+namespace {
+
+// ---- fig6: 3 apps x 2 inputs x 8 static strategy/channel variants ---------
+// Exactly bench/fig6_static_strategies.cpp's grid (single executions are
+// already cheap, so nothing is scaled down).
+
+struct Fig6Variant {
+  const char* label;
+  rt::Strategy strategy;
+  radio::PowerClass channel;
+};
+
+constexpr Fig6Variant kFig6Variants[] = {
+    {"R@Class 4", rt::Strategy::kRemote, radio::PowerClass::kClass4},
+    {"R@Class 3", rt::Strategy::kRemote, radio::PowerClass::kClass3},
+    {"R@Class 2", rt::Strategy::kRemote, radio::PowerClass::kClass2},
+    {"R@Class 1", rt::Strategy::kRemote, radio::PowerClass::kClass1},
+    {"I", rt::Strategy::kInterpret, radio::PowerClass::kClass4},
+    {"L1", rt::Strategy::kLocal1, radio::PowerClass::kClass4},
+    {"L2", rt::Strategy::kLocal2, radio::PowerClass::kClass4},
+    {"L3", rt::Strategy::kLocal3, radio::PowerClass::kClass4},
+};
+
+void run_fig6(obs::TraceCollector& collector) {
+  const char* names[] = {"fe", "mf", "hpf"};
+  constexpr std::size_t kNumApps = std::size(names);
+  constexpr std::size_t kNumVariants = std::size(kFig6Variants);
+  const std::size_t n_cells = kNumApps * 2 * kNumVariants;
+
+  SweepEngine engine;
+  const auto runners = engine.map<std::shared_ptr<const ScenarioRunner>>(
+      kNumApps, [&names](std::size_t i) {
+        return std::make_shared<const ScenarioRunner>(apps::app(names[i]));
+      });
+
+  std::vector<obs::TraceBuffer*> tracks(n_cells, nullptr);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    const std::size_t app = cell / (2 * kNumVariants);
+    const bool large = (cell / kNumVariants) % 2 != 0;
+    const Fig6Variant& v = kFig6Variants[cell % kNumVariants];
+    tracks[cell] = collector.make_buffer(
+        std::string(names[app]) + "/" + (large ? "large" : "small") + "/" +
+            v.label,
+        /*order_key=*/cell);
+  }
+
+  engine.map<int>(n_cells, [&runners, &names, &tracks](std::size_t cell) {
+    const std::size_t app = cell / (2 * kNumVariants);
+    const bool large = (cell / kNumVariants) % 2 != 0;
+    const Fig6Variant& v = kFig6Variants[cell % kNumVariants];
+    const apps::App& a = apps::app(names[app]);
+    runners[app]->run_single(v.strategy,
+                             large ? a.large_scale : a.small_scale, v.channel,
+                             /*verify=*/true, /*config=*/nullptr,
+                             tracks[cell]);
+    return 0;
+  });
+}
+
+// ---- fig7: the full 8 x 3 x 7 adaptive grid, executions scaled down -------
+// bench/fig7_adaptive.cpp runs 300 executions per cell; the golden replays
+// the same 168 cells at 4 executions — enough to exercise the EWMA warm-up,
+// the compile-amortization cold start and the AA remote-compile choice,
+// while keeping the whole suite replayable in seconds. Fixed count, no
+// JAVELIN_FIG7_EXECS: goldens take no environment input.
+
+constexpr int kFig7GoldenExecs = 4;
+
+void run_fig7(obs::TraceCollector& collector) {
+  constexpr rt::Strategy kStrategies[] = {
+      rt::Strategy::kRemote,       rt::Strategy::kInterpret,
+      rt::Strategy::kLocal1,       rt::Strategy::kLocal2,
+      rt::Strategy::kLocal3,       rt::Strategy::kAdaptiveLocal,
+      rt::Strategy::kAdaptiveAdaptive};
+  constexpr Situation kSituations[] = {
+      Situation::kGoodChannelDominantSize,
+      Situation::kPoorChannelDominantSize, Situation::kUniform};
+
+  ScenarioSweepSpec spec;
+  for (const apps::App& a : apps::registry()) spec.apps.push_back(&a);
+  spec.situations.assign(std::begin(kSituations), std::end(kSituations));
+  spec.strategies.assign(std::begin(kStrategies), std::end(kStrategies));
+  spec.executions = kFig7GoldenExecs;
+  spec.collector = &collector;
+
+  SweepEngine engine;
+  run_scenario_sweep(engine, spec);
+}
+
+// ---- fig8: one traced L3 execution per app --------------------------------
+// Mirrors bench/fig8_compilation.cpp's trace path: the figure itself reads
+// deploy-time profiles, so its behavioral surface is the per-app L3
+// compile-plan sequence (kCompileBegin/End spans) of a large-scale run.
+
+void run_fig8(obs::TraceCollector& collector) {
+  const auto& registry = apps::registry();
+  SweepEngine engine;
+  const auto runners = engine.map<std::shared_ptr<const ScenarioRunner>>(
+      registry.size(), [&registry](std::size_t i) {
+        return std::make_shared<const ScenarioRunner>(registry[i]);
+      });
+  std::vector<obs::TraceBuffer*> tracks(registry.size(), nullptr);
+  for (std::size_t ai = 0; ai < registry.size(); ++ai)
+    tracks[ai] =
+        collector.make_buffer(registry[ai].name + "/L3", /*order_key=*/ai);
+  engine.map<int>(registry.size(),
+                  [&runners, &registry, &tracks](std::size_t ai) {
+                    runners[ai]->run_single(
+                        rt::Strategy::kLocal3, registry[ai].large_scale,
+                        radio::PowerClass::kClass4, /*verify=*/true,
+                        /*config=*/nullptr, tracks[ai]);
+                    return 0;
+                  });
+}
+
+// ---- ablation_faults: 6 fault regimes x 3 resilience policies -------------
+// bench/ablation_faults.cpp's grid (fe, AA, uniform situation) at 40
+// executions instead of 120: the burst-loss/outage/corruption episodes, the
+// retry/backoff sequences and the breaker open/half-open/re-close cycle all
+// occur well within 40 executions.
+
+constexpr int kFaultsGoldenExecs = 40;
+
+void run_faults(obs::TraceCollector& collector) {
+  const apps::App& fe = apps::app("fe");
+  const ScenarioRunner base(fe);
+  const auto& faults = golden_fault_cases();
+  const auto& policies = golden_policy_cases();
+
+  std::vector<ScenarioRunner> runners;
+  runners.reserve(faults.size());
+  for (const GoldenFaultCase& fc : faults) {
+    runners.push_back(base);
+    runners.back().fault_plan = fc.plan;
+  }
+
+  const std::size_t n = faults.size() * policies.size();
+  std::vector<obs::TraceBuffer*> tracks(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i)
+    tracks[i] = collector.make_buffer(
+        std::string(faults[i / policies.size()].label) + "/" +
+            policies[i % policies.size()].label,
+        /*order_key=*/i);
+
+  SweepEngine engine;
+  engine.map<int>(n, [&](std::size_t i) {
+    const std::size_t fi = i / policies.size();
+    const std::size_t pi = i % policies.size();
+    rt::ClientConfig config = runners[fi].client_config;
+    config.resilience = policies[pi].policy;
+    runners[fi].run(rt::Strategy::kAdaptiveAdaptive, Situation::kUniform,
+                    kFaultsGoldenExecs, /*verify=*/true, &config, tracks[i]);
+    return 0;
+  });
+}
+
+}  // namespace
+
+const std::vector<GoldenFaultCase>& golden_fault_cases() {
+  static const std::vector<GoldenFaultCase> cases = [] {
+    std::vector<GoldenFaultCase> c;
+    c.push_back({"fault-free", {}});
+
+    net::FaultPlan mild;
+    mild.enabled = true;
+    mild.ge_p_good_to_bad = 0.05;
+    mild.ge_p_bad_to_good = 0.5;
+    mild.ge_loss_bad = 0.8;
+    c.push_back({"mild burst loss", mild});
+
+    net::FaultPlan heavy;
+    heavy.enabled = true;
+    heavy.ge_p_good_to_bad = 0.15;
+    heavy.ge_p_bad_to_good = 0.3;
+    heavy.ge_loss_bad = 0.9;
+    c.push_back({"heavy burst loss", heavy});
+
+    net::FaultPlan outage;
+    outage.enabled = true;
+    outage.outage_period_s = 30.0;
+    outage.outage_duration_s = 6.0;
+    outage.outage_phase_s = 10.0;
+    c.push_back({"server outages", outage});
+
+    net::FaultPlan corrupt;
+    corrupt.enabled = true;
+    corrupt.corrupt_uplink_p = 0.08;
+    corrupt.corrupt_downlink_p = 0.08;
+    c.push_back({"corruption", corrupt});
+
+    net::FaultPlan works = mild;
+    works.outage_period_s = 40.0;
+    works.outage_duration_s = 5.0;
+    works.corrupt_uplink_p = 0.04;
+    works.corrupt_downlink_p = 0.04;
+    works.spike_p = 0.05;
+    works.spike_seconds = 0.4;
+    c.push_back({"the works", works});
+    return c;
+  }();
+  return cases;
+}
+
+const std::vector<GoldenPolicyCase>& golden_policy_cases() {
+  static const std::vector<GoldenPolicyCase> cases = [] {
+    std::vector<GoldenPolicyCase> c;
+    c.push_back({"paper (1 try)", {}});
+
+    rt::ResiliencePolicy retry;
+    retry.max_attempts = 3;
+    c.push_back({"retry x3", retry});
+
+    rt::ResiliencePolicy breaker = retry;
+    breaker.breaker_threshold = 4;
+    breaker.breaker_cooldown_s = 20.0;
+    c.push_back({"retry+breaker", breaker});
+    return c;
+  }();
+  return cases;
+}
+
+const std::vector<GoldenScenario>& golden_scenarios() {
+  static const std::vector<GoldenScenario> scenarios = {
+      {"fig6",
+       "static strategies grid (3 apps x 2 inputs x 8 variants, 1 exec)",
+       &run_fig6},
+      {"fig7",
+       "adaptive grid (8 apps x 3 situations x 7 strategies, 4 execs)",
+       &run_fig7},
+      {"fig8", "per-app L3 compile-plan sequence (8 apps, 1 exec)", &run_fig8},
+      {"ablation_faults",
+       "fault regimes x resilience policies (fe, AA, 40 execs)", &run_faults},
+  };
+  return scenarios;
+}
+
+const GoldenScenario* find_golden_scenario(std::string_view name) {
+  for (const GoldenScenario& s : golden_scenarios())
+    if (name == s.name) return &s;
+  return nullptr;
+}
+
+}  // namespace javelin::sim

@@ -1,0 +1,57 @@
+// Golden behavioral scenarios: the fixed trace-producing suites whose
+// snapshots (obs/snapshot.hpp) are checked into tests/golden/ and gated by
+// tests/trace_regression_test.cpp and `javelin_tracediff --check`.
+//
+// Each scenario is a deterministic, reduced-size replica of a shipped bench
+// grid: same cell coordinates, same seeds-from-coordinates derivation, same
+// track naming — only the execution counts are scaled down so the whole
+// suite replays in seconds on a one-core host. Scenarios take NO environment
+// input (no JAVELIN_FIG7_EXECS-style overrides): a golden must mean the same
+// thing in every build. Worker fan-out uses the normal SweepEngine, so
+// snapshots are byte-identical at any JAVELIN_JOBS (pinned by
+// tests/snapshot_test.cpp).
+//
+// Regenerate after an *intentional* behavioral change with the
+// `regen-goldens` CMake target (runs `javelin_tracediff record --all`); the
+// golden files' diff is then auditable in review.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "obs/trace.hpp"
+#include "rt/client.hpp"
+
+namespace javelin::sim {
+
+struct GoldenScenario {
+  const char* name;         ///< Snapshot label and golden file stem.
+  const char* description;  ///< One line for CLI listings.
+  /// Run the scenario, recording every cell into `collector` (tracks are
+  /// created with order_key = cell index; see obs::TraceCollector).
+  void (*run)(obs::TraceCollector& collector);
+};
+
+/// The registry, in canonical order: fig6, fig7, fig8, ablation_faults.
+const std::vector<GoldenScenario>& golden_scenarios();
+
+/// Lookup by name; nullptr when unknown.
+const GoldenScenario* find_golden_scenario(std::string_view name);
+
+/// The fault-regime and resilience-policy grids shared by the faults golden
+/// and bench/ablation_faults (single definition, so the golden gates exactly
+/// the grid the bench reports).
+struct GoldenFaultCase {
+  const char* label;
+  net::FaultPlan plan;
+};
+struct GoldenPolicyCase {
+  const char* label;
+  rt::ResiliencePolicy policy;
+};
+const std::vector<GoldenFaultCase>& golden_fault_cases();
+const std::vector<GoldenPolicyCase>& golden_policy_cases();
+
+}  // namespace javelin::sim

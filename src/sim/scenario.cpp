@@ -119,6 +119,7 @@ StrategyResult ScenarioRunner::run_sequence(
         !app_.check(client.device().vm, args, client.device().vm, result))
       out.all_correct = false;
     out.total_energy_j += report.energy_j;
+    out.server_j += report.server_j;
     out.total_seconds += report.seconds;
     ++out.mode_counts[report.mode];
     if (report.compiled_this_call) ++out.compiles;
@@ -165,6 +166,7 @@ StrategyResult ScenarioRunner::run_sequence(
     trace->set_stat("breaker_reclosed",
                     static_cast<double>(out.breaker_reclosed));
     trace->set_stat("total_energy_j", out.total_energy_j);
+    trace->set_stat("server_energy_j", out.server_j);
     trace->set_stat("executions", static_cast<double>(out.executions));
   }
   return out;

@@ -37,6 +37,11 @@ std::array<double, 4> channel_weights(Situation s);
 /// Aggregate result of executing one app n times under one strategy.
 struct StrategyResult {
   double total_energy_j = 0.0;
+  /// Wall-powered server energy spent on behalf of this cell (remote
+  /// execution + remote compilation), summed from InvokeReport::server_j.
+  /// NOT part of total_energy_j (client battery only); the total-system
+  /// energy of the cell is total_energy_j + server_j.
+  double server_j = 0.0;
   double total_seconds = 0.0;
   double computation_j = 0.0;
   double communication_j = 0.0;

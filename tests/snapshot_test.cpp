@@ -1,0 +1,235 @@
+// Tests for obs/snapshot: text-format round-trip, structural diff semantics
+// (first divergence, context window, symmetry), and the JAVELIN_JOBS byte-
+// identity of projected golden scenarios.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/snapshot.hpp"
+#include "sim/goldens.hpp"
+#include "support/error.hpp"
+
+using namespace javelin;
+
+namespace {
+
+obs::SnapEvent decide_event(const char* mode, double ewma, double k) {
+  obs::SnapEvent e;
+  e.kind = obs::SnapKind::kDecide;
+  e.method_id = 1;
+  e.name = mode;
+  e.a = ewma;
+  e.b = k;
+  e.costs = {0.25, 0.5, 1.0, 2.0, 4.0};
+  return e;
+}
+
+/// A small synthetic snapshot exercising every kind and hostile strings.
+obs::Snapshot synthetic() {
+  obs::Snapshot snap;
+  snap.label = "synthetic test% label";
+
+  obs::SnapTrack t0;
+  t0.track = "fe/small/R@Class 4";
+  {
+    obs::SnapEvent e;
+    e.kind = obs::SnapKind::kInvoke;
+    e.method_id = 1;
+    e.name = "FE.integrate";
+    e.detail = "AA";
+    t0.events.push_back(e);
+  }
+  t0.events.push_back(decide_event("remote", 0.1, 3));
+  {
+    obs::SnapEvent e;
+    e.kind = obs::SnapKind::kRemoteFailure;
+    e.method_id = 1;
+    e.detail = "timeout";
+    e.a = 2;
+    t0.events.push_back(e);
+  }
+  {
+    obs::SnapEvent e;
+    e.kind = obs::SnapKind::kBackoff;
+    // An awkward double: smallest increments must survive the round trip.
+    e.a = 0.1 + 0.2;  // 0.30000000000000004
+    t0.events.push_back(e);
+  }
+  snap.tracks.push_back(t0);
+
+  obs::SnapTrack t1;
+  // Track labels with %, newline, tab, non-ASCII bytes and a trailing space.
+  t1.track = "weird%track\nwith\tbytes \xc3\xa9 ";
+  {
+    obs::SnapEvent e;
+    e.kind = obs::SnapKind::kBreaker;
+    e.name = "open";
+    e.detail = "closed";
+    e.a = 4;
+    t1.events.push_back(e);
+  }
+  {
+    obs::SnapEvent e;
+    e.kind = obs::SnapKind::kPowerDown;
+    e.a = 7.7176913346008343e-07;
+    t1.events.push_back(e);
+  }
+  {
+    obs::SnapEvent e;
+    e.kind = obs::SnapKind::kIdleAwake;
+    e.a = 1e-300;
+    t1.events.push_back(e);
+  }
+  snap.tracks.push_back(t1);
+
+  // An empty track must survive too (a cell that emitted no events).
+  obs::SnapTrack t2;
+  t2.track = "empty";
+  snap.tracks.push_back(t2);
+  return snap;
+}
+
+TEST(SnapshotFormat, RoundTripIsExact) {
+  const obs::Snapshot snap = synthetic();
+  const std::string text = obs::render(snap);
+  const obs::Snapshot back = obs::parse(text);
+  EXPECT_EQ(snap, back);
+  // And the text form itself is a fixed point.
+  EXPECT_EQ(text, obs::render(back));
+}
+
+TEST(SnapshotFormat, HeaderAndVersion) {
+  const std::string text = obs::render(synthetic());
+  EXPECT_EQ(text.rfind("javelin-snapshot v1\n", 0), 0u) << text.substr(0, 40);
+  // Unknown version: refused with a line-numbered error, not misparsed.
+  std::string v2 = text;
+  v2.replace(v2.find("v1"), 2, "v2");
+  EXPECT_THROW(obs::parse(v2), FormatError);
+}
+
+TEST(SnapshotFormat, MalformedInputThrows) {
+  EXPECT_THROW(obs::parse(""), FormatError);
+  EXPECT_THROW(obs::parse("not a snapshot\n"), FormatError);
+  // Event line before any track.
+  EXPECT_THROW(
+      obs::parse("javelin-snapshot v1\nlabel x\n"
+                 "decide m=1 n=a d= a=0 b=0 c=0,0,0,0,0\n"),
+      FormatError);
+  // Truncated event line.
+  EXPECT_THROW(obs::parse("javelin-snapshot v1\nlabel x\ntrack t\n"
+                          "decide m=1 n=a\n"),
+               FormatError);
+  // Unknown event kind.
+  EXPECT_THROW(obs::parse("javelin-snapshot v1\nlabel x\ntrack t\n"
+                          "frobnicate m=1 n=a d= a=0 b=0 c=0,0,0,0,0\n"),
+               FormatError);
+}
+
+TEST(SnapshotDiff, IdenticalAndLabelExcluded) {
+  obs::Snapshot a = synthetic();
+  obs::Snapshot b = synthetic();
+  b.label = "recorded later under a different name";
+  const obs::DiffResult d = obs::diff(a, b);
+  EXPECT_TRUE(d.identical);
+  EXPECT_EQ(d.track_index, -1);
+  EXPECT_EQ(d.event_index, -1);
+}
+
+TEST(SnapshotDiff, FirstDivergenceLocatedAndReadable) {
+  obs::Snapshot golden = synthetic();
+  obs::Snapshot current = synthetic();
+  // Flip the decide outcome in track 0, event 1 — the canonical silent
+  // policy drift this layer exists to catch.
+  current.tracks[0].events[1].name = "L2";
+  const obs::DiffResult d = obs::diff(golden, current);
+  ASSERT_FALSE(d.identical);
+  EXPECT_EQ(d.track_index, 0);
+  EXPECT_EQ(d.track, golden.tracks[0].track);
+  EXPECT_EQ(d.event_index, 1);
+  // The report shows both versions of the divergent event with context.
+  EXPECT_NE(d.report.find("- golden"), std::string::npos) << d.report;
+  EXPECT_NE(d.report.find("+ current"), std::string::npos) << d.report;
+  EXPECT_NE(d.report.find("decide"), std::string::npos) << d.report;
+  EXPECT_NE(d.report.find("remote"), std::string::npos) << d.report;
+  EXPECT_NE(d.report.find("L2"), std::string::npos) << d.report;
+  // JSON form is strict JSON.
+  std::string err;
+  EXPECT_TRUE(obs::json_valid(obs::diff_json(d), &err)) << err;
+}
+
+TEST(SnapshotDiff, LocationIsSymmetric) {
+  obs::Snapshot a = synthetic();
+  obs::Snapshot b = synthetic();
+  b.tracks[1].events[0].name = "half-open";
+  const obs::DiffResult ab = obs::diff(a, b);
+  const obs::DiffResult ba = obs::diff(b, a);
+  ASSERT_FALSE(ab.identical);
+  ASSERT_FALSE(ba.identical);
+  EXPECT_EQ(ab.track_index, ba.track_index);
+  EXPECT_EQ(ab.event_index, ba.event_index);
+  EXPECT_EQ(ab.track, ba.track);
+}
+
+TEST(SnapshotDiff, MissingTailAndExtraEvents) {
+  obs::Snapshot golden = synthetic();
+  obs::Snapshot current = synthetic();
+  current.tracks[0].events.pop_back();
+  const obs::DiffResult d = obs::diff(golden, current);
+  ASSERT_FALSE(d.identical);
+  EXPECT_EQ(d.track_index, 0);
+  // Diverges where the common prefix ends.
+  EXPECT_EQ(d.event_index,
+            static_cast<std::int64_t>(current.tracks[0].events.size()));
+  EXPECT_NE(d.summary.find("event count"), std::string::npos) << d.summary;
+}
+
+TEST(SnapshotDiff, TrackLevelDivergence) {
+  obs::Snapshot golden = synthetic();
+  obs::Snapshot current = synthetic();
+  current.tracks[2].track = "renamed";
+  const obs::DiffResult renamed = obs::diff(golden, current);
+  ASSERT_FALSE(renamed.identical);
+  EXPECT_EQ(renamed.track_index, 2);
+  EXPECT_EQ(renamed.event_index, -1);
+
+  obs::Snapshot shorter = synthetic();
+  shorter.tracks.pop_back();
+  const obs::DiffResult missing = obs::diff(golden, shorter);
+  ASSERT_FALSE(missing.identical);
+  EXPECT_EQ(missing.track_index, 2);
+  EXPECT_EQ(missing.event_index, -1);
+}
+
+TEST(SnapshotDiff, VersionMismatchRefused) {
+  obs::Snapshot a = synthetic();
+  obs::Snapshot b = synthetic();
+  b.version = 2;
+  const obs::DiffResult d = obs::diff(a, b);
+  ASSERT_FALSE(d.identical);
+  EXPECT_NE(d.summary.find("version"), std::string::npos) << d.summary;
+}
+
+// The load-bearing determinism claim: a golden scenario projects to the
+// byte-identical snapshot whether its cells run serially or on a pool.
+TEST(SnapshotDeterminism, JobsInvariant) {
+  const sim::GoldenScenario* fig8 = sim::find_golden_scenario("fig8");
+  ASSERT_NE(fig8, nullptr);
+
+  setenv("JAVELIN_JOBS", "1", 1);
+  obs::TraceCollector serial;
+  fig8->run(serial);
+  const std::string serial_text = obs::render(obs::project(serial, "fig8"));
+
+  setenv("JAVELIN_JOBS", "8", 1);
+  obs::TraceCollector pooled;
+  fig8->run(pooled);
+  const std::string pooled_text = obs::render(obs::project(pooled, "fig8"));
+  unsetenv("JAVELIN_JOBS");
+
+  EXPECT_EQ(serial_text, pooled_text);
+}
+
+}  // namespace

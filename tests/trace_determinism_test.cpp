@@ -102,14 +102,20 @@ TEST(TraceDeterminism, InvokeEndLedgersSumExactlyToCellEnergy) {
     // event order is the same FP addition sequence run_sequence performs,
     // so the total must match bit for bit — not approximately.
     double sum = 0.0;
+    double server_sum = 0.0;
     int invocations = 0;
     for (const obs::TraceEvent& ev : buffers[i]->events()) {
       if (ev.kind != obs::EventKind::kInvokeEnd) continue;
       sum += ev.ledger.total_j;
+      server_sum += ev.ledger.server_j;
       ++invocations;
     }
     EXPECT_EQ(invocations, spec.executions) << buffers[i]->track();
     EXPECT_EQ(sum, result.cells[i].total_energy_j) << buffers[i]->track();
+    // The additive server meter line obeys the same contract: per-invoke
+    // Server::energy_j() deltas, summed in event order, reproduce
+    // StrategyResult::server_j bit for bit — and stay out of total_j.
+    EXPECT_EQ(server_sum, result.cells[i].server_j) << buffers[i]->track();
   }
 }
 

@@ -1,0 +1,107 @@
+// Golden-trace behavioral regression gate: replays every golden scenario
+// (sim/goldens.hpp) in-process and diffs its projected snapshot against the
+// file checked into tests/golden/. Any divergence — a flipped decide
+// outcome, a shifted compile level, a reordered retry/breaker sequence —
+// fails with the first-divergence report. This is the same comparison
+// `javelin_tracediff check` runs from the shell; keeping an in-process copy
+// in tier-1 means the gate cannot be skipped by not invoking the CLI.
+//
+// The perturbation test below proves the gate actually fires: flipping one
+// DecisionPolicy knob must produce a readable decide-event divergence.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/snapshot.hpp"
+#include "sim/goldens.hpp"
+#include "sim/scenario.hpp"
+
+using namespace javelin;
+
+namespace {
+
+#ifndef JAVELIN_GOLDEN_DIR
+#error "JAVELIN_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string golden_path(const char* name) {
+  return std::string(JAVELIN_GOLDEN_DIR) + "/" + name + ".snap";
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  std::size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = !std::ferror(f);
+  std::fclose(f);
+  return ok;
+}
+
+void check_scenario(const char* name) {
+  const sim::GoldenScenario* s = sim::find_golden_scenario(name);
+  ASSERT_NE(s, nullptr) << name;
+
+  std::string text;
+  ASSERT_TRUE(read_file(golden_path(name), &text))
+      << "missing golden " << golden_path(name)
+      << " — regenerate with `javelin_tracediff record " << name
+      << "` (or the regen-goldens CMake target)";
+  obs::Snapshot golden;
+  ASSERT_NO_THROW(golden = obs::parse(text)) << golden_path(name);
+
+  obs::TraceCollector collector;
+  s->run(collector);
+  const obs::Snapshot current = obs::project(collector, s->name);
+
+  const obs::DiffResult d = obs::diff(golden, current);
+  EXPECT_TRUE(d.identical)
+      << "behavioral divergence from " << golden_path(name)
+      << " — if intentional, regenerate with the regen-goldens CMake "
+         "target\n"
+      << d.report;
+}
+
+TEST(TraceRegression, Fig6) { check_scenario("fig6"); }
+TEST(TraceRegression, Fig7) { check_scenario("fig7"); }
+TEST(TraceRegression, Fig8) { check_scenario("fig8"); }
+TEST(TraceRegression, AblationFaults) { check_scenario("ablation_faults"); }
+
+// Prove the gate fires: one flipped DecisionPolicy knob (deploy-time static
+// seeding) must change the projected decide sequence of an AA run and be
+// reported as a readable first divergence — not slip through as "plausible
+// energy totals".
+TEST(TraceRegression, PerturbedDecisionPolicyDiverges) {
+  const sim::ScenarioRunner runner(apps::app("fe"));
+  constexpr int kExecs = 40;
+
+  obs::TraceCollector base_col;
+  runner.run(rt::Strategy::kAdaptiveAdaptive, sim::Situation::kUniform,
+             kExecs, /*verify=*/true, /*config=*/nullptr,
+             base_col.make_buffer("fe/AA/uniform", 0));
+  const obs::Snapshot base = obs::project(base_col, "baseline");
+
+  rt::ClientConfig seeded;
+  seeded.decision.static_seed = true;
+  obs::TraceCollector pert_col;
+  runner.run(rt::Strategy::kAdaptiveAdaptive, sim::Situation::kUniform,
+             kExecs, /*verify=*/true, &seeded,
+             pert_col.make_buffer("fe/AA/uniform", 0));
+  const obs::Snapshot perturbed = obs::project(pert_col, "perturbed");
+
+  const obs::DiffResult d = obs::diff(base, perturbed);
+  ASSERT_FALSE(d.identical)
+      << "static_seed no longer changes AA's decision sequence — the "
+         "perturbation canary has lost its subject";
+  EXPECT_EQ(d.track, "fe/AA/uniform");
+  EXPECT_GE(d.event_index, 0) << d.summary;
+  // The report names the divergent events with both versions visible.
+  EXPECT_NE(d.report.find("- golden"), std::string::npos) << d.report;
+  EXPECT_NE(d.report.find("+ current"), std::string::npos) << d.report;
+}
+
+}  // namespace
