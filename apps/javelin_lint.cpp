@@ -11,14 +11,20 @@
 //   javelin_lint sort db         lint selected apps
 //   javelin_lint --json          machine-readable output
 //   javelin_lint --analysis      also print per-method cost + safety verdicts
+//   javelin_lint --bounds        add the interval-backed checks (always-
+//                                true/false branch, guaranteed out-of-bounds,
+//                                may-wrap arithmetic); --verbose additionally
+//                                prints the cannot-overflow proofs
 //   javelin_lint --self-check    prove the checks fire (seeded defects) and
-//                                that every shipped app lints clean
+//                                that every shipped app lints clean — with
+//                                and without --bounds
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/lint.hpp"
 #include "apps/app.hpp"
 #include "jvm/verifier.hpp"
 
@@ -30,12 +36,15 @@ struct Options {
   bool json = false;
   bool self_check = false;
   bool analysis = false;
+  bool bounds = false;
+  bool verbose = false;
   std::vector<std::string> apps;
 };
 
 int usage(std::FILE* to) {
   std::fputs(
-      "usage: javelin_lint [--json] [--analysis] [--self-check] [app ...]\n"
+      "usage: javelin_lint [--json] [--analysis] [--bounds] [--verbose] "
+      "[--self-check] [app ...]\n"
       "  apps: fe pf mf hpf ed sort jess db (default: all)\n",
       to);
   return to == stdout ? 0 : 2;
@@ -50,7 +59,8 @@ struct AppReport {
 /// Verify then analyze every class of `classes` (the class-load-time
 /// sequence). Throws jvm::VerifyError on malformed bytecode.
 std::vector<analysis::MethodAnalysis> analyze_classes(
-    std::vector<jvm::ClassFile> classes) {
+    std::vector<jvm::ClassFile> classes, bool bounds = false,
+    bool verbose = false) {
   // Verification fills in max_stack and rejects malformed code; the analysis
   // passes assume it ran (they tolerate, but do not re-check, odd shapes).
   std::vector<const jvm::ClassFile*> deps;
@@ -65,6 +75,22 @@ std::vector<analysis::MethodAnalysis> analyze_classes(
   for (const jvm::ClassFile& cf : classes)
     for (analysis::MethodAnalysis& m : analyzer.analyze_class(cf))
       out.push_back(std::move(m));
+  if (bounds) {
+    // The interval-backed checks ride on the same report: diagnostics merge
+    // into their method's list, keeping the stable (pc, code) order.
+    for (const jvm::ClassFile& cf : classes)
+      for (const jvm::MethodInfo& mi : cf.methods) {
+        std::vector<analysis::Diagnostic> ds;
+        analysis::lint_bounds(cf, mi, &resolver, ds, verbose);
+        if (ds.empty()) continue;
+        for (analysis::MethodAnalysis& m : out)
+          if (m.method == &mi) {
+            m.diagnostics.insert(m.diagnostics.end(), ds.begin(), ds.end());
+            analysis::sort_diagnostics(m.diagnostics);
+            break;
+          }
+      }
+  }
   return out;
 }
 
@@ -175,6 +201,51 @@ jvm::ClassFile seeded_defects() {
   return cf;
 }
 
+/// A class seeded with defects only the interval analysis can see: bounded
+/// arithmetic that provably fits int32, bounded arithmetic that can wrap,
+/// a branch decided the same way on every execution (each way), and an
+/// array access guaranteed out of bounds. Verifies cleanly — all the code
+/// is statically reachable and stack-consistent.
+jvm::ClassFile seeded_bounds_defects() {
+  using jvm::Op;
+  jvm::ClassFile cf;
+  cf.name = "BoundsDemo";
+  jvm::MethodInfo m;
+  m.name = "seeded";
+  m.sig = jvm::Signature{{jvm::TypeKind::kInt}, jvm::TypeKind::kInt};
+  m.is_static = true;
+  m.max_locals = 4;
+  const auto k_int = static_cast<std::int32_t>(jvm::TypeKind::kInt);
+  m.code = {
+      {Op::kIconst, 2, 0},          //  0:
+      {Op::kIconst, 3, 0},          //  1:
+      {Op::kIadd, 0, 0},            //  2: 2+3        <- cannot-overflow
+      {Op::kIstore, 3, 0},          //  3:
+      {Op::kIconst, 1 << 30, 0},    //  4:
+      {Op::kIconst, 1 << 30, 0},    //  5:
+      {Op::kIadd, 0, 0},            //  6: 2^30+2^30  <- may-wrap
+      {Op::kIstore, 2, 0},          //  7:
+      {Op::kIconst, 0, 0},          //  8:
+      {Op::kIconst, 1, 0},          //  9:
+      {Op::kIfIcmpLt, 13, 0},       // 10: 0 < 1      <- branch-always-true
+      {Op::kIconst, 7, 0},          // 11:
+      {Op::kIstore, 2, 0},          // 12:
+      {Op::kIconst, 5, 0},          // 13:
+      {Op::kIfle, 17, 0},           // 14: 5 <= 0     <- branch-always-false
+      {Op::kIconst, 7, 0},          // 15:
+      {Op::kIstore, 2, 0},          // 16:
+      {Op::kIconst, 3, 0},          // 17:
+      {Op::kNewArray, k_int, 0},    // 18: a = new int[3]
+      {Op::kAstore, 1, 0},          // 19:
+      {Op::kAload, 1, 0},           // 20:
+      {Op::kIconst, 5, 0},          // 21:
+      {Op::kIaload, 0, 0},          // 22: a[5]       <- guaranteed-oob
+      {Op::kIreturn, 0, 0},         // 23:
+  };
+  cf.methods.push_back(std::move(m));
+  return cf;
+}
+
 bool has_diag(const std::vector<analysis::MethodAnalysis>& ms,
               const char* code, int pc) {
   for (const analysis::MethodAnalysis& m : ms)
@@ -202,9 +273,32 @@ int self_check() {
     std::fprintf(stderr, "self-check: unreachable-block @6 not flagged\n");
     return 1;
   }
+  std::vector<analysis::MethodAnalysis> bounds;
+  try {
+    bounds = analyze_classes({seeded_bounds_defects()}, /*bounds=*/true,
+                             /*verbose=*/true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "self-check: seeded bounds class failed to verify: %s\n",
+                 e.what());
+    return 1;
+  }
+  const struct { const char* code; int pc; } expected_bounds[] = {
+      {"cannot-overflow", 2},    {"may-wrap", 6},
+      {"branch-always-true", 10}, {"branch-always-false", 14},
+      {"guaranteed-oob", 22},
+  };
+  for (const auto& e : expected_bounds)
+    if (!has_diag(bounds, e.code, e.pc)) {
+      std::fprintf(stderr, "self-check: %s @%d not flagged\n", e.code, e.pc);
+      return 1;
+    }
+  // The shipped corpus must be clean for the default checks AND the
+  // --bounds checks (cannot-overflow proofs are verbose-only by design:
+  // the proof is the common case, not a finding).
   for (const apps::App& a : apps::registry()) {
     const std::vector<analysis::MethodAnalysis> ms =
-        analyze_classes(a.classes);
+        analyze_classes(a.classes, /*bounds=*/true);
     for (const analysis::MethodAnalysis& m : ms)
       for (const analysis::Diagnostic& d : m.diagnostics) {
         std::fprintf(stderr, "self-check: shipped app %s is not clean: "
@@ -214,8 +308,8 @@ int self_check() {
         return 1;
       }
   }
-  std::printf("self-check OK: seeded defects flagged, %zu shipped apps "
-              "clean\n", apps::registry().size());
+  std::printf("self-check OK: seeded defects flagged (incl. --bounds), "
+              "%zu shipped apps clean\n", apps::registry().size());
   return 0;
 }
 
@@ -228,6 +322,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(a, "--json") == 0) opt.json = true;
     else if (std::strcmp(a, "--self-check") == 0) opt.self_check = true;
     else if (std::strcmp(a, "--analysis") == 0) opt.analysis = true;
+    else if (std::strcmp(a, "--bounds") == 0) opt.bounds = true;
+    else if (std::strcmp(a, "--verbose") == 0) opt.verbose = true;
     else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0)
       return usage(stdout);
     else if (a[0] == '-') return usage(stderr);
@@ -239,11 +335,13 @@ int main(int argc, char** argv) {
   try {
     if (opt.apps.empty())
       for (const apps::App& a : apps::registry())
-        reports.push_back({a.name, analyze_classes(a.classes)});
+        reports.push_back(
+            {a.name, analyze_classes(a.classes, opt.bounds, opt.verbose)});
     else
       for (const std::string& name : opt.apps) {
         const apps::App& a = apps::app(name);
-        reports.push_back({a.name, analyze_classes(a.classes)});
+        reports.push_back(
+            {a.name, analyze_classes(a.classes, opt.bounds, opt.verbose)});
       }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "javelin_lint: %s\n", e.what());

@@ -1,0 +1,156 @@
+// Ablation: the opt-in L0.5 baseline tier (DecisionPolicy::baseline_tier).
+//
+// The ROADMAP's open item: the baseline tier's energy story — a one-off
+// linear translation (~24x cheaper than an L1 compile) plus per-run
+// interpretation discounted by the fused-stream dispatch share — is modeled
+// but unmeasured. This bench measures it: AA runs the paper's 8 apps x 3
+// situations grid with the knob off and on, recording total energy, how
+// often the L0.5 candidate actually wins the decision, and the compile
+// counts. Cells run on the parallel sweep engine; all randomness derives
+// from per-cell seeds and the emitted BENCH_baseline_tier.json carries
+// deterministic fields only, so table and file are byte-identical at any
+// JAVELIN_JOBS.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/export.hpp"
+#include "sim/sweep.hpp"
+#include "support/table.hpp"
+
+using namespace javelin;
+
+namespace {
+
+int mode_count(const sim::StrategyResult& r, rt::ExecMode mode) {
+  const auto it = r.mode_counts.find(mode);
+  return it == r.mode_counts.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+int main() {
+  int executions = 120;
+  if (const char* env = std::getenv("JAVELIN_ABLATION_EXECS"))
+    executions = std::atoi(env);
+
+  const std::vector<apps::App>& apps = apps::registry();
+  const sim::Situation situations[] = {
+      sim::Situation::kGoodChannelDominantSize,
+      sim::Situation::kPoorChannelDominantSize,
+      sim::Situation::kUniform,
+  };
+  constexpr std::size_t kNumSituations = 3;
+
+  sim::SweepEngine engine;
+
+  // Profile each app once, in parallel; the runners are then shared
+  // read-only by both of each scenario's cells.
+  const auto runners = engine.map<sim::ScenarioRunner>(
+      apps.size(),
+      [&](std::size_t i) { return sim::ScenarioRunner(apps[i]); });
+
+  rt::ClientConfig baseline_config;
+  baseline_config.decision.baseline_tier = true;
+
+  // Cell layout: [app][situation][off, baseline], app-major.
+  const std::size_t n = apps.size() * kNumSituations * 2;
+
+  // Opt-in Chrome-trace capture (JAVELIN_TRACE_JSON): one track per cell.
+  // Tracing is read-only — table and JSON are bit-identical either way.
+  obs::TraceCollector collector;
+  const char* trace_path = std::getenv("JAVELIN_TRACE_JSON");
+  std::vector<obs::TraceBuffer*> tracks(n, nullptr);
+  if (trace_path) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t app = i / (kNumSituations * 2);
+      const std::size_t situation = (i / 2) % kNumSituations;
+      tracks[i] = collector.make_buffer(
+          apps[app].name + "/" + sim::situation_tag(situations[situation]) +
+              ((i % 2) != 0 ? "/baseline" : "/off"),
+          /*order_key=*/i);
+    }
+  }
+
+  const auto results = engine.map<sim::StrategyResult>(n, [&](std::size_t i) {
+    const std::size_t app = i / (kNumSituations * 2);
+    const std::size_t situation = (i / 2) % kNumSituations;
+    const bool baseline = (i % 2) != 0;
+    return runners[app].run(rt::Strategy::kAdaptiveAdaptive,
+                            situations[situation], executions,
+                            /*verify=*/true,
+                            baseline ? &baseline_config : nullptr, tracks[i]);
+  });
+
+  TextTable table("Ablation — L0.5 baseline tier (linear translation)");
+  table.set_header({"app", "situation", "off (J)", "baseline (J)", "delta %",
+                    "L0.5 runs", "compiles o/b"});
+  for (std::size_t app = 0; app < apps.size(); ++app) {
+    for (std::size_t s = 0; s < kNumSituations; ++s) {
+      const std::size_t base = (app * kNumSituations + s) * 2;
+      const sim::StrategyResult& off = results[base];
+      const sim::StrategyResult& on = results[base + 1];
+      if (!off.all_correct || !on.all_correct) {
+        std::fprintf(stderr, "FAIL: wrong result in scenario %zu/%zu\n", app,
+                     s);
+        return 1;
+      }
+      const double delta =
+          off.total_energy_j > 0.0
+              ? 100.0 * (on.total_energy_j - off.total_energy_j) /
+                    off.total_energy_j
+              : 0.0;
+      table.add_row({apps[app].name, sim::situation_tag(situations[s]),
+                     TextTable::num(off.total_energy_j, 3),
+                     TextTable::num(on.total_energy_j, 3),
+                     TextTable::num(delta, 2),
+                     std::to_string(mode_count(on, rt::ExecMode::kBaseline)),
+                     std::to_string(off.compiles) + "/" +
+                         std::to_string(on.compiles)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nbaseline = DecisionPolicy{baseline_tier}: decide() gains an L0.5\n"
+      "candidate (one-off linear translation + discounted interpretation).\n"
+      "It wins for methods invoked too rarely to amortize a real compile;\n"
+      "delta < 0 means the tier saved energy versus the stock candidate\n"
+      "set. 'L0.5 runs' counts invocations the candidate actually won.");
+
+  // Machine-readable record (sweep schema; deterministic fields only — no
+  // jobs/wall-clock — so the file is byte-identical at any JAVELIN_JOBS).
+  const char* json_path = std::getenv("JAVELIN_BENCH_JSON");
+  std::FILE* f =
+      std::fopen(json_path ? json_path : "BENCH_baseline_tier.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_baseline_tier.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\": \"ablation_baseline\", \"executions\": %d, "
+               "\"cells\": [", executions);
+  for (std::size_t app = 0; app < apps.size(); ++app) {
+    for (std::size_t s = 0; s < kNumSituations; ++s) {
+      const std::size_t base = (app * kNumSituations + s) * 2;
+      const sim::StrategyResult& off = results[base];
+      const sim::StrategyResult& on = results[base + 1];
+      std::fprintf(
+          f,
+          "%s\n  {\"app\": \"%s\", \"situation\": \"%s\", "
+          "\"off_energy_j\": %.6f, \"baseline_energy_j\": %.6f, "
+          "\"baseline_runs\": %d, "
+          "\"off_compiles\": %d, \"baseline_compiles\": %d}",
+          base ? "," : "", apps[app].name.c_str(),
+          sim::situation_tag(situations[s]), off.total_energy_j,
+          on.total_energy_j, mode_count(on, rt::ExecMode::kBaseline),
+          off.compiles, on.compiles);
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+
+  if (trace_path &&
+      !obs::export_chrome_trace(collector, "ablation_baseline", trace_path))
+    return 1;
+  return 0;
+}

@@ -2,12 +2,14 @@
 //
 // The paper discusses optimization-level tradeoffs (code size vs execution
 // gain); BCE is the canonical Java-JIT optimization in that space. This
-// bench compiles each benchmark at Level 3 under three regimes — BCE off,
-// per-method BCE (dominating-access proofs only), and cross-procedure BCE
+// bench compiles each benchmark at Level 3 under four regimes — BCE off,
+// per-method BCE (dominating-access proofs only), cross-procedure BCE
 // (per-method proofs plus the interprocedural array-length-fact pass,
-// analysis/lengths.hpp) — and measures executed instructions, execution
+// analysis/lengths.hpp), and range BCE (all of the above plus per-bytecode
+// "index proven in [0, length)" proofs from the interval analysis,
+// analysis/intervals.hpp) — and measures executed instructions, execution
 // energy, code size and elided guards for one large-input run. Each
-// (app, regime) cell owns a private Device, so the 8 x 3 grid fans out on
+// (app, regime) cell owns a private Device, so the 8 x 4 grid fans out on
 // the parallel sweep engine.
 
 #include <chrono>
@@ -16,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/intervals.hpp"
 #include "analysis/lengths.hpp"
 #include "jit/compiler.hpp"
 #include "obs/export.hpp"
@@ -34,11 +37,13 @@ struct CellResult {
   std::size_t code_bytes = 0;
   std::size_t elided = 0;           ///< Guards elided, all proofs.
   std::size_t elided_interproc = 0; ///< Of which interprocedural facts.
+  std::size_t elided_range = 0;     ///< Of which interval range proofs.
   bool correct = false;
 };
 
-/// Regimes: 0 = BCE off, 1 = per-method BCE, 2 = per-method + interproc.
-constexpr int kNumRegimes = 3;
+/// Regimes: 0 = BCE off, 1 = per-method BCE, 2 = per-method + interproc,
+/// 3 = per-method + interproc + interval range proofs.
+constexpr int kNumRegimes = 4;
 
 /// Per-method jit facts from the interprocedural length pass (the same
 /// conversion rt::Client::seed_length_facts performs at deploy time).
@@ -65,6 +70,43 @@ std::vector<std::vector<jit::ArrayParamFact>> length_facts(const jvm::Jvm& vm) {
   return out;
 }
 
+/// Per-method, per-bytecode in-bounds proofs from the interval analysis
+/// (the same conversion rt::Client::seed_range_facts performs at deploy
+/// time), with entry states refined by the length facts.
+std::vector<std::vector<std::uint8_t>> range_facts(const jvm::Jvm& vm) {
+  std::vector<const jvm::ClassFile*> classes;
+  for (std::size_t c = 0; c < vm.num_classes(); ++c)
+    classes.push_back(&vm.cls(static_cast<std::int32_t>(c)).cf);
+  jvm::ClassSetResolver resolver;
+  for (const jvm::ClassFile* cf : classes) resolver.add(cf);
+  const analysis::LengthAnalysis la = analysis::analyze_lengths(classes);
+  std::vector<std::vector<std::uint8_t>> out(vm.num_methods());
+  for (std::size_t i = 0; i < vm.num_methods(); ++i) {
+    const jvm::RtMethod& m = vm.method(static_cast<std::int32_t>(i));
+    std::vector<analysis::ArgFact> facts;
+    if (const analysis::MethodLengthFacts* f =
+            la.incomplete ? nullptr : la.find(m.info);
+        f != nullptr && f->valid()) {
+      facts.resize(f->params.size());
+      for (std::size_t p = 0; p < f->params.size(); ++p) {
+        if (!f->params[p].non_null) continue;
+        facts[p].non_null = true;
+        facts[p].is_array = true;
+        facts[p].array_len = analysis::Interval{f->params[p].min_len,
+                                                analysis::Interval::kI32Max};
+      }
+    }
+    const analysis::MethodIntervals mi = analysis::analyze_intervals(
+        vm.cls(m.class_id).cf, *m.info, &resolver, facts);
+    if (!mi.converged) continue;  // Fail closed.
+    bool any = false;
+    for (const char flag : mi.proven_inbounds) any = any || flag != 0;
+    if (any) out[i].assign(mi.proven_inbounds.begin(),
+                           mi.proven_inbounds.end());
+  }
+  return out;
+}
+
 CellResult run_cell(const apps::App& a, int regime, obs::TraceBuffer* trace) {
   CellResult out;
   rt::Device dev(isa::client_machine());
@@ -75,20 +117,28 @@ CellResult run_cell(const apps::App& a, int regime, obs::TraceBuffer* trace) {
   std::vector<std::int32_t> plan{mid};
   for (auto c : jit::collect_callees(dev.vm, mid)) plan.push_back(c);
   std::vector<std::vector<jit::ArrayParamFact>> facts;
-  if (regime == 2) facts = length_facts(dev.vm);
+  if (regime >= 2) facts = length_facts(dev.vm);
+  std::vector<std::vector<std::uint8_t>> ranges;
+  if (regime >= 3) ranges = range_facts(dev.vm);
   jit::CompileOptions opts;
   opts.opt_level = 3;
   opts.bounds_check_elimination = regime != 0;
   for (auto id : plan) {
-    if (regime == 2 && static_cast<std::size_t>(id) < facts.size() &&
+    if (regime >= 2 && static_cast<std::size_t>(id) < facts.size() &&
         !facts[static_cast<std::size_t>(id)].empty())
       opts.param_facts = &facts[static_cast<std::size_t>(id)];
     else
       opts.param_facts = nullptr;
+    if (regime >= 3 && static_cast<std::size_t>(id) < ranges.size() &&
+        !ranges[static_cast<std::size_t>(id)].empty())
+      opts.range_inbounds = &ranges[static_cast<std::size_t>(id)];
+    else
+      opts.range_inbounds = nullptr;
     auto res = jit::compile_method(dev.vm, id, opts, dev.cfg.energy, trace);
     out.code_bytes += res.program.image_bytes();
     out.elided += res.guards_elided;
     out.elided_interproc += res.guards_elided_interproc;
+    out.elided_range += res.guards_elided_range;
     dev.engine.install(id, std::move(res.program), 3);
   }
   Rng rng(11);
@@ -108,7 +158,8 @@ const char* regime_name(int regime) {
   switch (regime) {
     case 0: return "off";
     case 1: return "on";
-    default: return "interproc";
+    case 2: return "interproc";
+    default: return "range";
   }
 }
 
@@ -159,6 +210,8 @@ int main() {
       std::string elided = std::to_string(r[regime].elided);
       if (r[regime].elided_interproc > 0)
         elided += " (+" + std::to_string(r[regime].elided_interproc) + " ip)";
+      if (r[regime].elided_range > 0)
+        elided += " (+" + std::to_string(r[regime].elided_range) + " rg)";
       table.add_row(
           {a.name, regime_name(regime),
            TextTable::num(r[regime].energy * 1e3, 3),
@@ -178,6 +231,9 @@ int main() {
       "kernels whose indices are recomputed per access are unaffected.\n"
       "The interproc regime adds parameter facts proven across call\n"
       "boundaries, so even first accesses to parameter arrays drop guards;\n"
+      "the range regime adds per-bytecode interval proofs (index in\n"
+      "[0, length) from the abstract interpretation), catching\n"
+      "locally-allocated arrays and loop-bounded indices;\n"
       "shadow-bounds mode (JAVELIN_SHADOW=1) cross-validates every elision.");
 
   const double wall =

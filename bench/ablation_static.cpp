@@ -8,10 +8,15 @@
 // facts: loop-containing methods amortize compilation over at least
 // `seed_invocations` expected executions, and methods whose offload-safety
 // verdict is unsafe (static-field writes, unresolved callees) have remote
-// execution excluded outright. This bench measures the knob's effect across
-// the paper's full 8 apps x 3 situations grid. Cells run on the parallel
-// sweep engine; all randomness derives from per-cell seeds, so output (and
-// BENCH_static.json) is bit-identical at any JAVELIN_JOBS.
+// execution excluded outright. A third variant stacks DecisionPolicy::
+// wcec_seed on top: guaranteed per-invocation energy ceilings from the
+// static WCEC analysis (analysis/wcec.hpp) extend the amortization floor to
+// any method with a finite interpreter-tier bound and veto remote execution
+// while the local ceiling already beats the curve-fitted remote estimate.
+// This bench measures both knobs across the paper's full 8 apps x 3
+// situations grid. Cells run on the parallel sweep engine; all randomness
+// derives from per-cell seeds, so output (and BENCH_static.json) is
+// bit-identical at any JAVELIN_JOBS.
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,8 +61,17 @@ int main() {
   rt::ClientConfig seeded_config;
   seeded_config.decision.static_seed = true;
 
-  // Cell layout: [app][situation][cold, seeded], app-major.
-  const std::size_t n = apps.size() * kNumSituations * 2;
+  rt::ClientConfig wcec_config;
+  wcec_config.decision.static_seed = true;
+  wcec_config.decision.wcec_seed = true;
+
+  constexpr std::size_t kNumVariants = 3;  // cold, seeded, wcec.
+  const rt::ClientConfig* variant_configs[kNumVariants] = {
+      nullptr, &seeded_config, &wcec_config};
+  const char* variant_tags[kNumVariants] = {"cold", "seeded", "wcec"};
+
+  // Cell layout: [app][situation][cold, seeded, wcec], app-major.
+  const std::size_t n = apps.size() * kNumSituations * kNumVariants;
 
   // Opt-in Chrome-trace capture (JAVELIN_TRACE_JSON): one track per cell,
   // created up front so the parallel map only touches its own buffer.
@@ -68,60 +82,66 @@ int main() {
   std::vector<obs::TraceBuffer*> tracks(n, nullptr);
   if (trace_path) {
     for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t app = i / (kNumSituations * 2);
-      const std::size_t situation = (i / 2) % kNumSituations;
-      const bool seeded = (i % 2) != 0;
+      const std::size_t app = i / (kNumSituations * kNumVariants);
+      const std::size_t situation = (i / kNumVariants) % kNumSituations;
       tracks[i] = collector.make_buffer(
           apps[app].name + "/" + sim::situation_tag(situations[situation]) +
-              (seeded ? "/seeded" : "/cold"),
+              "/" + variant_tags[i % kNumVariants],
           /*order_key=*/i);
     }
   }
 
   const auto results = engine.map<sim::StrategyResult>(n, [&](std::size_t i) {
-    const std::size_t app = i / (kNumSituations * 2);
-    const std::size_t situation = (i / 2) % kNumSituations;
-    const bool seeded = (i % 2) != 0;
+    const std::size_t app = i / (kNumSituations * kNumVariants);
+    const std::size_t situation = (i / kNumVariants) % kNumSituations;
     return runners[app].run(rt::Strategy::kAdaptiveAdaptive,
                             situations[situation], executions,
                             /*verify=*/true,
-                            seeded ? &seeded_config : nullptr, tracks[i]);
+                            variant_configs[i % kNumVariants], tracks[i]);
   });
 
   TextTable table("Ablation — cold AA vs static-analysis-seeded AA");
-  table.set_header({"app", "situation", "cold (J)", "seeded (J)", "delta %",
-                    "remote c/s", "compiles c/s"});
+  table.set_header({"app", "situation", "cold (J)", "seeded (J)", "wcec (J)",
+                    "delta %", "remote c/s/w", "compiles c/s/w"});
   for (std::size_t app = 0; app < apps.size(); ++app) {
     for (std::size_t s = 0; s < kNumSituations; ++s) {
-      const std::size_t base = (app * kNumSituations + s) * 2;
+      const std::size_t base = (app * kNumSituations + s) * kNumVariants;
       const sim::StrategyResult& cold = results[base];
       const sim::StrategyResult& seeded = results[base + 1];
-      if (!cold.all_correct || !seeded.all_correct) {
+      const sim::StrategyResult& wcec = results[base + 2];
+      if (!cold.all_correct || !seeded.all_correct || !wcec.all_correct) {
         std::fprintf(stderr, "FAIL: wrong result in scenario %zu/%zu\n", app,
                      s);
         return 1;
       }
       const double delta =
           cold.total_energy_j > 0.0
-              ? 100.0 * (seeded.total_energy_j - cold.total_energy_j) /
+              ? 100.0 * (wcec.total_energy_j - cold.total_energy_j) /
                     cold.total_energy_j
               : 0.0;
       table.add_row({apps[app].name, sim::situation_tag(situations[s]),
                      TextTable::num(cold.total_energy_j, 3),
                      TextTable::num(seeded.total_energy_j, 3),
+                     TextTable::num(wcec.total_energy_j, 3),
                      TextTable::num(delta, 2),
                      std::to_string(remote_count(cold)) + "/" +
-                         std::to_string(remote_count(seeded)),
+                         std::to_string(remote_count(seeded)) + "/" +
+                         std::to_string(remote_count(wcec)),
                      std::to_string(cold.compiles) + "/" +
-                         std::to_string(seeded.compiles)});
+                         std::to_string(seeded.compiles) + "/" +
+                         std::to_string(wcec.compiles)});
     }
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(
       "\nseeded = DecisionPolicy{static_seed} (deploy-time analysis): loop\n"
       "methods amortize compilation over >= 8 expected executions and\n"
-      "statically-unsafe methods lose the remote candidate. delta < 0 means\n"
-      "the seed saved energy versus the cold-start decision sequence.");
+      "statically-unsafe methods lose the remote candidate. wcec stacks\n"
+      "DecisionPolicy{wcec_seed} on top: methods with a finite static energy\n"
+      "ceiling (analysis/wcec.hpp) also amortize compilation when the bound\n"
+      "itself pays for the compile, and remote execution is vetoed while the\n"
+      "guaranteed local ceiling undercuts the fitted remote estimate.\n"
+      "delta < 0 means the wcec seed saved energy versus cold start.");
 
   // Machine-readable record. Deterministic fields only (no wall-clock), so
   // the file is byte-identical at any JAVELIN_JOBS.
@@ -134,19 +154,23 @@ int main() {
                "\"cells\": [", executions);
   for (std::size_t app = 0; app < apps.size(); ++app) {
     for (std::size_t s = 0; s < kNumSituations; ++s) {
-      const std::size_t base = (app * kNumSituations + s) * 2;
+      const std::size_t base = (app * kNumSituations + s) * kNumVariants;
       const sim::StrategyResult& cold = results[base];
       const sim::StrategyResult& seeded = results[base + 1];
+      const sim::StrategyResult& wcec = results[base + 2];
       std::fprintf(
           f,
           "%s\n  {\"app\": \"%s\", \"situation\": \"%s\", "
           "\"cold_energy_j\": %.6f, \"seeded_energy_j\": %.6f, "
-          "\"cold_remote\": %d, \"seeded_remote\": %d, "
-          "\"cold_compiles\": %d, \"seeded_compiles\": %d}",
+          "\"wcec_energy_j\": %.6f, "
+          "\"cold_remote\": %d, \"seeded_remote\": %d, \"wcec_remote\": %d, "
+          "\"cold_compiles\": %d, \"seeded_compiles\": %d, "
+          "\"wcec_compiles\": %d}",
           base ? "," : "", apps[app].name.c_str(),
           sim::situation_tag(situations[s]), cold.total_energy_j,
-          seeded.total_energy_j, remote_count(cold), remote_count(seeded),
-          cold.compiles, seeded.compiles);
+          seeded.total_energy_j, wcec.total_energy_j, remote_count(cold),
+          remote_count(seeded), remote_count(wcec), cold.compiles,
+          seeded.compiles, wcec.compiles);
     }
   }
   std::fprintf(f, "\n]}\n");

@@ -20,16 +20,27 @@
 
 namespace javelin::analysis {
 
+/// How a solve ended. Clients that derive *guarantees* from the fixpoint
+/// (interval widening, WCEC trip bounds) must check for kBoundExhausted and
+/// fail closed: a truncated solve returns states that are sound only for the
+/// joins that actually ran, not a fixed point.
+enum class FixpointStatus : std::uint8_t {
+  kConverged = 0,     ///< Worklist drained: a true fixed point.
+  kBoundExhausted,    ///< max_transfers hit with work remaining.
+};
+
 template <typename State>
 struct FixpointResult {
   std::vector<State> in;               ///< Fixed-point in-state per block.
   std::uint64_t transfer_count = 0;    ///< Transfer applications until fixpoint.
+  FixpointStatus status = FixpointStatus::kConverged;
 };
 
 /// Forward worklist solver. `entry` is the in-state of block 0; unreachable
 /// blocks keep the default-constructed `State`. `max_transfers` bounds
 /// runaway lattices (0 = no bound); on hitting the bound the current
-/// (sound-if-monotone-joined) states are returned as-is.
+/// (sound-if-monotone-joined) states are returned as-is with
+/// `status == FixpointStatus::kBoundExhausted`.
 template <typename State, typename JoinFn, typename TransferFn>
 FixpointResult<State> solve_forward(const Cfg& g, const DomInfo& dom,
                                     State entry, JoinFn join,
@@ -50,7 +61,15 @@ FixpointResult<State> solve_forward(const Cfg& g, const DomInfo& dom,
     queued[b] = 0;
     State out = transfer(b, r.in[b]);
     ++r.transfer_count;
-    if (max_transfers && r.transfer_count >= max_transfers) break;
+    if (max_transfers && r.transfer_count >= max_transfers) {
+      // `out` has not been propagated and the worklist may be non-empty:
+      // this is a truncation, not convergence. (When the bound lands on the
+      // very last transfer the result happens to equal the fixed point, but
+      // the solver cannot know that without the propagation it just skipped,
+      // so it still reports exhaustion — callers fail closed.)
+      r.status = FixpointStatus::kBoundExhausted;
+      break;
+    }
     for (std::int32_t s : g.succs[b]) {
       if (!dom.reachable(s)) continue;
       if (join(r.in[s], out) && !queued[s]) {

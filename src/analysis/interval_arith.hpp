@@ -1,0 +1,125 @@
+// Interval arithmetic over guest int32 values, shared by the bytecode
+// interval solver (intervals.cpp) and the native-register solver inside the
+// static energy-bound pass (wcec.cpp).
+//
+// All transfer functions are *sound over-approximations* of the concrete
+// 32-bit wrap semantics: a result range that escapes int32 collapses to the
+// full int32 range (never to a wrapped narrow interval). Inputs are assumed
+// int32-bounded, so the int64 endpoint arithmetic cannot overflow.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/intervals.hpp"
+
+namespace javelin::analysis::ivops {
+
+inline constexpr std::int64_t kMin32 = Interval::kI32Min;
+inline constexpr std::int64_t kMax32 = Interval::kI32Max;
+
+/// Clamp an int64-computed result to guest int32 wrap semantics: a range
+/// that escapes int32 may wrap anywhere, so it collapses to top. `fits`
+/// (optional) reports whether the exact range fit — the cannot-overflow
+/// lint fact.
+inline Interval wrap32(std::int64_t lo, std::int64_t hi, bool* fits = nullptr) {
+  const bool ok = lo >= kMin32 && hi <= kMax32;
+  if (fits) *fits = ok;
+  return ok ? Interval{lo, hi} : Interval::top();
+}
+
+inline Interval add_iv(Interval a, Interval b, bool* fits = nullptr) {
+  return wrap32(a.lo + b.lo, a.hi + b.hi, fits);
+}
+inline Interval sub_iv(Interval a, Interval b, bool* fits = nullptr) {
+  return wrap32(a.lo - b.hi, a.hi - b.lo, fits);
+}
+inline Interval mul_iv(Interval a, Interval b, bool* fits = nullptr) {
+  const std::int64_t p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                             a.hi * b.hi};
+  return wrap32(*std::min_element(p, p + 4), *std::max_element(p, p + 4),
+                fits);
+}
+inline Interval neg_iv(Interval a, bool* fits = nullptr) {
+  return wrap32(-a.hi, -a.lo, fits);
+}
+
+/// Truncating division; divisor 0 cannot complete normally. For a constant
+/// divisor trunc(x/c) is monotone in x, so endpoint quotients bound it.
+inline Interval div_iv(Interval a, Interval b) {
+  if (b.singleton() && b.lo != 0) {
+    const std::int64_t q1 = a.lo / b.lo, q2 = a.hi / b.lo;
+    return wrap32(std::min(q1, q2), std::max(q1, q2));
+  }
+  if (b.lo >= 1)  // Positive divisor shrinks magnitude toward zero.
+    return {std::min<std::int64_t>(a.lo, 0), std::max<std::int64_t>(a.hi, 0)};
+  return Interval::top();
+}
+inline Interval rem_iv(Interval a, Interval b) {
+  const std::int64_t mag = std::max(std::llabs(b.lo), std::llabs(b.hi));
+  if (mag == 0) return Interval::top();
+  Interval r{-(mag - 1), mag - 1};
+  if (a.lo >= 0) r.lo = 0;
+  if (a.hi <= 0) r.hi = 0;
+  return r;
+}
+inline Interval and_iv(Interval a, Interval b) {
+  if (a.lo >= 0 && b.lo >= 0) return {0, std::min(a.hi, b.hi)};
+  if (a.lo >= 0) return {0, a.hi};
+  if (b.lo >= 0) return {0, b.hi};
+  return Interval::top();
+}
+inline Interval orx_iv(Interval a, Interval b) {
+  if (a.lo < 0 || b.lo < 0) return Interval::top();
+  std::int64_t m = 1;
+  while (m - 1 < std::max(a.hi, b.hi)) m <<= 1;
+  return {0, m - 1};
+}
+
+/// x != v trims only an endpoint (intervals cannot encode holes).
+inline Interval exclude(Interval iv, std::int64_t v) {
+  if (iv.lo == v && iv.hi > v) return {v + 1, iv.hi};
+  if (iv.hi == v && iv.lo < v) return {iv.lo, v - 1};
+  return iv;
+}
+
+/// Widening-with-thresholds landmark set. Jumping a growing bound straight to
+/// +-2^31 is what makes a counter interval wrap in the loop body and destroys
+/// the *other* bound irrecoverably (narrowing walks back one step per pass).
+/// Widening to the next program constant instead (loop bounds, argument
+/// values, array lengths - each with its +-1 neighbours for the off-by-one
+/// shapes `i < n` / `i <= n-1` produce) converges to the exact invariant in
+/// the common counted-loop case. The set is finite, so repeated widenings per
+/// bound still terminate.
+class WidenThresholds {
+ public:
+  void add(std::int64_t v) {
+    for (const std::int64_t d : {v - 1, v, v + 1})
+      if (d > kMin32 && d < kMax32) t_.push_back(d);
+  }
+  void add_interval(Interval iv) {
+    add(iv.lo);
+    add(iv.hi);
+  }
+  void seal() {
+    add(0);
+    std::sort(t_.begin(), t_.end());
+    t_.erase(std::unique(t_.begin(), t_.end()), t_.end());
+  }
+  /// Largest threshold <= lo, else the int32 floor.
+  std::int64_t widen_lo(std::int64_t lo) const {
+    const auto it = std::upper_bound(t_.begin(), t_.end(), lo);
+    return it == t_.begin() ? kMin32 : *std::prev(it);
+  }
+  /// Smallest threshold >= hi, else the int32 ceiling.
+  std::int64_t widen_hi(std::int64_t hi) const {
+    const auto it = std::lower_bound(t_.begin(), t_.end(), hi);
+    return it == t_.end() ? kMax32 : *it;
+  }
+
+ private:
+  std::vector<std::int64_t> t_;
+};
+
+}  // namespace javelin::analysis::ivops

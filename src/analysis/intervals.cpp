@@ -1,0 +1,966 @@
+// Interval abstract interpretation over bytecode (see intervals.hpp).
+//
+// Structure:
+//  * The CFG is *edge-split*: every conditional branch leaves its operands
+//    on the abstract stack, and each outgoing edge gets a synthetic node
+//    whose transfer pops them and applies the branch refinement for that
+//    direction. This keeps refinement inside the shared solve_forward
+//    framework (whose join callback cannot see which edge a state flowed
+//    along) with no stale side channels: a synthetic node refines exactly
+//    the state its one predecessor produced.
+//  * Widening is delayed (kWidenDelay precise joins per in-state, counted in
+//    the state itself) and jumps straight to the int32 clamp; after the
+//    ascending solve converges, kNarrowPasses full descending recomputation
+//    sweeps in RPO recover bounds the widening destroyed — sound because
+//    any descending iterate from a post-fixpoint stays above the least
+//    fixpoint of a monotone transfer.
+//  * Trip counts: for each natural loop, a local slot qualifies as an
+//    induction variable if every store to it inside the loop is the exact
+//    `iload s; iconst c; iadd|isub; istore s` pattern with all steps in one
+//    direction, and some such store's block dominates every back-edge
+//    source (any loop block that dominates all latches is executed by every
+//    completed iteration). The narrowed header interval [a, b] of the slot
+//    then bounds header visits by (b - a) / min|c| + 2, provided the steps
+//    cannot wrap int32 while the value stays in [a, b].
+#include "analysis/intervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/interval_arith.hpp"
+#include "isa/nisa.hpp"
+
+namespace javelin::analysis {
+namespace {
+
+using jvm::Insn;
+using jvm::Op;
+using jvm::TypeKind;
+using namespace ivops;
+
+constexpr std::uint32_t kWidenDelay = 3;
+constexpr int kNarrowPasses = 2;
+
+/// One abstract value: the int view (`iv`), the array-ref view (`len`,
+/// `non_null`), and three relational provenance facts, each killed by any
+/// store to the slot it names:
+///  * from_local  — this value is a copy of local slot s;
+///  * len_of_local — this int equals length(array in local slot s);
+///  * lt_len_of   — this int is proven < length(array in local slot s).
+struct AbsVal {
+  Interval iv = Interval::top();
+  Interval len = Interval::len_top();
+  bool non_null = false;
+  std::int16_t from_local = -1;
+  std::int16_t len_of_local = -1;
+  std::int16_t lt_len_of = -1;
+
+  bool operator==(const AbsVal&) const = default;
+};
+
+/// Lattice element: abstract locals + operand stack. Default-constructed =
+/// bottom (unreachable). `joins` counts joins into this in-state so widening
+/// can be delayed without the join callback knowing the block index.
+struct St {
+  bool reachable = false;
+  std::vector<AbsVal> locals;
+  std::vector<AbsVal> stack;
+  std::uint32_t joins = 0;
+};
+
+bool is_cond(Op op) { return op >= Op::kIfeq && op <= Op::kIfNonNull; }
+int cond_arity(Op op) {
+  return (op >= Op::kIfIcmpEq && op <= Op::kIfIcmpGe) ? 2 : 1;
+}
+
+/// Synthetic edge node: pops the branch operands of `block` and, when the
+/// direction is known, applies the refinement. taken < 0 = unknown edge
+/// (degenerate branch with a single deduplicated successor).
+struct SynEdge {
+  std::int32_t block = 0;
+  std::int8_t taken = -1;
+};
+
+class IntervalSolver {
+ public:
+  IntervalSolver(const jvm::ClassFile& cf, const jvm::MethodInfo& m,
+                 const jvm::SignatureResolver* resolver,
+                 std::span<const ArgFact> args)
+      : cf_(cf), m_(m), resolver_(resolver), args_(args) {}
+
+  MethodIntervals run();
+
+ private:
+  // ---- lattice operations ---------------------------------------------------
+  bool join_val(AbsVal& into, const AbsVal& from, bool widen) {
+    const AbsVal old = into;
+    into.iv = Interval::hull(into.iv, from.iv);
+    into.len = Interval::hull(into.len, from.len);
+    if (widen) {
+      if (into.iv.lo < old.iv.lo) into.iv.lo = thr_.widen_lo(into.iv.lo);
+      if (into.iv.hi > old.iv.hi) into.iv.hi = thr_.widen_hi(into.iv.hi);
+      if (into.len.lo < old.len.lo) into.len.lo = 0;
+      if (into.len.hi > old.len.hi) into.len.hi = thr_.widen_hi(into.len.hi);
+    }
+    into.non_null = into.non_null && from.non_null;
+    if (into.from_local != from.from_local) into.from_local = -1;
+    if (into.len_of_local != from.len_of_local) into.len_of_local = -1;
+    if (into.lt_len_of != from.lt_len_of) into.lt_len_of = -1;
+    return into != old;
+  }
+
+  bool join_st(St& into, const St& from, bool count_joins) {
+    if (!from.reachable) return false;
+    if (!into.reachable) {
+      into = from;
+      into.joins = 0;
+      return true;
+    }
+    if (into.locals.size() != from.locals.size() ||
+        into.stack.size() != from.stack.size()) {
+      poisoned_ = true;  // Verified code has consistent depth at joins.
+      return false;
+    }
+    bool widen = false;
+    if (count_joins) {
+      ++into.joins;
+      widen = into.joins > kWidenDelay;
+    }
+    bool ch = false;
+    for (std::size_t i = 0; i < into.locals.size(); ++i)
+      ch = join_val(into.locals[i], from.locals[i], widen) || ch;
+    for (std::size_t i = 0; i < into.stack.size(); ++i)
+      ch = join_val(into.stack[i], from.stack[i], widen) || ch;
+    return ch;
+  }
+
+  // ---- abstract execution ---------------------------------------------------
+  AbsVal pop(St& s) {
+    if (s.stack.empty()) {
+      poisoned_ = true;
+      return {};
+    }
+    AbsVal v = s.stack.back();
+    s.stack.pop_back();
+    return v;
+  }
+  void push(St& s, AbsVal v) {
+    if (s.stack.size() >= m_.max_stack) {
+      poisoned_ = true;
+      return;
+    }
+    s.stack.push_back(std::move(v));
+  }
+  static AbsVal int_val(Interval iv) {
+    AbsVal v;
+    v.iv = iv;
+    return v;
+  }
+
+  /// Any store to `slot` invalidates every relational fact naming it.
+  void kill_slot(St& s, std::int32_t slot) {
+    auto scrub = [slot](AbsVal& v) {
+      if (v.from_local == slot) v.from_local = -1;
+      if (v.len_of_local == slot) v.len_of_local = -1;
+      if (v.lt_len_of == slot) v.lt_len_of = -1;
+    };
+    for (auto& v : s.locals) scrub(v);
+    for (auto& v : s.stack) scrub(v);
+  }
+
+  /// Raw interval intersection into `t`. An empty result proves the refining
+  /// fact contradicts the flowing state - the current path is infeasible for
+  /// this approximation - so the state drops to bottom. (Interval::meet's
+  /// keep-other fallback must NOT be used for state refinement: it would
+  /// *replace* the value with the contradiction, which then leaks into
+  /// downstream joins where widening makes it permanent. That is how a
+  /// never-stored argument local can end up at top.)
+  void meet_or_kill(St& s, Interval& t, Interval by) {
+    const Interval r{std::max(t.lo, by.lo), std::min(t.hi, by.hi)};
+    if (r.lo > r.hi) {
+      s.reachable = false;
+      return;
+    }
+    t = r;
+  }
+  void refine_local_iv(St& s, std::int16_t slot, Interval iv) {
+    if (slot < 0) return;
+    meet_or_kill(s, s.locals[static_cast<std::size_t>(slot)].iv, iv);
+  }
+  void mark_non_null(St& s, const AbsVal& ref) {
+    if (ref.from_local >= 0)
+      s.locals[static_cast<std::size_t>(ref.from_local)].non_null = true;
+  }
+
+  void sim(St& s, const Insn& I, std::int32_t pc, MethodIntervals* rep);
+  void array_access(St& s, std::int32_t pc, Op op, MethodIntervals* rep);
+  void binop(St& s, const Insn& I, std::int32_t pc, MethodIntervals* rep);
+  void apply_rel(St& s, Op rel, const AbsVal& a, const AbsVal& b);
+  void refine_branch(St& s, Op op, const AbsVal& lhs, const AbsVal& rhs,
+                     bool taken);
+  /// 1 = always taken, 0 = never, -1 = unknown.
+  int eval_cond(Op op, const AbsVal& lhs, const AbsVal& rhs) const;
+
+  St transfer_node(std::int32_t n, const St& in);
+
+  double loop_trips(const NaturalLoop& loop, const DomInfo& dom,
+                    const std::vector<St>& in) const;
+
+  const jvm::ClassFile& cf_;
+  const jvm::MethodInfo& m_;
+  const jvm::SignatureResolver* resolver_;
+  std::span<const ArgFact> args_;
+
+  BytecodeCfg cfg_;
+  Cfg aug_;                  ///< Edge-split graph (blocks first, then edges).
+  std::vector<SynEdge> syn_; ///< Node nblocks+i -> edge descriptor.
+  std::int32_t nblocks_ = 0;
+  WidenThresholds thr_;      ///< Widening landmarks (see interval_arith.hpp).
+  bool poisoned_ = false;
+};
+
+void IntervalSolver::apply_rel(St& s, Op rel, const AbsVal& a,
+                               const AbsVal& b) {
+  // Constraint each operand must satisfy on this edge (not yet intersected
+  // with the operand's own interval).
+  Interval ca = Interval::top(), cb = Interval::top();
+  switch (rel) {
+    case Op::kIfIcmpEq:
+      ca = b.iv;
+      cb = a.iv;
+      break;
+    case Op::kIfIcmpNe:
+      // Holes are unrepresentable; trim endpoints only. x != x (both
+      // singleton, equal) is still an infeasible edge.
+      if (a.iv.singleton() && b.iv.singleton() && a.iv.lo == b.iv.lo) {
+        s.reachable = false;
+        return;
+      }
+      if (b.iv.singleton())
+        refine_local_iv(s, a.from_local, exclude(a.iv, b.iv.lo));
+      if (a.iv.singleton())
+        refine_local_iv(s, b.from_local, exclude(b.iv, a.iv.lo));
+      return;
+    case Op::kIfIcmpLt:
+      ca = {kMin32, b.iv.hi - 1};
+      cb = {a.iv.lo + 1, kMax32};
+      break;
+    case Op::kIfIcmpLe:
+      ca = {kMin32, b.iv.hi};
+      cb = {a.iv.lo, kMax32};
+      break;
+    case Op::kIfIcmpGt:
+      ca = {b.iv.lo + 1, kMax32};
+      cb = {kMin32, a.iv.hi - 1};
+      break;
+    case Op::kIfIcmpGe:
+      ca = {b.iv.lo, kMax32};
+      cb = {kMin32, a.iv.hi};
+      break;
+    default:
+      return;
+  }
+  // Edge infeasible for the current approximation (e.g. a loop-exit test
+  // while the counter is still at its initial value): the state is bottom.
+  // It re-activates on a later ascending pass once the operands have grown.
+  if (std::max(a.iv.lo, ca.lo) > std::min(a.iv.hi, ca.hi) ||
+      std::max(b.iv.lo, cb.lo) > std::min(b.iv.hi, cb.hi)) {
+    s.reachable = false;
+    return;
+  }
+  refine_local_iv(s, a.from_local, ca);
+  refine_local_iv(s, b.from_local, cb);
+  // Relational fact: x < array.length survives as long as neither the index
+  // slot nor the array slot is overwritten (kill_slot enforces both).
+  if (rel == Op::kIfIcmpLt && b.len_of_local >= 0 && a.from_local >= 0)
+    s.locals[static_cast<std::size_t>(a.from_local)].lt_len_of =
+        b.len_of_local;
+  if (rel == Op::kIfIcmpGt && a.len_of_local >= 0 && b.from_local >= 0)
+    s.locals[static_cast<std::size_t>(b.from_local)].lt_len_of =
+        a.len_of_local;
+}
+
+void IntervalSolver::refine_branch(St& s, Op op, const AbsVal& lhs,
+                                   const AbsVal& rhs, bool taken) {
+  if (op == Op::kIfNull) {
+    if (!taken) mark_non_null(s, lhs);
+    return;
+  }
+  if (op == Op::kIfNonNull) {
+    if (taken) mark_non_null(s, lhs);
+    return;
+  }
+  AbsVal r = rhs;
+  Op rel = op;
+  if (op >= Op::kIfeq && op <= Op::kIfge) {  // Compare against constant 0.
+    r = int_val(Interval::constant(0));
+    rel = static_cast<Op>(static_cast<int>(Op::kIfIcmpEq) +
+                          (static_cast<int>(op) - static_cast<int>(Op::kIfeq)));
+  }
+  if (!taken) {
+    switch (rel) {  // Negate the relation for the fallthrough edge.
+      case Op::kIfIcmpEq: rel = Op::kIfIcmpNe; break;
+      case Op::kIfIcmpNe: rel = Op::kIfIcmpEq; break;
+      case Op::kIfIcmpLt: rel = Op::kIfIcmpGe; break;
+      case Op::kIfIcmpGe: rel = Op::kIfIcmpLt; break;
+      case Op::kIfIcmpGt: rel = Op::kIfIcmpLe; break;
+      case Op::kIfIcmpLe: rel = Op::kIfIcmpGt; break;
+      default: break;
+    }
+  }
+  apply_rel(s, rel, lhs, r);
+}
+
+int IntervalSolver::eval_cond(Op op, const AbsVal& lhs,
+                              const AbsVal& rhs) const {
+  if (op == Op::kIfNull) return lhs.non_null ? 0 : -1;
+  if (op == Op::kIfNonNull) return lhs.non_null ? 1 : -1;
+  Interval a = lhs.iv;
+  Interval b = rhs.iv;
+  Op rel = op;
+  if (op >= Op::kIfeq && op <= Op::kIfge) {
+    b = Interval::constant(0);
+    rel = static_cast<Op>(static_cast<int>(Op::kIfIcmpEq) +
+                          (static_cast<int>(op) - static_cast<int>(Op::kIfeq)));
+  }
+  switch (rel) {
+    case Op::kIfIcmpEq:
+      if (a.singleton() && b.singleton() && a.lo == b.lo) return 1;
+      if (a.hi < b.lo || a.lo > b.hi) return 0;
+      return -1;
+    case Op::kIfIcmpNe:
+      if (a.hi < b.lo || a.lo > b.hi) return 1;
+      if (a.singleton() && b.singleton() && a.lo == b.lo) return 0;
+      return -1;
+    case Op::kIfIcmpLt:
+      if (a.hi < b.lo) return 1;
+      if (a.lo >= b.hi) return 0;
+      return -1;
+    case Op::kIfIcmpLe:
+      if (a.hi <= b.lo) return 1;
+      if (a.lo > b.hi) return 0;
+      return -1;
+    case Op::kIfIcmpGt:
+      if (a.lo > b.hi) return 1;
+      if (a.hi <= b.lo) return 0;
+      return -1;
+    case Op::kIfIcmpGe:
+      if (a.lo >= b.hi) return 1;
+      if (a.hi < b.lo) return 0;
+      return -1;
+    default:
+      return -1;
+  }
+}
+
+void IntervalSolver::array_access(St& s, std::int32_t pc, Op op,
+                                  MethodIntervals* rep) {
+  const bool is_store = op == Op::kIastore || op == Op::kDastore ||
+                        op == Op::kBastore || op == Op::kAastore;
+  if (is_store) (void)pop(s);  // value
+  const AbsVal idx = pop(s);
+  const AbsVal ref = pop(s);
+  if (poisoned_) return;
+  if (rep) {
+    const bool rel_ok = idx.lt_len_of >= 0 && ref.from_local == idx.lt_len_of;
+    const bool num_ok = idx.iv.hi < ref.len.lo;
+    if (ref.non_null && idx.iv.lo >= 0 && (rel_ok || num_ok))
+      rep->proven_inbounds[static_cast<std::size_t>(pc)] = 1;
+    if (idx.iv.hi < 0 || idx.iv.lo >= ref.len.hi)
+      rep->oob_facts.push_back({pc});
+  }
+  // Normal completion implies ref != null and 0 <= idx < length(ref).
+  // A contradictory refinement means the access always throws here.
+  if (ref.from_local >= 0) {
+    auto& arr = s.locals[static_cast<std::size_t>(ref.from_local)];
+    arr.non_null = true;
+    meet_or_kill(s, arr.len,
+                 {std::max<std::int64_t>(idx.iv.lo, 0) + 1, kMax32});
+  }
+  if (idx.from_local >= 0) {
+    auto& v = s.locals[static_cast<std::size_t>(idx.from_local)];
+    meet_or_kill(s, v.iv, {0, std::max<std::int64_t>(ref.len.hi - 1, 0)});
+    if (ref.from_local >= 0) v.lt_len_of = ref.from_local;
+  }
+  if (is_store) return;
+  AbsVal out;
+  switch (op) {
+    case Op::kBaload:
+      // Byte elements: [-128, 255] covers both sign- and zero-extension.
+      out.iv = {-128, 255};
+      break;
+    case Op::kIaload:
+      out.iv = Interval::top();
+      break;
+    default:  // kDaload / kAaload: top of their kind.
+      break;
+  }
+  push(s, out);
+}
+
+void IntervalSolver::binop(St& s, const Insn& I, std::int32_t pc,
+                           MethodIntervals* rep) {
+  const AbsVal b = pop(s);
+  const AbsVal a = pop(s);
+  if (poisoned_) return;
+  bool fits = true;
+  bool track_wrap = false;
+  Interval r = Interval::top();
+  switch (I.op) {
+    case Op::kIadd: r = add_iv(a.iv, b.iv, &fits); track_wrap = true; break;
+    case Op::kIsub: r = sub_iv(a.iv, b.iv, &fits); track_wrap = true; break;
+    case Op::kImul: r = mul_iv(a.iv, b.iv, &fits); track_wrap = true; break;
+    case Op::kIdiv:
+      r = div_iv(a.iv, b.iv);
+      if (b.from_local >= 0)  // Completion implies divisor != 0.
+        refine_local_iv(s, b.from_local, exclude(b.iv, 0));
+      break;
+    case Op::kIrem:
+      r = rem_iv(a.iv, b.iv);
+      if (b.from_local >= 0)
+        refine_local_iv(s, b.from_local, exclude(b.iv, 0));
+      break;
+    case Op::kIshl:
+      if (b.iv.singleton() && b.iv.lo >= 0 && b.iv.lo <= 31) {
+        r = mul_iv(a.iv, Interval::constant(std::int64_t{1} << b.iv.lo),
+                   &fits);
+        track_wrap = true;
+      }
+      break;
+    case Op::kIshr:
+      if (b.iv.singleton() && b.iv.lo >= 0 && b.iv.lo <= 31)
+        r = {a.iv.lo >> b.iv.lo, a.iv.hi >> b.iv.lo};
+      break;
+    case Op::kIushr:
+      if (a.iv.lo >= 0 && b.iv.singleton() && b.iv.lo >= 0 && b.iv.lo <= 31)
+        r = {a.iv.lo >> b.iv.lo, a.iv.hi >> b.iv.lo};
+      else if (b.iv.lo >= 1)
+        r = {0, kMax32};
+      break;
+    case Op::kIand: r = and_iv(a.iv, b.iv); break;
+    case Op::kIor:
+    case Op::kIxor: r = orx_iv(a.iv, b.iv); break;
+    default: break;
+  }
+  if (rep && track_wrap && !a.iv.is_top() && !b.iv.is_top()) {
+    if (fits) {
+      rep->wrap_facts.push_back({pc, false});
+    } else {
+      // Calibration: only call a wrap *likely* when both operands are
+      // genuinely narrow (|bound| <= 2^30). Length-derived bounds span
+      // [0, 2^31), where "lo + hi might exceed int32" is structural noise.
+      const std::int64_t lim = std::int64_t{1} << 30;
+      const std::int64_t mag =
+          std::max({std::llabs(a.iv.lo), std::llabs(a.iv.hi),
+                    std::llabs(b.iv.lo), std::llabs(b.iv.hi)});
+      if (mag <= lim) rep->wrap_facts.push_back({pc, true});
+    }
+  }
+  push(s, int_val(r));
+}
+
+void IntervalSolver::sim(St& s, const Insn& I, std::int32_t pc,
+                         MethodIntervals* rep) {
+  switch (I.op) {
+    case Op::kIconst:
+      push(s, int_val(Interval::constant(I.a)));
+      break;
+    case Op::kDconst:
+      push(s, AbsVal{});
+      break;
+    case Op::kAconstNull: {
+      AbsVal v;
+      v.non_null = false;
+      push(s, v);
+      break;
+    }
+    case Op::kIload:
+    case Op::kDload:
+    case Op::kAload: {
+      AbsVal v = s.locals[static_cast<std::size_t>(I.a)];
+      v.from_local = static_cast<std::int16_t>(I.a);
+      push(s, v);
+      break;
+    }
+    case Op::kIstore:
+    case Op::kDstore:
+    case Op::kAstore: {
+      AbsVal v = pop(s);
+      if (poisoned_) break;
+      kill_slot(s, I.a);
+      if (v.from_local == static_cast<std::int16_t>(I.a)) v.from_local = -1;
+      s.locals[static_cast<std::size_t>(I.a)] = v;
+      break;
+    }
+    case Op::kPop:
+      (void)pop(s);
+      break;
+    case Op::kDup: {
+      if (s.stack.empty()) {
+        poisoned_ = true;
+        break;
+      }
+      push(s, s.stack.back());
+      break;
+    }
+    case Op::kIadd: case Op::kIsub: case Op::kImul: case Op::kIdiv:
+    case Op::kIrem: case Op::kIshl: case Op::kIshr: case Op::kIushr:
+    case Op::kIand: case Op::kIor: case Op::kIxor:
+      binop(s, I, pc, rep);
+      break;
+    case Op::kIneg: {
+      const AbsVal a = pop(s);
+      if (poisoned_) break;
+      bool fits = true;
+      const Interval r = neg_iv(a.iv, &fits);
+      if (rep && !a.iv.is_top()) rep->wrap_facts.push_back({pc, !fits});
+      push(s, int_val(r));
+      break;
+    }
+    case Op::kDadd: case Op::kDsub: case Op::kDmul: case Op::kDdiv:
+      (void)pop(s);
+      (void)pop(s);
+      push(s, AbsVal{});
+      break;
+    case Op::kDneg:
+    case Op::kI2d:
+      (void)pop(s);
+      push(s, AbsVal{});
+      break;
+    case Op::kD2i:
+      (void)pop(s);
+      push(s, int_val(Interval::top()));
+      break;
+    case Op::kDcmp:
+      (void)pop(s);
+      (void)pop(s);
+      push(s, int_val({-1, 1}));
+      break;
+    case Op::kGoto:
+      break;
+    case Op::kInvokeStatic:
+    case Op::kInvokeVirtual: {
+      if (resolver_ == nullptr ||
+          static_cast<std::size_t>(I.a) >= cf_.pool.methods.size()) {
+        poisoned_ = true;
+        break;
+      }
+      const jvm::MethodInfo* mi =
+          resolver_->resolve_method(cf_.pool.methods[static_cast<std::size_t>(I.a)]);
+      if (mi == nullptr) {
+        poisoned_ = true;  // Fail closed on unresolved callees.
+        break;
+      }
+      const std::size_t n = mi->num_args();
+      if (s.stack.size() < n) {
+        poisoned_ = true;
+        break;
+      }
+      if (I.op == Op::kInvokeVirtual && n > 0)
+        mark_non_null(s, s.stack[s.stack.size() - n]);
+      s.stack.resize(s.stack.size() - n);
+      if (mi->sig.ret != TypeKind::kVoid) push(s, AbsVal{});
+      break;
+    }
+    case Op::kInvokeIntrinsic: {
+      if (I.a < 0 || I.a >= static_cast<std::int32_t>(isa::Intrinsic::kCount)) {
+        poisoned_ = true;
+        break;
+      }
+      const auto id = static_cast<isa::Intrinsic>(I.a);
+      const int n = isa::intrinsic_fp_args(id) + isa::intrinsic_int_args(id);
+      if (s.stack.size() < static_cast<std::size_t>(n)) {
+        poisoned_ = true;
+        break;
+      }
+      s.stack.resize(s.stack.size() - static_cast<std::size_t>(n));
+      push(s, isa::intrinsic_returns_double(id) ? AbsVal{}
+                                                : int_val(Interval::top()));
+      break;
+    }
+    case Op::kReturn:
+      break;
+    case Op::kIreturn:
+    case Op::kDreturn:
+    case Op::kAreturn:
+      (void)pop(s);
+      break;
+    case Op::kGetField: {
+      const AbsVal ref = pop(s);
+      mark_non_null(s, ref);
+      push(s, AbsVal{});
+      break;
+    }
+    case Op::kPutField: {
+      (void)pop(s);  // value
+      const AbsVal ref = pop(s);
+      mark_non_null(s, ref);
+      break;
+    }
+    case Op::kGetStatic:
+      push(s, AbsVal{});
+      break;
+    case Op::kPutStatic:
+      (void)pop(s);
+      break;
+    case Op::kNew: {
+      AbsVal v;
+      v.non_null = true;
+      push(s, v);
+      break;
+    }
+    case Op::kNewArray: {
+      const AbsVal n = pop(s);
+      if (poisoned_) break;
+      // Negative length throws, so normal completion clamps to >= 0; a
+      // guaranteed-negative length means this path never completes.
+      if (n.iv.hi < 0) {
+        s.reachable = false;
+        break;
+      }
+      const Interval L = n.iv.meet({0, kMax32});
+      if (n.from_local >= 0) refine_local_iv(s, n.from_local, {0, kMax32});
+      if (rep) rep->alloc_len[static_cast<std::size_t>(pc)] = L;
+      AbsVal v;
+      v.non_null = true;
+      v.len = L;
+      push(s, v);
+      break;
+    }
+    case Op::kIaload: case Op::kDaload: case Op::kBaload: case Op::kAaload:
+    case Op::kIastore: case Op::kDastore: case Op::kBastore: case Op::kAastore:
+      array_access(s, pc, I.op, rep);
+      break;
+    case Op::kArrayLength: {
+      const AbsVal ref = pop(s);
+      if (poisoned_) break;
+      mark_non_null(s, ref);
+      AbsVal v;
+      v.iv = ref.len.meet(Interval::len_top());
+      v.len_of_local = ref.from_local;
+      push(s, v);
+      break;
+    }
+    default:
+      // Conditional branches are handled by block/edge transfer, not here.
+      break;
+  }
+}
+
+St IntervalSolver::transfer_node(std::int32_t n, const St& in) {
+  if (!in.reachable) return in;
+  St s = in;
+  if (n >= nblocks_) {
+    const SynEdge& e = syn_[static_cast<std::size_t>(n - nblocks_)];
+    const Insn& I =
+        m_.code[static_cast<std::size_t>(cfg_.blocks[e.block].end - 1)];
+    const int arity = cond_arity(I.op);
+    if (s.stack.size() < static_cast<std::size_t>(arity)) {
+      poisoned_ = true;
+      return s;
+    }
+    AbsVal rhs, lhs;
+    if (arity == 2) {
+      rhs = pop(s);
+      lhs = pop(s);
+    } else {
+      lhs = pop(s);
+    }
+    if (e.taken >= 0) refine_branch(s, I.op, lhs, rhs, e.taken == 1);
+    return s;
+  }
+  const BytecodeBlock& blk = cfg_.blocks[static_cast<std::size_t>(n)];
+  for (std::int32_t pc = blk.begin; pc < blk.end && !poisoned_ && s.reachable;
+       ++pc) {
+    const Insn& I = m_.code[static_cast<std::size_t>(pc)];
+    if (is_cond(I.op) && pc == blk.end - 1) break;  // Operands stay on stack.
+    sim(s, I, pc, nullptr);
+  }
+  return s;
+}
+
+/// Syntactic induction-step recognition: the exact `iload s; iconst c;
+/// iadd|isub; istore s` sequence. Returns the signed step, or nullopt for
+/// any other store shape.
+std::optional<std::int64_t> induction_step(const std::vector<Insn>& code,
+                                           std::int32_t begin,
+                                           std::int32_t pc) {
+  const std::int32_t slot = code[static_cast<std::size_t>(pc)].a;
+  if (pc - begin < 3) return std::nullopt;
+  const Insn& add = code[static_cast<std::size_t>(pc - 1)];
+  const Insn& cst = code[static_cast<std::size_t>(pc - 2)];
+  const Insn& ld = code[static_cast<std::size_t>(pc - 3)];
+  if ((add.op != Op::kIadd && add.op != Op::kIsub) ||
+      cst.op != Op::kIconst || ld.op != Op::kIload || ld.a != slot)
+    return std::nullopt;
+  const std::int64_t step =
+      add.op == Op::kIadd ? std::int64_t{cst.a} : -std::int64_t{cst.a};
+  if (step == 0) return std::nullopt;
+  return step;
+}
+
+double IntervalSolver::loop_trips(const NaturalLoop& loop, const DomInfo& dom,
+                                  const std::vector<St>& in) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Back-edge sources: loop predecessors of the header.
+  std::vector<std::int32_t> latches;
+  for (std::int32_t p : aug_.preds[static_cast<std::size_t>(loop.header)])
+    if (loop.contains(p)) latches.push_back(p);
+  if (latches.empty()) return kInf;
+
+  // Stores per slot across the loop's real blocks.
+  struct SlotStores {
+    std::int32_t slot;
+    std::vector<std::pair<std::int32_t, std::optional<std::int64_t>>> stores;
+  };
+  std::vector<SlotStores> per_slot;
+  auto slot_entry = [&per_slot](std::int32_t slot) -> SlotStores& {
+    for (auto& e : per_slot)
+      if (e.slot == slot) return e;
+    per_slot.push_back({slot, {}});
+    return per_slot.back();
+  };
+  for (std::int32_t b : loop.blocks) {
+    if (b >= nblocks_) continue;
+    const BytecodeBlock& blk = cfg_.blocks[static_cast<std::size_t>(b)];
+    for (std::int32_t pc = blk.begin; pc < blk.end; ++pc) {
+      const Insn& I = m_.code[static_cast<std::size_t>(pc)];
+      if (I.op == Op::kIstore)
+        slot_entry(I.a).stores.emplace_back(b, induction_step(m_.code,
+                                                              blk.begin, pc));
+      else if (I.op == Op::kDstore || I.op == Op::kAstore)
+        slot_entry(I.a).stores.emplace_back(b, std::nullopt);
+    }
+  }
+
+  const St& hs = in[static_cast<std::size_t>(loop.header)];
+  if (!hs.reachable) return kInf;
+
+  double best = kInf;
+  for (const SlotStores& cand : per_slot) {
+    std::int64_t cmin = 0, csum = 0;
+    int sign = 0;
+    bool ok = !cand.stores.empty();
+    for (const auto& [blk, step] : cand.stores) {
+      if (!step) {
+        ok = false;
+        break;
+      }
+      const int s = *step > 0 ? 1 : -1;
+      if (sign == 0) sign = s;
+      if (s != sign) {
+        ok = false;
+        break;
+      }
+      const std::int64_t mag = std::llabs(*step);
+      cmin = cmin == 0 ? mag : std::min(cmin, mag);
+      csum += mag;
+    }
+    if (!ok) continue;
+    // Some store's block must dominate every latch: a loop block dominating
+    // all back-edge sources is executed by every completed iteration.
+    bool dominated = false;
+    for (const auto& [blk, step] : cand.stores) {
+      bool all = true;
+      for (std::int32_t t : latches)
+        if (!dom.dominates(blk, t)) {
+          all = false;
+          break;
+        }
+      if (all) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) continue;
+    if (static_cast<std::size_t>(cand.slot) >= hs.locals.size()) continue;
+    const Interval hv = hs.locals[static_cast<std::size_t>(cand.slot)].iv;
+    // The monotone-advance argument needs the steps to stay wrap-free while
+    // the value is inside [hv.lo, hv.hi]; one iteration may execute several
+    // stepping stores, so bound the excursion by the sum of magnitudes.
+    if (sign > 0 && hv.hi + csum > kMax32) continue;
+    if (sign < 0 && hv.lo - csum < kMin32) continue;
+    const double width = static_cast<double>(hv.hi - hv.lo);
+    best = std::min(best, width / static_cast<double>(cmin) + 2.0);
+  }
+  return best;
+}
+
+MethodIntervals IntervalSolver::run() {
+  MethodIntervals out;
+  out.cfg = build_bytecode_cfg(m_.code);
+  cfg_ = out.cfg;
+  nblocks_ = static_cast<std::int32_t>(cfg_.num_blocks());
+  out.proven_inbounds.assign(m_.code.size(), 0);
+  out.alloc_len.assign(m_.code.size(), Interval::len_top());
+  out.block_count.assign(cfg_.num_blocks(),
+                         std::numeric_limits<double>::infinity());
+  if (m_.code.empty() || nblocks_ == 0) return out;  // Fail closed.
+
+  // ---- edge-split graph -----------------------------------------------------
+  aug_.succs.assign(cfg_.num_blocks(), std::vector<std::int32_t>{});
+  for (std::int32_t b = 0; b < nblocks_; ++b) {
+    const BytecodeBlock& blk = cfg_.blocks[static_cast<std::size_t>(b)];
+    const Insn& last = m_.code[static_cast<std::size_t>(blk.end - 1)];
+    const auto& ss = cfg_.graph.succs[static_cast<std::size_t>(b)];
+    if (!is_cond(last.op)) {
+      aug_.succs[static_cast<std::size_t>(b)] = ss;
+      continue;
+    }
+    for (std::size_t i = 0; i < ss.size(); ++i) {
+      // Successor order is fallthrough first, then target (bytecode_cfg).
+      const std::int8_t taken =
+          ss.size() == 2 ? static_cast<std::int8_t>(i == 1 ? 1 : 0)
+                         : std::int8_t{-1};
+      const auto node = static_cast<std::int32_t>(aug_.succs.size());
+      syn_.push_back({b, taken});
+      aug_.succs[static_cast<std::size_t>(b)].push_back(node);
+      aug_.succs.push_back({ss[i]});
+    }
+  }
+  aug_.compute_preds();
+  const DomInfo dom = compute_dominators(aug_);
+
+  // ---- entry state ----------------------------------------------------------
+  St entry;
+  entry.reachable = true;
+  entry.locals.assign(m_.max_locals, AbsVal{});
+  const std::size_t nargs =
+      std::min<std::size_t>(m_.num_args(), m_.max_locals);
+  for (std::size_t i = 0; i < nargs; ++i) {
+    AbsVal& v = entry.locals[i];
+    const ArgFact fact = i < args_.size() ? args_[i] : ArgFact{};
+    switch (m_.arg_kind(i)) {
+      case TypeKind::kInt:
+      case TypeKind::kByte:
+        v.iv = fact.value.meet(Interval::top());
+        break;
+      case TypeKind::kRef:
+        v.len = fact.array_len.meet(Interval::len_top());
+        v.non_null = fact.non_null;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // ---- widening thresholds --------------------------------------------------
+  // Landmarks: every int constant in the method, plus the caller-supplied
+  // argument values and array lengths (the bounds counted loops run to).
+  for (const Insn& I : m_.code)
+    if (I.op == Op::kIconst) thr_.add(I.a);
+  for (const ArgFact& f : args_) {
+    thr_.add_interval(f.value);
+    thr_.add_interval(f.array_len);
+  }
+  thr_.seal();
+
+  // ---- ascending solve with delayed widening --------------------------------
+  const std::uint64_t max_transfers = 200 * aug_.succs.size() + 1000;
+  auto res = solve_forward<St>(
+      aug_, dom, entry,
+      [this](St& into, const St& from) { return join_st(into, from, true); },
+      [this](std::int32_t b, const St& in) { return transfer_node(b, in); },
+      max_transfers);
+  out.transfers = res.transfer_count;
+  if (res.status != FixpointStatus::kConverged || poisoned_) return out;
+
+  // ---- descending narrowing sweeps ------------------------------------------
+  for (int pass = 0; pass < kNarrowPasses; ++pass) {
+    for (std::int32_t n : dom.rpo) {
+      if (n == 0) continue;
+      St nin;
+      for (std::int32_t p : aug_.preds[static_cast<std::size_t>(n)]) {
+        if (!dom.reachable(p)) continue;
+        join_st(nin, transfer_node(p, res.in[static_cast<std::size_t>(p)]),
+                false);
+      }
+      res.in[static_cast<std::size_t>(n)] = std::move(nin);
+    }
+  }
+  if (poisoned_) return out;
+
+  // ---- reducibility + loop trip bounds --------------------------------------
+  out.reducible = true;
+  for (std::size_t u = 0; u < aug_.succs.size(); ++u) {
+    if (!dom.reachable(static_cast<std::int32_t>(u))) continue;
+    for (std::int32_t v : aug_.succs[u])
+      if (dom.reachable(v) &&
+          dom.rpo_index[static_cast<std::size_t>(v)] <= dom.rpo_index[u] &&
+          !dom.dominates(v, static_cast<std::int32_t>(u)))
+        out.reducible = false;
+  }
+  const std::vector<NaturalLoop> loops = find_natural_loops(aug_, dom);
+  std::vector<double> trips(loops.size());
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    trips[i] = loop_trips(loops[i], dom, res.in);
+  for (std::int32_t b = 0; b < nblocks_; ++b) {
+    if (!dom.reachable(b) ||
+        !res.in[static_cast<std::size_t>(b)].reachable) {
+      out.block_count[static_cast<std::size_t>(b)] = 0.0;
+      continue;
+    }
+    double c = 1.0;
+    if (!out.reducible) {
+      c = std::numeric_limits<double>::infinity();
+    } else {
+      for (std::size_t i = 0; i < loops.size(); ++i)
+        if (loops[i].contains(b)) c *= trips[i];
+    }
+    out.block_count[static_cast<std::size_t>(b)] = c;
+  }
+
+  // ---- reporting walk over the final states ---------------------------------
+  for (std::int32_t b = 0; b < nblocks_; ++b) {
+    const St& fin = res.in[static_cast<std::size_t>(b)];
+    if (!dom.reachable(b) || !fin.reachable) continue;
+    St s = fin;
+    const BytecodeBlock& blk = cfg_.blocks[static_cast<std::size_t>(b)];
+    for (std::int32_t pc = blk.begin;
+         pc < blk.end && !poisoned_ && s.reachable; ++pc) {
+      const Insn& I = m_.code[static_cast<std::size_t>(pc)];
+      if (is_cond(I.op) && pc == blk.end - 1) {
+        const int arity = cond_arity(I.op);
+        if (s.stack.size() < static_cast<std::size_t>(arity)) {
+          poisoned_ = true;
+          break;
+        }
+        AbsVal rhs, lhs;
+        if (arity == 2) {
+          rhs = pop(s);
+          lhs = pop(s);
+        } else {
+          lhs = pop(s);
+        }
+        const int verdict = eval_cond(I.op, lhs, rhs);
+        if (verdict >= 0) out.branch_facts.push_back({pc, verdict == 1});
+        break;
+      }
+      sim(s, I, pc, &out);
+    }
+  }
+  if (poisoned_) {
+    out.proven_inbounds.assign(m_.code.size(), 0);
+    out.branch_facts.clear();
+    out.oob_facts.clear();
+    out.wrap_facts.clear();
+    return out;
+  }
+  out.converged = true;
+  return out;
+}
+
+}  // namespace
+
+MethodIntervals analyze_intervals(const jvm::ClassFile& cf,
+                                  const jvm::MethodInfo& m,
+                                  const jvm::SignatureResolver* resolver,
+                                  std::span<const ArgFact> args) {
+  return IntervalSolver(cf, m, resolver, args).run();
+}
+
+}  // namespace javelin::analysis

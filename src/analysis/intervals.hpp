@@ -1,0 +1,152 @@
+// Abstract-interpretation value-range analysis over verified mini-JVM
+// bytecode: an interval lattice on locals and operand-stack slots, solved on
+// the shared dataflow framework (dataflow.hpp) with delayed widening and
+// descending narrowing sweeps, plus relational array-length facts
+// ("this int is < length(array in local s)") and branch-edge refinement via
+// an edge-split control-flow graph.
+//
+// The analysis answers four kinds of questions, all *guaranteed* (sound for
+// every normally-completing execution; see the soundness note below):
+//  * per-pc bounds proofs: array accesses whose index is proven in
+//    [0, length) — consumed by the JIT's Level-3 range-BCE;
+//  * per-pc branch feasibility and arithmetic wrap facts — consumed by
+//    `javelin_lint --bounds`;
+//  * per-pc allocation-length intervals (kNewArray) — consumed by the
+//    static energy-bound pass (wcec.hpp) to bound allocation charges;
+//  * per-block execution-count bounds from loop trip-count inference on
+//    recognized induction variables — the structural half of WCEC.
+//
+// Soundness model: facts describe executions that complete normally. An
+// execution that throws (out-of-bounds, negative array size, div-by-zero)
+// aborts the invocation, so "the access at pc completed" may soundly refine
+// the index to [0, length) *for the program points it dominates* — the same
+// contract the JIT's dominating-access BCE already uses. Arithmetic uses
+// 32-bit wrap semantics: a result interval that escapes int32 collapses to
+// the full int32 range (never to a wrapped narrow interval).
+//
+// Fail-closed rules (mirroring lengths.cpp): if the fixpoint hits the
+// transfer bound (FixpointStatus::kBoundExhausted), the method's stack
+// discipline looks inconsistent, or the CFG is irreducible, `converged` /
+// `reducible` report it and every consumer must treat the method as
+// fact-free (no proofs, unbounded counts).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/bytecode_cfg.hpp"
+#include "jvm/classfile.hpp"
+#include "jvm/verifier.hpp"
+
+namespace javelin::analysis {
+
+/// Closed integer interval [lo, hi] over int64. Guest ints are 32-bit, so
+/// "top" for a value is [kI32Min, kI32Max]; array lengths live in
+/// [0, kI32Max]. int64 arithmetic cannot overflow on int32-bounded inputs.
+struct Interval {
+  static constexpr std::int64_t kI32Min = INT32_MIN;
+  static constexpr std::int64_t kI32Max = INT32_MAX;
+
+  std::int64_t lo = kI32Min;
+  std::int64_t hi = kI32Max;
+
+  static Interval top() { return {kI32Min, kI32Max}; }
+  static Interval constant(std::int64_t c) { return {c, c}; }
+  static Interval len_top() { return {0, kI32Max}; }
+
+  bool is_top() const { return lo == kI32Min && hi == kI32Max; }
+  bool singleton() const { return lo == hi; }
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+
+  /// Hull (lattice join).
+  static Interval hull(Interval a, Interval b) {
+    return {a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+  }
+  /// Intersection clamped to non-empty: an empty intersection keeps `other`.
+  /// Use ONLY to clamp consistent data (e.g. a value into len_top()). State
+  /// refinement along branch edges must NOT use this fallback — an edge that
+  /// is infeasible for the current approximation must drop the state to
+  /// bottom instead (see meet_or_kill in intervals.cpp), or the contradictory
+  /// interval leaks into joins and widening makes it permanent.
+  Interval meet(Interval other) const {
+    Interval r{lo > other.lo ? lo : other.lo, hi < other.hi ? hi : other.hi};
+    if (r.lo > r.hi) return other;
+    return r;
+  }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// One argument's externally-known facts for a root analysis (e.g. the
+/// containment-oracle test knows the exact invocation arguments; the deploy-
+/// time pass knows nothing and passes defaults). Defaults are "no facts".
+struct ArgFact {
+  Interval value = Interval::top();         ///< Int/byte arguments.
+  Interval array_len = Interval::len_top(); ///< Array-ref arguments.
+  bool non_null = false;                    ///< Ref argument known non-null.
+  /// Ref argument known to be an array (enables the native-code length-load
+  /// rule in wcec.cpp, which cannot rely on bytecode typing). Callers must
+  /// set `array_len` only together with this flag.
+  bool is_array = false;
+};
+
+/// Per-pc wrap-arithmetic verdict (only emitted for int arithmetic whose
+/// operands were *bounded* — flagging top operands would flag everything).
+struct WrapFact {
+  std::int32_t pc = 0;
+  bool may_wrap = false;  ///< false = proven cannot overflow int32.
+};
+
+/// Per-pc branch feasibility (only conditional branches with a decided
+/// outcome are listed).
+struct BranchFact {
+  std::int32_t pc = 0;
+  bool always_taken = false;  ///< else never taken.
+};
+
+/// Guaranteed out-of-bounds array access (the index interval lies entirely
+/// outside every possible [0, length) window).
+struct OobFact {
+  std::int32_t pc = 0;
+};
+
+/// Result of one method's interval analysis.
+struct MethodIntervals {
+  /// Fixpoint converged and stack discipline held; when false every other
+  /// field must be ignored (fail closed).
+  bool converged = false;
+  /// All retreating edges are dominated back edges. When false, per-block
+  /// execution counts are meaningless (set to infinity).
+  bool reducible = false;
+
+  BytecodeCfg cfg;  ///< Real-block CFG of the analyzed code.
+
+  /// Per-instruction: 1 = array load/store with index proven in [0, length).
+  std::vector<char> proven_inbounds;
+  /// Per-instruction: for kNewArray, the element-count interval (meaningless
+  /// elsewhere).
+  std::vector<Interval> alloc_len;
+  /// Per real block: upper bound on executions per invocation (trip-count
+  /// products over enclosing loops; +inf when some enclosing loop is
+  /// unbounded or the CFG is irreducible). Unreachable blocks get 0.
+  std::vector<double> block_count;
+
+  std::vector<BranchFact> branch_facts;  ///< pc-sorted.
+  std::vector<OobFact> oob_facts;        ///< pc-sorted.
+  std::vector<WrapFact> wrap_facts;      ///< pc-sorted.
+
+  std::uint64_t transfers = 0;  ///< Deterministic pass effort.
+};
+
+/// Analyze one verified method of `cf`. `resolver` supplies callee
+/// signatures for invoke arity (nullptr, or an unresolvable call site, fails
+/// the analysis closed). `args` supplies per-argument facts for the entry
+/// state (empty span = no facts, every argument starts at top); extra
+/// entries beyond num_args() are ignored.
+MethodIntervals analyze_intervals(const jvm::ClassFile& cf,
+                                  const jvm::MethodInfo& m,
+                                  const jvm::SignatureResolver* resolver,
+                                  std::span<const ArgFact> args = {});
+
+}  // namespace javelin::analysis

@@ -4,6 +4,7 @@
 
 #include "analysis/bytecode_cfg.hpp"
 #include "analysis/cfg.hpp"
+#include "analysis/intervals.hpp"
 #include "jvm/opspec.hpp"
 
 namespace javelin::analysis {
@@ -158,6 +159,48 @@ std::uint64_t lint_method(const jvm::ClassFile& cf, const jvm::MethodInfo& m,
   }
 
   return dom.rpo.size();
+}
+
+std::uint64_t lint_bounds(const jvm::ClassFile& cf, const jvm::MethodInfo& m,
+                          const jvm::SignatureResolver* resolver,
+                          std::vector<Diagnostic>& out, bool verbose) {
+  if (m.code.empty()) return 0;
+  const MethodIntervals mi = analyze_intervals(cf, m, resolver);
+  if (!mi.converged) return mi.transfers;  // Fail closed: never guess.
+
+  auto diag = [&](Severity sev, std::int32_t pc, const char* code,
+                  std::string msg) {
+    out.push_back(Diagnostic{sev, cf.name, m.name, pc, code, std::move(msg)});
+  };
+
+  // The analysis ran with no argument facts, so every verdict below holds
+  // for every possible invocation, not just some witnessed one.
+  for (const BranchFact& f : mi.branch_facts)
+    diag(Severity::kWarning, f.pc,
+         f.always_taken ? "branch-always-true" : "branch-always-false",
+         std::string(jvm::op_name(m.code[static_cast<std::size_t>(f.pc)].op)) +
+             (f.always_taken ? " is taken on every execution; the fall-"
+                               "through edge is dead"
+                             : " is never taken; the branch-target edge is "
+                               "dead"));
+  for (const OobFact& f : mi.oob_facts)
+    diag(Severity::kError, f.pc, "guaranteed-oob",
+         std::string(jvm::op_name(m.code[static_cast<std::size_t>(f.pc)].op)) +
+             " index is provably outside [0, length) on every execution "
+             "reaching it");
+  for (const WrapFact& f : mi.wrap_facts) {
+    if (f.may_wrap)
+      diag(Severity::kWarning, f.pc, "may-wrap",
+           std::string(
+               jvm::op_name(m.code[static_cast<std::size_t>(f.pc)].op)) +
+               " on bounded operands can exceed int32 and wrap");
+    else if (verbose)
+      diag(Severity::kNote, f.pc, "cannot-overflow",
+           std::string(
+               jvm::op_name(m.code[static_cast<std::size_t>(f.pc)].op)) +
+               " result is proven to fit int32 for every input");
+  }
+  return mi.transfers;
 }
 
 void sort_diagnostics(std::vector<Diagnostic>& ds) {

@@ -7,6 +7,19 @@
 //   redundant-load-pair [note]    same local loaded twice in a row (dup?)
 //   pop-of-pure-value   [warning] pop of a value a pure op just produced
 //
+// Interval-backed checks (lint_bounds, `javelin_lint --bounds`), derived
+// from the abstract-interpretation value-range analysis (intervals.hpp)
+// with no argument facts — every verdict holds for *every* input:
+//   branch-always-true  [warning] conditional branch always taken
+//   branch-always-false [warning] conditional branch never taken
+//   guaranteed-oob      [error]   array access index provably outside
+//                                 [0, length) on every execution reaching it
+//   may-wrap            [warning] int arithmetic on bounded operands whose
+//                                 result interval escapes int32
+//   cannot-overflow     [note]    bounded int arithmetic proven to fit int32
+//                                 (suppressed unless `verbose`: the proof is
+//                                 the common case, not a finding)
+//
 // Diagnostics are deterministic and source-ordered: sorted by (class,
 // method, pc, code). The verifier tolerates unreachable code (its abstract
 // interpretation simply never visits it), which is exactly why a separate
@@ -18,6 +31,7 @@
 #include <vector>
 
 #include "jvm/classfile.hpp"
+#include "jvm/verifier.hpp"
 
 namespace javelin::analysis {
 
@@ -41,6 +55,15 @@ std::uint64_t lint_method(const jvm::ClassFile& cf, const jvm::MethodInfo& m,
 
 /// Lint every method of a class; result sorted by (method, pc, code).
 std::vector<Diagnostic> lint_class(const jvm::ClassFile& cf);
+
+/// Interval-backed lint of one method (the `--bounds` checks). `resolver`
+/// supplies callee arities for the underlying interval analysis; a method
+/// whose fixpoint fails closed produces no diagnostics (never guesses).
+/// `verbose` additionally emits the cannot-overflow notes. Appends to
+/// `out`; returns the analysis transfer count (deterministic pass effort).
+std::uint64_t lint_bounds(const jvm::ClassFile& cf, const jvm::MethodInfo& m,
+                          const jvm::SignatureResolver* resolver,
+                          std::vector<Diagnostic>& out, bool verbose = false);
 
 /// Stable ordering: (class, method, pc, code).
 void sort_diagnostics(std::vector<Diagnostic>& ds);

@@ -1,0 +1,1209 @@
+// Static energy-bound analysis (see wcec.hpp for the charging model and
+// soundness contract).
+//
+// Layout: a cost accumulator shared by both tiers; the interpreter-tier
+// model driven by jvm/opspec.hpp and the bytecode interval analysis; a
+// native-register interval solver (same delayed-widening / edge-split /
+// narrowing / trip-count scheme as intervals.cpp, but over the 32 integer
+// registers of the nisa machine); and the memoized interprocedural driver.
+#include "analysis/wcec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/interval_arith.hpp"
+#include "jvm/opspec.hpp"
+#include "jvm/value.hpp"
+#include "jvm/vm.hpp"
+#include "support/error.hpp"
+
+namespace javelin::analysis {
+namespace {
+
+using energy::InstrClass;
+using jvm::Insn;
+using jvm::Op;
+using jvm::TypeKind;
+using isa::NInstr;
+using isa::NOp;
+using namespace ivops;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kWidenDelay = 3;
+constexpr int kNarrowPasses = 2;
+
+/// Best-/worst-case joules of one basic block. Class charges that happen on
+/// every execution land in both; DRAM (worst only: 2 accesses per D-cache
+/// access, 1 per native fetch), allocation-body deltas and callee intervals
+/// split the two sides.
+struct Cost {
+  double best = 0.0;
+  double worst = 0.0;
+
+  void cls(const energy::InstructionEnergyTable& t, InstrClass c, double n) {
+    const double j = n * t.of(c);
+    best += j;
+    worst += j;
+  }
+  void cls_worst(const energy::InstructionEnergyTable& t, InstrClass c,
+                 double n) {
+    worst += n * t.of(c);
+  }
+  void dram_worst(const energy::InstructionEnergyTable& t, double accesses) {
+    worst += accesses * t.main_memory;
+  }
+  void call(const EnergyInterval& e) {
+    best += e.bcec_j;
+    worst += e.wcec_j;
+  }
+  void fail() { worst = kInf; }
+};
+
+/// Shortest entry-to-exit path over non-negative per-block lower bounds: a
+/// true lower bound on any completed execution (which is a walk from the
+/// entry block to an exit block). O(V^2) scan — methods have tens of blocks.
+double best_path(const std::vector<std::vector<std::int32_t>>& succs,
+                 const std::vector<double>& node_cost,
+                 const std::vector<char>& is_exit) {
+  const std::size_t n = succs.size();
+  if (n == 0) return kInf;
+  std::vector<double> dist(n, kInf);
+  std::vector<char> done(n, 0);
+  dist[0] = node_cost[0];
+  for (;;) {
+    std::size_t u = n;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!done[i] && dist[i] < kInf && (u == n || dist[i] < dist[u])) u = i;
+    if (u == n) break;
+    done[u] = 1;
+    for (std::int32_t s : succs[u]) {
+      const auto si = static_cast<std::size_t>(s);
+      const double d = dist[u] + node_cost[si];
+      if (d < dist[si]) dist[si] = d;
+    }
+  }
+  double best = kInf;
+  for (std::size_t i = 0; i < n; ++i)
+    if (is_exit[i]) best = std::min(best, dist[i]);
+  return best;
+}
+
+// ---- native-register interval analysis --------------------------------------
+
+struct NReg {
+  Interval iv = Interval::top();
+  Interval len = Interval::len_top();
+  bool is_array = false;
+  bool non_null = false;
+  /// Value-equality provenance: this register currently holds the same value
+  /// as register `copy_of` (set by `mov`, cleared by any other write to
+  /// either side). Branch refinement applies to the whole equality class -
+  /// codegen compares a *temporary copy* of the loop-carried register, and
+  /// without the class link the refinement would never reach the value that
+  /// actually flows around the backedge.
+  std::int8_t copy_of = -1;
+
+  bool operator==(const NReg&) const = default;
+};
+
+struct NSt {
+  bool reachable = false;
+  std::array<NReg, isa::kNumIntRegs> r{};
+  std::uint32_t joins = 0;
+};
+
+struct NBlock {
+  std::int32_t begin = 0;
+  std::int32_t end = 0;  ///< Half-open instruction range.
+};
+
+bool n_is_cond(NOp op) { return op >= NOp::kBeq && op <= NOp::kBge; }
+bool n_writes_int(const NInstr& I, std::uint8_t* rd) {
+  switch (I.op) {
+    case NOp::kLdw: case NOp::kLdb:
+    case NOp::kAdd: case NOp::kSub: case NOp::kAnd: case NOp::kOr:
+    case NOp::kXor: case NOp::kShl: case NOp::kShr: case NOp::kShru:
+    case NOp::kAddi: case NOp::kAndi: case NOp::kOri: case NOp::kXori:
+    case NOp::kShli: case NOp::kShri: case NOp::kShrui:
+    case NOp::kMovi: case NOp::kMov:
+    case NOp::kMul: case NOp::kDiv: case NOp::kRem:
+    case NOp::kD2i: case NOp::kFcmp:
+    case NOp::kRtNewArr: case NOp::kRtNewObj:
+    case NOp::kIntrI:
+      *rd = I.rd;
+      return true;
+    case NOp::kCall:
+    case NOp::kCallv:
+      *rd = isa::kRetReg;  // Bridge return marshaling may write r1.
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Native CFG + register interval solver + trip counts: the nisa twin of
+/// IntervalSolver. Refinement uses the same edge-split scheme; operands of
+/// native conditionals are *named registers*, so synthetic edge transfers
+/// refine them in place (no operand stack involved).
+class NativeSolver {
+ public:
+  explicit NativeSolver(const isa::NativeProgram& prog) : prog_(prog) {}
+
+  /// False = fixpoint truncated (fail closed for worst-case consumers).
+  bool converged = false;
+  bool reducible = false;
+  std::vector<NBlock> blocks;
+  std::vector<std::vector<std::int32_t>> succs;  ///< Real block graph.
+  std::vector<char> is_exit;        ///< Can leave to "done" (ret / fall off).
+  std::vector<double> block_count;  ///< Per real block; inf when unbounded.
+  std::vector<NSt> in;              ///< Narrowed in-state per real block.
+
+  /// Install the entry-block in-state (argument-register facts) before run().
+  void seed_entry(NSt e) { entry_ = std::move(e); }
+  void run();
+  /// Apply one instruction's transfer to `s` (public so the cost walk can
+  /// replay a block from its in-state while reading intermediate facts).
+  void step(NSt& s, const NInstr& I) const;
+
+ private:
+  struct SynEdge {
+    std::int32_t block = 0;
+    std::int8_t taken = -1;
+  };
+
+  static void wr(NSt& s, std::uint8_t rd, NReg v) {
+    if (rd == 0) return;  // r0 stays hardwired zero.
+    // Registers copying the old rd value are still equal to *each other*:
+    // promote the first to class root and repoint the rest at it.
+    std::int8_t heir = -1;
+    for (std::size_t x = 1; x < s.r.size(); ++x) {
+      if (x == rd || s.r[x].copy_of != static_cast<std::int8_t>(rd)) continue;
+      if (heir < 0) {
+        heir = static_cast<std::int8_t>(x);
+        s.r[x].copy_of = -1;
+      } else {
+        s.r[x].copy_of = heir;
+      }
+    }
+    s.r[rd] = v;
+  }
+  static NReg int_reg(Interval iv) {
+    NReg v;
+    v.iv = iv;
+    return v;
+  }
+
+  bool join_st(NSt& into, const NSt& from, bool count_joins) const;
+  void refine_edge(NSt& s, const NInstr& I, bool taken) const;
+  NSt transfer_node(std::int32_t node, const NSt& st) const;
+  double loop_trips(const NaturalLoop& loop, const DomInfo& dom) const;
+
+  const isa::NativeProgram& prog_;
+  Cfg aug_;
+  std::vector<SynEdge> syn_;
+  std::int32_t nblocks_ = 0;
+  NSt entry_;
+  WidenThresholds thr_;  ///< Widening landmarks (see interval_arith.hpp).
+};
+
+bool NativeSolver::join_st(NSt& into, const NSt& from, bool count_joins) const {
+  if (!from.reachable) return false;
+  if (!into.reachable) {
+    into = from;
+    into.joins = 0;
+    return true;
+  }
+  bool widen = false;
+  if (count_joins) {
+    ++into.joins;
+    widen = into.joins > kWidenDelay;
+  }
+  bool ch = false;
+  for (std::size_t i = 1; i < into.r.size(); ++i) {
+    NReg& a = into.r[i];
+    const NReg& b = from.r[i];
+    const NReg old = a;
+    a.iv = Interval::hull(a.iv, b.iv);
+    a.len = Interval::hull(a.len, b.len);
+    if (widen) {
+      if (a.iv.lo < old.iv.lo) a.iv.lo = thr_.widen_lo(a.iv.lo);
+      if (a.iv.hi > old.iv.hi) a.iv.hi = thr_.widen_hi(a.iv.hi);
+      if (a.len.lo < old.len.lo) a.len.lo = 0;
+      if (a.len.hi > old.len.hi) a.len.hi = thr_.widen_hi(a.len.hi);
+    }
+    a.is_array = a.is_array && b.is_array;
+    a.non_null = a.non_null && b.non_null;
+    if (a.copy_of != b.copy_of) a.copy_of = -1;
+    ch = ch || a != old;
+  }
+  return ch;
+}
+
+void NativeSolver::step(NSt& s, const NInstr& I) const {
+  switch (I.op) {
+    case NOp::kLdw: {
+      NReg out;
+      out.iv = Interval::top();
+      // Array-length load: `ldw rd, [ra + 4]` off a known array base.
+      const NReg& a = s.r[I.ra];
+      if (I.rb == 0 && I.imm == 4 && a.is_array)
+        out.iv = a.len.meet(Interval::len_top());
+      wr(s, I.rd, out);
+      break;
+    }
+    case NOp::kLdb:
+      wr(s, I.rd, int_reg({0, 255}));
+      break;
+    case NOp::kAdd:
+      wr(s, I.rd, int_reg(add_iv(s.r[I.ra].iv, s.r[I.rb].iv)));
+      break;
+    case NOp::kSub:
+      wr(s, I.rd, int_reg(sub_iv(s.r[I.ra].iv, s.r[I.rb].iv)));
+      break;
+    case NOp::kAnd:
+      wr(s, I.rd, int_reg(and_iv(s.r[I.ra].iv, s.r[I.rb].iv)));
+      break;
+    case NOp::kOr:
+    case NOp::kXor:
+      wr(s, I.rd, int_reg(orx_iv(s.r[I.ra].iv, s.r[I.rb].iv)));
+      break;
+    case NOp::kShl: {
+      const Interval b = s.r[I.rb].iv;
+      Interval r = Interval::top();
+      if (b.singleton() && b.lo >= 0 && b.lo <= 31)
+        r = mul_iv(s.r[I.ra].iv, Interval::constant(std::int64_t{1} << b.lo));
+      wr(s, I.rd, int_reg(r));
+      break;
+    }
+    case NOp::kShr: {
+      const Interval a = s.r[I.ra].iv, b = s.r[I.rb].iv;
+      Interval r = Interval::top();
+      if (b.singleton() && b.lo >= 0 && b.lo <= 31)
+        r = {a.lo >> b.lo, a.hi >> b.lo};
+      wr(s, I.rd, int_reg(r));
+      break;
+    }
+    case NOp::kShru: {
+      const Interval a = s.r[I.ra].iv, b = s.r[I.rb].iv;
+      Interval r = Interval::top();
+      if (a.lo >= 0 && b.singleton() && b.lo >= 0 && b.lo <= 31)
+        r = {a.lo >> b.lo, a.hi >> b.lo};
+      else if (b.lo >= 1)
+        r = {0, kMax32};
+      wr(s, I.rd, int_reg(r));
+      break;
+    }
+    case NOp::kAddi:
+      wr(s, I.rd, int_reg(add_iv(s.r[I.ra].iv, Interval::constant(I.imm))));
+      break;
+    case NOp::kAndi:
+      wr(s, I.rd, int_reg(and_iv(s.r[I.ra].iv, Interval::constant(I.imm))));
+      break;
+    case NOp::kOri:
+    case NOp::kXori:
+      wr(s, I.rd, int_reg(orx_iv(s.r[I.ra].iv, Interval::constant(I.imm))));
+      break;
+    case NOp::kShli: {
+      const std::int64_t c = I.imm & 31;
+      wr(s, I.rd, int_reg(mul_iv(s.r[I.ra].iv,
+                                 Interval::constant(std::int64_t{1} << c))));
+      break;
+    }
+    case NOp::kShri: {
+      const Interval a = s.r[I.ra].iv;
+      const std::int64_t c = I.imm & 31;
+      wr(s, I.rd, int_reg({a.lo >> c, a.hi >> c}));
+      break;
+    }
+    case NOp::kShrui: {
+      const Interval a = s.r[I.ra].iv;
+      const std::int64_t c = I.imm & 31;
+      Interval r = Interval::top();
+      if (a.lo >= 0)
+        r = {a.lo >> c, a.hi >> c};
+      else if (c >= 1)
+        r = {0, kMax32};
+      wr(s, I.rd, int_reg(r));
+      break;
+    }
+    case NOp::kMovi:
+      wr(s, I.rd, int_reg(Interval::constant(I.imm)));
+      break;
+    case NOp::kMov: {
+      if (I.rd == I.ra) break;
+      NReg v = s.r[I.ra];
+      // Link rd into ra's equality class, anchoring at ra when ra's root is
+      // the register about to be overwritten.
+      std::int8_t root = v.copy_of >= 0 ? v.copy_of : static_cast<std::int8_t>(I.ra);
+      if (root == static_cast<std::int8_t>(I.rd)) root = static_cast<std::int8_t>(I.ra);
+      v.copy_of = root;
+      wr(s, I.rd, v);
+      break;
+    }
+    case NOp::kMul:
+      wr(s, I.rd, int_reg(mul_iv(s.r[I.ra].iv, s.r[I.rb].iv)));
+      break;
+    case NOp::kDiv:
+      wr(s, I.rd, int_reg(div_iv(s.r[I.ra].iv, s.r[I.rb].iv)));
+      break;
+    case NOp::kRem:
+      wr(s, I.rd, int_reg(rem_iv(s.r[I.ra].iv, s.r[I.rb].iv)));
+      break;
+    case NOp::kD2i:
+      wr(s, I.rd, int_reg(Interval::top()));
+      break;
+    case NOp::kFcmp:
+      wr(s, I.rd, int_reg({-1, 1}));
+      break;
+    case NOp::kCall:
+    case NOp::kCallv:
+      wr(s, isa::kRetReg, NReg{});
+      break;
+    case NOp::kRtNewArr: {
+      // Negative length traps, so normal completion clamps to >= 0; a
+      // guaranteed-negative length means this path never completes.
+      if (s.r[I.ra].iv.hi < 0) {
+        s.reachable = false;
+        break;
+      }
+      if (I.ra != 0) s.r[I.ra].iv = s.r[I.ra].iv.meet({0, kMax32});
+      NReg out;
+      out.is_array = true;
+      out.non_null = true;
+      out.len = s.r[I.ra].iv.meet(Interval::len_top());
+      out.iv = Interval::top();
+      wr(s, I.rd, out);
+      break;
+    }
+    case NOp::kRtNewObj: {
+      NReg out;
+      out.non_null = true;
+      out.iv = Interval::top();
+      wr(s, I.rd, out);
+      break;
+    }
+    case NOp::kIntrI:
+      wr(s, I.rd, int_reg(Interval::top()));
+      break;
+    default:
+      break;  // FP ops, stores, branches, ret, trap, nop: no int-reg effect.
+  }
+}
+
+void NativeSolver::refine_edge(NSt& s, const NInstr& I, bool taken) const {
+  // Effective relation on (R[ra], R[rb]) along this edge.
+  enum Rel { kEq, kNe, kLt, kLe, kGt, kGe } rel;
+  switch (I.op) {
+    case NOp::kBeq: rel = kEq; break;
+    case NOp::kBne: rel = kNe; break;
+    case NOp::kBlt: rel = kLt; break;
+    case NOp::kBle: rel = kLe; break;
+    case NOp::kBgt: rel = kGt; break;
+    case NOp::kBge: rel = kGe; break;
+    default: return;
+  }
+  if (!taken) {
+    switch (rel) {
+      case kEq: rel = kNe; break;
+      case kNe: rel = kEq; break;
+      case kLt: rel = kGe; break;
+      case kGe: rel = kLt; break;
+      case kGt: rel = kLe; break;
+      case kLe: rel = kGt; break;
+    }
+  }
+  const Interval a = s.r[I.ra].iv, b = s.r[I.rb].iv;
+  // Constraint each operand must satisfy on this edge (not yet intersected).
+  Interval ca = Interval::top(), cb = Interval::top();
+  switch (rel) {
+    case kEq: ca = b; cb = a; break;
+    case kNe:
+      // Holes are unrepresentable; trim endpoints only. x != x (both
+      // singleton, equal) is still an infeasible edge.
+      if (a.singleton() && b.singleton() && a.lo == b.lo) {
+        s.reachable = false;
+        return;
+      }
+      if (b.singleton() && I.ra != 0) s.r[I.ra].iv = exclude(a, b.lo);
+      if (a.singleton() && I.rb != 0) s.r[I.rb].iv = exclude(b, a.lo);
+      return;
+    case kLt: ca = {kMin32, b.hi - 1}; cb = {a.lo + 1, kMax32}; break;
+    case kLe: ca = {kMin32, b.hi}; cb = {a.lo, kMax32}; break;
+    case kGt: ca = {b.lo + 1, kMax32}; cb = {kMin32, a.hi - 1}; break;
+    case kGe: ca = {b.lo, kMax32}; cb = {kMin32, a.hi}; break;
+  }
+  // Edge infeasible for the current approximation (a loop-exit test while
+  // the counter is still at its initial value, say): drop to bottom instead
+  // of leaking the contradiction into downstream joins, where widening would
+  // make it permanent. The edge re-activates once the operands have grown.
+  if (std::max(a.lo, ca.lo) > std::min(a.hi, ca.hi) ||
+      std::max(b.lo, cb.lo) > std::min(b.hi, cb.hi)) {
+    s.reachable = false;
+    return;
+  }
+  // A refinement of one register holds for every register proven equal to it
+  // (the codegen shape is `mov tmp, phi; b<cond> tmp, bound`, so the branch
+  // operand is usually a copy and the loop-carried value is a class sibling).
+  // A sibling whose own interval contradicts the constraint is the same
+  // infeasibility in disguise.
+  const auto apply = [&s](std::uint8_t reg, Interval nv) {
+    const std::int8_t root =
+        s.r[reg].copy_of >= 0 ? s.r[reg].copy_of : static_cast<std::int8_t>(reg);
+    for (std::size_t x = 1; x < s.r.size(); ++x) {
+      const std::int8_t rx =
+          s.r[x].copy_of >= 0 ? s.r[x].copy_of : static_cast<std::int8_t>(x);
+      if (rx != root) continue;
+      const Interval r{std::max(s.r[x].iv.lo, nv.lo),
+                       std::min(s.r[x].iv.hi, nv.hi)};
+      if (r.lo > r.hi) {
+        s.reachable = false;
+        return;
+      }
+      s.r[x].iv = r;
+    }
+  };
+  if (I.ra != 0) apply(I.ra, ca);
+  if (s.reachable && I.rb != 0) apply(I.rb, cb);
+}
+
+NSt NativeSolver::transfer_node(std::int32_t node, const NSt& st) const {
+  if (!st.reachable) return st;
+  NSt s = st;
+  if (node >= nblocks_) {
+    const SynEdge& e = syn_[static_cast<std::size_t>(node - nblocks_)];
+    const NInstr& I =
+        prog_.code[static_cast<std::size_t>(blocks[e.block].end - 1)];
+    if (e.taken >= 0) refine_edge(s, I, e.taken == 1);
+    return s;
+  }
+  const NBlock& b = blocks[static_cast<std::size_t>(node)];
+  for (std::int32_t i = b.begin; i < b.end && s.reachable; ++i)
+    step(s, prog_.code[static_cast<std::size_t>(i)]);
+  return s;
+}
+
+double NativeSolver::loop_trips(const NaturalLoop& loop,
+                                const DomInfo& dom) const {
+  std::vector<std::int32_t> latches;
+  for (std::int32_t p : aug_.preds[static_cast<std::size_t>(loop.header)])
+    if (loop.contains(p)) latches.push_back(p);
+  if (latches.empty()) return kInf;
+
+  // Net per-block effect on each register from a symbolic within-block scan:
+  // sym[r] tracks "value of some register at block entry, plus a constant"
+  // through mov / addi / add-with-constant / sub-with-constant chains. At the
+  // block end a register is untouched (sym == itself + 0), stepped (itself +
+  // c with c != 0), or clobbered (anything else). Classifying the *net*
+  // effect is what sees through the JIT's `mov tmp, phi; add tmp, tmp, step;
+  // mov phi, tmp` round trip: a per-instruction rule never fires on this
+  // codegen because the loop-carried register is written by a plain mov.
+  struct Eff {
+    std::int32_t block;
+    std::optional<std::int64_t> step;
+  };
+  struct Sym {
+    std::int8_t base = -1;
+    std::int64_t off = 0;
+  };
+  std::array<std::vector<Eff>, isa::kNumIntRegs> effects;
+  for (std::int32_t bn : loop.blocks) {
+    if (bn >= nblocks_) continue;
+    const NBlock& b = blocks[static_cast<std::size_t>(bn)];
+    NSt s = in[static_cast<std::size_t>(bn)];
+    std::array<Sym, isa::kNumIntRegs> sym;
+    for (std::size_t r = 0; r < sym.size(); ++r)
+      sym[r] = {static_cast<std::int8_t>(r), 0};
+    for (std::int32_t i = b.begin; i < b.end; ++i) {
+      const NInstr& I = prog_.code[static_cast<std::size_t>(i)];
+      std::uint8_t rd = 0;
+      if (n_writes_int(I, &rd) && rd != 0) {
+        Sym ns;  // Clobber unless a derivable copy/offset shape.
+        switch (I.op) {
+          case NOp::kMov:
+            ns = sym[I.ra];
+            break;
+          case NOp::kAddi:
+            if (sym[I.ra].base >= 0) ns = {sym[I.ra].base, sym[I.ra].off + I.imm};
+            break;
+          case NOp::kAdd: {
+            const Interval ca = s.reachable ? s.r[I.ra].iv : Interval::top();
+            const Interval cb = s.reachable ? s.r[I.rb].iv : Interval::top();
+            if (cb.singleton() && sym[I.ra].base >= 0)
+              ns = {sym[I.ra].base, sym[I.ra].off + cb.lo};
+            else if (ca.singleton() && sym[I.rb].base >= 0)
+              ns = {sym[I.rb].base, sym[I.rb].off + ca.lo};
+            break;
+          }
+          case NOp::kSub: {
+            const Interval cb = s.reachable ? s.r[I.rb].iv : Interval::top();
+            if (cb.singleton() && sym[I.ra].base >= 0)
+              ns = {sym[I.ra].base, sym[I.ra].off - cb.lo};
+            break;
+          }
+          default:
+            break;
+        }
+        sym[rd] = ns;
+      }
+      if (s.reachable) step(s, I);
+    }
+    for (std::size_t r = 1; r < sym.size(); ++r) {
+      if (sym[r].base == static_cast<std::int8_t>(r)) {
+        if (sym[r].off != 0) effects[r].push_back({bn, sym[r].off});
+        // Net zero: the block leaves the register's value unchanged.
+      } else {
+        effects[r].push_back({bn, std::nullopt});
+      }
+    }
+  }
+
+  double best = kInf;
+  for (std::size_t reg = 1; reg < effects.size(); ++reg) {
+    const auto& ws = effects[reg];
+    if (ws.empty()) continue;
+    std::int64_t cmin = 0, csum = 0;
+    int sign = 0;
+    bool ok = true;
+    for (const Eff& w : ws) {
+      if (!w.step) {
+        ok = false;
+        break;
+      }
+      const int sg = *w.step > 0 ? 1 : -1;
+      if (sign == 0) sign = sg;
+      if (sg != sign) {
+        ok = false;
+        break;
+      }
+      const std::int64_t mag = std::llabs(*w.step);
+      cmin = cmin == 0 ? mag : std::min(cmin, mag);
+      csum += mag;
+    }
+    if (!ok) continue;
+    bool dominated = false;
+    for (const Eff& w : ws) {
+      bool all = true;
+      for (std::int32_t t : latches)
+        if (!dom.dominates(w.block, t)) {
+          all = false;
+          break;
+        }
+      if (all) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) continue;
+    const NSt& hs = in[static_cast<std::size_t>(loop.header)];
+    if (!hs.reachable) continue;
+    const Interval hv = hs.r[reg].iv;
+    // One iteration may execute several stepping blocks; the monotone-advance
+    // argument needs the whole excursion to stay wrap-free inside [lo, hi].
+    if (sign > 0 && hv.hi + csum > kMax32) continue;
+    if (sign < 0 && hv.lo - csum < kMin32) continue;
+    const double width = static_cast<double>(hv.hi - hv.lo);
+    best = std::min(best, width / static_cast<double>(cmin) + 2.0);
+  }
+  return best;
+}
+
+void NativeSolver::run() {
+  const auto& code = prog_.code;
+  const auto n = static_cast<std::int32_t>(code.size());
+  if (n == 0) return;
+
+  // ---- leaders / blocks -----------------------------------------------------
+  std::vector<char> leader(static_cast<std::size_t>(n), 0);
+  leader[0] = 1;
+  auto mark = [&](std::int32_t t) {
+    if (t >= 0 && t < n) leader[static_cast<std::size_t>(t)] = 1;
+  };
+  for (std::int32_t i = 0; i < n; ++i) {
+    const NInstr& I = code[static_cast<std::size_t>(i)];
+    if (n_is_cond(I.op) || I.op == NOp::kJmp) {
+      mark(I.imm);
+      mark(i + 1);
+    } else if (I.op == NOp::kRet || I.op == NOp::kTrap) {
+      mark(i + 1);
+    }
+  }
+  std::vector<std::int32_t> block_of(static_cast<std::size_t>(n), 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (leader[static_cast<std::size_t>(i)]) blocks.push_back({i, i + 1});
+    blocks.back().end = i + 1;
+    block_of[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(blocks.size()) - 1;
+  }
+  nblocks_ = static_cast<std::int32_t>(blocks.size());
+
+  // ---- successors / exits ---------------------------------------------------
+  succs.assign(blocks.size(), {});
+  is_exit.assign(blocks.size(), 0);
+  auto succ_of = [&](std::int32_t target, std::size_t b) {
+    if (target >= 0 && target < n)
+      succs[b].push_back(block_of[static_cast<std::size_t>(target)]);
+    else
+      is_exit[b] = 1;  // Leaving the code completes the method.
+  };
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const NInstr& last = code[static_cast<std::size_t>(blocks[b].end - 1)];
+    if (n_is_cond(last.op)) {
+      succ_of(blocks[b].end, b);  // Fallthrough first (bytecode_cfg order).
+      if (last.imm != blocks[b].end) succ_of(last.imm, b);
+    } else if (last.op == NOp::kJmp) {
+      succ_of(last.imm, b);
+    } else if (last.op == NOp::kRet) {
+      is_exit[b] = 1;
+    } else if (last.op == NOp::kTrap) {
+      // Abnormal completion: no successors, not an exit.
+    } else {
+      succ_of(blocks[b].end, b);
+    }
+  }
+
+  // ---- edge-split graph -----------------------------------------------------
+  aug_.succs.assign(blocks.size(), std::vector<std::int32_t>{});
+  for (std::int32_t b = 0; b < nblocks_; ++b) {
+    const NInstr& last = code[static_cast<std::size_t>(blocks[b].end - 1)];
+    const auto& ss = succs[static_cast<std::size_t>(b)];
+    if (!n_is_cond(last.op)) {
+      aug_.succs[static_cast<std::size_t>(b)] = ss;
+      continue;
+    }
+    for (std::size_t i = 0; i < ss.size(); ++i) {
+      const std::int8_t taken =
+          ss.size() == 2 ? static_cast<std::int8_t>(i == 1 ? 1 : 0)
+                         : std::int8_t{-1};
+      const auto node = static_cast<std::int32_t>(aug_.succs.size());
+      syn_.push_back({b, taken});
+      aug_.succs[static_cast<std::size_t>(b)].push_back(node);
+      aug_.succs.push_back({ss[i]});
+    }
+  }
+  aug_.compute_preds();
+  const DomInfo dom = compute_dominators(aug_);
+
+  // ---- entry state (set by caller via `in[0]` seeding) ----------------------
+  NSt entry = std::move(entry_);
+  entry.reachable = true;
+  entry.r[0].iv = Interval::constant(0);
+
+  // Widening landmarks: materialized immediates plus the caller-known entry
+  // facts (argument values and array lengths - the bounds counted loops run
+  // to arrive in registers via `mov` chains from these).
+  for (const NInstr& I : code)
+    if (I.op == NOp::kMovi || I.op == NOp::kAddi) thr_.add(I.imm);
+  for (const NReg& r : entry.r) {
+    thr_.add_interval(r.iv);
+    thr_.add_interval(r.len);
+  }
+  thr_.seal();
+
+  const std::uint64_t max_transfers = 200 * aug_.succs.size() + 1000;
+  auto res = solve_forward<NSt>(
+      aug_, dom, entry,
+      [this](NSt& into, const NSt& from) { return join_st(into, from, true); },
+      [this](std::int32_t b, const NSt& st) { return transfer_node(b, st); },
+      max_transfers);
+  if (res.status != FixpointStatus::kConverged) {
+    in.assign(blocks.size(), NSt{});
+    block_count.assign(blocks.size(), kInf);
+    return;
+  }
+
+  for (int pass = 0; pass < kNarrowPasses; ++pass) {
+    for (std::int32_t node : dom.rpo) {
+      if (node == 0) continue;
+      NSt nin;
+      for (std::int32_t p : aug_.preds[static_cast<std::size_t>(node)]) {
+        if (!dom.reachable(p)) continue;
+        join_st(nin, transfer_node(p, res.in[static_cast<std::size_t>(p)]),
+                false);
+      }
+      res.in[static_cast<std::size_t>(node)] = std::move(nin);
+    }
+  }
+  in.assign(res.in.begin(), res.in.begin() + nblocks_);
+
+  reducible = true;
+  for (std::size_t u = 0; u < aug_.succs.size(); ++u) {
+    if (!dom.reachable(static_cast<std::int32_t>(u))) continue;
+    for (std::int32_t v : aug_.succs[u])
+      if (dom.reachable(v) &&
+          dom.rpo_index[static_cast<std::size_t>(v)] <= dom.rpo_index[u] &&
+          !dom.dominates(v, static_cast<std::int32_t>(u)))
+        reducible = false;
+  }
+  const std::vector<NaturalLoop> loops = find_natural_loops(aug_, dom);
+  std::vector<double> trips(loops.size());
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    trips[i] = loop_trips(loops[i], dom);
+  block_count.assign(blocks.size(), kInf);
+  for (std::int32_t b = 0; b < nblocks_; ++b) {
+    if (!dom.reachable(b) || !in[static_cast<std::size_t>(b)].reachable) {
+      block_count[static_cast<std::size_t>(b)] = 0.0;
+      continue;
+    }
+    double c = 1.0;
+    if (!reducible) {
+      c = kInf;
+    } else {
+      for (std::size_t i = 0; i < loops.size(); ++i)
+        if (loops[i].contains(b)) c *= trips[i];
+    }
+    block_count[static_cast<std::size_t>(b)] = c;
+  }
+  converged = true;
+}
+
+}  // namespace
+
+WcecAnalysis::WcecAnalysis(std::vector<const jvm::ClassFile*> classes,
+                           const energy::InstructionEnergyTable& table)
+    : classes_(std::move(classes)), table_(table) {
+  for (const jvm::ClassFile* cf : classes_) {
+    resolver_.add(cf);
+    for (const jvm::MethodInfo& m : cf->methods) {
+      by_mi_.emplace(&m, methods_.size());
+      methods_.push_back({cf, &m});
+    }
+  }
+  // Replicate Jvm::layout_class: superclass fields first, each field aligned
+  // to its width, total rounded up to 8.
+  for (const jvm::ClassFile* cf : classes_) (void)obj_size_of(cf->name);
+}
+
+std::uint32_t WcecAnalysis::obj_size_of(const std::string& cls) const {
+  auto& cache = const_cast<WcecAnalysis*>(this)->obj_size_;
+  const auto it = cache.find(cls);
+  if (it != cache.end()) return it->second;
+  const jvm::ClassFile* cf = resolver_.resolve_class(cls);
+  if (cf == nullptr) return 0;
+  std::uint32_t offset = jvm::kObjHeaderBytes;
+  if (!cf->super_name.empty()) {
+    const std::uint32_t super = obj_size_of(cf->super_name);
+    if (super == 0) return 0;  // Unresolved superclass: fail closed.
+    offset = super;
+  }
+  for (const jvm::FieldInfo& fi : cf->fields) {
+    if (fi.is_static) continue;
+    const std::uint32_t w = jvm::type_width(fi.kind);
+    offset = (offset + w - 1) & ~(w - 1);
+    offset += w;
+  }
+  const std::uint32_t size = (offset + 7u) & ~7u;
+  cache.emplace(cls, size);
+  return size;
+}
+
+const WcecAnalysis::MethodCtx* WcecAnalysis::ctx_of(
+    const jvm::MethodInfo* m) const {
+  const auto it = by_mi_.find(m);
+  return it == by_mi_.end() ? nullptr : &methods_[it->second];
+}
+
+void WcecAnalysis::bind_method(std::int32_t method_id,
+                               const jvm::MethodInfo* m) {
+  by_id_[method_id] = m;
+}
+
+void WcecAnalysis::set_native(int tier, const jvm::MethodInfo* m,
+                              const isa::NativeProgram* prog) {
+  if (tier < 1 || tier >= kNumTiers)
+    throw Error("wcec: native code binds to tiers 1..3");
+  native_[tier][m] = prog;
+  memo_.clear();  // Configuration changed; summaries are stale.
+}
+
+EnergyInterval WcecAnalysis::bounds(std::string_view cls,
+                                    std::string_view method, int tier,
+                                    std::span<const ArgFact> args) {
+  const jvm::MethodRef ref{std::string(cls), std::string(method)};
+  const jvm::MethodInfo* m = resolver_.resolve_method(ref);
+  if (m == nullptr) return {};
+  return bounds(m, tier, args);
+}
+
+EnergyInterval WcecAnalysis::bounds(const jvm::MethodInfo* m, int tier,
+                                    std::span<const ArgFact> args) {
+  if (tier < 0 || tier >= kNumTiers) return {};
+  if (args.empty()) return summary(m, tier);
+  // Root query with argument facts: computed fresh (not memoized), callees
+  // still resolve through the unconditioned memoized summaries.
+  const auto key = std::make_pair(m, tier);
+  if (on_stack_.count(key)) return {0.0, kInf};
+  on_stack_.emplace(key, 1);
+  const EnergyInterval r = compute(m, tier, args);
+  on_stack_.erase(key);
+  return r;
+}
+
+EnergyInterval WcecAnalysis::summary(const jvm::MethodInfo* m, int tier) {
+  const auto key = std::make_pair(m, tier);
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  if (on_stack_.count(key)) return {0.0, kInf};  // Recursion: fail closed.
+  on_stack_.emplace(key, 1);
+  const EnergyInterval r = compute(m, tier, {});
+  on_stack_.erase(key);
+  memo_.emplace(key, r);
+  return r;
+}
+
+EnergyInterval WcecAnalysis::compute(const jvm::MethodInfo* m, int tier,
+                                     std::span<const ArgFact> args) {
+  const MethodCtx* c = ctx_of(m);
+  if (c == nullptr) return {0.0, kInf};
+  if (tier >= 1) {
+    const auto it = native_[tier].find(m);
+    if (it != native_[tier].end() && it->second != nullptr)
+      return native_bounds(*c, tier, *it->second, args);
+  }
+  return interp_bounds(*c, tier, args);
+}
+
+EnergyInterval WcecAnalysis::call_bounds(const jvm::MethodInfo* callee,
+                                         int tier) {
+  if (callee == nullptr) return {0.0, kInf};
+  return summary(callee, tier);
+}
+
+EnergyInterval WcecAnalysis::virtual_bounds(const std::string& name,
+                                            int tier) {
+  // Superset of the dynamic-dispatch set: every non-static method with this
+  // name in any loaded class (overriding preserves the name).
+  EnergyInterval out{kInf, 0.0};
+  bool any = false;
+  for (const MethodCtx& c : methods_) {
+    if (c.mi->is_static || c.mi->name != name) continue;
+    const EnergyInterval e = summary(c.mi, tier);
+    out.bcec_j = std::min(out.bcec_j, e.bcec_j);
+    out.wcec_j = std::max(out.wcec_j, e.wcec_j);
+    any = true;
+  }
+  if (!any) return {0.0, kInf};
+  return out;
+}
+
+EnergyInterval WcecAnalysis::interp_bounds(const MethodCtx& c, int tier,
+                                           std::span<const ArgFact> args) {
+  const jvm::MethodInfo& m = *c.mi;
+  if (m.code.empty()) return {0.0, kInf};
+
+  // Interval facts: the memoized unconditioned run for summaries, a fresh
+  // run when root argument facts are present.
+  const MethodIntervals* mi;
+  MethodIntervals fresh;
+  if (args.empty()) {
+    auto it = intervals_.find(&m);
+    if (it == intervals_.end())
+      it = intervals_
+               .emplace(&m, analyze_intervals(*c.cf, m, &resolver_, {}))
+               .first;
+    mi = &it->second;
+  } else {
+    fresh = analyze_intervals(*c.cf, m, &resolver_, args);
+    mi = &fresh;
+  }
+
+  const auto& spec = jvm::opspec::kTable;
+  std::vector<Cost> cost(mi->cfg.num_blocks());
+  std::vector<char> exits(mi->cfg.num_blocks(), 0);
+  for (std::size_t b = 0; b < mi->cfg.num_blocks(); ++b) {
+    Cost& k = cost[b];
+    double ldst = 0.0;  // kLoad+kStore charges: bounds D-cache accesses.
+    const BytecodeBlock& blk = mi->cfg.blocks[b];
+    for (std::int32_t pc = blk.begin; pc < blk.end; ++pc) {
+      const Insn& I = m.code[static_cast<std::size_t>(pc)];
+      const auto& sp = spec[static_cast<std::size_t>(I.op)];
+      // Fetch/decode/dispatch triple, charged for every bytecode.
+      k.cls(table_, InstrClass::kLoad, 1);
+      k.cls(table_, InstrClass::kAluSimple, 1);
+      k.cls(table_, InstrClass::kBranch, 1);
+      ldst += 1;
+      // Context-free semantic charges from the opspec table.
+      k.cls(table_, InstrClass::kLoad, sp.cost.loads);
+      k.cls(table_, InstrClass::kStore, sp.cost.stores);
+      k.cls(table_, InstrClass::kBranch, sp.cost.branches);
+      k.cls(table_, InstrClass::kAluSimple, sp.cost.alu_simple);
+      k.cls(table_, InstrClass::kAluComplex, sp.cost.alu_complex);
+      ldst += sp.cost.loads + sp.cost.stores;
+      switch (I.op) {
+        case Op::kInvokeStatic:
+        case Op::kInvokeVirtual: {
+          if (static_cast<std::size_t>(I.a) >= c.cf->pool.methods.size()) {
+            k.fail();
+            break;
+          }
+          const jvm::MethodRef& ref =
+              c.cf->pool.methods[static_cast<std::size_t>(I.a)];
+          const jvm::MethodInfo* callee = resolver_.resolve_method(ref);
+          if (callee == nullptr) {
+            k.fail();
+            break;
+          }
+          const double nargs = static_cast<double>(callee->num_args());
+          k.cls(table_, InstrClass::kLoad, nargs);  // Argument pops.
+          k.cls(table_, InstrClass::kBranch, 1);
+          ldst += nargs;
+          if (callee->sig.ret != TypeKind::kVoid) {
+            k.cls(table_, InstrClass::kStore, 1);  // Result push.
+            ldst += 1;
+          }
+          if (I.op == Op::kInvokeVirtual) {
+            // Receiver-header load + dispatch-table loads.
+            k.cls(table_, InstrClass::kLoad, 2);
+            ldst += 2;
+            k.call(virtual_bounds(ref.method_name, tier));
+          } else {
+            k.call(call_bounds(callee, tier));
+          }
+          break;
+        }
+        case Op::kInvokeIntrinsic: {
+          if (I.a < 0 ||
+              I.a >= static_cast<std::int32_t>(isa::Intrinsic::kCount)) {
+            k.fail();
+            break;
+          }
+          const auto id = static_cast<isa::Intrinsic>(I.a);
+          const double nargs = static_cast<double>(
+              isa::intrinsic_fp_args(id) + isa::intrinsic_int_args(id));
+          k.cls(table_, InstrClass::kLoad, nargs);
+          k.cls(table_, InstrClass::kStore, 1);
+          ldst += nargs + 1;
+          k.cls(table_, InstrClass::kAluComplex,
+                static_cast<double>(isa::intrinsic_cost(id)));
+          break;
+        }
+        case Op::kNew: {
+          if (static_cast<std::size_t>(I.a) >= c.cf->pool.classes.size()) {
+            k.fail();
+            break;
+          }
+          const std::uint32_t sz =
+              obj_size_of(c.cf->pool.classes[static_cast<std::size_t>(I.a)]);
+          if (sz == 0) {
+            k.fail();
+            break;
+          }
+          const double body = (sz - jvm::kObjHeaderBytes) / 8.0;
+          k.cls(table_, InstrClass::kAluSimple, 6);
+          k.cls(table_, InstrClass::kStore, 1 + body);
+          ldst += 1 + body;
+          break;
+        }
+        case Op::kNewArray: {
+          const auto kind = static_cast<TypeKind>(I.a);
+          if (kind != TypeKind::kInt && kind != TypeKind::kDouble &&
+              kind != TypeKind::kRef && kind != TypeKind::kByte) {
+            k.fail();
+            break;
+          }
+          const double w = jvm::type_width(kind);
+          // Negative lengths throw, so normal completion implies len >= 0.
+          const Interval L =
+              (mi->converged ? mi->alloc_len[static_cast<std::size_t>(pc)]
+                             : Interval::len_top())
+                  .meet(Interval::len_top());
+          const double lo_body =
+              std::ceil(static_cast<double>(L.lo) * w / 8.0);
+          const double hi_body =
+              std::ceil(static_cast<double>(L.hi) * w / 8.0);
+          k.cls(table_, InstrClass::kAluSimple, 6);
+          k.cls(table_, InstrClass::kStore, 2 + lo_body);
+          k.cls_worst(table_, InstrClass::kStore, hi_body - lo_body);
+          ldst += 2 + hi_body;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // Worst-case DRAM: the interpreter performs at most one D-cache access
+    // per load/store class charge; each access is at most a miss fill plus
+    // a dirty-line writeback.
+    k.dram_worst(table_, 2.0 * ldst);
+    const Op term = m.code[static_cast<std::size_t>(blk.end - 1)].op;
+    exits[b] = term >= Op::kReturn && term <= Op::kAreturn;
+  }
+
+  // Entry: one charged local-store (plus D-cache access) per argument spill.
+  const double nargs = static_cast<double>(m.num_args());
+  Cost entry;
+  entry.cls(table_, InstrClass::kStore, nargs);
+  entry.dram_worst(table_, 2.0 * nargs);
+
+  EnergyInterval out;
+  std::vector<double> best_cost(cost.size());
+  for (std::size_t b = 0; b < cost.size(); ++b) best_cost[b] = cost[b].best;
+  out.bcec_j =
+      entry.best + best_path(mi->cfg.graph.succs, best_cost, exits);
+
+  if (!mi->converged || !mi->reducible) {
+    out.wcec_j = kInf;
+    return out;
+  }
+  double worst = entry.worst;
+  for (std::size_t b = 0; b < cost.size(); ++b) {
+    const double count = mi->block_count[b];
+    if (count <= 0.0) continue;
+    worst += count * cost[b].worst;
+  }
+  out.wcec_j = worst;
+  return out;
+}
+
+EnergyInterval WcecAnalysis::native_bounds(const MethodCtx& c, int tier,
+                                           const isa::NativeProgram& prog,
+                                           std::span<const ArgFact> args) {
+  const jvm::MethodInfo& m = *c.mi;
+  if (prog.code.empty()) return {0.0, kInf};
+
+  NativeSolver ns(prog);
+  // Entry registers: int/ref arguments fill r1.. in marshal order; known
+  // facts come from the caller (root queries only).
+  {
+    NSt entry;
+    std::uint8_t next_int = isa::kFirstArgReg;
+    for (std::size_t i = 0; i < m.num_args(); ++i) {
+      const ArgFact fact = i < args.size() ? args[i] : ArgFact{};
+      switch (m.arg_kind(i)) {
+        case TypeKind::kDouble:
+          break;  // FP argument registers are untracked.
+        case TypeKind::kRef: {
+          if (next_int >= isa::kNumIntRegs) break;
+          NReg& r = entry.r[next_int++];
+          r.non_null = fact.non_null;
+          r.is_array = fact.is_array;
+          if (fact.is_array) r.len = fact.array_len.meet(Interval::len_top());
+          break;
+        }
+        default: {
+          if (next_int >= isa::kNumIntRegs) break;
+          entry.r[next_int++].iv = fact.value.meet(Interval::top());
+          break;
+        }
+      }
+    }
+    ns.seed_entry(std::move(entry));
+  }
+  ns.run();
+
+  std::vector<Cost> cost(ns.blocks.size());
+  for (std::size_t b = 0; b < ns.blocks.size(); ++b) {
+    Cost& k = cost[b];
+    // Replay the block from its narrowed in-state so allocation lengths see
+    // the register facts at the allocation site. Without a converged solve
+    // the state stays top (sound: best case uses interval lows).
+    NSt s = ns.converged ? ns.in[b] : NSt{};
+    for (std::int32_t i = ns.blocks[b].begin; i < ns.blocks[b].end; ++i) {
+      const NInstr& I = prog.code[static_cast<std::size_t>(i)];
+      k.cls(table_, isa::instr_class_of(I.op), 1);
+      k.dram_worst(table_, 1.0);  // Fetch: I-cache lines are never dirty.
+      switch (I.op) {
+        case NOp::kLdw: case NOp::kLdb: case NOp::kLdd:
+        case NOp::kStw: case NOp::kStb: case NOp::kStd:
+          k.dram_worst(table_, 2.0);  // One D-cache access.
+          break;
+        case NOp::kCall: {
+          const auto it = by_id_.find(I.imm);
+          if (it == by_id_.end()) {
+            k.fail();
+            break;
+          }
+          k.call(call_bounds(it->second, tier));
+          break;
+        }
+        case NOp::kCallv: {
+          // Bridge dispatch: receiver-header load + two table loads.
+          k.cls(table_, InstrClass::kLoad, 2);
+          k.dram_worst(table_, 2.0);
+          const auto it = by_id_.find(I.imm);
+          if (it == by_id_.end()) {
+            k.fail();
+            break;
+          }
+          k.call(virtual_bounds(it->second->name, tier));
+          break;
+        }
+        case NOp::kIntrI:
+        case NOp::kIntrD: {
+          const auto id = static_cast<isa::Intrinsic>(I.imm);
+          if (I.imm < 0 ||
+              I.imm >= static_cast<std::int32_t>(isa::Intrinsic::kCount)) {
+            k.fail();
+            break;
+          }
+          k.cls(table_, InstrClass::kAluComplex,
+                static_cast<double>(isa::intrinsic_cost(id)) - 1.0);
+          break;
+        }
+        case NOp::kRtNewArr: {
+          const auto kind = static_cast<TypeKind>(I.imm);
+          if (kind != TypeKind::kInt && kind != TypeKind::kDouble &&
+              kind != TypeKind::kRef && kind != TypeKind::kByte) {
+            k.fail();
+            break;
+          }
+          const double w = jvm::type_width(kind);
+          const Interval L =
+              (s.reachable ? s.r[I.ra].iv : Interval::top())
+                  .meet(Interval::len_top());
+          const double lo_body =
+              std::ceil(static_cast<double>(L.lo) * w / 8.0);
+          const double hi_body =
+              std::ceil(static_cast<double>(L.hi) * w / 8.0);
+          k.cls(table_, InstrClass::kAluSimple, 6);
+          k.cls(table_, InstrClass::kStore, 2 + lo_body);
+          k.cls_worst(table_, InstrClass::kStore, hi_body - lo_body);
+          k.dram_worst(table_, 2.0 * (2 + hi_body));
+          break;
+        }
+        case NOp::kRtNewObj: {
+          if (I.imm < 0 ||
+              static_cast<std::size_t>(I.imm) >= classes_.size()) {
+            k.fail();
+            break;
+          }
+          const std::uint32_t sz =
+              obj_size_of(classes_[static_cast<std::size_t>(I.imm)]->name);
+          if (sz == 0) {
+            k.fail();
+            break;
+          }
+          const double body = (sz - jvm::kObjHeaderBytes) / 8.0;
+          k.cls(table_, InstrClass::kAluSimple, 6);
+          k.cls(table_, InstrClass::kStore, 1 + body);
+          k.dram_worst(table_, 2.0 * (1 + body));
+          break;
+        }
+        default:
+          break;
+      }
+      if (s.reachable) ns.step(s, I);
+    }
+  }
+
+  EnergyInterval out;
+  std::vector<double> best_cost(cost.size());
+  for (std::size_t b = 0; b < cost.size(); ++b) best_cost[b] = cost[b].best;
+  out.bcec_j = best_path(ns.succs, best_cost, ns.is_exit);
+
+  if (!ns.converged || !ns.reducible) {
+    out.wcec_j = kInf;
+    return out;
+  }
+  double worst = 0.0;
+  for (std::size_t b = 0; b < cost.size(); ++b) {
+    const double count = ns.block_count[b];
+    if (count <= 0.0) continue;
+    worst += count * cost[b].worst;
+  }
+  out.wcec_j = worst;
+  return out;
+}
+
+}  // namespace javelin::analysis

@@ -1,0 +1,136 @@
+// Guaranteed static energy bounds: a per-method, per-execution-tier energy
+// interval [bcec_j, wcec_j] (best-/worst-case energy consumption) such that
+// every *normally completing* invocation's exact ledger energy lies inside
+// it. The containment-oracle tier-1 test (tests/wcec_oracle_test.cpp)
+// asserts exactly that across the whole app corpus, so the analysis is
+// falsifiable against the simulator's ground truth, not advisory.
+//
+// Charging model (mirrors the execution engines instruction for
+// instruction):
+//  * Interpreter tier: every bytecode costs the fetch/decode/dispatch
+//    triple (opspec::kDispatchCost) plus its StaticOpCost classes from
+//    jvm/opspec.hpp — the same table the interpreter handlers charge.
+//    Context-dependent ops (invokes, intrinsics, allocations) add their
+//    argument pops / result push, the intrinsic's complex-ALU cost, or the
+//    allocation's header+body stores.
+//  * Native tiers: every native instruction costs its instr_class_of class;
+//    memory ops add one D-cache access, the virtual-call bridge adds the
+//    receiver-header load + 2 table-lookup loads, intrinsics their
+//    (cost - 1) extra complex-ALU units, allocations the runtime's
+//    header+body stores.
+//  * DRAM: best case zero (all cache hits). Worst case 2 accesses per
+//    D-cache access (miss fill + dirty-line writeback) and 1 per native
+//    instruction fetch (I-cache lines are never dirty); the interpreter
+//    performs at most one D-cache access per load/store class charge, so
+//    2 x (load + store charges) bounds its DRAM traffic.
+//  * Block counts: the worst case multiplies each basic block's cost by the
+//    loop trip-count product from the interval analysis (intervals.hpp);
+//    the best case is a shortest entry-to-return path (any completed
+//    execution is a walk visiting entry and a return, so the cheapest path
+//    under per-block lower bounds is a true lower bound).
+//
+// Interprocedural rule (mirrors lengths.cpp): callee summaries are memoized
+// per (method, tier) with unconstrained arguments and composed into call
+// sites; virtual calls take the min/max over every same-name non-static
+// method (a superset of the dynamic dispatch set). Fail-closed cases —
+// recursion, unresolved callees, a truncated or poisoned interval fixpoint,
+// irreducible control flow — contribute [0, +inf): the bcec stays a sound
+// (if weak) lower bound and the wcec honestly reports "unbounded".
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/intervals.hpp"
+#include "energy/energy.hpp"
+#include "isa/nisa.hpp"
+#include "jvm/classfile.hpp"
+#include "jvm/verifier.hpp"
+
+namespace javelin::analysis {
+
+/// Guaranteed energy interval for one invocation, in joules. `wcec_j` is
+/// +inf when no finite bound can be proven (fail closed).
+struct EnergyInterval {
+  double bcec_j = 0.0;
+  double wcec_j = std::numeric_limits<double>::infinity();
+
+  bool bounded() const { return std::isfinite(wcec_j); }
+  bool contains(double j) const { return j >= bcec_j && j <= wcec_j; }
+};
+
+/// Static energy-bound analysis over a deployed class set.
+///
+/// Tier 0 models the pure interpreter (every method interpreted). Tiers
+/// 1..3 model a JIT configuration: methods bound to a NativeProgram via
+/// set_native() execute natively, everything else falls back to the
+/// interpreter model — exactly the engine's dispatch rule, so the caller
+/// must bind precisely the methods that are installed at that tier.
+class WcecAnalysis {
+ public:
+  static constexpr int kTierInterp = 0;
+  static constexpr int kNumTiers = 4;  ///< interp + L1..L3.
+
+  WcecAnalysis(std::vector<const jvm::ClassFile*> classes,
+               const energy::InstructionEnergyTable& table);
+
+  /// Bind a Jvm method id (deploy order) to its MethodInfo so native
+  /// kCall/kCallv immediates resolve. Unbound callee ids fail closed.
+  void bind_method(std::int32_t method_id, const jvm::MethodInfo* m);
+
+  /// Declare that at `tier` (1..3) `m` executes `prog`. The program need
+  /// not be installed in simulated memory; only its code is read.
+  void set_native(int tier, const jvm::MethodInfo* m,
+                  const isa::NativeProgram* prog);
+
+  /// Guaranteed energy interval for one invocation of `m` at `tier`.
+  /// `args` refines the root method's entry state only — callee summaries
+  /// always use unconstrained arguments (memoized, fail-closed).
+  EnergyInterval bounds(const jvm::MethodInfo* m, int tier,
+                        std::span<const ArgFact> args = {});
+  /// Lookup by "Class"/"method" name (nullopt-style: fail-closed interval
+  /// when the method does not exist).
+  EnergyInterval bounds(std::string_view cls, std::string_view method,
+                        int tier, std::span<const ArgFact> args = {});
+
+ private:
+  struct MethodCtx {
+    const jvm::ClassFile* cf = nullptr;
+    const jvm::MethodInfo* mi = nullptr;
+  };
+
+  const MethodCtx* ctx_of(const jvm::MethodInfo* m) const;
+  std::uint32_t obj_size_of(const std::string& cls) const;
+
+  EnergyInterval summary(const jvm::MethodInfo* m, int tier);
+  EnergyInterval compute(const jvm::MethodInfo* m, int tier,
+                         std::span<const ArgFact> args);
+  EnergyInterval interp_bounds(const MethodCtx& c, int tier,
+                               std::span<const ArgFact> args);
+  EnergyInterval native_bounds(const MethodCtx& c, int tier,
+                               const isa::NativeProgram& prog,
+                               std::span<const ArgFact> args);
+  EnergyInterval call_bounds(const jvm::MethodInfo* callee, int tier);
+  EnergyInterval virtual_bounds(const std::string& name, int tier);
+
+  std::vector<const jvm::ClassFile*> classes_;
+  energy::InstructionEnergyTable table_;
+  jvm::ClassSetResolver resolver_;
+  std::vector<MethodCtx> methods_;                      ///< All methods.
+  std::map<const jvm::MethodInfo*, std::size_t> by_mi_;
+  std::map<std::string, std::uint32_t> obj_size_;       ///< Replicated layout.
+  std::map<std::int32_t, const jvm::MethodInfo*> by_id_;
+  std::map<const jvm::MethodInfo*, const isa::NativeProgram*>
+      native_[kNumTiers];
+  std::map<std::pair<const jvm::MethodInfo*, int>, EnergyInterval> memo_;
+  std::map<std::pair<const jvm::MethodInfo*, int>, char> on_stack_;
+  std::map<const jvm::MethodInfo*, MethodIntervals> intervals_;
+};
+
+}  // namespace javelin::analysis

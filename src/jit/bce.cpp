@@ -18,6 +18,13 @@
 // reaching the method, so even the *first* access to a parameter array can
 // drop its guards. Fact-elided ops are tagged kGuardProofInterproc; shadow-
 // bounds mode (mem/shadow.hpp) dynamically cross-validates every elision.
+//
+// The overload additionally taking per-bytecode range proofs consumes the
+// interval analysis (analysis/intervals.hpp): an access whose index is
+// proven in [0, length) at its originating bytecode (IInstr::bc_pc) drops
+// guards regardless of vreg def-counts — this catches locally-allocated
+// arrays and loop-bounded indices the other two rules cannot. Tagged
+// kGuardProofRange.
 
 #include <unordered_set>
 
@@ -36,12 +43,21 @@ std::uint64_t pair_key(std::int32_t a, std::int32_t b) {
 }  // namespace
 
 std::size_t bounds_check_elim(Function& f, CompileMeter& meter) {
-  return bounds_check_elim(f, meter, nullptr, nullptr);
+  return bounds_check_elim(f, meter, nullptr, nullptr, nullptr, nullptr);
 }
 
 std::size_t bounds_check_elim(Function& f, CompileMeter& meter,
                               const std::vector<ArrayParamFact>* facts,
                               std::size_t* interproc_elided) {
+  return bounds_check_elim(f, meter, facts, interproc_elided, nullptr,
+                           nullptr);
+}
+
+std::size_t bounds_check_elim(Function& f, CompileMeter& meter,
+                              const std::vector<ArrayParamFact>* facts,
+                              std::size_t* interproc_elided,
+                              const std::vector<std::uint8_t>* range_inbounds,
+                              std::size_t* range_elided) {
   // Single-def vregs only: a redefinition could rebind the name to a
   // different array or index value.
   std::vector<std::int32_t> defs(f.num_vregs(), 0);
@@ -89,6 +105,28 @@ std::size_t bounds_check_elim(Function& f, CompileMeter& meter,
   for (std::int32_t b : a.rpo) {
     for (auto& in : f.blocks[b].instrs) {
       meter.work(2);
+      // Range proofs are per bytecode site, not per vreg pair, so they apply
+      // even to multi-def names the dominating-pair rule must skip. They
+      // cover both guards (non-null base, index in [0, length)) of array
+      // element accesses only — kArrLen/kFld* pcs are never flagged.
+      if (range_inbounds != nullptr &&
+          (in.op == IOp::kArrLoad || in.op == IOp::kArrStore) &&
+          in.bc_pc >= 0 &&
+          static_cast<std::size_t>(in.bc_pc) < range_inbounds->size() &&
+          (*range_inbounds)[static_cast<std::size_t>(in.bc_pc)] != 0) {
+        in.skip_guards = true;
+        in.guard_proof = kGuardProofRange;
+        ++eliminated;
+        if (range_elided != nullptr) ++*range_elided;
+        meter.work(2);
+        // The unguarded access still executes, so when single-def it proves
+        // the pair for dominated successors like a guarded one would.
+        if (defs[in.a] == 1 && defs[in.b] == 1) {
+          proofs.push_back(Proof{pair_key(in.a, in.b), b});
+          proofs.push_back(Proof{pair_key(in.a, -1), b});
+        }
+        continue;
+      }
       std::uint64_t key = 0;
       switch (in.op) {
         case IOp::kArrLoad:

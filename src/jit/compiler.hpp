@@ -99,6 +99,14 @@ struct CompileOptions {
   /// consulted by bounds_check_elim at Level 3. Not owned; must outlive the
   /// compile.
   const std::vector<ArrayParamFact>* param_facts = nullptr;
+  /// Per-bytecode-pc range proofs for this method (index = bytecode pc;
+  /// non-zero = the interval analysis proved the access at that pc has a
+  /// non-null base and an index in [0, length) on every execution), or
+  /// nullptr (the default — compiled code is unchanged). Produced by
+  /// analysis::analyze_intervals (MethodIntervals::proven_inbounds) under
+  /// facts sound for every caller; consulted by bounds_check_elim at Level 3
+  /// via IInstr::bc_pc. Not owned; must outlive the compile.
+  const std::vector<std::uint8_t>* range_inbounds = nullptr;
 };
 
 struct CompileResult {
@@ -110,6 +118,7 @@ struct CompileResult {
   std::size_t ir_instrs_after = 0;
   std::size_t guards_elided = 0;           ///< Total ops with guards skipped.
   std::size_t guards_elided_interproc = 0; ///< ... proven by param facts.
+  std::size_t guards_elided_range = 0;     ///< ... proven by interval ranges.
 };
 
 /// Compile one method. Throws CompileError if the method cannot be compiled.
@@ -172,6 +181,15 @@ std::size_t bounds_check_elim(Function& f, CompileMeter& meter);
 std::size_t bounds_check_elim(Function& f, CompileMeter& meter,
                               const std::vector<ArrayParamFact>* facts,
                               std::size_t* interproc_elided);
+/// As above, additionally consuming per-bytecode-pc range proofs (nullable):
+/// a guarded op whose IInstr::bc_pc is flagged in `range_inbounds` drops its
+/// guards, tagged IInstr::kGuardProofRange and counted in *range_elided when
+/// non-null.
+std::size_t bounds_check_elim(Function& f, CompileMeter& meter,
+                              const std::vector<ArrayParamFact>* facts,
+                              std::size_t* interproc_elided,
+                              const std::vector<std::uint8_t>* range_inbounds,
+                              std::size_t* range_elided);
 }  // namespace passes
 
 }  // namespace javelin::jit

@@ -81,6 +81,9 @@ void inline_one(Function& f, const jvm::Jvm& jvm, const CallSite& site,
     for (IInstr in : cb.instrs) {
       if (has_dest(in.op) && in.d >= 0) in.d = remap(in.d);
       rewrite_uses(in, remap);
+      // Inlined instructions live in the caller's pc space now; their callee
+      // bytecode pcs must not key into the caller's per-pc analysis facts.
+      in.bc_pc = -1;
       if (is_cond_branch(in.op) || in.op == IOp::kJmp) in.imm += block_base;
       if (in.op == IOp::kRet) {
         // return -> (mov result) + jmp cont

@@ -66,6 +66,7 @@ const char* iop_name(IOp op);
 // IInstr::guard_proof values (why bounds_check_elim set skip_guards).
 inline constexpr std::uint8_t kGuardProofDominating = 1;
 inline constexpr std::uint8_t kGuardProofInterproc = 2;
+inline constexpr std::uint8_t kGuardProofRange = 3;
 
 /// True if the instruction produces a value in `d`.
 bool has_dest(IOp op);
@@ -94,8 +95,14 @@ struct IInstr {
   /// Which proof justified skip_guards (diagnostics + the shadow-mode
   /// differential test): 0 = none, kGuardProofDominating = a dominating
   /// access in this function, kGuardProofInterproc = interprocedural
-  /// parameter facts.
+  /// parameter facts, kGuardProofRange = interval analysis proved the index
+  /// in [0, length) at the originating bytecode.
   std::uint8_t guard_proof = 0;
+  /// Originating bytecode pc, or -1 when the instruction has no single
+  /// source bytecode (synthesized by a pass, or inlined from a callee whose
+  /// pc space is different). Keys per-bytecode analysis facts — a range
+  /// proof at bytecode pc covers the guarded op translated from it.
+  std::int32_t bc_pc = -1;
   std::vector<std::int32_t> args;  ///< Call arguments.
 };
 

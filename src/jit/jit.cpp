@@ -38,7 +38,8 @@ CompileResult compile_method(const jvm::Jvm& jvm, std::int32_t method_id,
   }
   if (opts.opt_level >= 3 && opts.bounds_check_elimination) {
     result.guards_elided = passes::bounds_check_elim(
-        f, meter, opts.param_facts, &result.guards_elided_interproc);
+        f, meter, opts.param_facts, &result.guards_elided_interproc,
+        opts.range_inbounds, &result.guards_elided_range);
   }
   result.ir_instrs_after = f.num_instrs();
 

@@ -76,6 +76,7 @@ class Translator {
   IInstr& emit(IOp op) {
     cur_->instrs.push_back(IInstr{});
     cur_->instrs.back().op = op;
+    cur_->instrs.back().bc_pc = cur_bc_;
     meter_.work(1);
     return cur_->instrs.back();
   }
@@ -113,6 +114,7 @@ class Translator {
   std::vector<std::int32_t> stack_;  // vregs
   std::vector<std::optional<std::vector<TypeKind>>> entry_kinds_;
   std::deque<std::int32_t> worklist_;
+  std::int32_t cur_bc_ = -1;  // bytecode pc stamped onto emitted instrs
 };
 
 void Translator::flush_stack(std::initializer_list<std::int32_t*> protect) {
@@ -261,6 +263,7 @@ void Translator::translate_block(std::int32_t block_id) {
   std::size_t pc = block_start_[block_id];
   bool terminated = false;
   while (!terminated) {
+    cur_bc_ = static_cast<std::int32_t>(pc);
     translate_insn(code[pc], pc, block_id, terminated);
     ++pc;
     if (!terminated && (pc >= code.size()))

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "analysis/analyzer.hpp"
@@ -120,6 +121,12 @@ void Client::deploy(const std::vector<jvm::ClassFile>& app) {
   if (cfg_.decision.static_seed) seed_from_analysis();
   length_facts_.clear();
   if (cfg_.decision.interprocedural_bce) seed_length_facts();
+  range_inbounds_.clear();
+  if (cfg_.decision.range_bce) seed_range_facts();
+  wcec_bounds_.clear();
+  wcec_known_.clear();
+  wcec_.reset();
+  if (cfg_.decision.wcec_seed) seed_wcec_bounds();
 }
 
 void Client::seed_from_analysis() {
@@ -167,6 +174,102 @@ void Client::seed_length_facts() {
     }
     if (any) length_facts_[i] = std::move(facts);
   }
+}
+
+void Client::seed_range_facts() {
+  const jvm::Jvm& vm = dev_->vm;
+  std::vector<const jvm::ClassFile*> classes;
+  for (std::size_t c = 0; c < vm.num_classes(); ++c)
+    classes.push_back(&vm.cls(static_cast<std::int32_t>(c)).cf);
+  jvm::ClassSetResolver resolver;
+  for (const jvm::ClassFile* cf : classes) resolver.add(cf);
+  // Entry states are refined by the interprocedural length facts when the
+  // pass completes: "non-null, length >= N across every reaching call site"
+  // becomes an ArgFact with array_len = [N, len_top]. An incomplete pass
+  // contributes no facts (fail closed) — the intervals then prove only what
+  // holds for arbitrary arguments (locally allocated arrays, constant
+  // bounds), which is still sound for every caller.
+  const analysis::LengthAnalysis la = analysis::analyze_lengths(classes);
+  range_inbounds_.assign(vm.num_methods(), {});
+  for (std::size_t i = 0; i < vm.num_methods(); ++i) {
+    const jvm::RtMethod& m = vm.method(static_cast<std::int32_t>(i));
+    std::vector<analysis::ArgFact> facts;
+    if (const analysis::MethodLengthFacts* f =
+            la.incomplete ? nullptr : la.find(m.info);
+        f != nullptr && f->valid()) {
+      facts.resize(f->params.size());
+      for (std::size_t p = 0; p < f->params.size(); ++p) {
+        if (!f->params[p].non_null) continue;
+        facts[p].non_null = true;
+        facts[p].is_array = true;
+        facts[p].array_len = analysis::Interval{f->params[p].min_len,
+                                                analysis::Interval::kI32Max};
+      }
+    }
+    const analysis::MethodIntervals mi = analysis::analyze_intervals(
+        vm.cls(m.class_id).cf, *m.info, &resolver, facts);
+    if (!mi.converged) continue;  // Fail closed: no proofs from a truncated
+                                  // or poisoned fixpoint.
+    bool any = false;
+    for (const char flag : mi.proven_inbounds) any = any || flag != 0;
+    if (any)
+      range_inbounds_[i].assign(mi.proven_inbounds.begin(),
+                                mi.proven_inbounds.end());
+  }
+}
+
+void Client::seed_wcec_bounds() {
+  const jvm::Jvm& vm = dev_->vm;
+  std::vector<const jvm::ClassFile*> classes;
+  for (std::size_t c = 0; c < vm.num_classes(); ++c)
+    classes.push_back(&vm.cls(static_cast<std::int32_t>(c)).cf);
+  wcec_ = std::make_unique<analysis::WcecAnalysis>(std::move(classes),
+                                                   dev_->cfg.energy);
+  for (std::size_t i = 0; i < vm.num_methods(); ++i)
+    wcec_->bind_method(static_cast<std::int32_t>(i),
+                       vm.method(static_cast<std::int32_t>(i)).info);
+  // Intervals are filled lazily: a method with no argument facts has an
+  // unbounded trip count almost everywhere, so the useful interval needs the
+  // exact facts of an actual invocation (see seed_wcec_bound).
+  wcec_bounds_.assign(vm.num_methods(), {});
+  wcec_known_.assign(vm.num_methods(), 0);
+}
+
+void Client::seed_wcec_bound(const jvm::RtMethod& m,
+                             std::span<const jvm::Value> args) {
+  const auto idx = static_cast<std::size_t>(m.id);
+  wcec_known_[idx] = 1;
+  // Exact per-argument facts, mirroring the containment oracle: int values
+  // as singleton intervals, array refs with their exact length, plain
+  // object refs just non-null (the header pad sentinel tells them apart).
+  std::vector<analysis::ArgFact> facts(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const jvm::Value& v = args[i];
+    analysis::ArgFact& f = facts[i];
+    switch (v.kind) {
+      case jvm::TypeKind::kInt:
+        f.value = analysis::Interval::constant(v.i);
+        break;
+      case jvm::TypeKind::kRef: {
+        if (v.ref == mem::kNullAddr) break;
+        f.non_null = true;
+        std::uint8_t buf[4];
+        dev_->arena.copy_out(v.ref + 4, buf, sizeof(buf));
+        std::uint32_t word = 0;
+        std::memcpy(&word, buf, sizeof(word));
+        if (word != jvm::kObjPadSentinel) {
+          f.is_array = true;
+          f.array_len =
+              analysis::Interval::constant(dev_->vm.array_length(v.ref));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  wcec_bounds_[idx] =
+      wcec_->bounds(m.info, analysis::WcecAnalysis::kTierInterp, facts);
 }
 
 void Client::reset_session() {
@@ -297,6 +400,17 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
   auto k = static_cast<double>(st.k);
   if (!static_seed_k_.empty())
     k = std::max(k, static_seed_k_[static_cast<std::size_t>(m.id)]);
+  // WCEC amortization floor (DecisionPolicy::wcec_seed): a method whose
+  // guaranteed worst-case interpreted energy over `seed_invocations` runs
+  // exceeds its L1 compile energy will amortize compilation inside the seed
+  // window even in the worst case — raise the cold-start floor like
+  // static_seed does, but from a proven bound instead of a loop heuristic.
+  const analysis::EnergyInterval* wb =
+      wcec_bounds_.empty() ? nullptr
+                           : &wcec_bounds_[static_cast<std::size_t>(m.id)];
+  if (wb != nullptr && wb->bounded() &&
+      wb->wcec_j * cfg_.decision.seed_invocations >= prof.compile_energy[0])
+    k = std::max(k, cfg_.decision.seed_invocations);
 
   // Expected energies for k further executions.
   const double EI = k * std::max(0.0, prof.local_energy[0].eval(st.ewma_s));
@@ -312,10 +426,18 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
   // The opt-in static offload-safety verdict additionally excludes remote
   // *execution* (not remote compilation — downloading native code serializes
   // no parameters) for methods the analysis proved unsafe to ship.
-  const bool remote_exec_ok =
+  bool remote_exec_ok =
       remote_ok &&
       (static_remote_ok_.empty() ||
        static_remote_ok_[static_cast<std::size_t>(m.id)] != 0);
+  // Interval remote-veto (DecisionPolicy::wcec_seed): the finite WCEC is a
+  // guaranteed per-run ceiling on local interpreted energy; while it
+  // undercuts the per-run remote estimate, the curve-fitted remote
+  // prediction cannot beat a bound that is certain, so kRemote is excluded
+  // from the candidate set exactly like an open breaker.
+  if (remote_exec_ok && wb != nullptr && wb->bounded() &&
+      wb->wcec_j < remote_energy(prof, st.ewma_s, st.ewma_p))
+    remote_exec_ok = false;
 
   // Candidate-cost vector for the kDecide trace event: EI, ER, EL1..EL3,
   // with excluded candidates (open breaker, unsafe offload) marked
@@ -561,6 +683,11 @@ void Client::ensure_compiled(const jvm::RtMethod& m, int level, bool remote,
       if (static_cast<std::size_t>(id) < length_facts_.size() &&
           !length_facts_[static_cast<std::size_t>(id)].empty())
         copts.param_facts = &length_facts_[static_cast<std::size_t>(id)];
+      // Range-BCE facts (opt-in, deploy-time): per-bytecode in-bounds proofs
+      // from the interval analysis.
+      if (static_cast<std::size_t>(id) < range_inbounds_.size() &&
+          !range_inbounds_[static_cast<std::size_t>(id)].empty())
+        copts.range_inbounds = &range_inbounds_[static_cast<std::size_t>(id)];
       auto res =
           jit::compile_method(dev_->vm, id, copts, dev_->cfg.energy, trace_);
       // Charge the compilation work to the client core.
@@ -890,6 +1017,11 @@ jvm::Value Client::run(const std::string& cls, const std::string& method,
     case Strategy::kAdaptiveLocal:
     case Strategy::kAdaptiveAdaptive: {
       const double s = size_param(dev_->vm, *m.info, args);
+      // wcec_seed: first sight of a method computes its guaranteed energy
+      // interval from this invocation's exact argument facts (a deploy-time
+      // analysis has no argument facts and proves almost nothing finite).
+      if (wcec_ != nullptr && wcec_known_[static_cast<std::size_t>(mid)] == 0)
+        seed_wcec_bound(m, args);
       // The decision-making itself is cheap but not free (the paper notes
       // the overheads are "too small to highlight in the graph").
       dev_->core.charge_class(energy::InstrClass::kLoad, 40);

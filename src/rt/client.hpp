@@ -36,6 +36,7 @@
 #include <array>
 #include <span>
 
+#include "analysis/wcec.hpp"
 #include "jit/compiler.hpp"
 #include "net/link.hpp"
 #include "obs/trace.hpp"
@@ -124,6 +125,36 @@ struct DecisionPolicy {
   /// energy and every figure are byte-identical unless enabled. The shadow-
   /// bounds mode (mem/shadow.hpp) dynamically cross-validates every elision.
   bool interprocedural_bce = false;
+  /// Opt-in range-proven bounds-check elimination: at deploy, run the
+  /// interval analysis (analysis/intervals.hpp) per method — entry states
+  /// refined by the array-length-fact pass — and hand each method's
+  /// per-bytecode "index proven in [0, length)" flags to the L3 compiler,
+  /// which drops both guards at those sites (IInstr::kGuardProofRange).
+  /// Catches locally-allocated arrays and loop-bounded indices the
+  /// dominating-access and parameter-fact rules cannot. OFF by default:
+  /// compiled code, energy and every figure are byte-identical unless
+  /// enabled; shadow-bounds mode cross-validates every elision.
+  bool range_bce = false;
+  /// Opt-in bound-aware decision seeding from the guaranteed static energy
+  /// interval [bcec_j, wcec_j] (analysis/wcec.hpp, interpreter tier). The
+  /// analysis is built once at deploy; each method's interval is computed at
+  /// its *first* invocation from the exact argument facts (int values,
+  /// array lengths) — the interval is a guaranteed bound for that seeding
+  /// invocation and a decision heuristic thereafter (the soundness-critical
+  /// consumers — the containment oracle and range-BCE — recompute per use).
+  /// Two effects on decide():
+  ///  * WCEC amortization floor — a cold method whose worst-case interpreted
+  ///    energy over `seed_invocations` runs exceeds its L1 compile energy
+  ///    amortizes compilation over at least `seed_invocations` expected
+  ///    executions (same floor mechanism as `static_seed`, but derived from
+  ///    a guaranteed bound instead of a loop-depth heuristic); and
+  ///  * interval remote-veto — ExecMode::kRemote is excluded while the
+  ///    method's finite WCEC (a guaranteed per-run local ceiling) undercuts
+  ///    the current per-run remote-energy estimate: the curve-fitted
+  ///    prediction cannot beat a bound that is certain.
+  /// OFF by default: decide() never consults the table and every figure is
+  /// byte-identical.
+  bool wcec_seed = false;
 };
 
 struct ClientConfig {
@@ -234,6 +265,22 @@ class Client {
   /// (DecisionPolicy::interprocedural_bce only; never on the default path).
   void seed_length_facts();
 
+  /// Run the interval analysis per method and fill range_inbounds_
+  /// (DecisionPolicy::range_bce only; never on the default path).
+  void seed_range_facts();
+
+  /// Build the static energy-bound analysis over the deployed classes
+  /// (DecisionPolicy::wcec_seed only; never on the default path). Intervals
+  /// themselves are computed lazily per method — see seed_wcec_bound().
+  void seed_wcec_bounds();
+
+  /// Compute and cache `m`'s interpreter-tier energy interval from the
+  /// exact facts of this invocation's arguments (int values as singleton
+  /// intervals, array refs with their exact length). Called once per method,
+  /// on its first invocation (wcec_seed only).
+  void seed_wcec_bound(const jvm::RtMethod& m,
+                       std::span<const jvm::Value> args);
+
   /// Whether the breaker currently admits a remote exchange. Transitions
   /// open -> half-open once the cooldown has elapsed (the admitted exchange
   /// is the probe).
@@ -298,6 +345,18 @@ class Client {
   // BCE knob, indexed by method id. Empty unless interprocedural_bce ran at
   // deploy; like the seed tables, reset_session() keeps them.
   std::vector<std::vector<jit::ArrayParamFact>> length_facts_;
+  // Per-method, per-bytecode-pc "proven in-bounds" flags for the range-BCE
+  // knob, indexed by method id. Empty unless range_bce ran at deploy;
+  // reset_session() keeps them.
+  std::vector<std::vector<std::uint8_t>> range_inbounds_;
+  // Per-method guaranteed interpreter-tier energy intervals for the
+  // wcec_seed knob, indexed by method id; each entry is computed at the
+  // method's first invocation from the exact argument facts (wcec_known_
+  // marks filled entries). Empty unless wcec_seed ran at deploy;
+  // reset_session() keeps them (static facts survive resets).
+  std::vector<analysis::EnergyInterval> wcec_bounds_;
+  std::vector<char> wcec_known_;
+  std::unique_ptr<analysis::WcecAnalysis> wcec_;
   CircuitBreaker breaker_;
   obs::TraceBuffer* trace_ = nullptr;
 };

@@ -4,10 +4,13 @@
 // the analyzer's obs trace events.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "analysis/analyzer.hpp"
 #include "analysis/bytecode_cfg.hpp"
 #include "apps/app.hpp"
 #include "jvm/builder.hpp"
+#include "analysis/intervals.hpp"
 #include "jvm/verifier.hpp"
 
 namespace javelin::analysis {
@@ -375,6 +378,127 @@ TEST(Analyzer, NoBufferMeansNoEvents) {
     EXPECT_EQ(r1[i].diagnostics.size(), r2[i].diagnostics.size());
   }
   EXPECT_EQ(buf.events().size(), r2.size());  // And only the traced one emits.
+}
+
+// ---------------------------------------------------------------------------
+// Interval lattice (analysis/intervals.hpp, DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+TEST(Intervals, LoopBoundsProofFromArgumentFact) {
+  // for (i = 0; i < a.length; ++i) sum += a[i]: the canonical induction
+  // pattern. With an array-length fact the access is proven in-bounds and
+  // the loop body's execution count is bounded by the length's ceiling.
+  jvm::ClassBuilder cb("L");
+  auto& m = cb.method("sum", {{jvm::TypeKind::kRef}, jvm::TypeKind::kInt});
+  auto loop = m.new_label(), done = m.new_label();
+  m.iconst(0).istore("s").iconst(0).istore("i");
+  m.bind(loop);
+  m.iload("i").aload("p0").arraylength().if_icmpge(done);
+  m.iload("s").aload("p0").iload("i").iaload().iadd().istore("s");
+  m.iload("i").iconst(1).iadd().istore("i");
+  m.goto_(loop);
+  m.bind(done);
+  m.iload("s").iret();
+  const jvm::ClassFile cf = cb.build();
+
+  jvm::ClassSetResolver resolver;
+  resolver.add(&cf);
+  ArgFact fact;
+  fact.non_null = true;
+  fact.is_array = true;
+  fact.array_len = Interval{16, 16};
+  const std::vector<ArgFact> args{fact};
+  const MethodIntervals mi =
+      analyze_intervals(cf, cf.methods[0], &resolver, args);
+  ASSERT_TRUE(mi.converged);
+  EXPECT_TRUE(mi.reducible);
+  // The single kIaload is proven; the analysis needs no dominating access
+  // and no caller fact beyond the length.
+  std::int32_t iaload_pc = -1;
+  for (std::size_t pc = 0; pc < cf.methods[0].code.size(); ++pc)
+    if (cf.methods[0].code[pc].op == Op::kIaload)
+      iaload_pc = static_cast<std::int32_t>(pc);
+  ASSERT_GE(iaload_pc, 0);
+  EXPECT_EQ(mi.proven_inbounds[static_cast<std::size_t>(iaload_pc)], 1);
+  // The loop body's execution bound is finite and near the true 16 (the
+  // inference is conservative by a small widening-threshold slack).
+  const std::int32_t body = mi.cfg.block_of[iaload_pc];
+  EXPECT_LE(mi.block_count[static_cast<std::size_t>(body)], 18.0);
+  // And without the fact, the same access is unproven and the loop
+  // unbounded — the relational a.length fact alone cannot bound the trip
+  // count, only argument knowledge can.
+  const MethodIntervals bare = analyze_intervals(cf, cf.methods[0], &resolver);
+  ASSERT_TRUE(bare.converged);
+  EXPECT_EQ(bare.proven_inbounds[static_cast<std::size_t>(iaload_pc)], 1)
+      << "i < a.length is relational: in-bounds holds for every input";
+  EXPECT_TRUE(std::isinf(bare.block_count[static_cast<std::size_t>(body)]));
+}
+
+TEST(Intervals, InfeasibleEdgeStateIsKilledNotClamped) {
+  // x = 5; if (x > 3) return 1; return x; — the fall-through edge is
+  // infeasible. A clamping meet would leak a contradictory interval into
+  // the return; the kill must instead mark the branch always-taken and
+  // keep the dead block's count at zero reachability-wise.
+  jvm::ClassBuilder cb("K");
+  auto& m = cb.method("f", {{}, jvm::TypeKind::kInt});
+  auto taken = m.new_label();
+  m.iconst(5).istore("x");
+  m.iload("x").iconst(3).if_icmpgt(taken);
+  m.iload("x").iret();
+  m.bind(taken);
+  m.iconst(1).iret();
+  const jvm::ClassFile cf = cb.build();
+
+  jvm::ClassSetResolver resolver;
+  resolver.add(&cf);
+  const MethodIntervals mi = analyze_intervals(cf, cf.methods[0], &resolver);
+  ASSERT_TRUE(mi.converged);
+  ASSERT_EQ(mi.branch_facts.size(), 1u);
+  EXPECT_TRUE(mi.branch_facts[0].always_taken);
+}
+
+TEST(Intervals, WideningTerminatesOnUnboundedLoop) {
+  // while (n != 0) --n; with n unknown: no finite trip bound exists, so
+  // the fixpoint must still terminate (delayed widening) and the loop
+  // block's count must honestly be infinite.
+  jvm::ClassBuilder cb("W");
+  auto& m = cb.method("spin", {{jvm::TypeKind::kInt}, jvm::TypeKind::kVoid});
+  auto loop = m.new_label(), done = m.new_label();
+  m.bind(loop);
+  m.iload("p0").ifeq(done);
+  m.iload("p0").iconst(1).isub().istore("p0");
+  m.goto_(loop);
+  m.bind(done);
+  m.ret();
+  const jvm::ClassFile cf = cb.build();
+
+  jvm::ClassSetResolver resolver;
+  resolver.add(&cf);
+  const MethodIntervals mi = analyze_intervals(cf, cf.methods[0], &resolver);
+  ASSERT_TRUE(mi.converged);
+  bool saw_infinite = false;
+  for (double c : mi.block_count) saw_infinite = saw_infinite || std::isinf(c);
+  EXPECT_TRUE(saw_infinite);
+  // Termination itself is the assertion: a widening bug would spin the
+  // solver into its transfer bound and fail `converged` instead.
+}
+
+TEST(Intervals, GuaranteedOobDetected) {
+  // new int[3] indexed with constant 7: the index interval lies entirely
+  // outside [0, 3), so the access is a guaranteed trap for every input.
+  jvm::ClassBuilder cb("O");
+  auto& m = cb.method("f", {{}, jvm::TypeKind::kInt});
+  m.iconst(3).newarray(jvm::TypeKind::kInt).astore("a");
+  m.aload("a").iconst(7).iaload().iret();
+  const jvm::ClassFile cf = cb.build();
+
+  jvm::ClassSetResolver resolver;
+  resolver.add(&cf);
+  const MethodIntervals mi = analyze_intervals(cf, cf.methods[0], &resolver);
+  ASSERT_TRUE(mi.converged);
+  ASSERT_EQ(mi.oob_facts.size(), 1u);
+  EXPECT_EQ(cf.methods[0].code[static_cast<std::size_t>(mi.oob_facts[0].pc)].op,
+            Op::kIaload);
 }
 
 }  // namespace

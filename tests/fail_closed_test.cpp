@@ -1,0 +1,246 @@
+// Fail-closed regression tests for the static-analysis guarantees.
+//
+// Two subsystems promise "never guess" semantics and both are pinned here:
+//
+//  * dataflow.hpp's solve_forward must report kBoundExhausted — never a
+//    fake convergence — when max_transfers truncates a slow lattice,
+//    including the edge case where the bound lands on the very last
+//    transfer (the result then *equals* the fixed point, but the solver
+//    cannot know that without the propagation it skipped).
+//  * lengths.cpp (interprocedural array-length facts) must poison every
+//    method's facts on any unresolved call site, keep recursive call
+//    graphs terminating with facts that only descend, and meet
+//    multi-caller facts down to the weakest site. Facts must never
+//    strengthen across a fail-closed boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "analysis/lengths.hpp"
+#include "jvm/builder.hpp"
+
+namespace javelin::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// solve_forward transfer bound
+// ---------------------------------------------------------------------------
+
+// 0 -> 1, 1 -> 1 (self loop), 1 -> 2 with an ascending counter lattice:
+// the loop block's in-state climbs by one per visit, so convergence needs
+// ~kCeiling transfers — a deliberately slow chain standing in for interval
+// analysis without widening.
+constexpr int kCeiling = 1000;
+
+struct Counter {
+  Cfg g;
+  DomInfo dom;
+  Counter() {
+    g.succs = {{1}, {1, 2}, {}};
+    g.compute_preds();
+    dom = compute_dominators(g);
+  }
+  FixpointResult<int> solve(std::uint64_t max_transfers) const {
+    return solve_forward(
+        g, dom, /*entry=*/0,
+        [](int& into, const int& from) {
+          if (from <= into) return false;
+          into = from;
+          return true;
+        },
+        [](std::int32_t b, const int& in) {
+          return b == 1 && in < kCeiling ? in + 1 : in;
+        },
+        max_transfers);
+  }
+};
+
+TEST(FixpointBound, SlowLatticeConvergesWithoutBound) {
+  const Counter c;
+  const auto r = c.solve(/*max_transfers=*/0);
+  EXPECT_EQ(r.status, FixpointStatus::kConverged);
+  EXPECT_EQ(r.in[2], kCeiling);
+  EXPECT_GT(r.transfer_count, static_cast<std::uint64_t>(kCeiling));
+}
+
+TEST(FixpointBound, TruncationReportsBoundExhausted) {
+  const Counter c;
+  const auto r = c.solve(/*max_transfers=*/50);
+  EXPECT_EQ(r.status, FixpointStatus::kBoundExhausted);
+  EXPECT_EQ(r.transfer_count, 50u);
+  // The returned states are a truncation, not the fixed point — a caller
+  // that ignored `status` would consume this unsound partial result.
+  EXPECT_LT(r.in[2], kCeiling);
+}
+
+TEST(FixpointBound, BoundOnFinalTransferStillReportsExhaustion) {
+  // Acyclic chain 0 -> 1 -> 2 with an identity transfer converges in
+  // exactly three transfers (one RPO sweep). A bound of exactly three
+  // lands on the last transfer: the states happen to equal the fixed
+  // point, but the solver must still report exhaustion because proving
+  // that would require the propagation it just skipped.
+  Cfg g;
+  g.succs = {{1}, {2}, {}};
+  g.compute_preds();
+  const DomInfo dom = compute_dominators(g);
+  const auto join = [](int& into, const int& from) {
+    if (from <= into) return false;
+    into = from;
+    return true;
+  };
+  const auto transfer = [](std::int32_t, const int& in) { return in; };
+
+  const auto free_run = solve_forward(g, dom, 7, join, transfer);
+  ASSERT_EQ(free_run.status, FixpointStatus::kConverged);
+  ASSERT_EQ(free_run.transfer_count, 3u);
+
+  const auto bounded = solve_forward(g, dom, 7, join, transfer,
+                                     /*max_transfers=*/3);
+  EXPECT_EQ(bounded.status, FixpointStatus::kBoundExhausted);
+  EXPECT_EQ(bounded.transfer_count, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// lengths.cpp fail-closed paths
+// ---------------------------------------------------------------------------
+
+const jvm::MethodInfo* find_method(const jvm::ClassFile& cf,
+                                   const std::string& name) {
+  for (const auto& m : cf.methods)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+TEST(LengthsFailClosed, UnresolvedCalleePoisonsAllFacts) {
+  // A.entry calls A.take(new int[8]) — a perfectly good fact — and also
+  // B.helper(). With B loaded the set is closed and take's fact is valid;
+  // with B missing the ONE unresolved site must invalidate every fact in
+  // the analysis, including take's unrelated one.
+  jvm::ClassBuilder bb("B");
+  bb.method("helper", {{}, jvm::TypeKind::kVoid}).ret();
+  const jvm::ClassFile b = bb.build();
+
+  jvm::ClassBuilder ab("A");
+  auto& entry = ab.method("entry", {{}, jvm::TypeKind::kVoid});
+  entry.potential(jvm::SizeParamSpec{});
+  entry.iconst(8)
+      .newarray(jvm::TypeKind::kInt)
+      .invokestatic("A", "take")
+      .invokestatic("B", "helper")
+      .ret();
+  ab.method("take", {{jvm::TypeKind::kRef}, jvm::TypeKind::kVoid}).ret();
+  const jvm::ClassFile a = ab.build({&b});
+
+  const jvm::MethodInfo* take = find_method(a, "take");
+  ASSERT_NE(take, nullptr);
+
+  // Control: closed world — the fact is consumable and exact.
+  const LengthAnalysis closed = analyze_lengths({&a, &b});
+  EXPECT_FALSE(closed.incomplete);
+  const MethodLengthFacts* good = closed.find(take);
+  ASSERT_NE(good, nullptr);
+  ASSERT_TRUE(good->valid());
+  ASSERT_EQ(good->params.size(), 1u);
+  EXPECT_TRUE(good->params[0].non_null);
+  EXPECT_EQ(good->params[0].min_len, 8);
+
+  // Open world: one unresolved site, zero consumable facts anywhere.
+  const LengthAnalysis open = analyze_lengths({&a});
+  EXPECT_TRUE(open.incomplete);
+  for (const auto& [method, facts] : open.methods) {
+    (void)method;
+    EXPECT_FALSE(facts.valid());
+  }
+}
+
+TEST(LengthsFailClosed, RecursionTerminatesAndFactsOnlyDescend) {
+  // Two self-recursive shapes:
+  //  * rec is entered with new int[8] but recurses with new int[2]; its
+  //    fact must descend to the weakest reaching site (min_len 2) — the
+  //    self-edge participates in the meet like any other caller.
+  //  * thru recurses passing its own parameter through unchanged; the
+  //    fixpoint must terminate (optimistic descent, no oscillation) and
+  //    keep the entry fact (min_len 8) — pass-through recursion does not
+  //    erode what every reaching site actually guarantees.
+  jvm::ClassBuilder cb("R");
+  auto& entry = cb.method("entry", {{}, jvm::TypeKind::kVoid});
+  entry.potential(jvm::SizeParamSpec{});
+  entry.iconst(8)
+      .newarray(jvm::TypeKind::kInt)
+      .invokestatic("R", "rec")
+      .iconst(8)
+      .newarray(jvm::TypeKind::kInt)
+      .invokestatic("R", "thru")
+      .ret();
+  auto& rec = cb.method("rec", {{jvm::TypeKind::kRef}, jvm::TypeKind::kVoid});
+  rec.iconst(2).newarray(jvm::TypeKind::kInt).invokestatic("R", "rec").ret();
+  auto& thru =
+      cb.method("thru", {{jvm::TypeKind::kRef}, jvm::TypeKind::kVoid});
+  thru.aload("p0").invokestatic("R", "thru").ret();
+  const jvm::ClassFile cf = cb.build();
+
+  const LengthAnalysis la = analyze_lengths({&cf});
+  EXPECT_FALSE(la.incomplete);
+
+  const MethodLengthFacts* rf = la.find(find_method(cf, "rec"));
+  ASSERT_NE(rf, nullptr);
+  ASSERT_TRUE(rf->valid());
+  EXPECT_TRUE(rf->params[0].non_null);
+  EXPECT_EQ(rf->params[0].min_len, 2);  // Weakened by the self-site, not 8.
+
+  const MethodLengthFacts* tf = la.find(find_method(cf, "thru"));
+  ASSERT_NE(tf, nullptr);
+  ASSERT_TRUE(tf->valid());
+  EXPECT_TRUE(tf->params[0].non_null);
+  EXPECT_EQ(tf->params[0].min_len, 8);  // Pass-through preserves the fact.
+}
+
+TEST(LengthsFailClosed, MixedCallersMeetToWeakestSite) {
+  // g has two callers: strong passes new int[10], weak (a root) forwards
+  // its own unconstrained parameter. The meet must drop g's fact to the
+  // unknown bottom — never keep the strong caller's proof. g2, reached
+  // from strong only, keeps the exact fact, isolating the weakening to
+  // the weak call site.
+  jvm::ClassBuilder cb("M");
+  auto& strong = cb.method("strong", {{}, jvm::TypeKind::kVoid});
+  strong.potential(jvm::SizeParamSpec{});
+  strong.iconst(10)
+      .newarray(jvm::TypeKind::kInt)
+      .invokestatic("M", "g")
+      .iconst(10)
+      .newarray(jvm::TypeKind::kInt)
+      .invokestatic("M", "g2")
+      .ret();
+  auto& weak =
+      cb.method("weak", {{jvm::TypeKind::kRef}, jvm::TypeKind::kVoid});
+  weak.potential(jvm::SizeParamSpec{});
+  weak.aload("p0").invokestatic("M", "g").ret();
+  cb.method("g", {{jvm::TypeKind::kRef}, jvm::TypeKind::kVoid}).ret();
+  cb.method("g2", {{jvm::TypeKind::kRef}, jvm::TypeKind::kVoid}).ret();
+  const jvm::ClassFile cf = cb.build();
+
+  const LengthAnalysis la = analyze_lengths({&cf});
+  EXPECT_FALSE(la.incomplete);
+
+  const MethodLengthFacts* gf = la.find(find_method(cf, "g"));
+  ASSERT_NE(gf, nullptr);
+  ASSERT_TRUE(gf->valid());  // Constrained by sites — just weakly.
+  EXPECT_FALSE(gf->params[0].non_null);
+  EXPECT_EQ(gf->params[0].min_len, 0);
+
+  const MethodLengthFacts* g2f = la.find(find_method(cf, "g2"));
+  ASSERT_NE(g2f, nullptr);
+  ASSERT_TRUE(g2f->valid());
+  EXPECT_TRUE(g2f->params[0].non_null);
+  EXPECT_EQ(g2f->params[0].min_len, 10);
+
+  // Roots themselves never gain consumable facts.
+  const MethodLengthFacts* wf = la.find(find_method(cf, "weak"));
+  ASSERT_NE(wf, nullptr);
+  EXPECT_FALSE(wf->valid());
+}
+
+}  // namespace
+}  // namespace javelin::analysis
