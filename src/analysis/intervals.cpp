@@ -17,11 +17,15 @@
 //  * Trip counts: for each natural loop, a local slot qualifies as an
 //    induction variable if every store to it inside the loop is the exact
 //    `iload s; iconst c; iadd|isub; istore s` pattern with all steps in one
-//    direction, and some such store's block dominates every back-edge
-//    source (any loop block that dominates all latches is executed by every
-//    completed iteration). The narrowed header interval [a, b] of the slot
-//    then bounds header visits by (b - a) / min|c| + 2, provided the steps
-//    cannot wrap int32 while the value stays in [a, b].
+//    direction, no store sits in a loop nested strictly inside this one
+//    (such a site executes up to the inner trip count per iteration, so the
+//    per-iteration excursion would not be bounded by the per-site step sum
+//    and an int32 wrap could re-enter the header interval), and some
+//    store's block dominates every back-edge source (any loop block that
+//    dominates all latches is executed by every completed iteration). The
+//    narrowed header interval [a, b] of the slot then bounds header visits
+//    by (b - a) / min|c| + 2, provided the steps cannot wrap int32 while
+//    the value stays in [a, b].
 #include "analysis/intervals.hpp"
 
 #include <algorithm>
@@ -207,7 +211,8 @@ class IntervalSolver {
 
   St transfer_node(std::int32_t n, const St& in);
 
-  double loop_trips(const NaturalLoop& loop, const DomInfo& dom,
+  double loop_trips(const NaturalLoop& loop,
+                    const std::vector<NaturalLoop>& loops, const DomInfo& dom,
                     const std::vector<St>& in) const;
 
   const jvm::ClassFile& cf_;
@@ -492,7 +497,13 @@ void IntervalSolver::sim(St& s, const Insn& I, std::int32_t pc,
       AbsVal v = pop(s);
       if (poisoned_) break;
       kill_slot(s, I.a);
+      // The popped value predates kill_slot's scrub: any relational fact it
+      // carries naming the destination slot is about the slot's *old*
+      // occupant (e.g. storing arraylength(local s) into slot s) and must
+      // not survive the store.
       if (v.from_local == static_cast<std::int16_t>(I.a)) v.from_local = -1;
+      if (v.len_of_local == static_cast<std::int16_t>(I.a)) v.len_of_local = -1;
+      if (v.lt_len_of == static_cast<std::int16_t>(I.a)) v.lt_len_of = -1;
       s.locals[static_cast<std::size_t>(I.a)] = v;
       break;
     }
@@ -703,7 +714,9 @@ std::optional<std::int64_t> induction_step(const std::vector<Insn>& code,
   return step;
 }
 
-double IntervalSolver::loop_trips(const NaturalLoop& loop, const DomInfo& dom,
+double IntervalSolver::loop_trips(const NaturalLoop& loop,
+                                  const std::vector<NaturalLoop>& loops,
+                                  const DomInfo& dom,
                                   const std::vector<St>& in) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // Back-edge sources: loop predecessors of the header.
@@ -711,6 +724,21 @@ double IntervalSolver::loop_trips(const NaturalLoop& loop, const DomInfo& dom,
   for (std::int32_t p : aug_.preds[static_cast<std::size_t>(loop.header)])
     if (loop.contains(p)) latches.push_back(p);
   if (latches.empty()) return kInf;
+
+  // A stepping site inside a loop nested strictly within `loop` executes up
+  // to that inner loop's trip count per iteration of `loop`, so the
+  // per-iteration excursion is NOT bounded by the sum of per-site step
+  // magnitudes and the wrap-free check below would admit an int32 wrap back
+  // into the header interval. Natural loops sharing a header are merged, so
+  // a distinct header inside `loop` identifies a strictly-nested loop.
+  auto in_nested_loop = [&](std::int32_t b) {
+    for (const NaturalLoop& inner : loops) {
+      if (inner.header == loop.header || !loop.contains(inner.header))
+        continue;
+      if (inner.contains(b)) return true;
+    }
+    return false;
+  };
 
   // Stores per slot across the loop's real blocks.
   struct SlotStores {
@@ -746,7 +774,7 @@ double IntervalSolver::loop_trips(const NaturalLoop& loop, const DomInfo& dom,
     int sign = 0;
     bool ok = !cand.stores.empty();
     for (const auto& [blk, step] : cand.stores) {
-      if (!step) {
+      if (!step || in_nested_loop(blk)) {
         ok = false;
         break;
       }
@@ -782,6 +810,8 @@ double IntervalSolver::loop_trips(const NaturalLoop& loop, const DomInfo& dom,
     // The monotone-advance argument needs the steps to stay wrap-free while
     // the value is inside [hv.lo, hv.hi]; one iteration may execute several
     // stepping stores, so bound the excursion by the sum of magnitudes.
+    // (Each site runs at most once per iteration: stores in nested inner
+    // loops were disqualified above.)
     if (sign > 0 && hv.hi + csum > kMax32) continue;
     if (sign < 0 && hv.lo - csum < kMin32) continue;
     const double width = static_cast<double>(hv.hi - hv.lo);
@@ -897,7 +927,7 @@ MethodIntervals IntervalSolver::run() {
   const std::vector<NaturalLoop> loops = find_natural_loops(aug_, dom);
   std::vector<double> trips(loops.size());
   for (std::size_t i = 0; i < loops.size(); ++i)
-    trips[i] = loop_trips(loops[i], dom, res.in);
+    trips[i] = loop_trips(loops[i], loops, dom, res.in);
   for (std::int32_t b = 0; b < nblocks_; ++b) {
     if (!dom.reachable(b) ||
         !res.in[static_cast<std::size_t>(b)].reachable) {

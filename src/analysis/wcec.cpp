@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <optional>
 
 #include "analysis/dataflow.hpp"
@@ -198,7 +199,9 @@ class NativeSolver {
   bool join_st(NSt& into, const NSt& from, bool count_joins) const;
   void refine_edge(NSt& s, const NInstr& I, bool taken) const;
   NSt transfer_node(std::int32_t node, const NSt& st) const;
-  double loop_trips(const NaturalLoop& loop, const DomInfo& dom) const;
+  double loop_trips(const NaturalLoop& loop,
+                    const std::vector<NaturalLoop>& loops,
+                    const DomInfo& dom) const;
 
   const isa::NativeProgram& prog_;
   Cfg aug_;
@@ -485,11 +488,27 @@ NSt NativeSolver::transfer_node(std::int32_t node, const NSt& st) const {
 }
 
 double NativeSolver::loop_trips(const NaturalLoop& loop,
+                                const std::vector<NaturalLoop>& loops,
                                 const DomInfo& dom) const {
   std::vector<std::int32_t> latches;
   for (std::int32_t p : aug_.preds[static_cast<std::size_t>(loop.header)])
     if (loop.contains(p)) latches.push_back(p);
   if (latches.empty()) return kInf;
+
+  // A stepping site inside a loop nested strictly within `loop` executes up
+  // to that inner loop's trip count per iteration of `loop`, so the
+  // per-iteration excursion is NOT bounded by the sum of per-site step
+  // magnitudes and the wrap-free check below would admit an int32 wrap back
+  // into the header interval. Natural loops sharing a header are merged, so
+  // a distinct header inside `loop` identifies a strictly-nested loop.
+  auto in_nested_loop = [&](std::int32_t b) {
+    for (const NaturalLoop& inner : loops) {
+      if (inner.header == loop.header || !loop.contains(inner.header))
+        continue;
+      if (inner.contains(b)) return true;
+    }
+    return false;
+  };
 
   // Net per-block effect on each register from a symbolic within-block scan:
   // sym[r] tracks "value of some register at block entry, plus a constant"
@@ -567,7 +586,7 @@ double NativeSolver::loop_trips(const NaturalLoop& loop,
     int sign = 0;
     bool ok = true;
     for (const Eff& w : ws) {
-      if (!w.step) {
+      if (!w.step || in_nested_loop(w.block)) {
         ok = false;
         break;
       }
@@ -601,6 +620,8 @@ double NativeSolver::loop_trips(const NaturalLoop& loop,
     const Interval hv = hs.r[reg].iv;
     // One iteration may execute several stepping blocks; the monotone-advance
     // argument needs the whole excursion to stay wrap-free inside [lo, hi].
+    // (Each site runs at most once per iteration: blocks in nested inner
+    // loops were disqualified above.)
     if (sign > 0 && hv.hi + csum > kMax32) continue;
     if (sign < 0 && hv.lo - csum < kMin32) continue;
     const double width = static_cast<double>(hv.hi - hv.lo);
@@ -739,7 +760,7 @@ void NativeSolver::run() {
   const std::vector<NaturalLoop> loops = find_natural_loops(aug_, dom);
   std::vector<double> trips(loops.size());
   for (std::size_t i = 0; i < loops.size(); ++i)
-    trips[i] = loop_trips(loops[i], dom);
+    trips[i] = loop_trips(loops[i], loops, dom);
   block_count.assign(blocks.size(), kInf);
   for (std::int32_t b = 0; b < nblocks_; ++b) {
     if (!dom.reachable(b) || !in[static_cast<std::size_t>(b)].reachable) {
@@ -1050,6 +1071,13 @@ EnergyInterval WcecAnalysis::interp_bounds(const MethodCtx& c, int tier,
   for (std::size_t b = 0; b < cost.size(); ++b) {
     const double count = mi->block_count[b];
     if (count <= 0.0) continue;
+    // An unbounded count makes the whole method unbounded; multiplying
+    // through would yield NaN when the block's worst cost is 0.0 (inf*0),
+    // and a NaN wcec reads as "not bounded()" yet corrupts comparisons.
+    if (!std::isfinite(count)) {
+      worst = kInf;
+      break;
+    }
     worst += count * cost[b].worst;
   }
   out.wcec_j = worst;
@@ -1200,6 +1228,11 @@ EnergyInterval WcecAnalysis::native_bounds(const MethodCtx& c, int tier,
   for (std::size_t b = 0; b < cost.size(); ++b) {
     const double count = ns.block_count[b];
     if (count <= 0.0) continue;
+    // Same inf*0 == NaN hazard as interp_bounds: fail to kInf, not NaN.
+    if (!std::isfinite(count)) {
+      worst = kInf;
+      break;
+    }
     worst += count * cost[b].worst;
   }
   out.wcec_j = worst;

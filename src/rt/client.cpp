@@ -402,9 +402,12 @@ Client::Decision Client::decide(const jvm::RtMethod& m, MethodStats& st,
     k = std::max(k, static_seed_k_[static_cast<std::size_t>(m.id)]);
   // WCEC amortization floor (DecisionPolicy::wcec_seed): a method whose
   // guaranteed worst-case interpreted energy over `seed_invocations` runs
-  // exceeds its L1 compile energy will amortize compilation inside the seed
-  // window even in the worst case — raise the cold-start floor like
-  // static_seed does, but from a proven bound instead of a loop heuristic.
+  // exceeds its L1 compile energy is expensive enough that compilation *can*
+  // amortize inside the seed window — raise the cold-start floor like
+  // static_seed does. A worst-case-informed heuristic, not a guarantee:
+  // that would need the best case (bcec_j) to clear the compile energy,
+  // which vetoes nearly every method. Only the floor is heuristic; the
+  // interval itself stays a proven bound.
   const analysis::EnergyInterval* wb =
       wcec_bounds_.empty() ? nullptr
                            : &wcec_bounds_[static_cast<std::size_t>(m.id)];

@@ -146,8 +146,11 @@ struct DecisionPolicy {
   ///  * WCEC amortization floor — a cold method whose worst-case interpreted
   ///    energy over `seed_invocations` runs exceeds its L1 compile energy
   ///    amortizes compilation over at least `seed_invocations` expected
-  ///    executions (same floor mechanism as `static_seed`, but derived from
-  ///    a guaranteed bound instead of a loop-depth heuristic); and
+  ///    executions (same floor mechanism as `static_seed`). This is a
+  ///    worst-case-informed *heuristic*, not a proven win: the test shows
+  ///    amortization is possible when executions land near the WCEC; a
+  ///    guarantee would need the best case (bcec_j) to clear the compile
+  ///    energy, which vetoes almost every method; and
   ///  * interval remote-veto — ExecMode::kRemote is excluded while the
   ///    method's finite WCEC (a guaranteed per-run local ceiling) undercuts
   ///    the current per-run remote-energy estimate: the curve-fitted

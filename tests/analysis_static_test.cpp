@@ -8,9 +8,11 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/bytecode_cfg.hpp"
-#include "apps/app.hpp"
-#include "jvm/builder.hpp"
 #include "analysis/intervals.hpp"
+#include "analysis/wcec.hpp"
+#include "apps/app.hpp"
+#include "isa/nisa.hpp"
+#include "jvm/builder.hpp"
 #include "jvm/verifier.hpp"
 
 namespace javelin::analysis {
@@ -499,6 +501,111 @@ TEST(Intervals, GuaranteedOobDetected) {
   ASSERT_EQ(mi.oob_facts.size(), 1u);
   EXPECT_EQ(cf.methods[0].code[static_cast<std::size_t>(mi.oob_facts[0].pc)].op,
             Op::kIaload);
+}
+
+TEST(Intervals, StepInsideNestedInnerLoopCannotBoundOuterLoop) {
+  // int32-wrap attack on trip inference: the outer "induction" variable i
+  // is stepped inside a nested inner loop, so one outer iteration advances
+  // it inner-trip times (2^15 steps of 2^17 = 2^32, a full int32 wrap back
+  // to exactly its old value), while the equality back edge refines i to a
+  // singleton at the outer header. The per-site step-sum wrap guard alone
+  // would admit a finite outer bound for this *unbounded* execution; the
+  // stepping site's inner-loop membership must disqualify the candidate.
+  jvm::ClassBuilder cb("NL");
+  auto& m = cb.method("f", {{}, jvm::TypeKind::kVoid});
+  auto outer = m.new_label(), inner = m.new_label(), done = m.new_label();
+  m.iconst(5).istore("i");
+  m.bind(outer);
+  m.iload("i").iconst(10).if_icmpge(done);  // Outer header: i in [.., 10).
+  m.iconst(0).istore("j");
+  m.bind(inner);
+  m.iload("i").iconst(1 << 17).iadd().istore("i");  // Step in the inner loop.
+  m.iload("j").iconst(1).iadd().istore("j");
+  m.iload("j").iconst(1 << 15).if_icmplt(inner);
+  m.iload("i").iconst(5).if_icmpeq(outer);  // i wraps to exactly 5: forever.
+  m.bind(done);
+  m.ret();
+  const jvm::ClassFile cf = cb.build();
+
+  jvm::ClassSetResolver resolver;
+  resolver.add(&cf);
+  const MethodIntervals mi = analyze_intervals(cf, cf.methods[0], &resolver);
+  ASSERT_TRUE(mi.converged);
+  EXPECT_TRUE(mi.reducible);
+  std::int32_t header_pc = -1;
+  for (std::size_t pc = 0; pc < cf.methods[0].code.size(); ++pc)
+    if (cf.methods[0].code[pc].op == Op::kIfIcmpGe)
+      header_pc = static_cast<std::int32_t>(pc);
+  ASSERT_GE(header_pc, 0);
+  const std::int32_t hb = mi.cfg.block_of[static_cast<std::size_t>(header_pc)];
+  EXPECT_TRUE(std::isinf(mi.block_count[static_cast<std::size_t>(hb)]))
+      << "outer loop bounded through a stepping site that executes 2^15 "
+         "times per iteration";
+}
+
+TEST(Wcec, StepInsideNestedInnerLoopCannotBoundNativeLoop) {
+  // The same wrap attack against the native-register trip rule: r1 is
+  // stepped by 2^17 inside a self-loop that runs 2^15 times per outer
+  // iteration, and the outer back edge is an equality test that refines r1
+  // to a singleton at the outer header. The outer loop never terminates,
+  // so the worst-case bound must be infinite.
+  jvm::ClassBuilder cb("NN");
+  auto& mb = cb.method("f", {{}, jvm::TypeKind::kVoid});
+  mb.ret();  // Bytecode body is irrelevant; the native program is bound.
+  const jvm::ClassFile cf = cb.build();
+
+  using isa::NInstr;
+  using isa::NOp;
+  auto I = [](NOp op, std::uint8_t rd = 0, std::uint8_t ra = 0,
+              std::uint8_t rb = 0, std::int32_t imm = 0) {
+    return NInstr{op, rd, ra, rb, imm};
+  };
+  isa::NativeProgram prog;
+  prog.code = {
+      I(NOp::kMovi, 1, 0, 0, 5),        // 0: i = 5
+      I(NOp::kMovi, 2, 0, 0, 10),       // 1: outer bound
+      I(NOp::kMovi, 4, 0, 0, 5),        // 2: equality constant
+      I(NOp::kMovi, 5, 0, 0, 1 << 15),  // 3: inner trip bound
+      I(NOp::kBge, 0, 1, 2, 10),        // 4: outer header: i >= 10 -> ret
+      I(NOp::kMovi, 3, 0, 0, 0),        // 5: j = 0
+      I(NOp::kAddi, 1, 1, 0, 1 << 17),  // 6: i += 2^17 (inner loop)
+      I(NOp::kAddi, 3, 3, 0, 1),        // 7: j += 1
+      I(NOp::kBlt, 0, 3, 5, 6),         // 8: inner back edge
+      I(NOp::kBeq, 0, 1, 4, 4),         // 9: outer back edge (i == 5)
+      I(NOp::kRet),                     // 10
+  };
+
+  const energy::InstructionEnergyTable table;
+  WcecAnalysis wcec({&cf}, table);
+  wcec.set_native(1, &cf.methods[0], &prog);
+  const EnergyInterval b = wcec.bounds(&cf.methods[0], 1);
+  EXPECT_GT(b.bcec_j, 0.0);
+  EXPECT_FALSE(b.bounded())
+      << "native outer loop bounded through an inner-loop stepping block";
+}
+
+TEST(Wcec, UnboundedLoopWithZeroCostTableIsInfNotNaN) {
+  // An infinite block count times a 0.0 per-block worst cost is NaN under
+  // naive accumulation (inf * 0); the bound must instead fail to +inf. A
+  // NaN wcec reads as "not bounded()" yet corrupts ordered comparisons.
+  jvm::ClassBuilder cb("ZT");
+  auto& m = cb.method("spin", {{jvm::TypeKind::kInt}, jvm::TypeKind::kVoid});
+  auto loop = m.new_label(), done = m.new_label();
+  m.bind(loop);
+  m.iload("p0").ifeq(done);
+  m.iload("p0").iconst(1).isub().istore("p0");
+  m.goto_(loop);
+  m.bind(done);
+  m.ret();
+  const jvm::ClassFile cf = cb.build();
+
+  energy::InstructionEnergyTable zero;
+  zero.instr.fill(0.0);
+  zero.main_memory = 0.0;
+  WcecAnalysis wcec({&cf}, zero);
+  const EnergyInterval b = wcec.bounds(&cf.methods[0], 0);
+  EXPECT_TRUE(std::isinf(b.wcec_j));
+  EXPECT_FALSE(std::isnan(b.wcec_j));
 }
 
 }  // namespace
