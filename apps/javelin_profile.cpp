@@ -1,0 +1,57 @@
+// Corpus pair-frequency profiler driver.
+//
+// Runs the deterministic 8-app corpus profile (sim/pairprof.cpp) and either
+// dumps both pair rankings in human-readable form (default) or emits one of
+// the two committed fusion tables verbatim:
+//
+//   javelin_profile                 # ranked dump of both layers
+//   javelin_profile --nisa-inc      # > src/isa/nfusion.inc
+//   javelin_profile --jvm-inc       # > src/jvm/fusion_table.inc
+#include <cstring>
+#include <iostream>
+
+#include "isa/nisa.hpp"
+#include "jvm/opcodes.hpp"
+#include "sim/pairprof.hpp"
+
+int main(int argc, char** argv) {
+  using namespace javelin;
+  bool nisa_inc = false, jvm_inc = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nisa-inc") == 0) {
+      nisa_inc = true;
+    } else if (std::strcmp(argv[i], "--jvm-inc") == 0) {
+      jvm_inc = true;
+    } else {
+      std::cerr << "usage: javelin_profile [--nisa-inc | --jvm-inc]\n";
+      return 2;
+    }
+  }
+
+  const sim::PairProfile prof = sim::profile_corpus();
+  if (nisa_inc) {
+    std::cout << sim::render_nisa_inc(prof);
+    return 0;
+  }
+  if (jvm_inc) {
+    std::cout << sim::render_jvm_inc(prof);
+    return 0;
+  }
+
+  std::cout << "nisa fused-pair ranking (legal pairs, top "
+            << sim::kMaxNisaFused << "):\n";
+  std::size_t rank = 0;
+  for (const sim::RankedPair& r : sim::ranked_nisa_pairs(prof))
+    std::cout << "  " << rank++ << ". "
+              << isa::nop_name(static_cast<isa::NOp>(r.a)) << " + "
+              << isa::nop_name(static_cast<isa::NOp>(r.b)) << "  " << r.count
+              << "\n";
+  std::cout << "\njvm L0.5 admission ranking (shape-capable pairs):\n";
+  rank = 0;
+  for (const sim::RankedPair& r : sim::ranked_jvm_pairs(prof))
+    std::cout << "  " << rank++ << ". "
+              << jvm::op_name(static_cast<jvm::Op>(r.a)) << " + "
+              << jvm::op_name(static_cast<jvm::Op>(r.b)) << "  dyn=" << r.count
+              << " static=" << r.stat << "\n";
+  return 0;
+}

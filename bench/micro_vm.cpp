@@ -7,7 +7,11 @@
 // On startup the bench also runs a dispatch-flavor comparison (hand switch
 // vs computed goto vs L0.5 baseline stream) over the whole 8-app corpus and
 // writes the result to BENCH_dispatch.json (override the path with
-// JAVELIN_DISPATCH_JSON; set JAVELIN_DISPATCH_BENCH=0 to skip it).
+// JAVELIN_DISPATCH_JSON; set JAVELIN_DISPATCH_BENCH=0 to skip it), plus the
+// native-executor twin (switch vs goto vs fused superinstruction stream,
+// whole corpus JIT-compiled at L2) written to BENCH_nexec.json as
+// sweep-schema records per flavor (JAVELIN_NEXEC_JSON / JAVELIN_NEXEC_BENCH
+// to override / skip).
 
 #include <benchmark/benchmark.h>
 
@@ -229,10 +233,122 @@ void run_dispatch_corpus() {
   std::fclose(f);
 }
 
+/// One pass of the whole 8-app corpus through the native executor under
+/// `mode`: fresh device per app, whole compilation plan JIT-compiled at L2,
+/// invoke the potential method at the smallest profiling scale `reps` times.
+/// Returns host wall seconds spent inside invoke().
+double corpus_pass_native(isa::NExecMode mode, int reps) {
+  double wall = 0.0;
+  for (const apps::App& a : apps::registry()) {
+    rt::Device dev(isa::client_machine());
+    dev.core.step_limit = ~0ULL;
+    dev.deploy(a.classes);
+    const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+    std::vector<std::int32_t> plan{mid};
+    for (std::int32_t callee : jit::collect_callees(dev.vm, mid))
+      plan.push_back(callee);
+    for (std::int32_t id : plan) {
+      auto res = jit::compile_method(dev.vm, id,
+                                     jit::CompileOptions{.opt_level = 2},
+                                     dev.cfg.energy);
+      dev.engine.install(id, std::move(res.program), 2);
+    }
+    dev.engine.set_nexec_mode(mode);
+    const double scale =
+        a.profile_scales.empty() ? a.small_scale : a.profile_scales.front();
+    for (int r = 0; r < reps; ++r) {
+      Rng rng(1234 + static_cast<std::uint64_t>(r));
+      const std::size_t mark = dev.arena.heap_mark();
+      auto args = a.make_args(dev.vm, scale, rng);
+      const double t0 = host_now_ns();
+      benchmark::DoNotOptimize(dev.engine.invoke(mid, args));
+      wall += (host_now_ns() - t0) * 1e-9;
+      dev.arena.heap_release(mark);
+    }
+  }
+  return wall;
+}
+
+/// Corpus-wide native dispatch comparison -> BENCH_nexec.json. One
+/// sweep-schema record per flavor (cells = apps, executions = reps):
+///   {"bench": "nexec", "reps": R,
+///    "modes": [{"bench": "nexec_switch", "cells": 8, "executions": R,
+///               "jobs": 1, "wall_seconds": S, "cells_per_second": C}, ...],
+///    "speedup_goto": X, "speedup_fused": Y}   (both vs switch)
+void run_nexec_corpus() {
+  if (const char* env = std::getenv("JAVELIN_NEXEC_BENCH"))
+    if (env[0] == '0') return;
+  int reps = 20;
+  if (const char* env = std::getenv("JAVELIN_NEXEC_REPS"))
+    reps = std::atoi(env) >= 1 ? std::atoi(env) : reps;
+
+  constexpr isa::NExecMode kModes[] = {isa::NExecMode::kSwitch,
+                                       isa::NExecMode::kGoto,
+                                       isa::NExecMode::kFused};
+  const std::size_t napps = apps::registry().size();
+  double wall[3] = {};
+  corpus_pass_native(isa::NExecMode::kSwitch, 1);  // warm-up pass
+  for (int i = 0; i < 3; ++i) {
+    wall[i] = corpus_pass_native(kModes[i], reps);
+    std::fprintf(stderr,
+                 "[nexec] %-6s %.3fs wall (%.1f invocations/s)\n",
+                 isa::nexec_mode_name(kModes[i]), wall[i],
+                 wall[i] > 0.0
+                     ? static_cast<double>(napps) * reps / wall[i]
+                     : 0.0);
+  }
+
+  const char* path = std::getenv("JAVELIN_NEXEC_JSON");
+  std::FILE* f = std::fopen(path ? path : "BENCH_nexec.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\"bench\": \"nexec\", \"reps\": %d, \"modes\": [", reps);
+  for (int i = 0; i < 3; ++i)
+    std::fprintf(f,
+                 "%s{\"bench\": \"nexec_%s\", \"cells\": %zu, "
+                 "\"executions\": %d, \"jobs\": 1, \"wall_seconds\": %.4f, "
+                 "\"cells_per_second\": %.3f}",
+                 i ? ", " : "", isa::nexec_mode_name(kModes[i]), napps, reps,
+                 wall[i],
+                 wall[i] > 0.0 ? static_cast<double>(napps) / wall[i] : 0.0);
+  std::fprintf(f, "], \"speedup_goto\": %.3f, \"speedup_fused\": %.3f}\n",
+               wall[1] > 0.0 ? wall[0] / wall[1] : 0.0,
+               wall[2] > 0.0 ? wall[0] / wall[2] : 0.0);
+  std::fclose(f);
+}
+
+/// Native executor dispatch flavors head-to-head on one app (sortcopy at
+/// L2): 0 = hand switch, 1 = computed goto, 2 = fused stream.
+void BM_NExecFlavor(benchmark::State& state) {
+  rt::Device& dev = shared_device();
+  const std::int32_t mid = dev.vm.find_method("Sort", "sortcopy");
+  std::vector<std::int32_t> plan{mid};
+  for (auto c : jit::collect_callees(dev.vm, mid)) plan.push_back(c);
+  for (auto id : plan) {
+    auto res = jit::compile_method(dev.vm, id,
+                                   jit::CompileOptions{.opt_level = 2},
+                                   dev.cfg.energy);
+    dev.engine.install(id, std::move(res.program), 2);
+  }
+  const isa::NExecMode saved = dev.engine.nexec_mode();
+  dev.engine.set_nexec_mode(static_cast<isa::NExecMode>(state.range(0)));
+  for (auto _ : state) {
+    const std::size_t mark = dev.arena.heap_mark();
+    auto args = sort_args(dev, 1024);
+    const std::uint64_t cy0 = dev.core.cycles;
+    benchmark::DoNotOptimize(dev.engine.invoke(mid, args));
+    state.counters["sim_cycles"] = static_cast<double>(dev.core.cycles - cy0);
+    dev.arena.heap_release(mark);
+  }
+  dev.engine.set_nexec_mode(saved);
+  dev.engine.clear_code();
+}
+BENCHMARK(BM_NExecFlavor)->Arg(0)->Arg(1)->Arg(2);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   run_dispatch_corpus();
+  run_nexec_corpus();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

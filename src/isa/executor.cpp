@@ -1,7 +1,11 @@
 #include "isa/executor.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
+
+#include "isa/nspec.hpp"
 
 // Threaded dispatch needs the GNU &&label extension (GCC/Clang); elsewhere
 // the portable switch flavor below is compiled instead. Same convention as
@@ -14,37 +18,23 @@
 
 namespace javelin::isa {
 
-namespace {
-
-const char* trap_message(TrapCode c) {
-  switch (c) {
-    case TrapCode::kNullPointer: return "null pointer dereference";
-    case TrapCode::kArrayBounds: return "array index out of bounds";
-    case TrapCode::kDivByZero: return "division by zero";
-    case TrapCode::kUnreachable: return "unreachable code reached";
+const char* nexec_mode_name(NExecMode m) {
+  switch (m) {
+    case NExecMode::kSwitch: return "switch";
+    case NExecMode::kGoto: return "goto";
+    case NExecMode::kFused: return "fused";
   }
-  return "unknown trap";
+  return "?";
 }
 
-// JAVELIN_NOP_LIST (nisa.hpp) must enumerate the opcodes in NOp enum order:
-// the computed-goto label table is generated from it and indexed by the raw
-// opcode value.
-constexpr NOp kNopListOrder[] = {
-#define JAVELIN_NLO(Name) NOp::k##Name,
-    JAVELIN_NOP_LIST(JAVELIN_NLO)
-#undef JAVELIN_NLO
-};
-template <std::size_t... I>
-constexpr bool nop_list_in_enum_order(std::index_sequence<I...>) {
-  return ((static_cast<std::size_t>(kNopListOrder[I]) == I) && ...);
+NExecMode default_nexec_mode() {
+  if (const char* e = std::getenv("JAVELIN_NEXEC")) {
+    if (std::strcmp(e, "switch") == 0) return NExecMode::kSwitch;
+    if (std::strcmp(e, "goto") == 0) return NExecMode::kGoto;
+    if (std::strcmp(e, "fused") == 0) return NExecMode::kFused;
+  }
+  return NExecMode::kFused;
 }
-static_assert(sizeof(kNopListOrder) / sizeof(kNopListOrder[0]) ==
-              static_cast<std::size_t>(NOp::kNop) + 1);
-static_assert(nop_list_in_enum_order(
-    std::make_index_sequence<sizeof(kNopListOrder) /
-                             sizeof(kNopListOrder[0])>{}));
-
-}  // namespace
 
 // The hot loop host-optimizes four things without changing one bit of
 // simulated state (the dispatch differential test and the golden bench
@@ -74,8 +64,25 @@ static_assert(nop_list_in_enum_order(
 //     indirect jump through the label table, so the branch predictor can
 //     learn per-pair opcode transitions instead of funneling every
 //     instruction through one switch dispatch site. Handler bodies are
-//     shared with the portable switch flavor via executor_ops.inc.
+//     shared with the portable switch flavor via executor_ops.inc, and both
+//     dispatch tables are stamped from the nspec X-macro (isa/nspec.hpp),
+//     whose enum-order static_assert pins the indexing.
+//
+// A third flavor — the fused superinstruction stream — lives in
+// executor_stream.cpp; isa::NExecMode selects between them at the engine.
 void NativeExecutor::run(const NativeProgram& prog) {
+  run_impl(prog, /*threaded=*/true, nullptr);
+}
+
+void NativeExecutor::run_switch(const NativeProgram& prog, NPairCounts* pairs) {
+  run_impl(prog, /*threaded=*/false, pairs);
+}
+
+void NativeExecutor::run_impl(const NativeProgram& prog, bool threaded,
+                              NPairCounts* pairs) {
+#if !JAVELIN_NEXEC_HAVE_COMPUTED_GOTO
+  threaded = false;
+#endif
   if (!prog.installed())
     throw Error("executor: program not installed in simulated memory");
   Core& c = core_;
@@ -164,21 +171,20 @@ void NativeExecutor::run(const NativeProgram& prog) {
 
   try {
 #if JAVELIN_NEXEC_HAVE_COMPUTED_GOTO
-
-    static const void* kLabels[] = {
-#define JAVELIN_NLBL(Name) &&h_##Name,
-        JAVELIN_NOP_LIST(JAVELIN_NLBL)
+    if (threaded) {
+      static const void* kLabels[] = {
+#define JAVELIN_NLBL(Name, mnem, cat, opnd, cls, flg) &&h_##Name,
+          JAVELIN_NOP_SPEC_LIST(JAVELIN_NLBL)
 #undef JAVELIN_NLBL
-    };
-    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
-                  static_cast<std::size_t>(NOp::kNop) + 1);
+      };
+      static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumNOps);
 
-  dispatch:
-    if (pc >= n) goto done;
-    in_p = &code[pc];
-    JAVELIN_NEXEC_FETCH_CHARGE();
-    next = pc + 1;
-    goto* kLabels[static_cast<std::size_t>(in_p->op)];
+    dispatch:
+      if (pc >= n) goto done;
+      in_p = &code[pc];
+      JAVELIN_NEXEC_FETCH_CHARGE();
+      next = pc + 1;
+      goto* kLabels[static_cast<std::size_t>(in_p->op)];
 
 // Handlers cannot bind a reference across a goto, so `in` reads through the
 // pointer set at dispatch.
@@ -193,16 +199,29 @@ void NativeExecutor::run(const NativeProgram& prog) {
 #undef JAVELIN_NH_END
 #undef in
 
-  done:;
+    done:;
+    } else
+#endif  // JAVELIN_NEXEC_HAVE_COMPUTED_GOTO
+    {
+      // Portable switch flavor. Also the profiling flavor: when `pairs` is
+      // set, dynamically adjacent instructions (executed back-to-back with
+      // pc falling through) are counted — exactly the pairs the fused
+      // stream tier could have collapsed into one dispatch.
+      std::size_t prev_pc = 0;
+      NOp prev_op = NOp::kNop;
+      bool have_prev = false;
+      while (pc < n) {
+        in_p = &code[pc];
+        JAVELIN_NEXEC_FETCH_CHARGE();
+        if (pairs) {
+          if (have_prev && pc == prev_pc + 1) pairs->note(prev_op, in_p->op);
+          prev_pc = pc;
+          prev_op = in_p->op;
+          have_prev = true;
+        }
+        next = pc + 1;
 
-#else  // !JAVELIN_NEXEC_HAVE_COMPUTED_GOTO — portable switch flavor.
-
-    while (pc < n) {
-      in_p = &code[pc];
-      JAVELIN_NEXEC_FETCH_CHARGE();
-      next = pc + 1;
-
-      switch (in_p->op) {
+        switch (in_p->op) {
 #define in (*in_p)
 #define JAVELIN_NH(Name) case NOp::k##Name: {
 #define JAVELIN_NH_END \
@@ -212,12 +231,11 @@ void NativeExecutor::run(const NativeProgram& prog) {
 #undef JAVELIN_NH
 #undef JAVELIN_NH_END
 #undef in
+        }
+
+        pc = next;
       }
-
-      pc = next;
     }
-
-#endif  // JAVELIN_NEXEC_HAVE_COMPUTED_GOTO
 
     flush();
   } catch (...) {

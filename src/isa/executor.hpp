@@ -6,6 +6,7 @@
 // keeps this module free of any dependency on the JVM.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -13,6 +14,39 @@
 #include "isa/nisa.hpp"
 
 namespace javelin::isa {
+
+struct NativeStream;
+
+/// Host-side native dispatch flavor. Simulated costs are identical across
+/// all three (tests/dispatch_differential_test.cpp pins it); only host
+/// throughput differs.
+enum class NExecMode : std::uint8_t {
+  kSwitch = 0,  ///< Portable switch loop (always compiled).
+  kGoto = 1,    ///< Threaded computed-goto loop (falls back to switch when
+                ///< the compiler lacks &&label support).
+  kFused = 2,   ///< Pre-decoded fused superinstruction stream (isa/nstream).
+};
+
+const char* nexec_mode_name(NExecMode m);
+
+/// Resolve the process-wide default from JAVELIN_NEXEC
+/// ("switch" | "goto" | "fused"); unset or unrecognized → kFused.
+NExecMode default_nexec_mode();
+
+/// Dynamic adjacent-pair execution counts over the native ISA, collected by
+/// NativeExecutor::run_switch when profiling (corpus-frequency fusion:
+/// sim/pairprof.cpp ranks these to derive the committed fusion table).
+struct NPairCounts {
+  std::array<std::uint64_t, kNumNOps * kNumNOps> counts{};
+  void note(NOp a, NOp b) {
+    ++counts[static_cast<std::size_t>(a) * kNumNOps +
+             static_cast<std::size_t>(b)];
+  }
+  std::uint64_t of(NOp a, NOp b) const {
+    return counts[static_cast<std::size_t>(a) * kNumNOps +
+                  static_cast<std::size_t>(b)];
+  }
+};
 
 /// Shared simulated-CPU state. One Core per device; executors (one per
 /// native frame) and the bytecode interpreter all charge cycles and energy
@@ -81,8 +115,22 @@ class NativeExecutor {
 
   /// Execute `prog` to completion (kRet or fall off the end). Arguments must
   /// have been placed in the argument registers by the caller (see
-  /// set_int_arg / set_fp_arg). Traps raise VmError.
+  /// set_int_arg / set_fp_arg). Traps raise VmError. Threaded computed-goto
+  /// dispatch where the compiler supports it, else the switch loop.
   void run(const NativeProgram& prog);
+
+  /// The portable switch flavor, always compiled (the differential test
+  /// compares it against the threaded and fused flavors at runtime). When
+  /// `pairs` is non-null, dynamic adjacent-pair frequencies are recorded —
+  /// the profiling mode that seeds the fusion tables; the plain and fused
+  /// paths carry no per-instruction hook.
+  void run_switch(const NativeProgram& prog, NPairCounts* pairs = nullptr);
+
+  /// The fused superinstruction flavor: executes the pre-decoded stream
+  /// built by isa::build_native_stream for `prog` (isa/executor_stream.cpp).
+  /// Bit-identical simulated state to run()/run_switch() by construction —
+  /// every constituent replays its exact fetch/charge/execute sequence.
+  void run_stream(const NativeProgram& prog, const NativeStream& stream);
 
   // Register file access (used by the bridge for argument/result marshaling).
   std::int64_t int_reg(std::uint8_t r) const { return r == 0 ? 0 : iregs_[r]; }
@@ -97,6 +145,8 @@ class NativeExecutor {
   Core& core() { return core_; }
 
  private:
+  void run_impl(const NativeProgram& prog, bool threaded, NPairCounts* pairs);
+
   Core& core_;
   RuntimeBridge& bridge_;
   std::int64_t iregs_[kNumIntRegs]{};

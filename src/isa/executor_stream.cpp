@@ -1,0 +1,268 @@
+// The fused superinstruction dispatch flavor (NExecMode::kFused).
+//
+// run_stream executes a pre-decoded NativeStream instead of raw NInstr code.
+// Per-dispatch savings over the plain loops, all host-side only:
+//  * fetch address, icache line key, energy class and joules per instruction
+//    come pre-resolved from the entry — no per-iteration recomputation;
+//  * literal-pool / static-slot addresses are absolute in the entry (Abs
+//    handlers) — no register adds on the address path;
+//  * the committed profile-derived pair set (isa/nfusion.inc) executes two
+//    instructions per dispatch, halving indirect-jump pressure on exactly
+//    the transitions the corpus executes most.
+//
+// Simulated state is bit-identical to run()/run_switch() by construction:
+// each entry replays its constituents' fetch/charge/execute triples in
+// original order through the same body macros (executor_fused.inc), and the
+// differential test compares all three flavors over the app corpus.
+#include "isa/executor.hpp"
+#include "isa/nstream.hpp"
+
+#include <cmath>
+
+#include "isa/nspec.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define JAVELIN_NEXEC_HAVE_COMPUTED_GOTO 1
+#else
+#define JAVELIN_NEXEC_HAVE_COMPUTED_GOTO 0
+#endif
+
+namespace javelin::isa {
+
+#if !JAVELIN_NEXEC_HAVE_COMPUTED_GOTO
+
+// Without &&label support the stream tier has no host advantage over the
+// switch loop; degrade to the plain flavor (same simulated state).
+void NativeExecutor::run_stream(const NativeProgram& prog,
+                                const NativeStream& stream) {
+  (void)stream;
+  run(prog);
+}
+
+#else
+
+void NativeExecutor::run_stream(const NativeProgram& prog,
+                                const NativeStream& stream) {
+  if (!prog.installed())
+    throw Error("executor: program not installed in simulated memory");
+  Core& c = core_;
+  if (++c.call_depth > Core::kMaxCallDepth) {
+    --c.call_depth;
+    throw VmError("executor: native call depth exceeded");
+  }
+  const std::size_t frame_mark = c.arena->stack_mark();
+  mem::Addr frame = mem::kNullAddr;
+  if (prog.spill_bytes > 0) frame = c.arena->alloc_stack(prog.spill_bytes, 8);
+  iregs_[kFrameReg] = frame;
+  iregs_[kLiteralBaseReg] = prog.literal_base;
+
+  const auto i32 = [](std::int64_t v) { return static_cast<std::int32_t>(v); };
+  std::size_t pc = 0;
+  std::size_t next = 0;
+  const std::size_t n = stream.entries.size();
+  const NStreamEntry* const es = stream.entries.data();
+  const NStreamEntry* e_p = nullptr;
+
+  mem::MemoryHierarchy& hier = *c.hier;
+  mem::DirectMappedCache& icache = hier.icache();
+  mem::Arena& arena = *c.arena;
+  const energy::InstructionEnergyTable& et = c.cfg->energy;
+  energy::InstrCounts& counts = c.meter->counts_mut();
+  double& core_slot = c.meter->core_joules_ref();
+  const std::uint64_t step_limit = c.step_limit;
+
+  // Register-cached core state; same flush/reload contract as run_impl
+  // (executor.cpp).
+  std::uint64_t cycles = c.cycles;
+  std::uint64_t steps = c.steps;
+  double core_j = core_slot;
+  bool cached = true;
+  const auto flush = [&] {
+    if (cached) {
+      c.cycles = cycles;
+      c.steps = steps;
+      core_slot = core_j;
+      cached = false;
+    }
+  };
+  const auto reload = [&] {
+    cycles = c.cycles;
+    steps = c.steps;
+    core_j = core_slot;
+    cached = true;
+  };
+
+  const auto wr_i = [&](std::uint8_t rd, std::int64_t v) {
+    iregs_[rd] = v;
+    iregs_[0] = 0;
+  };
+  const auto wr_f = [&](std::uint8_t rd, double v) {
+    fregs_[rd] = v;
+    fregs_[0] = 0.0;
+  };
+
+  std::uint64_t cur_line = ~0ULL;
+
+// Fetch + charge of a fused entry's second constituent. Between the first
+// constituent's fetch and this one nothing touches the icache (bridge ops
+// are never fused), so cur_line still names the first's line and the memo
+// compare below is exact — same observable effects as the plain loop's
+// per-instruction sequence.
+#define JAVELIN_NSTREAM_FETCH_CHARGE_B()                                    \
+  do {                                                                      \
+    if (e_p->line_b == cur_line) {                                          \
+      icache.note_repeat_read_hit();                                        \
+    } else {                                                                \
+      cur_line = e_p->line_b;                                               \
+      cycles += hier.fetch(e_p->fetch_b);                                   \
+    }                                                                       \
+    counts.add(static_cast<energy::InstrClass>(e_p->cls_b));                \
+    core_j += e_p->ej_b;                                                    \
+    ++cycles;                                                               \
+    if (++steps > step_limit)                                               \
+      throw VmError("core: step limit exceeded (runaway guest program?)");  \
+  } while (0)
+
+  try {
+    static const void* kFLabels[] = {
+// Plain single-op entries reuse the shared handler bodies.
+#define JAVELIN_NLBL(Name, mnem, cat, opnd, cls, flg) &&p_##Name,
+        JAVELIN_NOP_SPEC_LIST(JAVELIN_NLBL)
+#undef JAVELIN_NLBL
+        // Abs variants, in kNFopAbsBase order.
+        &&p_LdwAbs, &&p_LdbAbs, &&p_LddAbs, &&p_StwAbs, &&p_StbAbs,
+        &&p_StdAbs,
+// Profile-derived fused pairs, in rank order.
+#define JAVELIN_NFUSE(rank, Kind, OpA, OpB, count) &&f_##OpA##_##OpB,
+#include "isa/nfusion.inc"
+#undef JAVELIN_NFUSE
+    };
+    static_assert(sizeof(kFLabels) / sizeof(kFLabels[0]) == kNumNFops);
+
+  dispatch:
+    if (pc >= n) goto done;
+    e_p = &es[pc];
+    // Fetch + charge of the (first) constituent, from pre-resolved entry
+    // fields; replays exactly what run_impl's per-instruction macro does.
+    if (e_p->line_a == cur_line) {
+      icache.note_repeat_read_hit();
+    } else {
+      cur_line = e_p->line_a;
+      cycles += hier.fetch(e_p->fetch_a);
+    }
+    counts.add(static_cast<energy::InstrClass>(e_p->cls_a));
+    core_j += e_p->ej_a;
+    ++cycles;
+    if (++steps > step_limit)
+      throw VmError("core: step limit exceeded (runaway guest program?)");
+    next = pc + 1;
+    goto* kFLabels[e_p->fop];
+
+// ---- plain single-op handlers (shared bodies) -------------------------------
+#define in (e_p->a)
+#define JAVELIN_NH(Name) p_##Name : {
+#define JAVELIN_NH_END \
+  }                    \
+  pc = next;           \
+  goto dispatch;
+#include "isa/executor_ops.inc"
+#undef JAVELIN_NH
+#undef JAVELIN_NH_END
+#undef in
+
+  // ---- Abs handlers: operand pre-resolved into e_p->abs_a ------------------
+  p_LdwAbs : {
+    const auto addr = static_cast<mem::Addr>(e_p->abs_a);
+    cycles += hier.load(addr);
+    wr_i(e_p->a.rd, arena.load_i32(addr));
+  }
+    pc = next;
+    goto dispatch;
+
+  p_LdbAbs : {
+    const auto addr = static_cast<mem::Addr>(e_p->abs_a);
+    cycles += hier.load(addr);
+    wr_i(e_p->a.rd, arena.load_u8(addr));
+  }
+    pc = next;
+    goto dispatch;
+
+  p_LddAbs : {
+    const auto addr = static_cast<mem::Addr>(e_p->abs_a);
+    cycles += hier.load(addr);
+    wr_f(e_p->a.rd, arena.load_f64(addr));
+  }
+    pc = next;
+    goto dispatch;
+
+  p_StwAbs : {
+    const auto addr = static_cast<mem::Addr>(e_p->abs_a);
+    cycles += hier.store(addr);
+    arena.store_i32(addr, i32(iregs_[e_p->a.rd]));
+  }
+    pc = next;
+    goto dispatch;
+
+  p_StbAbs : {
+    const auto addr = static_cast<mem::Addr>(e_p->abs_a);
+    cycles += hier.store(addr);
+    arena.store_u8(addr, static_cast<std::uint8_t>(iregs_[e_p->a.rd]));
+  }
+    pc = next;
+    goto dispatch;
+
+  p_StdAbs : {
+    const auto addr = static_cast<mem::Addr>(e_p->abs_a);
+    cycles += hier.store(addr);
+    arena.store_f64(addr, fregs_[e_p->a.rd]);
+  }
+    pc = next;
+    goto dispatch;
+
+// ---- fused-pair handlers, stamped from the committed ranking ---------------
+// Plain-first shape: execute A, then replay B's fetch/charge, then execute B.
+// Branch-first shape: a taken branch dispatches away having executed only A
+// (next already remapped to the target entry); on fall-through B replays.
+#define JAVELIN_NFUSE_P(OpA, OpB)       \
+  f_##OpA##_##OpB : {                   \
+    {JAVELIN_NFB_##OpA(e_p->a)}         \
+    JAVELIN_NSTREAM_FETCH_CHARGE_B();   \
+    {JAVELIN_NFB_##OpB(e_p->b)}         \
+  }                                     \
+    pc = next;                          \
+    goto dispatch;
+#define JAVELIN_NFUSE_B(OpA, OpB)                    \
+  f_##OpA##_##OpB : {                                \
+    if (JAVELIN_NCOND_##OpA(e_p->a)) {               \
+      next = static_cast<std::uint32_t>(e_p->a.imm); \
+    } else {                                         \
+      JAVELIN_NSTREAM_FETCH_CHARGE_B();              \
+      {JAVELIN_NFB_##OpB(e_p->b)}                    \
+    }                                                \
+  }                                                  \
+    pc = next;                                       \
+    goto dispatch;
+#define JAVELIN_NFUSE(rank, Kind, OpA, OpB, count) \
+  JAVELIN_NFUSE_##Kind(OpA, OpB)
+#include "isa/nfusion.inc"
+#undef JAVELIN_NFUSE
+#undef JAVELIN_NFUSE_P
+#undef JAVELIN_NFUSE_B
+
+  done:
+    flush();
+  } catch (...) {
+    flush();
+    c.arena->stack_release(frame_mark);
+    --c.call_depth;
+    throw;
+  }
+  c.arena->stack_release(frame_mark);
+  --c.call_depth;
+
+#undef JAVELIN_NSTREAM_FETCH_CHARGE_B
+}
+
+#endif  // JAVELIN_NEXEC_HAVE_COMPUTED_GOTO
+
+}  // namespace javelin::isa

@@ -3,63 +3,23 @@
 #include <cmath>
 #include <sstream>
 
+#include "isa/nspec.hpp"
+
 namespace javelin::isa {
 
 const char* nop_name(NOp op) {
-  switch (op) {
-    case NOp::kLdw: return "ldw";
-    case NOp::kLdb: return "ldb";
-    case NOp::kLdd: return "ldd";
-    case NOp::kStw: return "stw";
-    case NOp::kStb: return "stb";
-    case NOp::kStd: return "std";
-    case NOp::kAdd: return "add";
-    case NOp::kSub: return "sub";
-    case NOp::kAnd: return "and";
-    case NOp::kOr: return "or";
-    case NOp::kXor: return "xor";
-    case NOp::kShl: return "shl";
-    case NOp::kShr: return "shr";
-    case NOp::kShru: return "shru";
-    case NOp::kAddi: return "addi";
-    case NOp::kAndi: return "andi";
-    case NOp::kOri: return "ori";
-    case NOp::kXori: return "xori";
-    case NOp::kShli: return "shli";
-    case NOp::kShri: return "shri";
-    case NOp::kShrui: return "shrui";
-    case NOp::kMovi: return "movi";
-    case NOp::kMov: return "mov";
-    case NOp::kFmov: return "fmov";
-    case NOp::kMul: return "mul";
-    case NOp::kDiv: return "div";
-    case NOp::kRem: return "rem";
-    case NOp::kFadd: return "fadd";
-    case NOp::kFsub: return "fsub";
-    case NOp::kFmul: return "fmul";
-    case NOp::kFdiv: return "fdiv";
-    case NOp::kFneg: return "fneg";
-    case NOp::kI2d: return "i2d";
-    case NOp::kD2i: return "d2i";
-    case NOp::kFcmp: return "fcmp";
-    case NOp::kBeq: return "beq";
-    case NOp::kBne: return "bne";
-    case NOp::kBlt: return "blt";
-    case NOp::kBle: return "ble";
-    case NOp::kBgt: return "bgt";
-    case NOp::kBge: return "bge";
-    case NOp::kJmp: return "jmp";
-    case NOp::kCall: return "call";
-    case NOp::kCallv: return "callv";
-    case NOp::kRet: return "ret";
-    case NOp::kTrap: return "trap";
-    case NOp::kRtNewArr: return "rt.newarr";
-    case NOp::kRtNewObj: return "rt.newobj";
-    case NOp::kIntrI: return "intr.i";
-    case NOp::kIntrD: return "intr.d";
-    case NOp::kNop: return "nop";
+  if (static_cast<std::size_t>(op) >= kNumNOps) return "?";
+  return nspec::spec(op).mnemonic;
+}
+
+const char* trap_message(TrapCode c) {
+  switch (c) {
+    case TrapCode::kNullPointer: return "null pointer dereference";
+    case TrapCode::kArrayBounds: return "array index out of bounds";
+    case TrapCode::kDivByZero: return "division by zero";
+    case TrapCode::kUnreachable: return "unreachable code reached";
   }
-  return "?";
+  return "unknown trap";
 }
 
 const char* intrinsic_name(Intrinsic i) {

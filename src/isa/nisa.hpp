@@ -21,6 +21,7 @@
 //   f14..f15    codegen scratch
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -96,22 +97,10 @@ enum class NOp : std::uint8_t {
   kNop,
 };
 
-/// X-macro over every native opcode, in NOp enum order (a static_assert in
-/// executor.cpp pins the correspondence). Drives the executor's computed-goto
-/// label table and keeps the handler include in one place.
-#define JAVELIN_NOP_LIST(X)                                               \
-  X(Ldw) X(Ldb) X(Ldd) X(Stw) X(Stb) X(Std)                               \
-  X(Add) X(Sub) X(And) X(Or) X(Xor) X(Shl) X(Shr) X(Shru)                 \
-  X(Addi) X(Andi) X(Ori) X(Xori) X(Shli) X(Shri) X(Shrui)                 \
-  X(Movi) X(Mov) X(Fmov)                                                  \
-  X(Mul) X(Div) X(Rem)                                                    \
-  X(Fadd) X(Fsub) X(Fmul) X(Fdiv) X(Fneg) X(I2d) X(D2i) X(Fcmp)           \
-  X(Beq) X(Bne) X(Blt) X(Ble) X(Bgt) X(Bge) X(Jmp)                        \
-  X(Call) X(Callv) X(Ret) X(Trap)                                         \
-  X(RtNewArr) X(RtNewObj)                                                 \
-  X(IntrI) X(IntrD)                                                       \
-  X(Nop)
+inline constexpr std::size_t kNumNOps = static_cast<std::size_t>(NOp::kNop) + 1;
 
+/// Disassembly mnemonic, from the nspec table's mnemonic column (isa/nspec.hpp
+/// is the single source of truth for per-opcode metadata).
 const char* nop_name(NOp op);
 
 /// Map an opcode to the Fig 1 energy class. Constexpr-inline: Core::charge
@@ -169,6 +158,10 @@ enum class TrapCode : std::int32_t {
   kDivByZero = 3,
   kUnreachable = 4,
 };
+
+/// Human-readable guest-fault description (VmError message text; shared by
+/// every executor flavor).
+const char* trap_message(TrapCode c);
 
 /// Math/runtime intrinsics exposed to guest programs. Each has a fixed cost
 /// in equivalent complex-ALU operations (software libm on the embedded core).
@@ -249,6 +242,15 @@ struct NativeProgram {
   std::vector<double> literals;
   std::uint32_t spill_bytes = 0;
   std::int32_t method_id = -1;
+
+  /// Instruction indices whose memory operand the JIT emitted as a program
+  /// constant (literal-pool loads off r27, static-field slots off r0).
+  /// Advisory metadata for tests: the fused stream builder re-detects these
+  /// sites from the addressing pattern itself (isa/nstream.cpp), because
+  /// programs shipped over the wire (net/protocol.cpp) or built by hand
+  /// don't carry this vector; tests cross-check the two views agree on
+  /// JIT-compiled methods.
+  std::vector<std::uint32_t> pool_sites;
 
   mem::Addr code_base = mem::kNullAddr;
   mem::Addr literal_base = mem::kNullAddr;

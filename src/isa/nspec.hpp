@@ -1,0 +1,259 @@
+// The native-opcode specification table: the single source of truth for
+// nisa semantics metadata, mirroring jvm/opspec.hpp for the bytecode ISA.
+//
+// Every consumer of per-nisa-opcode knowledge derives from the X-macro list
+// in this header rather than maintaining its own switch:
+//  * isa/nisa.cpp          — nop_name() reads the mnemonic column;
+//  * isa/executor.cpp      — the switch and computed-goto flavors stamp their
+//                            dispatch tables over this list, so a missing
+//                            handler is a compile error;
+//  * isa/executor_stream.cpp / isa/nstream.cpp
+//                          — the fused native stream tier derives fusion
+//                            legality, branch-target remapping and operand
+//                            pre-resolution from the operand/flag columns;
+//  * analysis/wcec.cpp, analysis/cost.cpp
+//                          — consume instr_class_of, which a constexpr check
+//                            below pins to the table's class column.
+// tests/nspec_test.cpp asserts the runtime views agree (mnemonics, classes,
+// charge tables), so executor semantics can never drift from the table.
+//
+// Columns of JAVELIN_NOP_SPEC_LIST(X):
+//   X(Name, mnemonic, Category, OperandKind, Class, flags)
+//     Name        isa::NOp::k##Name
+//     mnemonic    disassembly name (nop_name)
+//     Category    semantic family (NCategory) — drives fusion legality
+//     OperandKind meaning of NInstr::imm (NOperandKind) — drives the stream
+//                 builder's branch-target remapping
+//     Class       energy::InstrClass charged per execution (Fig 1 class);
+//                 constexpr-checked against instr_class_of below
+//     flags       bitwise-or of NFlags
+#pragma once
+
+#include <cstdint>
+
+#include "energy/energy.hpp"
+#include "isa/nisa.hpp"
+
+namespace javelin::isa::nspec {
+
+/// Semantic family of a native opcode.
+enum class NCategory : std::uint8_t {
+  kMemLoad,     ///< data load through the D-cache
+  kMemStore,    ///< data store through the D-cache
+  kAluSimple,   ///< one-cycle integer ALU / register move
+  kAluComplex,  ///< multi-cycle ALU (mul/div/FP/convert/compare)
+  kCondBranch,  ///< conditional branch on two integer registers
+  kJump,        ///< unconditional jump
+  kCall,        ///< static or virtual call through the runtime bridge
+  kReturn,      ///< method return
+  kTrap,        ///< guest fault (always throws)
+  kAlloc,       ///< runtime allocation through the bridge
+  kIntrinsic,   ///< math intrinsic (variable extra charge loop)
+  kNop,
+};
+
+/// What NInstr::imm means for an opcode.
+enum class NOperandKind : std::uint8_t {
+  kNone,          ///< unused
+  kImm,           ///< immediate int operand
+  kOffset,        ///< memory displacement added to R[ra] + R[rb]
+  kBranchTarget,  ///< instruction index (the stream builder remaps these)
+  kMethodId,      ///< callee / declared method id
+  kTrapCode,      ///< isa::TrapCode
+  kElemKind,      ///< jvm::TypeKind of array elements
+  kClassId,       ///< runtime class id
+  kIntrinsicId,   ///< isa::Intrinsic id
+};
+
+enum NFlags : std::uint8_t {
+  kFlagNone = 0,
+  /// `imm` is a branch target; pass 1/3 of the stream builder track it.
+  kFlagBranch = 1 << 0,
+  /// Escapes to the RuntimeBridge: the executor must flush its register-
+  /// cached core state around the handler and reset the fetch-line memo.
+  kFlagBridge = 1 << 1,
+  /// May transfer control (set `next` to other than pc + 1).
+  kFlagCtrl = 1 << 2,
+  /// Handler can raise VmError itself (div-by-zero, trap).
+  kFlagThrows = 1 << 3,
+};
+
+struct NSpec {
+  NOp op = NOp::kNop;
+  const char* mnemonic = "?";
+  NCategory category = NCategory::kNop;
+  NOperandKind operand = NOperandKind::kNone;
+  energy::InstrClass cls = energy::InstrClass::kNop;
+  std::uint8_t flags = kFlagNone;
+};
+
+// clang-format off
+#define JAVELIN_NOP_SPEC_LIST(X)                                                             \
+  X(Ldw,      "ldw",       kMemLoad,    kOffset,       kLoad,       kFlagNone)               \
+  X(Ldb,      "ldb",       kMemLoad,    kOffset,       kLoad,       kFlagNone)               \
+  X(Ldd,      "ldd",       kMemLoad,    kOffset,       kLoad,       kFlagNone)               \
+  X(Stw,      "stw",       kMemStore,   kOffset,       kStore,      kFlagNone)               \
+  X(Stb,      "stb",       kMemStore,   kOffset,       kStore,      kFlagNone)               \
+  X(Std,      "std",       kMemStore,   kOffset,       kStore,      kFlagNone)               \
+  X(Add,      "add",       kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Sub,      "sub",       kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(And,      "and",       kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Or,       "or",        kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Xor,      "xor",       kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Shl,      "shl",       kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Shr,      "shr",       kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Shru,     "shru",      kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Addi,     "addi",      kAluSimple,  kImm,          kAluSimple,  kFlagNone)               \
+  X(Andi,     "andi",      kAluSimple,  kImm,          kAluSimple,  kFlagNone)               \
+  X(Ori,      "ori",       kAluSimple,  kImm,          kAluSimple,  kFlagNone)               \
+  X(Xori,     "xori",      kAluSimple,  kImm,          kAluSimple,  kFlagNone)               \
+  X(Shli,     "shli",      kAluSimple,  kImm,          kAluSimple,  kFlagNone)               \
+  X(Shri,     "shri",      kAluSimple,  kImm,          kAluSimple,  kFlagNone)               \
+  X(Shrui,    "shrui",     kAluSimple,  kImm,          kAluSimple,  kFlagNone)               \
+  X(Movi,     "movi",      kAluSimple,  kImm,          kAluSimple,  kFlagNone)               \
+  X(Mov,      "mov",       kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Fmov,     "fmov",      kAluSimple,  kNone,         kAluSimple,  kFlagNone)               \
+  X(Mul,      "mul",       kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(Div,      "div",       kAluComplex, kNone,         kAluComplex, kFlagThrows)             \
+  X(Rem,      "rem",       kAluComplex, kNone,         kAluComplex, kFlagThrows)             \
+  X(Fadd,     "fadd",      kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(Fsub,     "fsub",      kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(Fmul,     "fmul",      kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(Fdiv,     "fdiv",      kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(Fneg,     "fneg",      kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(I2d,      "i2d",       kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(D2i,      "d2i",       kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(Fcmp,     "fcmp",      kAluComplex, kNone,         kAluComplex, kFlagNone)               \
+  X(Beq,      "beq",       kCondBranch, kBranchTarget, kBranch,     kFlagBranch | kFlagCtrl) \
+  X(Bne,      "bne",       kCondBranch, kBranchTarget, kBranch,     kFlagBranch | kFlagCtrl) \
+  X(Blt,      "blt",       kCondBranch, kBranchTarget, kBranch,     kFlagBranch | kFlagCtrl) \
+  X(Ble,      "ble",       kCondBranch, kBranchTarget, kBranch,     kFlagBranch | kFlagCtrl) \
+  X(Bgt,      "bgt",       kCondBranch, kBranchTarget, kBranch,     kFlagBranch | kFlagCtrl) \
+  X(Bge,      "bge",       kCondBranch, kBranchTarget, kBranch,     kFlagBranch | kFlagCtrl) \
+  X(Jmp,      "jmp",       kJump,       kBranchTarget, kBranch,     kFlagBranch | kFlagCtrl) \
+  X(Call,     "call",      kCall,       kMethodId,     kBranch,     kFlagBridge)             \
+  X(Callv,    "callv",     kCall,       kMethodId,     kBranch,     kFlagBridge)             \
+  X(Ret,      "ret",       kReturn,     kNone,         kBranch,     kFlagCtrl)               \
+  X(Trap,     "trap",      kTrap,       kTrapCode,     kBranch,     kFlagCtrl | kFlagThrows) \
+  X(RtNewArr, "rt.newarr", kAlloc,      kElemKind,     kBranch,     kFlagBridge)             \
+  X(RtNewObj, "rt.newobj", kAlloc,      kClassId,      kBranch,     kFlagBridge)             \
+  X(IntrI,    "intr.i",    kIntrinsic,  kIntrinsicId,  kAluComplex, kFlagNone)               \
+  X(IntrD,    "intr.d",    kIntrinsic,  kIntrinsicId,  kAluComplex, kFlagNone)               \
+  X(Nop,      "nop",       kNop,        kNone,         kNop,        kFlagNone)
+// clang-format on
+
+/// The table, indexed by static_cast<std::size_t>(NOp). Built entirely at
+/// compile time from JAVELIN_NOP_SPEC_LIST.
+inline constexpr NSpec kTable[kNumNOps] = {
+#define JAVELIN_NSPEC_ROW(Name, mnem, cat, opnd, cls, flg)         \
+  NSpec{NOp::k##Name,     mnem,                                    \
+        NCategory::cat,   NOperandKind::opnd,                      \
+        energy::InstrClass::cls, std::uint8_t{flg}},
+    JAVELIN_NOP_SPEC_LIST(JAVELIN_NSPEC_ROW)
+#undef JAVELIN_NSPEC_ROW
+};
+
+// Coverage: one row per enum member. A new NOp without a table row fails to
+// compile here, not at runtime.
+#define JAVELIN_NSPEC_COUNT(Name, mnem, cat, opnd, cls, flg) +1
+static_assert(0 JAVELIN_NOP_SPEC_LIST(JAVELIN_NSPEC_COUNT) == kNumNOps,
+              "nspec: JAVELIN_NOP_SPEC_LIST must cover every isa::NOp "
+              "exactly once");
+#undef JAVELIN_NSPEC_COUNT
+
+constexpr const NSpec& spec(NOp op) {
+  return kTable[static_cast<std::size_t>(op)];
+}
+
+// Rows must appear in NOp enum order (the executor's label tables are
+// generated from the list and indexed by the raw opcode value), and the
+// class column must agree with the hot-path instr_class_of switch — both
+// checked at compile time.
+constexpr bool nspec_rows_in_enum_order() {
+  for (std::size_t i = 0; i < kNumNOps; ++i)
+    if (static_cast<std::size_t>(kTable[i].op) != i) return false;
+  return true;
+}
+static_assert(nspec_rows_in_enum_order(),
+              "nspec: table rows out of NOp enum order");
+constexpr bool nspec_classes_match_instr_class_of() {
+  for (std::size_t i = 0; i < kNumNOps; ++i)
+    if (kTable[i].cls != instr_class_of(kTable[i].op)) return false;
+  return true;
+}
+static_assert(nspec_classes_match_instr_class_of(),
+              "nspec: class column disagrees with instr_class_of");
+
+// ---- derived predicates (stream builder, fusion legality, tests) -----------
+
+/// `imm` is a branch target (instruction index before stream remapping).
+constexpr bool uses_branch_target(NOp op) {
+  return (spec(op).flags & kFlagBranch) != 0;
+}
+
+/// Escapes to the RuntimeBridge (flush/reload + fetch-line memo reset).
+constexpr bool is_bridge(NOp op) { return (spec(op).flags & kFlagBridge) != 0; }
+
+/// May set `next` to something other than fall-through.
+constexpr bool transfers_control(NOp op) {
+  return (spec(op).flags & kFlagCtrl) != 0;
+}
+
+constexpr bool is_cond_branch(NOp op) {
+  return spec(op).category == NCategory::kCondBranch;
+}
+
+/// Eligible as the *first* constituent of a fused pair with unconditional
+/// fall-through into the second: straight-line, non-bridge, non-intrinsic
+/// ops. Conditional branches are also fusable as firsts, but through the
+/// dedicated branch-first handler shape (the second constituent only
+/// executes on fall-through); they are excluded here.
+constexpr bool fusable_first(NOp op) {
+  const NCategory c = spec(op).category;
+  return (c == NCategory::kMemLoad || c == NCategory::kMemStore ||
+          c == NCategory::kAluSimple || c == NCategory::kAluComplex) &&
+         (spec(op).flags & (kFlagBridge | kFlagCtrl)) == 0;
+}
+
+/// Eligible as the *second* constituent: anything whose handler body neither
+/// escapes to the bridge nor runs the intrinsic extra-charge loop. Control
+/// transfers (cond branches, jmp, ret) are fine — their `next` assignment
+/// composes with the fused dispatch exactly as in the plain loop. Traps are
+/// legal in principle (the charge replay happens before the throw) but are
+/// cold by construction, so they are left out of the fusable set.
+constexpr bool fusable_second(NOp op) {
+  const NCategory c = spec(op).category;
+  if (c == NCategory::kCall || c == NCategory::kAlloc ||
+      c == NCategory::kIntrinsic || c == NCategory::kTrap) return false;
+  return (spec(op).flags & kFlagBridge) == 0;
+}
+
+/// An admissible profile-derived fused pair: plain first + any second, or a
+/// conditional branch first (branch-first shape) + any second.
+constexpr bool fusable_pair_legal(NOp a, NOp b) {
+  return (fusable_first(a) || is_cond_branch(a)) && fusable_second(b);
+}
+
+/// True when the op writes an *integer* destination register (used by the
+/// stream builder to prove r27, the literal-pool base, is never clobbered
+/// before pre-resolving pool operands; FP writes land in the FP file and
+/// cannot touch it).
+constexpr bool writes_int_rd(NOp op) {
+  switch (spec(op).category) {
+    case NCategory::kMemLoad:
+      return op != NOp::kLdd;
+    case NCategory::kAluSimple:
+      return op != NOp::kFmov;
+    case NCategory::kAluComplex:
+      return op == NOp::kMul || op == NOp::kDiv || op == NOp::kRem ||
+             op == NOp::kD2i || op == NOp::kFcmp;
+    case NCategory::kAlloc:
+      return true;
+    case NCategory::kIntrinsic:
+      return op == NOp::kIntrI;
+    default:
+      return false;
+  }
+}
+
+}  // namespace javelin::isa::nspec

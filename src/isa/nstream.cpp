@@ -1,0 +1,184 @@
+#include "isa/nstream.hpp"
+
+#include <array>
+
+#include "energy/energy.hpp"
+#include "mem/cache.hpp"
+
+namespace javelin::isa {
+
+namespace {
+
+// pair (a, b) -> fop code, or kNoFuse. Built once from the committed
+// nfusion.inc ranking (kFusedPairs).
+constexpr std::uint16_t kNoFuse = 0xFFFF;
+
+struct PairLut {
+  std::array<std::uint16_t, kNumNOps * kNumNOps> fop{};
+  PairLut() {
+    fop.fill(kNoFuse);
+    for (std::uint16_t i = 0; i < kNumFusedPairs; ++i) {
+      const NFusePair& p = kFusedPairs[i];
+      fop[static_cast<std::size_t>(p.a) * kNumNOps +
+          static_cast<std::size_t>(p.b)] =
+          static_cast<std::uint16_t>(kNFopFusedBase + i);
+    }
+  }
+};
+
+const PairLut& pair_lut() {
+  static const PairLut lut;
+  return lut;
+}
+
+// The six memory ops are the first six NOp values in enum order, which makes
+// the plain->Abs fop mapping a constant offset; pin that layout here.
+static_assert(static_cast<int>(NOp::kLdw) == 0 &&
+                  static_cast<int>(NOp::kLdb) == 1 &&
+                  static_cast<int>(NOp::kLdd) == 2 &&
+                  static_cast<int>(NOp::kStw) == 3 &&
+                  static_cast<int>(NOp::kStb) == 4 &&
+                  static_cast<int>(NOp::kStd) == 5,
+              "nstream: Abs fop mapping assumes memory ops lead the NOp enum");
+
+bool is_mem_op(NOp op) {
+  const nspec::NCategory c = nspec::spec(op).category;
+  return c == nspec::NCategory::kMemLoad || c == nspec::NCategory::kMemStore;
+}
+
+}  // namespace
+
+NativeStream build_native_stream(const NativeProgram& prog,
+                                 const energy::InstructionEnergyTable& et,
+                                 const mem::DirectMappedCache& icache) {
+  NativeStream s;
+  if (!prog.installed())
+    throw Error("nstream: program must be installed before stream build");
+  const std::size_t n = prog.code.size();
+  if (n == 0) return s;
+  const NInstr* const code = prog.code.data();
+
+  // Pool-operand pre-resolution is sound only while the base register still
+  // holds what the executor wrote at method entry. r0 is hardwired zero
+  // (writes are re-zeroed), so r0-based absolute addressing always resolves;
+  // r27 (literal base) resolves unless some instruction writes an integer
+  // result into it — JIT output never does, but hand-built or adversarial
+  // programs may, and then every r27 site degrades gracefully to the plain
+  // handler.
+  bool r27_stable = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (code[i].rd == kLiteralBaseReg && nspec::writes_int_rd(code[i].op)) {
+      r27_stable = false;
+      break;
+    }
+  }
+
+  // A memory operand is a program constant when rb is the zero register and
+  // ra is either the zero register (static-field slots: address = imm) or
+  // the stable literal base (pool loads: address = literal_base + imm). The
+  // sum is formed in int64 exactly as the plain handler forms
+  // iregs_[ra] + iregs_[rb] + imm, so the eventual Addr cast is identical.
+  const auto abs_resolvable = [&](const NInstr& in, std::int64_t& abs) {
+    if (!is_mem_op(in.op) || in.rb != kZeroReg) return false;
+    if (in.ra == kZeroReg) {
+      abs = static_cast<std::int64_t>(in.imm);
+      return true;
+    }
+    if (in.ra == kLiteralBaseReg && r27_stable) {
+      abs = static_cast<std::int64_t>(prog.literal_base) + in.imm;
+      return true;
+    }
+    return false;
+  };
+
+  // Pass 1: mark branch-target instructions. A fused pair's second
+  // constituent must not be a join point — entering it other than by
+  // fall-through from the first would skip the first's replay.
+  std::vector<bool> is_target(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (nspec::uses_branch_target(code[i].op)) {
+      const std::int32_t t = code[i].imm;
+      if (t >= 0 && static_cast<std::size_t>(t) < n) is_target[t] = true;
+    }
+  }
+
+  // Pass 2: emit entries. entry_of maps each original instruction index that
+  // starts an entry to its stream index (second constituents are never
+  // branch targets, so only entry starts need mapping).
+  std::vector<std::uint32_t> entry_of(n + 1, 0);
+  const PairLut& lut = pair_lut();
+  std::size_t pc = 0;
+  while (pc < n) {
+    entry_of[pc] = static_cast<std::uint32_t>(s.entries.size());
+    const NInstr& a = code[pc];
+    NStreamEntry e;
+    e.a = a;
+    e.fetch_a = prog.code_base + static_cast<mem::Addr>(pc * 4);
+    e.line_a = icache.line_key(e.fetch_a);
+    const energy::InstrClass ca = instr_class_of(a.op);
+    e.cls_a = static_cast<std::uint8_t>(ca);
+    e.ej_a = et.of(ca);
+
+    std::int64_t abs = 0;
+    if (abs_resolvable(a, abs)) {
+      // Pre-resolution takes precedence over fusion: the Abs handler already
+      // eliminates the per-dispatch address arithmetic, and keeping pool
+      // sites out of pairs keeps the fused handler set closed over the
+      // profile-derived opcode ranking.
+      e.fop = static_cast<std::uint16_t>(kNFopAbsBase +
+                                         static_cast<std::uint16_t>(a.op));
+      e.abs_a = abs;
+      ++s.abs_sites;
+      ++pc;
+      s.entries.push_back(e);
+      continue;
+    }
+
+    if (pc + 1 < n && !is_target[pc + 1]) {
+      const NInstr& b = code[pc + 1];
+      const std::uint16_t fop =
+          lut.fop[static_cast<std::size_t>(a.op) * kNumNOps +
+                  static_cast<std::size_t>(b.op)];
+      std::int64_t abs_b = 0;
+      if (fop != kNoFuse && !abs_resolvable(b, abs_b)) {
+        e.fop = fop;
+        e.b = b;
+        e.fetch_b = prog.code_base + static_cast<mem::Addr>((pc + 1) * 4);
+        e.line_b = icache.line_key(e.fetch_b);
+        const energy::InstrClass cb = instr_class_of(b.op);
+        e.cls_b = static_cast<std::uint8_t>(cb);
+        e.ej_b = et.of(cb);
+        ++s.fused_pairs;
+        pc += 2;
+        s.entries.push_back(e);
+        continue;
+      }
+    }
+
+    e.fop = static_cast<std::uint16_t>(a.op);
+    ++s.plain_ops;
+    ++pc;
+    s.entries.push_back(e);
+  }
+  entry_of[n] = static_cast<std::uint32_t>(s.entries.size());
+
+  // Pass 3: remap branch-target immediates from instruction indices to
+  // stream entry indices. Targets outside [0, n) end execution in the plain
+  // loop (`pc >= n`), so they map to the entry count, which the stream loop
+  // treats the same way.
+  const auto remap = [&](NInstr& in) {
+    if (!nspec::uses_branch_target(in.op)) return;
+    const std::int32_t t = in.imm;
+    in.imm = (t >= 0 && static_cast<std::size_t>(t) < n)
+                 ? static_cast<std::int32_t>(entry_of[t])
+                 : static_cast<std::int32_t>(s.entries.size());
+  };
+  for (NStreamEntry& e : s.entries) {
+    remap(e.a);
+    if (e.fop >= kNFopFusedBase) remap(e.b);
+  }
+
+  return s;
+}
+
+}  // namespace javelin::isa

@@ -1,0 +1,144 @@
+// The fused native superinstruction stream (the executor's third dispatch
+// flavor, NExecMode::kFused).
+//
+// A NativeStream is a pre-decoded view of an installed NativeProgram: one
+// NStreamEntry per dispatch, where
+//  * per-instruction constants the plain loop recomputes every iteration —
+//    fetch address, icache line key, energy class and per-instruction joules —
+//    are resolved once at build time;
+//  * literal-pool and static-field operands whose effective address is a
+//    program constant (r27/r0-based addressing, see pool-site detection in
+//    nstream.cpp) are pre-resolved into an absolute address, so the fused
+//    executor does zero per-dispatch pool arithmetic (`Abs` fop variants);
+//  * the hottest dynamically-adjacent opcode pairs — ranked by the corpus
+//    execution-frequency profiler (apps/javelin_profile.cpp) and committed as
+//    isa/nfusion.inc — collapse into one stream entry dispatched once.
+//
+// The contract is strict bit-identity of simulated state with the plain
+// executor flavors: every entry replays the exact fetch/charge/execute
+// sequence of its constituents in original order
+// (tests/dispatch_differential_test.cpp pins this across the app corpus).
+// Only host-side dispatch work is removed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/nisa.hpp"
+#include "isa/nspec.hpp"
+
+namespace javelin::energy {
+struct InstructionEnergyTable;
+}
+namespace javelin::mem {
+class DirectMappedCache;
+}
+
+namespace javelin::isa {
+
+// ---- fop code space ---------------------------------------------------------
+// NStreamEntry::fop indexes the fused executor's dispatch table:
+//   [0, kNumNOps)                 plain single op (fop == raw NOp value);
+//   [kNFopAbsBase, +6)            Abs variants of the six memory ops, operand
+//                                 pre-resolved into NStreamEntry::abs_a;
+//   [kNFopFusedBase, +kNumFusedPairs)  profile-derived fused pairs, one code
+//                                 per committed isa/nfusion.inc rank.
+
+inline constexpr std::uint16_t kNFopAbsBase =
+    static_cast<std::uint16_t>(kNumNOps);
+inline constexpr std::uint16_t kNFopLdwAbs = kNFopAbsBase + 0;
+inline constexpr std::uint16_t kNFopLdbAbs = kNFopAbsBase + 1;
+inline constexpr std::uint16_t kNFopLddAbs = kNFopAbsBase + 2;
+inline constexpr std::uint16_t kNFopStwAbs = kNFopAbsBase + 3;
+inline constexpr std::uint16_t kNFopStbAbs = kNFopAbsBase + 4;
+inline constexpr std::uint16_t kNFopStdAbs = kNFopAbsBase + 5;
+inline constexpr std::uint16_t kNFopFusedBase = kNFopAbsBase + 6;
+
+/// Number of committed profile-derived fused pairs (isa/nfusion.inc rows).
+inline constexpr std::uint16_t kNumFusedPairs = 0
+#define JAVELIN_NFUSE(rank, Kind, OpA, OpB, count) +1
+#include "isa/nfusion.inc"
+#undef JAVELIN_NFUSE
+    ;
+
+inline constexpr std::uint16_t kNumNFops = kNFopFusedBase + kNumFusedPairs;
+
+/// One committed fused pair, in profile-rank order. `branch_first` selects the
+/// handler shape: a conditional-branch first constituent only executes its
+/// second on fall-through.
+struct NFusePair {
+  NOp a = NOp::kNop;
+  NOp b = NOp::kNop;
+  bool branch_first = false;
+};
+
+inline constexpr NFusePair kFusedPairs[kNumFusedPairs == 0 ? 1
+                                                           : kNumFusedPairs] = {
+#define JAVELIN_NFUSE_KIND_P false
+#define JAVELIN_NFUSE_KIND_B true
+#define JAVELIN_NFUSE(rank, Kind, OpA, OpB, count) \
+  NFusePair{NOp::k##OpA, NOp::k##OpB, JAVELIN_NFUSE_KIND_##Kind},
+#include "isa/nfusion.inc"
+#undef JAVELIN_NFUSE
+#undef JAVELIN_NFUSE_KIND_P
+#undef JAVELIN_NFUSE_KIND_B
+};
+
+// Every committed pair must be admissible under the nspec legality predicate,
+// and its handler shape must match the first constituent's category. A
+// regenerated nfusion.inc that violates either fails to compile.
+constexpr bool nfusion_table_legal() {
+  for (std::uint16_t i = 0; i < kNumFusedPairs; ++i) {
+    const NFusePair& p = kFusedPairs[i];
+    if (!nspec::fusable_pair_legal(p.a, p.b)) return false;
+    if (p.branch_first != nspec::is_cond_branch(p.a)) return false;
+  }
+  return true;
+}
+static_assert(nfusion_table_legal(),
+              "nfusion.inc: inadmissible pair or wrong P/B handler shape");
+
+// ---- the stream -------------------------------------------------------------
+
+/// One pre-decoded dispatch unit. For plain and Abs entries only the `a`/
+/// `_a` members are meaningful; fused entries carry both constituents.
+/// Branch-target immediates are remapped to *stream entry* indices at build
+/// time (targets at or past the end of code map to the entry count, which the
+/// run loop treats as completion, mirroring the plain loop's `pc >= n`).
+struct NStreamEntry {
+  NInstr a{};                  ///< first constituent (imm remapped if branch)
+  NInstr b{};                  ///< second constituent of a fused pair
+  std::uint64_t line_a = 0;    ///< icache line key of fetch_a
+  std::uint64_t line_b = 0;    ///< icache line key of fetch_b
+  double ej_a = 0.0;           ///< joules charged per execution of `a`
+  double ej_b = 0.0;
+  mem::Addr fetch_a = 0;       ///< simulated fetch address of `a`
+  mem::Addr fetch_b = 0;
+  std::int64_t abs_a = 0;      ///< pre-resolved address (Abs fops only)
+  std::uint16_t fop = 0;       ///< dispatch code (see fop code space above)
+  std::uint8_t cls_a = 0;      ///< energy::InstrClass of `a`
+  std::uint8_t cls_b = 0;
+};
+
+/// A pre-decoded method body for NativeExecutor::run_stream. Built once per
+/// installed program (jvm::ExecutionEngine does so at install time) and
+/// immutable afterwards.
+struct NativeStream {
+  std::vector<NStreamEntry> entries;
+
+  // Build statistics (tests + javelin_profile report them).
+  std::uint32_t fused_pairs = 0;   ///< entries that collapse two instructions
+  std::uint32_t abs_sites = 0;     ///< operands pre-resolved to an address
+  std::uint32_t plain_ops = 0;     ///< single-instruction entries
+
+  bool empty() const { return entries.empty(); }
+};
+
+/// Pre-decode `prog` (which must be installed, so code/literal addresses are
+/// final) into a stream. `et` supplies the per-class joule column and
+/// `icache` the line-key geometry baked into each entry.
+NativeStream build_native_stream(const NativeProgram& prog,
+                                 const energy::InstructionEnergyTable& et,
+                                 const mem::DirectMappedCache& icache);
+
+}  // namespace javelin::isa

@@ -37,6 +37,14 @@ class Lowerer {
     fixups_.emplace_back(prog_.code.size(), target_block);
     emit(op, 0, ra, rb, 0);
   }
+  /// emit() plus a pool-site marker: the memory operand is a program
+  /// constant (literal pool off r27, static slot off r0), so the fused
+  /// stream tier pre-resolves it to an absolute address. The marker is
+  /// advisory (isa/nstream.cpp re-detects the pattern); tests cross-check.
+  void emit_pool(NOp op, std::uint8_t rd, std::uint8_t ra, std::int32_t imm) {
+    prog_.pool_sites.push_back(static_cast<std::uint32_t>(prog_.code.size()));
+    emit(op, rd, ra, 0, imm);
+  }
 
   std::int32_t literal(double v) {
     const auto it = lit_.find(v);
@@ -257,7 +265,7 @@ void Lowerer::lower_instr(const IInstr& in, std::int32_t block,
     }
     case IOp::kConstD: {
       const std::uint8_t w = out_fp(in.d);
-      emit(NOp::kLdd, w, isa::kLiteralBaseReg, 0, literal(in.dimm) * 8);
+      emit_pool(NOp::kLdd, w, isa::kLiteralBaseReg, literal(in.dimm) * 8);
       store_fp(in.d, w);
       break;
     }
@@ -386,12 +394,12 @@ void Lowerer::lower_instr(const IInstr& in, std::int32_t block,
     case IOp::kStLoad: {
       if (in.kind == TypeKind::kDouble) {
         const std::uint8_t w = out_fp(in.d);
-        emit(NOp::kLdd, w, isa::kZeroReg, 0, in.imm);
+        emit_pool(NOp::kLdd, w, isa::kZeroReg, in.imm);
         store_fp(in.d, w);
       } else {
         const std::uint8_t w = out_int(in.d, isa::kScratch0);
-        emit(in.kind == TypeKind::kByte ? NOp::kLdb : NOp::kLdw, w,
-             isa::kZeroReg, 0, in.imm);
+        emit_pool(in.kind == TypeKind::kByte ? NOp::kLdb : NOp::kLdw, w,
+                  isa::kZeroReg, in.imm);
         store_int(in.d, w);
       }
       break;
@@ -399,11 +407,11 @@ void Lowerer::lower_instr(const IInstr& in, std::int32_t block,
     case IOp::kStStore: {
       if (in.kind == TypeKind::kDouble) {
         const std::uint8_t rv = read_fp(in.a, isa::kFScratch0);
-        emit(NOp::kStd, rv, isa::kZeroReg, 0, in.imm);
+        emit_pool(NOp::kStd, rv, isa::kZeroReg, in.imm);
       } else {
         const std::uint8_t rv = read_int(in.a, isa::kScratch0);
-        emit(in.kind == TypeKind::kByte ? NOp::kStb : NOp::kStw, rv,
-             isa::kZeroReg, 0, in.imm);
+        emit_pool(in.kind == TypeKind::kByte ? NOp::kStb : NOp::kStw, rv,
+                  isa::kZeroReg, in.imm);
       }
       break;
     }

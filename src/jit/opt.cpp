@@ -60,7 +60,9 @@ void local_value_numbering(Function& f, CompileMeter& meter) {
       std::size_t h = static_cast<std::size_t>(k.op);
       h = h * 1000003u + static_cast<std::size_t>(k.va + 7);
       h = h * 1000003u + static_cast<std::size_t>(k.vb + 7);
-      h = h * 1000003u + static_cast<std::size_t>(k.imm * 2654435761u);
+      h = h * 1000003u +
+          static_cast<std::size_t>(static_cast<std::uint64_t>(k.imm) *
+                                   2654435761u);
       return h;
     }
   };
@@ -271,7 +273,9 @@ void global_cse(Function& f, CompileMeter& meter) {
       std::size_t h = static_cast<std::size_t>(k.op);
       h = h * 1000003u + static_cast<std::size_t>(k.va + 7);
       h = h * 1000003u + static_cast<std::size_t>(k.vb + 7);
-      h = h * 1000003u + static_cast<std::size_t>(k.imm * 2654435761u);
+      h = h * 1000003u +
+          static_cast<std::size_t>(static_cast<std::uint64_t>(k.imm) *
+                                   2654435761u);
       return h;
     }
   };

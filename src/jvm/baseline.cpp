@@ -1,5 +1,7 @@
 #include "jvm/baseline.hpp"
 
+#include <array>
+
 #include "jvm/opspec.hpp"
 
 namespace javelin::jvm {
@@ -7,6 +9,21 @@ namespace javelin::jvm {
 namespace {
 
 bool is_il_load(Op op) { return op == Op::kIload || op == Op::kAload; }
+
+/// Admission lookup table over (a, b) op pairs, stamped from the committed
+/// corpus ranking. Built once; lookups are a single byte load.
+const std::uint8_t* admission_lut() {
+  static const auto lut = [] {
+    std::array<std::uint8_t, kNumOps * kNumOps> t{};
+#define JAVELIN_JVM_FUSION(rank, OpA, OpB, count)                   \
+    t[static_cast<std::size_t>(Op::k##OpA) * kNumOps +              \
+      static_cast<std::size_t>(Op::k##OpB)] = 1;
+#include "jvm/fusion_table.inc"
+#undef JAVELIN_JVM_FUSION
+    return t;
+  }();
+  return lut.data();
+}
 
 }  // namespace
 
@@ -28,6 +45,11 @@ bool fusable_pair(const DecodedInsn& a, const DecodedInsn& b,
     return false;
   }
   return false;
+}
+
+bool fusion_admitted(Op a, Op b) {
+  return admission_lut()[static_cast<std::size_t>(a) * kNumOps +
+                         static_cast<std::size_t>(b)] != 0;
 }
 
 std::vector<BaselineInsn> build_baseline_stream(
@@ -55,7 +77,8 @@ std::vector<BaselineInsn> build_baseline_stream(
     bi.pc = static_cast<std::uint32_t>(pc);
     std::uint16_t sop = 0;
     if (pc + 1 < n && !is_target[pc + 1] &&
-        fusable_pair(decoded[pc], decoded[pc + 1], sop)) {
+        fusable_pair(decoded[pc], decoded[pc + 1], sop) &&
+        fusion_admitted(decoded[pc].op, decoded[pc + 1].op)) {
       bi.sop = sop;
       bi.di2 = decoded[pc + 1];
       // The second constituent is never a branch target, but record its

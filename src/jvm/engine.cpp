@@ -14,6 +14,12 @@ void ExecutionEngine::install(std::int32_t method_id, isa::NativeProgram prog,
   auto& slot = code_.at(method_id);
   slot.prog = std::make_unique<isa::NativeProgram>(std::move(prog));
   slot.level = level;
+  // Pre-decode the fused superinstruction stream now that code/literal
+  // addresses are final. Built unconditionally: installs are rare (one per
+  // compilation) and the stream serves both the default fused mode and any
+  // later mode switch.
+  slot.stream = isa::build_native_stream(*slot.prog, jvm_.core().cfg->energy,
+                                         jvm_.core().hier->icache());
 }
 
 const isa::NativeProgram* ExecutionEngine::compiled(
@@ -46,9 +52,9 @@ Value ExecutionEngine::invoke(std::int32_t method_id,
                               std::span<const Value> args) {
   const RtMethod& m = jvm_.method(method_id);
   if (!force_interpret_) {
-    if (const isa::NativeProgram* prog = compiled(method_id)) {
+    if (compiled(method_id) != nullptr) {
       if (trace_) trace_->count(obs::Counter::kEngineNativeCalls);
-      return invoke_native(m, *prog, args);
+      return invoke_native(m, code_[method_id], args);
     }
     if (static_cast<std::size_t>(method_id) < code_.size() &&
         code_[method_id].baseline) {
@@ -66,9 +72,9 @@ Value ExecutionEngine::call(const std::string& cls, const std::string& method,
   return invoke(id, args);
 }
 
-Value ExecutionEngine::invoke_native(const RtMethod& m,
-                                     const isa::NativeProgram& prog,
+Value ExecutionEngine::invoke_native(const RtMethod& m, const CodeSlot& slot,
                                      std::span<const Value> args) {
+  const isa::NativeProgram& prog = *slot.prog;
   isa::NativeExecutor ex(jvm_.core(), *this);
   // Argument registers: integer/ref args fill r1.. in order of appearance
   // among int-like args; doubles fill f1.. likewise.
@@ -89,7 +95,24 @@ Value ExecutionEngine::invoke_native(const RtMethod& m,
         break;
     }
   }
-  ex.run(prog);
+  // Host dispatch flavor; all paths produce bit-identical simulated state
+  // (tests/dispatch_differential_test.cpp). Profiling overrides the mode:
+  // only the switch flavor carries the pair-counting hook.
+  if (nisa_pairs_ != nullptr) {
+    ex.run_switch(prog, nisa_pairs_);
+  } else {
+    switch (nexec_mode_) {
+      case isa::NExecMode::kSwitch:
+        ex.run_switch(prog);
+        break;
+      case isa::NExecMode::kGoto:
+        ex.run(prog);
+        break;
+      case isa::NExecMode::kFused:
+        ex.run_stream(prog, slot.stream);
+        break;
+    }
+  }
   switch (m.info->sig.ret) {
     case TypeKind::kVoid:
       return Value::make_void();

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "isa/nstream.hpp"
 #include "jvm/interp.hpp"
 #include "jvm/vm.hpp"
 
@@ -47,6 +48,25 @@ class ExecutionEngine final : public isa::RuntimeBridge, public Invoker {
   void set_dispatch_mode(DispatchMode m) { interp_.set_dispatch_mode(m); }
   DispatchMode dispatch_mode() const { return interp_.dispatch_mode(); }
 
+  /// Host-side native dispatch flavor (simulated costs unaffected; default
+  /// from JAVELIN_NEXEC, normally the fused superinstruction stream).
+  void set_nexec_mode(isa::NExecMode m) { nexec_mode_ = m; }
+  isa::NExecMode nexec_mode() const { return nexec_mode_; }
+
+  /// The pre-decoded fused stream for a compiled method (null when the
+  /// method is interpreted). Built at install(); tests inspect it.
+  const isa::NativeStream* native_stream(std::int32_t method_id) const {
+    if (static_cast<std::size_t>(method_id) >= code_.size()) return nullptr;
+    return code_[method_id].prog ? &code_[method_id].stream : nullptr;
+  }
+
+  /// Profiling hooks (null = disabled, the default). While set, interpreted
+  /// frames record dynamic bytecode pairs and native frames run under the
+  /// counting switch flavor recording nisa pairs — the corpus profiler
+  /// (sim/pairprof.cpp) feeds both into the committed fusion tables.
+  void set_pair_counts(OpPairCounts* p) { interp_.set_pair_counts(p); }
+  void set_nisa_pair_counts(isa::NPairCounts* p) { nisa_pairs_ = p; }
+
   /// Observability hook (null = disabled, the default). Counts native-code
   /// dispatches here and forwards to the interpreter's run counters.
   void set_trace(obs::TraceBuffer* t) {
@@ -72,11 +92,12 @@ class ExecutionEngine final : public isa::RuntimeBridge, public Invoker {
  private:
   struct CodeSlot {
     std::unique_ptr<isa::NativeProgram> prog;
+    isa::NativeStream stream;  ///< pre-decoded fused view of *prog
     int level = 0;
     bool baseline = false;  ///< L0.5 baseline tier installed for the method.
   };
 
-  Value invoke_native(const RtMethod& m, const isa::NativeProgram& prog,
+  Value invoke_native(const RtMethod& m, const CodeSlot& slot,
                       std::span<const Value> args);
   void marshal_call(std::int32_t target_id, isa::NativeExecutor& caller);
 
@@ -85,6 +106,8 @@ class ExecutionEngine final : public isa::RuntimeBridge, public Invoker {
   std::vector<CodeSlot> code_;
   bool force_interpret_ = false;
   obs::TraceBuffer* trace_ = nullptr;
+  isa::NExecMode nexec_mode_ = isa::default_nexec_mode();
+  isa::NPairCounts* nisa_pairs_ = nullptr;
 };
 
 }  // namespace javelin::jvm

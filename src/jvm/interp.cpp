@@ -145,7 +145,8 @@ inline void charge_dispatch(isa::Core& core, mem::Addr bc_addr,
 // ---------------------------------------------------------------------------
 
 Value run_switch_loop(Jvm& jvm, const RtMethod& m, const RtClass& rc,
-                      isa::Core& core, Frame& fr, Invoker& invoker) {
+                      isa::Core& core, Frame& fr, Invoker& invoker,
+                      OpPairCounts* pairs) {
   std::size_t pc = 0;
   const auto& code = m.info->code;
   // Decoded-bytecode cache: pool-indirect operands were resolved once at
@@ -155,12 +156,24 @@ Value run_switch_loop(Jvm& jvm, const RtMethod& m, const RtClass& rc,
   const DecodedInsn* dcode = m.decoded.empty() ? nullptr : m.decoded.data();
   DecodedInsn undecoded;
 
+  // Profiling state: previous executed instruction, per frame. A pair is
+  // adjacent when the current pc is the previous pc's fall-through.
+  std::size_t prev_pc = 0;
+  Op prev_op = Op::kCount;
+  bool have_prev = false;
+
   for (;;) {
     if (pc >= code.size())
       throw VmError("interpreter: pc out of range in " + m.qualified_name);
     charge_dispatch(core, m.bc_addr, pc);
     const DecodedInsn& in =
         dcode ? dcode[pc] : (undecoded = Jvm::decode_insn(rc, code[pc]));
+    if (pairs) {
+      if (have_prev && pc == prev_pc + 1) pairs->note(prev_op, in.op);
+      prev_pc = pc;
+      prev_op = in.op;
+      have_prev = true;
+    }
     std::size_t next = pc + 1;
 
     switch (in.op) {
@@ -359,6 +372,9 @@ Value Interpreter::run_mode(const RtMethod& m, std::span<const Value> args,
 #if !JAVELIN_HAVE_COMPUTED_GOTO
   if (eff == DispatchMode::kGoto) eff = DispatchMode::kSwitch;
 #endif
+  // Profiling routes through the switch loop — the only flavor that carries
+  // the pair-counting hook.
+  if (pairs_) eff = DispatchMode::kSwitch;
 
   if (++core.call_depth > isa::Core::kMaxCallDepth) {
     --core.call_depth;
@@ -394,7 +410,7 @@ Value Interpreter::run_mode(const RtMethod& m, std::span<const Value> args,
         return run_goto_loop(jvm_, m, rc, core, fr, invoker);
 #endif
       default:
-        return run_switch_loop(jvm_, m, rc, core, fr, invoker);
+        return run_switch_loop(jvm_, m, rc, core, fr, invoker, pairs_);
     }
   } catch (...) {
     --core.call_depth;

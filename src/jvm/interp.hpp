@@ -23,6 +23,7 @@
 // pins bit-identical energy/cycles/heap state across all three.
 #pragma once
 
+#include <array>
 #include <span>
 
 #include "jvm/vm.hpp"
@@ -48,6 +49,22 @@ enum class DispatchMode : std::uint8_t {
 };
 
 const char* dispatch_mode_name(DispatchMode m);
+
+/// Dynamic adjacent-pair execution counts over the bytecode ISA, collected by
+/// the interpreter's switch flavor when profiling (sim/pairprof.cpp ranks
+/// these to derive the committed L0.5 fusion table, jvm/fusion_table.inc).
+/// A pair (a, b) is counted when b executes immediately after a with the pc
+/// falling through — exactly the adjacency the baseline translator can fuse.
+struct OpPairCounts {
+  std::array<std::uint64_t, kNumOps * kNumOps> counts{};
+  void note(Op a, Op b) {
+    ++counts[static_cast<std::size_t>(a) * kNumOps + static_cast<std::size_t>(b)];
+  }
+  std::uint64_t of(Op a, Op b) const {
+    return counts[static_cast<std::size_t>(a) * kNumOps +
+                  static_cast<std::size_t>(b)];
+  }
+};
 
 /// Resolve the process-wide default from JAVELIN_DISPATCH
 /// ("switch" | "goto" | "baseline"); unset or unrecognized → kBaseline.
@@ -79,6 +96,12 @@ class Interpreter {
   /// method was served from the link-time decode cache.
   void set_trace(obs::TraceBuffer* t) { trace_ = t; }
 
+  /// Profiling hook (null = disabled, the default). While set, every run is
+  /// routed through the switch flavor — the only loop carrying the counting
+  /// code, so the default goto/baseline paths stay hook-free — and dynamic
+  /// adjacent bytecode pairs are accumulated into `p`.
+  void set_pair_counts(OpPairCounts* p) { pairs_ = p; }
+
  private:
   Value run_mode(const RtMethod& m, std::span<const Value> args,
                  Invoker& invoker, DispatchMode mode, bool baseline_acct);
@@ -86,6 +109,7 @@ class Interpreter {
   Jvm& jvm_;
   DispatchMode mode_;
   obs::TraceBuffer* trace_ = nullptr;
+  OpPairCounts* pairs_ = nullptr;
 };
 
 }  // namespace javelin::jvm

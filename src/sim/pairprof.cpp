@@ -1,0 +1,193 @@
+#include "sim/pairprof.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "apps/app.hpp"
+#include "isa/nspec.hpp"
+#include "jit/compiler.hpp"
+#include "jvm/baseline.hpp"
+#include "jvm/opspec.hpp"
+#include "rt/device.hpp"
+#include "support/rng.hpp"
+
+namespace javelin::sim {
+
+namespace {
+
+// Enum identifier names (not mnemonics) — the renderers emit macro rows that
+// token-paste into Op::k<Name> / NOp::k<Name>.
+constexpr const char* kNOpIdent[] = {
+#define JAVELIN_PAIRPROF_NID(Name, ...) #Name,
+    JAVELIN_NOP_SPEC_LIST(JAVELIN_PAIRPROF_NID)
+#undef JAVELIN_PAIRPROF_NID
+};
+constexpr const char* kOpIdent[] = {
+#define JAVELIN_PAIRPROF_OID(Name, ...) #Name,
+    JAVELIN_OPCODE_LIST(JAVELIN_PAIRPROF_OID)
+#undef JAVELIN_PAIRPROF_OID
+};
+static_assert(sizeof(kNOpIdent) / sizeof(kNOpIdent[0]) == isa::kNumNOps);
+static_assert(sizeof(kOpIdent) / sizeof(kOpIdent[0]) == jvm::kNumOps);
+
+/// Fixed profile conditions: one seed, first profile scale. The profile must
+/// be a pure function of the corpus so the committed tables are reproducible.
+constexpr std::uint64_t kProfileSeed = 20260808;
+
+double profile_scale(const apps::App& a) {
+  return a.profile_scales.empty() ? a.small_scale : a.profile_scales.front();
+}
+
+bool pair_shape_capable(jvm::Op a, jvm::Op b) {
+  jvm::DecodedInsn da, db;
+  da.op = a;
+  db.op = b;
+  std::uint16_t sop = 0;
+  return jvm::fusable_pair(da, db, sop);
+}
+
+bool rank_before(const RankedPair& x, const RankedPair& y) {
+  if (x.count != y.count) return x.count > y.count;
+  if (x.stat != y.stat) return x.stat > y.stat;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+}  // namespace
+
+PairProfile profile_corpus() {
+  PairProfile p;
+  p.jvm_static.assign(jvm::kNumOps * jvm::kNumOps, 0);
+  for (const apps::App& a : apps::registry()) {
+    // Interpreted run: dynamic bytecode pairs, plus the static adjacency
+    // census over every decoded corpus method body. The census is what keeps
+    // admission a superset of anything the L0.5 translator can encounter in
+    // a corpus stream, so retiring the hardcoded list cannot change which
+    // corpus entries fuse.
+    {
+      rt::Device dev(isa::client_machine());
+      dev.core.step_limit = ~0ULL;
+      dev.deploy(a.classes);
+      for (std::size_t m = 0; m < dev.vm.num_methods(); ++m) {
+        const auto& code =
+            dev.vm.method(static_cast<std::int32_t>(m)).decoded;
+        for (std::size_t i = 0; i + 1 < code.size(); ++i)
+          ++p.jvm_static[static_cast<std::size_t>(code[i].op) * jvm::kNumOps +
+                         static_cast<std::size_t>(code[i + 1].op)];
+      }
+      dev.engine.set_force_interpret(true);
+      dev.engine.set_pair_counts(&p.jvm_dyn);
+      const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+      Rng rng(kProfileSeed);
+      dev.engine.invoke(mid, a.make_args(dev.vm, profile_scale(a), rng));
+    }
+    // Native runs: whole compilation plan at each JIT level, executed under
+    // the counting switch flavor. Levels differ in the code they emit, so
+    // the ranking reflects the full generated-code space.
+    for (int level : {1, 2, 3}) {
+      rt::Device dev(isa::client_machine());
+      dev.core.step_limit = ~0ULL;
+      dev.deploy(a.classes);
+      const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+      std::vector<std::int32_t> plan{mid};
+      for (std::int32_t callee : jit::collect_callees(dev.vm, mid))
+        plan.push_back(callee);
+      for (std::int32_t id : plan) {
+        auto res = jit::compile_method(
+            dev.vm, id, jit::CompileOptions{.opt_level = level},
+            dev.cfg.energy);
+        dev.engine.install(id, std::move(res.program), level);
+      }
+      dev.engine.set_nisa_pair_counts(&p.nisa);
+      Rng rng(kProfileSeed);
+      dev.engine.invoke(mid, a.make_args(dev.vm, profile_scale(a), rng));
+    }
+  }
+  return p;
+}
+
+std::vector<RankedPair> ranked_nisa_pairs(const PairProfile& p) {
+  std::vector<RankedPair> out;
+  for (std::size_t a = 0; a < isa::kNumNOps; ++a)
+    for (std::size_t b = 0; b < isa::kNumNOps; ++b) {
+      const auto na = static_cast<isa::NOp>(a);
+      const auto nb = static_cast<isa::NOp>(b);
+      if (!isa::nspec::fusable_pair_legal(na, nb)) continue;
+      const std::uint64_t c = p.nisa.of(na, nb);
+      if (c == 0) continue;
+      out.push_back({static_cast<std::uint8_t>(a),
+                     static_cast<std::uint8_t>(b), c, 0});
+    }
+  std::stable_sort(out.begin(), out.end(), rank_before);
+  if (out.size() > kMaxNisaFused) out.resize(kMaxNisaFused);
+  return out;
+}
+
+std::vector<RankedPair> ranked_jvm_pairs(const PairProfile& p) {
+  std::vector<RankedPair> out;
+  for (std::size_t a = 0; a < jvm::kNumOps; ++a)
+    for (std::size_t b = 0; b < jvm::kNumOps; ++b) {
+      const auto oa = static_cast<jvm::Op>(a);
+      const auto ob = static_cast<jvm::Op>(b);
+      if (!pair_shape_capable(oa, ob)) continue;
+      const std::uint64_t dyn = p.jvm_dyn.of(oa, ob);
+      const std::uint64_t stat = p.jvm_static[a * jvm::kNumOps + b];
+      if (dyn == 0 && stat == 0) continue;
+      out.push_back({static_cast<std::uint8_t>(a),
+                     static_cast<std::uint8_t>(b), dyn, stat});
+    }
+  std::stable_sort(out.begin(), out.end(), rank_before);
+  return out;
+}
+
+std::string render_nisa_inc(const PairProfile& p) {
+  std::ostringstream os;
+  os << "// nisa fused-pair table — corpus-profile-derived, committed.\n"
+     << "//\n"
+     << "// Regenerate with:\n"
+     << "//   build/apps/javelin_profile --nisa-inc > src/isa/nfusion.inc\n"
+     << "//\n"
+     << "// One row per fused superinstruction: the hottest legal\n"
+     << "// (nspec::fusable_pair_legal) adjacent nisa pairs by dynamic\n"
+     << "// execution count over the 8-app corpus at JIT levels 1-3\n"
+     << "// (sim/pairprof.cpp). Rank is the fop offset in the fused stream\n"
+     << "// (isa/nstream.hpp: kNFopFusedBase + rank). Kind P = plain pair;\n"
+     << "// Kind B = branch-first (the first constituent is a conditional\n"
+     << "// branch, the handler tests its predicate before the second op).\n"
+     << "//\n"
+     << "// Format: JAVELIN_NFUSE(rank, Kind, OpA, OpB, count)\n";
+  std::size_t rank = 0;
+  for (const RankedPair& r : ranked_nisa_pairs(p)) {
+    const auto a = static_cast<isa::NOp>(r.a);
+    os << "JAVELIN_NFUSE(" << rank++ << ", "
+       << (isa::nspec::is_cond_branch(a) ? 'B' : 'P') << ", " << kNOpIdent[r.a]
+       << ", " << kNOpIdent[r.b] << ", " << r.count << ")\n";
+  }
+  return os.str();
+}
+
+std::string render_jvm_inc(const PairProfile& p) {
+  std::ostringstream os;
+  os << "// L0.5 fusion admission table — corpus-profile-derived, committed.\n"
+     << "//\n"
+     << "// Regenerate with:\n"
+     << "//   build/apps/javelin_profile --jvm-inc > src/jvm/fusion_table.inc\n"
+     << "//\n"
+     << "// One row per admitted (first, second) bytecode pair, ranked by\n"
+     << "// dynamic execution count over the 8-app corpus profile\n"
+     << "// (sim/pairprof.cpp). A pair is admitted when it is shape-capable\n"
+     << "// (jvm::fusable_pair) and either executes adjacently at least once\n"
+     << "// in the corpus profile or appears statically adjacent in some\n"
+     << "// corpus method body (the latter keeps the ablation tier\n"
+     << "// accounting stable for cold-but-present pairs; its static\n"
+     << "// occurrence count is the tie-break).\n"
+     << "//\n"
+     << "// Format: JAVELIN_JVM_FUSION(rank, OpA, OpB, dynamic_count)\n";
+  std::size_t rank = 0;
+  for (const RankedPair& r : ranked_jvm_pairs(p))
+    os << "JAVELIN_JVM_FUSION(" << rank++ << ", " << kOpIdent[r.a] << ", "
+       << kOpIdent[r.b] << ", " << r.count << ")\n";
+  return os.str();
+}
+
+}  // namespace javelin::sim

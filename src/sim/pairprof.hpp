@@ -1,0 +1,63 @@
+// Corpus execution-frequency pair profiler.
+//
+// Runs the whole 8-app corpus deterministically (fixed seed, first profile
+// scale) and counts dynamically-adjacent instruction pairs at both layers:
+//  * guest bytecode pairs, recorded by the interpreter's counting switch
+//    flavor (one interpreted run per app), plus a static adjacency census
+//    over every decoded corpus method body;
+//  * nisa pairs, recorded by the native executor's counting switch flavor
+//    (one JIT-compiled run per app per optimization level 1..3).
+//
+// The rankings derived here are the *single source* of the two committed
+// fusion tables (src/jvm/fusion_table.inc and src/isa/nfusion.inc); the
+// renderers below emit those files verbatim, and tests/fusion_profile_test
+// re-derives the profile in-process and asserts the committed tables match —
+// a determinism regression as much as a staleness check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/executor.hpp"
+#include "jvm/interp.hpp"
+
+namespace javelin::sim {
+
+struct PairProfile {
+  jvm::OpPairCounts jvm_dyn;              ///< dynamic bytecode pairs
+  std::vector<std::uint64_t> jvm_static;  ///< static adjacency, kNumOps^2
+  isa::NPairCounts nisa;                  ///< dynamic nisa pairs
+};
+
+/// One ranked pair in a derived table.
+struct RankedPair {
+  std::uint8_t a = 0, b = 0;   ///< op ordinals (jvm::Op or isa::NOp)
+  std::uint64_t count = 0;     ///< dynamic corpus count
+  std::uint64_t stat = 0;      ///< static adjacency count (jvm table only)
+};
+
+/// Maximum fused-pair handlers stamped into the native stream executor.
+inline constexpr std::size_t kMaxNisaFused = 16;
+
+/// Run the corpus and collect all three count sets. Deterministic: same
+/// binary, same result, bit for bit.
+PairProfile profile_corpus();
+
+/// Top-kMaxNisaFused legal (nspec::fusable_pair_legal) nisa pairs by dynamic
+/// count, count > 0, ties broken by op ordinal. Order defines the fop
+/// ranking in nfusion.inc.
+std::vector<RankedPair> ranked_nisa_pairs(const PairProfile& p);
+
+/// All shape-capable (jvm::fusable_pair) bytecode pairs admitted for L0.5
+/// fusion: executed adjacently at least once, or statically adjacent in some
+/// corpus body (keeps cold-but-present pairs fusing so the tier's ablation
+/// accounting is a pure function of the corpus). Ranked by dynamic count,
+/// then static count, then op ordinal.
+std::vector<RankedPair> ranked_jvm_pairs(const PairProfile& p);
+
+/// Render the complete committed table files (header comment included).
+std::string render_nisa_inc(const PairProfile& p);
+std::string render_jvm_inc(const PairProfile& p);
+
+}  // namespace javelin::sim

@@ -12,9 +12,16 @@
 // bit-identity clause (skipping the fused pair's second dispatch triple is
 // the tier's whole point).
 //
+// The same proof covers the native executor: every app JIT-compiled at each
+// optimization level and run through the hand switch, the computed-goto loop
+// and the fused superinstruction stream (isa/executor_stream.cpp, with its
+// pre-resolved pool operands and profile-derived pair fusion) must agree the
+// same way, bit for bit.
+//
 // A UBSan-instrumented copy of this test rides along in the regular build
-// (see tests/CMakeLists.txt): the computed-goto loop and the pre-decoded
-// stream are exactly the kind of code where UB would hide.
+// (see tests/CMakeLists.txt): the computed-goto loops, the pre-decoded
+// streams and the fused operand replay are exactly the kind of code where UB
+// would hide.
 
 #include <gtest/gtest.h>
 
@@ -23,6 +30,7 @@
 
 #include "apps/app.hpp"
 #include "energy/energy.hpp"
+#include "jit/compiler.hpp"
 #include "rt/device.hpp"
 #include "support/rng.hpp"
 
@@ -126,6 +134,56 @@ TEST(DispatchDifferential, AllFlavorsBitIdenticalOnWholeCorpus) {
     ASSERT_TRUE(sw.correct) << a.name;
     expect_identical(sw, run_app(a, Flavor::kGoto), a.name + "/goto");
     expect_identical(sw, run_app(a, Flavor::kStream), a.name + "/stream");
+  }
+}
+
+/// One deterministic invocation with the whole compilation plan JIT-compiled
+/// at `level`, executed under the given native dispatch flavor.
+RunOutcome run_app_native(const apps::App& a, int level, isa::NExecMode mode) {
+  rt::Device dev(isa::client_machine());
+  dev.core.step_limit = ~0ULL;
+  dev.deploy(a.classes);
+  const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+  std::vector<std::int32_t> plan{mid};
+  for (std::int32_t callee : jit::collect_callees(dev.vm, mid))
+    plan.push_back(callee);
+  for (std::int32_t id : plan) {
+    auto res = jit::compile_method(
+        dev.vm, id, jit::CompileOptions{.opt_level = level}, dev.cfg.energy);
+    dev.engine.install(id, std::move(res.program), level);
+  }
+  dev.engine.set_nexec_mode(mode);
+
+  Rng rng(20260808);
+  const double scale =
+      a.profile_scales.empty() ? a.small_scale : a.profile_scales.front();
+  auto args = a.make_args(dev.vm, scale, rng);
+
+  RunOutcome out;
+  const jvm::Value result = dev.engine.invoke(mid, args);
+  out.correct = a.check(dev.vm, args, dev.vm, result);
+  out.steps = dev.core.steps;
+  out.cycles = dev.core.cycles;
+  out.dram = dev.meter.dram_accesses();
+  out.energy = dev.meter.total();
+  out.counts = dev.meter.counts();
+  out.heap_hash = hash_heap(dev.arena);
+  out.heap_used = dev.arena.heap_used();
+  return out;
+}
+
+TEST(DispatchDifferential, NativeFlavorsBitIdenticalOnWholeCorpus) {
+  for (const apps::App& a : apps::registry()) {
+    SCOPED_TRACE(a.name);
+    for (int level : {1, 2, 3}) {
+      const std::string tag = a.name + "/L" + std::to_string(level);
+      const RunOutcome sw = run_app_native(a, level, isa::NExecMode::kSwitch);
+      ASSERT_TRUE(sw.correct) << tag;
+      expect_identical(sw, run_app_native(a, level, isa::NExecMode::kGoto),
+                       tag + "/goto");
+      expect_identical(sw, run_app_native(a, level, isa::NExecMode::kFused),
+                       tag + "/fused");
+    }
   }
 }
 

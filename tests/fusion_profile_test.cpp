@@ -1,0 +1,135 @@
+// Freshness and determinism gate for the two committed fusion tables.
+//
+// The corpus pair profile (sim/pairprof.cpp) is re-derived in-process and
+// compared against the tables compiled into this binary:
+//   * src/isa/nfusion.inc     — the fused native stream's pair ranking;
+//   * src/jvm/fusion_table.inc — the L0.5 admission set.
+// A mismatch means either the committed table is stale (someone changed the
+// corpus, the JIT, or the profiler without regenerating) or the profile is
+// not deterministic — both are defects. The suite also cross-checks the JIT
+// codegen's pool-site markers against the stream builder's independent
+// pattern detection: every operand the compiler pre-resolved must come out
+// of the builder as a zero-lookup Abs entry.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "isa/nstream.hpp"
+#include "jit/compiler.hpp"
+#include "jvm/baseline.hpp"
+#include "rt/device.hpp"
+#include "sim/pairprof.hpp"
+
+namespace javelin {
+namespace {
+
+/// One corpus profile per test binary — the runs are deterministic, so
+/// sharing it across tests loses nothing.
+const sim::PairProfile& corpus_profile() {
+  static const sim::PairProfile p = sim::profile_corpus();
+  return p;
+}
+
+TEST(FusionProfile, CommittedNisaTableMatchesFreshProfile) {
+  const auto ranked = sim::ranked_nisa_pairs(corpus_profile());
+  ASSERT_EQ(ranked.size(), isa::kNumFusedPairs)
+      << "src/isa/nfusion.inc is stale — regenerate with "
+         "javelin_profile --nisa-inc";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const isa::NFusePair& committed = isa::kFusedPairs[i];
+    EXPECT_EQ(static_cast<isa::NOp>(ranked[i].a), committed.a) << "rank " << i;
+    EXPECT_EQ(static_cast<isa::NOp>(ranked[i].b), committed.b) << "rank " << i;
+    EXPECT_EQ(isa::nspec::is_cond_branch(committed.a), committed.branch_first)
+        << "rank " << i;
+  }
+}
+
+TEST(FusionProfile, CommittedJvmAdmissionMatchesFreshProfile) {
+  std::set<std::pair<std::uint8_t, std::uint8_t>> derived;
+  for (const sim::RankedPair& r : sim::ranked_jvm_pairs(corpus_profile()))
+    derived.insert({r.a, r.b});
+  for (std::size_t a = 0; a < jvm::kNumOps; ++a)
+    for (std::size_t b = 0; b < jvm::kNumOps; ++b) {
+      const bool admitted = jvm::fusion_admitted(static_cast<jvm::Op>(a),
+                                                 static_cast<jvm::Op>(b));
+      const bool expected = derived.count({static_cast<std::uint8_t>(a),
+                                           static_cast<std::uint8_t>(b)}) > 0;
+      EXPECT_EQ(admitted, expected)
+          << jvm::op_name(static_cast<jvm::Op>(a)) << "+"
+          << jvm::op_name(static_cast<jvm::Op>(b))
+          << " — src/jvm/fusion_table.inc is stale, regenerate with "
+             "javelin_profile --jvm-inc";
+    }
+}
+
+TEST(FusionProfile, AdmittedJvmPairsAreShapeCapable) {
+  for (std::size_t a = 0; a < jvm::kNumOps; ++a)
+    for (std::size_t b = 0; b < jvm::kNumOps; ++b) {
+      if (!jvm::fusion_admitted(static_cast<jvm::Op>(a),
+                                static_cast<jvm::Op>(b)))
+        continue;
+      jvm::DecodedInsn da, db;
+      da.op = static_cast<jvm::Op>(a);
+      db.op = static_cast<jvm::Op>(b);
+      std::uint16_t sop = 0;
+      EXPECT_TRUE(jvm::fusable_pair(da, db, sop))
+          << jvm::op_name(da.op) << "+" << jvm::op_name(db.op);
+    }
+}
+
+/// Rebuild the code-index -> stream-entry map the builder used: entries are
+/// emitted in code order, fused entries consume two slots.
+std::vector<std::size_t> entry_of_code_index(const isa::NativeStream& s,
+                                             std::size_t code_len) {
+  std::vector<std::size_t> map(code_len, ~std::size_t{0});
+  std::size_t pc = 0;
+  for (std::size_t e = 0; e < s.entries.size(); ++e) {
+    map[pc++] = e;
+    if (s.entries[e].fop >= isa::kNFopFusedBase) map[pc++] = e;
+  }
+  EXPECT_EQ(pc, code_len);
+  return map;
+}
+
+TEST(FusionProfile, PoolSitesAllPreResolvedAcrossCorpus) {
+  for (const apps::App& a : apps::registry()) {
+    SCOPED_TRACE(a.name);
+    for (int level : {1, 2, 3}) {
+      rt::Device dev(isa::client_machine());
+      dev.deploy(a.classes);
+      const std::int32_t mid = dev.vm.find_method(a.cls, a.method);
+      std::vector<std::int32_t> plan{mid};
+      for (std::int32_t callee : jit::collect_callees(dev.vm, mid))
+        plan.push_back(callee);
+      for (std::int32_t id : plan) {
+        auto res = jit::compile_method(
+            dev.vm, id, jit::CompileOptions{.opt_level = level},
+            dev.cfg.energy);
+        dev.engine.install(id, std::move(res.program), level);
+        const isa::NativeProgram& prog = *dev.engine.compiled(id);
+        const isa::NativeStream* stream = dev.engine.native_stream(id);
+        ASSERT_NE(stream, nullptr);
+        // Stream accounting covers the whole body exactly once.
+        EXPECT_EQ(stream->plain_ops + stream->abs_sites +
+                      2 * stream->fused_pairs,
+                  prog.code.size())
+            << "method " << id << " L" << level;
+        const auto map = entry_of_code_index(*stream, prog.code.size());
+        for (std::uint32_t site : prog.pool_sites) {
+          ASSERT_LT(site, prog.code.size());
+          const isa::NStreamEntry& e = stream->entries[map[site]];
+          EXPECT_GE(e.fop, isa::kNFopAbsBase)
+              << "pool site " << site << " in method " << id << " L" << level
+              << " not pre-resolved";
+          EXPECT_LT(e.fop, isa::kNFopAbsBase + 6) << "pool site " << site;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace javelin

@@ -1,0 +1,151 @@
+// Pins the nisa specification table (isa/nspec.hpp) — the single source of
+// truth the executor dispatch tables, the fused-stream builder and the
+// static analyses are all stamped from. Coverage and enum-order are already
+// compile-time errors; this suite pins the *cross-view agreements* that the
+// type system cannot: mnemonics vs nop_name(), flag/operand consistency,
+// fusion-legality shape, and the committed fused-pair table's invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "isa/nspec.hpp"
+#include "isa/nstream.hpp"
+
+namespace javelin::isa {
+namespace {
+
+using nspec::NCategory;
+using nspec::NOperandKind;
+using nspec::spec;
+
+NOp nth(std::size_t i) { return static_cast<NOp>(i); }
+
+TEST(NSpec, MnemonicsAgreeWithNopNameAndAreUnique) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < kNumNOps; ++i) {
+    const NOp op = nth(i);
+    ASSERT_NE(spec(op).mnemonic, nullptr);
+    const std::string m = spec(op).mnemonic;
+    EXPECT_FALSE(m.empty()) << i;
+    EXPECT_EQ(m, nop_name(op)) << i;
+    EXPECT_TRUE(seen.insert(m).second) << "duplicate mnemonic " << m;
+  }
+}
+
+TEST(NSpec, BranchFlagIffBranchTargetOperand) {
+  for (std::size_t i = 0; i < kNumNOps; ++i) {
+    const NOp op = nth(i);
+    EXPECT_EQ(nspec::uses_branch_target(op),
+              spec(op).operand == NOperandKind::kBranchTarget)
+        << nop_name(op);
+  }
+}
+
+TEST(NSpec, ControlAndBridgeFlagsMatchCategories) {
+  for (std::size_t i = 0; i < kNumNOps; ++i) {
+    const NOp op = nth(i);
+    const NCategory c = spec(op).category;
+    // Every category that can leave the fall-through path carries kFlagCtrl;
+    // calls/allocs transfer control on the *host* side only (the executor
+    // resumes at pc + 1), so they are bridge, not ctrl.
+    const bool ctrl = c == NCategory::kCondBranch || c == NCategory::kJump ||
+                      c == NCategory::kReturn || c == NCategory::kTrap;
+    EXPECT_EQ(nspec::transfers_control(op), ctrl) << nop_name(op);
+    const bool bridge = c == NCategory::kCall || c == NCategory::kAlloc;
+    EXPECT_EQ(nspec::is_bridge(op), bridge) << nop_name(op);
+  }
+}
+
+TEST(NSpec, EnergyClassesFollowCategory) {
+  for (std::size_t i = 0; i < kNumNOps; ++i) {
+    const NOp op = nth(i);
+    switch (spec(op).category) {
+      case NCategory::kMemLoad:
+        EXPECT_EQ(spec(op).cls, energy::InstrClass::kLoad) << nop_name(op);
+        break;
+      case NCategory::kMemStore:
+        EXPECT_EQ(spec(op).cls, energy::InstrClass::kStore) << nop_name(op);
+        break;
+      case NCategory::kAluSimple:
+        EXPECT_EQ(spec(op).cls, energy::InstrClass::kAluSimple)
+            << nop_name(op);
+        break;
+      case NCategory::kAluComplex:
+      case NCategory::kIntrinsic:
+        EXPECT_EQ(spec(op).cls, energy::InstrClass::kAluComplex)
+            << nop_name(op);
+        break;
+      case NCategory::kCondBranch:
+      case NCategory::kJump:
+      case NCategory::kCall:
+      case NCategory::kReturn:
+      case NCategory::kTrap:
+      case NCategory::kAlloc:
+        EXPECT_EQ(spec(op).cls, energy::InstrClass::kBranch) << nop_name(op);
+        break;
+      case NCategory::kNop:
+        EXPECT_EQ(spec(op).cls, energy::InstrClass::kNop) << nop_name(op);
+        break;
+    }
+  }
+}
+
+TEST(NSpec, FusionLegalityShape) {
+  for (std::size_t i = 0; i < kNumNOps; ++i) {
+    const NOp op = nth(i);
+    // Bridge ops are never fusable on either side: their handlers flush the
+    // register-cached core state and reset the fetch-line memo, which the
+    // fused handlers' second-fetch replay relies on staying warm.
+    if (nspec::is_bridge(op)) {
+      EXPECT_FALSE(nspec::fusable_first(op)) << nop_name(op);
+      EXPECT_FALSE(nspec::fusable_second(op)) << nop_name(op);
+    }
+    // Only straight-line ops or conditional branches may lead a pair.
+    if (nspec::fusable_first(op))
+      EXPECT_FALSE(nspec::transfers_control(op)) << nop_name(op);
+    for (std::size_t j = 0; j < kNumNOps; ++j) {
+      const NOp b = nth(j);
+      EXPECT_EQ(nspec::fusable_pair_legal(op, b),
+                (nspec::fusable_first(op) || nspec::is_cond_branch(op)) &&
+                    nspec::fusable_second(b))
+          << nop_name(op) << "+" << nop_name(b);
+    }
+  }
+}
+
+TEST(NSpec, PoolResolutionClobberScanIsConservative) {
+  // writes_int_rd must cover every op whose handler assigns an integer
+  // destination register — under-approximating would let the stream builder
+  // pre-resolve a pool operand across a literal-base clobber. Spot-pin the
+  // tricky rows: FP-destination ops do not write the int file.
+  EXPECT_FALSE(nspec::writes_int_rd(NOp::kLdd));
+  EXPECT_FALSE(nspec::writes_int_rd(NOp::kFmov));
+  EXPECT_FALSE(nspec::writes_int_rd(NOp::kFadd));
+  EXPECT_FALSE(nspec::writes_int_rd(NOp::kIntrD));
+  EXPECT_TRUE(nspec::writes_int_rd(NOp::kLdw));
+  EXPECT_TRUE(nspec::writes_int_rd(NOp::kD2i));
+  EXPECT_TRUE(nspec::writes_int_rd(NOp::kFcmp));
+  EXPECT_TRUE(nspec::writes_int_rd(NOp::kIntrI));
+  EXPECT_TRUE(nspec::writes_int_rd(NOp::kRtNewArr));
+  EXPECT_FALSE(nspec::writes_int_rd(NOp::kBeq));
+  EXPECT_FALSE(nspec::writes_int_rd(NOp::kStw));
+}
+
+TEST(NSpec, CommittedFusedPairTableIsLegalRankedAndUnique) {
+  ASSERT_GT(kNumFusedPairs, 0u);
+  ASSERT_LE(kNumFusedPairs, 64u);
+  std::set<std::pair<NOp, NOp>> seen;
+  for (std::size_t i = 0; i < kNumFusedPairs; ++i) {
+    const NFusePair& p = kFusedPairs[i];
+    EXPECT_TRUE(nspec::fusable_pair_legal(p.a, p.b))
+        << nop_name(p.a) << "+" << nop_name(p.b);
+    EXPECT_EQ(p.branch_first, nspec::is_cond_branch(p.a))
+        << nop_name(p.a) << "+" << nop_name(p.b);
+    EXPECT_TRUE(seen.insert({p.a, p.b}).second)
+        << "duplicate fused pair " << nop_name(p.a) << "+" << nop_name(p.b);
+  }
+}
+
+}  // namespace
+}  // namespace javelin::isa
